@@ -1,0 +1,49 @@
+//! Criterion benches for the simulation substrate: bit-parallel
+//! throughput and cone-restricted fault injection (the baseline's
+//! inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ser_gen::iscas89_like;
+use ser_sim::{BitSim, SiteFaultSim};
+
+/// Full-circuit 64-pattern sweep (patterns/second throughput).
+fn bench_bitsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/bit_parallel_block");
+    for name in ["s298", "s1196", "s9234"] {
+        let circuit = iscas89_like(name).unwrap();
+        let sim = BitSim::new(&circuit).unwrap();
+        let words: Vec<u64> = (0..sim.sources().len())
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+            .collect();
+        let mut values = vec![0u64; circuit.len()];
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.run_into(std::hint::black_box(&words), &mut values))
+        });
+    }
+    group.finish();
+}
+
+/// Fault injection for one site over one block (cone-restricted resim).
+fn bench_fault_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/fault_inject_block");
+    for name in ["s298", "s1196"] {
+        let circuit = iscas89_like(name).unwrap();
+        let sim = BitSim::new(&circuit).unwrap();
+        // A primary input: widest cone, worst case.
+        let site = circuit.inputs()[0];
+        let fault = SiteFaultSim::new(&sim, site);
+        let words: Vec<u64> = (0..sim.sources().len())
+            .map(|i| 0xA5A5_5A5A_DEAD_BEEFu64.rotate_left(i as u32))
+            .collect();
+        let good = sim.run(&words);
+        let mut scratch = good.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &fault, |b, fault| {
+            b.iter(|| std::hint::black_box(fault.inject(&sim, &good, &mut scratch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitsim, bench_fault_injection);
+criterion_main!(benches);

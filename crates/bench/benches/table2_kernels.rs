@@ -1,0 +1,74 @@
+//! Criterion benches for the two sides of Table 2: the analytical
+//! method's per-node cost vs the random-simulation baseline's per-node
+//! cost, plus the SP pass (`SPT`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ser_epp::EppAnalysis;
+use ser_gen::iscas89_like;
+use ser_sim::{BitSim, MonteCarlo};
+use ser_sp::{IndependentSp, InputProbs, SpEngine};
+
+/// Analytical side: one EPP site pass per node (averaged over nodes).
+fn bench_epp_per_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/epp_per_node");
+    for name in ["s298", "s953", "s1196"] {
+        let circuit = iscas89_like(name).unwrap();
+        let sp = IndependentSp::new()
+            .compute(&circuit, &InputProbs::default())
+            .unwrap();
+        let analysis = EppAnalysis::new(&circuit, sp).unwrap();
+        let sites: Vec<_> = circuit.node_ids().take(32).collect();
+        group.throughput(Throughput::Elements(sites.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &analysis, |b, a| {
+            b.iter(|| {
+                for &s in &sites {
+                    std::hint::black_box(a.site(s));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Baseline side: Monte-Carlo per node at the paper-scale vector budget
+/// (scaled down 10x to keep bench runtime sane; Criterion reports
+/// per-iteration time, so the ratio to the EPP bench is what matters).
+fn bench_monte_carlo_per_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/mc_per_node");
+    group.sample_size(10);
+    for name in ["s298", "s953"] {
+        let circuit = iscas89_like(name).unwrap();
+        let sim = BitSim::new(&circuit).unwrap();
+        let mc = MonteCarlo::new(1_000).with_seed(1);
+        let site = circuit.node_ids().next().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| std::hint::black_box(mc.estimate_site(sim, site)))
+        });
+    }
+    group.finish();
+}
+
+/// The `SPT` column: the linear-time SP pass.
+fn bench_sp_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/sp_pass");
+    for name in ["s953", "s1196", "s1423"] {
+        let circuit = iscas89_like(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circ| {
+            b.iter(|| {
+                IndependentSp::new()
+                    .with_max_iterations(1000)
+                    .compute(circ, &InputProbs::default())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_epp_per_node,
+    bench_monte_carlo_per_node,
+    bench_sp_pass
+);
+criterion_main!(benches);

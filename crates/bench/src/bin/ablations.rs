@@ -1,0 +1,212 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out:
+//!
+//! 1. **Polarity tracking** — run the EPP pass with and without the
+//!    `Pa`/`Pā` split (the no-polarity variant merges them), against the
+//!    exact oracle, over reconvergence-controlled random DAGs.
+//! 2. **SP engine choice** — independent vs correlation vs exact SP
+//!    feeding the same EPP pass.
+//! 3. **XOR-richness** — accuracy as the fraction of parity logic grows.
+//! 4. **Monte-Carlo budget** — baseline accuracy vs vector count
+//!    (why the baseline is expensive).
+//!
+//! ```text
+//! cargo run --release -p ser-bench --bin ablations
+//! ```
+
+use ser_bench::accuracy::{mean_abs_diff, SitePair};
+use ser_bench::table::TextTable;
+use ser_epp::{EppAnalysis, ExactEpp, PolarityMode};
+use ser_gen::RandomDag;
+use ser_netlist::{Circuit, NodeId};
+use ser_sim::{BitSim, MonteCarlo};
+use ser_sp::{CorrelationSp, ExactSp, IndependentSp, InputProbs, SpEngine};
+
+/// Mean |analytical − exact| `P_sensitized` over all nodes.
+fn epp_error_vs_exact_with(
+    circuit: &Circuit,
+    sp_engine: &dyn SpEngine,
+    polarity: PolarityMode,
+) -> f64 {
+    let probs = InputProbs::default();
+    let sp = sp_engine.compute(circuit, &probs).expect("sp computes");
+    let analysis = EppAnalysis::new(circuit, sp).expect("valid circuit");
+    let oracle = ExactEpp::new();
+    let pairs: Vec<SitePair> = circuit
+        .node_ids()
+        .map(|id| SitePair {
+            analytical: analysis.site_with(id, polarity).p_sensitized(),
+            monte_carlo: oracle
+                .site(circuit, &probs, id)
+                .expect("small circuit")
+                .p_sensitized,
+        })
+        .collect();
+    mean_abs_diff(&pairs)
+}
+
+fn epp_error_vs_exact(circuit: &Circuit, sp_engine: &dyn SpEngine) -> f64 {
+    epp_error_vs_exact_with(circuit, sp_engine, PolarityMode::Tracked)
+}
+
+fn polarity_sweep() {
+    println!("## Ablation 1: polarity tracking (the paper's key idea)");
+    println!("(mean |P_sens - exact|; tracked Pa/Pā vs merged single error value)\n");
+    let mut table = TextTable::new(["reconv", "tracked", "merged"]);
+    for reconv in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let dag = RandomDag::new(12, 50).with_reconvergence(reconv);
+        let (mut tracked, mut merged) = (0.0f64, 0.0f64);
+        const SEEDS: u64 = 3;
+        for seed in 0..SEEDS {
+            let c = dag.build(seed);
+            tracked += epp_error_vs_exact_with(&c, &IndependentSp::new(), PolarityMode::Tracked);
+            merged += epp_error_vs_exact_with(&c, &IndependentSp::new(), PolarityMode::Merged);
+        }
+        table.push_row([
+            format!("{reconv:.2}"),
+            format!("{:.4}", tracked / SEEDS as f64),
+            format!("{:.4}", merged / SEEDS as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Reading: merging polarities loses the a∧ā=0 cancellation and");
+    println!("overestimates propagation, increasingly so with reconvergence.\n");
+}
+
+fn reconvergence_sweep() {
+    println!("## Ablation 2: reconvergence density x SP engine");
+    println!("(mean |P_sens - exact| over all nodes; 12-input, 50-gate random DAGs)\n");
+    let mut table = TextTable::new(["reconv", "sp=independent", "sp=correlation", "sp=exact"]);
+    for reconv in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let dag = RandomDag::new(12, 50).with_reconvergence(reconv);
+        let mut errs = [0.0f64; 3];
+        const SEEDS: u64 = 3;
+        for seed in 0..SEEDS {
+            let c = dag.build(seed);
+            errs[0] += epp_error_vs_exact(&c, &IndependentSp::new());
+            errs[1] += epp_error_vs_exact(&c, &CorrelationSp::new());
+            errs[2] += epp_error_vs_exact(&c, &ExactSp::new());
+        }
+        table.push_row([
+            format!("{reconv:.2}"),
+            format!("{:.4}", errs[0] / SEEDS as f64),
+            format!("{:.4}", errs[1] / SEEDS as f64),
+            format!("{:.4}", errs[2] / SEEDS as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Reading: rule error grows with reconvergence; better SP shrinks but");
+    println!("cannot eliminate it (the EPP pass itself also assumes independence).\n");
+}
+
+fn xor_sweep() {
+    println!("## Ablation 3: XOR-richness");
+    println!("(same metric; XOR/XNOR fraction swept on 12-input, 50-gate DAGs)\n");
+    let mut table = TextTable::new(["xor_frac", "mean_err"]);
+    for xf in [0.0, 0.2, 0.4, 0.6, 0.8] {
+        let dag = RandomDag::new(12, 50).with_xor_fraction(xf).with_reconvergence(0.5);
+        let mut err = 0.0;
+        const SEEDS: u64 = 3;
+        for seed in 0..SEEDS {
+            let c = dag.build(seed);
+            err += epp_error_vs_exact(&c, &IndependentSp::new());
+        }
+        table.push_row([format!("{xf:.1}"), format!("{:.4}", err / SEEDS as f64)]);
+    }
+    println!("{}", table.render());
+    println!("Reading: XOR propagates errors unconditionally, so *logical* masking");
+    println!("error shrinks, but parity reconvergence stresses the polarity rules.\n");
+}
+
+fn mc_budget_sweep() {
+    println!("## Ablation 4: Monte-Carlo budget (baseline convergence)");
+    println!("(|MC - exact| for one site of a 12-input DAG vs vector count)\n");
+    let c = RandomDag::new(12, 50).with_reconvergence(0.5).build(1);
+    let site = NodeId::from_index(14); // an early gate with a wide cone
+    let probs = InputProbs::default();
+    let exact = ExactEpp::new()
+        .site(&c, &probs, site)
+        .expect("small circuit")
+        .p_sensitized;
+    let sim = BitSim::new(&c).unwrap();
+    let mut table = TextTable::new(["vectors", "mc_estimate", "abs_err"]);
+    for vectors in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
+        let est = MonteCarlo::new(vectors)
+            .with_seed(3)
+            .estimate_site(&sim, site)
+            .p_sensitized;
+        table.push_row([
+            vectors.to_string(),
+            format!("{est:.4}"),
+            format!("{:.4}", (est - exact).abs()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Reading: the baseline needs ~10^4-10^5 vectors per node for two-digit");
+    println!("accuracy — the cost the analytical method amortizes into one pass.\n");
+}
+
+fn baseline_engineering() {
+    use std::time::Instant;
+    println!("## Ablation 5: baseline engineering");
+    println!("(per-site cost: naive scalar MC vs bit-parallel cone-restricted MC");
+    println!(" vs the analytical pass, on the s953 stand-in; 1000 vectors/site)\n");
+    let c = ser_gen::iscas89_like("s953").expect("profile exists");
+    let sim = BitSim::new(&c).unwrap();
+    let sites: Vec<NodeId> = c.node_ids().step_by(37).take(8).collect();
+
+    let t = Instant::now();
+    for &s in &sites {
+        let _ = ser_sim::NaiveMonteCarlo::new(1_000)
+            .with_seed(1)
+            .estimate_site(&c, s)
+            .unwrap();
+    }
+    let naive = t.elapsed().as_secs_f64() / sites.len() as f64;
+
+    let mc = MonteCarlo::new(1_000).with_seed(1);
+    let t = Instant::now();
+    for &s in &sites {
+        let _ = mc.estimate_site(&sim, s);
+    }
+    let packed = t.elapsed().as_secs_f64() / sites.len() as f64;
+
+    let sp = IndependentSp::new()
+        .compute(&c, &InputProbs::default())
+        .unwrap();
+    let analysis = EppAnalysis::new(&c, sp).unwrap();
+    let t = Instant::now();
+    for &s in &sites {
+        let _ = analysis.site(s);
+    }
+    let epp = t.elapsed().as_secs_f64() / sites.len() as f64;
+
+    let mut table = TextTable::new(["method", "per-site", "vs naive"]);
+    table.push_row([
+        "naive scalar MC".to_owned(),
+        ser_bench::table::fmt_seconds(naive),
+        "1.0x".to_owned(),
+    ]);
+    table.push_row([
+        "packed+cone MC".to_owned(),
+        ser_bench::table::fmt_seconds(packed),
+        ser_bench::table::fmt_speedup(naive / packed),
+    ]);
+    table.push_row([
+        "analytical EPP".to_owned(),
+        ser_bench::table::fmt_seconds(epp),
+        ser_bench::table::fmt_speedup(naive / epp),
+    ]);
+    println!("{}", table.render());
+    println!("Reading: engineering the simulator buys 1-2 orders of magnitude;");
+    println!("the analytical method buys the rest — and its advantage grows with");
+    println!("the vector budget, which the simulator pays per vector and EPP never pays.\n");
+}
+
+fn main() {
+    println!("# Ablation studies (DESIGN.md section 5)\n");
+    polarity_sweep();
+    reconvergence_sweep();
+    xor_sweep();
+    mc_budget_sweep();
+    baseline_engineering();
+}

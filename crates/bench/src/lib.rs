@@ -1,0 +1,13 @@
+//! Shared harness code for the benchmark and table-regeneration
+//! binaries (`table2`, `figure1`, `ablations`).
+//!
+//! The binaries print the rows the paper reports; Criterion benches in
+//! `benches/` measure the kernels. This library holds the pieces both
+//! need: workload selection, accuracy metrics and table formatting.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod table;
+pub mod workload;

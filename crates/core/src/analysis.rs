@@ -1,0 +1,298 @@
+//! Whole-circuit SER analysis: the user-facing facade tying together
+//! signal probabilities, the per-site EPP pass, the SER model and
+//! timing measurement (the quantities Table 2 reports).
+
+use std::time::{Duration, Instant};
+
+use ser_netlist::{Circuit, NetlistError, NodeId};
+use ser_sp::{IndependentSp, InputProbs, SpEngine, SpError, SpVector};
+
+use crate::engine::{EppAnalysis, SiteEpp};
+use crate::ser_model::{PlatchedModel, RseuModel, SerReport};
+
+/// Configuration for a whole-circuit analysis run.
+///
+/// # Examples
+///
+/// ```
+/// use ser_netlist::parse_bench;
+/// use ser_epp::CircuitSerAnalysis;
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let outcome = CircuitSerAnalysis::new().run(&c)?;
+/// let y = c.find("y").unwrap();
+/// assert_eq!(outcome.p_sensitized()[y.index()], 1.0);
+/// assert!(outcome.epp_time() > std::time::Duration::ZERO);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitSerAnalysis {
+    inputs: InputProbs,
+    rseu: RseuModel,
+    platched: PlatchedModel,
+    threads: usize,
+}
+
+impl CircuitSerAnalysis {
+    /// Default analysis: uniform 0.5 inputs, unit `R_SEU`, certain
+    /// `P_latched`, single-threaded.
+    #[must_use]
+    pub fn new() -> Self {
+        CircuitSerAnalysis {
+            inputs: InputProbs::default(),
+            rseu: RseuModel::default(),
+            platched: PlatchedModel::default(),
+            threads: 1,
+        }
+    }
+
+    /// Sets the primary-input probability distribution.
+    #[must_use]
+    pub fn with_inputs(mut self, inputs: InputProbs) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Sets the raw upset-rate model.
+    #[must_use]
+    pub fn with_rseu(mut self, rseu: RseuModel) -> Self {
+        self.rseu = rseu;
+        self
+    }
+
+    /// Sets the latching model.
+    #[must_use]
+    pub fn with_platched(mut self, platched: PlatchedModel) -> Self {
+        self.platched = platched;
+        self
+    }
+
+    /// Sets the number of worker threads for the per-site sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the analysis with the default (independent, linear-time)
+    /// signal-probability engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError`] if signal probabilities cannot be computed or
+    /// the circuit is structurally invalid.
+    pub fn run(&self, circuit: &Circuit) -> Result<AnalysisOutcome, SpError> {
+        self.run_with_sp_engine(circuit, &IndependentSp::new())
+    }
+
+    /// Runs the analysis with a caller-chosen SP engine (the SP-engine
+    /// ablation entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError`] from the SP engine, or a wrapped
+    /// [`NetlistError`] if the circuit cannot be ordered.
+    pub fn run_with_sp_engine(
+        &self,
+        circuit: &Circuit,
+        engine: &dyn SpEngine,
+    ) -> Result<AnalysisOutcome, SpError> {
+        let sp_start = Instant::now();
+        let sp = engine.compute(circuit, &self.inputs)?;
+        let sp_time = sp_start.elapsed();
+        self.run_with_sp(circuit, sp, sp_time)
+            .map_err(SpError::from)
+    }
+
+    /// Runs the analysis with precomputed signal probabilities
+    /// (`sp_time` is carried into the outcome so Table 2's ISP/ESP
+    /// split stays honest when SP comes from elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic circuits.
+    pub fn run_with_sp(
+        &self,
+        circuit: &Circuit,
+        sp: SpVector,
+        sp_time: Duration,
+    ) -> Result<AnalysisOutcome, NetlistError> {
+        let epp_start = Instant::now();
+        let analysis = EppAnalysis::new(circuit, sp)?;
+        let sites = analysis.all_sites_parallel(self.threads);
+        let epp_time = epp_start.elapsed();
+        let p_sens: Vec<f64> = sites.iter().map(SiteEpp::p_sensitized).collect();
+        let report = SerReport::assemble(circuit, &p_sens, &self.rseu, &self.platched);
+        Ok(AnalysisOutcome {
+            sites,
+            report,
+            sp_time,
+            epp_time,
+        })
+    }
+}
+
+impl Default for CircuitSerAnalysis {
+    fn default() -> Self {
+        CircuitSerAnalysis::new()
+    }
+}
+
+/// Everything a whole-circuit analysis produces.
+#[derive(Debug, Clone)]
+pub struct AnalysisOutcome {
+    sites: Vec<SiteEpp>,
+    report: SerReport,
+    sp_time: Duration,
+    epp_time: Duration,
+}
+
+impl AnalysisOutcome {
+    /// Per-site EPP results, in arena order.
+    #[must_use]
+    pub fn sites(&self) -> &[SiteEpp] {
+        &self.sites
+    }
+
+    /// Per-node `P_sensitized`, in arena order.
+    #[must_use]
+    pub fn p_sensitized(&self) -> Vec<f64> {
+        self.sites.iter().map(SiteEpp::p_sensitized).collect()
+    }
+
+    /// The SER report (per-node entries, total, rankings).
+    #[must_use]
+    pub fn report(&self) -> &SerReport {
+        &self.report
+    }
+
+    /// Time spent computing signal probabilities (Table 2's `SPT`).
+    #[must_use]
+    pub fn sp_time(&self) -> Duration {
+        self.sp_time
+    }
+
+    /// Time spent in the per-site EPP sweep (Table 2's `SysT`).
+    #[must_use]
+    pub fn epp_time(&self) -> Duration {
+        self.epp_time
+    }
+
+    /// The site result for one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn site(&self, node: NodeId) -> &SiteEpp {
+        &self.sites[node.index()]
+    }
+
+    /// Per-node `P_sensitized` derated by an electrical-masking model
+    /// (see [`ElectricalMasking`](crate::ElectricalMasking)): pulse
+    /// attenuation shrinks deep-path arrivals.
+    #[must_use]
+    pub fn derated_p_sensitized(
+        &self,
+        circuit: &Circuit,
+        masking: crate::ElectricalMasking,
+    ) -> Vec<f64> {
+        self.sites
+            .iter()
+            .map(|s| masking.derate(circuit, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+    use ser_sp::MonteCarloSp;
+
+    fn toy() -> Circuit {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\ny = OR(u, c)\n",
+            "toy",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn default_run_produces_consistent_outcome() {
+        let c = toy();
+        let out = CircuitSerAnalysis::new().run(&c).unwrap();
+        assert_eq!(out.sites().len(), c.len());
+        assert_eq!(out.p_sensitized().len(), c.len());
+        // Output node: always sensitized.
+        let y = c.find("y").unwrap();
+        assert_eq!(out.site(y).p_sensitized(), 1.0);
+        // u = AND(a,b) reaches y through OR gated by c (SP .5): 0.5.
+        let u = c.find("u").unwrap();
+        assert!((out.site(u).p_sensitized() - 0.5).abs() < 1e-12);
+        // Total SER with unit models = sum of P_sens.
+        let sum: f64 = out.p_sensitized().iter().sum();
+        assert!((out.report().total() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let c = toy();
+        let seq = CircuitSerAnalysis::new().run(&c).unwrap();
+        let par = CircuitSerAnalysis::new()
+            .with_threads(4)
+            .run(&c)
+            .unwrap();
+        assert_eq!(seq.p_sensitized(), par.p_sensitized());
+    }
+
+    #[test]
+    fn alternate_sp_engine() {
+        let c = toy();
+        let out = CircuitSerAnalysis::new()
+            .run_with_sp_engine(&c, &MonteCarloSp::new(50_000).with_seed(3))
+            .unwrap();
+        let u = c.find("u").unwrap();
+        assert!((out.site(u).p_sensitized() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn models_scale_report() {
+        let c = toy();
+        let out = CircuitSerAnalysis::new()
+            .with_rseu(RseuModel::Uniform(10.0))
+            .with_platched(PlatchedModel::Constant(0.1))
+            .run(&c)
+            .unwrap();
+        let sum: f64 = out.p_sensitized().iter().sum();
+        assert!((out.report().total() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derated_sensitization_never_exceeds_logical() {
+        let c = toy();
+        let out = CircuitSerAnalysis::new().run(&c).unwrap();
+        let logical = out.p_sensitized();
+        let derated = out.derated_p_sensitized(&c, crate::ElectricalMasking::new(0.8));
+        for (i, (l, d)) in logical.iter().zip(&derated).enumerate() {
+            assert!(d <= l, "node {i}: derated {d} > logical {l}");
+        }
+        // alpha = 1 is the identity.
+        let same = out.derated_p_sensitized(&c, crate::ElectricalMasking::none());
+        assert_eq!(same, logical);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let c = toy();
+        let out = CircuitSerAnalysis::new().run(&c).unwrap();
+        assert!(out.epp_time() > Duration::ZERO);
+        // sp_time may be arbitrarily small but is recorded.
+        let _ = out.sp_time();
+    }
+}

@@ -1,0 +1,222 @@
+//! Electrical masking — a derating extension beyond the paper.
+//!
+//! The paper computes *logical* masking (`P_sensitized`). Real
+//! transients also shrink as they propagate: each gate attenuates the
+//! pulse, and a pulse that arrives too small is not latched
+//! (Shivakumar et al., DSN 2002 — reference [6] of the paper). The
+//! standard first-order model derates an arrival by `α^d` where `d` is
+//! the number of gates on the propagation path and `α ∈ (0, 1]` the
+//! per-gate survival factor.
+//!
+//! The EPP pass does not track path *lengths* (a tuple may mix paths of
+//! different depths), so this module uses the shortest on-path gate
+//! distance from the site to each observe point — the path the least
+//! attenuated pulse takes, making the derating an upper bound on the
+//! electrically-surviving arrival.
+
+use std::collections::VecDeque;
+
+use ser_netlist::{Circuit, FanoutCone, GateKind, NodeId};
+
+use crate::engine::{combine_sensitization, SiteEpp};
+
+/// First-order electrical masking model.
+///
+/// # Examples
+///
+/// ```
+/// use ser_epp::ElectricalMasking;
+///
+/// let ideal = ElectricalMasking::none();
+/// assert_eq!(ideal.survival(5), 1.0);
+///
+/// let lossy = ElectricalMasking::new(0.9);
+/// assert!((lossy.survival(2) - 0.81).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElectricalMasking {
+    alpha: f64,
+}
+
+impl ElectricalMasking {
+    /// A model where a pulse survives each gate with probability
+    /// (equivalently, retains amplitude fraction) `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha = {alpha} outside (0,1]"
+        );
+        ElectricalMasking { alpha }
+    }
+
+    /// The no-attenuation model (`α = 1`): pure logical masking,
+    /// reducing exactly to the paper's numbers.
+    #[must_use]
+    pub fn none() -> Self {
+        ElectricalMasking { alpha: 1.0 }
+    }
+
+    /// Survival factor across `depth` gates.
+    #[must_use]
+    pub fn survival(&self, depth: usize) -> f64 {
+        self.alpha.powi(depth as i32)
+    }
+
+    /// Derates a site's `P_sensitized` by the shortest-path gate depth
+    /// to each observe point:
+    ///
+    /// ```text
+    /// P_eff = 1 − Π_j (1 − α^d_j · arrival_j)
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site_epp` does not belong to `circuit` (signal ids out
+    /// of range).
+    #[must_use]
+    pub fn derate(&self, circuit: &Circuit, site_epp: &SiteEpp) -> f64 {
+        if self.alpha == 1.0 {
+            return site_epp.p_sensitized();
+        }
+        let depths = gate_depths_from(circuit, site_epp.site());
+        combine_sensitization(site_epp.per_point().iter().map(|p| {
+            let d = depths[p.point.signal().index()].unwrap_or(usize::MAX);
+            if d == usize::MAX {
+                0.0
+            } else {
+                self.survival(d) * p.p_arrival()
+            }
+        }))
+    }
+}
+
+/// BFS over the fanout cone: number of *gates* on the shortest path
+/// from `site` to each node (`None` when unreachable). The site itself
+/// is at depth 0; a directly-driven gate is depth 1.
+#[must_use]
+pub fn gate_depths_from(circuit: &Circuit, site: NodeId) -> Vec<Option<usize>> {
+    let cone = FanoutCone::extract(circuit, site);
+    let mut depth: Vec<Option<usize>> = vec![None; circuit.len()];
+    depth[site.index()] = Some(0);
+    let mut queue = VecDeque::from([site]);
+    while let Some(id) = queue.pop_front() {
+        let d = depth[id.index()].expect("queued nodes have depth");
+        for &succ in circuit.node(id).fanout() {
+            if circuit.node(succ).kind() == GateKind::Dff {
+                continue;
+            }
+            if cone.contains(succ) && depth[succ.index()].is_none() {
+                depth[succ.index()] = Some(d + 1);
+                queue.push_back(succ);
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EppAnalysis;
+    use ser_netlist::parse_bench;
+    use ser_sp::{IndependentSp, InputProbs, SpEngine};
+
+    fn chain(n: usize) -> Circuit {
+        let mut src = String::from("INPUT(a)\nOUTPUT(y)\n");
+        let mut prev = "a".to_owned();
+        for i in 0..n {
+            let name = if i == n - 1 { "y".into() } else { format!("g{i}") };
+            src.push_str(&format!("{name} = NOT({prev})\n"));
+            prev = name;
+        }
+        parse_bench(&src, "chain").unwrap()
+    }
+
+    #[test]
+    fn depths_along_chain() {
+        let c = chain(4);
+        let a = c.find("a").unwrap();
+        let depths = gate_depths_from(&c, a);
+        assert_eq!(depths[a.index()], Some(0));
+        assert_eq!(depths[c.find("g0").unwrap().index()], Some(1));
+        assert_eq!(depths[c.find("y").unwrap().index()], Some(4));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_depth() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = NOT(b)\n", "t")
+            .unwrap();
+        let a = c.find("a").unwrap();
+        let depths = gate_depths_from(&c, a);
+        assert_eq!(depths[c.find("z").unwrap().index()], None);
+        assert_eq!(depths[c.find("b").unwrap().index()], None);
+    }
+
+    #[test]
+    fn derating_compounds_with_depth() {
+        // P_sens of `a` in a 4-inverter chain is 1.0 logically; with
+        // α = 0.9 the effective arrival is 0.9^4.
+        let c = chain(4);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        let a = c.find("a").unwrap();
+        let site = analysis.site(a);
+        assert_eq!(site.p_sensitized(), 1.0);
+        let derated = ElectricalMasking::new(0.9).derate(&c, &site);
+        assert!((derated - 0.9f64.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_is_identity() {
+        let c = chain(3);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        let a = c.find("a").unwrap();
+        let site = analysis.site(a);
+        assert_eq!(ElectricalMasking::none().derate(&c, &site), site.p_sensitized());
+    }
+
+    #[test]
+    fn shortest_path_taken_on_reconvergent_routes() {
+        // Two routes to y: length 1 (direct) and length 3; derating uses
+        // the shortest (least attenuated).
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nu = NOT(a)\nv = NOT(u)\ny = AND(a, v, b)\n",
+            "recon",
+        )
+        .unwrap();
+        let a = c.find("a").unwrap();
+        let depths = gate_depths_from(&c, a);
+        assert_eq!(depths[c.find("y").unwrap().index()], Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn alpha_validated() {
+        let _ = ElectricalMasking::new(0.0);
+    }
+
+    #[test]
+    fn multi_output_derating() {
+        // Two outputs at different depths.
+        let c = parse_bench(
+            "INPUT(a)\nOUTPUT(y1)\nOUTPUT(y2)\ny1 = NOT(a)\nu = NOT(y1)\ny2 = NOT(u)\n",
+            "two",
+        )
+        .unwrap();
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        let a = c.find("a").unwrap();
+        let site = analysis.site(a);
+        let m = ElectricalMasking::new(0.5);
+        // arrivals are 1.0 at depth 1 and depth 3:
+        // P_eff = 1 - (1 - 0.5)(1 - 0.125) = 0.5625.
+        let derated = m.derate(&c, &site);
+        assert!((derated - 0.5625).abs() < 1e-12, "derated = {derated}");
+    }
+}

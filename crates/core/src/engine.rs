@@ -1,0 +1,584 @@
+//! The one-pass EPP engine — the paper's algorithm, steps 1–3, plus the
+//! `P_sensitized` combination.
+//!
+//! For every error site:
+//!
+//! 1. **Path construction** — extract the fanout cone (on-path signals
+//!    and gates) by forward DFS over an epoch-stamped visited array.
+//! 2. **Ordering** — sort the cone by precomputed topological position
+//!    (`O(cone log cone)`, not `O(circuit)`).
+//! 3. **EPP computation** — apply the Table-1 rules gate by gate, using
+//!    four-value tuples on on-path signals and signal probabilities on
+//!    off-path signals; a single linear pass per site.
+//!
+//! Finally `P_sensitized(n) = 1 − Π_j (1 − (Pa(POj) + Pā(POj)))` over
+//! the observe points reachable from `n`.
+
+use ser_netlist::{Circuit, GateKind, NetlistError, NodeId, ObservePoint};
+use ser_sp::SpVector;
+
+use crate::four_value::FourValue;
+use crate::rules::propagate;
+
+/// Whether the EPP pass distinguishes the two error polarities.
+///
+/// [`PolarityMode::Tracked`] is the paper's method: `Pa` and `Pā` are
+/// separate, so opposite-polarity reconvergence (e.g. `a AND ā = 0`)
+/// is handled. [`PolarityMode::Merged`] collapses them after every gate
+/// — the naive "single erroneous value" model prior work used, kept as
+/// an ablation baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolarityMode {
+    /// Track `Pa` and `Pā` separately (the paper's contribution).
+    Tracked,
+    /// Merge both polarities into one error probability after each gate.
+    Merged,
+}
+
+/// Error arrival at one observe point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointEpp {
+    /// The observe point (primary output or flip-flop).
+    pub point: ObservePoint,
+    /// The four-value tuple at the observed signal.
+    pub value: FourValue,
+}
+
+impl PointEpp {
+    /// `Pa + Pā` at this point.
+    #[must_use]
+    pub fn p_arrival(&self) -> f64 {
+        self.value.p_arrival()
+    }
+}
+
+/// The result of one per-site EPP pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteEpp {
+    site: NodeId,
+    per_point: Vec<PointEpp>,
+    p_sensitized: f64,
+    on_path_gates: usize,
+}
+
+impl SiteEpp {
+    /// The error site analyzed.
+    #[must_use]
+    pub fn site(&self) -> NodeId {
+        self.site
+    }
+
+    /// Error arrival per reachable observe point.
+    #[must_use]
+    pub fn per_point(&self) -> &[PointEpp] {
+        &self.per_point
+    }
+
+    /// The paper's `P_sensitized`: probability the erroneous value
+    /// reaches at least one output or flip-flop.
+    #[must_use]
+    pub fn p_sensitized(&self) -> f64 {
+        self.p_sensitized
+    }
+
+    /// Number of on-path gates the pass visited (cost indicator).
+    #[must_use]
+    pub fn on_path_gates(&self) -> usize {
+        self.on_path_gates
+    }
+
+    /// Arrival tuple at a specific observed signal, if reachable.
+    #[must_use]
+    pub fn arrival_at(&self, signal: NodeId) -> Option<FourValue> {
+        self.per_point
+            .iter()
+            .find(|p| p.point.signal() == signal)
+            .map(|p| p.value)
+    }
+}
+
+/// The compiled EPP analysis for one circuit: topological order and
+/// signal probabilities are computed once, then any number of sites can
+/// be analyzed in linear time each.
+///
+/// # Examples
+///
+/// The paper's Fig. 1, reproduced end to end:
+///
+/// ```
+/// use ser_netlist::parse_bench;
+/// use ser_sp::{InputProbs, IndependentSp, SpEngine};
+/// use ser_epp::EppAnalysis;
+///
+/// // B, C, F carry the signal probabilities of the figure.
+/// let c = parse_bench("
+/// INPUT(A)
+/// INPUT(B)
+/// INPUT(C)
+/// INPUT(F)
+/// OUTPUT(H)
+/// E = NOT(A)
+/// D = AND(A, B)
+/// G = AND(E, F)
+/// H = OR(C, D, G)
+/// ", "fig1")?;
+/// let b = c.find("B").unwrap();
+/// let cc = c.find("C").unwrap();
+/// let ff = c.find("F").unwrap();
+/// let probs = InputProbs::uniform(0.5).with(b, 0.2).with(cc, 0.3).with(ff, 0.7);
+/// let sp = IndependentSp::new().compute(&c, &probs)?;
+/// let epp = EppAnalysis::new(&c, sp)?;
+///
+/// let site = c.find("A").unwrap();
+/// let result = epp.site(site);
+/// let h = c.find("H").unwrap();
+/// let at_h = result.arrival_at(h).unwrap();
+/// assert!((at_h.pa() - 0.042).abs() < 1e-12);
+/// assert!((at_h.pa_bar() - 0.392).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EppAnalysis<'c> {
+    circuit: &'c Circuit,
+    /// Position of each node in topological order (cone nodes are
+    /// sorted by this, making a site pass O(cone log cone) instead of
+    /// O(circuit)).
+    topo_pos: Vec<u32>,
+    /// Observe points, precomputed once.
+    observe: Vec<ObservePoint>,
+    sp: SpVector,
+}
+
+/// Reusable per-thread scratch for the per-site pass: epoch-stamped
+/// membership and value arrays, so consecutive sites cost O(cone)
+/// rather than O(circuit) to set up.
+#[derive(Debug, Clone)]
+pub struct SiteWorkspace {
+    stamp: Vec<u32>,
+    epoch: u32,
+    values: Vec<FourValue>,
+    cone: Vec<NodeId>,
+    stack: Vec<NodeId>,
+    fanin_buf: Vec<FourValue>,
+}
+
+impl SiteWorkspace {
+    /// Creates a workspace sized for `analysis`' circuit.
+    #[must_use]
+    pub fn new(analysis: &EppAnalysis<'_>) -> Self {
+        let n = analysis.circuit.len();
+        SiteWorkspace {
+            stamp: vec![0; n],
+            epoch: 0,
+            values: vec![FourValue::error_site(); n],
+            cone: Vec::new(),
+            stack: Vec::new(),
+            fanin_buf: Vec::with_capacity(8),
+        }
+    }
+}
+
+impl<'c> EppAnalysis<'c> {
+    /// Compiles the analysis: one topological sort, plus the signal
+    /// probabilities the off-path handling will read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] for cyclic
+    /// combinational graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` does not cover exactly `circuit.len()` nodes.
+    pub fn new(circuit: &'c Circuit, sp: SpVector) -> Result<Self, NetlistError> {
+        assert_eq!(
+            sp.len(),
+            circuit.len(),
+            "signal probabilities must cover every node"
+        );
+        let order = ser_netlist::topo_order(circuit)?;
+        let mut topo_pos = vec![0u32; circuit.len()];
+        for (i, id) in order.iter().enumerate() {
+            topo_pos[id.index()] = u32::try_from(i).expect("node count fits u32");
+        }
+        let observe = circuit.observe_points().collect();
+        Ok(EppAnalysis {
+            circuit,
+            topo_pos,
+            observe,
+            sp,
+        })
+    }
+
+    /// The circuit under analysis.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The signal probabilities in use.
+    #[must_use]
+    pub fn signal_probabilities(&self) -> &SpVector {
+        &self.sp
+    }
+
+    /// Runs the one-pass EPP computation for one error site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for the circuit.
+    #[must_use]
+    pub fn site(&self, site: NodeId) -> SiteEpp {
+        self.site_with(site, PolarityMode::Tracked)
+    }
+
+    /// Like [`site`](Self::site) but with an explicit polarity mode —
+    /// the ablation hook for the paper's key design choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for the circuit.
+    #[must_use]
+    pub fn site_with(&self, site: NodeId, polarity: PolarityMode) -> SiteEpp {
+        let mut ws = SiteWorkspace::new(self);
+        self.site_with_workspace(site, polarity, &mut ws)
+    }
+
+    /// The allocation-free kernel: like [`site_with`](Self::site_with)
+    /// but reusing a caller-provided [`SiteWorkspace`] (the whole-
+    /// circuit sweep calls this once per node per thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range or the workspace was built for
+    /// a different circuit.
+    #[must_use]
+    pub fn site_with_workspace(
+        &self,
+        site: NodeId,
+        polarity: PolarityMode,
+        ws: &mut SiteWorkspace,
+    ) -> SiteEpp {
+        assert_eq!(ws.stamp.len(), self.circuit.len(), "workspace circuit");
+        // New epoch: previous stamps invalidate in O(1). On wrap, reset.
+        ws.epoch = ws.epoch.wrapping_add(1);
+        if ws.epoch == 0 {
+            ws.stamp.fill(0);
+            ws.epoch = 1;
+        }
+        let epoch = ws.epoch;
+
+        // --- 1. Path construction: forward DFS, stopping at DFFs. ------
+        ws.cone.clear();
+        ws.stack.clear();
+        ws.stack.push(site);
+        ws.stamp[site.index()] = epoch;
+        ws.cone.push(site);
+        while let Some(id) = ws.stack.pop() {
+            for &succ in self.circuit.node(id).fanout() {
+                if self.circuit.node(succ).kind() == GateKind::Dff {
+                    continue; // latched, not combinationally propagated
+                }
+                if ws.stamp[succ.index()] != epoch {
+                    ws.stamp[succ.index()] = epoch;
+                    ws.cone.push(succ);
+                    ws.stack.push(succ);
+                }
+            }
+        }
+
+        // --- 2. Ordering: sort cone members topologically. --------------
+        ws.cone.sort_unstable_by_key(|id| self.topo_pos[id.index()]);
+
+        // --- 3. EPP computation: one pass over the cone. ----------------
+        ws.values[site.index()] = FourValue::error_site();
+        let mut gates = 0usize;
+        for &id in &ws.cone {
+            if id == site {
+                continue;
+            }
+            let node = self.circuit.node(id);
+            debug_assert!(
+                node.kind().is_logic(),
+                "on-path non-site nodes are logic gates"
+            );
+            ws.fanin_buf.clear();
+            for &f in node.fanin() {
+                let tuple = if ws.stamp[f.index()] == epoch {
+                    ws.values[f.index()]
+                } else {
+                    // Off-path signal: described by its signal probability.
+                    FourValue::from_signal_probability(self.sp.get(f))
+                };
+                ws.fanin_buf.push(tuple);
+            }
+            let mut out = propagate(node.kind(), &ws.fanin_buf);
+            if polarity == PolarityMode::Merged {
+                // Collapse Pā into Pa after every gate: the "single
+                // error value" approximation the paper improves on.
+                out = FourValue::new_clamped(out.p_arrival(), 0.0, out.p0(), out.p1());
+            }
+            ws.values[id.index()] = out;
+            gates += 1;
+        }
+
+        let per_point: Vec<PointEpp> = self
+            .observe
+            .iter()
+            .filter(|p| ws.stamp[p.signal().index()] == epoch)
+            .map(|&point| PointEpp {
+                point,
+                value: ws.values[point.signal().index()],
+            })
+            .collect();
+        let p_sensitized = combine_sensitization(per_point.iter().map(PointEpp::p_arrival));
+        SiteEpp {
+            site,
+            per_point,
+            p_sensitized,
+            on_path_gates: gates,
+        }
+    }
+
+    /// Analyzes every node of the circuit (the paper's "we consider all
+    /// circuit nodes as possible error sites").
+    #[must_use]
+    pub fn all_sites(&self) -> Vec<SiteEpp> {
+        let mut ws = SiteWorkspace::new(self);
+        self.circuit
+            .node_ids()
+            .map(|id| self.site_with_workspace(id, PolarityMode::Tracked, &mut ws))
+            .collect()
+    }
+
+    /// Analyzes every node using `threads` worker threads (sites are
+    /// independent, so this is embarrassingly parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn all_sites_parallel(&self, threads: usize) -> Vec<SiteEpp> {
+        assert!(threads > 0, "at least one thread");
+        let n = self.circuit.len();
+        if threads == 1 || n < 64 {
+            return self.all_sites();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Option<SiteEpp>> = vec![None; n];
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Option<SiteEpp>] = &mut results;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let this = &*self;
+                scope.spawn(move || {
+                    let mut ws = SiteWorkspace::new(this);
+                    for (offset, slot) in head.iter_mut().enumerate() {
+                        *slot = Some(this.site_with_workspace(
+                            NodeId::from_index(start + offset),
+                            PolarityMode::Tracked,
+                            &mut ws,
+                        ));
+                    }
+                });
+                rest = tail;
+                start += take;
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("all chunks filled"))
+            .collect()
+    }
+}
+
+/// The paper's combination:
+/// `P_sensitized = 1 − Π_j (1 − arrival_j)`.
+#[must_use]
+pub fn combine_sensitization<I: IntoIterator<Item = f64>>(arrivals: I) -> f64 {
+    let miss: f64 = arrivals
+        .into_iter()
+        .map(|p| (1.0 - p).clamp(0.0, 1.0))
+        .product();
+    (1.0 - miss).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+    use ser_sp::{IndependentSp, InputProbs, SpEngine};
+
+    fn analysis<'a>(c: &'a Circuit, probs: &InputProbs) -> EppAnalysis<'a> {
+        let sp = IndependentSp::new().compute(c, probs).unwrap();
+        EppAnalysis::new(c, sp).unwrap()
+    }
+
+    const FIG1: &str = "
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(F)
+OUTPUT(H)
+E = NOT(A)
+D = AND(A, B)
+G = AND(E, F)
+H = OR(C, D, G)
+";
+
+    #[test]
+    fn figure1_full_walkthrough() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let b = c.find("B").unwrap();
+        let cc = c.find("C").unwrap();
+        let ff = c.find("F").unwrap();
+        let probs = InputProbs::uniform(0.5)
+            .with(b, 0.2)
+            .with(cc, 0.3)
+            .with(ff, 0.7);
+        let epp = analysis(&c, &probs);
+        let result = epp.site(c.find("A").unwrap());
+
+        // Intermediate values from the paper:
+        // P(E) = 1(ā), P(G) = 0.7(ā) + 0.3(0), P(D) = 0.2(a) + 0.8(0).
+        // Final: P(H) = 0.042(a) + 0.392(ā) + 0.168(0) + 0.398(1).
+        let h = result.arrival_at(c.find("H").unwrap()).unwrap();
+        assert!((h.pa() - 0.042).abs() < 1e-12);
+        assert!((h.pa_bar() - 0.392).abs() < 1e-12);
+        assert!((h.p0() - 0.168).abs() < 1e-12);
+        assert!((h.p1() - 0.398).abs() < 1e-12);
+        // One output: P_sensitized = Pa + Pā = 0.434.
+        assert!((result.p_sensitized() - 0.434).abs() < 1e-12);
+        // On-path gates: E, D, G, H.
+        assert_eq!(result.on_path_gates(), 4);
+        assert_eq!(result.site(), c.find("A").unwrap());
+    }
+
+    #[test]
+    fn single_path_inverter_chain() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nu = NOT(a)\nv = NOT(u)\ny = NOT(v)\n", "ch")
+            .unwrap();
+        let epp = analysis(&c, &InputProbs::default());
+        let r = epp.site(c.find("a").unwrap());
+        assert_eq!(r.p_sensitized(), 1.0);
+        // Odd number of inversions: arrives as ā.
+        let y = r.arrival_at(c.find("y").unwrap()).unwrap();
+        assert_eq!(y.pa_bar(), 1.0);
+    }
+
+    #[test]
+    fn multi_output_combination() {
+        // y1 = AND(a, b) [arrival 0.5], y2 = AND(a, c) [arrival 0.5]:
+        // P_sens = 1 - 0.5*0.5 = 0.75 (exact here: b, c independent).
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y1)\nOUTPUT(y2)\ny1 = AND(a, b)\ny2 = AND(a, c)\n",
+            "m",
+        )
+        .unwrap();
+        let epp = analysis(&c, &InputProbs::default());
+        let r = epp.site(c.find("a").unwrap());
+        assert_eq!(r.per_point().len(), 2);
+        assert!((r.p_sensitized() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobservable_site_is_zero() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(b)\nu = NOT(a)\n", "dead").unwrap();
+        let epp = analysis(&c, &InputProbs::default());
+        let r = epp.site(c.find("u").unwrap());
+        assert_eq!(r.p_sensitized(), 0.0);
+        assert!(r.per_point().is_empty());
+        assert_eq!(r.on_path_gates(), 0);
+    }
+
+    #[test]
+    fn flip_flop_is_an_observe_point() {
+        // site -> gate -> DFF: arrival at the D pin counts.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(d)\nd = AND(a, b)\n",
+            "ff",
+        )
+        .unwrap();
+        let epp = analysis(&c, &InputProbs::default());
+        let r = epp.site(c.find("a").unwrap());
+        assert_eq!(r.per_point().len(), 1);
+        assert!(r.per_point()[0].point.is_flip_flop());
+        assert!((r.p_sensitized() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_epp_of_output_is_certain() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c, &InputProbs::default());
+        let h = c.find("H").unwrap();
+        let r = epp.site(h);
+        assert_eq!(r.p_sensitized(), 1.0);
+        let at_h = r.arrival_at(h).unwrap();
+        assert_eq!(at_h.pa(), 1.0);
+    }
+
+    #[test]
+    fn all_sites_sequential_equals_parallel() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c, &InputProbs::default());
+        let seq = epp.all_sites();
+        let par = epp.all_sites_parallel(4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn combine_sensitization_edge_cases() {
+        assert_eq!(combine_sensitization([]), 0.0);
+        assert_eq!(combine_sensitization([1.0]), 1.0);
+        assert!((combine_sensitization([0.5, 0.5]) - 0.75).abs() < 1e-12);
+        // Robust to tiny negative dust.
+        assert!(combine_sensitization([1.0 + 1e-15]) <= 1.0);
+    }
+
+    #[test]
+    fn merged_polarity_overestimates_on_figure1() {
+        // On the paper's own example, collapsing polarity turns the
+        // ā-vs-blocked distinction at H into extra "arrival" mass:
+        // merged Pa(H) = 0.532 vs the correct Pa+Pā = 0.434.
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let b = c.find("B").unwrap();
+        let cc = c.find("C").unwrap();
+        let ff = c.find("F").unwrap();
+        let probs = InputProbs::uniform(0.5)
+            .with(b, 0.2)
+            .with(cc, 0.3)
+            .with(ff, 0.7);
+        let epp = analysis(&c, &probs);
+        let a = c.find("A").unwrap();
+        let tracked = epp.site_with(a, PolarityMode::Tracked);
+        let merged = epp.site_with(a, PolarityMode::Merged);
+        assert!((tracked.p_sensitized() - 0.434).abs() < 1e-12);
+        assert!((merged.p_sensitized() - 0.532).abs() < 1e-12);
+        assert!(merged.p_sensitized() > tracked.p_sensitized());
+        // And site() defaults to tracked.
+        assert_eq!(epp.site(a), tracked);
+    }
+
+    #[test]
+    fn xor_polarity_cancellation_detected() {
+        // Two equal-parity paths into XOR: analytical EPP with polarity
+        // tracking reports zero sensitization (matching reality).
+        let c = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nu = NOT(a)\nv = NOT(a)\ny = XOR(u, v)\n",
+            "cancel",
+        )
+        .unwrap();
+        let epp = analysis(&c, &InputProbs::default());
+        let r = epp.site(c.find("a").unwrap());
+        assert_eq!(
+            r.p_sensitized(),
+            0.0,
+            "polarity tracking must cancel equal-parity XOR reconvergence"
+        );
+    }
+}

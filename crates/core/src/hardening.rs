@@ -1,0 +1,222 @@
+//! Selective hardening — the conclusion's motivating use-case:
+//! "identify the most vulnerable components to be protected by soft
+//! error hardening techniques."
+//!
+//! Hardening a node (gate resizing, duplication, SEU-tolerant cells)
+//! suppresses its *own* upsets; its cost is modelled per node. Given a
+//! budget, pick the set of nodes maximizing removed SER — with one cost
+//! per node this is the classic greedy knapsack-by-ratio, optimal here
+//! because protecting a node removes exactly its own contribution.
+
+use ser_netlist::{Circuit, NodeId};
+
+use crate::ser_model::SerReport;
+
+/// Cost model for hardening a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HardeningCost {
+    /// Every node costs the same (budget = node count).
+    Unit,
+    /// Cost proportional to fanin count + 1 (area proxy: bigger gates
+    /// cost more to duplicate or resize).
+    AreaProxy,
+}
+
+impl HardeningCost {
+    /// Cost of hardening `node`.
+    #[must_use]
+    pub fn cost(&self, circuit: &Circuit, node: NodeId) -> f64 {
+        match self {
+            HardeningCost::Unit => 1.0,
+            HardeningCost::AreaProxy => 1.0 + circuit.node(node).fanin().len() as f64,
+        }
+    }
+}
+
+/// One selected node with its cost and removed SER.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardeningChoice {
+    /// The protected node.
+    pub node: NodeId,
+    /// Its hardening cost.
+    pub cost: f64,
+    /// SER contribution removed by protecting it.
+    pub removed_ser: f64,
+}
+
+/// A hardening plan: the chosen nodes plus summary numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardeningPlan {
+    choices: Vec<HardeningChoice>,
+    spent: f64,
+    removed: f64,
+    original_total: f64,
+}
+
+impl HardeningPlan {
+    /// Greedy plan: protect nodes in descending `removed / cost` until
+    /// the budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or not finite.
+    #[must_use]
+    pub fn greedy(
+        circuit: &Circuit,
+        report: &SerReport,
+        cost_model: HardeningCost,
+        budget: f64,
+    ) -> Self {
+        assert!(budget.is_finite() && budget >= 0.0, "budget must be >= 0");
+        let mut candidates: Vec<HardeningChoice> = report
+            .entries()
+            .iter()
+            .filter(|e| e.ser > 0.0)
+            .map(|e| HardeningChoice {
+                node: e.node,
+                cost: cost_model.cost(circuit, e.node),
+                removed_ser: e.ser,
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            let ra = a.removed_ser / a.cost;
+            let rb = b.removed_ser / b.cost;
+            rb.partial_cmp(&ra)
+                .expect("finite ratios")
+                .then(a.node.cmp(&b.node))
+        });
+        let mut spent = 0.0;
+        let mut removed = 0.0;
+        let mut choices = Vec::new();
+        for c in candidates {
+            if spent + c.cost > budget {
+                continue; // try cheaper later candidates (greedy knapsack)
+            }
+            spent += c.cost;
+            removed += c.removed_ser;
+            choices.push(c);
+        }
+        HardeningPlan {
+            choices,
+            spent,
+            removed,
+            original_total: report.total(),
+        }
+    }
+
+    /// The chosen nodes, in selection (descending benefit/cost) order.
+    #[must_use]
+    pub fn choices(&self) -> &[HardeningChoice] {
+        &self.choices
+    }
+
+    /// Budget actually spent.
+    #[must_use]
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Total SER removed.
+    #[must_use]
+    pub fn removed_ser(&self) -> f64 {
+        self.removed
+    }
+
+    /// SER remaining after hardening.
+    #[must_use]
+    pub fn remaining_ser(&self) -> f64 {
+        (self.original_total - self.removed).max(0.0)
+    }
+
+    /// Fraction of the original SER removed (0 if the circuit had none).
+    #[must_use]
+    pub fn reduction_fraction(&self) -> f64 {
+        if self.original_total == 0.0 {
+            0.0
+        } else {
+            self.removed / self.original_total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser_model::{PlatchedModel, RseuModel};
+    use ser_netlist::parse_bench;
+
+    fn report_for(circuit: &Circuit, ps: &[f64]) -> SerReport {
+        SerReport::assemble(circuit, ps, &RseuModel::default(), &PlatchedModel::default())
+    }
+
+    #[test]
+    fn greedy_picks_best_ratio_first() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nu = AND(a, b)\ny = OR(u, b)\n",
+            "t",
+        )
+        .unwrap();
+        // a: 0.4, b: 0.9, u: 0.5, y: 1.0 (unit costs).
+        let ps = vec![0.4, 0.9, 0.5, 1.0];
+        let report = report_for(&c, &ps);
+        let plan = HardeningPlan::greedy(&c, &report, HardeningCost::Unit, 2.0);
+        assert_eq!(plan.choices().len(), 2);
+        assert_eq!(c.node(plan.choices()[0].node).name(), "y");
+        assert_eq!(c.node(plan.choices()[1].node).name(), "b");
+        assert!((plan.removed_ser() - 1.9).abs() < 1e-12);
+        assert!((plan.remaining_ser() - 0.9).abs() < 1e-12);
+        assert!((plan.reduction_fraction() - 1.9 / 2.8).abs() < 1e-12);
+        assert_eq!(plan.spent(), 2.0);
+    }
+
+    #[test]
+    fn area_proxy_changes_ranking() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(d)\nOUTPUT(y)\nu = AND(a, b, d)\ny = OR(u, b)\n",
+            "t",
+        )
+        .unwrap();
+        // u (3 fanins, cost 4) has SER 1.0; input a (cost 1) has 0.5.
+        let ps: Vec<f64> = c
+            .node_ids()
+            .map(|id| match c.node(id).name() {
+                "u" => 1.0,
+                "a" => 0.5,
+                _ => 0.0,
+            })
+            .collect();
+        let report = report_for(&c, &ps);
+        // Budget 1: only `a` fits (u costs 4).
+        let plan = HardeningPlan::greedy(&c, &report, HardeningCost::AreaProxy, 1.0);
+        assert_eq!(plan.choices().len(), 1);
+        assert_eq!(c.node(plan.choices()[0].node).name(), "a");
+        // Budget 5: ratio order is a (0.5/1) > u (1/4), both fit.
+        let plan = HardeningPlan::greedy(&c, &report, HardeningCost::AreaProxy, 5.0);
+        assert_eq!(plan.choices().len(), 2);
+    }
+
+    #[test]
+    fn zero_budget_zero_plan() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
+        let report = report_for(&c, &[1.0, 1.0]);
+        let plan = HardeningPlan::greedy(&c, &report, HardeningCost::Unit, 0.0);
+        assert!(plan.choices().is_empty());
+        assert_eq!(plan.removed_ser(), 0.0);
+        assert_eq!(plan.remaining_ser(), report.total());
+    }
+
+    #[test]
+    fn zero_ser_nodes_skipped() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(b)\nu = NOT(a)\n", "t").unwrap();
+        // u is unobservable: SER 0 — must not be selected even with
+        // infinite budget.
+        let ps: Vec<f64> = c
+            .node_ids()
+            .map(|id| if c.node(id).name() == "u" { 0.0 } else { 1.0 })
+            .collect();
+        let report = report_for(&c, &ps);
+        let plan = HardeningPlan::greedy(&c, &report, HardeningCost::Unit, 100.0);
+        assert!(plan.choices().iter().all(|ch| c.node(ch.node).name() != "u"));
+        assert!((plan.reduction_fraction() - 1.0).abs() < 1e-12);
+    }
+}

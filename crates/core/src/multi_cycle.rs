@@ -1,0 +1,319 @@
+//! Multi-cycle (sequential) error propagation — an extension beyond the
+//! paper's single-cycle analysis.
+//!
+//! The paper counts an error as "observed" once it reaches a primary
+//! output or is latched by a flip-flop. A latched error, however, may
+//! surface at a primary output only cycles later (or be logically
+//! masked and vanish). This module follows the error through time two
+//! ways:
+//!
+//! - [`MultiCycleEpp`] — an analytical frame-expansion built from the
+//!   one-pass EPP kernel: per-flip-flop corruption probabilities are
+//!   propagated through a (FF → FF, FF → PO) arrival matrix computed by
+//!   running the paper's algorithm with each flip-flop as the error
+//!   site. Corrupted flip-flops are treated as independent, and error
+//!   polarity is dropped across frames, so this is an approximation —
+//!   cross-checked by the simulator below.
+//! - [`multi_cycle_monte_carlo`] — ground truth by differential
+//!   sequential simulation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ser_netlist::{Circuit, NodeId, ObservePoint};
+use ser_sim::SeqSim;
+use ser_sp::SpVector;
+
+use crate::engine::{combine_sensitization, EppAnalysis};
+
+/// Analytical multi-cycle observation probabilities.
+#[derive(Debug, Clone)]
+pub struct MultiCycleEpp<'c> {
+    circuit: &'c Circuit,
+    /// `po_arrival[f]`: combined PO arrival probability when FF `f`'s
+    /// output is the error site.
+    po_arrival: Vec<f64>,
+    /// `ff_arrival[f][g]`: arrival probability at FF `g`'s D pin when FF
+    /// `f`'s output is the error site.
+    ff_arrival: Vec<Vec<f64>>,
+    analysis: EppAnalysis<'c>,
+}
+
+/// Per-cycle cumulative observation probabilities for one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCycleResult {
+    /// The error site.
+    pub site: NodeId,
+    /// `cumulative[k]`: probability the error was seen at a primary
+    /// output within the first `k + 1` cycles (cycle 0 is the SEU
+    /// cycle).
+    pub cumulative: Vec<f64>,
+    /// Residual per-flip-flop corruption probability after the last
+    /// analyzed cycle (diagnostic: how much error is still "in flight").
+    pub residual_corruption: Vec<f64>,
+}
+
+impl<'c> MultiCycleEpp<'c> {
+    /// Compiles the frame-expansion tables: one EPP pass per flip-flop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ser_netlist::NetlistError`] if the circuit cannot be
+    /// topologically ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` does not cover the circuit.
+    pub fn new(circuit: &'c Circuit, sp: SpVector) -> Result<Self, ser_netlist::NetlistError> {
+        let analysis = EppAnalysis::new(circuit, sp)?;
+        let nffs = circuit.num_dffs();
+        let mut po_arrival = vec![0.0; nffs];
+        let mut ff_arrival = vec![vec![0.0; nffs]; nffs];
+        for (fi, &ff) in circuit.dffs().iter().enumerate() {
+            let site = analysis.site(ff);
+            let mut po_arr = Vec::new();
+            for p in site.per_point() {
+                match p.point {
+                    ObservePoint::PrimaryOutput(_) => po_arr.push(p.p_arrival()),
+                    ObservePoint::FlipFlop { dff, .. } => {
+                        let gi = circuit
+                            .dffs()
+                            .iter()
+                            .position(|&d| d == dff)
+                            .expect("observe point names a real dff");
+                        ff_arrival[fi][gi] = p.p_arrival();
+                    }
+                }
+            }
+            po_arrival[fi] = combine_sensitization(po_arr);
+        }
+        Ok(MultiCycleEpp {
+            circuit,
+            po_arrival,
+            ff_arrival,
+            analysis,
+        })
+    }
+
+    /// The underlying single-cycle analysis.
+    #[must_use]
+    pub fn single_cycle(&self) -> &EppAnalysis<'c> {
+        &self.analysis
+    }
+
+    /// Cumulative PO-observation probability of an SEU at `site` over
+    /// `cycles` clock cycles (cycle 0 included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is 0 or `site` out of range.
+    #[must_use]
+    pub fn site(&self, site: NodeId, cycles: usize) -> MultiCycleResult {
+        assert!(cycles > 0, "at least the SEU cycle itself");
+        let nffs = self.circuit.num_dffs();
+        let frame0 = self.analysis.site(site);
+        let mut po_arr = Vec::new();
+        let mut corruption = vec![0.0f64; nffs];
+        for p in frame0.per_point() {
+            match p.point {
+                ObservePoint::PrimaryOutput(_) => po_arr.push(p.p_arrival()),
+                ObservePoint::FlipFlop { dff, .. } => {
+                    let gi = self
+                        .circuit
+                        .dffs()
+                        .iter()
+                        .position(|&d| d == dff)
+                        .expect("observe point names a real dff");
+                    corruption[gi] = p.p_arrival();
+                }
+            }
+        }
+        let obs0 = combine_sensitization(po_arr);
+        let mut miss = 1.0 - obs0;
+        let mut cumulative = vec![1.0 - miss];
+        for _ in 1..cycles {
+            // Probability some corrupted FF surfaces at a PO this cycle.
+            let obs_k = combine_sensitization(
+                corruption
+                    .iter()
+                    .zip(&self.po_arrival)
+                    .map(|(&c, &o)| c * o),
+            );
+            miss *= 1.0 - obs_k;
+            cumulative.push(1.0 - miss);
+            // Next-cycle corruption.
+            let mut next = vec![0.0f64; nffs];
+            for (gi, slot) in next.iter_mut().enumerate() {
+                *slot = combine_sensitization(
+                    corruption
+                        .iter()
+                        .enumerate()
+                        .map(|(fi, &c)| c * self.ff_arrival[fi][gi]),
+                );
+            }
+            corruption = next;
+        }
+        MultiCycleResult {
+            site,
+            cumulative,
+            residual_corruption: corruption,
+        }
+    }
+}
+
+/// Ground truth for the multi-cycle observation probability by
+/// differential sequential simulation: inject the SEU in cycle 0 and
+/// report, per cycle, the cumulative fraction of runs where any primary
+/// output has differed so far.
+///
+/// # Errors
+///
+/// Returns [`ser_netlist::NetlistError`] if the circuit cannot be
+/// simulated.
+///
+/// # Panics
+///
+/// Panics if `cycles` or `runs` is 0.
+pub fn multi_cycle_monte_carlo(
+    circuit: &Circuit,
+    site: NodeId,
+    cycles: usize,
+    runs: u64,
+    seed: u64,
+) -> Result<Vec<f64>, ser_netlist::NetlistError> {
+    assert!(cycles > 0, "at least the SEU cycle");
+    assert!(runs > 0, "at least one run");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut observed = vec![0u64; cycles];
+    let mut done = 0u64;
+    while done < runs {
+        let lanes = (runs - done).min(64) as u32;
+        let valid = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+        let mut good = SeqSim::new(circuit)?;
+        let mut faulty = SeqSim::new(circuit)?;
+        // Random initial state shared by both machines.
+        let init: Vec<u64> = (0..circuit.num_dffs()).map(|_| rng.gen()).collect();
+        good.set_state(&init);
+        faulty.set_state(&init);
+        let mut seen = 0u64;
+        for cycle in 0..cycles {
+            let pis: Vec<u64> = (0..circuit.num_inputs()).map(|_| rng.gen()).collect();
+            let gv = good.step(&pis);
+            let fv = if cycle == 0 {
+                // The SEU: flip the site in every lane during cycle 0.
+                faulty.step_with_seu(&pis, &[(site, !0u64)])
+            } else {
+                faulty.step(&pis)
+            };
+            for &po in circuit.outputs() {
+                seen |= gv[po.index()] ^ fv[po.index()];
+            }
+            observed[cycle] += u64::from((seen & valid).count_ones());
+        }
+        done += u64::from(lanes);
+    }
+    Ok(observed
+        .into_iter()
+        .map(|o| o as f64 / runs as f64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+    use ser_sp::{IndependentSp, InputProbs, SpEngine};
+
+    fn sp_for(c: &Circuit) -> SpVector {
+        IndependentSp::new()
+            .compute(c, &InputProbs::default())
+            .unwrap()
+    }
+
+    /// A pipeline: x -> u -> DFF q -> y (PO). The error on `u` is never
+    /// seen in cycle 0 (no combinational PO path) and always seen in
+    /// cycle 1.
+    const PIPE: &str = "
+INPUT(x)
+OUTPUT(y)
+u = NOT(x)
+q = DFF(u)
+y = NOT(q)
+";
+
+    #[test]
+    fn pipeline_delays_observation_one_cycle() {
+        let c = parse_bench(PIPE, "pipe").unwrap();
+        let mc = MultiCycleEpp::new(&c, sp_for(&c)).unwrap();
+        let u = c.find("u").unwrap();
+        let r = mc.site(u, 3);
+        assert_eq!(r.cumulative[0], 0.0, "no combinational path to y");
+        assert_eq!(r.cumulative[1], 1.0, "latched error surfaces next cycle");
+        assert_eq!(r.cumulative[2], 1.0);
+        assert_eq!(r.site, u);
+    }
+
+    #[test]
+    fn pipeline_matches_simulation() {
+        let c = parse_bench(PIPE, "pipe").unwrap();
+        let u = c.find("u").unwrap();
+        let analytic = MultiCycleEpp::new(&c, sp_for(&c)).unwrap().site(u, 3);
+        let sim = multi_cycle_monte_carlo(&c, u, 3, 4096, 7).unwrap();
+        for (a, s) in analytic.cumulative.iter().zip(&sim) {
+            assert!((a - s).abs() < 0.05, "analytic {a} vs sim {s}");
+        }
+    }
+
+    #[test]
+    fn masked_feedback_decays() {
+        // q = DFF(d); d = AND(q, x); y = BUF(q): a corrupted q has a 50%
+        // chance per cycle of being masked by x before re-latching.
+        let c = parse_bench(
+            "INPUT(x)\nOUTPUT(y)\nq = DFF(d)\nd = AND(q, x)\ny = BUF(q)\n",
+            "decay",
+        )
+        .unwrap();
+        let q = c.find("q").unwrap();
+        let mc = MultiCycleEpp::new(&c, sp_for(&c)).unwrap();
+        let r = mc.site(q, 4);
+        // q is itself PO-visible through y immediately.
+        assert_eq!(r.cumulative[0], 1.0);
+        // Residual corruption decays geometrically (0.5 per cycle).
+        assert!(r.residual_corruption[0] < 0.2, "{:?}", r.residual_corruption);
+    }
+
+    #[test]
+    fn combinational_circuit_single_frame_consistency() {
+        // With no flip-flops, every cycle after 0 adds nothing.
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "comb").unwrap();
+        let a = c.find("a").unwrap();
+        let mc = MultiCycleEpp::new(&c, sp_for(&c)).unwrap();
+        let r = mc.site(a, 3);
+        assert!((r.cumulative[0] - 0.5).abs() < 1e-12);
+        assert_eq!(r.cumulative[0], r.cumulative[2]);
+        assert!(r.residual_corruption.is_empty());
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let c = parse_bench(PIPE, "pipe").unwrap();
+        let u = c.find("u").unwrap();
+        let s1 = multi_cycle_monte_carlo(&c, u, 2, 1000, 5).unwrap();
+        let s2 = multi_cycle_monte_carlo(&c, u, 2, 1000, 5).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn cumulative_is_monotone() {
+        let c = parse_bench(
+            "INPUT(x)\nOUTPUT(y)\nq1 = DFF(d1)\nq2 = DFF(q1)\nd1 = XOR(x, q2)\ny = AND(q2, x)\n",
+            "loop",
+        )
+        .unwrap();
+        let d1 = c.find("d1").unwrap();
+        let mc = MultiCycleEpp::new(&c, sp_for(&c)).unwrap();
+        let r = mc.site(d1, 6);
+        for w in r.cumulative.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "cumulative must not decrease: {:?}", r.cumulative);
+        }
+    }
+}

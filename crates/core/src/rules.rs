@@ -1,0 +1,427 @@
+//! EPP propagation rules — Table 1 of the paper, extended to every gate
+//! kind in the netlist IR.
+//!
+//! The paper prints the AND, OR and NOT rules; the rest follow:
+//! NAND/NOR are the AND/OR rules composed with the NOT swap, BUF and the
+//! flip-flop D pin are identities, and XOR/XNOR admit an *exact*
+//! symbolic rule because XOR is linear — representing each value as
+//! `c ⊕ d·x` (with `x` the unknown erroneous value, so `0 = (0,0)`,
+//! `1 = (1,0)`, `a = (0,1)`, `ā = (1,1)`), an XOR gate adds tuples
+//! componentwise over GF(2).
+//!
+//! All rules assume the gate's inputs are independent — the same
+//! assumption the paper makes; its accuracy under reconvergence is
+//! quantified against the exact oracle in this crate's tests and the
+//! ablation benches.
+
+use ser_netlist::GateKind;
+
+use crate::four_value::FourValue;
+
+/// Applies the propagation rule of `kind` to the gate's fanin tuples
+/// (on-path fanins carry real four-value tuples; off-path fanins carry
+/// [`FourValue::from_signal_probability`] tuples).
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is illegal for `kind`, or if `kind` is
+/// [`GateKind::Input`], [`GateKind::Const0`] or [`GateKind::Const1`]
+/// (sources are never on-path gates — an error cannot propagate *into*
+/// a source).
+#[must_use]
+pub fn propagate(kind: GateKind, inputs: &[FourValue]) -> FourValue {
+    assert!(
+        kind.arity_ok(inputs.len()),
+        "{kind} cannot take {} inputs",
+        inputs.len()
+    );
+    match kind {
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
+            panic!("{kind} cannot be an on-path gate")
+        }
+        // The D pin passes the tuple through; latching is accounted for
+        // by `P_latched`, not by the propagation rules.
+        GateKind::Buf | GateKind::Dff => inputs[0],
+        GateKind::Not => inputs[0].invert(),
+        GateKind::And => and_rule(inputs),
+        GateKind::Nand => and_rule(inputs).invert(),
+        GateKind::Or => or_rule(inputs),
+        GateKind::Nor => or_rule(inputs).invert(),
+        GateKind::Xor => xor_rule(inputs),
+        GateKind::Xnor => xor_rule(inputs).invert(),
+    }
+}
+
+/// Table 1, AND row:
+/// `P1 = Π P1(Xi)`,
+/// `Pa = Π [P1(Xi) + Pa(Xi)] − P1`,
+/// `Pā = Π [P1(Xi) + Pā(Xi)] − P1`,
+/// `P0 = 1 − (P1 + Pa + Pā)`.
+fn and_rule(inputs: &[FourValue]) -> FourValue {
+    let p1: f64 = inputs.iter().map(FourValue::p1).product();
+    let pa = inputs
+        .iter()
+        .map(|x| x.p1() + x.pa())
+        .product::<f64>()
+        - p1;
+    let pa_bar = inputs
+        .iter()
+        .map(|x| x.p1() + x.pa_bar())
+        .product::<f64>()
+        - p1;
+    let p0 = 1.0 - (p1 + pa + pa_bar);
+    FourValue::new_clamped(pa, pa_bar, p0, p1)
+}
+
+/// Table 1, OR row (the AND rule's dual):
+/// `P0 = Π P0(Xi)`,
+/// `Pa = Π [P0(Xi) + Pa(Xi)] − P0`,
+/// `Pā = Π [P0(Xi) + Pā(Xi)] − P0`,
+/// `P1 = 1 − (P0 + Pa + Pā)`.
+fn or_rule(inputs: &[FourValue]) -> FourValue {
+    let p0: f64 = inputs.iter().map(FourValue::p0).product();
+    let pa = inputs
+        .iter()
+        .map(|x| x.p0() + x.pa())
+        .product::<f64>()
+        - p0;
+    let pa_bar = inputs
+        .iter()
+        .map(|x| x.p0() + x.pa_bar())
+        .product::<f64>()
+        - p0;
+    let p1 = 1.0 - (p0 + pa + pa_bar);
+    FourValue::new_clamped(pa, pa_bar, p0, p1)
+}
+
+/// Exact XOR rule: fold the inputs pairwise through the GF(2) symbol
+/// addition `0=(0,0), 1=(1,0), a=(0,1), ā=(1,1)`:
+///
+/// ```text
+/// ⊕ | 0   1   a   ā
+/// --+----------------
+/// 0 | 0   1   a   ā
+/// 1 | 1   0   ā   a
+/// a | a   ā   0   1
+/// ā | ā   a   1   0
+/// ```
+///
+/// Note `a ⊕ a = 0` and `a ⊕ ā = 1`: two copies of the error meeting at
+/// an XOR cancel *regardless of the error's actual value* — the
+/// polarity bookkeeping that motivates the paper's four-value tuple.
+fn xor_rule(inputs: &[FourValue]) -> FourValue {
+    let mut acc = inputs[0];
+    for x in &inputs[1..] {
+        acc = xor2(acc, *x);
+    }
+    acc
+}
+
+fn xor2(l: FourValue, r: FourValue) -> FourValue {
+    // out = 0: (0,0),(1,1),(a,a),(ā,ā)
+    let p0 = l.p0() * r.p0() + l.p1() * r.p1() + l.pa() * r.pa() + l.pa_bar() * r.pa_bar();
+    // out = 1: (0,1),(1,0),(a,ā),(ā,a)
+    let p1 = l.p0() * r.p1() + l.p1() * r.p0() + l.pa() * r.pa_bar() + l.pa_bar() * r.pa();
+    // out = a: (0,a),(a,0),(1,ā),(ā,1)
+    let pa = l.p0() * r.pa() + l.pa() * r.p0() + l.p1() * r.pa_bar() + l.pa_bar() * r.p1();
+    // out = ā: (0,ā),(ā,0),(1,a),(a,1)
+    let pa_bar = l.p0() * r.pa_bar() + l.pa_bar() * r.p0() + l.p1() * r.pa() + l.pa() * r.p1();
+    FourValue::new_clamped(pa, pa_bar, p0, p1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn off(sp: f64) -> FourValue {
+        FourValue::from_signal_probability(sp)
+    }
+
+    /// The paper's worked Fig. 1 numbers: H = OR(C, D, G) with
+    /// C off-path (SP 0.3), D = 0.2(a)+0.8(0), G = 0.7(ā)+0.3(0).
+    #[test]
+    fn figure1_or_gate() {
+        let c = off(0.3);
+        let d = FourValue::new(0.2, 0.0, 0.8, 0.0);
+        let g = FourValue::new(0.0, 0.7, 0.3, 0.0);
+        let h = propagate(GateKind::Or, &[c, d, g]);
+        assert!((h.p0() - 0.168).abs() < 1e-12, "P0 = {}", h.p0());
+        assert!((h.pa() - 0.042).abs() < 1e-12, "Pa = {}", h.pa());
+        assert!((h.pa_bar() - 0.392).abs() < 1e-12, "Pā = {}", h.pa_bar());
+        assert!((h.p1() - 0.398).abs() < 1e-12, "P1 = {}", h.p1());
+    }
+
+    #[test]
+    fn and_with_one_off_path_side() {
+        // Error arrives clean (pure a); side input has SP 0.7.
+        // AND propagates iff side is 1: Pa = 0.7; blocked at 0 otherwise.
+        let out = propagate(GateKind::And, &[FourValue::error_site(), off(0.7)]);
+        assert!((out.pa() - 0.7).abs() < 1e-12);
+        assert_eq!(out.pa_bar(), 0.0);
+        assert!((out.p0() - 0.3).abs() < 1e-12);
+        assert_eq!(out.p1(), 0.0);
+    }
+
+    #[test]
+    fn or_with_one_off_path_side() {
+        // OR propagates iff side is 0.
+        let out = propagate(GateKind::Or, &[FourValue::error_site(), off(0.7)]);
+        assert!((out.pa() - 0.3).abs() < 1e-12);
+        assert!((out.p1() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nand_nor_compose_not() {
+        let inputs = [FourValue::error_site(), off(0.6)];
+        let nand = propagate(GateKind::Nand, &inputs);
+        let and_not = propagate(GateKind::And, &inputs).invert();
+        assert_eq!(nand, and_not);
+        let nor = propagate(GateKind::Nor, &inputs);
+        let or_not = propagate(GateKind::Or, &inputs).invert();
+        assert_eq!(nor, or_not);
+        // NAND flips polarity: incoming a leaves as ā.
+        assert!(nand.pa_bar() > 0.0);
+        assert_eq!(nand.pa(), 0.0);
+    }
+
+    #[test]
+    fn buf_and_dff_are_identity() {
+        let v = FourValue::new(0.2, 0.3, 0.4, 0.1);
+        assert_eq!(propagate(GateKind::Buf, &[v]), v);
+        assert_eq!(propagate(GateKind::Dff, &[v]), v);
+    }
+
+    #[test]
+    fn not_swaps() {
+        let v = FourValue::new(0.2, 0.3, 0.4, 0.1);
+        let w = propagate(GateKind::Not, &[v]);
+        assert_eq!(w, v.invert());
+    }
+
+    #[test]
+    fn xor_cancels_equal_polarity() {
+        // a ⊕ a = 0 with certainty.
+        let a = FourValue::error_site();
+        let out = propagate(GateKind::Xor, &[a, a]);
+        assert_eq!(out.p0(), 1.0);
+        assert_eq!(out.p_arrival(), 0.0);
+    }
+
+    #[test]
+    fn xor_of_a_and_abar_is_one() {
+        let a = FourValue::error_site();
+        let abar = a.invert();
+        let out = propagate(GateKind::Xor, &[a, abar]);
+        assert_eq!(out.p1(), 1.0);
+    }
+
+    #[test]
+    fn xor_with_off_path_side_flips_polarity_by_sp() {
+        // XOR with side SP p: error passes always; polarity flips iff
+        // side = 1.
+        let out = propagate(GateKind::Xor, &[FourValue::error_site(), off(0.3)]);
+        assert!((out.pa() - 0.7).abs() < 1e-12);
+        assert!((out.pa_bar() - 0.3).abs() < 1e-12);
+        assert_eq!(out.p0() + out.p1(), 0.0);
+    }
+
+    #[test]
+    fn xnor_is_xor_inverted() {
+        let inputs = [FourValue::error_site(), off(0.3)];
+        assert_eq!(
+            propagate(GateKind::Xnor, &inputs),
+            propagate(GateKind::Xor, &inputs).invert()
+        );
+    }
+
+    #[test]
+    fn three_input_xor_associates() {
+        let v1 = FourValue::new(0.2, 0.1, 0.4, 0.3);
+        let v2 = FourValue::new(0.0, 0.5, 0.25, 0.25);
+        let v3 = off(0.5);
+        let left = propagate(GateKind::Xor, &[propagate(GateKind::Xor, &[v1, v2]), v3]);
+        let flat = propagate(GateKind::Xor, &[v1, v2, v3]);
+        assert!(left.max_abs_diff(&flat) < 1e-12);
+        let right = propagate(GateKind::Xor, &[v1, propagate(GateKind::Xor, &[v2, v3])]);
+        assert!(right.max_abs_diff(&flat) < 1e-12);
+    }
+
+    #[test]
+    fn all_off_path_inputs_yield_plain_signal_probability() {
+        // With no error on any input, the rules degenerate to the
+        // independent SP computation.
+        let out = propagate(GateKind::And, &[off(0.5), off(0.5)]);
+        assert_eq!(out.p_arrival(), 0.0);
+        assert!((out.p1() - 0.25).abs() < 1e-12);
+        let out = propagate(GateKind::Or, &[off(0.5), off(0.5)]);
+        assert!((out.p1() - 0.75).abs() < 1e-12);
+        let out = propagate(GateKind::Xor, &[off(0.5), off(0.5)]);
+        assert!((out.p1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outputs_always_sum_to_one() {
+        // Spot-check closure over a grid of inputs for every logic kind.
+        let grid = [
+            FourValue::new(0.25, 0.25, 0.25, 0.25),
+            FourValue::new(1.0, 0.0, 0.0, 0.0),
+            FourValue::new(0.0, 0.0, 0.3, 0.7),
+            FourValue::new(0.1, 0.6, 0.1, 0.2),
+        ];
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for &x in &grid {
+                for &y in &grid {
+                    let out = propagate(kind, &[x, y]);
+                    assert!(
+                        (out.sum() - 1.0).abs() < 1e-9,
+                        "{kind}: sum {}",
+                        out.sum()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be an on-path gate")]
+    fn sources_rejected() {
+        let _ = propagate(GateKind::Const0, &[]);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    //! The rules must equal brute-force enumeration over the four-symbol
+    //! alphabet `{0, 1, a, ā}` for *independent* inputs — that is the
+    //! exact semantics Table 1 encodes. Symbols are encoded as
+    //! `value = c ⊕ d·x` with `x` the (unknown) erroneous value.
+
+    use super::*;
+    use crate::four_value::FourValue;
+    use proptest::prelude::*;
+
+    /// (c, d) encodings: 0, 1, a, ā.
+    const SYMBOLS: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+    fn symbol_probability(v: &FourValue, sym: usize) -> f64 {
+        match sym {
+            0 => v.p0(),
+            1 => v.p1(),
+            2 => v.pa(),
+            _ => v.pa_bar(),
+        }
+    }
+
+    /// Evaluates the gate over concrete bools for a given x, per input
+    /// symbol assignment.
+    fn eval_for_x(kind: GateKind, assignment: &[usize], x: bool) -> bool {
+        let bools: Vec<bool> = assignment
+            .iter()
+            .map(|&s| {
+                let (c, d) = SYMBOLS[s];
+                c ^ (d & x)
+            })
+            .collect();
+        kind.eval_bool(&bools)
+    }
+
+    /// Brute-force reference: enumerate all 4^n input-symbol
+    /// assignments, weight by independence, classify the output symbol.
+    fn enumerate(kind: GateKind, inputs: &[FourValue]) -> FourValue {
+        let n = inputs.len();
+        let (mut pa, mut pab, mut p0, mut p1) = (0.0, 0.0, 0.0, 0.0);
+        for code in 0..4usize.pow(n as u32) {
+            let assignment: Vec<usize> = (0..n).map(|i| code >> (2 * i) & 3).collect();
+            let w: f64 = assignment
+                .iter()
+                .zip(inputs)
+                .map(|(&s, v)| symbol_probability(v, s))
+                .product();
+            if w == 0.0 {
+                continue;
+            }
+            let v0 = eval_for_x(kind, &assignment, false);
+            let v1 = eval_for_x(kind, &assignment, true);
+            match (v0, v1) {
+                (false, false) => p0 += w,
+                (true, true) => p1 += w,
+                (false, true) => pa += w,  // equals x: even parity
+                (true, false) => pab += w, // equals !x: odd parity
+            }
+        }
+        FourValue::new_clamped(pa, pab, p0, p1)
+    }
+
+    /// Strategy: a normalized four-value tuple.
+    fn four_value() -> impl Strategy<Value = FourValue> {
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b, c, d)| {
+            let sum = a + b + c + d;
+            if sum == 0.0 {
+                FourValue::from_signal_probability(0.5)
+            } else {
+                FourValue::new_clamped(a / sum, b / sum, c / sum, d / sum)
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// AND/OR/NOT (the published Table 1) and NAND/NOR/XOR/XNOR/BUF
+        /// (our derived rules) all match symbolic enumeration exactly.
+        #[test]
+        fn rules_match_symbolic_enumeration(
+            inputs in proptest::collection::vec(four_value(), 1..4),
+            kind_idx in 0usize..8,
+        ) {
+            let kind = GateKind::LOGIC[kind_idx];
+            // Unary kinds only take the first input.
+            let inputs: Vec<FourValue> = if matches!(kind, GateKind::Not | GateKind::Buf) {
+                inputs[..1].to_vec()
+            } else {
+                inputs
+            };
+            let fast = propagate(kind, &inputs);
+            let slow = enumerate(kind, &inputs);
+            prop_assert!(
+                fast.max_abs_diff(&slow) < 1e-9,
+                "{kind}: rule {fast} vs enumeration {slow}"
+            );
+        }
+
+        /// Closure: outputs are valid probability tuples.
+        #[test]
+        fn rules_preserve_tuple_invariant(
+            inputs in proptest::collection::vec(four_value(), 2..4),
+            kind_idx in 0usize..8,
+        ) {
+            let kind = GateKind::LOGIC[kind_idx];
+            let inputs: Vec<FourValue> = if matches!(kind, GateKind::Not | GateKind::Buf) {
+                inputs[..1].to_vec()
+            } else {
+                inputs
+            };
+            let out = propagate(kind, &inputs);
+            prop_assert!((out.sum() - 1.0).abs() < 1e-9);
+            prop_assert!(out.pa() >= 0.0 && out.pa() <= 1.0);
+            prop_assert!(out.pa_bar() >= 0.0 && out.pa_bar() <= 1.0);
+        }
+
+        /// De Morgan at the rule level: NAND(xs) = NOT(AND(xs)) and the
+        /// OR rule equals AND over inverted inputs, inverted.
+        #[test]
+        fn de_morgan_duality(inputs in proptest::collection::vec(four_value(), 2..4)) {
+            let or_direct = propagate(GateKind::Or, &inputs);
+            let inverted: Vec<FourValue> = inputs.iter().map(FourValue::invert).collect();
+            let or_via_and = propagate(GateKind::And, &inverted).invert();
+            prop_assert!(or_direct.max_abs_diff(&or_via_and) < 1e-9);
+        }
+    }
+}

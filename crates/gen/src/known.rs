@@ -1,0 +1,177 @@
+//! Exact, hand-checked circuits: the paper's Fig. 1 example, the ISCAS
+//! classics small enough to embed verbatim, and the benchmark s27.
+
+use ser_netlist::{parse_bench, Circuit};
+
+/// The paper's Figure 1 circuit.
+///
+/// `A` is the struck gate's output (modelled as an input so any SEU site
+/// can be chosen), `B`, `C`, `F` are the off-path side inputs with the
+/// figure's signal probabilities 0.2 / 0.3 / 0.7 (probabilities are
+/// assigned by the caller; see the `figure1_walkthrough` example).
+///
+/// ```text
+///   A ──┬───────AND(D)── B     even parity: D carries `a`
+///       └─NOT─E─AND(G)── F     odd parity:  G carries `ā`
+///   H = OR(C, D, G) → PO       opposite polarities reconverge at H
+/// ```
+#[must_use]
+pub fn figure1() -> Circuit {
+    parse_bench(
+        "
+# Fig. 1 of Asadi & Tahoori, DATE'05
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(F)
+OUTPUT(H)
+E = NOT(A)
+D = AND(A, B)
+G = AND(E, F)
+H = OR(C, D, G)
+",
+        "figure1",
+    )
+    .expect("embedded netlist is valid")
+}
+
+/// ISCAS'85 c17 — the canonical six-NAND example circuit.
+#[must_use]
+pub fn c17() -> Circuit {
+    parse_bench(
+        "
+# ISCAS'85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+",
+        "c17",
+    )
+    .expect("embedded netlist is valid")
+}
+
+/// ISCAS'89 s27 — the smallest sequential benchmark (4 PI, 1 PO,
+/// 3 DFF, 10 gates).
+#[must_use]
+pub fn s27() -> Circuit {
+    parse_bench(
+        "
+# ISCAS'89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+",
+        "s27",
+    )
+    .expect("embedded netlist is valid")
+}
+
+/// A 2-input XOR built from four NANDs — the canonical reconvergent
+/// structure used throughout the accuracy ablations.
+#[must_use]
+pub fn xor_from_nands() -> Circuit {
+    parse_bench(
+        "
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+u = NAND(a, b)
+v = NAND(a, u)
+w = NAND(b, u)
+y = NAND(v, w)
+",
+        "xor-nand",
+    )
+    .expect("embedded netlist is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::CircuitStats;
+
+    #[test]
+    fn figure1_shape() {
+        let c = figure1();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_gates(), 4);
+        assert!(c.is_combinational());
+    }
+
+    #[test]
+    fn c17_shape() {
+        let c = c17();
+        let s = CircuitStats::compute(&c).unwrap();
+        assert_eq!(s.inputs, 5);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.gates, 6);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn s27_shape() {
+        let c = s27();
+        let s = CircuitStats::compute(&c).unwrap();
+        assert_eq!(s.inputs, 4);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.dffs, 3);
+        assert_eq!(s.gates, 10);
+    }
+
+    #[test]
+    fn xor_from_nands_is_xor() {
+        use ser_sim::BitSim;
+        let c = xor_from_nands();
+        let sim = BitSim::new(&c).unwrap();
+        let y = c.find("y").unwrap();
+        for a in [false, true] {
+            for b in [false, true] {
+                let v = sim.run_scalar(&[a, b]);
+                assert_eq!(v[y.index()], a ^ b, "xor({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn c17_truth_spot_checks() {
+        use ser_sim::BitSim;
+        let c = c17();
+        let sim = BitSim::new(&c).unwrap();
+        let g22 = c.find("G22").unwrap();
+        let g23 = c.find("G23").unwrap();
+        // All-zero inputs: G10 = 1, G11 = 1, G16 = 1, G19 = 1 -> G22 = 0, G23 = 0.
+        let v = sim.run_scalar(&[false; 5]);
+        assert!(!v[g22.index()]);
+        assert!(!v[g23.index()]);
+        // All-one inputs: G10 = 0, G11 = 0 -> G16 = 1, G19 = 1, G22 = 1, G23 = 0.
+        let v = sim.run_scalar(&[true; 5]);
+        assert!(v[g22.index()]);
+        assert!(!v[g23.index()]);
+    }
+}

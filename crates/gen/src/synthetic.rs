@@ -1,0 +1,433 @@
+//! Deterministic synthetic circuits matched to a structural
+//! [`Profile`].
+//!
+//! The generator builds a levelized random netlist with exactly the
+//! profile's source/sink/gate counts and approximately its depth:
+//!
+//! 1. primary inputs and flip-flops come first (flip-flop D drivers are
+//!    forward references to late-band gate indexes chosen up front);
+//! 2. gates are assigned to `depth` bands; each gate draws its first
+//!    fanin from the previous band (guaranteeing depth) and the rest
+//!    preferentially from a pool of still-driverless nodes (minimizing
+//!    dead logic);
+//! 3. primary outputs are drawn from the remaining driver-less gates
+//!    first, then from the last bands.
+//!
+//! Everything is seeded: the same `(profile, seed)` pair yields the
+//! same circuit on every run and platform.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ser_netlist::{Circuit, CircuitBuilder, GateKind, NodeId};
+
+use crate::profiles::Profile;
+
+/// Gate-kind mix for generated circuits (ISCAS-flavoured: NAND/NOR
+/// heavy, a sprinkle of XOR and buffers).
+const KIND_WEIGHTS: [(GateKind, u32); 8] = [
+    (GateKind::Nand, 24),
+    (GateKind::Nor, 14),
+    (GateKind::And, 18),
+    (GateKind::Or, 18),
+    (GateKind::Not, 12),
+    (GateKind::Xor, 5),
+    (GateKind::Xnor, 2),
+    (GateKind::Buf, 7),
+];
+
+fn pick_kind(rng: &mut SmallRng) -> GateKind {
+    let total: u32 = KIND_WEIGHTS.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(kind, w) in &KIND_WEIGHTS {
+        if roll < w {
+            return kind;
+        }
+        roll -= w;
+    }
+    unreachable!("weights cover the range")
+}
+
+fn pick_fanin_count(rng: &mut SmallRng, kind: GateKind) -> usize {
+    match kind {
+        GateKind::Not | GateKind::Buf => 1,
+        _ => match rng.gen_range(0u32..100) {
+            0..=59 => 2,
+            60..=84 => 3,
+            _ => 4,
+        },
+    }
+}
+
+/// FNV-1a, so profile names perturb the seed deterministically.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A pool of driver-less nodes supporting O(1) random removal.
+#[derive(Debug, Default)]
+struct DeadPool {
+    items: Vec<NodeId>,
+    /// Position of each node in `items` (`usize::MAX` when absent).
+    pos: Vec<usize>,
+}
+
+impl DeadPool {
+    fn with_capacity(nodes: usize) -> Self {
+        DeadPool {
+            items: Vec::with_capacity(nodes),
+            pos: vec![usize::MAX; nodes],
+        }
+    }
+
+    fn insert(&mut self, id: NodeId) {
+        if self.pos[id.index()] == usize::MAX {
+            self.pos[id.index()] = self.items.len();
+            self.items.push(id);
+        }
+    }
+
+    fn remove(&mut self, id: NodeId) {
+        let p = self.pos[id.index()];
+        if p == usize::MAX {
+            return;
+        }
+        self.items.swap_remove(p);
+        self.pos[id.index()] = usize::MAX;
+        if let Some(&moved) = self.items.get(p) {
+            self.pos[moved.index()] = p;
+        }
+    }
+
+    /// Pops a random element from (approximately) the `window` most
+    /// recently inserted — the locality bias that keeps synthetic cones
+    /// from degenerating into global small-world meshes.
+    fn pop_window(&mut self, rng: &mut SmallRng, window: usize) -> Option<NodeId> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let lo = self.items.len().saturating_sub(window);
+        let i = rng.gen_range(lo..self.items.len());
+        let id = self.items.swap_remove(i);
+        self.pos[id.index()] = usize::MAX;
+        if let Some(&moved) = self.items.get(i) {
+            self.pos[moved.index()] = i;
+        }
+        Some(id)
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Synthesizes a circuit matching `profile`, deterministically from
+/// `seed`.
+///
+/// The result has **exactly** the profile's input/output/flip-flop/gate
+/// counts; depth is approximate (the band construction guarantees
+/// `depth` levels exactly when `depth <= gates`).
+///
+/// # Panics
+///
+/// Panics if the profile is degenerate (zero gates or zero inputs).
+///
+/// # Examples
+///
+/// ```
+/// use ser_gen::{profile, synthesize};
+///
+/// let p = profile("s953").unwrap();
+/// let c = synthesize(&p, 1);
+/// assert_eq!(c.num_gates(), 395);
+/// assert_eq!(c.num_dffs(), 29);
+/// // Deterministic: same seed, same circuit.
+/// assert_eq!(c, synthesize(&p, 1));
+/// ```
+#[must_use]
+pub fn synthesize(profile: &Profile, seed: u64) -> Circuit {
+    assert!(profile.gates > 0, "profile must have gates");
+    assert!(profile.inputs > 0, "profile must have inputs");
+    let mut rng = SmallRng::seed_from_u64(seed ^ fnv1a(profile.name));
+    let mut b = CircuitBuilder::new(profile.name);
+    let total_nodes = profile.inputs + profile.dffs + profile.gates;
+
+    // --- Flip-flop D drivers: late-band gate indexes chosen up front. --
+    // Biasing them late makes state capture deep logic (like the real
+    // benchmarks) and lets the generator account their fanout so D
+    // drivers are not double-used as primary outputs.
+    let d_lo = profile.gates.saturating_sub((4 * profile.dffs).max(profile.gates / 4));
+    let mut d_drivers: Vec<usize> = Vec::with_capacity(profile.dffs);
+    let mut d_driver_set: HashSet<usize> = HashSet::new();
+    for _ in 0..profile.dffs {
+        let idx = rng.gen_range(d_lo..profile.gates);
+        d_drivers.push(idx);
+        d_driver_set.insert(idx);
+    }
+
+    // --- Sources ------------------------------------------------------
+    let mut sources: Vec<NodeId> = Vec::with_capacity(profile.inputs + profile.dffs);
+    for i in 0..profile.inputs {
+        sources.push(b.input(&format!("I{i}")));
+    }
+    for (k, &idx) in d_drivers.iter().enumerate() {
+        sources.push(b.gate_named(&format!("Q{k}"), GateKind::Dff, &[format!("G{idx}")]));
+    }
+
+    // --- Gate bands ----------------------------------------------------
+    let depth = profile.depth.max(1).min(profile.gates);
+    let per_band = profile.gates / depth;
+    let extra = profile.gates % depth;
+
+    let mut pool = DeadPool::with_capacity(total_nodes);
+    for &s in &sources {
+        pool.insert(s);
+    }
+    let mut all_nodes: Vec<NodeId> = sources.clone();
+    // The depth *spine*: one gate per band chains off the previous
+    // band's spine gate, pinning the circuit depth to the band count.
+    // Every other gate draws its first fanin from a recent window, so
+    // the level histogram decays like real benchmarks' instead of
+    // piling every gate at maximum depth.
+    let mut spine = *sources.choose(&mut rng).expect("sources exist");
+    let mut gi = 0usize;
+    for band in 0..depth {
+        let count = per_band + usize::from(band < extra);
+        let mut this_band: Vec<NodeId> = Vec::with_capacity(count);
+        for k in 0..count {
+            let kind = pick_kind(&mut rng);
+            let want = pick_fanin_count(&mut rng, kind);
+            let mut fanin: Vec<NodeId> = Vec::with_capacity(want);
+            // First fanin: the spine for the band's first gate, a
+            // recent node otherwise.
+            let first = if k == 0 {
+                spine
+            } else {
+                let lo = all_nodes.len().saturating_sub((4 * per_band.max(1)).max(32));
+                all_nodes[rng.gen_range(lo..all_nodes.len())]
+            };
+            fanin.push(first);
+            pool.remove(first);
+            // Remaining fanins: drain the driver-less pool first, with a
+            // locality window (real logic consumes nearby signals; fully
+            // global wiring would make every cone a reconvergent mesh).
+            let window = (4 * per_band.max(1)).max(32);
+            for _ in 1..want {
+                let node = if pool.len() > 0 && rng.gen_bool(0.8) {
+                    // Retry a few times to avoid duplicate pins.
+                    let mut picked = None;
+                    for _ in 0..4 {
+                        if let Some(cand) = pool.pop_window(&mut rng, window) {
+                            if fanin.contains(&cand) {
+                                pool.insert(cand); // put it back
+                            } else {
+                                picked = Some(cand);
+                                break;
+                            }
+                        }
+                    }
+                    picked
+                } else {
+                    None
+                };
+                let node = node.unwrap_or_else(|| {
+                    let lo = all_nodes.len().saturating_sub(window);
+                    let mut cand = all_nodes[rng.gen_range(lo..all_nodes.len())];
+                    if fanin.contains(&cand) {
+                        cand = all_nodes[rng.gen_range(lo..all_nodes.len())];
+                    }
+                    pool.remove(cand);
+                    cand
+                });
+                fanin.push(node);
+            }
+            let id = b.gate(&format!("G{gi}"), kind, &fanin);
+            if k == 0 {
+                spine = id;
+            }
+            this_band.push(id);
+            gi += 1;
+        }
+        // Publish the band only once complete, so same-band gates cannot
+        // chain (which would overshoot the target depth). D-driven gates
+        // already have a consumer (the flip-flop), so they skip the pool.
+        let band_start_gi = gi - this_band.len();
+        for (offset, &id) in this_band.iter().enumerate() {
+            if !d_driver_set.contains(&(band_start_gi + offset)) {
+                pool.insert(id);
+            }
+        }
+        all_nodes.extend_from_slice(&this_band);
+    }
+    debug_assert_eq!(gi, profile.gates);
+
+    // --- Primary outputs ------------------------------------------------
+    // Driver-less gates first (eliminating dead logic), deepest last
+    // bands as filler. Driver-less *inputs* stay unconnected rather than
+    // becoming outputs (an input that is also an output is legal but
+    // useless for the experiments).
+    let gate_ids: &[NodeId] = &all_nodes[profile.inputs + profile.dffs..];
+    let mut dead_gates: Vec<NodeId> = gate_ids
+        .iter()
+        .copied()
+        .filter(|id| pool.pos[id.index()] != usize::MAX)
+        .collect();
+    dead_gates.shuffle(&mut rng);
+    let mut outputs: Vec<NodeId> = Vec::with_capacity(profile.outputs);
+    for id in dead_gates {
+        if outputs.len() == profile.outputs {
+            break;
+        }
+        outputs.push(id);
+    }
+    let mut cursor = gate_ids.len();
+    while outputs.len() < profile.outputs && cursor > 0 {
+        cursor -= 1;
+        let id = gate_ids[cursor];
+        if !outputs.contains(&id) {
+            outputs.push(id);
+        }
+    }
+    assert!(
+        outputs.len() == profile.outputs,
+        "profile wants more outputs than gates exist"
+    );
+    for id in outputs {
+        b.mark_output(id);
+    }
+
+    b.finish().expect("generated netlist is structurally valid")
+}
+
+/// Synthesizes the stand-in for a named benchmark with the default
+/// seed 1 (`synthesize(&profile(name)?, 1)`).
+#[must_use]
+pub fn iscas89_like(name: &str) -> Option<Circuit> {
+    crate::profiles::profile(name).map(|p| synthesize(&p, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{profile, SMALL, TABLE2};
+    use ser_netlist::CircuitStats;
+
+    #[test]
+    fn counts_match_profile_exactly() {
+        for p in SMALL.iter().chain(TABLE2.iter().take(6)) {
+            let c = synthesize(p, 7);
+            assert_eq!(c.num_inputs(), p.inputs, "{}", p.name);
+            assert_eq!(c.num_outputs(), p.outputs, "{}", p.name);
+            assert_eq!(c.num_dffs(), p.dffs, "{}", p.name);
+            assert_eq!(c.num_gates(), p.gates, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn depth_is_close_to_target() {
+        for p in &SMALL {
+            let c = synthesize(p, 7);
+            let s = CircuitStats::compute(&c).unwrap();
+            assert!(
+                s.depth >= p.depth,
+                "{}: depth {} below target {}",
+                p.name,
+                s.depth,
+                p.depth
+            );
+            assert!(
+                s.depth <= p.depth + 4,
+                "{}: depth {} far above target {}",
+                p.name,
+                s.depth,
+                p.depth
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = profile("s386").unwrap();
+        assert_eq!(synthesize(&p, 3), synthesize(&p, 3));
+        assert_ne!(synthesize(&p, 3), synthesize(&p, 4));
+    }
+
+    #[test]
+    fn little_dead_logic() {
+        for name in ["s1196", "s953", "s1423"] {
+            let p = profile(name).unwrap();
+            let c = synthesize(&p, 1);
+            let is_sink: Vec<bool> = {
+                let mut v = vec![false; c.len()];
+                for pt in c.observe_points() {
+                    v[pt.signal().index()] = true;
+                }
+                v
+            };
+            let dead = c
+                .iter()
+                .filter(|(id, n)| {
+                    n.kind().is_logic() && n.fanout().is_empty() && !is_sink[id.index()]
+                })
+                .count();
+            let frac = dead as f64 / c.num_gates() as f64;
+            assert!(
+                frac < 0.02,
+                "{name}: dead fraction {frac} too high ({dead} gates)"
+            );
+        }
+    }
+
+    #[test]
+    fn iscas89_like_lookup() {
+        assert!(iscas89_like("s953").is_some());
+        // ISCAS'85 profiles resolve too (combinational stand-ins).
+        let c880 = iscas89_like("c880").unwrap();
+        assert!(c880.is_combinational());
+        assert!(iscas89_like("b17").is_none());
+        let c = iscas89_like("s298").unwrap();
+        assert_eq!(c.name(), "s298");
+    }
+
+    #[test]
+    fn generated_circuits_simulate() {
+        use ser_sim::BitSim;
+        let p = profile("s344").unwrap();
+        let c = synthesize(&p, 5);
+        let sim = BitSim::new(&c).unwrap();
+        let words: Vec<u64> = (0..sim.sources().len() as u64).collect();
+        let values = sim.run(&words);
+        assert_eq!(values.len(), c.len());
+    }
+
+    #[test]
+    fn dffs_are_driven_by_gates() {
+        let p = profile("s526").unwrap();
+        let c = synthesize(&p, 9);
+        for &ff in c.dffs() {
+            let d = c.node(ff).fanin()[0];
+            assert!(c.node(d).kind().is_logic(), "DFF driven by {}", c.node(d).kind());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "profile must have gates")]
+    fn degenerate_profile_rejected() {
+        let p = Profile {
+            name: "zero",
+            inputs: 1,
+            outputs: 1,
+            dffs: 0,
+            gates: 0,
+            depth: 1,
+        };
+        let _ = synthesize(&p, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Error types for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or analyzing a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate refers to a signal name that was never defined.
+    UndefinedSignal {
+        /// Name of the missing signal.
+        name: String,
+    },
+    /// The same signal name was defined more than once.
+    DuplicateSignal {
+        /// Name of the signal that was redefined.
+        name: String,
+    },
+    /// A gate was declared with an arity its kind does not allow
+    /// (e.g. a two-input NOT).
+    BadArity {
+        /// The offending gate's output signal name.
+        name: String,
+        /// The gate kind as written.
+        kind: String,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// The combinational portion of the circuit contains a cycle
+    /// (a loop not broken by a flip-flop).
+    CombinationalCycle {
+        /// Name of one signal on the cycle.
+        witness: String,
+    },
+    /// An `OUTPUT(x)` declaration refers to a signal never driven.
+    UndrivenOutput {
+        /// Name of the undriven output.
+        name: String,
+    },
+    /// A node id was used with a circuit it does not belong to.
+    InvalidNodeId {
+        /// The raw index.
+        index: usize,
+        /// Number of nodes in the circuit.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "undefined signal `{name}`")
+            }
+            NetlistError::DuplicateSignal { name } => {
+                write!(f, "signal `{name}` defined more than once")
+            }
+            NetlistError::BadArity { name, kind, got } => {
+                write!(f, "gate `{name}` of kind {kind} cannot take {got} input(s)")
+            }
+            NetlistError::CombinationalCycle { witness } => {
+                write!(f, "combinational cycle through signal `{witness}`")
+            }
+            NetlistError::UndrivenOutput { name } => {
+                write!(f, "output `{name}` is never driven")
+            }
+            NetlistError::InvalidNodeId { index, len } => {
+                write!(f, "node id {index} out of range for circuit with {len} nodes")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// Errors produced while parsing an ISCAS `.bench` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line could not be recognized as a comment, declaration or gate.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An unknown gate kind keyword was used.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The keyword as written.
+        kind: String,
+    },
+    /// The netlist was syntactically fine but semantically invalid.
+    Semantic(NetlistError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, text } => {
+                write!(f, "syntax error on line {line}: `{text}`")
+            }
+            ParseError::UnknownGate { line, kind } => {
+                write!(f, "unknown gate kind `{kind}` on line {line}")
+            }
+            ParseError::Semantic(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Semantic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ParseError {
+    fn from(e: NetlistError) -> Self {
+        ParseError::Semantic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_undefined_signal() {
+        let e = NetlistError::UndefinedSignal { name: "G7".into() };
+        assert_eq!(e.to_string(), "undefined signal `G7`");
+    }
+
+    #[test]
+    fn display_bad_arity() {
+        let e = NetlistError::BadArity {
+            name: "n1".into(),
+            kind: "NOT".into(),
+            got: 2,
+        };
+        assert!(e.to_string().contains("NOT"));
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn parse_error_wraps_netlist_error() {
+        let inner = NetlistError::DuplicateSignal { name: "x".into() };
+        let e: ParseError = inner.clone().into();
+        assert_eq!(e, ParseError::Semantic(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+        assert_send_sync::<ParseError>();
+    }
+}

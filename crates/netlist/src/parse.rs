@@ -1,0 +1,270 @@
+//! Parser for the ISCAS'85/'89 `.bench` netlist format.
+//!
+//! The format the benchmark suites (and this crate's generators) use:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G14)
+//! G11 = NAND(G0, G10)
+//! ```
+//!
+//! Signal names may be used before they are defined (ISCAS files list
+//! outputs and flip-flops up front).
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::error::ParseError;
+use crate::gate::GateKind;
+
+/// Parses a `.bench` netlist from a string.
+///
+/// `name` becomes the circuit name (usually the file stem).
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] for a malformed line,
+/// [`ParseError::UnknownGate`] for an unrecognized gate keyword, and
+/// [`ParseError::Semantic`] if the parsed netlist is invalid (undefined
+/// signals, duplicate definitions, bad arity, combinational cycles).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let c = ser_netlist::parse_bench(src, "tiny")?;
+/// assert_eq!(c.num_inputs(), 2);
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok::<(), ser_netlist::ParseError>(())
+/// ```
+pub fn parse_bench(source: &str, name: &str) -> Result<Circuit, ParseError> {
+    let mut builder = CircuitBuilder::new(name);
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        // Strip comments (both `#` and C-style `//` seen in the wild).
+        let text = match raw.find(['#']) {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let text = match text.find("//") {
+            Some(pos) => &text[..pos],
+            None => text,
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_decl(text, "INPUT") {
+            builder.input(rest);
+            continue;
+        }
+        if let Some(rest) = strip_decl(text, "OUTPUT") {
+            builder.mark_output_named(rest);
+            continue;
+        }
+        // Gate line: `lhs = KIND(op1, op2, ...)`
+        let Some((lhs, rhs)) = text.split_once('=') else {
+            return Err(ParseError::Syntax {
+                line,
+                text: text.to_owned(),
+            });
+        };
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        if lhs.is_empty() || !valid_name(lhs) {
+            return Err(ParseError::Syntax {
+                line,
+                text: text.to_owned(),
+            });
+        }
+        let Some(open) = rhs.find('(') else {
+            return Err(ParseError::Syntax {
+                line,
+                text: text.to_owned(),
+            });
+        };
+        let Some(rhs_body) = rhs.strip_suffix(')') else {
+            return Err(ParseError::Syntax {
+                line,
+                text: text.to_owned(),
+            });
+        };
+        let keyword = rhs[..open].trim();
+        let kind: GateKind = keyword.parse().map_err(|_| ParseError::UnknownGate {
+            line,
+            kind: keyword.to_owned(),
+        })?;
+        let args_text = rhs_body[open + 1..].trim();
+        let operands: Vec<&str> = if args_text.is_empty() {
+            Vec::new()
+        } else {
+            args_text.split(',').map(str::trim).collect()
+        };
+        if operands.iter().any(|o| o.is_empty() || !valid_name(o)) {
+            return Err(ParseError::Syntax {
+                line,
+                text: text.to_owned(),
+            });
+        }
+        builder.gate_named(lhs, kind, &operands);
+    }
+    Ok(builder.finish()?)
+}
+
+/// Matches `KEYWORD(name)` declarations, case-insensitively; returns the
+/// inner name.
+fn strip_decl<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = text.get(..keyword.len()).and_then(|head| {
+        head.eq_ignore_ascii_case(keyword)
+            .then(|| text[keyword.len()..].trim_start())
+    })?;
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    let inner = inner.trim();
+    (valid_name(inner)).then_some(inner)
+}
+
+/// Signal names: one or more characters, no whitespace, parens or commas.
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| !c.is_whitespace() && !matches!(c, '(' | ')' | ',' | '=' | '#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::NetlistError;
+
+    const S27_LIKE: &str = "
+# a small sequential netlist in the s27 spirit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+";
+
+    #[test]
+    fn parse_sequential_netlist() {
+        let c = parse_bench(S27_LIKE, "s27ish").unwrap();
+        assert_eq!(c.name(), "s27ish");
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 3);
+        assert_eq!(c.num_gates(), 10);
+        // Output G17 = NOT(G11).
+        let g17 = c.find("G17").unwrap();
+        assert_eq!(c.node(g17).kind(), GateKind::Not);
+        assert_eq!(c.outputs(), &[g17]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "INPUT(a) # trailing comment\n\n// c-style comment line\nOUTPUT(a)\n";
+        let c = parse_bench(src, "c").unwrap();
+        assert_eq!(c.num_inputs(), 1);
+        assert_eq!(c.num_outputs(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let src = "input(a)\noutput(y)\ny = nand(a, a)\n";
+        let c = parse_bench(src, "c").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let src = "INPUT ( a )\nOUTPUT( y )\n y  =  AND ( a , a )\n";
+        let c = parse_bench(src, "c").unwrap();
+        assert_eq!(c.find("y").map(|id| c.node(id).kind()), Some(GateKind::And));
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let src = "INPUT(a)\nthis is not a line\n";
+        match parse_bench(src, "c") {
+            Err(ParseError::Syntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_reported() {
+        let src = "INPUT(a)\ny = MAJ3(a, a, a)\nOUTPUT(y)\n";
+        match parse_bench(src, "c") {
+            Err(ParseError::UnknownGate { line, kind }) => {
+                assert_eq!(line, 2);
+                assert_eq!(kind, "MAJ3");
+            }
+            other => panic!("expected unknown gate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_signal_is_semantic_error() {
+        let src = "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)\n";
+        match parse_bench(src, "c") {
+            Err(ParseError::Semantic(NetlistError::UndefinedSignal { name })) => {
+                assert_eq!(name, "ghost");
+            }
+            other => panic!("expected undefined signal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_paren_is_syntax_error() {
+        assert!(matches!(
+            parse_bench("y = AND(a, b\n", "c"),
+            Err(ParseError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_bench("y = AND a, b)\n", "c"),
+            Err(ParseError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_operand_is_syntax_error() {
+        assert!(matches!(
+            parse_bench("INPUT(a)\ny = AND(a, )\nOUTPUT(y)\n", "c"),
+            Err(ParseError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn output_before_definition() {
+        let src = "OUTPUT(y)\nINPUT(a)\ny = NOT(a)\n";
+        let c = parse_bench(src, "c").unwrap();
+        assert_eq!(c.num_outputs(), 1);
+    }
+
+    #[test]
+    fn buff_alias() {
+        let src = "INPUT(a)\ny = BUFF(a)\nOUTPUT(y)\n";
+        let c = parse_bench(src, "c").unwrap();
+        let y = c.find("y").unwrap();
+        assert_eq!(c.node(y).kind(), GateKind::Buf);
+    }
+}

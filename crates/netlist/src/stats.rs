@@ -1,0 +1,136 @@
+//! Structural statistics of a circuit (used by reports and by the
+//! synthetic-benchmark generator to verify profile matching).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::topo;
+
+/// A structural summary of a [`Circuit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Number of logic gates.
+    pub gates: usize,
+    /// Combinational depth (max logic level).
+    pub depth: usize,
+    /// Gate count per kind.
+    pub by_kind: BTreeMap<GateKind, usize>,
+    /// Mean fanout over nodes that drive at least one pin.
+    pub avg_fanout: f64,
+    /// Largest fanout of any node.
+    pub max_fanout: usize,
+    /// Number of fanout stems (nodes with fanout >= 2) — the potential
+    /// reconvergence sources that the paper's polarity tracking targets.
+    pub fanout_stems: usize,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if depth cannot be
+    /// computed because the combinational graph is cyclic.
+    pub fn compute(circuit: &Circuit) -> Result<Self, NetlistError> {
+        let mut by_kind: BTreeMap<GateKind, usize> = BTreeMap::new();
+        let mut fanout_total = 0usize;
+        let mut fanout_nodes = 0usize;
+        let mut max_fanout = 0usize;
+        let mut fanout_stems = 0usize;
+        for (_, node) in circuit.iter() {
+            *by_kind.entry(node.kind()).or_insert(0) += 1;
+            let fo = node.fanout().len();
+            if fo > 0 {
+                fanout_total += fo;
+                fanout_nodes += 1;
+            }
+            max_fanout = max_fanout.max(fo);
+            if fo >= 2 {
+                fanout_stems += 1;
+            }
+        }
+        Ok(CircuitStats {
+            name: circuit.name().to_owned(),
+            inputs: circuit.num_inputs(),
+            outputs: circuit.num_outputs(),
+            dffs: circuit.num_dffs(),
+            gates: circuit.num_gates(),
+            depth: topo::depth(circuit)?,
+            by_kind,
+            avg_fanout: if fanout_nodes == 0 {
+                0.0
+            } else {
+                fanout_total as f64 / fanout_nodes as f64
+            },
+            max_fanout,
+            fanout_stems,
+        })
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} PI, {} PO, {} DFF, {} gates, depth {}",
+            self.name, self.inputs, self.outputs, self.dffs, self.gates, self.depth
+        )?;
+        write!(
+            f,
+            "  fanout avg {:.2} max {} stems {}",
+            self.avg_fanout, self.max_fanout, self.fanout_stems
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut b = CircuitBuilder::new("stat");
+        let a = b.input("a");
+        let x = b.input("x");
+        let g = b.gate("g", GateKind::And, &[a, x]);
+        let h = b.gate("h", GateKind::Or, &[g, a]);
+        let q = b.dff("q", h);
+        let z = b.gate("z", GateKind::Not, &[q]);
+        b.mark_output(z);
+        let c = b.finish().unwrap();
+        let s = CircuitStats::compute(&c).unwrap();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.dffs, 1);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.depth, 2); // a -> g -> h
+        assert_eq!(s.by_kind[&GateKind::And], 1);
+        assert_eq!(s.by_kind[&GateKind::Input], 2);
+        // a drives g and h: the only stem.
+        assert_eq!(s.fanout_stems, 1);
+        assert_eq!(s.max_fanout, 2);
+        let text = s.to_string();
+        assert!(text.contains("2 PI"));
+        assert!(text.contains("depth 2"));
+    }
+
+    #[test]
+    fn stats_of_empty_circuit() {
+        let c = CircuitBuilder::new("e").finish().unwrap();
+        let s = CircuitStats::compute(&c).unwrap();
+        assert_eq!(s.gates, 0);
+        assert_eq!(s.avg_fanout, 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Topological ordering and levelization of the combinational graph.
+//!
+//! The *combinational graph* is the circuit graph with flip-flops cut
+//! open: a [`GateKind::Dff`](crate::GateKind::Dff) node acts as a source
+//! (its Q output) and the edge from its D driver into the flip-flop is a
+//! sink edge that imposes no ordering constraint. Step 2 of the paper's
+//! algorithm ("Ordering: levelize signals … using the topological sorting
+//! algorithm") runs on this graph.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Returns `true` if the edge `driver -> sink` constrains combinational
+/// evaluation order (i.e. `sink` is not a flip-flop).
+#[inline]
+fn is_comb_edge(circuit: &Circuit, sink: NodeId) -> bool {
+    circuit.node(sink).kind() != GateKind::Dff
+}
+
+/// Computes a topological order of **all** nodes over combinational
+/// edges using Kahn's algorithm. Sources (inputs, flip-flops, constants)
+/// come first in arena order; ties are broken by ascending id, making the
+/// order deterministic.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if a cycle exists that is
+/// not broken by a flip-flop.
+pub fn topo_order(circuit: &Circuit) -> Result<Vec<NodeId>, NetlistError> {
+    let n = circuit.len();
+    let mut indegree = vec![0usize; n];
+    for (id, node) in circuit.iter() {
+        if node.kind() == GateKind::Dff {
+            continue; // Q does not combinationally depend on D.
+        }
+        indegree[id.index()] = node.fanin().len();
+    }
+    // A simple FIFO over ids; initialized in arena order for determinism.
+    let mut queue: std::collections::VecDeque<NodeId> = circuit
+        .node_ids()
+        .filter(|id| indegree[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        for &succ in circuit.node(id).fanout() {
+            if !is_comb_edge(circuit, succ) {
+                continue;
+            }
+            let d = &mut indegree[succ.index()];
+            *d -= 1;
+            if *d == 0 {
+                queue.push_back(succ);
+            }
+        }
+    }
+    if order.len() != n {
+        let witness = circuit
+            .node_ids()
+            .find(|id| indegree[id.index()] > 0)
+            .expect("cycle implies a node with positive indegree");
+        return Err(NetlistError::CombinationalCycle {
+            witness: circuit.node(witness).name().to_owned(),
+        });
+    }
+    Ok(order)
+}
+
+/// Logic levels of every node: sources are level 0, every gate is
+/// `1 + max(level of fanins)` over combinational edges.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] like [`topo_order`].
+pub fn levelize(circuit: &Circuit) -> Result<Vec<usize>, NetlistError> {
+    let order = topo_order(circuit)?;
+    let mut level = vec![0usize; circuit.len()];
+    for id in order {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Dff || node.fanin().is_empty() {
+            level[id.index()] = 0;
+            continue;
+        }
+        level[id.index()] = 1 + node
+            .fanin()
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .expect("non-empty fanin");
+    }
+    Ok(level)
+}
+
+/// The maximum logic level (combinational depth) of the circuit.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] like [`topo_order`].
+pub fn depth(circuit: &Circuit) -> Result<usize, NetlistError> {
+    Ok(levelize(circuit)?.into_iter().max().unwrap_or(0))
+}
+
+/// Verifies that `order` is a permutation of all nodes consistent with
+/// the combinational edges. Used by tests and downstream debug checks.
+#[must_use]
+pub fn is_topo_order(circuit: &Circuit, order: &[NodeId]) -> bool {
+    if order.len() != circuit.len() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; circuit.len()];
+    for (i, id) in order.iter().enumerate() {
+        if pos[id.index()] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[id.index()] = i;
+    }
+    for (id, node) in circuit.iter() {
+        if node.kind() == GateKind::Dff {
+            continue;
+        }
+        for &f in node.fanin() {
+            if pos[f.index()] >= pos[id.index()] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn chain(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        let mut prev = b.input("i0");
+        for k in 1..=n {
+            prev = b.gate(&format!("g{k}"), GateKind::Not, &[prev]);
+        }
+        b.mark_output(prev);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_levels() {
+        let c = chain(5);
+        let lv = levelize(&c).unwrap();
+        let order = topo_order(&c).unwrap();
+        assert!(is_topo_order(&c, &order));
+        assert_eq!(depth(&c).unwrap(), 5);
+        // Input is level 0, last gate level 5.
+        assert_eq!(lv[c.find("i0").unwrap().index()], 0);
+        assert_eq!(lv[c.find("g5").unwrap().index()], 5);
+    }
+
+    #[test]
+    fn diamond_levels() {
+        // i -> a, b -> g (reconvergence)
+        let mut b = CircuitBuilder::new("diamond");
+        let i = b.input("i");
+        let a = b.gate("a", GateKind::Not, &[i]);
+        let bb = b.gate("b", GateKind::Buf, &[i]);
+        let g = b.gate("g", GateKind::And, &[a, bb]);
+        b.mark_output(g);
+        let c = b.finish().unwrap();
+        let lv = levelize(&c).unwrap();
+        assert_eq!(lv[i.index()], 0);
+        assert_eq!(lv[a.index()], 1);
+        assert_eq!(lv[bb.index()], 1);
+        assert_eq!(lv[g.index()], 2);
+    }
+
+    #[test]
+    fn dff_is_level_zero_source() {
+        // q = DFF(d); d = NOT(q): levels are q=0, d=1.
+        let mut b = CircuitBuilder::new("tff");
+        let q = b.gate_named("q", GateKind::Dff, &["d"]);
+        let d = b.gate_named("d", GateKind::Not, &["q"]);
+        b.mark_output(q);
+        let c = b.finish().unwrap();
+        let lv = levelize(&c).unwrap();
+        assert_eq!(lv[q.index()], 0);
+        assert_eq!(lv[d.index()], 1);
+        let order = topo_order(&c).unwrap();
+        assert!(is_topo_order(&c, &order));
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = CircuitBuilder::new("empty").finish().unwrap();
+        assert_eq!(topo_order(&c).unwrap(), vec![]);
+        assert_eq!(depth(&c).unwrap(), 0);
+    }
+
+    #[test]
+    fn is_topo_order_rejects_bad_orders() {
+        let c = chain(2);
+        let i0 = c.find("i0").unwrap();
+        let g1 = c.find("g1").unwrap();
+        let g2 = c.find("g2").unwrap();
+        assert!(is_topo_order(&c, &[i0, g1, g2]));
+        assert!(!is_topo_order(&c, &[g1, i0, g2])); // g1 before its driver
+        assert!(!is_topo_order(&c, &[i0, g1])); // wrong length
+        assert!(!is_topo_order(&c, &[i0, i0, g2])); // duplicate
+    }
+}

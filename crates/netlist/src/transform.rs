@@ -1,0 +1,163 @@
+//! Circuit transformations: TMR (triple modular redundancy) hardening.
+//!
+//! The paper's conclusion motivates EPP with selective hardening:
+//! "identify the most vulnerable components to be protected by soft
+//! error hardening techniques." This module implements the archetypal
+//! such technique — triplicate a gate and vote — so the suite can close
+//! the loop: rank, protect, re-analyze.
+//!
+//! An SEU striking any *one* of the three copies is outvoted (the other
+//! two copies compute the same value from the same fanins), so a TMR'd
+//! gate's own soft errors are fully masked. Errors arriving *through*
+//! the gate from upstream still propagate — all three copies flip
+//! together — which is the correct semantics: TMR protects a gate's own
+//! upsets, not its inputs'.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, NodeId};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Applies TMR to the given gates, returning the hardened circuit.
+///
+/// Each selected node must be a logic gate (primary inputs, flip-flops
+/// and constants cannot be triplicated by this transform). The gate is
+/// cloned twice (`name__r1`, `name__r2`) and a 2-of-3 majority voter
+/// (`name__v*` gates) replaces it in every fanout; the voter output
+/// keeps the original name so outputs and downstream logic are
+/// untouched.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidNodeId`] if a node id is out of
+/// range, or [`NetlistError::BadArity`] wrapped as a semantic error if
+/// a selected node is not a logic gate.
+///
+/// # Examples
+///
+/// ```
+/// use ser_netlist::{parse_bench, harden_tmr};
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let y = c.find("y").unwrap();
+/// let hardened = harden_tmr(&c, &[y])?;
+/// // One gate became 3 copies + 4 voter gates.
+/// assert_eq!(hardened.num_gates(), 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn harden_tmr(circuit: &Circuit, nodes: &[NodeId]) -> Result<Circuit, NetlistError> {
+    let mut selected = vec![false; circuit.len()];
+    for &id in nodes {
+        let node = circuit.try_node(id)?;
+        if !node.kind().is_logic() {
+            return Err(NetlistError::BadArity {
+                name: node.name().to_owned(),
+                kind: node.kind().to_string(),
+                got: node.fanin().len(),
+            });
+        }
+        selected[id.index()] = true;
+    }
+
+    let mut b = CircuitBuilder::new(format!("{}_tmr", circuit.name()));
+    // Recreate every node in arena order; names are preserved, so
+    // name-based references (gate_named) resolve regardless of order.
+    for (id, node) in circuit.iter() {
+        let fanin_names: Vec<String> = node
+            .fanin()
+            .iter()
+            .map(|&f| circuit.node(f).name().to_owned())
+            .collect();
+        match node.kind() {
+            GateKind::Input => {
+                b.input(node.name());
+            }
+            GateKind::Const0 => {
+                b.constant(node.name(), false);
+            }
+            GateKind::Const1 => {
+                b.constant(node.name(), true);
+            }
+            GateKind::Dff => {
+                b.gate_named(node.name(), GateKind::Dff, &fanin_names);
+            }
+            kind if selected[id.index()] => {
+                // Three copies feeding a 2-of-3 majority voter that
+                // inherits the original name.
+                let name = node.name();
+                let copy0 = format!("{name}__r0");
+                let copy1 = format!("{name}__r1");
+                let copy2 = format!("{name}__r2");
+                b.gate_named(&copy0, kind, &fanin_names);
+                b.gate_named(&copy1, kind, &fanin_names);
+                b.gate_named(&copy2, kind, &fanin_names);
+                let p01 = format!("{name}__v01");
+                let p12 = format!("{name}__v12");
+                let p02 = format!("{name}__v02");
+                b.gate_named(&p01, GateKind::And, &[copy0.clone(), copy1.clone()]);
+                b.gate_named(&p12, GateKind::And, &[copy1, copy2.clone()]);
+                b.gate_named(&p02, GateKind::And, &[copy0, copy2]);
+                b.gate_named(name, GateKind::Or, &[p01, p12, p02]);
+            }
+            kind => {
+                b.gate_named(node.name(), kind, &fanin_names);
+            }
+        }
+    }
+    for &po in circuit.outputs() {
+        b.mark_output_named(circuit.node(po).name());
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bench;
+
+    #[test]
+    fn single_gate_tmr_counts() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let y = c.find("y").unwrap();
+        let h = harden_tmr(&c, &[y]).unwrap();
+        assert_eq!(h.name(), "t_tmr");
+        assert_eq!(h.num_gates(), 7); // 3 copies + 3 AND + 1 OR
+        assert_eq!(h.num_inputs(), 2);
+        assert_eq!(h.num_outputs(), 1);
+        // The PO is still named y (the voter).
+        let yv = h.outputs()[0];
+        assert_eq!(h.node(yv).name(), "y");
+        assert_eq!(h.node(yv).kind(), GateKind::Or);
+    }
+
+    #[test]
+    fn rejects_non_gate_nodes() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
+        let a = c.find("a").unwrap();
+        assert!(harden_tmr(&c, &[a]).is_err());
+    }
+
+    #[test]
+    fn sequential_circuit_tmr() {
+        let c = parse_bench(
+            "INPUT(x)\nOUTPUT(z)\nq = DFF(d)\nd = NOT(x)\nz = AND(q, x)\n",
+            "s",
+        )
+        .unwrap();
+        let d = c.find("d").unwrap();
+        let h = harden_tmr(&c, &[d]).unwrap();
+        assert_eq!(h.num_dffs(), 1);
+        // The DFF still reads the (voted) d.
+        let q = h.find("q").unwrap();
+        let dv = h.node(q).fanin()[0];
+        assert_eq!(h.node(dv).name(), "d");
+    }
+
+    #[test]
+    fn empty_selection_is_identity_modulo_name() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
+        let h = harden_tmr(&c, &[]).unwrap();
+        assert_eq!(h.num_gates(), c.num_gates());
+        assert_eq!(h.num_inputs(), c.num_inputs());
+    }
+}

@@ -1,0 +1,570 @@
+//! Structural Verilog subset: parser and writer.
+//!
+//! Gate-level netlists in the wild are usually structural Verilog, not
+//! `.bench`; this module accepts the subset synthesis tools emit for
+//! primitive-gate netlists:
+//!
+//! ```verilog
+//! // line comments and /* block comments */
+//! module top (a, b, y);
+//!   input a, b;
+//!   output y;
+//!   wire w;
+//!   nand g1 (w, a, b);   // primitive gates: output first, then inputs
+//!   not  g2 (y, w);
+//! endmodule
+//! ```
+//!
+//! Supported primitives: `and`, `nand`, `or`, `nor`, `xor`, `xnor`,
+//! `not`, `buf`, plus two conveniences: `dff q (Q, D);` for a D
+//! flip-flop and `assign x = y;` as a buffer alias. One module per
+//! file; vectors/parameters/always blocks are out of scope (they are
+//! not gate-level constructs).
+
+use std::collections::HashMap;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::error::ParseError;
+use crate::gate::GateKind;
+
+/// Parses a structural Verilog module into a [`Circuit`].
+///
+/// The circuit takes the module's name; `INPUT`/`OUTPUT` roles come
+/// from the `input`/`output` declarations.
+///
+/// # Errors
+///
+/// Returns [`ParseError::Syntax`] (with a line number) for anything
+/// outside the subset, [`ParseError::UnknownGate`] for an unsupported
+/// primitive, and [`ParseError::Semantic`] for structurally invalid
+/// netlists (undriven signals, cycles, duplicates).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// module half_adder (a, b, s, c);
+///   input a, b;
+///   output s, c;
+///   xor g1 (s, a, b);
+///   and g2 (c, a, b);
+/// endmodule
+/// ";
+/// let circuit = ser_netlist::parse_verilog(src)?;
+/// assert_eq!(circuit.name(), "half_adder");
+/// assert_eq!(circuit.num_gates(), 2);
+/// # Ok::<(), ser_netlist::ParseError>(())
+/// ```
+pub fn parse_verilog(source: &str) -> Result<Circuit, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+    };
+    p.module()
+}
+
+/// Renders a circuit as a structural Verilog module (round-trips with
+/// [`parse_verilog`]).
+#[must_use]
+pub fn write_verilog(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let ports: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .chain(circuit.outputs().iter())
+        .map(|&id| circuit.node(id).name())
+        .collect();
+    let module_name = sanitize(circuit.name());
+    let _ = writeln!(out, "module {module_name} ({});", ports.join(", "));
+    if !circuit.inputs().is_empty() {
+        let names: Vec<&str> = circuit
+            .inputs()
+            .iter()
+            .map(|&id| circuit.node(id).name())
+            .collect();
+        let _ = writeln!(out, "  input {};", names.join(", "));
+    }
+    if !circuit.outputs().is_empty() {
+        let names: Vec<&str> = circuit
+            .outputs()
+            .iter()
+            .map(|&id| circuit.node(id).name())
+            .collect();
+        let _ = writeln!(out, "  output {};", names.join(", "));
+    }
+    let wires: Vec<&str> = circuit
+        .iter()
+        .filter(|(id, n)| {
+            n.kind() != GateKind::Input && !circuit.outputs().contains(id)
+        })
+        .map(|(_, n)| n.name())
+        .collect();
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    let mut gi = 0usize;
+    for (_, node) in circuit.iter() {
+        let keyword = match node.kind() {
+            GateKind::Input => continue,
+            GateKind::Const0 => {
+                // Verilog subset: constants as buf-from-literal are not
+                // in the grammar; emit a supply-style assign.
+                let _ = writeln!(out, "  assign {} = 1'b0;", node.name());
+                continue;
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, "  assign {} = 1'b1;", node.name());
+                continue;
+            }
+            GateKind::Dff => "dff",
+            GateKind::And => "and",
+            GateKind::Nand => "nand",
+            GateKind::Or => "or",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+        };
+        let mut pins: Vec<&str> = vec![node.name()];
+        pins.extend(node.fanin().iter().map(|&f| circuit.node(f).name()));
+        let _ = writeln!(out, "  {keyword} g{gi} ({});", pins.join(", "));
+        gi += 1;
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'm');
+    }
+    s
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Equals,
+    /// `1'b0` / `1'b1` literals (for `assign`).
+    Literal(bool),
+}
+
+fn tokenize(source: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = source.char_indices().peekable();
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(source.match_indices('\n').map(|(i, _)| i + 1))
+        .collect();
+    let line_of = |byte: usize| -> usize {
+        match line_starts.binary_search(&byte) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                match chars.peek() {
+                    Some(&(_, '/')) => {
+                        for (_, c2) in chars.by_ref() {
+                            if c2 == '\n' {
+                                break;
+                            }
+                        }
+                    }
+                    Some(&(_, '*')) => {
+                        chars.next();
+                        let mut prev = ' ';
+                        for (_, c2) in chars.by_ref() {
+                            if prev == '*' && c2 == '/' {
+                                break;
+                            }
+                            prev = c2;
+                        }
+                    }
+                    _ => {
+                        return Err(ParseError::Syntax {
+                            line: line_of(i),
+                            text: "/".into(),
+                        })
+                    }
+                }
+            }
+            '(' => {
+                out.push((line_of(i), Tok::LParen));
+                chars.next();
+            }
+            ')' => {
+                out.push((line_of(i), Tok::RParen));
+                chars.next();
+            }
+            ',' => {
+                out.push((line_of(i), Tok::Comma));
+                chars.next();
+            }
+            ';' => {
+                out.push((line_of(i), Tok::Semi));
+                chars.next();
+            }
+            '=' => {
+                out.push((line_of(i), Tok::Equals));
+                chars.next();
+            }
+            '1' => {
+                // Possibly a 1'b0 / 1'b1 literal.
+                let rest: String = source[i..].chars().take(4).collect();
+                if rest == "1'b0" || rest == "1'b1" {
+                    out.push((line_of(i), Tok::Literal(rest == "1'b1")));
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                } else {
+                    return Err(ParseError::Syntax {
+                        line: line_of(i),
+                        text: rest,
+                    });
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '\\' => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' || c2 == '$' || c2 == '\\' {
+                        end = j + c2.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((line_of(start), Tok::Ident(source[start..end].to_owned())));
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line: line_of(i),
+                    text: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'t> {
+    tokens: &'t [(usize, Tok)],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |&(l, _)| l)
+    }
+
+    fn syntax<T>(&self, what: &str) -> Result<T, ParseError> {
+        Err(ParseError::Syntax {
+            line: self.line(),
+            text: what.to_owned(),
+        })
+    }
+
+    fn next(&mut self) -> Option<&Tok> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t);
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.tokens.get(self.pos).map(|(_, t)| t) == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.syntax(what)
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.tokens.get(self.pos) {
+            Some((_, Tok::Ident(s))) => {
+                self.pos += 1;
+                Ok(s.clone())
+            }
+            _ => self.syntax(what),
+        }
+    }
+
+    /// `name, name, ... ;`
+    fn name_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut names = vec![self.ident("signal name")?];
+        loop {
+            match self.tokens.get(self.pos).map(|(_, t)| t) {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                    names.push(self.ident("signal name")?);
+                }
+                Some(Tok::Semi) => {
+                    self.pos += 1;
+                    return Ok(names);
+                }
+                _ => return self.syntax("`,` or `;`"),
+            }
+        }
+    }
+
+    fn module(&mut self) -> Result<Circuit, ParseError> {
+        let kw = self.ident("`module`")?;
+        if kw != "module" {
+            return self.syntax("`module`");
+        }
+        let name = self.ident("module name")?;
+        // Port list (names only; roles come from input/output decls).
+        self.expect(&Tok::LParen, "`(`")?;
+        loop {
+            match self.next() {
+                Some(Tok::RParen) => break,
+                Some(Tok::Ident(_) | Tok::Comma) => {}
+                _ => return self.syntax("port list"),
+            }
+        }
+        self.expect(&Tok::Semi, "`;` after port list")?;
+
+        let mut b = CircuitBuilder::new(name);
+        let mut declared_outputs: Vec<String> = Vec::new();
+        let mut seen_inputs: HashMap<String, ()> = HashMap::new();
+        loop {
+            let kw = match self.tokens.get(self.pos) {
+                Some((_, Tok::Ident(s))) => s.clone(),
+                _ => return self.syntax("statement or `endmodule`"),
+            };
+            self.pos += 1;
+            match kw.as_str() {
+                "endmodule" => break,
+                "input" => {
+                    for n in self.name_list()? {
+                        seen_inputs.insert(n.clone(), ());
+                        b.input(&n);
+                    }
+                }
+                "output" => {
+                    declared_outputs.extend(self.name_list()?);
+                }
+                "wire" => {
+                    // Declarations carry no structure in this subset.
+                    let _ = self.name_list()?;
+                }
+                "assign" => {
+                    // assign lhs = rhs ;  (rhs: ident or 1'bX)
+                    let lhs = self.ident("assign target")?;
+                    self.expect(&Tok::Equals, "`=`")?;
+                    match self.next() {
+                        Some(Tok::Ident(rhs)) => {
+                            let rhs = rhs.clone();
+                            b.gate_named(&lhs, GateKind::Buf, &[rhs]);
+                        }
+                        Some(&Tok::Literal(v)) => {
+                            b.constant(&lhs, v);
+                        }
+                        _ => return self.syntax("assign source"),
+                    }
+                    self.expect(&Tok::Semi, "`;`")?;
+                }
+                prim => {
+                    let kind = match prim {
+                        "and" => GateKind::And,
+                        "nand" => GateKind::Nand,
+                        "or" => GateKind::Or,
+                        "nor" => GateKind::Nor,
+                        "xor" => GateKind::Xor,
+                        "xnor" => GateKind::Xnor,
+                        "not" => GateKind::Not,
+                        "buf" => GateKind::Buf,
+                        "dff" => GateKind::Dff,
+                        other => {
+                            return Err(ParseError::UnknownGate {
+                                line: self.line(),
+                                kind: other.to_owned(),
+                            })
+                        }
+                    };
+                    // Optional instance name.
+                    if matches!(self.tokens.get(self.pos), Some((_, Tok::Ident(_)))) {
+                        self.pos += 1;
+                    }
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let mut pins = vec![self.ident("output pin")?];
+                    loop {
+                        match self.next() {
+                            Some(Tok::Comma) => pins.push(self.ident("input pin")?),
+                            Some(Tok::RParen) => break,
+                            _ => return self.syntax("pin list"),
+                        }
+                    }
+                    self.expect(&Tok::Semi, "`;`")?;
+                    if pins.len() < 2 {
+                        return self.syntax("gate needs an output and at least one input");
+                    }
+                    let (out_pin, in_pins) = pins.split_first().expect("nonempty");
+                    b.gate_named(out_pin, kind, in_pins);
+                }
+            }
+        }
+        for out in declared_outputs {
+            b.mark_output_named(&out);
+        }
+        Ok(b.finish()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bench;
+
+    const HALF_ADDER: &str = "
+// a half adder
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  xor g1 (s, a, b);
+  and g2 (c, a, b);
+endmodule
+";
+
+    #[test]
+    fn parses_half_adder() {
+        let c = parse_verilog(HALF_ADDER).unwrap();
+        assert_eq!(c.name(), "half_adder");
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 2);
+        let s = c.find("s").unwrap();
+        assert_eq!(c.node(s).kind(), GateKind::Xor);
+    }
+
+    #[test]
+    fn comments_and_block_comments() {
+        let src = "
+/* block
+   comment */
+module t (a, y);
+  input a; // trailing
+  output y;
+  not g (y, a);
+endmodule
+";
+        let c = parse_verilog(src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn dff_and_assign() {
+        let src = "
+module seq (x, z);
+  input x;
+  output z;
+  wire d, q;
+  not g0 (d, x);
+  dff ff (q, d);
+  assign z = q;
+endmodule
+";
+        let c = parse_verilog(src).unwrap();
+        assert_eq!(c.num_dffs(), 1);
+        let z = c.find("z").unwrap();
+        assert_eq!(c.node(z).kind(), GateKind::Buf);
+    }
+
+    #[test]
+    fn constants_via_literals() {
+        let src = "
+module k (a, y);
+  input a;
+  output y;
+  wire one;
+  assign one = 1'b1;
+  and g (y, a, one);
+endmodule
+";
+        let c = parse_verilog(src).unwrap();
+        let one = c.find("one").unwrap();
+        assert_eq!(c.node(one).kind(), GateKind::Const1);
+    }
+
+    #[test]
+    fn instance_names_optional() {
+        let src = "module t (a, y);\ninput a;\noutput y;\nnot (y, a);\nendmodule\n";
+        let c = parse_verilog(src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn unknown_primitive_reported() {
+        let src = "module t (a, y);\ninput a;\noutput y;\nlatch g (y, a);\nendmodule\n";
+        match parse_verilog(src) {
+            Err(ParseError::UnknownGate { kind, .. }) => assert_eq!(kind, "latch"),
+            other => panic!("expected unknown gate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_error_carries_line() {
+        let src = "module t (a, y);\ninput a;\noutput y;\nnot g (y a);\nendmodule\n";
+        match parse_verilog(src) {
+            Err(ParseError::Syntax { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_via_verilog() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(q)\nu = NAND(a, b)\nq = DFF(u)\ny = XOR(u, q)\n",
+            "rt",
+        )
+        .unwrap();
+        let text = write_verilog(&c);
+        let back = parse_verilog(&text).unwrap();
+        assert_eq!(back.num_inputs(), c.num_inputs());
+        assert_eq!(back.num_outputs(), c.num_outputs());
+        assert_eq!(back.num_dffs(), c.num_dffs());
+        assert_eq!(back.num_gates(), c.num_gates());
+        // Same functionality pin for pin (names preserved).
+        for (id, node) in c.iter() {
+            let bid = back.find(node.name()).expect("name preserved");
+            assert_eq!(back.node(bid).kind(), node.kind(), "kind of {}", node.name());
+            let _ = id;
+        }
+    }
+
+    #[test]
+    fn round_trip_with_constants() {
+        let src = "INPUT(a)\nOUTPUT(y)\nk = CONST0()\ny = OR(a, k)\n";
+        let c = parse_bench(src, "kc").unwrap();
+        let back = parse_verilog(&write_verilog(&c)).unwrap();
+        let k = back.find("k").unwrap();
+        assert_eq!(back.node(k).kind(), GateKind::Const0);
+    }
+
+    #[test]
+    fn module_name_sanitized_on_write() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(a)\n", "weird-name.v").unwrap();
+        let text = write_verilog(&c);
+        assert!(text.starts_with("module weird_name_v ("));
+    }
+}

@@ -1,0 +1,115 @@
+//! Writer emitting the ISCAS `.bench` format (round-trips with
+//! [`parse_bench`](crate::parse_bench)).
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Renders `circuit` as `.bench` text.
+///
+/// Inputs are listed first, then outputs, then flip-flops, then gates in
+/// arena order. Constants are written as `name = CONST0()` /
+/// `name = CONST1()` — an extension this crate's parser understands.
+///
+/// # Examples
+///
+/// ```
+/// use ser_netlist::{parse_bench, write_bench};
+///
+/// let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+/// let c = parse_bench(src, "t")?;
+/// let text = write_bench(&c);
+/// let back = parse_bench(&text, "t")?;
+/// assert_eq!(c, back);
+/// # Ok::<(), ser_netlist::ParseError>(())
+/// ```
+#[must_use]
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs  {} outputs  {} flip-flops  {} gates",
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_dffs(),
+        circuit.num_gates()
+    );
+    out.push('\n');
+    for &id in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.node(id).name());
+    }
+    out.push('\n');
+    for &id in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.node(id).name());
+    }
+    out.push('\n');
+    for (_, node) in circuit.iter() {
+        match node.kind() {
+            GateKind::Input => {}
+            kind => {
+                let operands: Vec<&str> = node
+                    .fanin()
+                    .iter()
+                    .map(|&f| circuit.node(f).name())
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    node.name(),
+                    kind.bench_keyword(),
+                    operands.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::parse::parse_bench;
+
+    #[test]
+    fn round_trip_sequential() {
+        let mut b = CircuitBuilder::new("rt");
+        let a = b.input("a");
+        let x = b.input("x");
+        let g = b.gate("g", GateKind::Nand, &[a, x]);
+        let q = b.dff("q", g);
+        let z = b.gate("z", GateKind::Xor, &[q, a]);
+        b.mark_output(z);
+        b.mark_output(g);
+        let c = b.finish().unwrap();
+
+        let text = write_bench(&c);
+        let back = parse_bench(&text, "rt").unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn round_trip_constants() {
+        let mut b = CircuitBuilder::new("k");
+        let one = b.constant("one", true);
+        let zero = b.constant("zero", false);
+        let g = b.gate("g", GateKind::Or, &[one, zero]);
+        b.mark_output(g);
+        let c = b.finish().unwrap();
+        let back = parse_bench(&write_bench(&c), "k").unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn header_contains_counts() {
+        let mut b = CircuitBuilder::new("hdr");
+        let a = b.input("a");
+        b.mark_output(a);
+        let c = b.finish().unwrap();
+        let text = write_bench(&c);
+        assert!(text.contains("# hdr"));
+        assert!(text.contains("1 inputs"));
+    }
+}

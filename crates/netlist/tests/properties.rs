@@ -1,0 +1,146 @@
+//! Property-based tests for the netlist substrate: random circuits
+//! built through the public builder must satisfy the structural
+//! invariants every downstream analysis relies on.
+
+use proptest::prelude::*;
+use ser_netlist::{
+    is_topo_order, levelize, parse_bench, topo_order, write_bench, CircuitBuilder, FanoutCone,
+    GateKind, NodeId,
+};
+
+/// A recipe for one random DAG: per-gate (kind index, fanin picks).
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    gates: Vec<(usize, Vec<usize>)>,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (1usize..6).prop_flat_map(|inputs| {
+        proptest::collection::vec(
+            (0usize..6, proptest::collection::vec(0usize..1000, 1..4)),
+            1..30,
+        )
+        .prop_map(move |gates| Recipe { inputs, gates })
+    })
+}
+
+const KINDS: [GateKind; 6] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Not,
+];
+
+fn build(recipe: &Recipe) -> ser_netlist::Circuit {
+    let mut b = CircuitBuilder::new("prop");
+    let mut nodes: Vec<NodeId> = (0..recipe.inputs)
+        .map(|i| b.input(&format!("i{i}")))
+        .collect();
+    for (gi, (kind_idx, picks)) in recipe.gates.iter().enumerate() {
+        let kind = KINDS[kind_idx % KINDS.len()];
+        let fanin: Vec<NodeId> = if kind == GateKind::Not {
+            vec![nodes[picks[0] % nodes.len()]]
+        } else {
+            picks.iter().map(|&p| nodes[p % nodes.len()]).collect()
+        };
+        nodes.push(b.gate(&format!("g{gi}"), kind, &fanin));
+    }
+    // Mark the last node and any sinks as outputs.
+    let last = *nodes.last().unwrap();
+    b.mark_output(last);
+    b.finish().expect("recipe builds a DAG by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// topo_order returns a valid topological permutation, and
+    /// levelize is consistent with it.
+    #[test]
+    fn topo_and_levels_consistent(r in recipe()) {
+        let c = build(&r);
+        let order = topo_order(&c).unwrap();
+        prop_assert!(is_topo_order(&c, &order));
+        let lv = levelize(&c).unwrap();
+        for (id, node) in c.iter() {
+            for &f in node.fanin() {
+                prop_assert!(lv[f.index()] < lv[id.index()],
+                    "level({f}) = {} !< level({id}) = {}", lv[f.index()], lv[id.index()]);
+            }
+        }
+    }
+
+    /// The `.bench` writer/parser round-trips every buildable circuit.
+    #[test]
+    fn bench_round_trip(r in recipe()) {
+        let c = build(&r);
+        let text = write_bench(&c);
+        let back = parse_bench(&text, "prop").unwrap();
+        prop_assert_eq!(c, back);
+    }
+
+    /// The Verilog writer/parser round-trips structure and kinds.
+    #[test]
+    fn verilog_round_trip(r in recipe()) {
+        let c = build(&r);
+        let text = ser_netlist::write_verilog(&c);
+        let back = ser_netlist::parse_verilog(&text).unwrap();
+        prop_assert_eq!(back.num_inputs(), c.num_inputs());
+        prop_assert_eq!(back.num_outputs(), c.num_outputs());
+        prop_assert_eq!(back.num_gates(), c.num_gates());
+        for (_, node) in c.iter() {
+            let bid = back.find(node.name()).expect("name preserved");
+            prop_assert_eq!(back.node(bid).kind(), node.kind());
+            let fanins: Vec<&str> =
+                node.fanin().iter().map(|&f| c.node(f).name()).collect();
+            let back_fanins: Vec<&str> =
+                back.node(bid).fanin().iter().map(|&f| back.node(f).name()).collect();
+            prop_assert_eq!(fanins, back_fanins);
+        }
+    }
+
+    /// Fanout cones: every on-path node is reachable (has the site in
+    /// its transitive fanin), off-path signals feed on-path gates but
+    /// are not themselves on-path.
+    #[test]
+    fn cone_membership_sound(r in recipe()) {
+        let c = build(&r);
+        for site in c.node_ids().step_by(3) {
+            let cone = FanoutCone::extract(&c, site);
+            prop_assert!(cone.contains(site));
+            for &id in cone.on_path() {
+                let back = ser_netlist::fanin_mask(&c, &[id]);
+                prop_assert!(back[site.index()],
+                    "{id} is on-path but its fanin misses the site {site}");
+            }
+            for &off in cone.off_path() {
+                prop_assert!(!cone.contains(off));
+                let feeds_on_path = c.node(off).fanout().iter().any(|&s| cone.contains(s));
+                prop_assert!(feeds_on_path, "{off} is off-path but feeds no on-path gate");
+            }
+        }
+    }
+
+    /// Structural counters agree with direct recomputation.
+    #[test]
+    fn fanin_fanout_are_duals(r in recipe()) {
+        let c = build(&r);
+        let mut fanout_edges = 0usize;
+        let mut fanin_edges = 0usize;
+        for (id, node) in c.iter() {
+            fanin_edges += node.fanin().len();
+            fanout_edges += node.fanout().len();
+            for &f in node.fanin() {
+                let multiplicity_in =
+                    node.fanin().iter().filter(|&&x| x == f).count();
+                let multiplicity_out =
+                    c.node(f).fanout().iter().filter(|&&x| x == id).count();
+                prop_assert_eq!(multiplicity_in, multiplicity_out);
+            }
+        }
+        prop_assert_eq!(fanin_edges, fanout_edges);
+    }
+}

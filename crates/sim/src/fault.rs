@@ -1,0 +1,261 @@
+//! SEU fault injection on top of the bit-parallel engine.
+//!
+//! An SEU is modelled exactly as the paper does: the struck node's
+//! output takes the *erroneous value* `a` — the complement of its
+//! fault-free value — and the faulty circuit is re-evaluated. Only the
+//! struck node's fanout cone can change, so the faulty sweep is
+//! restricted to the cone (this is what makes the Monte-Carlo baseline
+//! usable on the larger circuits at all).
+
+use ser_netlist::{FanoutCone, GateKind, NodeId, ObservePoint};
+
+use crate::engine::BitSim;
+
+/// Per-observe-point outcome masks of one 64-pattern fault-injection
+/// sweep. Bit `i` describes pattern `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObserveMasks {
+    /// The observe point.
+    pub point: ObservePoint,
+    /// Patterns where the point's signal differs from the fault-free run.
+    pub diff: u64,
+    /// Patterns where the erroneous value arrived with *even* inversion
+    /// parity (the observed faulty value equals the injected `a`).
+    pub even: u64,
+    /// Patterns where it arrived with *odd* parity (observed value `ā`).
+    pub odd: u64,
+}
+
+/// Outcome of injecting an SEU at one site over one 64-pattern block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Per reachable observe point, the difference/polarity masks.
+    pub per_point: Vec<ObserveMasks>,
+    /// Patterns where at least one observe point differs — the
+    /// numerator of `P_sensitized`.
+    pub any_diff: u64,
+}
+
+/// A fault simulator specialized to one error site.
+///
+/// Pre-computes the site's fanout cone and a topological re-evaluation
+/// schedule; [`inject`](SiteFaultSim::inject) then costs
+/// `O(|cone|)` per 64-pattern block.
+#[derive(Debug, Clone)]
+pub struct SiteFaultSim {
+    site: NodeId,
+    /// On-path nodes except the site, in evaluation order.
+    schedule: Vec<NodeId>,
+    /// Observe points reachable from the site.
+    observe: Vec<ObservePoint>,
+}
+
+impl SiteFaultSim {
+    /// Builds the per-site schedule from a compiled simulator.
+    #[must_use]
+    pub fn new(sim: &BitSim<'_>, site: NodeId) -> Self {
+        let cone = FanoutCone::extract(sim.circuit(), site);
+        let schedule = sim
+            .schedule()
+            .iter()
+            .copied()
+            .filter(|&id| id != site && cone.contains(id))
+            .collect();
+        SiteFaultSim {
+            site,
+            schedule,
+            observe: cone.observe_points().to_vec(),
+        }
+    }
+
+    /// The error site.
+    #[must_use]
+    pub fn site(&self) -> NodeId {
+        self.site
+    }
+
+    /// Observe points reachable from the site. Empty means the error can
+    /// never be observed (`P_sensitized = 0`).
+    #[must_use]
+    pub fn observe_points(&self) -> &[ObservePoint] {
+        &self.observe
+    }
+
+    /// Injects the SEU against fault-free values `good` (a full value
+    /// vector from [`BitSim::run`]) and returns the outcome masks.
+    ///
+    /// `scratch` must be a copy of `good` on entry and is restored to one
+    /// on exit (the buffer dance keeps per-site cost proportional to the
+    /// cone, not the circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `scratch` differs from `good` outside the cone.
+    #[must_use]
+    pub fn inject(&self, sim: &BitSim<'_>, good: &[u64], scratch: &mut [u64]) -> FaultOutcome {
+        debug_assert_eq!(good.len(), scratch.len());
+        let circuit = sim.circuit();
+        // The erroneous value: complement of the fault-free value.
+        scratch[self.site.index()] = !good[self.site.index()];
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in &self.schedule {
+            let node = circuit.node(id);
+            debug_assert!(node.kind() != GateKind::Input);
+            fanin_buf.clear();
+            fanin_buf.extend(node.fanin().iter().map(|f| scratch[f.index()]));
+            scratch[id.index()] = node.kind().eval_word(&fanin_buf);
+        }
+        // The injected erroneous value `a` per pattern (bit set = a is 1).
+        let a_value = !good[self.site.index()];
+        let mut any_diff = 0u64;
+        let per_point = self
+            .observe
+            .iter()
+            .map(|&point| {
+                let sig = point.signal().index();
+                let diff = good[sig] ^ scratch[sig];
+                any_diff |= diff;
+                // Even parity: the observed faulty value equals `a`.
+                let even = diff & !(scratch[sig] ^ a_value);
+                let odd = diff & (scratch[sig] ^ a_value);
+                ObserveMasks {
+                    point,
+                    diff,
+                    even,
+                    odd,
+                }
+            })
+            .collect();
+        // Restore scratch to the fault-free values.
+        scratch[self.site.index()] = good[self.site.index()];
+        for &id in &self.schedule {
+            scratch[id.index()] = good[id.index()];
+        }
+        FaultOutcome {
+            per_point,
+            any_diff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+
+    /// y = AND(a, b): an error on `a` propagates iff b = 1.
+    #[test]
+    fn and_gate_side_input_gates_propagation() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let a = c.find("a").unwrap();
+        let fs = SiteFaultSim::new(&sim, a);
+        assert_eq!(fs.site(), a);
+        assert_eq!(fs.observe_points().len(), 1);
+
+        // patterns: bit0 (a=0,b=0), bit1 (a=1,b=0), bit2 (a=0,b=1), bit3 (a=1,b=1)
+        let good = sim.run(&[0b1010, 0b1100]);
+        let mut scratch = good.clone();
+        let out = fs.inject(&sim, &good, &mut scratch);
+        // Propagates exactly when b=1: patterns 2 and 3.
+        assert_eq!(out.any_diff & 0b1111, 0b1100);
+        // Restoration happened.
+        assert_eq!(scratch, good);
+        // AND is non-inverting: all diffs even parity.
+        let m = &out.per_point[0];
+        assert_eq!(m.even & 0b1111, 0b1100);
+        assert_eq!(m.odd & 0b1111, 0);
+    }
+
+    #[test]
+    fn inverter_chain_flips_parity() {
+        let c = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nu = NOT(a)\ny = NOT(u)\n",
+            "chain",
+        )
+        .unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let a = c.find("a").unwrap();
+        let u = c.find("u").unwrap();
+        let good = sim.run(&[0b01]);
+        let mut scratch = good.clone();
+
+        // From `a` (two inversions to y): even parity at y.
+        let fs = SiteFaultSim::new(&sim, a);
+        let out = fs.inject(&sim, &good, &mut scratch);
+        assert_eq!(out.any_diff & 0b11, 0b11); // always propagates
+        assert_eq!(out.per_point[0].even & 0b11, 0b11);
+        assert_eq!(out.per_point[0].odd & 0b11, 0);
+
+        // From `u` (one inversion to y): odd parity at y.
+        let fs = SiteFaultSim::new(&sim, u);
+        let out = fs.inject(&sim, &good, &mut scratch);
+        assert_eq!(out.per_point[0].odd & 0b11, 0b11);
+        assert_eq!(out.per_point[0].even & 0b11, 0);
+    }
+
+    #[test]
+    fn unobservable_site() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(b)\nu = NOT(a)\n",
+            "dead",
+        )
+        .unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let u = c.find("u").unwrap();
+        let fs = SiteFaultSim::new(&sim, u);
+        assert!(fs.observe_points().is_empty());
+        let good = sim.run(&[0, 0]);
+        let mut scratch = good.clone();
+        let out = fs.inject(&sim, &good, &mut scratch);
+        assert_eq!(out.any_diff, 0);
+        assert!(out.per_point.is_empty());
+    }
+
+    #[test]
+    fn fault_at_output_site_always_observed() {
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "t").unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let y = c.find("y").unwrap();
+        let fs = SiteFaultSim::new(&sim, y);
+        let good = sim.run(&[0b01]);
+        let mut scratch = good.clone();
+        let out = fs.inject(&sim, &good, &mut scratch);
+        assert_eq!(out.any_diff, !0u64);
+        assert_eq!(out.per_point[0].even, !0u64); // zero inversions
+    }
+
+    #[test]
+    fn xor_propagates_unconditionally() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", "x").unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let a = c.find("a").unwrap();
+        let fs = SiteFaultSim::new(&sim, a);
+        let good = sim.run(&[0b1010, 0b1100]);
+        let mut scratch = good.clone();
+        let out = fs.inject(&sim, &good, &mut scratch);
+        // XOR always propagates a single-input error.
+        assert_eq!(out.any_diff & 0b1111, 0b1111);
+        // Parity depends on b: b=0 -> even (y == a), b=1 -> odd.
+        assert_eq!(out.per_point[0].even & 0b1111, 0b0011);
+        assert_eq!(out.per_point[0].odd & 0b1111, 0b1100);
+    }
+
+    #[test]
+    fn reconvergent_cancellation_is_captured() {
+        // y = XOR(u, v), u = NOT(a), v = NOT(a): an error on `a` reaches y
+        // on two paths with equal parity and cancels — never observed.
+        let c = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nu = NOT(a)\nv = NOT(a)\ny = XOR(u, v)\n",
+            "recon",
+        )
+        .unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let a = c.find("a").unwrap();
+        let fs = SiteFaultSim::new(&sim, a);
+        let good = sim.run(&[0b01]);
+        let mut scratch = good.clone();
+        let out = fs.inject(&sim, &good, &mut scratch);
+        assert_eq!(out.any_diff, 0, "equal-parity reconvergence must cancel");
+    }
+}

@@ -1,0 +1,180 @@
+//! The *naive* random-simulation baseline: one vector at a time, full
+//! circuit re-evaluation per fault — no bit-parallel packing, no cone
+//! restriction.
+//!
+//! [`MonteCarlo`](crate::MonteCarlo) is this crate's *optimized*
+//! baseline (64-way packed, cone-restricted); most 2005-era comparisons
+//! were made against something closer to this module. Keeping both lets
+//! the Table 2 harness report how much of the paper's speedup comes
+//! from the analytical idea versus plain engineering of the simulator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ser_netlist::{Circuit, GateKind, NetlistError, NodeId};
+
+/// Scalar (one pattern at a time) fault-injection estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaiveMonteCarlo {
+    vectors: u64,
+    seed: u64,
+}
+
+impl NaiveMonteCarlo {
+    /// Creates a configuration running `vectors` vectors per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is 0.
+    #[must_use]
+    pub fn new(vectors: u64) -> Self {
+        assert!(vectors > 0, "at least one vector");
+        NaiveMonteCarlo { vectors, seed: 0xBA5E }
+    }
+
+    /// Sets the PRNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of vectors per site.
+    #[must_use]
+    pub fn vectors(&self) -> u64 {
+        self.vectors
+    }
+
+    /// Estimates `P_sensitized` for one site the slow way: for each
+    /// random vector, evaluate the whole fault-free circuit, flip the
+    /// site, evaluate the whole faulty circuit, compare observe points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the circuit is
+    /// cyclic.
+    pub fn estimate_site(&self, circuit: &Circuit, site: NodeId) -> Result<f64, NetlistError> {
+        let order = ser_netlist::topo_order(circuit)?;
+        let sources: Vec<NodeId> = circuit
+            .inputs()
+            .iter()
+            .chain(circuit.dffs().iter())
+            .copied()
+            .collect();
+        let observe: Vec<NodeId> = circuit.observe_points().map(|p| p.signal()).collect();
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ site.index() as u64);
+        let mut good = vec![false; circuit.len()];
+        let mut bad = vec![false; circuit.len()];
+        let mut hits = 0u64;
+        let mut fanin_buf: Vec<bool> = Vec::with_capacity(8);
+        for _ in 0..self.vectors {
+            for &s in &sources {
+                let v: bool = rng.gen();
+                good[s.index()] = v;
+                bad[s.index()] = v;
+            }
+            eval_scalar(circuit, &order, &mut good, None, &mut fanin_buf);
+            // Faulty run: full re-evaluation with the site forced.
+            let forced = !good[site.index()];
+            eval_scalar(circuit, &order, &mut bad, Some((site, forced)), &mut fanin_buf);
+            if observe.iter().any(|&o| good[o.index()] != bad[o.index()]) {
+                hits += 1;
+            }
+        }
+        Ok(hits as f64 / self.vectors as f64)
+    }
+}
+
+/// One scalar topological evaluation; `force` pins a node's value after
+/// computing it (the SEU).
+fn eval_scalar(
+    circuit: &Circuit,
+    order: &[NodeId],
+    values: &mut [bool],
+    force: Option<(NodeId, bool)>,
+    fanin_buf: &mut Vec<bool>,
+) {
+    for &id in order {
+        let node = circuit.node(id);
+        match node.kind() {
+            GateKind::Input | GateKind::Dff => {}
+            kind => {
+                fanin_buf.clear();
+                fanin_buf.extend(node.fanin().iter().map(|f| values[f.index()]));
+                values[id.index()] = kind.eval_bool(fanin_buf);
+            }
+        }
+        // The SEU: pin the struck node right after it is visited, so
+        // every downstream gate (strictly later in topological order)
+        // sees the erroneous value. Works for gate and source sites.
+        if let Some((n, v)) = force {
+            if n == id {
+                values[id.index()] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitSim, MonteCarlo};
+    use ser_netlist::parse_bench;
+
+    #[test]
+    fn agrees_with_packed_baseline() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\ny = OR(u, c)\n",
+            "t",
+        )
+        .unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let fast = MonteCarlo::new(20_000).with_seed(4);
+        let slow = NaiveMonteCarlo::new(20_000).with_seed(4);
+        for id in c.node_ids() {
+            let f = fast.estimate_site(&sim, id).p_sensitized;
+            let s = slow.estimate_site(&c, id).unwrap();
+            assert!((f - s).abs() < 0.02, "node {id}: packed {f} vs naive {s}");
+        }
+    }
+
+    #[test]
+    fn and_side_input() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let a = c.find("a").unwrap();
+        let p = NaiveMonteCarlo::new(20_000)
+            .with_seed(1)
+            .estimate_site(&c, a)
+            .unwrap();
+        assert!((p - 0.5).abs() < 0.02, "{p}");
+    }
+
+    #[test]
+    fn gate_site_forced_value() {
+        // Site is a logic gate: y = NOT(u), u = NOT(a); error on u always
+        // visible at y.
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nu = NOT(a)\ny = NOT(u)\n", "t").unwrap();
+        let u = c.find("u").unwrap();
+        let p = NaiveMonteCarlo::new(500).estimate_site(&c, u).unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn sequential_sources_randomized() {
+        let c = parse_bench("INPUT(x)\nOUTPUT(y)\nq = DFF(y)\ny = XOR(q, x)\n", "s").unwrap();
+        let q = c.find("q").unwrap();
+        // q is a source-site: flipping it always flips y (XOR).
+        let p = NaiveMonteCarlo::new(500).estimate_site(&c, q).unwrap();
+        assert_eq!(p, 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "t").unwrap();
+        let a = c.find("a").unwrap();
+        let mc = NaiveMonteCarlo::new(1_000).with_seed(9);
+        assert_eq!(
+            mc.estimate_site(&c, a).unwrap(),
+            mc.estimate_site(&c, a).unwrap()
+        );
+    }
+}

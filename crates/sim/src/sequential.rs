@@ -1,0 +1,271 @@
+//! Multi-cycle sequential simulation (flip-flop state stepping).
+//!
+//! The paper analyzes a single clock cycle: an error latched into a
+//! flip-flop counts as observed (weighted by `P_latched`). This module
+//! provides the machinery to go further — following latched errors
+//! across cycles — which the suite uses for the sequential-extension
+//! experiments.
+
+use ser_netlist::{Circuit, NetlistError, NodeId};
+
+use crate::engine::BitSim;
+
+/// A sequential bit-parallel simulator: 64 independent trajectories of
+/// the same circuit, stepped cycle by cycle.
+///
+/// # Examples
+///
+/// A toggle flip-flop divides the clock by two:
+///
+/// ```
+/// use ser_netlist::parse_bench;
+/// use ser_sim::SeqSim;
+///
+/// let c = parse_bench("OUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n", "tff")?;
+/// let mut sim = SeqSim::new(&c)?;
+/// sim.reset(false);
+/// let q = c.find("q").unwrap();
+/// let v0 = sim.step(&[])[q.index()] & 1;     // q starts 0
+/// let v1 = sim.step(&[])[q.index()] & 1;     // toggles to 1
+/// assert_eq!((v0, v1), (0, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqSim<'c> {
+    sim: BitSim<'c>,
+    /// Current Q value word per flip-flop, in `circuit.dffs()` order.
+    state: Vec<u64>,
+}
+
+impl<'c> SeqSim<'c> {
+    /// Compiles a sequential simulator for `circuit`, with all
+    /// flip-flops initialized to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// graph is cyclic.
+    pub fn new(circuit: &'c Circuit) -> Result<Self, NetlistError> {
+        let sim = BitSim::new(circuit)?;
+        let state = vec![0u64; circuit.num_dffs()];
+        Ok(SeqSim { sim, state })
+    }
+
+    /// The underlying combinational engine.
+    #[must_use]
+    pub fn engine(&self) -> &BitSim<'c> {
+        &self.sim
+    }
+
+    /// The circuit being simulated.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.sim.circuit()
+    }
+
+    /// Sets every flip-flop of every trajectory to `value`.
+    pub fn reset(&mut self, value: bool) {
+        let word = if value { !0 } else { 0 };
+        self.state.fill(word);
+    }
+
+    /// Overwrites the packed state (one word per flip-flop, in
+    /// `circuit.dffs()` order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != circuit.num_dffs()`.
+    pub fn set_state(&mut self, state: &[u64]) {
+        assert_eq!(state.len(), self.state.len(), "one word per flip-flop");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Current packed state (one word per flip-flop).
+    #[must_use]
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Applies one clock cycle: evaluates the combinational logic under
+    /// `pi_words` (one word per primary input) and the current state,
+    /// then loads every flip-flop from its D driver. Returns the full
+    /// value vector *before* the state update (i.e. the cycle's signal
+    /// values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len() != circuit.num_inputs()`.
+    pub fn step(&mut self, pi_words: &[u64]) -> Vec<u64> {
+        let circuit = self.sim.circuit();
+        assert_eq!(
+            pi_words.len(),
+            circuit.num_inputs(),
+            "one word per primary input"
+        );
+        let mut source_words = Vec::with_capacity(pi_words.len() + self.state.len());
+        source_words.extend_from_slice(pi_words);
+        source_words.extend_from_slice(&self.state);
+        let values = self.sim.run(&source_words);
+        for (slot, &dff) in self.state.iter_mut().zip(circuit.dffs()) {
+            let d = circuit.node(dff).fanin()[0];
+            *slot = values[d.index()];
+        }
+        values
+    }
+
+    /// Like [`step`](Self::step), but XORs `flips` into the given nodes'
+    /// values before the flip-flops capture and before the values are
+    /// returned — the hook used to inject an SEU *during* a cycle.
+    /// `flips` pairs a node with a per-pattern flip mask.
+    ///
+    /// Flips on nodes that feed other logic are propagated by a second
+    /// restricted sweep, exactly like a hardware transient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len() != circuit.num_inputs()`.
+    pub fn step_with_seu(&mut self, pi_words: &[u64], flips: &[(NodeId, u64)]) -> Vec<u64> {
+        let circuit = self.sim.circuit();
+        assert_eq!(
+            pi_words.len(),
+            circuit.num_inputs(),
+            "one word per primary input"
+        );
+        let mut source_words = Vec::with_capacity(pi_words.len() + self.state.len());
+        source_words.extend_from_slice(pi_words);
+        source_words.extend_from_slice(&self.state);
+        let mut values = self.sim.run(&source_words);
+        if !flips.is_empty() {
+            for &(node, mask) in flips {
+                values[node.index()] ^= mask;
+            }
+            // Re-propagate downstream of the flipped nodes. A full sweep
+            // would *recompute* the flipped gates from their (unchanged)
+            // fanins and erase the flip, so walk the schedule manually and
+            // skip the flipped nodes.
+            let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+            for &id in self.sim.schedule() {
+                if flips.iter().any(|&(n, _)| n == id) {
+                    continue;
+                }
+                let node = circuit.node(id);
+                if !node.kind().is_logic() {
+                    continue;
+                }
+                fanin_buf.clear();
+                fanin_buf.extend(node.fanin().iter().map(|f| values[f.index()]));
+                values[id.index()] = node.kind().eval_word(&fanin_buf);
+            }
+        }
+        for (slot, &dff) in self.state.iter_mut().zip(circuit.dffs()) {
+            let d = circuit.node(dff).fanin()[0];
+            *slot = values[d.index()];
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+
+    /// A 2-bit counter: q0 toggles every cycle, q1 toggles when q0 = 1.
+    fn counter2() -> Circuit {
+        parse_bench(
+            "
+OUTPUT(q0)
+OUTPUT(q1)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = NOT(q0)
+d1 = XOR(q1, q0)
+",
+            "cnt2",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = counter2();
+        let mut sim = SeqSim::new(&c).unwrap();
+        sim.reset(false);
+        let q0 = c.find("q0").unwrap();
+        let q1 = c.find("q1").unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let vals = sim.step(&[]);
+            let count = (vals[q0.index()] & 1) | ((vals[q1.index()] & 1) << 1);
+            seen.push(count);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn trajectories_are_independent() {
+        let c = counter2();
+        let mut sim = SeqSim::new(&c).unwrap();
+        // Trajectory in bit 0 starts at state 0, bit 1 starts at state 3.
+        sim.set_state(&[0b10, 0b10]);
+        let q0 = c.find("q0").unwrap();
+        let q1 = c.find("q1").unwrap();
+        let vals = sim.step(&[]);
+        // Bit 0: count 0; bit 1: count 3.
+        assert_eq!(vals[q0.index()] & 1, 0);
+        assert_eq!(vals[q1.index()] & 1, 0);
+        assert_eq!(vals[q0.index()] >> 1 & 1, 1);
+        assert_eq!(vals[q1.index()] >> 1 & 1, 1);
+        // Next cycle: bit 0 -> 1, bit 1 -> 0 (wraps).
+        let vals = sim.step(&[]);
+        assert_eq!(vals[q0.index()] & 1, 1);
+        assert_eq!(vals[q1.index()] & 1, 0);
+        assert_eq!(vals[q0.index()] >> 1 & 1, 0);
+        assert_eq!(vals[q1.index()] >> 1 & 1, 0);
+    }
+
+    #[test]
+    fn seu_on_state_feeding_node_is_latched() {
+        let c = counter2();
+        let mut good = SeqSim::new(&c).unwrap();
+        let mut faulty = SeqSim::new(&c).unwrap();
+        good.reset(false);
+        faulty.reset(false);
+        let d0 = c.find("d0").unwrap();
+        // Flip d0 in pattern 0 during the first cycle.
+        let gv = good.step(&[]);
+        let fv = faulty.step_with_seu(&[], &[(d0, 1)]);
+        assert_eq!(gv[d0.index()] & 1, 1);
+        assert_eq!(fv[d0.index()] & 1, 0);
+        // The corrupted D was captured: states diverge.
+        assert_ne!(good.state()[0] & 1, faulty.state()[0] & 1);
+    }
+
+    #[test]
+    fn seu_propagates_downstream_within_cycle() {
+        // q = DFF(d); d = NOT(x); y = NOT(d); PO y. Flipping d must also
+        // change y within the same cycle.
+        let c = parse_bench(
+            "INPUT(x)\nOUTPUT(y)\nq = DFF(d)\nd = NOT(x)\ny = NOT(d)\n",
+            "t",
+        )
+        .unwrap();
+        let mut sim = SeqSim::new(&c).unwrap();
+        let d = c.find("d").unwrap();
+        let y = c.find("y").unwrap();
+        let vals = sim.step_with_seu(&[0], &[(d, 1)]);
+        // x=0 -> d=1 flipped to 0 -> y = NOT(0) = 1.
+        assert_eq!(vals[d.index()] & 1, 0);
+        assert_eq!(vals[y.index()] & 1, 1);
+        // And the flipped d was latched.
+        assert_eq!(sim.state()[0] & 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one word per primary input")]
+    fn step_checks_input_count() {
+        let c = counter2();
+        let mut sim = SeqSim::new(&c).unwrap();
+        let _ = sim.step(&[0]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use ser_netlist::{CircuitBuilder, GateKind, NodeId};
+use ser_sim::{BitSim, ExhaustivePatterns, MonteCarlo, PatternSource, SiteFaultSim};
+
+/// Builds a small random combinational circuit from index picks.
+fn build(inputs: usize, gates: &[(usize, Vec<usize>)]) -> ser_netlist::Circuit {
+    const KINDS: [GateKind; 6] = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Not,
+    ];
+    let mut b = CircuitBuilder::new("prop");
+    let mut nodes: Vec<NodeId> = (0..inputs).map(|i| b.input(&format!("i{i}"))).collect();
+    for (gi, (kind_idx, picks)) in gates.iter().enumerate() {
+        let kind = KINDS[kind_idx % KINDS.len()];
+        let fanin: Vec<NodeId> = if kind == GateKind::Not {
+            vec![nodes[picks[0] % nodes.len()]]
+        } else {
+            picks.iter().map(|&p| nodes[p % nodes.len()]).collect()
+        };
+        nodes.push(b.gate(&format!("g{gi}"), kind, &fanin));
+    }
+    b.mark_output(*nodes.last().unwrap());
+    b.finish().unwrap()
+}
+
+fn circuit_strategy() -> impl Strategy<Value = ser_netlist::Circuit> {
+    (1usize..5, proptest::collection::vec(
+        (0usize..6, proptest::collection::vec(0usize..100, 1..4)),
+        1..20,
+    ))
+        .prop_map(|(inputs, gates)| build(inputs, &gates))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exhaustive enumeration yields each assignment exactly once.
+    #[test]
+    fn exhaustive_is_a_bijection(n in 1usize..10) {
+        let mut src = ExhaustivePatterns::new(n);
+        let mut seen = vec![false; 1 << n];
+        while let Some(block) = src.next_block() {
+            for p in 0..block.count() {
+                let mut idx = 0usize;
+                for s in 0..n {
+                    if block.bit(s, p) {
+                        idx |= 1 << s;
+                    }
+                }
+                prop_assert!(!seen[idx], "assignment {idx} repeated");
+                seen[idx] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "some assignment missing");
+    }
+
+    /// Fault injection leaves the scratch buffer equal to the good
+    /// values (the restoration invariant the MC loop depends on), and
+    /// the diff masks are consistent: even|odd == diff, even&odd == 0.
+    #[test]
+    fn fault_injection_invariants(c in circuit_strategy(), raw_site in 0usize..200) {
+        let sim = BitSim::new(&c).unwrap();
+        let site = NodeId::from_index(raw_site % c.len());
+        let fault = SiteFaultSim::new(&sim, site);
+        let words: Vec<u64> = (0..sim.sources().len() as u64)
+            .map(|i| 0x5DEECE66Du64.wrapping_mul(i + 7).rotate_left(i as u32))
+            .collect();
+        let good = sim.run(&words);
+        let mut scratch = good.clone();
+        let outcome = fault.inject(&sim, &good, &mut scratch);
+        prop_assert_eq!(&scratch, &good, "scratch not restored");
+        let mut any = 0u64;
+        for m in &outcome.per_point {
+            prop_assert_eq!(m.even | m.odd, m.diff);
+            prop_assert_eq!(m.even & m.odd, 0);
+            any |= m.diff;
+        }
+        prop_assert_eq!(any, outcome.any_diff);
+    }
+
+    /// P_sensitized of the output node itself is always 1; estimates
+    /// are probabilities; doubling vectors keeps the estimate within
+    /// binomial noise.
+    #[test]
+    fn monte_carlo_sane(c in circuit_strategy(), seed in 0u64..50) {
+        let sim = BitSim::new(&c).unwrap();
+        let po = c.outputs()[0];
+        let mc = MonteCarlo::new(512).with_seed(seed);
+        let est = mc.estimate_site(&sim, po);
+        prop_assert_eq!(est.p_sensitized, 1.0);
+        for id in c.node_ids() {
+            let e = mc.estimate_site(&sim, id);
+            prop_assert!((0.0..=1.0).contains(&e.p_sensitized));
+            // per-point arrivals never exceed the any-point union... per
+            // point they are individually <= 1 and sum of even+odd <= 1.
+            for p in &e.per_point {
+                prop_assert!(p.p_arrival() <= 1.0 + 1e-12);
+                prop_assert!(p.p_arrival() >= e.p_sensitized - 1.0);
+            }
+        }
+    }
+}

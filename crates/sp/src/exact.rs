@@ -1,0 +1,250 @@
+//! Exact signal probability by weighted exhaustive enumeration.
+//!
+//! The oracle the approximate engines are validated against: enumerate
+//! every assignment of the circuit's sources (primary inputs *and*
+//! flip-flop outputs), weight each assignment by its probability under
+//! the input distribution, and accumulate per-node weighted one-counts.
+//! Exponential in the source count, so guarded by a limit.
+//!
+//! Note on sequential circuits: flip-flop outputs are treated as free
+//! 0.5-probability sources (the combinational view). That matches what
+//! the other engines' *single-sweep* semantics mean, but is not the
+//! steady-state FF distribution; the exact engine is an oracle for the
+//! combinational propagation step, not for the sequential fixed point.
+
+use ser_netlist::{Circuit, NodeId};
+use ser_sim::{BitSim, ExhaustivePatterns, PatternSource};
+
+use crate::types::{InputProbs, SpEngine, SpError, SpVector};
+
+/// The exact (exhaustive-enumeration) engine.
+///
+/// # Examples
+///
+/// ```
+/// use ser_netlist::parse_bench;
+/// use ser_sp::{ExactSp, InputProbs, SpEngine};
+///
+/// // Reconvergent: y = AND(a, a) is exactly a.
+/// let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n", "t")?;
+/// let sp = ExactSp::new().compute(&c, &InputProbs::uniform(0.5))?;
+/// assert!((sp.get(c.find("y").unwrap()) - 0.5).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactSp {
+    max_sources: usize,
+}
+
+impl ExactSp {
+    /// Creates the engine with the default source limit (24, i.e. at
+    /// most ~16.8M evaluated assignments).
+    #[must_use]
+    pub fn new() -> Self {
+        ExactSp { max_sources: 24 }
+    }
+
+    /// Raises or lowers the source-count limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 63.
+    #[must_use]
+    pub fn with_max_sources(mut self, n: usize) -> Self {
+        assert!((1..=63).contains(&n), "limit must be 1..=63");
+        self.max_sources = n;
+        self
+    }
+
+    /// The configured source-count limit.
+    #[must_use]
+    pub fn max_sources(&self) -> usize {
+        self.max_sources
+    }
+}
+
+impl Default for ExactSp {
+    fn default() -> Self {
+        ExactSp::new()
+    }
+}
+
+impl SpEngine for ExactSp {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn compute(&self, circuit: &Circuit, inputs: &InputProbs) -> Result<SpVector, SpError> {
+        let sim = BitSim::new(circuit)?;
+        let sources: Vec<NodeId> = sim.sources().to_vec();
+        if sources.len() > self.max_sources {
+            return Err(SpError::TooManySources {
+                got: sources.len(),
+                limit: self.max_sources,
+            });
+        }
+        // Per-source probability of being 1: PIs from the assignment,
+        // flip-flops at 0.5 (combinational view, see module docs).
+        let source_p: Vec<f64> = sources
+            .iter()
+            .map(|&s| {
+                if circuit.inputs().contains(&s) {
+                    inputs.probability(s)
+                } else {
+                    0.5
+                }
+            })
+            .collect();
+        let mut acc = vec![0.0f64; circuit.len()];
+        let mut total_weight = 0.0f64;
+        let mut patterns = ExhaustivePatterns::new(sources.len());
+        while let Some(block) = patterns.next_block() {
+            let values = sim.run(block.words());
+            for p in 0..block.count() {
+                // Weight of this assignment.
+                let mut w = 1.0f64;
+                for (s, &ps) in source_p.iter().enumerate() {
+                    w *= if block.bit(s, p) { ps } else { 1.0 - ps };
+                }
+                if w == 0.0 {
+                    continue;
+                }
+                total_weight += w;
+                for (slot, word) in acc.iter_mut().zip(&values) {
+                    if word >> p & 1 != 0 {
+                        *slot += w;
+                    }
+                }
+            }
+        }
+        debug_assert!((total_weight - 1.0).abs() < 1e-9, "weights sum to 1");
+        // Clamp away accumulated rounding.
+        let probs = acc
+            .into_iter()
+            .map(|v| v.clamp(0.0, 1.0))
+            .collect::<Vec<_>>();
+        Ok(SpVector::new(probs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::independent::IndependentSp;
+    use ser_netlist::parse_bench;
+
+    #[test]
+    fn matches_independent_on_tree() {
+        // Fanout-free circuit: independent SP is exact.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nu = AND(a, b)\nv = OR(c, d)\ny = XOR(u, v)\n",
+            "tree",
+        )
+        .unwrap();
+        let probs = InputProbs::uniform(0.3);
+        let exact = ExactSp::new().compute(&c, &probs).unwrap();
+        let indep = IndependentSp::new().compute(&c, &probs).unwrap();
+        assert!(exact.max_abs_diff(&indep) < 1e-12);
+    }
+
+    #[test]
+    fn differs_from_independent_under_reconvergence() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nu = NAND(a, b)\nv = NAND(a, u)\nw = NAND(b, u)\ny = NAND(v, w)\n",
+            "xor-of-nands",
+        )
+        .unwrap();
+        // This is XOR(a,b): exact P(y) = 0.5.
+        let exact = ExactSp::new().compute(&c, &InputProbs::uniform(0.5)).unwrap();
+        let y = c.find("y").unwrap();
+        assert!((exact.get(y) - 0.5).abs() < 1e-12);
+        let indep = IndependentSp::new()
+            .compute(&c, &InputProbs::uniform(0.5))
+            .unwrap();
+        assert!(
+            (indep.get(y) - 0.5).abs() > 0.01,
+            "independent should be biased here, got {}",
+            indep.get(y)
+        );
+    }
+
+    #[test]
+    fn weighted_inputs_exact() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "w").unwrap();
+        let a = c.find("a").unwrap();
+        let b = c.find("b").unwrap();
+        let probs = InputProbs::uniform(0.5).with(a, 0.2).with(b, 0.7);
+        let exact = ExactSp::new().compute(&c, &probs).unwrap();
+        // P(y) = 1 - 0.8*0.3 = 0.76.
+        assert!((exact.get(c.find("y").unwrap()) - 0.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_limit_enforced() {
+        let mut src = String::new();
+        for i in 0..30 {
+            src.push_str(&format!("INPUT(i{i})\n"));
+        }
+        src.push_str("OUTPUT(y)\ny = AND(");
+        src.push_str(
+            &(0..30)
+                .map(|i| format!("i{i}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        src.push_str(")\n");
+        let c = parse_bench(&src, "big").unwrap();
+        let err = ExactSp::new().compute(&c, &InputProbs::default()).unwrap_err();
+        assert_eq!(err, SpError::TooManySources { got: 30, limit: 24 });
+    }
+
+    #[test]
+    fn source_limit_adjustable() {
+        // A 10-input circuit under a lowered limit errors; raising the
+        // limit back admits it.
+        let mut src = String::new();
+        for i in 0..10 {
+            src.push_str(&format!("INPUT(i{i})\n"));
+        }
+        src.push_str("OUTPUT(y)\ny = OR(");
+        src.push_str(&(0..10).map(|i| format!("i{i}")).collect::<Vec<_>>().join(", "));
+        src.push_str(")\n");
+        let c = parse_bench(&src, "mid").unwrap();
+        let err = ExactSp::new()
+            .with_max_sources(5)
+            .compute(&c, &InputProbs::default())
+            .unwrap_err();
+        assert_eq!(err, SpError::TooManySources { got: 10, limit: 5 });
+        let sp = ExactSp::new()
+            .with_max_sources(10)
+            .compute(&c, &InputProbs::default())
+            .unwrap();
+        // P(OR of 10 halves) = 1 - 2^-10.
+        let y = c.find("y").unwrap();
+        assert!((sp.get(y) - (1.0 - 1.0 / 1024.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dffs_count_as_half_probability_sources() {
+        let c = parse_bench("INPUT(x)\nOUTPUT(y)\nq = DFF(y)\ny = AND(q, x)\n", "s").unwrap();
+        let exact = ExactSp::new().compute(&c, &InputProbs::default()).unwrap();
+        // Combinational view: P(q) = 0.5, P(y) = 0.25.
+        assert!((exact.get(c.find("q").unwrap()) - 0.5).abs() < 1e-12);
+        assert!((exact.get(c.find("y").unwrap()) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_block_enumeration() {
+        // 8 inputs = 256 assignments = 4 blocks; parity tree has exact 0.5.
+        let mut src = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("INPUT(i{i})\n"));
+        }
+        src.push_str("OUTPUT(y)\ny = XOR(i0, i1, i2, i3, i4, i5, i6, i7)\n");
+        let c = parse_bench(&src, "parity").unwrap();
+        let exact = ExactSp::new().compute(&c, &InputProbs::uniform(0.3)).unwrap();
+        // P(odd) over 8 independent p=0.3 bits: (1-(1-2p)^8)/2.
+        let want = (1.0 - (1.0f64 - 0.6).powi(8)) / 2.0;
+        assert!((exact.get(c.find("y").unwrap()) - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! Common types for the signal-probability engines.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::ops::Index;
+
+use ser_netlist::{Circuit, NetlistError, NodeId};
+
+/// Input probability assignment: the probability that each primary input
+/// is logic 1. The paper's experiments use the customary uniform 0.5;
+/// weighted profiles exercise the engines harder.
+///
+/// # Examples
+///
+/// ```
+/// use ser_sp::InputProbs;
+///
+/// let uniform = InputProbs::uniform(0.5);
+/// assert_eq!(uniform.default_probability(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputProbs {
+    default: f64,
+    overrides: HashMap<NodeId, f64>,
+}
+
+impl InputProbs {
+    /// Every input is 1 with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn uniform(p: f64) -> Self {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p} outside [0,1]");
+        InputProbs {
+            default: p,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Overrides the probability of one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn with(mut self, input: NodeId, p: f64) -> Self {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p} outside [0,1]");
+        self.overrides.insert(input, p);
+        self
+    }
+
+    /// The default probability for inputs without an override.
+    #[must_use]
+    pub fn default_probability(&self) -> f64 {
+        self.default
+    }
+
+    /// The probability assigned to `input`.
+    #[must_use]
+    pub fn probability(&self, input: NodeId) -> f64 {
+        self.overrides.get(&input).copied().unwrap_or(self.default)
+    }
+}
+
+impl Default for InputProbs {
+    /// The customary uniform 0.5 assignment.
+    fn default() -> Self {
+        InputProbs::uniform(0.5)
+    }
+}
+
+/// Signal probabilities for every node of one circuit, indexed by
+/// [`NodeId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpVector {
+    values: Vec<f64>,
+}
+
+impl SpVector {
+    /// Wraps a dense per-node probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn new(values: Vec<f64>) -> Self {
+        for (i, &v) in values.iter().enumerate() {
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "sp[{i}] = {v} outside [0,1]"
+            );
+        }
+        SpVector { values }
+    }
+
+    /// The probability that node `id` is logic 1.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> f64 {
+        self.values[id.index()]
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the vector covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw per-node values.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Largest absolute difference against another vector (used for
+    /// engine cross-validation and fixed-point convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &SpVector) -> f64 {
+        assert_eq!(self.values.len(), other.values.len());
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<NodeId> for SpVector {
+    type Output = f64;
+
+    fn index(&self, id: NodeId) -> &f64 {
+        &self.values[id.index()]
+    }
+}
+
+/// Errors from signal-probability computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpError {
+    /// The circuit's combinational graph is invalid.
+    Netlist(NetlistError),
+    /// The exact engine was asked to enumerate too many sources.
+    TooManySources {
+        /// Sources the circuit has.
+        got: usize,
+        /// The engine's limit.
+        limit: usize,
+    },
+    /// The sequential fixed-point iteration did not converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual after the last iteration.
+        residual: f64,
+    },
+    /// The circuit exceeds an engine's size limit (the correlation
+    /// engine's pairwise matrix is quadratic in node count).
+    CircuitTooLarge {
+        /// Nodes the engine would have to track.
+        nodes: usize,
+        /// The engine's limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SpError::TooManySources { got, limit } => {
+                write!(f, "exact enumeration over {got} sources exceeds limit {limit}")
+            }
+            SpError::NoConvergence { iterations, residual } => {
+                write!(
+                    f,
+                    "sequential SP fixed point did not converge after {iterations} iterations (residual {residual:.3e})"
+                )
+            }
+            SpError::CircuitTooLarge { nodes, limit } => {
+                write!(f, "{nodes} tracked nodes exceed the engine limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SpError {
+    fn from(e: NetlistError) -> Self {
+        SpError::Netlist(e)
+    }
+}
+
+/// A signal-probability engine: anything that can produce an
+/// [`SpVector`] for a circuit under an input assignment.
+///
+/// The EPP core takes SP as an input (the paper: "leverages the signal
+/// probability calculation, which is already used in other steps of the
+/// design flow"), so engines are interchangeable — that interchange is
+/// one of the suite's ablations.
+pub trait SpEngine {
+    /// Short engine name for reports (e.g. `"independent"`).
+    fn name(&self) -> &'static str;
+
+    /// Computes the probability that each node is logic 1.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific; see [`SpError`].
+    fn compute(&self, circuit: &Circuit, inputs: &InputProbs) -> Result<SpVector, SpError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::CircuitBuilder;
+
+    #[test]
+    fn input_probs_defaults_and_overrides() {
+        let mut b = CircuitBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        b.mark_output(x);
+        let _ = b.finish().unwrap();
+        let p = InputProbs::uniform(0.5).with(x, 0.9);
+        assert_eq!(p.probability(x), 0.9);
+        assert_eq!(p.probability(y), 0.5);
+        assert_eq!(InputProbs::default().default_probability(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn input_probs_rejects_out_of_range() {
+        let _ = InputProbs::uniform(1.2);
+    }
+
+    #[test]
+    fn sp_vector_accessors() {
+        let v = SpVector::new(vec![0.0, 0.25, 1.0]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(NodeId::from_index(1)), 0.25);
+        assert_eq!(v[NodeId::from_index(2)], 1.0);
+        let w = SpVector::new(vec![0.1, 0.25, 0.9]);
+        assert!((v.max_abs_diff(&w) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn sp_vector_rejects_nan_or_range() {
+        let _ = SpVector::new(vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SpError::TooManySources { got: 40, limit: 24 };
+        assert!(e.to_string().contains("40"));
+        let e = SpError::NoConvergence {
+            iterations: 10,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Soft-error audit of arithmetic datapaths — the workload class the
+//! paper's introduction motivates (logic whose SER "will be comparable
+//! to that of memory elements").
+//!
+//! ```text
+//! cargo run --release --example datapath_audit
+//! ```
+//!
+//! Compares the analytical EPP method against the Monte-Carlo baseline
+//! on three structures with very different masking behaviour:
+//! a ripple-carry adder (moderate masking), a parity tree (none) and a
+//! multiplexer tree (heavy masking).
+
+use std::time::Instant;
+
+use ser_suite::epp::CircuitSerAnalysis;
+use ser_suite::gen::{mux_tree, parity_tree, ripple_carry_adder};
+use ser_suite::netlist::Circuit;
+use ser_suite::sim::{BitSim, MonteCarlo};
+
+fn audit(circuit: &Circuit) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "== {} ({} gates, {} outputs)",
+        circuit.name(),
+        circuit.num_gates(),
+        circuit.num_outputs()
+    );
+
+    let t = Instant::now();
+    let outcome = CircuitSerAnalysis::new().run(circuit)?;
+    let analytic_time = t.elapsed();
+
+    // Mean P_sensitized over gates (how transparent the structure is).
+    let gate_ps: Vec<f64> = circuit
+        .iter()
+        .filter(|(_, n)| n.kind().is_logic())
+        .map(|(id, _)| outcome.site(id).p_sensitized())
+        .collect();
+    let mean = gate_ps.iter().sum::<f64>() / gate_ps.len() as f64;
+    println!("  mean gate P_sensitized (analytical): {mean:.3}  [{analytic_time:?} for all nodes]");
+
+    // Monte-Carlo on a handful of gates for comparison.
+    let sim = BitSim::new(circuit)?;
+    let mc = MonteCarlo::new(20_000).with_seed(11);
+    let sample: Vec<_> = circuit
+        .iter()
+        .filter(|(_, n)| n.kind().is_logic())
+        .map(|(id, _)| id)
+        .step_by((gate_ps.len() / 8).max(1))
+        .take(8)
+        .collect();
+    let t = Instant::now();
+    let estimates = mc.estimate_sites(&sim, &sample);
+    let mc_time = t.elapsed();
+    let mut worst = 0.0f64;
+    for (&site, est) in sample.iter().zip(&estimates) {
+        worst = worst.max((outcome.site(site).p_sensitized() - est.p_sensitized).abs());
+    }
+    println!(
+        "  MC cross-check on {} gates: max |diff| = {worst:.3}  [{mc_time:?} at 20k vectors]",
+        sample.len()
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    audit(&ripple_carry_adder(16))?;
+    audit(&parity_tree(64))?;
+    audit(&mux_tree(6))?;
+    println!("Reading: the parity tree is fully transparent (P_sens = 1 everywhere),");
+    println!("the mux tree masks heavily, the adder sits in between — and the");
+    println!("analytical method tracks all three regimes at a fraction of the cost.");
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! `ser-cli` — command-line front end for the SER estimation suite.
+//!
+//! ```text
+//! ser-cli info    <netlist>                   structural summary
+//! ser-cli analyze <netlist> [--top N]         whole-circuit SER report
+//! ser-cli epp     <netlist> <node>            per-site EPP detail
+//! ser-cli gen     <profile> [--seed S] [-o F] emit a synthetic benchmark
+//! ser-cli convert <in> <out>                  .bench <-> .v conversion
+//! ```
+//!
+//! Netlists may be ISCAS `.bench` files or structural Verilog (`.v`);
+//! the format is chosen by file extension.
+
+use std::fs;
+use std::process::ExitCode;
+
+use ser_suite::epp::{CircuitSerAnalysis, EppAnalysis};
+use ser_suite::gen::{profile, synthesize};
+use ser_suite::netlist::{
+    parse_bench, parse_verilog, write_bench, write_verilog, Circuit, CircuitStats,
+};
+use ser_suite::sp::{IndependentSp, InputProbs, SpEngine};
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    if path.ends_with(".v") || path.ends_with(".sv") {
+        parse_verilog(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+    } else {
+        parse_bench(&text, stem).map_err(|e| format!("cannot parse `{path}`: {e}"))
+    }
+}
+
+fn cmd_convert(input: &str, output: &str) -> Result<(), String> {
+    let c = load(input)?;
+    let text = if output.ends_with(".v") || output.ends_with(".sv") {
+        write_verilog(&c)
+    } else {
+        write_bench(&c)
+    };
+    fs::write(output, text).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    eprintln!("wrote {} ({} nodes) to {output}", c.name(), c.len());
+    Ok(())
+}
+
+fn cmd_info(path: &str) -> Result<(), String> {
+    let c = load(path)?;
+    let stats = CircuitStats::compute(&c).map_err(|e| e.to_string())?;
+    println!("{stats}");
+    println!("  gate mix:");
+    for (kind, count) in &stats.by_kind {
+        println!("    {kind:<6} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(path: &str, top: usize, threads: usize) -> Result<(), String> {
+    let c = load(path)?;
+    let outcome = CircuitSerAnalysis::new()
+        .with_threads(threads)
+        .run(&c)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "analyzed {} nodes in {:?} (SP: {:?})",
+        c.len(),
+        outcome.epp_time(),
+        outcome.sp_time()
+    );
+    println!("total SER (unit models): {:.4}\n", outcome.report().total());
+    println!("{:<16} {:>12} {:>12}", "node", "P_sens", "SER");
+    println!("{}", "-".repeat(42));
+    for e in outcome.report().ranking().iter().take(top) {
+        println!(
+            "{:<16} {:>12.4} {:>12.4}",
+            c.node(e.node).name(),
+            e.p_sensitized,
+            e.ser
+        );
+    }
+    Ok(())
+}
+
+fn cmd_epp(path: &str, node_name: &str) -> Result<(), String> {
+    let c = load(path)?;
+    let site = c
+        .find(node_name)
+        .ok_or_else(|| format!("no node named `{node_name}` in {path}"))?;
+    let sp = IndependentSp::new()
+        .compute(&c, &InputProbs::default())
+        .map_err(|e| e.to_string())?;
+    let analysis = EppAnalysis::new(&c, sp).map_err(|e| e.to_string())?;
+    let r = analysis.site(site);
+    println!(
+        "site `{node_name}`: {} on-path gates, P_sensitized = {:.4}",
+        r.on_path_gates(),
+        r.p_sensitized()
+    );
+    for p in r.per_point() {
+        let kind = if p.point.is_flip_flop() { "FF" } else { "PO" };
+        println!(
+            "  {kind} at `{}`: {}",
+            c.node(p.point.signal()).name(),
+            p.value
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
+    let p = profile(name).ok_or_else(|| {
+        format!("unknown profile `{name}` (try s953, s1196, ..., s38417, s298, s344, s386, s526)")
+    })?;
+    let c = synthesize(&p, seed);
+    let text = write_bench(&c);
+    match out {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {} ({} nodes) to {path}", c.name(), c.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>"
+        .to_owned()
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("info") => cmd_info(args.get(1).ok_or_else(usage)?),
+        Some("analyze") => {
+            let path = args.get(1).ok_or_else(usage)?;
+            let top = flag_value(&args, "--top")
+                .map(|v| v.parse().map_err(|_| "bad --top value".to_owned()))
+                .transpose()?
+                .unwrap_or(15);
+            let threads = flag_value(&args, "--threads")
+                .map(|v| v.parse().map_err(|_| "bad --threads value".to_owned()))
+                .transpose()?
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            cmd_analyze(path, top, threads)
+        }
+        Some("epp") => {
+            let path = args.get(1).ok_or_else(usage)?;
+            let node = args.get(2).ok_or_else(usage)?;
+            cmd_epp(path, node)
+        }
+        Some("convert") => {
+            let input = args.get(1).ok_or_else(usage)?;
+            let output = args.get(2).ok_or_else(usage)?;
+            cmd_convert(input, output)
+        }
+        Some("gen") => {
+            let name = args.get(1).ok_or_else(usage)?;
+            let seed = flag_value(&args, "--seed")
+                .map(|v| v.parse().map_err(|_| "bad --seed value".to_owned()))
+                .transpose()?
+                .unwrap_or(1);
+            let out = flag_value(&args, "-o");
+            cmd_gen(name, seed, out.as_deref())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

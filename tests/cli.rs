@@ -1,0 +1,100 @@
+//! End-to-end tests of the `ser-cli` binary: generate a benchmark,
+//! inspect it, analyze it, convert it — the workflows a downstream user
+//! runs first.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ser-cli"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ser_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_info_analyze_epp_pipeline() {
+    let bench = temp_path("s298.bench");
+
+    // gen: write a synthetic benchmark.
+    let out = cli()
+        .args(["gen", "s298", "--seed", "3", "-o"])
+        .arg(&bench)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    // info: structural summary mentions the counts.
+    let out = cli().arg("info").arg(&bench).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("119 gates"), "info said: {text}");
+    assert!(text.contains("14 DFF"), "info said: {text}");
+
+    // analyze: produces a ranking and a total.
+    let out = cli()
+        .args(["analyze"])
+        .arg(&bench)
+        .args(["--top", "5", "--threads", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total SER"), "analyze said: {text}");
+
+    // epp: per-site detail for a named node.
+    let out = cli().args(["epp"]).arg(&bench).arg("G0").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("P_sensitized"), "epp said: {text}");
+
+    let _ = std::fs::remove_file(&bench);
+}
+
+#[test]
+fn convert_round_trips_formats() {
+    let bench = temp_path("rt.bench");
+    let verilog = temp_path("rt.v");
+    let back = temp_path("rt2.bench");
+
+    std::fs::write(
+        &bench,
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nu = NAND(a, b)\ny = XOR(u, a)\n",
+    )
+    .unwrap();
+
+    let out = cli().arg("convert").arg(&bench).arg(&verilog).output().unwrap();
+    assert!(out.status.success(), "to verilog failed: {out:?}");
+    let vtext = std::fs::read_to_string(&verilog).unwrap();
+    // The module is named after the input file stem.
+    assert!(vtext.starts_with("module "), "verilog: {vtext}");
+    assert!(vtext.contains("nand"), "verilog: {vtext}");
+
+    let out = cli().arg("convert").arg(&verilog).arg(&back).output().unwrap();
+    assert!(out.status.success(), "to bench failed: {out:?}");
+    let btext = std::fs::read_to_string(&back).unwrap();
+    assert!(btext.contains("NAND"), "bench: {btext}");
+
+    for p in [&bench, &verilog, &back] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "stderr: {err}");
+
+    let out = cli().args(["gen", "not-a-profile"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown profile"), "stderr: {err}");
+
+    let out = cli().args(["info", "/nonexistent/x.bench"]).output().unwrap();
+    assert!(!out.status.success());
+}

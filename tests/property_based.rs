@@ -1,0 +1,153 @@
+//! Property-based tests over randomly generated circuits: the
+//! invariants that must hold for *every* circuit, not just the
+//! hand-picked ones.
+
+use proptest::prelude::*;
+use ser_suite::epp::{EppAnalysis, PolarityMode};
+use ser_suite::gen::RandomDag;
+use ser_suite::netlist::{parse_bench, write_bench, GateKind};
+use ser_suite::sim::{BitSim, MonteCarlo};
+use ser_suite::sp::{ExactSp, IndependentSp, InputProbs, SpEngine};
+
+/// Strategy: a random-DAG configuration plus seed.
+fn dag_strategy() -> impl Strategy<Value = (usize, usize, f64, f64, u64)> {
+    (
+        2usize..8,      // inputs
+        3usize..40,     // gates
+        0.0f64..1.0,    // reconvergence
+        0.0f64..0.5,    // xor fraction
+        0u64..1_000,    // seed
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Round-trip: write_bench(parse_bench(x)) reproduces the circuit.
+    #[test]
+    fn bench_format_round_trips((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = RandomDag::new(inputs, gates)
+            .with_reconvergence(reconv)
+            .with_xor_fraction(xf)
+            .build(seed);
+        let text = write_bench(&c);
+        let back = parse_bench(&text, c.name()).expect("writer output parses");
+        prop_assert_eq!(&c, &back);
+    }
+
+    /// Every P_sensitized is a probability, and output nodes have 1.
+    #[test]
+    fn p_sensitized_is_probability((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = RandomDag::new(inputs, gates)
+            .with_reconvergence(reconv)
+            .with_xor_fraction(xf)
+            .build(seed);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        for id in c.node_ids() {
+            let r = analysis.site(id);
+            prop_assert!((0.0..=1.0).contains(&r.p_sensitized()),
+                "P_sens({id}) = {}", r.p_sensitized());
+            for p in r.per_point() {
+                let t = p.value;
+                prop_assert!((t.sum() - 1.0).abs() < 1e-6, "tuple sums to {}", t.sum());
+            }
+        }
+        for &po in c.outputs() {
+            prop_assert_eq!(analysis.site(po).p_sensitized(), 1.0);
+        }
+    }
+
+    /// Merged polarity never reports less arrival than tracked at a
+    /// single observe point fed by AND/OR logic... in general merged
+    /// can differ either way at XOR, so assert only the documented
+    /// global invariant: both are probabilities and merged >= tracked
+    /// when the circuit has no XOR/XNOR gates.
+    #[test]
+    fn merged_dominates_tracked_without_xor((inputs, gates, reconv, _xf, seed) in dag_strategy()) {
+        let c = RandomDag::new(inputs, gates)
+            .with_reconvergence(reconv)
+            .with_xor_fraction(0.0)
+            .build(seed);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        for id in c.node_ids() {
+            let tracked = analysis.site_with(id, PolarityMode::Tracked).p_sensitized();
+            let merged = analysis.site_with(id, PolarityMode::Merged).p_sensitized();
+            prop_assert!(merged >= tracked - 1e-9,
+                "site {id}: merged {merged} < tracked {tracked}");
+        }
+    }
+
+    /// The independent SP engine matches the exact oracle on circuits
+    /// whose gates never share support (trees): build a random tree.
+    #[test]
+    fn independent_sp_exact_on_trees(seed in 0u64..500, width in 2usize..10) {
+        // A tree: each gate consumes fresh inputs only.
+        let mut src = String::new();
+        let mut names: Vec<String> = Vec::new();
+        for i in 0..width {
+            src.push_str(&format!("INPUT(i{i})\n"));
+            names.push(format!("i{i}"));
+        }
+        // Pair up repeatedly.
+        let kinds = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Nand];
+        let mut g = 0usize;
+        let mut rng_state = seed;
+        while names.len() > 1 {
+            let a = names.remove(0);
+            let b = names.remove(0);
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let kind = kinds[(rng_state >> 33) as usize % kinds.len()];
+            let name = format!("g{g}");
+            src.push_str(&format!("{name} = {}({a}, {b})\n", kind.bench_keyword()));
+            names.push(name);
+            g += 1;
+        }
+        src.push_str(&format!("OUTPUT({})\n", names[0]));
+        let c = parse_bench(&src, "tree").unwrap();
+        let fast = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let oracle = ExactSp::new().compute(&c, &InputProbs::default()).unwrap();
+        prop_assert!(fast.max_abs_diff(&oracle) < 1e-9,
+            "tree SP mismatch {}", fast.max_abs_diff(&oracle));
+    }
+
+    /// Bit-parallel simulation equals scalar evaluation per pattern.
+    #[test]
+    fn bitsim_matches_scalar((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = RandomDag::new(inputs, gates)
+            .with_reconvergence(reconv)
+            .with_xor_fraction(xf)
+            .build(seed);
+        let sim = BitSim::new(&c).unwrap();
+        let words: Vec<u64> = (0..inputs as u64)
+            .map(|i| seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32))
+            .collect();
+        let packed = sim.run(&words);
+        for p in [0u32, 13, 63] {
+            let bits: Vec<bool> = words.iter().map(|w| w >> p & 1 != 0).collect();
+            let scalar = sim.run_scalar(&bits);
+            for id in c.node_ids() {
+                prop_assert_eq!(packed[id.index()] >> p & 1 != 0, scalar[id.index()],
+                    "node {} pattern {}", id, p);
+            }
+        }
+    }
+
+    /// The Monte-Carlo baseline converges to the exact oracle on any
+    /// circuit small enough to enumerate (a true invariant — unlike
+    /// MC-vs-analytic, which legitimately diverges under reconvergence).
+    #[test]
+    fn mc_converges_to_exact_oracle(seed in 0u64..100) {
+        use ser_suite::epp::ExactEpp;
+        let c = RandomDag::new(6, 15).with_reconvergence(0.5).build(seed);
+        let sim = BitSim::new(&c).unwrap();
+        let mc = MonteCarlo::new(4_096).with_seed(seed);
+        let oracle = ExactEpp::new();
+        let site = c.node_ids().next().unwrap();
+        let e = oracle.site(&c, &InputProbs::default(), site).unwrap().p_sensitized;
+        let m = mc.estimate_site(&sim, site).p_sensitized;
+        // 4σ at 4096 vectors is ~0.031; allow slack.
+        prop_assert!((e - m).abs() < 0.05, "exact {e} vs mc {m}");
+    }
+}

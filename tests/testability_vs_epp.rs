@@ -1,0 +1,110 @@
+//! SCOAP testability vs EPP-based vulnerability: the classic structural
+//! metric and the paper's probabilistic one should broadly agree on
+//! *which* nodes are exposed — that agreement (and where it breaks) is
+//! the reason an accurate, cheap P_sensitized is useful at all.
+
+use ser_suite::epp::CircuitSerAnalysis;
+use ser_suite::gen::{iscas89_like, RandomDag};
+use ser_suite::netlist::{Circuit, Scoap, SCOAP_INFINITY};
+
+/// Spearman rank correlation between two equally-long value slices.
+fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite"));
+        let mut r = vec![0.0; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            r[i] = rank as f64;
+        }
+        r
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    let n = xs.len() as f64;
+    let mx = rx.iter().sum::<f64>() / n;
+    let my = ry.iter().sum::<f64>() / n;
+    let cov: f64 = rx.iter().zip(&ry).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let vx: f64 = rx.iter().map(|a| (a - mx) * (a - mx)).sum();
+    let vy: f64 = ry.iter().map(|b| (b - my) * (b - my)).sum();
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Collects (negated observability, P_sensitized) pairs over gates.
+fn paired_metrics(circuit: &Circuit) -> (Vec<f64>, Vec<f64>) {
+    let scoap = Scoap::compute(circuit).unwrap();
+    let outcome = CircuitSerAnalysis::new().run(circuit).unwrap();
+    let mut neg_co = Vec::new();
+    let mut p_sens = Vec::new();
+    for (id, node) in circuit.iter() {
+        if !node.kind().is_logic() {
+            continue;
+        }
+        let co = scoap.co(id);
+        // Unobservable nodes: pin at the bottom of both rankings.
+        let co_metric = if co >= SCOAP_INFINITY {
+            -1e9
+        } else {
+            -f64::from(co)
+        };
+        neg_co.push(co_metric);
+        p_sens.push(outcome.site(id).p_sensitized());
+    }
+    (neg_co, p_sens)
+}
+
+#[test]
+fn easy_to_observe_correlates_with_sensitized_on_dags() {
+    // Aggregate correlation across seeds; individual circuits vary.
+    let mut total = 0.0;
+    let seeds = 6u64;
+    for seed in 0..seeds {
+        let c = RandomDag::new(12, 60).with_reconvergence(0.4).build(seed);
+        let (neg_co, p_sens) = paired_metrics(&c);
+        total += spearman(&neg_co, &p_sens);
+    }
+    let mean_rho = total / seeds as f64;
+    assert!(
+        mean_rho > 0.3,
+        "SCOAP observability should correlate with P_sensitized, rho = {mean_rho}"
+    );
+}
+
+#[test]
+fn correlates_on_synthetic_benchmark() {
+    let c = iscas89_like("s344").unwrap();
+    let (neg_co, p_sens) = paired_metrics(&c);
+    let rho = spearman(&neg_co, &p_sens);
+    assert!(rho > 0.2, "s344-like: rho = {rho}");
+}
+
+#[test]
+fn unobservable_agrees_exactly() {
+    // Where SCOAP says "infinite observability cost", EPP must say
+    // P_sensitized = 0 — the two theories coincide at the boundary.
+    let c = RandomDag::new(8, 30).build(3);
+    let scoap = Scoap::compute(&c).unwrap();
+    let outcome = CircuitSerAnalysis::new().run(&c).unwrap();
+    for id in c.node_ids() {
+        if scoap.co(id) >= SCOAP_INFINITY {
+            assert_eq!(
+                outcome.site(id).p_sensitized(),
+                0.0,
+                "node {id}: SCOAP-unobservable but EPP-sensitized"
+            );
+        }
+        if outcome.site(id).p_sensitized() > 0.0 {
+            assert!(
+                scoap.co(id) < SCOAP_INFINITY,
+                "node {id}: EPP-sensitized but SCOAP-unobservable"
+            );
+        }
+    }
+}
+
+#[test]
+fn spearman_self_test() {
+    let xs = [1.0, 2.0, 3.0, 4.0];
+    assert!((spearman(&xs, &xs) - 1.0).abs() < 1e-12);
+    let ys = [4.0, 3.0, 2.0, 1.0];
+    assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+}
