@@ -34,7 +34,10 @@ fn bench_sp_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/sp_engine");
     group.sample_size(10);
     for (name, engine) in [
-        ("independent", Box::new(IndependentSp::new()) as Box<dyn SpEngine>),
+        (
+            "independent",
+            Box::new(IndependentSp::new()) as Box<dyn SpEngine>,
+        ),
         ("correlation", Box::new(CorrelationSp::new())),
         ("monte-carlo-10k", Box::new(MonteCarloSp::new(10_000))),
     ] {

@@ -23,11 +23,12 @@ impl SitePair {
 ///
 /// This normalizes total error by total sensitization, so near-dead
 /// sites (where a per-site ratio would explode on Monte-Carlo noise)
-/// contribute proportionally to their magnitude. Zero total
-/// sensitization returns 0 when the analytical side agrees, 100
-/// otherwise.
+/// contribute proportionally to their magnitude — no dead-site floor
+/// is needed (unlike [`mean_relative_percent`], whose per-site ratios
+/// do need one). Zero total sensitization returns 0 when the
+/// analytical side agrees, 100 otherwise.
 #[must_use]
-pub fn percent_difference(pairs: &[SitePair], _floor: f64) -> f64 {
+pub fn percent_difference(pairs: &[SitePair]) -> f64 {
     let total_diff: f64 = pairs.iter().map(SitePair::abs_diff).sum();
     let total_mc: f64 = pairs.iter().map(|p| p.monte_carlo).sum();
     if total_mc == 0.0 {
@@ -93,7 +94,7 @@ mod tests {
     #[test]
     fn identical_estimates_zero_difference() {
         let pairs = vec![pair(0.5, 0.5), pair(0.9, 0.9)];
-        assert_eq!(percent_difference(&pairs, 0.01), 0.0);
+        assert_eq!(percent_difference(&pairs), 0.0);
         assert_eq!(mean_relative_percent(&pairs, 0.01), 0.0);
         assert_eq!(mean_abs_diff(&pairs), 0.0);
         assert_eq!(max_abs_diff(&pairs), 0.0);
@@ -103,7 +104,7 @@ mod tests {
     fn aggregate_relative_difference() {
         // Σ|diff| = 0.05 + 0.05 = 0.1; Σ mc = 1.0 -> 10%.
         let pairs = vec![pair(0.55, 0.5), pair(0.45, 0.5)];
-        assert!((percent_difference(&pairs, 0.01) - 10.0).abs() < 1e-9);
+        assert!((percent_difference(&pairs) - 10.0).abs() < 1e-9);
     }
 
     #[test]
@@ -111,7 +112,7 @@ mod tests {
         // A tiny absolute error on a near-dead node barely moves the
         // aggregate, unlike a per-site ratio.
         let pairs = vec![pair(0.011, 0.001), pair(0.5, 0.5)];
-        let agg = percent_difference(&pairs, 0.01);
+        let agg = percent_difference(&pairs);
         assert!(agg < 3.0, "aggregate {agg}");
         let harsh = mean_relative_percent(&pairs, 0.01);
         assert!(harsh > 40.0, "per-site {harsh}");
@@ -126,13 +127,13 @@ mod tests {
 
     #[test]
     fn zero_sensitization_edge() {
-        assert_eq!(percent_difference(&[pair(0.0, 0.0)], 0.01), 0.0);
-        assert_eq!(percent_difference(&[pair(0.3, 0.0)], 0.01), 100.0);
+        assert_eq!(percent_difference(&[pair(0.0, 0.0)]), 0.0);
+        assert_eq!(percent_difference(&[pair(0.3, 0.0)]), 100.0);
     }
 
     #[test]
     fn empty_input() {
-        assert_eq!(percent_difference(&[], 0.01), 0.0);
+        assert_eq!(percent_difference(&[]), 0.0);
         assert_eq!(mean_relative_percent(&[], 0.01), 0.0);
         assert_eq!(mean_abs_diff(&[]), 0.0);
         assert_eq!(max_abs_diff(&[]), 0.0);

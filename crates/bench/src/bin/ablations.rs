@@ -10,11 +10,11 @@
 //!    (why the baseline is expensive).
 //!
 //! ```text
-//! cargo run --release -p ser-bench --bin ablations
+//! cargo run --release -p ser-bench-harness --bin ablations
 //! ```
 
-use ser_bench::accuracy::{mean_abs_diff, SitePair};
-use ser_bench::table::TextTable;
+use ser_bench_harness::accuracy::{mean_abs_diff, SitePair};
+use ser_bench_harness::table::TextTable;
 use ser_epp::{EppAnalysis, ExactEpp, PolarityMode};
 use ser_gen::RandomDag;
 use ser_netlist::{Circuit, NodeId};
@@ -103,7 +103,9 @@ fn xor_sweep() {
     println!("(same metric; XOR/XNOR fraction swept on 12-input, 50-gate DAGs)\n");
     let mut table = TextTable::new(["xor_frac", "mean_err"]);
     for xf in [0.0, 0.2, 0.4, 0.6, 0.8] {
-        let dag = RandomDag::new(12, 50).with_xor_fraction(xf).with_reconvergence(0.5);
+        let dag = RandomDag::new(12, 50)
+            .with_xor_fraction(xf)
+            .with_reconvergence(0.5);
         let mut err = 0.0;
         const SEEDS: u64 = 3;
         for seed in 0..SEEDS {
@@ -183,18 +185,18 @@ fn baseline_engineering() {
     let mut table = TextTable::new(["method", "per-site", "vs naive"]);
     table.push_row([
         "naive scalar MC".to_owned(),
-        ser_bench::table::fmt_seconds(naive),
+        ser_bench_harness::table::fmt_seconds(naive),
         "1.0x".to_owned(),
     ]);
     table.push_row([
         "packed+cone MC".to_owned(),
-        ser_bench::table::fmt_seconds(packed),
-        ser_bench::table::fmt_speedup(naive / packed),
+        ser_bench_harness::table::fmt_seconds(packed),
+        ser_bench_harness::table::fmt_speedup(naive / packed),
     ]);
     table.push_row([
         "analytical EPP".to_owned(),
-        ser_bench::table::fmt_seconds(epp),
-        ser_bench::table::fmt_speedup(naive / epp),
+        ser_bench_harness::table::fmt_seconds(epp),
+        ser_bench_harness::table::fmt_speedup(naive / epp),
     ]);
     println!("{}", table.render());
     println!("Reading: engineering the simulator buys 1-2 orders of magnitude;");

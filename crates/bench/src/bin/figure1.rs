@@ -4,7 +4,7 @@
 //! Monte-Carlo simulation.
 //!
 //! ```text
-//! cargo run --release -p ser-bench --bin figure1
+//! cargo run --release -p ser-bench-harness --bin figure1
 //! ```
 
 use ser_epp::{EppAnalysis, ExactEpp};
@@ -61,8 +61,13 @@ fn main() {
         .compute(&c, &InputProbs::default())
         .unwrap();
     let uniform = EppAnalysis::new(&c, uniform_sp).unwrap().site(site);
-    let mc = MonteCarlo::new(200_000).with_seed(7).estimate_site(&sim, site);
+    let mc = MonteCarlo::new(200_000)
+        .with_seed(7)
+        .estimate_site(&sim, site);
     println!("\n# uniform-0.5 variant (Monte-Carlo cross-check)");
     println!("analytical P_sens    = {:.4}", uniform.p_sensitized());
-    println!("monte-carlo P_sens   = {:.4}  ({} vectors)", mc.p_sensitized, 200_000);
+    println!(
+        "monte-carlo P_sens   = {:.4}  ({} vectors)",
+        mc.p_sensitized, 200_000
+    );
 }

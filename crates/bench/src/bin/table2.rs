@@ -3,7 +3,7 @@
 //! stand-ins; see DESIGN.md §2).
 //!
 //! ```text
-//! cargo run --release -p ser-bench --bin table2 [-- --quick]
+//! cargo run --release -p ser-bench-harness --bin table2 [-- --quick]
 //! ```
 //!
 //! `--quick` restricts the run to the six smaller circuits with a lower
@@ -14,8 +14,8 @@
 //! `%Dif`, `MAD` (mean |ΔP_sens|), `SPT` (s, whole-circuit signal
 //! probabilities), `ISP`/`ESP` (speedups incl./excl. SP time).
 
-use ser_bench::table::{fmt_speedup, TextTable};
-use ser_bench::workload::{run_circuit, Table2Config};
+use ser_bench_harness::table::{fmt_speedup, TextTable};
+use ser_bench_harness::workload::{run_circuit, Table2Config};
 use ser_gen::{synthesize, TABLE2};
 
 fn main() {
@@ -45,8 +45,17 @@ fn main() {
     println!();
 
     let mut table = TextTable::new([
-        "Circuit", "Nodes", "SysT(ms)", "SimT(s)", "NaiveT(s)", "%Dif", "MAD", "SPT(s)", "ISP",
-        "ESP", "NSP",
+        "Circuit",
+        "Nodes",
+        "SysT(ms)",
+        "SimT(s)",
+        "NaiveT(s)",
+        "%Dif",
+        "MAD",
+        "SPT(s)",
+        "ISP",
+        "ESP",
+        "NSP",
     ]);
     let mut sums = (0.0f64, 0.0f64, 0.0f64, 0.0f64); // dif, isp, esp, nsp
     for profile in circuits {

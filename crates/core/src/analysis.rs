@@ -5,10 +5,11 @@
 use std::time::{Duration, Instant};
 
 use ser_netlist::{Circuit, NetlistError, NodeId};
-use ser_sp::{IndependentSp, InputProbs, SpEngine, SpError, SpVector};
+use ser_sp::{InputProbs, SpEngine, SpError, SpVector};
 
-use crate::engine::{EppAnalysis, SiteEpp};
+use crate::engine::SiteEpp;
 use crate::ser_model::{PlatchedModel, RseuModel, SerReport};
+use crate::session::AnalysisSession;
 
 /// Configuration for a whole-circuit analysis run.
 ///
@@ -80,14 +81,18 @@ impl CircuitSerAnalysis {
     }
 
     /// Runs the analysis with the default (independent, linear-time)
-    /// signal-probability engine.
+    /// signal-probability engine. Compiles a one-shot
+    /// [`AnalysisSession`]; callers doing more than one thing with the
+    /// same circuit should build the session themselves and use
+    /// [`run_with_session`](Self::run_with_session).
     ///
     /// # Errors
     ///
     /// Returns [`SpError`] if signal probabilities cannot be computed or
     /// the circuit is structurally invalid.
     pub fn run(&self, circuit: &Circuit) -> Result<AnalysisOutcome, SpError> {
-        self.run_with_sp_engine(circuit, &IndependentSp::new())
+        let session = AnalysisSession::with_inputs(circuit, self.inputs.clone())?;
+        Ok(self.run_with_session(&session))
     }
 
     /// Runs the analysis with a caller-chosen SP engine (the SP-engine
@@ -102,11 +107,8 @@ impl CircuitSerAnalysis {
         circuit: &Circuit,
         engine: &dyn SpEngine,
     ) -> Result<AnalysisOutcome, SpError> {
-        let sp_start = Instant::now();
-        let sp = engine.compute(circuit, &self.inputs)?;
-        let sp_time = sp_start.elapsed();
-        self.run_with_sp(circuit, sp, sp_time)
-            .map_err(SpError::from)
+        let session = AnalysisSession::with_engine(circuit, self.inputs.clone(), engine)?;
+        Ok(self.run_with_session(&session))
     }
 
     /// Runs the analysis with precomputed signal probabilities
@@ -116,24 +118,49 @@ impl CircuitSerAnalysis {
     /// # Errors
     ///
     /// Returns [`NetlistError::CombinationalCycle`] for cyclic circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` does not cover exactly `circuit.len()` nodes.
     pub fn run_with_sp(
         &self,
         circuit: &Circuit,
         sp: SpVector,
         sp_time: Duration,
     ) -> Result<AnalysisOutcome, NetlistError> {
+        let session = AnalysisSession::from_sp(circuit, self.inputs.clone(), sp, sp_time).map_err(
+            |e| match e {
+                SpError::Netlist(n) => n,
+                other => unreachable!("from_sp only fails structurally: {other}"),
+            },
+        )?;
+        Ok(self.run_with_session(&session))
+    }
+
+    /// The core sweep over a compiled [`AnalysisSession`]: every
+    /// per-circuit artifact (topological order, observe points, signal
+    /// probabilities, scratch workspaces) comes from the session; this
+    /// method only runs the per-site EPP passes and assembles the
+    /// report. Running it twice on the same session recomputes nothing
+    /// but the passes themselves.
+    ///
+    /// Note the sweep uses the session's signal probabilities — the
+    /// builder's [`with_inputs`](Self::with_inputs) configuration
+    /// applies only to entry points that compile the session
+    /// themselves.
+    #[must_use]
+    pub fn run_with_session(&self, session: &AnalysisSession<'_>) -> AnalysisOutcome {
         let epp_start = Instant::now();
-        let analysis = EppAnalysis::new(circuit, sp)?;
-        let sites = analysis.all_sites_parallel(self.threads);
+        let sites = session.all_sites(self.threads);
         let epp_time = epp_start.elapsed();
         let p_sens: Vec<f64> = sites.iter().map(SiteEpp::p_sensitized).collect();
-        let report = SerReport::assemble(circuit, &p_sens, &self.rseu, &self.platched);
-        Ok(AnalysisOutcome {
+        let report = SerReport::assemble(session.circuit(), &p_sens, &self.rseu, &self.platched);
+        AnalysisOutcome {
             sites,
             report,
-            sp_time,
+            sp_time: session.sp_time(),
             epp_time,
-        })
+        }
     }
 }
 
@@ -244,10 +271,7 @@ mod tests {
     fn threads_do_not_change_results() {
         let c = toy();
         let seq = CircuitSerAnalysis::new().run(&c).unwrap();
-        let par = CircuitSerAnalysis::new()
-            .with_threads(4)
-            .run(&c)
-            .unwrap();
+        let par = CircuitSerAnalysis::new().with_threads(4).run(&c).unwrap();
         assert_eq!(seq.p_sensitized(), par.p_sensitized());
     }
 

@@ -130,7 +130,11 @@ mod tests {
         let mut src = String::from("INPUT(a)\nOUTPUT(y)\n");
         let mut prev = "a".to_owned();
         for i in 0..n {
-            let name = if i == n - 1 { "y".into() } else { format!("g{i}") };
+            let name = if i == n - 1 {
+                "y".into()
+            } else {
+                format!("g{i}")
+            };
             src.push_str(&format!("{name} = NOT({prev})\n"));
             prev = name;
         }
@@ -149,8 +153,11 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_have_no_depth() {
-        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = NOT(b)\n", "t")
-            .unwrap();
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = NOT(b)\n",
+            "t",
+        )
+        .unwrap();
         let a = c.find("a").unwrap();
         let depths = gate_depths_from(&c, a);
         assert_eq!(depths[c.find("z").unwrap().index()], None);
@@ -162,7 +169,9 @@ mod tests {
         // P_sens of `a` in a 4-inverter chain is 1.0 logically; with
         // α = 0.9 the effective arrival is 0.9^4.
         let c = chain(4);
-        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let sp = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
         let analysis = EppAnalysis::new(&c, sp).unwrap();
         let a = c.find("a").unwrap();
         let site = analysis.site(a);
@@ -174,11 +183,16 @@ mod tests {
     #[test]
     fn alpha_one_is_identity() {
         let c = chain(3);
-        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let sp = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
         let analysis = EppAnalysis::new(&c, sp).unwrap();
         let a = c.find("a").unwrap();
         let site = analysis.site(a);
-        assert_eq!(ElectricalMasking::none().derate(&c, &site), site.p_sensitized());
+        assert_eq!(
+            ElectricalMasking::none().derate(&c, &site),
+            site.p_sensitized()
+        );
     }
 
     #[test]
@@ -209,7 +223,9 @@ mod tests {
             "two",
         )
         .unwrap();
-        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let sp = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
         let analysis = EppAnalysis::new(&c, sp).unwrap();
         let a = c.find("a").unwrap();
         let site = analysis.site(a);

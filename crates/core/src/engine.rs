@@ -14,7 +14,9 @@
 //! Finally `P_sensitized(n) = 1 − Π_j (1 − (Pa(POj) + Pā(POj)))` over
 //! the observe points reachable from `n`.
 
-use ser_netlist::{Circuit, GateKind, NetlistError, NodeId, ObservePoint};
+use std::sync::{Arc, Mutex};
+
+use ser_netlist::{Circuit, GateKind, NetlistError, NodeId, ObservePoint, TopoArtifacts};
 use ser_sp::SpVector;
 
 use crate::four_value::FourValue;
@@ -140,13 +142,12 @@ impl SiteEpp {
 #[derive(Debug, Clone)]
 pub struct EppAnalysis<'c> {
     circuit: &'c Circuit,
-    /// Position of each node in topological order (cone nodes are
-    /// sorted by this, making a site pass O(cone log cone) instead of
-    /// O(circuit)).
-    topo_pos: Vec<u32>,
-    /// Observe points, precomputed once.
-    observe: Vec<ObservePoint>,
-    sp: SpVector,
+    /// Shared structural artifacts: topological positions (cone nodes
+    /// are sorted by these, making a site pass O(cone log cone) instead
+    /// of O(circuit)) and precomputed observe points. Behind an `Arc`
+    /// so a session can hand the same compilation to every consumer.
+    topo: Arc<TopoArtifacts>,
+    sp: Arc<SpVector>,
 }
 
 /// Reusable per-thread scratch for the per-site pass: epoch-stamped
@@ -191,29 +192,47 @@ impl<'c> EppAnalysis<'c> {
     ///
     /// Panics if `sp` does not cover exactly `circuit.len()` nodes.
     pub fn new(circuit: &'c Circuit, sp: SpVector) -> Result<Self, NetlistError> {
+        let topo = Arc::new(TopoArtifacts::compute(circuit)?);
+        Ok(Self::from_artifacts(circuit, topo, Arc::new(sp)))
+    }
+
+    /// Builds the analysis from already-compiled artifacts — the
+    /// no-recompute constructor the session layer uses. The `Arc`s are
+    /// cloned, not deep-copied, so this is O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` or `sp` do not cover exactly `circuit.len()`
+    /// nodes.
+    #[must_use]
+    pub fn from_artifacts(
+        circuit: &'c Circuit,
+        topo: Arc<TopoArtifacts>,
+        sp: Arc<SpVector>,
+    ) -> Self {
+        assert_eq!(
+            topo.len(),
+            circuit.len(),
+            "topo artifacts must cover every node"
+        );
         assert_eq!(
             sp.len(),
             circuit.len(),
             "signal probabilities must cover every node"
         );
-        let order = ser_netlist::topo_order(circuit)?;
-        let mut topo_pos = vec![0u32; circuit.len()];
-        for (i, id) in order.iter().enumerate() {
-            topo_pos[id.index()] = u32::try_from(i).expect("node count fits u32");
-        }
-        let observe = circuit.observe_points().collect();
-        Ok(EppAnalysis {
-            circuit,
-            topo_pos,
-            observe,
-            sp,
-        })
+        EppAnalysis { circuit, topo, sp }
     }
 
     /// The circuit under analysis.
     #[must_use]
     pub fn circuit(&self) -> &'c Circuit {
         self.circuit
+    }
+
+    /// The shared structural artifacts this analysis runs on.
+    #[must_use]
+    pub fn artifacts(&self) -> &Arc<TopoArtifacts> {
+        &self.topo
     }
 
     /// The signal probabilities in use.
@@ -288,7 +307,7 @@ impl<'c> EppAnalysis<'c> {
         }
 
         // --- 2. Ordering: sort cone members topologically. --------------
-        ws.cone.sort_unstable_by_key(|id| self.topo_pos[id.index()]);
+        ws.cone.sort_unstable_by_key(|id| self.topo.position(*id));
 
         // --- 3. EPP computation: one pass over the cone. ----------------
         ws.values[site.index()] = FourValue::error_site();
@@ -323,7 +342,8 @@ impl<'c> EppAnalysis<'c> {
         }
 
         let per_point: Vec<PointEpp> = self
-            .observe
+            .topo
+            .observe_points()
             .iter()
             .filter(|p| ws.stamp[p.signal().index()] == epoch)
             .map(|&point| PointEpp {
@@ -344,11 +364,8 @@ impl<'c> EppAnalysis<'c> {
     /// circuit nodes as possible error sites").
     #[must_use]
     pub fn all_sites(&self) -> Vec<SiteEpp> {
-        let mut ws = SiteWorkspace::new(self);
-        self.circuit
-            .node_ids()
-            .map(|id| self.site_with_workspace(id, PolarityMode::Tracked, &mut ws))
-            .collect()
+        let pool = WorkspacePool::new();
+        self.all_sites_parallel_with_pool(1, &pool)
     }
 
     /// Analyzes every node using `threads` worker threads (sites are
@@ -359,10 +376,38 @@ impl<'c> EppAnalysis<'c> {
     /// Panics if `threads` is 0.
     #[must_use]
     pub fn all_sites_parallel(&self, threads: usize) -> Vec<SiteEpp> {
+        let pool = WorkspacePool::new();
+        self.all_sites_parallel_with_pool(threads, &pool)
+    }
+
+    /// Like [`all_sites_parallel`](Self::all_sites_parallel), but
+    /// checking per-thread scratch out of a caller-owned
+    /// [`WorkspacePool`] and returning it afterwards — so a session
+    /// running repeated sweeps (re-ranking after an input-probability
+    /// change, ablations over polarity modes) allocates its workspaces
+    /// exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or the pool holds workspaces sized for
+    /// a different circuit.
+    #[must_use]
+    pub fn all_sites_parallel_with_pool(
+        &self,
+        threads: usize,
+        pool: &WorkspacePool,
+    ) -> Vec<SiteEpp> {
         assert!(threads > 0, "at least one thread");
         let n = self.circuit.len();
         if threads == 1 || n < 64 {
-            return self.all_sites();
+            let mut ws = pool.checkout(self);
+            let out = self
+                .circuit
+                .node_ids()
+                .map(|id| self.site_with_workspace(id, PolarityMode::Tracked, &mut ws))
+                .collect();
+            pool.give_back(ws);
+            return out;
         }
         let chunk = n.div_ceil(threads);
         let mut results: Vec<Option<SiteEpp>> = vec![None; n];
@@ -374,7 +419,7 @@ impl<'c> EppAnalysis<'c> {
                 let (head, tail) = rest.split_at_mut(take);
                 let this = &*self;
                 scope.spawn(move || {
-                    let mut ws = SiteWorkspace::new(this);
+                    let mut ws = pool.checkout(this);
                     for (offset, slot) in head.iter_mut().enumerate() {
                         *slot = Some(this.site_with_workspace(
                             NodeId::from_index(start + offset),
@@ -382,6 +427,7 @@ impl<'c> EppAnalysis<'c> {
                             &mut ws,
                         ));
                     }
+                    pool.give_back(ws);
                 });
                 rest = tail;
                 start += take;
@@ -391,6 +437,61 @@ impl<'c> EppAnalysis<'c> {
             .into_iter()
             .map(|r| r.expect("all chunks filled"))
             .collect()
+    }
+}
+
+/// A checkout pool of [`SiteWorkspace`]s shared across sweeps and
+/// threads: workers pop a workspace (or lazily create one), run their
+/// chunk allocation-free, and push it back for the next sweep.
+///
+/// The pool is intentionally dumb — a mutexed stack. It is touched
+/// twice per worker per sweep, so contention is irrelevant; what
+/// matters is that the O(circuit) scratch buffers survive between
+/// sweeps instead of being reallocated.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    slots: Mutex<Vec<SiteWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created on first checkout.
+    #[must_use]
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Pops a pooled workspace, or creates a fresh one sized for
+    /// `analysis`' circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's workspaces were built for a circuit of a
+    /// different size (pools must not be shared across circuits).
+    #[must_use]
+    pub fn checkout(&self, analysis: &EppAnalysis<'_>) -> SiteWorkspace {
+        let ws = self.slots.lock().expect("pool lock").pop();
+        match ws {
+            Some(ws) => {
+                assert_eq!(
+                    ws.stamp.len(),
+                    analysis.circuit.len(),
+                    "pooled workspace sized for a different circuit"
+                );
+                ws
+            }
+            None => SiteWorkspace::new(analysis),
+        }
+    }
+
+    /// Returns a workspace to the pool for reuse.
+    pub fn give_back(&self, ws: SiteWorkspace) {
+        self.slots.lock().expect("pool lock").push(ws);
+    }
+
+    /// Number of idle workspaces currently pooled.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.slots.lock().expect("pool lock").len()
     }
 }
 
@@ -458,8 +559,11 @@ H = OR(C, D, G)
 
     #[test]
     fn single_path_inverter_chain() {
-        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nu = NOT(a)\nv = NOT(u)\ny = NOT(v)\n", "ch")
-            .unwrap();
+        let c = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nu = NOT(a)\nv = NOT(u)\ny = NOT(v)\n",
+            "ch",
+        )
+        .unwrap();
         let epp = analysis(&c, &InputProbs::default());
         let r = epp.site(c.find("a").unwrap());
         assert_eq!(r.p_sensitized(), 1.0);

@@ -76,7 +76,11 @@ pub fn check_equivalence(
             reason: format!("source sets differ: {lsrc:?} vs {rsrc:?}"),
         });
     }
-    let lout: Vec<&str> = left.outputs().iter().map(|&o| left.node(o).name()).collect();
+    let lout: Vec<&str> = left
+        .outputs()
+        .iter()
+        .map(|&o| left.node(o).name())
+        .collect();
     let rout: Vec<&str> = right
         .outputs()
         .iter()
@@ -275,8 +279,11 @@ mod tests {
     #[test]
     fn sequential_compared_cycle_for_cycle() {
         // Same next-state/output logic expressed differently.
-        let a = parse_bench("INPUT(x)\nOUTPUT(y)\nq = DFF(d)\nd = NOT(x)\ny = AND(q, x)\n", "s1")
-            .unwrap();
+        let a = parse_bench(
+            "INPUT(x)\nOUTPUT(y)\nq = DFF(d)\nd = NOT(x)\ny = AND(q, x)\n",
+            "s1",
+        )
+        .unwrap();
         let b = parse_bench(
             "INPUT(x)\nOUTPUT(y)\nq = DFF(d)\nnx = NOT(x)\nd = BUF(nx)\ny = AND(x, q)\n",
             "s2",

@@ -87,6 +87,25 @@ impl ExactEpp {
         site: NodeId,
     ) -> Result<ExactSiteEpp, SpError> {
         let sim = BitSim::new(circuit)?;
+        self.site_with_sim(&sim, inputs, site)
+    }
+
+    /// Like [`site`](Self::site) but reusing a compiled simulator
+    /// (e.g. the one cached by an
+    /// [`AnalysisSession`](crate::AnalysisSession)), so repeated oracle
+    /// queries skip the per-call topological sort.
+    ///
+    /// # Errors
+    ///
+    /// [`SpError::TooManySources`] if the circuit has more sources than
+    /// the limit.
+    pub fn site_with_sim(
+        &self,
+        sim: &BitSim<'_>,
+        inputs: &InputProbs,
+        site: NodeId,
+    ) -> Result<ExactSiteEpp, SpError> {
+        let circuit = sim.circuit();
         let sources: Vec<NodeId> = sim.sources().to_vec();
         if sources.len() > self.max_sources {
             return Err(SpError::TooManySources {
@@ -104,7 +123,7 @@ impl ExactEpp {
                 }
             })
             .collect();
-        let fault = SiteFaultSim::new(&sim, site);
+        let fault = SiteFaultSim::new(sim, site);
         let mut good = vec![0u64; circuit.len()];
         let mut scratch = vec![0u64; circuit.len()];
         let mut p_sens = 0.0f64;
@@ -117,7 +136,7 @@ impl ExactEpp {
         while let Some(block) = patterns.next_block() {
             sim.run_into(block.words(), &mut good);
             scratch.copy_from_slice(&good);
-            let outcome = fault.inject(&sim, &good, &mut scratch);
+            let outcome = fault.inject(sim, &good, &mut scratch);
             for p in 0..block.count() {
                 let mut w = 1.0f64;
                 for (s, &ps) in source_p.iter().enumerate() {
@@ -287,11 +306,7 @@ mod tests {
 
     #[test]
     fn tuple_at_matches_site_arrival() {
-        let c = parse_bench(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
-            "t",
-        )
-        .unwrap();
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "t").unwrap();
         let probs = InputProbs::uniform(0.5);
         let a = c.find("a").unwrap();
         let y = c.find("y").unwrap();
@@ -311,7 +326,12 @@ mod tests {
             src.push_str(&format!("INPUT(i{i})\n"));
         }
         src.push_str("OUTPUT(y)\ny = OR(");
-        src.push_str(&(0..30).map(|i| format!("i{i}")).collect::<Vec<_>>().join(", "));
+        src.push_str(
+            &(0..30)
+                .map(|i| format!("i{i}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
         src.push_str(")\n");
         let c = parse_bench(&src, "wide").unwrap();
         let y = c.find("y").unwrap();

@@ -146,7 +146,12 @@ mod tests {
     use ser_netlist::parse_bench;
 
     fn report_for(circuit: &Circuit, ps: &[f64]) -> SerReport {
-        SerReport::assemble(circuit, ps, &RseuModel::default(), &PlatchedModel::default())
+        SerReport::assemble(
+            circuit,
+            ps,
+            &RseuModel::default(),
+            &PlatchedModel::default(),
+        )
     }
 
     #[test]
@@ -216,7 +221,10 @@ mod tests {
             .collect();
         let report = report_for(&c, &ps);
         let plan = HardeningPlan::greedy(&c, &report, HardeningCost::Unit, 100.0);
-        assert!(plan.choices().iter().all(|ch| c.node(ch.node).name() != "u"));
+        assert!(plan
+            .choices()
+            .iter()
+            .all(|ch| c.node(ch.node).name() != "u"));
         assert!((plan.reduction_fraction() - 1.0).abs() < 1e-12);
     }
 }

@@ -16,6 +16,11 @@
 //!   the rules and quantify reconvergence error,
 //! - [`RseuModel`]/[`PlatchedModel`]/[`SerReport`] — the full
 //!   `SER = R_SEU × P_latched × P_sensitized` model with rankings,
+//! - [`AnalysisSession`] — the cached per-circuit context: topological
+//!   order, observe points, signal probabilities, the compiled
+//!   simulator and the scratch pool, each computed once and shared by
+//!   every estimation path (with SP-only invalidation on
+//!   input-probability changes),
 //! - [`CircuitSerAnalysis`] — the whole-circuit facade with timing
 //!   (Table 2's `SysT`/`SPT` split),
 //! - [`HardeningPlan`] — greedy selective hardening (the conclusion's
@@ -60,10 +65,14 @@ mod matrix;
 mod multi_cycle;
 mod rules;
 mod ser_model;
+mod session;
 
 pub use analysis::{AnalysisOutcome, CircuitSerAnalysis};
 pub use electrical::{gate_depths_from, ElectricalMasking};
-pub use engine::{combine_sensitization, EppAnalysis, PointEpp, PolarityMode, SiteEpp, SiteWorkspace};
+pub use engine::{
+    combine_sensitization, EppAnalysis, PointEpp, PolarityMode, SiteEpp, SiteWorkspace,
+    WorkspacePool,
+};
 pub use equivalence::{check_equivalence, tmr_replica_names, Equivalence};
 pub use exact::{ExactEpp, ExactSiteEpp};
 pub use exact_bdd::BddExactEpp;
@@ -73,3 +82,4 @@ pub use matrix::VulnerabilityMatrix;
 pub use multi_cycle::{multi_cycle_monte_carlo, MultiCycleEpp, MultiCycleResult};
 pub use rules::propagate;
 pub use ser_model::{PlatchedModel, RseuModel, SerEntry, SerReport};
+pub use session::AnalysisSession;

@@ -64,7 +64,17 @@ impl<'c> MultiCycleEpp<'c> {
     ///
     /// Panics if `sp` does not cover the circuit.
     pub fn new(circuit: &'c Circuit, sp: SpVector) -> Result<Self, ser_netlist::NetlistError> {
-        let analysis = EppAnalysis::new(circuit, sp)?;
+        Ok(Self::with_analysis(EppAnalysis::new(circuit, sp)?))
+    }
+
+    /// Compiles the frame-expansion tables on top of an existing
+    /// single-cycle analysis — e.g. one handed out by an
+    /// [`AnalysisSession`](crate::AnalysisSession) via
+    /// [`epp()`](crate::AnalysisSession::epp), so topological order and
+    /// SP are not recomputed.
+    #[must_use]
+    pub fn with_analysis(analysis: EppAnalysis<'c>) -> Self {
+        let circuit = analysis.circuit();
         let nffs = circuit.num_dffs();
         let mut po_arrival = vec![0.0; nffs];
         let mut ff_arrival = vec![vec![0.0; nffs]; nffs];
@@ -86,12 +96,12 @@ impl<'c> MultiCycleEpp<'c> {
             }
             po_arrival[fi] = combine_sensitization(po_arr);
         }
-        Ok(MultiCycleEpp {
+        MultiCycleEpp {
             circuit,
             po_arrival,
             ff_arrival,
             analysis,
-        })
+        }
     }
 
     /// The underlying single-cycle analysis.
@@ -187,7 +197,11 @@ pub fn multi_cycle_monte_carlo(
     let mut done = 0u64;
     while done < runs {
         let lanes = (runs - done).min(64) as u32;
-        let valid = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+        let valid = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
         let mut good = SeqSim::new(circuit)?;
         let mut faulty = SeqSim::new(circuit)?;
         // Random initial state shared by both machines.
@@ -195,6 +209,9 @@ pub fn multi_cycle_monte_carlo(
         good.set_state(&init);
         faulty.set_state(&init);
         let mut seen = 0u64;
+        // `cycle` both indexes `observed` and drives the SEU-at-cycle-0
+        // branch; keep the index form.
+        #[allow(clippy::needless_range_loop)]
         for cycle in 0..cycles {
             let pis: Vec<u64> = (0..circuit.num_inputs()).map(|_| rng.gen()).collect();
             let gv = good.step(&pis);
@@ -278,7 +295,11 @@ y = NOT(q)
         // q is itself PO-visible through y immediately.
         assert_eq!(r.cumulative[0], 1.0);
         // Residual corruption decays geometrically (0.5 per cycle).
-        assert!(r.residual_corruption[0] < 0.2, "{:?}", r.residual_corruption);
+        assert!(
+            r.residual_corruption[0] < 0.2,
+            "{:?}",
+            r.residual_corruption
+        );
     }
 
     #[test]
@@ -313,7 +334,11 @@ y = NOT(q)
         let mc = MultiCycleEpp::new(&c, sp_for(&c)).unwrap();
         let r = mc.site(d1, 6);
         for w in r.cumulative.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "cumulative must not decrease: {:?}", r.cumulative);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "cumulative must not decrease: {:?}",
+                r.cumulative
+            );
         }
     }
 }

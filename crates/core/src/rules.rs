@@ -59,16 +59,8 @@ pub fn propagate(kind: GateKind, inputs: &[FourValue]) -> FourValue {
 /// `P0 = 1 − (P1 + Pa + Pā)`.
 fn and_rule(inputs: &[FourValue]) -> FourValue {
     let p1: f64 = inputs.iter().map(FourValue::p1).product();
-    let pa = inputs
-        .iter()
-        .map(|x| x.p1() + x.pa())
-        .product::<f64>()
-        - p1;
-    let pa_bar = inputs
-        .iter()
-        .map(|x| x.p1() + x.pa_bar())
-        .product::<f64>()
-        - p1;
+    let pa = inputs.iter().map(|x| x.p1() + x.pa()).product::<f64>() - p1;
+    let pa_bar = inputs.iter().map(|x| x.p1() + x.pa_bar()).product::<f64>() - p1;
     let p0 = 1.0 - (p1 + pa + pa_bar);
     FourValue::new_clamped(pa, pa_bar, p0, p1)
 }
@@ -80,16 +72,8 @@ fn and_rule(inputs: &[FourValue]) -> FourValue {
 /// `P1 = 1 − (P0 + Pa + Pā)`.
 fn or_rule(inputs: &[FourValue]) -> FourValue {
     let p0: f64 = inputs.iter().map(FourValue::p0).product();
-    let pa = inputs
-        .iter()
-        .map(|x| x.p0() + x.pa())
-        .product::<f64>()
-        - p0;
-    let pa_bar = inputs
-        .iter()
-        .map(|x| x.p0() + x.pa_bar())
-        .product::<f64>()
-        - p0;
+    let pa = inputs.iter().map(|x| x.p0() + x.pa()).product::<f64>() - p0;
+    let pa_bar = inputs.iter().map(|x| x.p0() + x.pa_bar()).product::<f64>() - p0;
     let p1 = 1.0 - (p0 + pa + pa_bar);
     FourValue::new_clamped(pa, pa_bar, p0, p1)
 }
@@ -279,11 +263,7 @@ mod tests {
             for &x in &grid {
                 for &y in &grid {
                     let out = propagate(kind, &[x, y]);
-                    assert!(
-                        (out.sum() - 1.0).abs() < 1e-9,
-                        "{kind}: sum {}",
-                        out.sum()
-                    );
+                    assert!((out.sum() - 1.0).abs() < 1e-9, "{kind}: sum {}", out.sum());
                 }
             }
         }

@@ -1,0 +1,473 @@
+//! The cached per-circuit analysis context.
+//!
+//! Every estimation path in the suite — the per-site EPP engine, the
+//! whole-circuit [`CircuitSerAnalysis`](crate::CircuitSerAnalysis)
+//! sweep, the exact oracles and the Monte-Carlo baseline — needs the
+//! same compiled artifacts first: a topological order, the position
+//! map, the observe points and a signal-probability vector.
+//! Historically each entry point recomputed all of them per call.
+//! [`AnalysisSession`] computes them **once** per circuit and hands
+//! them out to every consumer, the way sequential estimation schemes
+//! amortize state across repeated trials.
+//!
+//! Invalidation is deliberately coarse but cheap: changing the input
+//! probabilities ([`set_inputs`](AnalysisSession::set_inputs)) re-runs
+//! only the SP computation — reusing the cached topological order — and
+//! bumps the session revision; the structural artifacts and the
+//! compiled simulator survive untouched. The circuit itself is borrowed
+//! immutably, so structural edits require a new session by
+//! construction.
+
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use ser_netlist::{Circuit, NodeId, TopoArtifacts};
+use ser_sim::{BitSim, MonteCarlo, SiteEstimate};
+use ser_sp::{IndependentSp, InputProbs, SpEngine, SpError, SpVector};
+
+use crate::engine::{EppAnalysis, SiteEpp, WorkspacePool};
+use crate::exact::{ExactEpp, ExactSiteEpp};
+use crate::exact_bdd::BddExactEpp;
+
+/// A compiled per-circuit analysis context: topological artifacts,
+/// signal probabilities, a bit-parallel simulator and a workspace pool,
+/// each computed at most once and shared by every estimation path.
+///
+/// # Examples
+///
+/// One session feeds the analytical engine, the exact oracle and the
+/// Monte-Carlo baseline without recompiling anything:
+///
+/// ```
+/// use ser_netlist::parse_bench;
+/// use ser_sim::MonteCarlo;
+/// use ser_epp::{AnalysisSession, ExactEpp};
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let session = AnalysisSession::new(&c)?;
+/// let a = c.find("a").unwrap();
+///
+/// let analytic = session.site(a).p_sensitized();
+/// let exact = session.exact_site(&ExactEpp::new(), a)?.p_sensitized;
+/// let mc = session
+///     .monte_carlo_site(&MonteCarlo::new(20_000).with_seed(1), a)
+///     .p_sensitized;
+/// assert!((analytic - exact).abs() < 1e-12);
+/// assert!((analytic - mc).abs() < 0.02);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// Input-probability changes invalidate only the SP layer:
+///
+/// ```
+/// use ser_netlist::parse_bench;
+/// use ser_sp::InputProbs;
+/// use ser_epp::AnalysisSession;
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let mut session = AnalysisSession::new(&c)?;
+/// assert_eq!(session.revision(), 1);
+/// let b = c.find("b").unwrap();
+/// session.set_inputs(InputProbs::uniform(0.5).with(b, 0.9))?;
+/// assert_eq!(session.revision(), 2);
+/// // The error on `a` now passes the AND 90% of the time.
+/// let a = c.find("a").unwrap();
+/// assert!((session.site(a).p_sensitized() - 0.9).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct AnalysisSession<'c> {
+    circuit: &'c Circuit,
+    topo: Arc<TopoArtifacts>,
+    inputs: InputProbs,
+    sp: Arc<SpVector>,
+    sp_time: Duration,
+    /// Bumped on every SP invalidation; stamped into the SP vector's
+    /// tag so consumers can detect staleness.
+    revision: u64,
+    /// The compiled bit-parallel simulator, built on first use from the
+    /// cached schedule (never re-sorted).
+    sim: OnceLock<BitSim<'c>>,
+    pool: WorkspacePool,
+}
+
+impl<'c> AnalysisSession<'c> {
+    /// Compiles a session with the customary uniform-0.5 inputs and the
+    /// paper's default (independent, linear-time) SP engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError`] if the circuit cannot be topologically
+    /// ordered or its signal probabilities do not converge.
+    pub fn new(circuit: &'c Circuit) -> Result<Self, SpError> {
+        Self::with_inputs(circuit, InputProbs::default())
+    }
+
+    /// Compiles a session under a caller-chosen input distribution.
+    ///
+    /// # Errors
+    ///
+    /// See [`new`](Self::new).
+    pub fn with_inputs(circuit: &'c Circuit, inputs: InputProbs) -> Result<Self, SpError> {
+        Self::with_engine(circuit, inputs, &IndependentSp::new())
+    }
+
+    /// Compiles a session with a caller-chosen SP engine (the SP-engine
+    /// ablation entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError`] from the engine, or a wrapped
+    /// [`ser_netlist::NetlistError`] if the circuit cannot be ordered.
+    pub fn with_engine(
+        circuit: &'c Circuit,
+        inputs: InputProbs,
+        engine: &dyn SpEngine,
+    ) -> Result<Self, SpError> {
+        let topo = Arc::new(TopoArtifacts::compute(circuit)?);
+        let sp_start = Instant::now();
+        let sp = engine.compute_with_order(circuit, &inputs, topo.order())?;
+        let sp_time = sp_start.elapsed();
+        Ok(AnalysisSession {
+            circuit,
+            topo,
+            inputs,
+            sp: Arc::new(sp.with_tag(1)),
+            sp_time,
+            revision: 1,
+            sim: OnceLock::new(),
+            pool: WorkspacePool::new(),
+        })
+    }
+
+    /// Adopts an SP vector computed elsewhere (with the time its
+    /// computation took, so timing reports stay honest). Only the
+    /// structural artifacts are computed here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped [`ser_netlist::NetlistError`] if the circuit
+    /// cannot be ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` does not cover exactly `circuit.len()` nodes.
+    pub fn from_sp(
+        circuit: &'c Circuit,
+        inputs: InputProbs,
+        sp: SpVector,
+        sp_time: Duration,
+    ) -> Result<Self, SpError> {
+        assert_eq!(
+            sp.len(),
+            circuit.len(),
+            "signal probabilities must cover every node"
+        );
+        let topo = Arc::new(TopoArtifacts::compute(circuit)?);
+        Ok(AnalysisSession {
+            circuit,
+            topo,
+            inputs,
+            sp: Arc::new(sp.with_tag(1)),
+            sp_time,
+            revision: 1,
+            sim: OnceLock::new(),
+            pool: WorkspacePool::new(),
+        })
+    }
+
+    /// The circuit this session compiled.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The cached structural artifacts (topological order, positions,
+    /// observe points).
+    #[must_use]
+    pub fn topo(&self) -> &Arc<TopoArtifacts> {
+        &self.topo
+    }
+
+    /// The input-probability assignment currently in force.
+    #[must_use]
+    pub fn inputs(&self) -> &InputProbs {
+        &self.inputs
+    }
+
+    /// The current signal probabilities, tagged with
+    /// [`revision`](Self::revision).
+    #[must_use]
+    pub fn signal_probabilities(&self) -> &SpVector {
+        &self.sp
+    }
+
+    /// Time the most recent SP computation took (Table 2's `SPT`).
+    #[must_use]
+    pub fn sp_time(&self) -> Duration {
+        self.sp_time
+    }
+
+    /// The session revision: starts at 1, bumped by every SP
+    /// invalidation. The SP vector's tag always equals it.
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The shared scratch pool used by the sweeps.
+    #[must_use]
+    pub fn workspace_pool(&self) -> &WorkspacePool {
+        &self.pool
+    }
+
+    /// Re-derives signal probabilities for a new input distribution
+    /// with the default engine — the SP-only invalidation hook: the
+    /// topological artifacts, compiled simulator and workspace pool are
+    /// all kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError`] if the new probabilities do not converge; the
+    /// session keeps its previous state in that case.
+    pub fn set_inputs(&mut self, inputs: InputProbs) -> Result<(), SpError> {
+        self.set_inputs_with_engine(inputs, &IndependentSp::new())
+    }
+
+    /// Like [`set_inputs`](Self::set_inputs) with a caller-chosen SP
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`set_inputs`](Self::set_inputs).
+    pub fn set_inputs_with_engine(
+        &mut self,
+        inputs: InputProbs,
+        engine: &dyn SpEngine,
+    ) -> Result<(), SpError> {
+        let sp_start = Instant::now();
+        let sp = engine.compute_with_order(self.circuit, &inputs, self.topo.order())?;
+        self.sp_time = sp_start.elapsed();
+        self.revision += 1;
+        self.sp = Arc::new(sp.with_tag(self.revision));
+        self.inputs = inputs;
+        Ok(())
+    }
+
+    /// The one-pass EPP engine over the session's cached artifacts.
+    /// O(1): both the topological artifacts and the SP vector are
+    /// shared, never recomputed.
+    #[must_use]
+    pub fn epp(&self) -> EppAnalysis<'c> {
+        EppAnalysis::from_artifacts(self.circuit, Arc::clone(&self.topo), Arc::clone(&self.sp))
+    }
+
+    /// The compiled bit-parallel simulator, built once from the cached
+    /// schedule and shared by every simulation-backed consumer.
+    #[must_use]
+    pub fn bit_sim(&self) -> &BitSim<'c> {
+        self.sim
+            .get_or_init(|| BitSim::with_schedule(self.circuit, self.topo.order().to_vec()))
+    }
+
+    /// Analytical EPP for one error site, using pooled scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range for the circuit.
+    #[must_use]
+    pub fn site(&self, site: NodeId) -> SiteEpp {
+        let epp = self.epp();
+        let mut ws = self.pool.checkout(&epp);
+        let result = epp.site_with_workspace(site, crate::PolarityMode::Tracked, &mut ws);
+        self.pool.give_back(ws);
+        result
+    }
+
+    /// Analytical EPP for every node (the whole-circuit sweep), using
+    /// `threads` workers and the session's workspace pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn all_sites(&self, threads: usize) -> Vec<SiteEpp> {
+        self.epp().all_sites_parallel_with_pool(threads, &self.pool)
+    }
+
+    /// Monte-Carlo estimate for one site through the session's shared
+    /// simulator.
+    #[must_use]
+    pub fn monte_carlo_site(&self, mc: &MonteCarlo, site: NodeId) -> SiteEstimate {
+        mc.estimate_site(self.bit_sim(), site)
+    }
+
+    /// Exhaustive-enumeration exact EPP for one site through the
+    /// session's shared simulator.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExactEpp::site`].
+    pub fn exact_site(&self, oracle: &ExactEpp, site: NodeId) -> Result<ExactSiteEpp, SpError> {
+        oracle.site_with_sim(self.bit_sim(), &self.inputs, site)
+    }
+
+    /// The multi-cycle frame expansion compiled on the session's
+    /// artifacts (one EPP pass per flip-flop; no recomputation of order
+    /// or SP).
+    #[must_use]
+    pub fn multi_cycle(&self) -> crate::MultiCycleEpp<'c> {
+        crate::MultiCycleEpp::with_analysis(self.epp())
+    }
+
+    /// BDD-backed exact EPP for one site, reusing the session's cached
+    /// topological order.
+    ///
+    /// # Errors
+    ///
+    /// See [`BddExactEpp::site`].
+    pub fn bdd_exact_site(
+        &self,
+        oracle: &BddExactEpp,
+        site: NodeId,
+    ) -> Result<ExactSiteEpp, SpError> {
+        oracle.site_with_order(self.circuit, &self.inputs, site, self.topo.order())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+    use ser_sp::{MonteCarloSp, SpEngine};
+
+    fn toy() -> Circuit {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\ny = OR(u, c)\n",
+            "toy",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn session_matches_fresh_construction() {
+        let c = toy();
+        let session = AnalysisSession::new(&c).unwrap();
+        let fresh_sp = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
+        let fresh = EppAnalysis::new(&c, fresh_sp).unwrap();
+        for id in c.node_ids() {
+            assert_eq!(session.site(id), fresh.site(id), "site {id}");
+        }
+    }
+
+    #[test]
+    fn consumers_share_one_compilation() {
+        let c = toy();
+        let session = AnalysisSession::new(&c).unwrap();
+        // Same Arc, not equal copies.
+        let epp1 = session.epp();
+        let epp2 = session.epp();
+        assert!(Arc::ptr_eq(epp1.artifacts(), epp2.artifacts()));
+        assert!(Arc::ptr_eq(epp1.artifacts(), session.topo()));
+        // The simulator is compiled once and its schedule IS the cached
+        // order.
+        let sim = session.bit_sim();
+        assert!(std::ptr::eq(sim, session.bit_sim()));
+        assert_eq!(sim.schedule(), session.topo().order());
+    }
+
+    #[test]
+    fn sp_only_invalidation_keeps_structure() {
+        let c = toy();
+        let mut session = AnalysisSession::new(&c).unwrap();
+        let topo_before = Arc::clone(session.topo());
+        let _ = session.bit_sim();
+        assert_eq!(session.signal_probabilities().tag(), 1);
+
+        let a = c.find("a").unwrap();
+        session
+            .set_inputs(InputProbs::uniform(0.5).with(a, 0.9))
+            .unwrap();
+        assert_eq!(session.revision(), 2);
+        assert_eq!(session.signal_probabilities().tag(), 2);
+        // Structure survived: same Arc, simulator still compiled.
+        assert!(Arc::ptr_eq(session.topo(), &topo_before));
+        assert_eq!(session.bit_sim().schedule(), topo_before.order());
+        // And the new SP is actually in force.
+        let u = c.find("u").unwrap();
+        assert!((session.signal_probabilities().get(u) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_invalidation_preserves_session() {
+        // A sequential circuit whose SP iteration cannot converge under
+        // an absurd engine budget: q = DFF(AND(q, x)) with 1 iteration.
+        let c = parse_bench("INPUT(x)\nOUTPUT(q)\nq = DFF(d)\nd = AND(q, x)\n", "seq").unwrap();
+        let mut session = AnalysisSession::new(&c).unwrap();
+        let sp_before = session.signal_probabilities().clone();
+        let strict = IndependentSp::new()
+            .with_tolerance(1e-15)
+            .with_max_iterations(1);
+        let err = session
+            .set_inputs_with_engine(InputProbs::uniform(0.4), &strict)
+            .unwrap_err();
+        assert!(matches!(err, SpError::NoConvergence { .. }));
+        assert_eq!(session.revision(), 1, "failed invalidation must not bump");
+        assert_eq!(session.signal_probabilities(), &sp_before);
+    }
+
+    #[test]
+    fn alternate_engine_sessions() {
+        let c = toy();
+        let mc_engine = MonteCarloSp::new(50_000).with_seed(3);
+        let session = AnalysisSession::with_engine(&c, InputProbs::default(), &mc_engine).unwrap();
+        let u = c.find("u").unwrap();
+        assert!((session.site(u).p_sensitized() - 0.5).abs() < 0.02);
+        assert_eq!(mc_engine.name(), "monte-carlo");
+    }
+
+    #[test]
+    fn from_sp_adopts_external_vector() {
+        let c = toy();
+        let sp = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
+        let sp_time = Duration::from_millis(5);
+        let session = AnalysisSession::from_sp(&c, InputProbs::default(), sp, sp_time).unwrap();
+        assert_eq!(session.sp_time(), sp_time);
+        let fresh = AnalysisSession::new(&c).unwrap();
+        for id in c.node_ids() {
+            assert_eq!(session.site(id), fresh.site(id));
+        }
+    }
+
+    #[test]
+    fn workspace_pool_is_reused_across_sweeps() {
+        let c = toy();
+        let session = AnalysisSession::new(&c).unwrap();
+        assert_eq!(session.workspace_pool().idle(), 0);
+        let _ = session.all_sites(1);
+        assert_eq!(session.workspace_pool().idle(), 1);
+        let _ = session.all_sites(1);
+        assert_eq!(session.workspace_pool().idle(), 1, "reused, not re-created");
+        let _ = session.site(c.find("a").unwrap());
+        assert_eq!(session.workspace_pool().idle(), 1);
+    }
+
+    #[test]
+    fn oracles_agree_through_the_session() {
+        let c = toy();
+        let session = AnalysisSession::new(&c).unwrap();
+        let a = c.find("a").unwrap();
+        let analytic = session.site(a).p_sensitized();
+        let exact = session.exact_site(&ExactEpp::new(), a).unwrap();
+        let bdd = session.bdd_exact_site(&BddExactEpp::new(), a).unwrap();
+        // Fanout-free circuit: all three agree exactly.
+        assert!((analytic - exact.p_sensitized).abs() < 1e-12);
+        assert!((analytic - bdd.p_sensitized).abs() < 1e-12);
+        let mc = session.monte_carlo_site(&MonteCarlo::new(20_000).with_seed(1), a);
+        assert!((analytic - mc.p_sensitized).abs() < 0.02);
+    }
+}

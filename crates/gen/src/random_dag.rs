@@ -114,9 +114,9 @@ impl RandomDag {
         // Samples k candidates and keeps the best by `score` (higher
         // wins); ties keep the first.
         let sample_best = |nodes: &[NodeId],
-                               rng: &mut SmallRng,
-                               fanout: &[u32],
-                               score: &dyn Fn(u32) -> i64|
+                           rng: &mut SmallRng,
+                           fanout: &[u32],
+                           score: &dyn Fn(u32) -> i64|
          -> NodeId {
             let mut best = *nodes.choose(rng).expect("nodes exist");
             let mut best_score = score(fanout[best.index()]);
@@ -162,9 +162,9 @@ impl RandomDag {
                     // Convert a single-fanout node into a stem (or touch
                     // an existing stem): never pick a fresh node.
                     sample_best(&nodes, &mut rng, &fanout, &|f| match f {
-                        1 => 2,         // best: mints a brand-new stem
+                        1 => 2,           // best: mints a brand-new stem
                         x if x >= 2 => 1, // fine: deepens an existing stem
-                        _ => 0,         // fresh: avoid
+                        _ => 0,           // fresh: avoid
                     })
                 } else {
                     // Prefer fresh nodes; when none sampled, reuse the

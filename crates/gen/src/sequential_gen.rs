@@ -43,12 +43,12 @@ pub fn counter(n: usize) -> Circuit {
         .map(|i| b.gate_named(&format!("q{i}"), GateKind::Dff, &[format!("d{i}")]))
         .collect();
     let mut toggle = en;
-    for i in 0..n {
-        b.gate(&format!("d{i}"), GateKind::Xor, &[qs[i], toggle]);
+    for (i, &q) in qs.iter().enumerate() {
+        b.gate(&format!("d{i}"), GateKind::Xor, &[q, toggle]);
         if i + 1 < n {
-            toggle = b.gate(&format!("t{i}"), GateKind::And, &[toggle, qs[i]]);
+            toggle = b.gate(&format!("t{i}"), GateKind::And, &[toggle, q]);
         }
-        b.mark_output(qs[i]);
+        b.mark_output(q);
     }
     b.finish().expect("counter is structurally valid")
 }

@@ -46,6 +46,9 @@ pub fn ripple_carry_adder(n: usize) -> Circuit {
 ///
 /// Panics if `n` is 0.
 #[must_use]
+// Row/column indices address the `pp`/`sums`/`carries` grids jointly;
+// the index form mirrors the array-multiplier diagram.
+#[allow(clippy::needless_range_loop)]
 pub fn array_multiplier(n: usize) -> Circuit {
     assert!(n > 0, "multiplier width must be positive");
     let mut b = CircuitBuilder::new(format!("mul{n}"));
@@ -201,7 +204,9 @@ pub fn parity_tree(n: usize) -> Circuit {
 pub fn mux_tree(k: usize) -> Circuit {
     assert!((1..=16).contains(&k), "select width must be 1..=16");
     let mut b = CircuitBuilder::new(format!("mux{k}"));
-    let data: Vec<NodeId> = (0..1usize << k).map(|i| b.input(&format!("d{i}"))).collect();
+    let data: Vec<NodeId> = (0..1usize << k)
+        .map(|i| b.input(&format!("d{i}")))
+        .collect();
     let sel: Vec<NodeId> = (0..k).map(|i| b.input(&format!("s{i}"))).collect();
     let seln: Vec<NodeId> = (0..k)
         .map(|i| b.gate(&format!("sn{i}"), GateKind::Not, &[sel[i]]))

@@ -163,7 +163,9 @@ pub fn synthesize(profile: &Profile, seed: u64) -> Circuit {
     // Biasing them late makes state capture deep logic (like the real
     // benchmarks) and lets the generator account their fanout so D
     // drivers are not double-used as primary outputs.
-    let d_lo = profile.gates.saturating_sub((4 * profile.dffs).max(profile.gates / 4));
+    let d_lo = profile
+        .gates
+        .saturating_sub((4 * profile.dffs).max(profile.gates / 4));
     let mut d_drivers: Vec<usize> = Vec::with_capacity(profile.dffs);
     let mut d_driver_set: HashSet<usize> = HashSet::new();
     for _ in 0..profile.dffs {
@@ -210,7 +212,9 @@ pub fn synthesize(profile: &Profile, seed: u64) -> Circuit {
             let first = if k == 0 {
                 spine
             } else {
-                let lo = all_nodes.len().saturating_sub((4 * per_band.max(1)).max(32));
+                let lo = all_nodes
+                    .len()
+                    .saturating_sub((4 * per_band.max(1)).max(32));
                 all_nodes[rng.gen_range(lo..all_nodes.len())]
             };
             fanin.push(first);
@@ -413,7 +417,11 @@ mod tests {
         let c = synthesize(&p, 9);
         for &ff in c.dffs() {
             let d = c.node(ff).fanin()[0];
-            assert!(c.node(d).kind().is_logic(), "DFF driven by {}", c.node(d).kind());
+            assert!(
+                c.node(d).kind().is_logic(),
+                "DFF driven by {}",
+                c.node(d).kind()
+            );
         }
     }
 

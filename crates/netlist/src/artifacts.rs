@@ -1,0 +1,160 @@
+//! Cached per-circuit structural artifacts.
+//!
+//! Every analysis in the suite needs the same three things before it can
+//! touch a circuit: a topological order of the combinational graph, the
+//! inverse position map (`node → rank in that order`), and the list of
+//! observe points. Historically each entry point recomputed them;
+//! [`TopoArtifacts`] computes them **once** so a session layer (see
+//! `ser-epp`'s `AnalysisSession`) can hand the same compiled artifacts
+//! to the EPP engine, the simulators and the signal-probability
+//! engines.
+
+use crate::circuit::{Circuit, NodeId, ObservePoint};
+use crate::error::NetlistError;
+use crate::topo;
+
+/// The compiled structural context of one circuit: topological order,
+/// topological positions and observe points, computed exactly once.
+///
+/// The artifacts are immutable and refer to the circuit only by node
+/// ids, so they stay valid for as long as the circuit is unchanged and
+/// can be shared freely (e.g. behind an `Arc`) between consumers.
+///
+/// # Examples
+///
+/// ```
+/// use ser_netlist::{parse_bench, TopoArtifacts};
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let topo = TopoArtifacts::compute(&c)?;
+/// assert_eq!(topo.order().len(), c.len());
+/// // The AND gate orders after both of its inputs.
+/// let y = c.find("y").unwrap();
+/// let a = c.find("a").unwrap();
+/// assert!(topo.position(y) > topo.position(a));
+/// assert_eq!(topo.observe_points().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoArtifacts {
+    order: Vec<NodeId>,
+    position: Vec<u32>,
+    observe: Vec<ObservePoint>,
+}
+
+impl TopoArtifacts {
+    /// Computes the artifacts for `circuit`: one topological sort plus
+    /// one observe-point scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the circuit's
+    /// combinational graph is cyclic.
+    pub fn compute(circuit: &Circuit) -> Result<Self, NetlistError> {
+        let order = topo::topo_order(circuit)?;
+        let mut position = vec![0u32; circuit.len()];
+        for (i, id) in order.iter().enumerate() {
+            position[id.index()] = u32::try_from(i).expect("node count fits u32");
+        }
+        let observe = circuit.observe_points().collect();
+        Ok(TopoArtifacts {
+            order,
+            position,
+            observe,
+        })
+    }
+
+    /// The topological evaluation order over combinational edges.
+    #[must_use]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Rank of each node in [`order`](Self::order), indexed by
+    /// [`NodeId::index`].
+    #[must_use]
+    pub fn positions(&self) -> &[u32] {
+        &self.position
+    }
+
+    /// Rank of one node in the topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the circuit these artifacts
+    /// were computed from.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> u32 {
+        self.position[id.index()]
+    }
+
+    /// The circuit's observe points (primary outputs, then flip-flops),
+    /// in declaration order.
+    #[must_use]
+    pub fn observe_points(&self) -> &[ObservePoint] {
+        &self.observe
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if computed from an empty circuit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_bench;
+
+    #[test]
+    fn artifacts_match_direct_computation() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(u)\nu = NAND(a, b)\nq = DFF(u)\ny = XOR(u, q)\n",
+            "t",
+        )
+        .unwrap();
+        let t = TopoArtifacts::compute(&c).unwrap();
+        assert_eq!(t.order(), topo::topo_order(&c).unwrap().as_slice());
+        assert!(topo::is_topo_order(&c, t.order()));
+        assert_eq!(t.len(), c.len());
+        assert!(!t.is_empty());
+        for (i, &id) in t.order().iter().enumerate() {
+            assert_eq!(t.position(id) as usize, i);
+            assert_eq!(t.positions()[id.index()] as usize, i);
+        }
+        let direct: Vec<_> = c.observe_points().collect();
+        assert_eq!(t.observe_points(), direct.as_slice());
+    }
+
+    #[test]
+    fn cyclic_circuit_is_rejected() {
+        // a = NOT(b); b = NOT(a) with no flip-flop in between.
+        let src = "INPUT(x)\nOUTPUT(a)\na = NOT(b)\nb = NOT(a)\n";
+        let c = parse_bench(src, "cyc");
+        // The parser itself may reject the cycle; if it builds, the
+        // artifacts must reject it.
+        if let Ok(c) = c {
+            assert!(matches!(
+                TopoArtifacts::compute(&c),
+                Err(NetlistError::CombinationalCycle { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_circuit_artifacts() {
+        let c = crate::builder::CircuitBuilder::new("empty")
+            .finish()
+            .unwrap();
+        let t = TopoArtifacts::compute(&c).unwrap();
+        assert!(t.is_empty());
+        assert!(t.observe_points().is_empty());
+    }
+}

@@ -87,7 +87,11 @@ impl CircuitBuilder {
 
     /// Adds a constant-0 or constant-1 node.
     pub fn constant(&mut self, name: &str, value: bool) -> NodeId {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.add_node(name, kind, Vec::new())
     }
 
@@ -226,7 +230,9 @@ mod tests {
         b.gate_named("g", GateKind::Not, &["ghost"]);
         assert_eq!(
             b.finish().unwrap_err(),
-            NetlistError::UndefinedSignal { name: "ghost".into() }
+            NetlistError::UndefinedSignal {
+                name: "ghost".into()
+            }
         );
     }
 

@@ -144,10 +144,12 @@ impl Circuit {
     ///
     /// Returns [`NetlistError::InvalidNodeId`] if `id` is out of range.
     pub fn try_node(&self, id: NodeId) -> Result<&Node, NetlistError> {
-        self.nodes.get(id.index()).ok_or(NetlistError::InvalidNodeId {
-            index: id.index(),
-            len: self.nodes.len(),
-        })
+        self.nodes
+            .get(id.index())
+            .ok_or(NetlistError::InvalidNodeId {
+                index: id.index(),
+                len: self.nodes.len(),
+            })
     }
 
     /// Iterate over `(id, node)` pairs in arena order.

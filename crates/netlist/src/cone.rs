@@ -203,9 +203,8 @@ mod tests {
         let c = fig1_shape();
         let a = c.find("A").unwrap();
         let cone = FanoutCone::extract(&c, a);
-        let names = |ids: &[NodeId]| -> Vec<&str> {
-            ids.iter().map(|&i| c.node(i).name()).collect()
-        };
+        let names =
+            |ids: &[NodeId]| -> Vec<&str> { ids.iter().map(|&i| c.node(i).name()).collect() };
         // On-path: A, E, D, G, H — exactly the darkened gates of Fig. 1.
         assert_eq!(names(cone.on_path()), vec!["A", "E", "D", "G", "H"]);
         // Off-path: B, C, F.

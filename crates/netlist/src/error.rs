@@ -65,7 +65,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "output `{name}` is never driven")
             }
             NetlistError::InvalidNodeId { index, len } => {
-                write!(f, "node id {index} out of range for circuit with {len} nodes")
+                write!(
+                    f,
+                    "node id {index} out of range for circuit with {len} nodes"
+                )
             }
         }
     }

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod artifacts;
 mod builder;
 mod circuit;
 mod cone;
@@ -50,6 +51,7 @@ mod transform;
 mod verilog;
 mod write;
 
+pub use artifacts::TopoArtifacts;
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, Node, NodeId, ObservePoint};
 pub use cone::{fanin_mask, support, FanoutCone};

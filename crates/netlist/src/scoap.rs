@@ -292,8 +292,11 @@ mod tests {
 
     #[test]
     fn dff_d_pin_is_observed() {
-        let c = parse_bench("INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = NOT(a)\nz = NOT(q)\n", "s")
-            .unwrap();
+        let c = parse_bench(
+            "INPUT(a)\nOUTPUT(z)\nq = DFF(d)\nd = NOT(a)\nz = NOT(q)\n",
+            "s",
+        )
+        .unwrap();
         let s = Scoap::compute(&c).unwrap();
         // d feeds the flip-flop: directly observed.
         assert_eq!(s.co(c.find("d").unwrap()), 0);

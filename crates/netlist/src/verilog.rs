@@ -97,9 +97,7 @@ pub fn write_verilog(circuit: &Circuit) -> String {
     }
     let wires: Vec<&str> = circuit
         .iter()
-        .filter(|(id, n)| {
-            n.kind() != GateKind::Input && !circuit.outputs().contains(id)
-        })
+        .filter(|(id, n)| n.kind() != GateKind::Input && !circuit.outputs().contains(id))
         .map(|(_, n)| n.name())
         .collect();
     if !wires.is_empty() {
@@ -141,7 +139,13 @@ pub fn write_verilog(circuit: &Circuit) -> String {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, 'm');
@@ -547,7 +551,12 @@ endmodule
         // Same functionality pin for pin (names preserved).
         for (id, node) in c.iter() {
             let bid = back.find(node.name()).expect("name preserved");
-            assert_eq!(back.node(bid).kind(), node.kind(), "kind of {}", node.name());
+            assert_eq!(
+                back.node(bid).kind(),
+                node.kind(),
+                "kind of {}",
+                node.name()
+            );
             let _ = id;
         }
     }

@@ -45,17 +45,44 @@ impl<'c> BitSim<'c> {
     /// combinational graph is cyclic.
     pub fn new(circuit: &'c Circuit) -> Result<Self, NetlistError> {
         let order = ser_netlist::topo_order(circuit)?;
+        // Freshly computed order: no re-validation needed.
+        Ok(Self::from_parts(circuit, order))
+    }
+
+    /// Compiles a simulator around a topological order the caller
+    /// already computed (e.g. cached
+    /// [`TopoArtifacts`](ser_netlist::TopoArtifacts) handed out by a
+    /// session layer), skipping the sort entirely.
+    ///
+    /// The caller-supplied order is validated (O(V+E), once per
+    /// compilation): a bad schedule would silently corrupt every
+    /// simulation built on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a topological order of `circuit`'s
+    /// combinational graph.
+    #[must_use]
+    pub fn with_schedule(circuit: &'c Circuit, order: Vec<NodeId>) -> Self {
+        assert!(
+            ser_netlist::is_topo_order(circuit, &order),
+            "schedule must be a topological order of the circuit"
+        );
+        Self::from_parts(circuit, order)
+    }
+
+    fn from_parts(circuit: &'c Circuit, order: Vec<NodeId>) -> Self {
         let sources = circuit
             .inputs()
             .iter()
             .chain(circuit.dffs().iter())
             .copied()
             .collect();
-        Ok(BitSim {
+        BitSim {
             circuit,
             order,
             sources,
-        })
+        }
     }
 
     /// The circuit this simulator was compiled for.

@@ -169,11 +169,7 @@ mod tests {
 
     #[test]
     fn inverter_chain_flips_parity() {
-        let c = parse_bench(
-            "INPUT(a)\nOUTPUT(y)\nu = NOT(a)\ny = NOT(u)\n",
-            "chain",
-        )
-        .unwrap();
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nu = NOT(a)\ny = NOT(u)\n", "chain").unwrap();
         let sim = BitSim::new(&c).unwrap();
         let a = c.find("a").unwrap();
         let u = c.find("u").unwrap();
@@ -196,11 +192,7 @@ mod tests {
 
     #[test]
     fn unobservable_site() {
-        let c = parse_bench(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(b)\nu = NOT(a)\n",
-            "dead",
-        )
-        .unwrap();
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(b)\nu = NOT(a)\n", "dead").unwrap();
         let sim = BitSim::new(&c).unwrap();
         let u = c.find("u").unwrap();
         let fs = SiteFaultSim::new(&sim, u);

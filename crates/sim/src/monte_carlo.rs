@@ -38,7 +38,10 @@ impl MonteCarlo {
     #[must_use]
     pub fn new(vectors: u64) -> Self {
         assert!(vectors > 0, "at least one vector");
-        MonteCarlo { vectors, seed: 0xE5EED }
+        MonteCarlo {
+            vectors,
+            seed: 0xE5EED,
+        }
     }
 
     /// Sets the PRNG seed (estimates are deterministic given a seed).
@@ -89,7 +92,11 @@ impl MonteCarlo {
         let mut remaining = self.vectors;
         while remaining > 0 {
             let count = remaining.min(64) as u32;
-            let valid = if count == 64 { !0u64 } else { (1u64 << count) - 1 };
+            let valid = if count == 64 {
+                !0u64
+            } else {
+                (1u64 << count) - 1
+            };
             for w in &mut source_words {
                 *w = rng.gen();
             }
@@ -182,7 +189,11 @@ mod tests {
         let sim = BitSim::new(&c).unwrap();
         let a = c.find("a").unwrap();
         let est = MonteCarlo::new(20_000).with_seed(1).estimate_site(&sim, a);
-        assert!((est.p_sensitized - 0.5).abs() < 0.02, "{}", est.p_sensitized);
+        assert!(
+            (est.p_sensitized - 0.5).abs() < 0.02,
+            "{}",
+            est.p_sensitized
+        );
         assert_eq!(est.vectors, 20_000);
         // Single observe point, all-even parity.
         assert_eq!(est.per_point.len(), 1);
@@ -241,7 +252,11 @@ mod tests {
         let sim = BitSim::new(&c).unwrap();
         let a = c.find("a").unwrap();
         let est = MonteCarlo::new(40_000).with_seed(5).estimate_site(&sim, a);
-        assert!((est.p_sensitized - 0.75).abs() < 0.02, "{}", est.p_sensitized);
+        assert!(
+            (est.p_sensitized - 0.75).abs() < 0.02,
+            "{}",
+            est.p_sensitized
+        );
         // Each single output arrives with p = 0.5.
         for p in &est.per_point {
             assert!((p.p_arrival() - 0.5).abs() < 0.02);
@@ -263,11 +278,7 @@ mod tests {
         // regardless of state randomization; and the site `q` itself is
         // also always sensitized (to PO via XOR and to its own D? no --
         // q drives only y). This exercises sources = PIs + DFFs.
-        let c = parse_bench(
-            "INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = XOR(q, a)\n",
-            "s",
-        )
-        .unwrap();
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\nq = DFF(y)\ny = XOR(q, a)\n", "s").unwrap();
         let sim = BitSim::new(&c).unwrap();
         assert_eq!(sim.sources().len(), 2);
         let q = c.find("q").unwrap();

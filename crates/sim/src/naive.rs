@@ -28,7 +28,10 @@ impl NaiveMonteCarlo {
     #[must_use]
     pub fn new(vectors: u64) -> Self {
         assert!(vectors > 0, "at least one vector");
-        NaiveMonteCarlo { vectors, seed: 0xBA5E }
+        NaiveMonteCarlo {
+            vectors,
+            seed: 0xBA5E,
+        }
     }
 
     /// Sets the PRNG seed.
@@ -75,7 +78,13 @@ impl NaiveMonteCarlo {
             eval_scalar(circuit, &order, &mut good, None, &mut fanin_buf);
             // Faulty run: full re-evaluation with the site forced.
             let forced = !good[site.index()];
-            eval_scalar(circuit, &order, &mut bad, Some((site, forced)), &mut fanin_buf);
+            eval_scalar(
+                circuit,
+                &order,
+                &mut bad,
+                Some((site, forced)),
+                &mut fanin_buf,
+            );
             if observe.iter().any(|&o| good[o.index()] != bad[o.index()]) {
                 hits += 1;
             }

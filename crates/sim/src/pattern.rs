@@ -22,7 +22,10 @@ impl PatternBlock {
     /// Panics if `count` is 0 or greater than 64.
     #[must_use]
     pub fn new(words: Vec<u64>, count: u32) -> Self {
-        assert!((1..=64).contains(&count), "count must be 1..=64, got {count}");
+        assert!(
+            (1..=64).contains(&count),
+            "count must be 1..=64, got {count}"
+        );
         PatternBlock { words, count }
     }
 

@@ -30,10 +30,13 @@ fn build(inputs: usize, gates: &[(usize, Vec<usize>)]) -> ser_netlist::Circuit {
 }
 
 fn circuit_strategy() -> impl Strategy<Value = ser_netlist::Circuit> {
-    (1usize..5, proptest::collection::vec(
-        (0usize..6, proptest::collection::vec(0usize..100, 1..4)),
-        1..20,
-    ))
+    (
+        1usize..5,
+        proptest::collection::vec(
+            (0usize..6, proptest::collection::vec(0usize..100, 1..4)),
+            1..20,
+        ),
+    )
         .prop_map(|(inputs, gates)| build(inputs, &gates))
 }
 

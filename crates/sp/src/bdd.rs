@@ -436,7 +436,11 @@ mod tests {
         // holds dead intermediates from the fold (no GC), quadratically.
         let live = m.reachable_count(acc);
         assert_eq!(live, 2 * n - 1, "xor chain function size");
-        assert!(m.len() < 2 * n * n, "arena blew past quadratic: {}", m.len());
+        assert!(
+            m.len() < 2 * n * n,
+            "arena blew past quadratic: {}",
+            m.len()
+        );
         let probs = vec![0.5; n];
         assert!((m.probability(acc, &probs) - 0.5).abs() < 1e-12);
     }

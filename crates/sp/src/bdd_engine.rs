@@ -209,7 +209,12 @@ mod tests {
             src.push_str(&format!("INPUT(i{i})\n"));
         }
         src.push_str("OUTPUT(y)\ny = XOR(");
-        src.push_str(&(0..40).map(|i| format!("i{i}")).collect::<Vec<_>>().join(", "));
+        src.push_str(
+            &(0..40)
+                .map(|i| format!("i{i}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
         src.push_str(")\n");
         let c = parse_bench(&src, "parity40").unwrap();
         let sp = BddSp::new().compute(&c, &InputProbs::uniform(0.3)).unwrap();

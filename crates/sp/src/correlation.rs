@@ -106,7 +106,12 @@ impl CorrelationSp {
                 GateKind::Const1 => push(&mut ops, BOp::Source(1.0)),
                 GateKind::Buf => push(&mut ops, BOp::Buf(map[node.fanin()[0].index()])),
                 GateKind::Not => push(&mut ops, BOp::Not(map[node.fanin()[0].index()])),
-                GateKind::And => chain(&mut ops, &map, node.fanin(), BOp::And2 as fn(usize, usize) -> BOp),
+                GateKind::And => chain(
+                    &mut ops,
+                    &map,
+                    node.fanin(),
+                    BOp::And2 as fn(usize, usize) -> BOp,
+                ),
                 GateKind::Or => chain(&mut ops, &map, node.fanin(), BOp::Or2),
                 GateKind::Xor => chain(&mut ops, &map, node.fanin(), BOp::Xor2),
                 GateKind::Nand => {
@@ -202,6 +207,9 @@ impl SpEngine for CorrelationSp {
         "correlation"
     }
 
+    // `w` walks the triangular correlation matrix and indexes both `p`
+    // and `cor` rows in lockstep; an iterator form would obscure that.
+    #[allow(clippy::needless_range_loop)]
     fn compute(&self, circuit: &Circuit, inputs: &InputProbs) -> Result<SpVector, SpError> {
         // Validate acyclicity up front (decompose expects it).
         ser_netlist::topo_order(circuit)?;
@@ -373,11 +381,15 @@ mod tests {
 
     #[test]
     fn biased_inputs_two_path() {
-        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\nv = AND(a, c)\ny = OR(u, v)\n";
+        let src =
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\nv = AND(a, c)\ny = OR(u, v)\n";
         let (exact, indep, corr) = engines_on(src, "y", 0.7);
         let err_indep = (indep - exact).abs();
         let err_corr = (corr - exact).abs();
-        assert!(err_corr <= err_indep + 1e-12, "corr {corr}, indep {indep}, exact {exact}");
+        assert!(
+            err_corr <= err_indep + 1e-12,
+            "corr {corr}, indep {indep}, exact {exact}"
+        );
         assert!(err_corr < 0.03, "corr error {err_corr}");
     }
 

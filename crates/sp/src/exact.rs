@@ -155,7 +155,9 @@ mod tests {
         )
         .unwrap();
         // This is XOR(a,b): exact P(y) = 0.5.
-        let exact = ExactSp::new().compute(&c, &InputProbs::uniform(0.5)).unwrap();
+        let exact = ExactSp::new()
+            .compute(&c, &InputProbs::uniform(0.5))
+            .unwrap();
         let y = c.find("y").unwrap();
         assert!((exact.get(y) - 0.5).abs() < 1e-12);
         let indep = IndependentSp::new()
@@ -194,7 +196,9 @@ mod tests {
         );
         src.push_str(")\n");
         let c = parse_bench(&src, "big").unwrap();
-        let err = ExactSp::new().compute(&c, &InputProbs::default()).unwrap_err();
+        let err = ExactSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap_err();
         assert_eq!(err, SpError::TooManySources { got: 30, limit: 24 });
     }
 
@@ -207,7 +211,12 @@ mod tests {
             src.push_str(&format!("INPUT(i{i})\n"));
         }
         src.push_str("OUTPUT(y)\ny = OR(");
-        src.push_str(&(0..10).map(|i| format!("i{i}")).collect::<Vec<_>>().join(", "));
+        src.push_str(
+            &(0..10)
+                .map(|i| format!("i{i}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
         src.push_str(")\n");
         let c = parse_bench(&src, "mid").unwrap();
         let err = ExactSp::new()
@@ -242,7 +251,9 @@ mod tests {
         }
         src.push_str("OUTPUT(y)\ny = XOR(i0, i1, i2, i3, i4, i5, i6, i7)\n");
         let c = parse_bench(&src, "parity").unwrap();
-        let exact = ExactSp::new().compute(&c, &InputProbs::uniform(0.3)).unwrap();
+        let exact = ExactSp::new()
+            .compute(&c, &InputProbs::uniform(0.3))
+            .unwrap();
         // P(odd) over 8 independent p=0.3 bits: (1-(1-2p)^8)/2.
         let want = (1.0 - (1.0f64 - 0.6).powi(8)) / 2.0;
         assert!((exact.get(c.find("y").unwrap()) - want).abs() < 1e-12);

@@ -99,7 +99,11 @@ impl MonteCarloSp {
         let mut remaining = self.vectors;
         while remaining > 0 {
             let count = remaining.min(64) as u32;
-            let valid = if count == 64 { !0u64 } else { (1u64 << count) - 1 };
+            let valid = if count == 64 {
+                !0u64
+            } else {
+                (1u64 << count) - 1
+            };
             let block = source.next_block().expect("random sources never end");
             let values = sim.run(block.words());
             for (slot, w) in ones.iter_mut().zip(&values) {
@@ -129,7 +133,11 @@ impl MonteCarloSp {
         let mut remaining = self.vectors;
         while remaining > 0 {
             let count = remaining.min(64) as u32;
-            let valid = if count == 64 { !0u64 } else { (1u64 << count) - 1 };
+            let valid = if count == 64 {
+                !0u64
+            } else {
+                (1u64 << count) - 1
+            };
             let block = source.next_block().expect("random sources never end");
             let values = sim.step(block.words());
             for (slot, w) in ones.iter_mut().zip(&values) {

@@ -33,7 +33,10 @@ impl InputProbs {
     /// Panics if `p` is outside `[0, 1]` or not finite.
     #[must_use]
     pub fn uniform(p: f64) -> Self {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p} outside [0,1]");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p = {p} outside [0,1]"
+        );
         InputProbs {
             default: p,
             overrides: HashMap::new(),
@@ -47,7 +50,10 @@ impl InputProbs {
     /// Panics if `p` is outside `[0, 1]` or not finite.
     #[must_use]
     pub fn with(mut self, input: NodeId, p: f64) -> Self {
-        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p = {p} outside [0,1]");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p = {p} outside [0,1]"
+        );
         self.overrides.insert(input, p);
         self
     }
@@ -74,13 +80,28 @@ impl Default for InputProbs {
 
 /// Signal probabilities for every node of one circuit, indexed by
 /// [`NodeId`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A vector optionally carries a *session tag* (see
+/// [`with_tag`](Self::with_tag)): an opaque revision number stamped by
+/// whoever computed it, so a caching layer (`ser-epp`'s
+/// `AnalysisSession`) can tell a stale vector from the current one
+/// after an input-probability change. The tag is bookkeeping only — it
+/// does not participate in equality.
+#[derive(Debug, Clone)]
 pub struct SpVector {
     values: Vec<f64>,
+    tag: u64,
+}
+
+impl PartialEq for SpVector {
+    /// Value equality; the session tag is deliberately ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
 }
 
 impl SpVector {
-    /// Wraps a dense per-node probability vector.
+    /// Wraps a dense per-node probability vector (untagged).
     ///
     /// # Panics
     ///
@@ -93,7 +114,21 @@ impl SpVector {
                 "sp[{i}] = {v} outside [0,1]"
             );
         }
-        SpVector { values }
+        SpVector { values, tag: 0 }
+    }
+
+    /// Stamps the vector with a session revision tag.
+    #[must_use]
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// The session revision this vector was computed under (0 when
+    /// untagged).
+    #[must_use]
+    pub fn tag(&self) -> u64 {
+        self.tag
     }
 
     /// The probability that node `id` is logic 1.
@@ -179,9 +214,15 @@ impl fmt::Display for SpError {
         match self {
             SpError::Netlist(e) => write!(f, "netlist error: {e}"),
             SpError::TooManySources { got, limit } => {
-                write!(f, "exact enumeration over {got} sources exceeds limit {limit}")
+                write!(
+                    f,
+                    "exact enumeration over {got} sources exceeds limit {limit}"
+                )
             }
-            SpError::NoConvergence { iterations, residual } => {
+            SpError::NoConvergence {
+                iterations,
+                residual,
+            } => {
                 write!(
                     f,
                     "sequential SP fixed point did not converge after {iterations} iterations (residual {residual:.3e})"
@@ -226,6 +267,28 @@ pub trait SpEngine {
     ///
     /// Engine-specific; see [`SpError`].
     fn compute(&self, circuit: &Circuit, inputs: &InputProbs) -> Result<SpVector, SpError>;
+
+    /// Like [`compute`](Self::compute), but reusing a topological order
+    /// the caller already has (e.g. from cached
+    /// [`TopoArtifacts`](ser_netlist::TopoArtifacts)), so engines whose
+    /// only structural pass is the sort skip it entirely.
+    ///
+    /// The default implementation ignores `order` and delegates to
+    /// [`compute`](Self::compute) — correct for engines whose cost is
+    /// not dominated by ordering (Monte-Carlo, exact enumeration, BDD).
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific; see [`SpError`].
+    fn compute_with_order(
+        &self,
+        circuit: &Circuit,
+        inputs: &InputProbs,
+        order: &[NodeId],
+    ) -> Result<SpVector, SpError> {
+        let _ = order;
+        self.compute(circuit, inputs)
+    }
 }
 
 #[cfg(test)]

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfour-value tuple at the output H:");
     println!("  computed: P(H) = {tuple}");
     println!("  paper:    P(H) = 0.042(a) + 0.392(ā) + 0.168(0) + 0.398(1)");
-    println!("\nP_sensitized(A) = Pa(H) + Pā(H) = {:.3}", result.p_sensitized());
+    println!(
+        "\nP_sensitized(A) = Pa(H) + Pā(H) = {:.3}",
+        result.p_sensitized()
+    );
 
     // What the polarity tracking bought us: the merged-polarity variant
     // (prior work's model) overestimates.

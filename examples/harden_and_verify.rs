@@ -15,9 +15,7 @@
 //!    replicas' vulnerability — use the exact oracle on redundancy
 //!    structures.
 
-use ser_suite::epp::{
-    check_equivalence, BddExactEpp, CircuitSerAnalysis, Equivalence,
-};
+use ser_suite::epp::{check_equivalence, BddExactEpp, CircuitSerAnalysis, Equivalence};
 use ser_suite::gen::c17;
 use ser_suite::sim::{BitSim, MonteCarlo};
 use ser_suite::sp::InputProbs;

@@ -39,11 +39,7 @@ cout = OR(ab, ac)
     println!("node       P_sensitized");
     println!("------------------------");
     for (id, node) in circuit.iter() {
-        println!(
-            "{:<10} {:.4}",
-            node.name(),
-            outcome.site(id).p_sensitized()
-        );
+        println!("{:<10} {:.4}", node.name(), outcome.site(id).p_sensitized());
     }
 
     println!("\nmost vulnerable nodes (SER ranking):");
@@ -54,7 +50,10 @@ cout = OR(ab, ac)
             entry.ser
         );
     }
-    println!("\ntotal circuit SER (unit R_SEU, P_latched): {:.4}", outcome.report().total());
+    println!(
+        "\ntotal circuit SER (unit R_SEU, P_latched): {:.4}",
+        outcome.report().total()
+    );
     println!("EPP sweep time: {:?}", outcome.epp_time());
     Ok(())
 }

@@ -32,14 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analytic = mc_epp.site(site, cycles);
     let simulated = multi_cycle_monte_carlo(&circuit, site, cycles, 20_000, 99)?;
 
-    println!("SEU at `{}`: cumulative P(error seen at an output)", circuit.node(site).name());
+    println!(
+        "SEU at `{}`: cumulative P(error seen at an output)",
+        circuit.node(site).name()
+    );
     println!("cycle   analytic   simulated");
     println!("-----------------------------");
-    for k in 0..cycles {
-        println!(
-            "{:>5}   {:>8.4}   {:>9.4}",
-            k, analytic.cumulative[k], simulated[k]
-        );
+    for (k, (a, s)) in analytic.cumulative.iter().zip(&simulated).enumerate() {
+        println!("{k:>5}   {a:>8.4}   {s:>9.4}");
     }
     let still = analytic.residual_corruption.iter().sum::<f64>();
     println!(

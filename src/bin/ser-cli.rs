@@ -14,12 +14,11 @@
 use std::fs;
 use std::process::ExitCode;
 
-use ser_suite::epp::{CircuitSerAnalysis, EppAnalysis};
+use ser_suite::epp::{AnalysisSession, CircuitSerAnalysis};
 use ser_suite::gen::{profile, synthesize};
 use ser_suite::netlist::{
     parse_bench, parse_verilog, write_bench, write_verilog, Circuit, CircuitStats,
 };
-use ser_suite::sp::{IndependentSp, InputProbs, SpEngine};
 
 fn load(path: &str) -> Result<Circuit, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -59,10 +58,12 @@ fn cmd_info(path: &str) -> Result<(), String> {
 
 fn cmd_analyze(path: &str, top: usize, threads: usize) -> Result<(), String> {
     let c = load(path)?;
+    // One compiled session per invocation: topo order, observe points
+    // and SP are computed once and shared by the whole sweep.
+    let session = AnalysisSession::new(&c).map_err(|e| e.to_string())?;
     let outcome = CircuitSerAnalysis::new()
         .with_threads(threads)
-        .run(&c)
-        .map_err(|e| e.to_string())?;
+        .run_with_session(&session);
     println!(
         "analyzed {} nodes in {:?} (SP: {:?})",
         c.len(),
@@ -88,11 +89,8 @@ fn cmd_epp(path: &str, node_name: &str) -> Result<(), String> {
     let site = c
         .find(node_name)
         .ok_or_else(|| format!("no node named `{node_name}` in {path}"))?;
-    let sp = IndependentSp::new()
-        .compute(&c, &InputProbs::default())
-        .map_err(|e| e.to_string())?;
-    let analysis = EppAnalysis::new(&c, sp).map_err(|e| e.to_string())?;
-    let r = analysis.site(site);
+    let session = AnalysisSession::new(&c).map_err(|e| e.to_string())?;
+    let r = session.site(site);
     println!(
         "site `{node_name}`: {} on-path gates, P_sensitized = {:.4}",
         r.on_path_gates(),
@@ -147,7 +145,12 @@ fn run() -> Result<(), String> {
                 .transpose()?
                 .unwrap_or(15);
             let threads = flag_value(&args, "--threads")
-                .map(|v| v.parse().map_err(|_| "bad --threads value".to_owned()))
+                .map(|v| {
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| "bad --threads value (need a positive integer)".to_owned())
+                })
                 .transpose()?
                 .unwrap_or_else(|| {
                     std::thread::available_parallelism()

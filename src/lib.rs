@@ -34,6 +34,29 @@
 //! assert!((fast - baseline.p_sensitized).abs() < 0.1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The same comparison through one compiled
+//! [`AnalysisSession`](epp::AnalysisSession) — topological order,
+//! observe points, signal probabilities and the simulator are computed
+//! once and shared by every estimation path:
+//!
+//! ```
+//! use ser_suite::gen::c17;
+//! use ser_suite::epp::{AnalysisSession, CircuitSerAnalysis};
+//! use ser_suite::sim::MonteCarlo;
+//!
+//! let c = c17();
+//! let session = AnalysisSession::new(&c)?;
+//! let analytical = CircuitSerAnalysis::new().run_with_session(&session);
+//!
+//! let g10 = c.find("G10").unwrap();
+//! let mc = MonteCarlo::new(20_000).with_seed(1);
+//! let baseline = session.monte_carlo_site(&mc, g10);
+//!
+//! let fast = analytical.site(g10).p_sensitized();
+//! assert!((fast - baseline.p_sensitized).abs() < 0.1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 

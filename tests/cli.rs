@@ -66,14 +66,24 @@ fn convert_round_trips_formats() {
     )
     .unwrap();
 
-    let out = cli().arg("convert").arg(&bench).arg(&verilog).output().unwrap();
+    let out = cli()
+        .arg("convert")
+        .arg(&bench)
+        .arg(&verilog)
+        .output()
+        .unwrap();
     assert!(out.status.success(), "to verilog failed: {out:?}");
     let vtext = std::fs::read_to_string(&verilog).unwrap();
     // The module is named after the input file stem.
     assert!(vtext.starts_with("module "), "verilog: {vtext}");
     assert!(vtext.contains("nand"), "verilog: {vtext}");
 
-    let out = cli().arg("convert").arg(&verilog).arg(&back).output().unwrap();
+    let out = cli()
+        .arg("convert")
+        .arg(&verilog)
+        .arg(&back)
+        .output()
+        .unwrap();
     assert!(out.status.success(), "to bench failed: {out:?}");
     let btext = std::fs::read_to_string(&back).unwrap();
     assert!(btext.contains("NAND"), "bench: {btext}");
@@ -95,6 +105,9 @@ fn bad_usage_fails_with_message() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown profile"), "stderr: {err}");
 
-    let out = cli().args(["info", "/nonexistent/x.bench"]).output().unwrap();
+    let out = cli()
+        .args(["info", "/nonexistent/x.bench"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }

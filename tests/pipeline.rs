@@ -11,7 +11,7 @@ mod ser_bench_harness {
         multi_cycle_monte_carlo, CircuitSerAnalysis, HardeningCost, HardeningPlan, MultiCycleEpp,
         PlatchedModel, RseuModel,
     };
-    pub use ser_suite::gen::{accumulator, iscas89_like, lfsr, synthesize, profile};
+    pub use ser_suite::gen::{accumulator, iscas89_like, lfsr, profile, synthesize};
     pub use ser_suite::sp::{IndependentSp, InputProbs, SpEngine};
 }
 
@@ -45,7 +45,10 @@ fn seeds_reproduce_whole_pipeline() {
 fn hardening_flow_reduces_ser() {
     let c = iscas89_like("s386").unwrap();
     let outcome = CircuitSerAnalysis::new()
-        .with_rseu(RseuModel::FaninScaled { base: 1.0, slope: 0.5 })
+        .with_rseu(RseuModel::FaninScaled {
+            base: 1.0,
+            slope: 0.5,
+        })
         .with_platched(PlatchedModel::Constant(0.2))
         .run(&c)
         .unwrap();
@@ -71,7 +74,9 @@ fn sequential_extension_consistent_with_simulation() {
     // LFSR: the single output sits at the end of the shift chain, so an
     // error in the feedback takes cycles to surface.
     let c = lfsr(&[3, 2]);
-    let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+    let sp = IndependentSp::new()
+        .compute(&c, &InputProbs::default())
+        .unwrap();
     let frames = MultiCycleEpp::new(&c, sp).unwrap();
     let fb = c.find("fb").unwrap();
     let cycles = 6;
@@ -92,7 +97,9 @@ fn sequential_extension_consistent_with_simulation() {
 #[test]
 fn accumulator_errors_persist() {
     let c = accumulator(4);
-    let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+    let sp = IndependentSp::new()
+        .compute(&c, &InputProbs::default())
+        .unwrap();
     let frames = MultiCycleEpp::new(&c, sp).unwrap();
     // The LSB sum signal feeds q0 directly.
     let s0 = c.find("s0").unwrap();
@@ -102,5 +109,9 @@ fn accumulator_errors_persist() {
     // are the FF *outputs*, whose cycle-0 values predate the strike, so
     // observation starts at cycle 1.
     assert_eq!(r.cumulative[0], 0.0);
-    assert!(r.cumulative[1] > 0.9, "latched error surfaces: {:?}", r.cumulative);
+    assert!(
+        r.cumulative[1] > 0.9,
+        "latched error surfaces: {:?}",
+        r.cumulative
+    );
 }

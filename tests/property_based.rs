@@ -12,11 +12,11 @@ use ser_suite::sp::{ExactSp, IndependentSp, InputProbs, SpEngine};
 /// Strategy: a random-DAG configuration plus seed.
 fn dag_strategy() -> impl Strategy<Value = (usize, usize, f64, f64, u64)> {
     (
-        2usize..8,      // inputs
-        3usize..40,     // gates
-        0.0f64..1.0,    // reconvergence
-        0.0f64..0.5,    // xor fraction
-        0u64..1_000,    // seed
+        2usize..8,   // inputs
+        3usize..40,  // gates
+        0.0f64..1.0, // reconvergence
+        0.0f64..0.5, // xor fraction
+        0u64..1_000, // seed
     )
 }
 

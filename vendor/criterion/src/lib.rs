@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Throughput`], [`criterion_group!`],
+//! [`criterion_main!`], [`black_box`] — with a deliberately simple
+//! runner: a short warm-up, then timed batches, reporting the mean
+//! nanoseconds per iteration. No statistics, plots or baselines.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs each closure
+//! once and skips timing, so benches double as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.test_mode, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured batch count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput so the report can show a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name and/or parameter string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+/// Units of work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; call [`iter`](Bencher::iter) with
+/// the code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    /// Iterations per timed batch (tuned during warm-up).
+    batch: u64,
+    /// Accumulated (time, iterations) over measured batches.
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, running it in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        // Warm-up: find a batch size that runs for ~1ms, capped so a
+        // whole bench stays well under a second.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                self.batch = batch;
+                break;
+            }
+            batch *= 4;
+        }
+        let t = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.total += t.elapsed();
+        self.iters += self.batch;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    test_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        test_mode,
+        batch: 1,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    if test_mode {
+        f(&mut b);
+        println!("test {label} ... ok (bench smoke)");
+        return;
+    }
+    // `sample_size` batches by re-invoking the closure; criterion's
+    // statistical machinery is intentionally not reproduced.
+    let samples = sample_size.clamp(1, 20);
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.iters == 0 {
+        println!("{label:<40} (no iterations)");
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("{label:<40} {ns:>12.1} ns/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns * 1e-9) / (1 << 20) as f64;
+            println!("{label:<40} {ns:>12.1} ns/iter {rate:>12.1} MiB/s");
+        }
+        None => println!("{label:<40} {ns:>12.1} ns/iter"),
+    }
+}
+
+/// Declares a benchmark group function (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut group = c.benchmark_group("smoke/group");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &21u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("named", |b| b.iter(|| black_box(1u8)));
+        group.finish();
+    }
+
+    #[test]
+    fn driver_runs_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            sample_size: 2,
+        };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn driver_times_in_bench_mode() {
+        let mut c = Criterion {
+            test_mode: false,
+            sample_size: 1,
+        };
+        c.bench_function("timed/nop", |b| b.iter(|| black_box(0u8)));
+    }
+}
