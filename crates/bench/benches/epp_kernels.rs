@@ -59,10 +59,53 @@ fn bench_all_sites(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched cone-plan sweep against the per-site reference loop on
+/// the same circuits: the arena engine vs DFS + sort + AoS scratch.
+fn bench_batched_sweep(c: &mut Criterion) {
+    use ser_epp::{PolarityMode, SiteWorkspace, WorkspacePool};
+    let mut group = c.benchmark_group("epp_sweep");
+    group.sample_size(10);
+    for name in ["s298", "s953"] {
+        let circuit = iscas89_like(name).unwrap();
+        let sp = IndependentSp::new()
+            .compute(&circuit, &InputProbs::default())
+            .unwrap();
+        let analysis = EppAnalysis::new(&circuit, sp).unwrap();
+        let pool = WorkspacePool::new();
+        // Warm the plan cache so the bench measures the steady state.
+        let _ = analysis.sweep(1, &pool);
+        group.bench_with_input(
+            BenchmarkId::new("batched", name),
+            &analysis,
+            |b, analysis| b.iter(|| analysis.sweep(1, &pool)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", name),
+            &analysis,
+            |b, analysis| {
+                let mut ws = SiteWorkspace::new(analysis);
+                b.iter(|| {
+                    analysis
+                        .circuit()
+                        .node_ids()
+                        .map(|id| {
+                            analysis
+                                .site_with_workspace(id, PolarityMode::Tracked, &mut ws)
+                                .p_sensitized()
+                        })
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rule_application,
     bench_site_pass,
-    bench_all_sites
+    bench_all_sites,
+    bench_batched_sweep
 );
 criterion_main!(benches);

@@ -15,28 +15,35 @@
 
 use ser_bench_harness::accuracy::{mean_abs_diff, SitePair};
 use ser_bench_harness::table::TextTable;
-use ser_epp::{EppAnalysis, ExactEpp, PolarityMode};
+use ser_epp::{AnalysisSession, EppAnalysis, ExactEpp, PolarityMode};
 use ser_gen::RandomDag;
 use ser_netlist::{Circuit, NodeId};
 use ser_sim::{BitSim, MonteCarlo};
 use ser_sp::{CorrelationSp, ExactSp, IndependentSp, InputProbs, SpEngine};
 
 /// Mean |analytical − exact| `P_sensitized` over all nodes.
+///
+/// One compiled session per circuit: the analytical side runs as a
+/// single batched sweep over the cached cone plans, and the exact
+/// oracle's site iteration reuses the session's shared simulator
+/// instead of recompiling one per site.
 fn epp_error_vs_exact_with(
     circuit: &Circuit,
     sp_engine: &dyn SpEngine,
     polarity: PolarityMode,
 ) -> f64 {
     let probs = InputProbs::default();
-    let sp = sp_engine.compute(circuit, &probs).expect("sp computes");
-    let analysis = EppAnalysis::new(circuit, sp).expect("valid circuit");
+    let session = AnalysisSession::with_engine(circuit, probs, sp_engine).expect("valid circuit");
+    let sweep = session
+        .epp()
+        .sweep_with(polarity, 1, session.workspace_pool());
     let oracle = ExactEpp::new();
-    let pairs: Vec<SitePair> = circuit
-        .node_ids()
-        .map(|id| SitePair {
-            analytical: analysis.site_with(id, polarity).p_sensitized(),
-            monte_carlo: oracle
-                .site(circuit, &probs, id)
+    let pairs: Vec<SitePair> = sweep
+        .iter()
+        .map(|r| SitePair {
+            analytical: r.p_sensitized(),
+            monte_carlo: session
+                .exact_site(&oracle, r.site())
                 .expect("small circuit")
                 .p_sensitized,
         })

@@ -7,10 +7,10 @@
 //! cargo run --release -p ser-bench-harness --bin figure1
 //! ```
 
-use ser_epp::{EppAnalysis, ExactEpp};
+use ser_epp::{AnalysisSession, ExactEpp};
 use ser_gen::figure1;
-use ser_sim::{BitSim, MonteCarlo};
-use ser_sp::{IndependentSp, InputProbs, SpEngine};
+use ser_sim::MonteCarlo;
+use ser_sp::InputProbs;
 
 fn main() {
     let c = figure1();
@@ -25,10 +25,12 @@ fn main() {
     println!("# Figure 1 walkthrough (Asadi & Tahoori, DATE'05)");
     println!("# SP(B) = 0.2, SP(C) = 0.3, SP(F) = 0.7; SEU at gate A.\n");
 
-    let sp = IndependentSp::new().compute(&c, &probs).unwrap();
-    let analysis = EppAnalysis::new(&c, sp).unwrap();
+    // A compiled session: topo artifacts + SP once; the site pass runs
+    // through the batched cone-plan sweep.
+    let session = AnalysisSession::with_inputs(&c, probs.clone()).unwrap();
     let site = c.find("A").unwrap();
-    let result = analysis.site(site);
+    let sweep = session.sweep_sites(&[site], 1);
+    let result = sweep.get(0);
 
     // The intermediate tuples the paper prints.
     for name in ["E", "D", "G", "H"] {
@@ -53,17 +55,14 @@ fn main() {
     let exact = ExactEpp::new().site(&c, &probs, site).unwrap();
     println!("exact P_sensitized   = {:.3}", exact.p_sensitized);
 
-    let sim = BitSim::new(&c).unwrap();
     // NOTE: MC draws inputs uniformly; to respect the biased SPs we use
     // the exact oracle above as ground truth and report uniform-input MC
-    // only for the uniform variant:
-    let uniform_sp = IndependentSp::new()
-        .compute(&c, &InputProbs::default())
-        .unwrap();
-    let uniform = EppAnalysis::new(&c, uniform_sp).unwrap().site(site);
-    let mc = MonteCarlo::new(200_000)
-        .with_seed(7)
-        .estimate_site(&sim, site);
+    // only for the uniform variant. One session serves both the sweep
+    // and the shared simulator.
+    let uniform_session = AnalysisSession::new(&c).unwrap();
+    let uniform_sweep = uniform_session.sweep_sites(&[site], 1);
+    let uniform = uniform_sweep.get(0);
+    let mc = uniform_session.monte_carlo_site(&MonteCarlo::new(200_000).with_seed(7), site);
     println!("\n# uniform-0.5 variant (Monte-Carlo cross-check)");
     println!("analytical P_sens    = {:.4}", uniform.p_sensitized());
     println!(

@@ -1,0 +1,171 @@
+//! Sweep-throughput benchmark: the batched cone-plan engine vs the
+//! retained per-site reference path, on Table 2 workload circuits.
+//! Emits `BENCH_sweep.json` so the perf trajectory is tracked commit
+//! over commit.
+//!
+//! ```text
+//! cargo run --release -p ser-bench-harness --bin sweep_bench [-- --quick] [-- --out PATH]
+//! ```
+//!
+//! Reported per circuit:
+//!
+//! - `reference`: the per-site `site_with_workspace` loop (cone DFS +
+//!   sort + full-circuit AoS scratch per site) — sites/sec plus p50/p99
+//!   per-site latency.
+//! - `batched_1t`: the cone-plan sweep, one thread — the kernel-level
+//!   speedup with scheduling kept out of the picture.
+//! - `batched_mt`: the cone-plan sweep under the work-stealing
+//!   scheduler at the machine's parallelism.
+//! - `plan_build_ms`: one-time cone-plan compilation cost (amortized
+//!   across every subsequent sweep of the session).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ser_epp::{AnalysisSession, PolarityMode, SiteWorkspace};
+use ser_gen::synthesize;
+use ser_netlist::NodeId;
+
+/// Latency percentile over a sorted sample, in microseconds.
+fn percentile_us(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] * 1e6
+}
+
+struct EngineStats {
+    sites_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn json_engine(label: &str, s: &EngineStats) -> String {
+    format!(
+        "\"{label}\": {{\"sites_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}",
+        s.sites_per_sec, s.p50_us, s.p99_us
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
+    let names: &[&str] = if quick {
+        &["s953"]
+    } else {
+        &["s953", "s1196", "s1423", "s9234"]
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut records: Vec<String> = Vec::new();
+    for name in names {
+        let profile = ser_gen::profile(name).expect("profile exists");
+        let circuit = synthesize(&profile, 1);
+        let n = circuit.len();
+        let session = AnalysisSession::new(&circuit).expect("valid circuit");
+        let epp = session.epp();
+        let sites: Vec<NodeId> = circuit.node_ids().collect();
+
+        // --- Reference path: per-site DFS + sort + AoS scratch. -------
+        let mut ws = SiteWorkspace::new(&epp);
+        let mut ref_lat: Vec<f64> = Vec::with_capacity(n);
+        let ref_start = Instant::now();
+        for &site in &sites {
+            let t = Instant::now();
+            let r = epp.site_with_workspace(site, PolarityMode::Tracked, &mut ws);
+            std::hint::black_box(r.p_sensitized());
+            ref_lat.push(t.elapsed().as_secs_f64());
+        }
+        let ref_total = ref_start.elapsed().as_secs_f64();
+        ref_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let reference = EngineStats {
+            sites_per_sec: n as f64 / ref_total,
+            p50_us: percentile_us(&ref_lat, 0.50),
+            p99_us: percentile_us(&ref_lat, 0.99),
+        };
+
+        // --- Plan build (one-time, then cached on the session). -------
+        let plan_start = Instant::now();
+        assert!(
+            epp.artifacts().cone_plans(&circuit).is_some(),
+            "bench circuits fit the plan budget"
+        );
+        let plan_build_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+
+        // --- Batched, one thread: the kernel speedup. -----------------
+        let t = Instant::now();
+        let sweep1 = session.sweep(1);
+        let batched1_total = t.elapsed().as_secs_f64();
+        // Per-site latency sample: singleton sweeps through the shared
+        // plans and pool (an upper bound on steady-state per-site cost —
+        // each call still assembles a one-site result arena).
+        let mut one_lat: Vec<f64> = Vec::with_capacity(n);
+        for &site in &sites {
+            let t = Instant::now();
+            let s = session.sweep_sites(&[site], 1);
+            std::hint::black_box(s.get(0).p_sensitized());
+            one_lat.push(t.elapsed().as_secs_f64());
+        }
+        one_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let batched_1t = EngineStats {
+            sites_per_sec: n as f64 / batched1_total,
+            p50_us: percentile_us(&one_lat, 0.50),
+            p99_us: percentile_us(&one_lat, 0.99),
+        };
+
+        // --- Batched, scheduler at full parallelism. ------------------
+        let t = Instant::now();
+        let sweep_mt = session.sweep(threads);
+        let batched_mt_total = t.elapsed().as_secs_f64();
+
+        // Sanity: identical results on all three paths.
+        assert_eq!(sweep1, sweep_mt, "thread count changed results");
+        assert_eq!(sweep1.p_sensitized().len(), n, "sweep covered every node");
+
+        let speedup_1t = batched_1t.sites_per_sec / reference.sites_per_sec;
+        let speedup_mt = (n as f64 / batched_mt_total) / reference.sites_per_sec;
+        eprintln!(
+            "{name}: {n} nodes | ref {:.0}/s | batched(1t) {:.0}/s ({speedup_1t:.2}x) | batched({}t used) {:.0}/s ({speedup_mt:.2}x) | plans {plan_build_ms:.1}ms",
+            reference.sites_per_sec,
+            batched_1t.sites_per_sec,
+            sweep_mt.threads_used(),
+            n as f64 / batched_mt_total,
+        );
+
+        let mut rec = String::from("  {");
+        let _ = write!(
+            rec,
+            "\"circuit\": \"{name}\", \"nodes\": {n}, \"plan_build_ms\": {plan_build_ms:.3}, "
+        );
+        rec.push_str(&json_engine("reference", &reference));
+        rec.push_str(", ");
+        rec.push_str(&json_engine("batched_1t", &batched_1t));
+        let _ = write!(
+            rec,
+            ", \"batched_mt\": {{\"threads_requested\": {threads}, \"threads_used\": {}, \"sites_per_sec\": {:.1}}}",
+            sweep_mt.threads_used(),
+            n as f64 / batched_mt_total
+        );
+        let _ = write!(
+            rec,
+            ", \"speedup_1t\": {speedup_1t:.3}, \"speedup_mt\": {speedup_mt:.3}}}"
+        );
+        records.push(rec);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"unit_note\": \"latencies in microseconds; speedups vs per-site reference path\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -24,8 +24,13 @@ fn main() {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The baseline runs under the Mendo-style sequential stopping rule:
+    // each site stops once its estimate meets the normalized error
+    // target (capped at mc_vectors), replacing the old fixed trial
+    // count in the accuracy comparison.
     let cfg_proto = Table2Config {
-        mc_vectors: if quick { 2_000 } else { 10_000 },
+        mc_vectors: if quick { 16_000 } else { 40_000 },
+        mc_target_error: Some(0.05),
         max_mc_sites: if quick { 50 } else { 200 },
         naive_sites: if quick { 4 } else { 8 },
         seed: 0xDA7E,
@@ -34,8 +39,9 @@ fn main() {
 
     println!("# Table 2 reproduction: EPP vs random simulation");
     println!(
-        "# {} circuits, MC {} vectors/site over {} sampled sites, naive baseline on {} sites, {} threads",
+        "# {} circuits, sequential MC (target error {:.0}%, cap {} vectors/site) over {} sampled sites, naive baseline on {} sites, {} threads",
         circuits.len(),
+        cfg_proto.mc_target_error.unwrap_or(0.0) * 100.0,
         cfg_proto.mc_vectors,
         cfg_proto.max_mc_sites,
         cfg_proto.naive_sites,
@@ -49,6 +55,7 @@ fn main() {
         "Nodes",
         "SysT(ms)",
         "SimT(s)",
+        "MCvec",
         "NaiveT(s)",
         "%Dif",
         "MAD",
@@ -70,6 +77,7 @@ fn main() {
             row.nodes.to_string(),
             format!("{:.4}", row.syst_ms),
             format!("{:.4}", row.simt_s),
+            format!("{:.0}", row.mean_mc_vectors),
             row.naive_s
                 .map(|n| format!("{n:.3}"))
                 .unwrap_or_else(|| "-".into()),
@@ -93,6 +101,7 @@ fn main() {
     let n = circuits.len() as f64;
     table.push_row([
         "average".to_owned(),
+        String::new(),
         String::new(),
         String::new(),
         String::new(),

@@ -7,9 +7,9 @@ use std::time::{Duration, Instant};
 use ser_netlist::{Circuit, NetlistError, NodeId};
 use ser_sp::{InputProbs, SpEngine, SpError, SpVector};
 
-use crate::engine::SiteEpp;
 use crate::ser_model::{PlatchedModel, RseuModel, SerReport};
 use crate::session::AnalysisSession;
+use crate::sweep::{SweepResults, SweepSiteRef};
 
 /// Configuration for a whole-circuit analysis run.
 ///
@@ -151,12 +151,16 @@ impl CircuitSerAnalysis {
     #[must_use]
     pub fn run_with_session(&self, session: &AnalysisSession<'_>) -> AnalysisOutcome {
         let epp_start = Instant::now();
-        let sites = session.all_sites(self.threads);
+        let sweep = session.sweep(self.threads);
         let epp_time = epp_start.elapsed();
-        let p_sens: Vec<f64> = sites.iter().map(SiteEpp::p_sensitized).collect();
-        let report = SerReport::assemble(session.circuit(), &p_sens, &self.rseu, &self.platched);
+        let report = SerReport::assemble(
+            session.circuit(),
+            sweep.p_sensitized(),
+            &self.rseu,
+            &self.platched,
+        );
         AnalysisOutcome {
-            sites,
+            sweep,
             report,
             sp_time: session.sp_time(),
             epp_time,
@@ -170,26 +174,40 @@ impl Default for CircuitSerAnalysis {
     }
 }
 
-/// Everything a whole-circuit analysis produces.
+/// Everything a whole-circuit analysis produces. Per-site results live
+/// in one flat [`SweepResults`] arena; [`site`](Self::site) hands out
+/// borrowed views.
 #[derive(Debug, Clone)]
 pub struct AnalysisOutcome {
-    sites: Vec<SiteEpp>,
+    sweep: SweepResults,
     report: SerReport,
     sp_time: Duration,
     epp_time: Duration,
 }
 
 impl AnalysisOutcome {
-    /// Per-site EPP results, in arena order.
+    /// The sweep arena holding every per-site result, in arena order.
     #[must_use]
-    pub fn sites(&self) -> &[SiteEpp] {
-        &self.sites
+    pub fn sweep(&self) -> &SweepResults {
+        &self.sweep
+    }
+
+    /// Number of sites analyzed (every node of the circuit).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sweep.len()
+    }
+
+    /// `true` only for an empty circuit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sweep.is_empty()
     }
 
     /// Per-node `P_sensitized`, in arena order.
     #[must_use]
     pub fn p_sensitized(&self) -> Vec<f64> {
-        self.sites.iter().map(SiteEpp::p_sensitized).collect()
+        self.sweep.p_sensitized().to_vec()
     }
 
     /// The SER report (per-node entries, total, rankings).
@@ -210,14 +228,22 @@ impl AnalysisOutcome {
         self.epp_time
     }
 
-    /// The site result for one node.
+    /// Worker threads the sweep scheduler actually used (may be fewer
+    /// than requested: small circuits run single-threaded below
+    /// [`SINGLE_THREAD_SWEEP_THRESHOLD`](crate::SINGLE_THREAD_SWEEP_THRESHOLD)).
+    #[must_use]
+    pub fn threads_used(&self) -> usize {
+        self.sweep.threads_used()
+    }
+
+    /// The site result for one node (a borrowed view into the arena).
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     #[must_use]
-    pub fn site(&self, node: NodeId) -> &SiteEpp {
-        &self.sites[node.index()]
+    pub fn site(&self, node: NodeId) -> SweepSiteRef<'_> {
+        self.sweep.site(node)
     }
 
     /// Per-node `P_sensitized` derated by an electrical-masking model
@@ -229,9 +255,9 @@ impl AnalysisOutcome {
         circuit: &Circuit,
         masking: crate::ElectricalMasking,
     ) -> Vec<f64> {
-        self.sites
+        self.sweep
             .iter()
-            .map(|s| masking.derate(circuit, s))
+            .map(|s| masking.derate(circuit, &s))
             .collect()
     }
 }
@@ -254,8 +280,9 @@ mod tests {
     fn default_run_produces_consistent_outcome() {
         let c = toy();
         let out = CircuitSerAnalysis::new().run(&c).unwrap();
-        assert_eq!(out.sites().len(), c.len());
+        assert_eq!(out.len(), c.len());
         assert_eq!(out.p_sensitized().len(), c.len());
+        assert_eq!(out.threads_used(), 1, "tiny circuit: one worker");
         // Output node: always sensitized.
         let y = c.find("y").unwrap();
         assert_eq!(out.site(y).p_sensitized(), 1.0);

@@ -18,7 +18,8 @@ use std::collections::VecDeque;
 
 use ser_netlist::{Circuit, FanoutCone, GateKind, NodeId};
 
-use crate::engine::{combine_sensitization, SiteEpp};
+use crate::engine::combine_sensitization;
+use crate::sweep::EppSiteView;
 
 /// First-order electrical masking model.
 ///
@@ -74,12 +75,16 @@ impl ElectricalMasking {
     /// P_eff = 1 − Π_j (1 − α^d_j · arrival_j)
     /// ```
     ///
+    /// Accepts any per-site result view — an owned
+    /// [`SiteEpp`](crate::SiteEpp) or a borrowed
+    /// [`SweepSiteRef`](crate::SweepSiteRef) from a batched sweep.
+    ///
     /// # Panics
     ///
     /// Panics if `site_epp` does not belong to `circuit` (signal ids out
     /// of range).
     #[must_use]
-    pub fn derate(&self, circuit: &Circuit, site_epp: &SiteEpp) -> f64 {
+    pub fn derate<V: EppSiteView>(&self, circuit: &Circuit, site_epp: &V) -> f64 {
         if self.alpha == 1.0 {
             return site_epp.p_sensitized();
         }

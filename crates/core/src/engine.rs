@@ -64,6 +64,22 @@ pub struct SiteEpp {
 }
 
 impl SiteEpp {
+    /// Assembles a result from already-computed parts (the batched
+    /// sweep's conversion into the owned per-site form).
+    pub(crate) fn from_parts(
+        site: NodeId,
+        per_point: Vec<PointEpp>,
+        p_sensitized: f64,
+        on_path_gates: usize,
+    ) -> Self {
+        SiteEpp {
+            site,
+            per_point,
+            p_sensitized,
+            on_path_gates,
+        }
+    }
+
     /// The error site analyzed.
     #[must_use]
     pub fn site(&self) -> NodeId {
@@ -362,6 +378,11 @@ impl<'c> EppAnalysis<'c> {
 
     /// Analyzes every node of the circuit (the paper's "we consider all
     /// circuit nodes as possible error sites").
+    ///
+    /// Convenience wrapper over the batched [`sweep`](Self::sweep)
+    /// engine, converting into owned per-site results. Callers that
+    /// only read the results should prefer `sweep` itself — it keeps
+    /// everything in one flat arena.
     #[must_use]
     pub fn all_sites(&self) -> Vec<SiteEpp> {
         let pool = WorkspacePool::new();
@@ -389,68 +410,33 @@ impl<'c> EppAnalysis<'c> {
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is 0 or the pool holds workspaces sized for
-    /// a different circuit.
+    /// Panics if `threads` is 0.
     #[must_use]
     pub fn all_sites_parallel_with_pool(
         &self,
         threads: usize,
         pool: &WorkspacePool,
     ) -> Vec<SiteEpp> {
-        assert!(threads > 0, "at least one thread");
-        let n = self.circuit.len();
-        if threads == 1 || n < 64 {
-            let mut ws = pool.checkout(self);
-            let out = self
-                .circuit
-                .node_ids()
-                .map(|id| self.site_with_workspace(id, PolarityMode::Tracked, &mut ws))
-                .collect();
-            pool.give_back(ws);
-            return out;
-        }
-        let chunk = n.div_ceil(threads);
-        let mut results: Vec<Option<SiteEpp>> = vec![None; n];
-        std::thread::scope(|scope| {
-            let mut rest: &mut [Option<SiteEpp>] = &mut results;
-            let mut start = 0usize;
-            while !rest.is_empty() {
-                let take = chunk.min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                let this = &*self;
-                scope.spawn(move || {
-                    let mut ws = pool.checkout(this);
-                    for (offset, slot) in head.iter_mut().enumerate() {
-                        *slot = Some(this.site_with_workspace(
-                            NodeId::from_index(start + offset),
-                            PolarityMode::Tracked,
-                            &mut ws,
-                        ));
-                    }
-                    pool.give_back(ws);
-                });
-                rest = tail;
-                start += take;
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| r.expect("all chunks filled"))
-            .collect()
+        self.sweep_with(PolarityMode::Tracked, threads, pool)
+            .to_site_epps()
     }
 }
 
-/// A checkout pool of [`SiteWorkspace`]s shared across sweeps and
+/// A checkout pool of per-thread scratch shared across sweeps and
 /// threads: workers pop a workspace (or lazily create one), run their
-/// chunk allocation-free, and push it back for the next sweep.
+/// batch allocation-free, and push it back for the next sweep. Two
+/// kinds of scratch live here: [`SiteWorkspace`]s for the per-site
+/// reference path and [`SweepWorkspace`](crate::SweepWorkspace)s for
+/// the batched cone-plan engine.
 ///
-/// The pool is intentionally dumb — a mutexed stack. It is touched
+/// The pool is intentionally dumb — mutexed stacks. It is touched
 /// twice per worker per sweep, so contention is irrelevant; what
-/// matters is that the O(circuit) scratch buffers survive between
-/// sweeps instead of being reallocated.
+/// matters is that the scratch buffers survive between sweeps instead
+/// of being reallocated.
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     slots: Mutex<Vec<SiteWorkspace>>,
+    sweep_slots: Mutex<Vec<crate::sweep::SweepWorkspace>>,
 }
 
 impl WorkspacePool {
@@ -460,27 +446,21 @@ impl WorkspacePool {
         WorkspacePool::default()
     }
 
-    /// Pops a pooled workspace, or creates a fresh one sized for
-    /// `analysis`' circuit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the pool's workspaces were built for a circuit of a
-    /// different size (pools must not be shared across circuits).
+    /// Pops a pooled workspace sized for `analysis`' circuit, or
+    /// creates a fresh one. Pooled workspaces sized for a *different*
+    /// circuit (a pool outliving its circuit and being reused) are
+    /// quietly dropped and replaced rather than panicking.
     #[must_use]
     pub fn checkout(&self, analysis: &EppAnalysis<'_>) -> SiteWorkspace {
-        let ws = self.slots.lock().expect("pool lock").pop();
-        match ws {
-            Some(ws) => {
-                assert_eq!(
-                    ws.stamp.len(),
-                    analysis.circuit.len(),
-                    "pooled workspace sized for a different circuit"
-                );
-                ws
+        let mut slots = self.slots.lock().expect("pool lock");
+        while let Some(ws) = slots.pop() {
+            if ws.stamp.len() == analysis.circuit.len() {
+                return ws;
             }
-            None => SiteWorkspace::new(analysis),
+            // Sized for another circuit: stale scratch, discard it.
         }
+        drop(slots);
+        SiteWorkspace::new(analysis)
     }
 
     /// Returns a workspace to the pool for reuse.
@@ -488,10 +468,33 @@ impl WorkspacePool {
         self.slots.lock().expect("pool lock").push(ws);
     }
 
-    /// Number of idle workspaces currently pooled.
+    /// Pops pooled sweep scratch, or creates fresh scratch. Sweep
+    /// workspaces grow to fit whatever cone plan they evaluate, so no
+    /// size check is needed.
+    #[must_use]
+    pub fn checkout_sweep(&self) -> crate::sweep::SweepWorkspace {
+        self.sweep_slots
+            .lock()
+            .expect("pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns sweep scratch to the pool for reuse.
+    pub fn give_back_sweep(&self, ws: crate::sweep::SweepWorkspace) {
+        self.sweep_slots.lock().expect("pool lock").push(ws);
+    }
+
+    /// Number of idle per-site workspaces currently pooled.
     #[must_use]
     pub fn idle(&self) -> usize {
         self.slots.lock().expect("pool lock").len()
+    }
+
+    /// Number of idle sweep workspaces currently pooled.
+    #[must_use]
+    pub fn idle_sweep(&self) -> usize {
+        self.sweep_slots.lock().expect("pool lock").len()
     }
 }
 
@@ -633,6 +636,35 @@ H = OR(C, D, G)
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn pool_discards_workspaces_sized_for_another_circuit() {
+        let small = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "small").unwrap();
+        let big = parse_bench(FIG1, "fig1").unwrap();
+        let probs = InputProbs::default();
+        let epp_small = analysis(&small, &probs);
+        let epp_big = analysis(&big, &probs);
+
+        let pool = WorkspacePool::new();
+        pool.give_back(pool.checkout(&epp_small));
+        assert_eq!(pool.idle(), 1);
+
+        // Regression: this used to panic ("pooled workspace sized for a
+        // different circuit"). Now the stale workspace is dropped and a
+        // correctly sized one is returned.
+        let ws = pool.checkout(&epp_big);
+        assert_eq!(ws.stamp.len(), big.len());
+        pool.give_back(ws);
+        assert_eq!(pool.idle(), 1, "stale scratch dropped, fresh one pooled");
+
+        // And full sweeps can share one pool across circuits.
+        let r_big = epp_big.all_sites_parallel_with_pool(2, &pool);
+        let r_small = epp_small.all_sites_parallel_with_pool(2, &pool);
+        assert_eq!(r_big.len(), big.len());
+        assert_eq!(r_small.len(), small.len());
+        // Results are unaffected by the pool's history.
+        assert_eq!(r_small, epp_small.all_sites());
     }
 
     #[test]

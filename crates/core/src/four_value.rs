@@ -79,6 +79,17 @@ impl FourValue {
         v
     }
 
+    /// Reassembles a tuple from components previously produced by this
+    /// type's own getters — no checks, no clamping, bit-exact. Used by
+    /// the structure-of-arrays sweep planes, which store the four
+    /// components in separate `f64` slices and must round-trip them
+    /// without perturbation.
+    #[inline]
+    #[must_use]
+    pub(crate) const fn from_parts(pa: f64, pa_bar: f64, p0: f64, p1: f64) -> Self {
+        FourValue { pa, pa_bar, p0, p1 }
+    }
+
     fn check(&self) {
         for (name, x) in [
             ("pa", self.pa),

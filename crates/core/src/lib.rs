@@ -66,6 +66,7 @@ mod multi_cycle;
 mod rules;
 mod ser_model;
 mod session;
+mod sweep;
 
 pub use analysis::{AnalysisOutcome, CircuitSerAnalysis};
 pub use electrical::{gate_depths_from, ElectricalMasking};
@@ -83,3 +84,6 @@ pub use multi_cycle::{multi_cycle_monte_carlo, MultiCycleEpp, MultiCycleResult};
 pub use rules::propagate;
 pub use ser_model::{PlatchedModel, RseuModel, SerEntry, SerReport};
 pub use session::AnalysisSession;
+pub use sweep::{
+    EppSiteView, SweepResults, SweepSiteRef, SweepWorkspace, SINGLE_THREAD_SWEEP_THRESHOLD,
+};

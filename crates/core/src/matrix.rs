@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 
 use ser_netlist::{Circuit, NodeId, ObservePoint};
 
-use crate::engine::EppAnalysis;
+use crate::engine::{EppAnalysis, WorkspacePool};
 
 /// Dense site × observe-point arrival matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,15 +23,18 @@ pub struct VulnerabilityMatrix {
 }
 
 impl VulnerabilityMatrix {
-    /// Computes the matrix for every node of the analysis' circuit.
+    /// Computes the matrix for every node of the analysis' circuit, in
+    /// one batched sweep over the shared cone plans.
     #[must_use]
     pub fn compute(analysis: &EppAnalysis<'_>) -> Self {
         let circuit = analysis.circuit();
         let points: Vec<ObservePoint> = circuit.observe_points().collect();
         let cols = points.len();
         let mut arrivals = vec![0.0f64; circuit.len() * cols];
-        for site in circuit.node_ids() {
-            let result = analysis.site(site);
+        let pool = WorkspacePool::new();
+        let sweep = analysis.sweep(1, &pool);
+        for result in sweep.iter() {
+            let site = result.site();
             for p in result.per_point() {
                 let col = points
                     .iter()

@@ -23,7 +23,7 @@ use ser_netlist::{Circuit, NodeId, ObservePoint};
 use ser_sim::SeqSim;
 use ser_sp::SpVector;
 
-use crate::engine::{combine_sensitization, EppAnalysis};
+use crate::engine::{combine_sensitization, EppAnalysis, PolarityMode, WorkspacePool};
 
 /// Analytical multi-cycle observation probabilities.
 #[derive(Debug, Clone)]
@@ -71,15 +71,17 @@ impl<'c> MultiCycleEpp<'c> {
     /// single-cycle analysis — e.g. one handed out by an
     /// [`AnalysisSession`](crate::AnalysisSession) via
     /// [`epp()`](crate::AnalysisSession::epp), so topological order and
-    /// SP are not recomputed.
+    /// SP are not recomputed. The per-flip-flop passes run as one
+    /// batched sweep over the shared cone plans.
     #[must_use]
     pub fn with_analysis(analysis: EppAnalysis<'c>) -> Self {
         let circuit = analysis.circuit();
         let nffs = circuit.num_dffs();
         let mut po_arrival = vec![0.0; nffs];
         let mut ff_arrival = vec![vec![0.0; nffs]; nffs];
-        for (fi, &ff) in circuit.dffs().iter().enumerate() {
-            let site = analysis.site(ff);
+        let pool = WorkspacePool::new();
+        let sweep = analysis.sweep_sites_with(circuit.dffs(), PolarityMode::Tracked, 1, &pool);
+        for (fi, site) in sweep.iter().enumerate() {
             let mut po_arr = Vec::new();
             for p in site.per_point() {
                 match p.point {
@@ -120,7 +122,11 @@ impl<'c> MultiCycleEpp<'c> {
     pub fn site(&self, site: NodeId, cycles: usize) -> MultiCycleResult {
         assert!(cycles > 0, "at least the SEU cycle itself");
         let nffs = self.circuit.num_dffs();
-        let frame0 = self.analysis.site(site);
+        let pool = WorkspacePool::new();
+        let frame0_sweep = self
+            .analysis
+            .sweep_sites_with(&[site], PolarityMode::Tracked, 1, &pool);
+        let frame0 = frame0_sweep.get(0);
         let mut po_arr = Vec::new();
         let mut corruption = vec![0.0f64; nffs];
         for p in frame0.per_point() {

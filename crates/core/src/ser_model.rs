@@ -11,7 +11,7 @@ use std::fmt;
 
 use ser_netlist::{Circuit, GateKind, NodeId};
 
-use crate::engine::SiteEpp;
+use crate::sweep::EppSiteView;
 
 /// The raw SEU (bit-flip) rate of a node — "depends on the particle
 /// flux, the energy of the particle, type and size of the gate, and the
@@ -203,22 +203,32 @@ impl SerReport {
     /// the entry remains comparable with [`assemble`](Self::assemble);
     /// `platched` records the model's capture probability.
     ///
+    /// Accepts any sequence of per-site result views in arena order —
+    /// owned [`SiteEpp`](crate::SiteEpp)s (`&sites`) or a batched
+    /// sweep's arena (`sweep.iter()`).
+    ///
     /// # Panics
     ///
-    /// Panics if `sites.len() != circuit.len()`.
+    /// Panics if `sites` does not yield exactly one result per circuit
+    /// node, in arena order.
     #[must_use]
-    pub fn assemble_split(
+    pub fn assemble_split<I>(
         circuit: &Circuit,
-        sites: &[SiteEpp],
+        sites: I,
         rseu: &RseuModel,
         platched: &PlatchedModel,
-    ) -> Self {
-        assert_eq!(sites.len(), circuit.len(), "one site result per node");
+    ) -> Self
+    where
+        I: IntoIterator,
+        I::Item: EppSiteView,
+    {
+        let mut sites = sites.into_iter();
         let pl = platched.probability();
         let entries: Vec<SerEntry> = circuit
             .node_ids()
             .map(|node| {
-                let site = &sites[node.index()];
+                let site = sites.next().expect("one site result per node");
+                assert_eq!(site.site(), node, "site results must be in arena order");
                 let miss: f64 = site
                     .per_point()
                     .iter()
@@ -243,6 +253,10 @@ impl SerReport {
                 }
             })
             .collect();
+        assert!(
+            sites.next().is_none(),
+            "more site results than circuit nodes"
+        );
         let total = entries.iter().map(|e| e.ser).sum();
         SerReport { entries, total }
     }

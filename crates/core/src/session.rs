@@ -28,6 +28,7 @@ use ser_sp::{IndependentSp, InputProbs, SpEngine, SpError, SpVector};
 use crate::engine::{EppAnalysis, SiteEpp, WorkspacePool};
 use crate::exact::{ExactEpp, ExactSiteEpp};
 use crate::exact_bdd::BddExactEpp;
+use crate::sweep::SweepResults;
 
 /// A compiled per-circuit analysis context: topological artifacts,
 /// signal probabilities, a bit-parallel simulator and a workspace pool,
@@ -287,12 +288,42 @@ impl<'c> AnalysisSession<'c> {
     /// Analytical EPP for every node (the whole-circuit sweep), using
     /// `threads` workers and the session's workspace pool.
     ///
+    /// Compatibility wrapper over [`sweep`](Self::sweep) producing
+    /// owned per-site results; prefer `sweep` itself in hot paths — it
+    /// keeps everything in one flat arena.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is 0.
     #[must_use]
     pub fn all_sites(&self, threads: usize) -> Vec<SiteEpp> {
         self.epp().all_sites_parallel_with_pool(threads, &self.pool)
+    }
+
+    /// The batched whole-circuit sweep over the session's cached cone
+    /// plans: every node as an error site, results in one flat
+    /// [`SweepResults`] arena. The cone plans are compiled on first use
+    /// and shared by every sweep this session (and its clones of the
+    /// artifacts) ever runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn sweep(&self, threads: usize) -> SweepResults {
+        self.epp().sweep(threads, &self.pool)
+    }
+
+    /// The batched sweep over an explicit site list (results in request
+    /// order), sharing the session's cone plans and scratch pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or any site is out of range.
+    #[must_use]
+    pub fn sweep_sites(&self, sites: &[NodeId], threads: usize) -> SweepResults {
+        self.epp()
+            .sweep_sites_with(sites, crate::PolarityMode::Tracked, threads, &self.pool)
     }
 
     /// Monte-Carlo estimate for one site through the session's shared
@@ -448,10 +479,19 @@ mod tests {
         let c = toy();
         let session = AnalysisSession::new(&c).unwrap();
         assert_eq!(session.workspace_pool().idle(), 0);
+        assert_eq!(session.workspace_pool().idle_sweep(), 0);
+        // Sweeps use pooled sweep scratch…
         let _ = session.all_sites(1);
+        assert_eq!(session.workspace_pool().idle_sweep(), 1);
+        let _ = session.all_sites(1);
+        assert_eq!(
+            session.workspace_pool().idle_sweep(),
+            1,
+            "reused, not re-created"
+        );
+        // …while single-site queries use pooled per-site scratch.
+        let _ = session.site(c.find("a").unwrap());
         assert_eq!(session.workspace_pool().idle(), 1);
-        let _ = session.all_sites(1);
-        assert_eq!(session.workspace_pool().idle(), 1, "reused, not re-created");
         let _ = session.site(c.find("a").unwrap());
         assert_eq!(session.workspace_pool().idle(), 1);
     }

@@ -1,0 +1,811 @@
+//! The batched whole-circuit sweep engine: precomputed cone plans, a
+//! structure-of-arrays four-value kernel, and a work-stealing site
+//! scheduler.
+//!
+//! The per-site reference path
+//! ([`EppAnalysis::site_with_workspace`]) rebuilds each site's cone by
+//! DFS, re-sorts it, and propagates tuples through a full-circuit AoS
+//! `values` array — per site, per sweep. This module is the compiled
+//! form of the same computation:
+//!
+//! - **Cone plans** ([`ser_netlist::ConePlans`], cached on the shared
+//!   [`TopoArtifacts`](ser_netlist::TopoArtifacts)): the DFF-clipped
+//!   cone in topo order with every fanin pre-classified as on-path
+//!   (cone-local index) or off-path (SP lookup), computed once per
+//!   circuit.
+//! - **SoA planes** ([`SweepWorkspace`]): the four tuple components in
+//!   flat `f64` slices indexed by cone-local position — the kernel
+//!   reads fanins through the plan's indices and never touches
+//!   circuit-sized scratch.
+//! - **Scheduler**: an atomic-cursor work queue over cone-cost-balanced
+//!   batches; workers claim the next batch when they finish their
+//!   current one, so wildly varying cone sizes no longer leave threads
+//!   idle the way the old static `n / threads` split did.
+//!
+//! Results land in a [`SweepResults`] arena — one shared `Vec` of
+//! per-point arrivals with per-site ranges — so the steady-state sweep
+//! performs no per-site heap allocation at all. The per-site reference
+//! path is retained and the batched engine is bit-for-bit identical to
+//! it (asserted by `tests/sweep_equivalence.rs`).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ser_netlist::{ConePlans, FaninRef, NodeId, ObservePoint};
+
+use crate::engine::{
+    combine_sensitization, EppAnalysis, PointEpp, PolarityMode, SiteEpp, SiteWorkspace,
+    WorkspacePool,
+};
+use crate::four_value::FourValue;
+use crate::rules::propagate;
+
+/// Below this many sites a parallel sweep is all coordination and no
+/// work: the scheduler runs single-threaded instead. (The old engine
+/// hard-coded the same `64` inline.)
+pub const SINGLE_THREAD_SWEEP_THRESHOLD: usize = 64;
+
+/// How many batches the scheduler cuts per worker thread. More batches
+/// means finer-grained stealing (better balance when cone sizes vary
+/// wildly) at the cost of a little queue traffic.
+const BATCHES_PER_THREAD: usize = 8;
+
+/// Per-thread scratch for the batched sweep: the four-value planes in
+/// structure-of-arrays form, indexed by cone-local position, plus the
+/// fanin gather buffer. Grows to the largest cone it evaluates and is
+/// reused across sites, sweeps and circuits (pool it via
+/// [`WorkspacePool::checkout_sweep`]).
+#[derive(Debug, Default)]
+pub struct SweepWorkspace {
+    pa: Vec<f64>,
+    pa_bar: Vec<f64>,
+    p0: Vec<f64>,
+    p1: Vec<f64>,
+    fanin_buf: Vec<FourValue>,
+}
+
+impl SweepWorkspace {
+    /// Fresh, empty scratch (planes grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        SweepWorkspace::default()
+    }
+
+    /// Current plane capacity (largest cone seen so far).
+    #[must_use]
+    pub fn plane_len(&self) -> usize {
+        self.pa.len()
+    }
+
+    fn ensure(&mut self, len: usize) {
+        if self.pa.len() < len {
+            self.pa.resize(len, 0.0);
+            self.pa_bar.resize(len, 0.0);
+            self.p0.resize(len, 0.0);
+            self.p1.resize(len, 0.0);
+        }
+    }
+
+    #[inline]
+    fn read(&self, pos: usize) -> FourValue {
+        FourValue::from_parts(self.pa[pos], self.pa_bar[pos], self.p0[pos], self.p1[pos])
+    }
+
+    #[inline]
+    fn write(&mut self, pos: usize, v: FourValue) {
+        self.pa[pos] = v.pa();
+        self.pa_bar[pos] = v.pa_bar();
+        self.p0[pos] = v.p0();
+        self.p1[pos] = v.p1();
+    }
+}
+
+/// Read-only view of everything one sweep produced for one site.
+///
+/// Obtained from [`SweepResults::site`] / [`SweepResults::iter`];
+/// borrows the arena, allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepSiteRef<'a> {
+    results: &'a SweepResults,
+    pos: usize,
+}
+
+impl<'a> SweepSiteRef<'a> {
+    /// The error site analyzed.
+    #[must_use]
+    pub fn site(&self) -> NodeId {
+        self.results.sites[self.pos]
+    }
+
+    /// Error arrival per reachable observe point (a slice into the
+    /// sweep's shared arena).
+    #[must_use]
+    pub fn per_point(&self) -> &'a [PointEpp] {
+        &self.results.points[self.results.point_off[self.pos] as usize
+            ..self.results.point_off[self.pos + 1] as usize]
+    }
+
+    /// The paper's `P_sensitized` for this site.
+    #[must_use]
+    pub fn p_sensitized(&self) -> f64 {
+        self.results.p_sensitized[self.pos]
+    }
+
+    /// Number of on-path gates the pass visited (cost indicator).
+    #[must_use]
+    pub fn on_path_gates(&self) -> usize {
+        self.results.on_path_gates[self.pos] as usize
+    }
+
+    /// Arrival tuple at a specific observed signal, if reachable.
+    #[must_use]
+    pub fn arrival_at(&self, signal: NodeId) -> Option<FourValue> {
+        self.per_point()
+            .iter()
+            .find(|p| p.point.signal() == signal)
+            .map(|p| p.value)
+    }
+
+    /// Converts into the owned per-site form (allocates; prefer the
+    /// borrowed accessors in hot paths).
+    #[must_use]
+    pub fn to_site_epp(&self) -> SiteEpp {
+        SiteEpp::from_parts(
+            self.site(),
+            self.per_point().to_vec(),
+            self.p_sensitized(),
+            self.on_path_gates(),
+        )
+    }
+}
+
+/// Uniform read access to one site's EPP result, whether it lives in an
+/// owned [`SiteEpp`] or borrows a [`SweepResults`] arena — what the SER
+/// model assembly and the electrical-masking derating are generic over.
+pub trait EppSiteView {
+    /// The error site analyzed.
+    fn site(&self) -> NodeId;
+    /// Error arrival per reachable observe point.
+    fn per_point(&self) -> &[PointEpp];
+    /// The paper's `P_sensitized`.
+    fn p_sensitized(&self) -> f64;
+    /// Number of on-path gates visited.
+    fn on_path_gates(&self) -> usize;
+}
+
+impl EppSiteView for SiteEpp {
+    fn site(&self) -> NodeId {
+        SiteEpp::site(self)
+    }
+    fn per_point(&self) -> &[PointEpp] {
+        SiteEpp::per_point(self)
+    }
+    fn p_sensitized(&self) -> f64 {
+        SiteEpp::p_sensitized(self)
+    }
+    fn on_path_gates(&self) -> usize {
+        SiteEpp::on_path_gates(self)
+    }
+}
+
+impl<T: EppSiteView> EppSiteView for &T {
+    fn site(&self) -> NodeId {
+        (**self).site()
+    }
+    fn per_point(&self) -> &[PointEpp] {
+        (**self).per_point()
+    }
+    fn p_sensitized(&self) -> f64 {
+        (**self).p_sensitized()
+    }
+    fn on_path_gates(&self) -> usize {
+        (**self).on_path_gates()
+    }
+}
+
+impl EppSiteView for SweepSiteRef<'_> {
+    fn site(&self) -> NodeId {
+        SweepSiteRef::site(self)
+    }
+    fn per_point(&self) -> &[PointEpp] {
+        SweepSiteRef::per_point(self)
+    }
+    fn p_sensitized(&self) -> f64 {
+        SweepSiteRef::p_sensitized(self)
+    }
+    fn on_path_gates(&self) -> usize {
+        SweepSiteRef::on_path_gates(self)
+    }
+}
+
+/// The flat arena a batched sweep fills: per-site `P_sensitized`,
+/// on-path gate counts, and one shared `Vec<PointEpp>` addressed by
+/// per-site ranges — no per-site heap allocation anywhere.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// The analyzed sites, in request order.
+    sites: Vec<NodeId>,
+    /// `true` when `sites[i].index() == i` for all `i` (the
+    /// whole-circuit sweep), enabling O(1) lookup by node id.
+    dense: bool,
+    p_sensitized: Vec<f64>,
+    on_path_gates: Vec<u32>,
+    /// `point_off[i]..point_off[i+1]` delimits site `i`'s slice of
+    /// `points`. Length `sites.len() + 1`.
+    point_off: Vec<u32>,
+    points: Vec<PointEpp>,
+    threads_used: usize,
+}
+
+/// Equality compares the *results* only — `threads_used` is scheduling
+/// metadata, and a 1-thread sweep must equal an 8-thread sweep.
+impl PartialEq for SweepResults {
+    fn eq(&self, other: &Self) -> bool {
+        self.sites == other.sites
+            && self.p_sensitized == other.p_sensitized
+            && self.on_path_gates == other.on_path_gates
+            && self.point_off == other.point_off
+            && self.points == other.points
+    }
+}
+
+impl SweepResults {
+    /// Number of sites analyzed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` if no sites were analyzed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The analyzed sites, in result order.
+    #[must_use]
+    pub fn sites(&self) -> &[NodeId] {
+        &self.sites
+    }
+
+    /// Worker threads the scheduler actually used for this sweep (1 for
+    /// sweeps under [`SINGLE_THREAD_SWEEP_THRESHOLD`]).
+    #[must_use]
+    pub fn threads_used(&self) -> usize {
+        self.threads_used
+    }
+
+    /// Per-site `P_sensitized`, parallel to [`sites`](Self::sites).
+    #[must_use]
+    pub fn p_sensitized(&self) -> &[f64] {
+        &self.p_sensitized
+    }
+
+    /// Total per-point arrivals stored across all sites.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The result at position `pos` (request order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len()`.
+    #[must_use]
+    pub fn get(&self, pos: usize) -> SweepSiteRef<'_> {
+        assert!(pos < self.sites.len(), "sweep position {pos} out of range");
+        SweepSiteRef { results: self, pos }
+    }
+
+    /// The result for one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` was not part of this sweep.
+    #[must_use]
+    pub fn site(&self, site: NodeId) -> SweepSiteRef<'_> {
+        let pos = if self.dense {
+            let i = site.index();
+            assert!(i < self.sites.len(), "site {site} out of range");
+            i
+        } else {
+            self.sites
+                .iter()
+                .position(|&s| s == site)
+                .unwrap_or_else(|| panic!("site {site} was not analyzed by this sweep"))
+        };
+        SweepSiteRef { results: self, pos }
+    }
+
+    /// Iterates all site results in request order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = SweepSiteRef<'_>> {
+        (0..self.sites.len()).map(move |pos| SweepSiteRef { results: self, pos })
+    }
+
+    /// Converts the arena into owned per-site results (one heap `Vec`
+    /// per site — the compatibility shim for the pre-arena API).
+    #[must_use]
+    pub fn to_site_epps(&self) -> Vec<SiteEpp> {
+        self.iter().map(|r| r.to_site_epp()).collect()
+    }
+}
+
+/// Per-worker scratch for one sweep: SoA planes when cone plans are
+/// available, a classic [`SiteWorkspace`] when the plan arena was
+/// declined for size and the sweep falls back to per-site traversal.
+enum SweepScratch {
+    Plan(SweepWorkspace),
+    Reference(SiteWorkspace),
+}
+
+impl SweepScratch {
+    fn checkout(analysis: &EppAnalysis<'_>, pool: &WorkspacePool, planned: bool) -> Self {
+        if planned {
+            SweepScratch::Plan(pool.checkout_sweep())
+        } else {
+            SweepScratch::Reference(pool.checkout(analysis))
+        }
+    }
+
+    fn give_back(self, pool: &WorkspacePool) {
+        match self {
+            SweepScratch::Plan(ws) => pool.give_back_sweep(ws),
+            SweepScratch::Reference(ws) => pool.give_back(ws),
+        }
+    }
+}
+
+/// One worker's output for one claimed batch: results for the
+/// contiguous site range starting at `start`, stitched back in
+/// position order after the join.
+struct Segment {
+    start: usize,
+    p_sens: Vec<f64>,
+    gates: Vec<u32>,
+    point_counts: Vec<u32>,
+    points: Vec<PointEpp>,
+}
+
+impl<'c> EppAnalysis<'c> {
+    /// The batched whole-circuit sweep: every node as an error site,
+    /// [`PolarityMode::Tracked`], results in one flat arena.
+    ///
+    /// Bit-for-bit identical to calling
+    /// [`site_with_workspace`](Self::site_with_workspace) per node; the
+    /// cone plans are built once per circuit (cached on the shared
+    /// artifacts) and the scheduler hands cone-cost-balanced batches to
+    /// `threads` workers through an atomic cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn sweep(&self, threads: usize, pool: &WorkspacePool) -> SweepResults {
+        self.sweep_with(PolarityMode::Tracked, threads, pool)
+    }
+
+    /// Like [`sweep`](Self::sweep) with an explicit polarity mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    #[must_use]
+    pub fn sweep_with(
+        &self,
+        polarity: PolarityMode,
+        threads: usize,
+        pool: &WorkspacePool,
+    ) -> SweepResults {
+        let sites: Vec<NodeId> = self.circuit().node_ids().collect();
+        self.sweep_sites_with(&sites, polarity, threads, pool)
+    }
+
+    /// The batched sweep over an explicit site list (e.g. only the
+    /// flip-flops, for the multi-cycle frame expansion). Results come
+    /// back in the same order as `sites`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or any site is out of range.
+    #[must_use]
+    pub fn sweep_sites_with(
+        &self,
+        sites: &[NodeId],
+        polarity: PolarityMode,
+        threads: usize,
+        pool: &WorkspacePool,
+    ) -> SweepResults {
+        assert!(threads > 0, "at least one thread");
+        // `None` when the circuit's plan arena exceeds the member
+        // budget: the sweep then runs the bit-identical per-site
+        // reference kernel (O(n) scratch) under the same scheduler.
+        let plans = self.artifacts().cone_plans(self.circuit()).cloned();
+        self.sweep_impl(sites, polarity, threads, pool, plans.as_deref())
+    }
+
+    fn sweep_impl(
+        &self,
+        sites: &[NodeId],
+        polarity: PolarityMode,
+        threads: usize,
+        pool: &WorkspacePool,
+        plans: Option<&ConePlans>,
+    ) -> SweepResults {
+        let dense = sites.iter().enumerate().all(|(i, s)| s.index() == i);
+        let total_points: usize = plans.map_or(0, |p| {
+            sites.iter().map(|&s| p.plan(s).observe_refs().len()).sum()
+        });
+
+        let mut results = SweepResults {
+            sites: sites.to_vec(),
+            dense,
+            p_sensitized: Vec::with_capacity(sites.len()),
+            on_path_gates: Vec::with_capacity(sites.len()),
+            point_off: Vec::with_capacity(sites.len() + 1),
+            points: Vec::with_capacity(total_points),
+            threads_used: 1,
+        };
+        results.point_off.push(0);
+
+        if threads == 1 || sites.len() < SINGLE_THREAD_SWEEP_THRESHOLD {
+            let mut scratch = SweepScratch::checkout(self, pool, plans.is_some());
+            for &site in sites {
+                let (p_sens, gates, n_points) =
+                    self.site_kernel(plans, site, polarity, &mut scratch, &mut results.points);
+                results.p_sensitized.push(p_sens);
+                results.on_path_gates.push(gates);
+                let last = *results.point_off.last().expect("non-empty offsets");
+                results.point_off.push(last + n_points);
+            }
+            scratch.give_back(pool);
+            return results;
+        }
+
+        // --- Batch construction: contiguous position ranges balanced by
+        // cone cost (uniform when no plans exist), oversubscribed so
+        // fast workers steal the tail. --------------------------------
+        let costs: Vec<usize> = match plans {
+            Some(p) => sites.iter().map(|&s| p.plan(s).cost()).collect(),
+            None => vec![1; sites.len()],
+        };
+        let total_cost: usize = costs.iter().sum();
+        let target = (total_cost / (threads * BATCHES_PER_THREAD)).max(1);
+        let mut batches: Vec<Range<usize>> = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (pos, &c) in costs.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                batches.push(start..pos + 1);
+                start = pos + 1;
+                acc = 0;
+            }
+        }
+        if start < sites.len() {
+            batches.push(start..sites.len());
+        }
+
+        let workers = threads.min(batches.len());
+        results.threads_used = workers;
+        let cursor = AtomicUsize::new(0);
+        let mut segments: Vec<Segment> = Vec::with_capacity(batches.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let batches = &batches;
+                    let this = &*self;
+                    scope.spawn(move || {
+                        let mut scratch = SweepScratch::checkout(this, pool, plans.is_some());
+                        let mut segs: Vec<Segment> = Vec::new();
+                        loop {
+                            let b = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(range) = batches.get(b).cloned() else {
+                                break;
+                            };
+                            let mut seg = Segment {
+                                start: range.start,
+                                p_sens: Vec::with_capacity(range.len()),
+                                gates: Vec::with_capacity(range.len()),
+                                point_counts: Vec::with_capacity(range.len()),
+                                points: Vec::new(),
+                            };
+                            for pos in range {
+                                let (p_sens, gates, n_points) = this.site_kernel(
+                                    plans,
+                                    sites[pos],
+                                    polarity,
+                                    &mut scratch,
+                                    &mut seg.points,
+                                );
+                                seg.p_sens.push(p_sens);
+                                seg.gates.push(gates);
+                                seg.point_counts.push(n_points);
+                            }
+                            segs.push(seg);
+                        }
+                        scratch.give_back(pool);
+                        segs
+                    })
+                })
+                .collect();
+            for h in handles {
+                segments.extend(h.join().expect("sweep worker panicked"));
+            }
+        });
+
+        // Stitch segments back in position order: batches partition the
+        // site list contiguously, so concatenation restores it exactly.
+        segments.sort_unstable_by_key(|s| s.start);
+        for seg in segments {
+            debug_assert_eq!(seg.start, results.p_sensitized.len(), "contiguous stitch");
+            results.p_sensitized.extend_from_slice(&seg.p_sens);
+            results.on_path_gates.extend_from_slice(&seg.gates);
+            for c in seg.point_counts {
+                let last = *results.point_off.last().expect("non-empty offsets");
+                results.point_off.push(last + c);
+            }
+            results.points.extend_from_slice(&seg.points);
+        }
+        results
+    }
+
+    /// Dispatches one site to the plan-driven kernel or, when the plan
+    /// arena was declined for size, to the per-site reference kernel —
+    /// both bit-identical, so the choice is invisible in the results.
+    fn site_kernel(
+        &self,
+        plans: Option<&ConePlans>,
+        site: NodeId,
+        polarity: PolarityMode,
+        scratch: &mut SweepScratch,
+        points_out: &mut Vec<PointEpp>,
+    ) -> (f64, u32, u32) {
+        match (plans, scratch) {
+            (Some(plans), SweepScratch::Plan(ws)) => {
+                self.plan_kernel(plans, site, polarity, ws, points_out)
+            }
+            (None, SweepScratch::Reference(ws)) => {
+                let r = self.site_with_workspace(site, polarity, ws);
+                let n_points = u32::try_from(r.per_point().len()).expect("points fit u32");
+                points_out.extend_from_slice(r.per_point());
+                let gates = u32::try_from(r.on_path_gates()).expect("cone fits u32");
+                (r.p_sensitized(), gates, n_points)
+            }
+            _ => unreachable!("scratch kind always matches plan availability"),
+        }
+    }
+
+    /// The allocation-free plan-driven kernel for one site: evaluates
+    /// the precompiled cone over the SoA planes, appends the per-point
+    /// arrivals to `points_out`, and returns
+    /// `(p_sensitized, on-path gates, points appended)`.
+    ///
+    /// Performs the exact same float operations in the exact same order
+    /// as [`site_with_workspace`](Self::site_with_workspace) — the two
+    /// paths are bit-identical by construction.
+    fn plan_kernel(
+        &self,
+        plans: &ConePlans,
+        site: NodeId,
+        polarity: PolarityMode,
+        ws: &mut SweepWorkspace,
+        points_out: &mut Vec<PointEpp>,
+    ) -> (f64, u32, u32) {
+        let plan = plans.plan(site);
+        let len = plan.len();
+        ws.ensure(len);
+        ws.write(0, FourValue::error_site());
+
+        let sp = self.signal_probabilities();
+        for (pos, &kind) in plan.kinds().iter().enumerate().skip(1) {
+            ws.fanin_buf.clear();
+            for &raw in plan.fanin_refs(pos) {
+                let tuple = match FaninRef::decode(raw) {
+                    FaninRef::OnPath(local) => ws.read(local),
+                    FaninRef::OffPath(idx) => {
+                        FourValue::from_signal_probability(sp.get(NodeId::from_index(idx)))
+                    }
+                };
+                ws.fanin_buf.push(tuple);
+            }
+            let mut out = propagate(kind, &ws.fanin_buf);
+            if polarity == PolarityMode::Merged {
+                // Collapse Pā into Pa after every gate — same ablation
+                // transform as the reference path.
+                out = FourValue::new_clamped(out.p_arrival(), 0.0, out.p0(), out.p1());
+            }
+            ws.write(pos, out);
+        }
+
+        let observe: &[ObservePoint] = self.artifacts().observe_points();
+        let first = points_out.len();
+        for &(obs, local) in plan.observe_refs() {
+            points_out.push(PointEpp {
+                point: observe[obs as usize],
+                value: ws.read(local as usize),
+            });
+        }
+        let p_sensitized =
+            combine_sensitization(points_out[first..].iter().map(PointEpp::p_arrival));
+        let gates = u32::try_from(len - 1).expect("cone fits u32");
+        let n_points = u32::try_from(points_out.len() - first).expect("points fit u32");
+        (p_sensitized, gates, n_points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+    use ser_sp::{IndependentSp, InputProbs, SpEngine};
+
+    fn analysis(c: &ser_netlist::Circuit) -> EppAnalysis<'_> {
+        let sp = IndependentSp::new()
+            .compute(c, &InputProbs::default())
+            .unwrap();
+        EppAnalysis::new(c, sp).unwrap()
+    }
+
+    const FIG1: &str = "
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(F)
+OUTPUT(H)
+E = NOT(A)
+D = AND(A, B)
+G = AND(E, F)
+H = OR(C, D, G)
+";
+
+    #[test]
+    fn sweep_matches_per_site_reference_bitwise() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            let sweep = epp.sweep_with(polarity, 1, &pool);
+            assert_eq!(sweep.len(), c.len());
+            for id in c.node_ids() {
+                let reference = epp.site_with(id, polarity);
+                let batched = sweep.site(id);
+                assert_eq!(batched.site(), reference.site());
+                // Exact f64 equality — bit-identity, not epsilon.
+                assert_eq!(batched.p_sensitized(), reference.p_sensitized());
+                assert_eq!(batched.on_path_gates(), reference.on_path_gates());
+                assert_eq!(batched.per_point(), reference.per_point());
+                assert_eq!(batched.to_site_epp(), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_sweep_preserves_request_order() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let h = c.find("H").unwrap();
+        let a = c.find("A").unwrap();
+        let subset = [h, a];
+        let sweep = epp.sweep_sites_with(&subset, PolarityMode::Tracked, 1, &pool);
+        assert_eq!(sweep.sites(), &subset);
+        assert_eq!(sweep.get(0).site(), h);
+        assert_eq!(sweep.get(1).site(), a);
+        assert_eq!(sweep.site(a).to_site_epp(), epp.site(a));
+        assert_eq!(sweep.site(h).to_site_epp(), epp.site(h));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not analyzed")]
+    fn subset_sweep_rejects_unanalyzed_site() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let h = c.find("H").unwrap();
+        let sweep = epp.sweep_sites_with(&[h], PolarityMode::Tracked, 1, &pool);
+        let _ = sweep.site(c.find("A").unwrap());
+    }
+
+    #[test]
+    fn small_sweeps_run_single_threaded() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let sweep = epp.sweep(8, &pool);
+        assert!(c.len() < SINGLE_THREAD_SWEEP_THRESHOLD);
+        assert_eq!(sweep.threads_used(), 1);
+    }
+
+    #[test]
+    fn parallel_sweep_reports_workers_and_matches_sequential() {
+        // Large enough to cross the threshold.
+        let c = ser_gen_like_chain(200);
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let seq = epp.sweep(1, &pool);
+        let par = epp.sweep(4, &pool);
+        assert_eq!(seq.threads_used(), 1);
+        assert!(par.threads_used() >= 2, "got {}", par.threads_used());
+        assert_eq!(seq.p_sensitized(), par.p_sensitized());
+        assert_eq!(seq.to_site_epps(), par.to_site_epps());
+    }
+
+    /// A long AND chain with a side input per stage: cone sizes vary
+    /// from the whole chain down to 1, exercising the cost balancing.
+    fn ser_gen_like_chain(stages: usize) -> ser_netlist::Circuit {
+        let mut src = String::from("INPUT(x0)\n");
+        for i in 0..stages {
+            src.push_str(&format!("INPUT(s{i})\n"));
+        }
+        src.push_str(&format!("OUTPUT(g{})\n", stages - 1));
+        for i in 0..stages {
+            let prev = if i == 0 {
+                "x0".to_owned()
+            } else {
+                format!("g{}", i - 1)
+            };
+            src.push_str(&format!("g{i} = AND({prev}, s{i})\n"));
+        }
+        parse_bench(&src, "chain").unwrap()
+    }
+
+    #[test]
+    fn planless_fallback_is_bit_identical() {
+        // When the plan arena is declined for size, sweep_impl runs the
+        // per-site reference kernel under the same scheduler. Force the
+        // planless path directly and compare against the planned one.
+        let c = ser_gen_like_chain(200);
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let sites: Vec<ser_netlist::NodeId> = c.node_ids().collect();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            let planned = epp.sweep_with(polarity, 1, &pool);
+            for threads in [1usize, 4] {
+                let planless = epp.sweep_impl(&sites, polarity, threads, &pool, None);
+                assert_eq!(planless, planned, "{threads} threads ({polarity:?})");
+            }
+        }
+        // The fallback checked out per-site workspaces, not sweep ones.
+        assert!(pool.idle() >= 1);
+    }
+
+    #[test]
+    fn sweep_workspaces_are_pooled() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        assert_eq!(pool.idle_sweep(), 0);
+        let _ = epp.sweep(1, &pool);
+        assert_eq!(pool.idle_sweep(), 1);
+        let _ = epp.sweep(1, &pool);
+        assert_eq!(pool.idle_sweep(), 1, "reused, not re-created");
+    }
+
+    #[test]
+    fn dead_and_observed_sites_round_trip() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(b)\nu = NOT(a)\n", "dead").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let sweep = epp.sweep(1, &pool);
+        let u = c.find("u").unwrap();
+        assert_eq!(sweep.site(u).p_sensitized(), 0.0);
+        assert!(sweep.site(u).per_point().is_empty());
+        let b = c.find("b").unwrap();
+        assert_eq!(sweep.site(b).p_sensitized(), 1.0);
+        assert_eq!(sweep.site(b).arrival_at(b).unwrap().pa(), 1.0);
+        assert_eq!(sweep.total_points(), 1, "only b's own arrival is stored");
+    }
+
+    #[test]
+    fn empty_site_list_is_fine() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let sweep = epp.sweep_sites_with(&[], PolarityMode::Tracked, 2, &pool);
+        assert!(sweep.is_empty());
+        assert_eq!(sweep.len(), 0);
+        assert_eq!(sweep.total_points(), 0);
+    }
+}

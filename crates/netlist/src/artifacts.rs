@@ -9,12 +9,18 @@
 //! to the EPP engine, the simulators and the signal-probability
 //! engines.
 
+use std::sync::{Arc, OnceLock};
+
 use crate::circuit::{Circuit, NodeId, ObservePoint};
 use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::plan::ConePlans;
 use crate::topo;
 
 /// The compiled structural context of one circuit: topological order,
-/// topological positions and observe points, computed exactly once.
+/// topological positions, observe points and the DFF-clipped fanout
+/// adjacency in CSR form, computed exactly once — plus a lazily built,
+/// shared [`ConePlans`] cache for the whole-circuit sweep.
 ///
 /// The artifacts are immutable and refer to the circuit only by node
 /// ids, so they stay valid for as long as the circuit is unchanged and
@@ -35,16 +41,40 @@ use crate::topo;
 /// assert_eq!(topo.observe_points().len(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TopoArtifacts {
     order: Vec<NodeId>,
     position: Vec<u32>,
     observe: Vec<ObservePoint>,
+    /// CSR offsets into `comb_fanout`: node `i`'s combinational
+    /// successors are `comb_fanout[comb_fanout_off[i]..comb_fanout_off[i+1]]`.
+    comb_fanout_off: Vec<u32>,
+    /// Flattened DFF-clipped fanout lists (an error does not propagate
+    /// *through* a flip-flop within a cycle, so edges into DFF nodes are
+    /// dropped here once instead of being re-filtered per traversal).
+    comb_fanout: Vec<NodeId>,
+    /// Lazily built cone plans, shared by every clone of these
+    /// artifacts (cloning shares the already-built cache). `Some(None)`
+    /// records that the circuit's plan arena exceeded the member budget
+    /// and per-site traversal should be used instead.
+    plans: OnceLock<Option<Arc<ConePlans>>>,
+}
+
+/// Equality ignores the lazy plan cache: two artifacts are equal when
+/// their structural content is.
+impl PartialEq for TopoArtifacts {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+            && self.position == other.position
+            && self.observe == other.observe
+            && self.comb_fanout_off == other.comb_fanout_off
+            && self.comb_fanout == other.comb_fanout
+    }
 }
 
 impl TopoArtifacts {
-    /// Computes the artifacts for `circuit`: one topological sort plus
-    /// one observe-point scan.
+    /// Computes the artifacts for `circuit`: one topological sort, one
+    /// observe-point scan and one fanout-adjacency flattening.
     ///
     /// # Errors
     ///
@@ -57,10 +87,24 @@ impl TopoArtifacts {
             position[id.index()] = u32::try_from(i).expect("node count fits u32");
         }
         let observe = circuit.observe_points().collect();
+        let mut comb_fanout_off = Vec::with_capacity(circuit.len() + 1);
+        let mut comb_fanout = Vec::new();
+        comb_fanout_off.push(0);
+        for id in circuit.node_ids() {
+            for &succ in circuit.node(id).fanout() {
+                if circuit.node(succ).kind() != GateKind::Dff {
+                    comb_fanout.push(succ);
+                }
+            }
+            comb_fanout_off.push(u32::try_from(comb_fanout.len()).expect("edge count fits u32"));
+        }
         Ok(TopoArtifacts {
             order,
             position,
             observe,
+            comb_fanout_off,
+            comb_fanout,
+            plans: OnceLock::new(),
         })
     }
 
@@ -93,6 +137,47 @@ impl TopoArtifacts {
     #[must_use]
     pub fn observe_points(&self) -> &[ObservePoint] {
         &self.observe
+    }
+
+    /// The DFF-clipped combinational fanout of one node: every
+    /// successor an error can combinationally propagate into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the circuit these artifacts
+    /// were computed from.
+    #[must_use]
+    pub fn comb_fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.comb_fanout[self.comb_fanout_off[id.index()] as usize
+            ..self.comb_fanout_off[id.index() + 1] as usize]
+    }
+
+    /// The cached per-site cone plans, built on first use and shared by
+    /// every consumer of these artifacts (the batched sweep engine reads
+    /// them instead of re-running a DFS + sort per site per sweep).
+    ///
+    /// Returns `None` — once, cached — when the circuit's plan arena
+    /// would exceed [`ConePlans::DEFAULT_MEMBER_BUDGET`] total cone
+    /// members (sum-of-cones is Θ(n²) in the worst case); callers fall
+    /// back to per-site traversal, which needs only O(n) scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is not the circuit these artifacts were
+    /// computed from.
+    #[must_use]
+    pub fn cone_plans(&self, circuit: &Circuit) -> Option<&Arc<ConePlans>> {
+        assert_eq!(
+            circuit.len(),
+            self.len(),
+            "cone plans require the artifacts' own circuit"
+        );
+        self.plans
+            .get_or_init(|| {
+                ConePlans::build_bounded(circuit, self, ConePlans::DEFAULT_MEMBER_BUDGET)
+                    .map(Arc::new)
+            })
+            .as_ref()
     }
 
     /// Number of nodes covered.
@@ -146,6 +231,46 @@ mod tests {
                 Err(NetlistError::CombinationalCycle { .. })
             ));
         }
+    }
+
+    #[test]
+    fn comb_fanout_matches_filtered_node_fanout() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(u)\nu = NAND(a, b)\nq = DFF(u)\ny = XOR(u, q)\n",
+            "t",
+        )
+        .unwrap();
+        let t = TopoArtifacts::compute(&c).unwrap();
+        for id in c.node_ids() {
+            let expected: Vec<_> = c
+                .node(id)
+                .fanout()
+                .iter()
+                .copied()
+                .filter(|&s| c.node(s).kind() != crate::GateKind::Dff)
+                .collect();
+            assert_eq!(t.comb_fanout(id), expected.as_slice(), "node {id}");
+        }
+        // u drives the DFF q and the XOR y: only y survives clipping.
+        let u = c.find("u").unwrap();
+        let y = c.find("y").unwrap();
+        assert_eq!(t.comb_fanout(u), &[y]);
+    }
+
+    #[test]
+    fn cone_plans_are_cached_and_shared() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let t = TopoArtifacts::compute(&c).unwrap();
+        let p1 = std::sync::Arc::clone(t.cone_plans(&c).expect("tiny circuit fits budget"));
+        let p2 = std::sync::Arc::clone(t.cone_plans(&c).unwrap());
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2), "built once, shared");
+        assert_eq!(p1.len(), c.len());
+        // Clones of the artifacts share the already-built cache.
+        let t2 = t.clone();
+        assert!(std::sync::Arc::ptr_eq(t2.cone_plans(&c).unwrap(), &p1));
+        // Equality ignores cache state.
+        let fresh = TopoArtifacts::compute(&c).unwrap();
+        assert_eq!(t, fresh);
     }
 
     #[test]

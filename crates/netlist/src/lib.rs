@@ -44,6 +44,7 @@ mod cone;
 mod error;
 mod gate;
 mod parse;
+mod plan;
 mod scoap;
 mod stats;
 mod topo;
@@ -58,6 +59,7 @@ pub use cone::{fanin_mask, support, FanoutCone};
 pub use error::{NetlistError, ParseError};
 pub use gate::{GateKind, ParseGateKindError};
 pub use parse::parse_bench;
+pub use plan::{ConePlan, ConePlans, FaninRef};
 pub use scoap::{Scoap, SCOAP_INFINITY};
 pub use stats::CircuitStats;
 pub use topo::{depth, is_topo_order, levelize, topo_order};

@@ -1,0 +1,540 @@
+//! Precomputed per-site cone plans — the compiled form of the paper's
+//! "path construction" step.
+//!
+//! The per-site EPP pass needs, for every error site: the DFF-clipped
+//! fanout cone in topological order, each cone member's gate kind, and
+//! each member fanin classified as **on-path** (it carries a four-value
+//! tuple, addressed by its cone-local position) or **off-path** (it is
+//! described by its signal probability, addressed by node id). The
+//! legacy sweep rediscovered all of this per site per sweep — a DFS, a
+//! sort and a per-fanin membership test. [`ConePlans`] computes it
+//! **once per circuit** in one flat CSR-style arena, so a sweep kernel
+//! degenerates to reading precomputed indices.
+
+use crate::artifacts::TopoArtifacts;
+use crate::circuit::{Circuit, NodeId};
+use crate::gate::GateKind;
+
+/// Bit marking a fanin reference as off-path (node index) rather than
+/// on-path (cone-local index).
+const OFF_PATH_BIT: u32 = 1 << 31;
+
+/// One decoded fanin reference of a cone member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaninRef {
+    /// The fanin is inside the cone: its value is the four-value tuple
+    /// at this cone-local position.
+    OnPath(usize),
+    /// The fanin is outside the cone: its value is the signal
+    /// probability of this node (by [`NodeId::index`]).
+    OffPath(usize),
+}
+
+impl FaninRef {
+    /// Decodes a packed reference.
+    #[inline]
+    #[must_use]
+    pub fn decode(raw: u32) -> Self {
+        if raw & OFF_PATH_BIT == 0 {
+            FaninRef::OnPath(raw as usize)
+        } else {
+            FaninRef::OffPath((raw & !OFF_PATH_BIT) as usize)
+        }
+    }
+
+    fn encode_on_path(local: u32) -> u32 {
+        debug_assert_eq!(local & OFF_PATH_BIT, 0, "cone larger than 2^31");
+        local
+    }
+
+    fn encode_off_path(node: NodeId) -> u32 {
+        let idx = u32::try_from(node.index()).expect("node index fits u32");
+        debug_assert_eq!(idx & OFF_PATH_BIT, 0, "circuit larger than 2^31 nodes");
+        idx | OFF_PATH_BIT
+    }
+}
+
+/// The compiled cone plans of every site of one circuit, stored as one
+/// flat arena (no per-site allocation once built).
+///
+/// Layout: `members`/`kinds`/`member_fanin_off` are parallel arrays over
+/// all cone members of all sites; `member_off` delimits each site's
+/// slice. The site itself is always member 0 of its own cone and cone
+/// members appear in topological order, so evaluating members
+/// `1..len` in sequence visits every on-path gate after all of its
+/// on-path fanins.
+///
+/// # Examples
+///
+/// ```
+/// use ser_netlist::{parse_bench, FaninRef, TopoArtifacts};
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let topo = TopoArtifacts::compute(&c)?;
+/// let plans = topo.cone_plans(&c).expect("tiny circuit fits the plan budget");
+/// let a = c.find("a").unwrap();
+/// let plan = plans.plan(a);
+/// assert_eq!(plan.len(), 2); // a itself plus the AND gate
+/// // The AND gate reads one on-path fanin (a, cone-local 0) and one
+/// // off-path fanin (b, by node id).
+/// let refs: Vec<FaninRef> = plan.fanin_refs(1).iter().map(|&r| FaninRef::decode(r)).collect();
+/// let b = c.find("b").unwrap();
+/// assert!(refs.contains(&FaninRef::OnPath(0)));
+/// assert!(refs.contains(&FaninRef::OffPath(b.index())));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConePlans {
+    /// Per site: range `member_off[i]..member_off[i+1]` into the member
+    /// arrays. Length `n + 1`.
+    member_off: Vec<u32>,
+    /// Cone members, site first, then the on-path gates in topological
+    /// order.
+    members: Vec<NodeId>,
+    /// Gate kind per member (the site's own entry is present but unused
+    /// by the kernel).
+    kinds: Vec<GateKind>,
+    /// Per member: range into `fanin_refs` (empty for each site's own
+    /// entry). Length `members.len() + 1`.
+    member_fanin_off: Vec<u32>,
+    /// Packed fanin references (see [`FaninRef::decode`]), in fanin
+    /// declaration order, duplicates preserved.
+    fanin_refs: Vec<u32>,
+    /// Per site: range into `observe_refs`. Length `n + 1`.
+    observe_off: Vec<u32>,
+    /// `(observe-point index, cone-local position of its signal)` pairs,
+    /// ordered by observe-point index — the same order the artifacts'
+    /// observe list has.
+    observe_refs: Vec<(u32, u32)>,
+    /// Largest cone size over all sites (workspace sizing).
+    max_cone_len: usize,
+}
+
+impl ConePlans {
+    /// Default budget for the total member count of one circuit's plan
+    /// arena (~1.3 GB at ~20 bytes amortized per member). Sum-of-cones
+    /// is Θ(n²) in the worst case (deep chain-dominated circuits), so
+    /// consumers must be prepared for [`build_bounded`](Self::build_bounded)
+    /// to decline and fall back to per-site traversal.
+    pub const DEFAULT_MEMBER_BUDGET: usize = 1 << 26;
+
+    /// Builds the plans for every node of `circuit`. One DFS + one sort
+    /// per site, paid once; `topo` supplies the positions and the
+    /// DFF-clipped fanout adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` was not computed from `circuit`.
+    #[must_use]
+    pub fn build(circuit: &Circuit, topo: &TopoArtifacts) -> Self {
+        Self::build_bounded(circuit, topo, usize::MAX).expect("unbounded build cannot decline")
+    }
+
+    /// Like [`build`](Self::build), but aborts and returns `None` as
+    /// soon as the arena would exceed `max_members` total cone members —
+    /// the guard that keeps pathological Θ(n²) circuits from exhausting
+    /// memory (the per-site reference path handles them in O(n) scratch
+    /// instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` was not computed from `circuit`.
+    #[must_use]
+    pub fn build_bounded(
+        circuit: &Circuit,
+        topo: &TopoArtifacts,
+        max_members: usize,
+    ) -> Option<Self> {
+        let n = circuit.len();
+        assert_eq!(topo.len(), n, "artifacts must cover every node");
+
+        // Observe points indexed by observed signal, in observe order.
+        let observe = topo.observe_points();
+        let mut obs_of_signal: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, p) in observe.iter().enumerate() {
+            obs_of_signal[p.signal().index()].push(u32::try_from(i).expect("observe fits u32"));
+        }
+
+        let mut plans = ConePlans {
+            member_off: Vec::with_capacity(n + 1),
+            members: Vec::new(),
+            kinds: Vec::new(),
+            member_fanin_off: vec![0],
+            fanin_refs: Vec::new(),
+            observe_off: Vec::with_capacity(n + 1),
+            observe_refs: Vec::new(),
+            max_cone_len: 0,
+        };
+        plans.member_off.push(0);
+        plans.observe_off.push(0);
+
+        // Scratch shared across sites: epoch-stamped membership and the
+        // node -> cone-local map.
+        let mut stamp = vec![0u32; n];
+        let mut local = vec![0u32; n];
+        let mut cone: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut site_obs: Vec<(u32, u32)> = Vec::new();
+
+        for site_idx in 0..n {
+            let site = NodeId::from_index(site_idx);
+            let epoch = u32::try_from(site_idx + 1).expect("site count fits u32");
+
+            // DFS over the DFF-clipped fanout adjacency.
+            cone.clear();
+            stack.clear();
+            stamp[site_idx] = epoch;
+            cone.push(site);
+            stack.push(site);
+            while let Some(id) = stack.pop() {
+                for &succ in topo.comb_fanout(id) {
+                    if stamp[succ.index()] != epoch {
+                        stamp[succ.index()] = epoch;
+                        cone.push(succ);
+                        stack.push(succ);
+                    }
+                }
+            }
+            // Topological order within the cone (positions are a total
+            // order, so this matches any stable per-site re-sort).
+            cone.sort_unstable_by_key(|id| topo.position(*id));
+            debug_assert_eq!(cone[0], site, "site orders first in its own cone");
+            if plans.members.len() + cone.len() > max_members {
+                return None;
+            }
+            plans.max_cone_len = plans.max_cone_len.max(cone.len());
+
+            for (pos, &id) in cone.iter().enumerate() {
+                local[id.index()] = u32::try_from(pos).expect("cone fits u32");
+            }
+            site_obs.clear();
+            for (pos, &id) in cone.iter().enumerate() {
+                let node = circuit.node(id);
+                plans.members.push(id);
+                plans.kinds.push(node.kind());
+                if pos > 0 {
+                    debug_assert!(
+                        node.kind().is_logic(),
+                        "on-path non-site nodes are logic gates"
+                    );
+                    for &f in node.fanin() {
+                        plans.fanin_refs.push(if stamp[f.index()] == epoch {
+                            FaninRef::encode_on_path(local[f.index()])
+                        } else {
+                            FaninRef::encode_off_path(f)
+                        });
+                    }
+                }
+                plans
+                    .member_fanin_off
+                    .push(u32::try_from(plans.fanin_refs.len()).expect("fanin refs fit u32"));
+                for &obs in &obs_of_signal[id.index()] {
+                    site_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
+                }
+            }
+            // Reachable observe points in the artifacts' observe order.
+            site_obs.sort_unstable();
+            plans.observe_refs.extend_from_slice(&site_obs);
+
+            plans
+                .member_off
+                .push(u32::try_from(plans.members.len()).expect("cone members fit u32"));
+            plans
+                .observe_off
+                .push(u32::try_from(plans.observe_refs.len()).expect("observe refs fit u32"));
+        }
+        Some(plans)
+    }
+
+    /// Number of sites covered (one plan per circuit node).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.member_off.len() - 1
+    }
+
+    /// `true` for an empty circuit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest cone size over all sites — the capacity a cone-local
+    /// value plane needs.
+    #[must_use]
+    pub fn max_cone_len(&self) -> usize {
+        self.max_cone_len
+    }
+
+    /// Total cone members over all sites (a memory/cost indicator).
+    #[must_use]
+    pub fn total_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Total reachable observe points over all sites — the exact arena
+    /// size a whole-circuit sweep's per-point results need.
+    #[must_use]
+    pub fn total_observe_refs(&self) -> usize {
+        self.observe_refs.len()
+    }
+
+    /// The plan of one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn plan(&self, site: NodeId) -> ConePlan<'_> {
+        assert!(site.index() < self.len(), "site {site} out of range");
+        ConePlan {
+            plans: self,
+            site: site.index(),
+        }
+    }
+}
+
+/// A borrowed view of one site's cone plan inside [`ConePlans`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConePlan<'a> {
+    plans: &'a ConePlans,
+    site: usize,
+}
+
+impl<'a> ConePlan<'a> {
+    /// The error site this plan was compiled for.
+    #[must_use]
+    pub fn site(&self) -> NodeId {
+        NodeId::from_index(self.site)
+    }
+
+    fn member_range(&self) -> std::ops::Range<usize> {
+        self.plans.member_off[self.site] as usize..self.plans.member_off[self.site + 1] as usize
+    }
+
+    /// Number of cone members (site included); at least 1.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.member_range().len()
+    }
+
+    /// Always `false`: a cone contains at least its site.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cone members in topological order; `members()[0]` is the site.
+    #[must_use]
+    pub fn members(&self) -> &'a [NodeId] {
+        &self.plans.members[self.member_range()]
+    }
+
+    /// Gate kinds parallel to [`members`](Self::members).
+    #[must_use]
+    pub fn kinds(&self) -> &'a [GateKind] {
+        &self.plans.kinds[self.member_range()]
+    }
+
+    /// Packed fanin references of cone member `pos` (decode with
+    /// [`FaninRef::decode`]). Empty for `pos == 0` (the site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range for the cone.
+    #[must_use]
+    pub fn fanin_refs(&self, pos: usize) -> &'a [u32] {
+        let range = self.member_range();
+        assert!(pos < range.len(), "cone member {pos} out of range");
+        let m = range.start + pos;
+        &self.plans.fanin_refs
+            [self.plans.member_fanin_off[m] as usize..self.plans.member_fanin_off[m + 1] as usize]
+    }
+
+    /// Reachable observe points as `(observe index, cone-local position
+    /// of the observed signal)` pairs, ordered by observe index —
+    /// the artifacts' observe order restricted to this cone.
+    #[must_use]
+    pub fn observe_refs(&self) -> &'a [(u32, u32)] {
+        &self.plans.observe_refs[self.plans.observe_off[self.site] as usize
+            ..self.plans.observe_off[self.site + 1] as usize]
+    }
+
+    /// `true` if no observe point is reachable from the site.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.observe_refs().is_empty()
+    }
+
+    /// Evaluation cost indicator: cone members plus fanin references —
+    /// proportional to the work one EPP pass over this cone performs.
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        let range = self.member_range();
+        let fanins = self.plans.member_fanin_off[range.end] as usize
+            - self.plans.member_fanin_off[range.start] as usize;
+        range.len() + fanins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::FanoutCone;
+    use crate::parse::parse_bench;
+
+    const FIG1: &str = "
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(F)
+OUTPUT(H)
+E = NOT(A)
+D = AND(A, B)
+G = AND(E, F)
+H = OR(C, D, G)
+";
+
+    #[test]
+    fn plans_match_fanout_cones() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        assert_eq!(plans.len(), c.len());
+        for id in c.node_ids() {
+            let plan = plans.plan(id);
+            let cone = FanoutCone::extract(&c, id);
+            // Same membership (plan is topo-sorted, cone id-sorted).
+            let mut plan_members: Vec<NodeId> = plan.members().to_vec();
+            plan_members.sort_unstable();
+            assert_eq!(plan_members, cone.on_path(), "site {id}");
+            assert_eq!(plan.members()[0], id, "site first");
+            // Topological order.
+            for w in plan.members().windows(2) {
+                assert!(topo.position(w[0]) < topo.position(w[1]));
+            }
+            // Observe points match.
+            assert_eq!(plan.observe_refs().len(), cone.observe_points().len());
+            assert_eq!(plan.is_dead(), cone.is_dead());
+            for &(obs, local) in plan.observe_refs() {
+                let p = topo.observe_points()[obs as usize];
+                assert_eq!(plan.members()[local as usize], p.signal());
+            }
+        }
+    }
+
+    #[test]
+    fn fanin_classification_is_exact() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        let a = c.find("A").unwrap();
+        let plan = plans.plan(a);
+        let cone = FanoutCone::extract(&c, a);
+        for (pos, &member) in plan.members().iter().enumerate() {
+            if pos == 0 {
+                assert!(plan.fanin_refs(0).is_empty(), "site has no refs");
+                continue;
+            }
+            let node = c.node(member);
+            let refs = plan.fanin_refs(pos);
+            assert_eq!(refs.len(), node.fanin().len(), "one ref per fanin pin");
+            for (&raw, &f) in refs.iter().zip(node.fanin()) {
+                match FaninRef::decode(raw) {
+                    FaninRef::OnPath(local) => {
+                        assert!(cone.contains(f), "{f} claimed on-path");
+                        assert_eq!(plan.members()[local], f);
+                    }
+                    FaninRef::OffPath(idx) => {
+                        assert!(!cone.contains(f), "{f} claimed off-path");
+                        assert_eq!(idx, f.index());
+                    }
+                }
+            }
+        }
+        // Fig. 1: H = OR(C, D, G) with C off-path, D and G on-path.
+        let h_pos = plan
+            .members()
+            .iter()
+            .position(|&m| m == c.find("H").unwrap())
+            .unwrap();
+        let decoded: Vec<FaninRef> = plan
+            .fanin_refs(h_pos)
+            .iter()
+            .map(|&r| FaninRef::decode(r))
+            .collect();
+        assert!(matches!(decoded[0], FaninRef::OffPath(_)), "C off-path");
+        assert!(matches!(decoded[1], FaninRef::OnPath(_)), "D on-path");
+        assert!(matches!(decoded[2], FaninRef::OnPath(_)), "G on-path");
+    }
+
+    #[test]
+    fn duplicate_fanin_pins_are_preserved() {
+        // y = AND(a, a): the plan must carry two references to `a`.
+        let c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n", "dup").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        let a = c.find("a").unwrap();
+        let plan = plans.plan(a);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.fanin_refs(1), &[0, 0], "both pins resolve to local 0");
+    }
+
+    #[test]
+    fn dff_clips_the_cone_but_is_observed() {
+        let c = parse_bench(
+            "INPUT(x)\nOUTPUT(z)\ng = NOT(x)\nq = DFF(g)\nz = NOT(q)\n",
+            "seq",
+        )
+        .unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        let x = c.find("x").unwrap();
+        let plan = plans.plan(x);
+        let member_names: Vec<&str> = plan.members().iter().map(|&m| c.node(m).name()).collect();
+        assert_eq!(member_names, vec!["x", "g"], "cone stops at the DFF");
+        assert_eq!(plan.observe_refs().len(), 1);
+        let (obs, local) = plan.observe_refs()[0];
+        assert!(topo.observe_points()[obs as usize].is_flip_flop());
+        assert_eq!(c.node(plan.members()[local as usize]).name(), "g");
+    }
+
+    #[test]
+    fn cost_counts_members_and_fanins() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        let a = c.find("A").unwrap();
+        // Cone {A, E, D, G, H}: 5 members; fanins E:1, D:2, G:2, H:3 = 8.
+        assert_eq!(plans.plan(a).cost(), 13);
+        assert!(plans.max_cone_len() >= 5);
+        assert_eq!(
+            plans.total_observe_refs(),
+            c.node_ids()
+                .map(|i| plans.plan(i).observe_refs().len())
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn bounded_build_declines_over_budget() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let full = ConePlans::build(&c, &topo);
+        // A budget below the real total: declined.
+        assert!(ConePlans::build_bounded(&c, &topo, full.total_members() - 1).is_none());
+        // At or above the total: identical to the unbounded build.
+        let bounded = ConePlans::build_bounded(&c, &topo, full.total_members()).unwrap();
+        assert_eq!(bounded, full);
+    }
+
+    #[test]
+    fn empty_circuit_has_no_plans() {
+        let c = crate::builder::CircuitBuilder::new("empty")
+            .finish()
+            .unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        assert!(plans.is_empty());
+        assert_eq!(plans.max_cone_len(), 0);
+    }
+}

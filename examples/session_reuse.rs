@@ -44,8 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = Instant::now();
     let outcome = analysis.run_with_session(&session);
     println!(
-        "analytical sweep over {} sites: {:?}",
-        outcome.sites().len(),
+        "analytical sweep over {} sites ({} threads used): {:?}",
+        outcome.len(),
+        outcome.threads_used(),
         t.elapsed()
     );
 

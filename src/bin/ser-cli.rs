@@ -65,10 +65,11 @@ fn cmd_analyze(path: &str, top: usize, threads: usize) -> Result<(), String> {
         .with_threads(threads)
         .run_with_session(&session);
     println!(
-        "analyzed {} nodes in {:?} (SP: {:?})",
+        "analyzed {} nodes in {:?} (SP: {:?}, {} of {threads} requested threads used)",
         c.len(),
         outcome.epp_time(),
-        outcome.sp_time()
+        outcome.sp_time(),
+        outcome.threads_used(),
     );
     println!("total SER (unit models): {:.4}\n", outcome.report().total());
     println!("{:<16} {:>12} {:>12}", "node", "P_sens", "SER");
@@ -90,6 +91,8 @@ fn cmd_epp(path: &str, node_name: &str) -> Result<(), String> {
         .find(node_name)
         .ok_or_else(|| format!("no node named `{node_name}` in {path}"))?;
     let session = AnalysisSession::new(&c).map_err(|e| e.to_string())?;
+    // Single-site query: the per-site path costs one DFS; compiling the
+    // whole circuit's cone plans only pays off for sweeps.
     let r = session.site(site);
     println!(
         "site `{node_name}`: {} on-path gates, P_sensitized = {:.4}",

@@ -21,7 +21,7 @@ fn table2_shape_on_small_standin() {
     let c = iscas89_like("s298").unwrap();
     let outcome = CircuitSerAnalysis::new().run(&c).unwrap();
     // Every node got a result, timings recorded.
-    assert_eq!(outcome.sites().len(), c.len());
+    assert_eq!(outcome.len(), c.len());
     assert!(outcome.epp_time().as_nanos() > 0);
     // Outputs are certainly sensitized; the total is positive.
     assert!(outcome.report().total() > 0.0);

@@ -1,0 +1,139 @@
+//! The batched cone-plan sweep must be **bit-identical** to the
+//! retained per-site reference path (`site_with_workspace`) — same
+//! `P_sensitized`, same per-point tuples, same gate counts, for every
+//! site, in both polarity modes, regardless of thread count. This is
+//! the contract that lets the whole product run on the fast engine
+//! while the slow engine stays the semantic definition.
+
+use proptest::prelude::*;
+use ser_suite::epp::{EppAnalysis, PolarityMode, SiteWorkspace, SweepResults, WorkspacePool};
+use ser_suite::gen::RandomDag;
+use ser_suite::netlist::Circuit;
+use ser_suite::sp::{IndependentSp, InputProbs, SpEngine};
+
+fn dag_strategy() -> impl Strategy<Value = (usize, usize, f64, f64, u64)> {
+    (
+        2usize..8,   // inputs
+        3usize..120, // gates (crosses the single-thread threshold)
+        0.0f64..1.0, // reconvergence
+        0.0f64..0.5, // xor fraction
+        0u64..1_000, // seed
+    )
+}
+
+fn build(inputs: usize, gates: usize, reconv: f64, xf: f64, seed: u64) -> Circuit {
+    RandomDag::new(inputs, gates)
+        .with_reconvergence(reconv)
+        .with_xor_fraction(xf)
+        .build(seed)
+}
+
+/// Asserts one sweep against per-site reference passes, bit for bit.
+fn assert_sweep_matches_reference(
+    circuit: &Circuit,
+    analysis: &EppAnalysis<'_>,
+    sweep: &SweepResults,
+    polarity: PolarityMode,
+) {
+    assert_eq!(sweep.len(), circuit.len());
+    let mut ws = SiteWorkspace::new(analysis);
+    for id in circuit.node_ids() {
+        let reference = analysis.site_with_workspace(id, polarity, &mut ws);
+        let batched = sweep.site(id);
+        assert_eq!(batched.site(), reference.site());
+        // `==` on f64 and on the tuple types: exact bit-identity, no
+        // epsilon anywhere.
+        assert_eq!(
+            batched.p_sensitized(),
+            reference.p_sensitized(),
+            "site {id} ({polarity:?})"
+        );
+        assert_eq!(batched.on_path_gates(), reference.on_path_gates());
+        assert_eq!(batched.per_point(), reference.per_point());
+    }
+}
+
+/// Sequential circuits (DFF-clipped cones, flip-flop observe points)
+/// go through the same identity, deterministically.
+#[test]
+fn sequential_circuits_bit_identical() {
+    use ser_suite::gen::{accumulator, iscas89_like, lfsr, shift_register};
+    for c in [
+        shift_register(8),
+        lfsr(&[7, 5, 4, 3]),
+        accumulator(4),
+        iscas89_like("s298").unwrap(),
+    ] {
+        let sp = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        let pool = WorkspacePool::new();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            let single = analysis.sweep_with(polarity, 1, &pool);
+            let multi = analysis.sweep_with(polarity, 4, &pool);
+            assert_eq!(single, multi, "{} ({polarity:?})", c.name());
+            let mut ws = SiteWorkspace::new(&analysis);
+            for id in c.node_ids() {
+                let reference = analysis.site_with_workspace(id, polarity, &mut ws);
+                let batched = single.site(id);
+                assert_eq!(batched.p_sensitized(), reference.p_sensitized());
+                assert_eq!(batched.per_point(), reference.per_point());
+                assert_eq!(batched.on_path_gates(), reference.on_path_gates());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batched sweep == per-site reference, Tracked and Merged, on
+    /// random DAGs spanning tree-like to densely reconvergent.
+    #[test]
+    fn sweep_bit_identical_to_reference((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = build(inputs, gates, reconv, xf, seed);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        let pool = WorkspacePool::new();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            let sweep = analysis.sweep_with(polarity, 1, &pool);
+            assert_sweep_matches_reference(&c, &analysis, &sweep, polarity);
+        }
+    }
+
+    /// Thread count must not change a single bit: the scheduler's
+    /// dynamic batch assignment stitches results back in site order.
+    #[test]
+    fn sweep_thread_count_invariant((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = build(inputs, gates, reconv, xf, seed);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        let pool = WorkspacePool::new();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            let single = analysis.sweep_with(polarity, 1, &pool);
+            for threads in [2usize, 5, 8] {
+                let multi = analysis.sweep_with(polarity, threads, &pool);
+                prop_assert_eq!(&single, &multi, "{} threads ({:?})", threads, polarity);
+            }
+            // And the multi-threaded arena still matches the reference.
+            let multi = analysis.sweep_with(polarity, 4, &pool);
+            assert_sweep_matches_reference(&c, &analysis, &multi, polarity);
+        }
+    }
+
+    /// The owned-conversion compatibility path (`all_sites*`) inherits
+    /// the same identity.
+    #[test]
+    fn all_sites_matches_reference((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = build(inputs, gates, reconv, xf, seed);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        let owned = analysis.all_sites_parallel(3);
+        let mut ws = SiteWorkspace::new(&analysis);
+        for (id, got) in c.node_ids().zip(&owned) {
+            let reference = analysis.site_with_workspace(id, PolarityMode::Tracked, &mut ws);
+            prop_assert_eq!(got, &reference, "site {}", id);
+        }
+    }
+}
