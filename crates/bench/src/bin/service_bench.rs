@@ -1,0 +1,174 @@
+//! Service-throughput benchmark: `SerService` request rates, warm vs
+//! cold session latency, and concurrent-sweep interleaving. Emits
+//! `BENCH_service.json` so the service's perf trajectory is tracked
+//! commit over commit.
+//!
+//! ```text
+//! cargo run --release -p ser-bench-harness --bin service_bench [-- --quick] [-- --out PATH]
+//! ```
+//!
+//! Reported per circuit:
+//!
+//! - `cold_sweep_ms`: first whole-circuit sweep request against a cold
+//!   service — pays session compile, cone-plan build and the sweep.
+//! - `warm_sweep_ms`: the same request once the session is warm
+//!   (median of several runs) — the steady-state cost a resident
+//!   service pays per sweep.
+//! - `site_requests_per_sec`: single-site analytical requests served
+//!   per second from the warm cache.
+//!
+//! Plus one cross-circuit experiment:
+//!
+//! - `interleave`: two warm circuits, a full sweep each — submitted
+//!   back to back (serialized) vs as one batch (interleaved on the
+//!   shared executor). `speedup` is serialized / interleaved wall time;
+//!   above 1.0 means concurrent sweeps genuinely overlap.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ser_gen::synthesize;
+use ser_netlist::Circuit;
+use ser_service::{Request, SerService, SerServiceConfig, SiteRequest, SweepRequest};
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2] * 1e3
+}
+
+fn fresh_service(threads: usize) -> SerService {
+    SerService::new(SerServiceConfig {
+        max_sessions: 8,
+        threads,
+        sweep_batch_sites: 256,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_service.json".to_owned());
+    let names: &[&str] = if quick {
+        &["s953"]
+    } else {
+        &["s953", "s1196", "s1423"]
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let warm_runs = if quick { 3 } else { 7 };
+    let site_requests = if quick { 200 } else { 1_000 };
+
+    let circuits: Vec<Arc<Circuit>> = names
+        .iter()
+        .map(|name| {
+            let profile = ser_gen::profile(name).expect("profile exists");
+            Arc::new(synthesize(&profile, 1))
+        })
+        .collect();
+
+    let mut records: Vec<String> = Vec::new();
+    for (name, circuit) in names.iter().zip(&circuits) {
+        let n = circuit.len();
+
+        // --- Cold: a fresh service, first sweep request. --------------
+        let service = fresh_service(threads);
+        let t = Instant::now();
+        let cold = service
+            .submit(circuit, Request::Sweep(SweepRequest::default()))
+            .expect("valid circuit");
+        let cold_sweep_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(!cold.meta.warm_session);
+        assert_eq!(cold.as_sweep().expect("sweep payload").len(), n);
+
+        // --- Warm: same request against the now-warm session. ---------
+        let mut warm_samples: Vec<f64> = Vec::with_capacity(warm_runs);
+        let mut warm_sweep = None;
+        for _ in 0..warm_runs {
+            let t = Instant::now();
+            let r = service
+                .submit(circuit, Request::Sweep(SweepRequest::default()))
+                .expect("valid circuit");
+            warm_samples.push(t.elapsed().as_secs_f64());
+            assert!(r.meta.warm_session);
+            warm_sweep = Some(r);
+        }
+        let warm_sweep_ms = median_ms(&mut warm_samples);
+        assert_eq!(
+            warm_sweep.expect("ran").as_sweep().expect("sweep payload"),
+            cold.as_sweep().expect("sweep payload"),
+            "warm and cold responses identical"
+        );
+
+        // --- Warm single-site request throughput. ---------------------
+        let sites: Vec<_> = circuit.node_ids().collect();
+        let t = Instant::now();
+        for i in 0..site_requests {
+            let site = sites[i % sites.len()];
+            let r = service
+                .submit(circuit, Request::Site(SiteRequest { site }))
+                .expect("valid request");
+            std::hint::black_box(r.as_site().expect("site payload").p_sensitized());
+        }
+        let site_requests_per_sec = site_requests as f64 / t.elapsed().as_secs_f64();
+
+        eprintln!(
+            "{name}: {n} nodes | cold sweep {cold_sweep_ms:.1}ms | warm sweep {warm_sweep_ms:.1}ms | {site_requests_per_sec:.0} site req/s"
+        );
+        let mut rec = String::from("  {");
+        let _ = write!(
+            rec,
+            "\"circuit\": \"{name}\", \"nodes\": {n}, \"cold_sweep_ms\": {cold_sweep_ms:.3}, \"warm_sweep_ms\": {warm_sweep_ms:.3}, \"site_requests_per_sec\": {site_requests_per_sec:.1}}}"
+        );
+        records.push(rec);
+    }
+
+    // --- Interleaving: two sweeps, serialized vs one batch. -----------
+    let (a, b) = (&circuits[0], circuits.get(1).unwrap_or(&circuits[0]));
+    let service = fresh_service(threads);
+    service.session(a).expect("compiles");
+    service.session(b).expect("compiles");
+    // Serialized: one sweep fully drains before the next is submitted.
+    let t = Instant::now();
+    let ra = service
+        .submit(a, Request::Sweep(SweepRequest::default()))
+        .expect("valid");
+    let rb = service
+        .submit(b, Request::Sweep(SweepRequest::default()))
+        .expect("valid");
+    let serialized_ms = t.elapsed().as_secs_f64() * 1e3;
+    // Interleaved: both sweeps' batches share the executor queue.
+    let t = Instant::now();
+    let both = service.submit_batch(vec![
+        (Arc::clone(a), Request::Sweep(SweepRequest::default())),
+        (Arc::clone(b), Request::Sweep(SweepRequest::default())),
+    ]);
+    let interleaved_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        both[0].as_ref().expect("valid").as_sweep(),
+        ra.as_sweep(),
+        "interleaving must not change results"
+    );
+    assert_eq!(both[1].as_ref().expect("valid").as_sweep(), rb.as_sweep());
+    let speedup = serialized_ms / interleaved_ms;
+    eprintln!(
+        "interleave {}+{}: serialized {serialized_ms:.1}ms | batched {interleaved_ms:.1}ms | {speedup:.2}x",
+        a.name(),
+        b.name()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"service_throughput\",\n  \"unit_note\": \"latencies in milliseconds; cold includes session compile + cone-plan build; interleave speedup > 1 needs more than one executor worker\",\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \"interleave\": {{\"circuits\": [\"{}\", \"{}\"], \"serialized_ms\": {serialized_ms:.3}, \"interleaved_ms\": {interleaved_ms:.3}, \"speedup\": {speedup:.3}}}\n}}\n",
+        records.join(",\n"),
+        a.name(),
+        b.name()
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -2,6 +2,7 @@
 //! signal probabilities, the per-site EPP pass, the SER model and
 //! timing measurement (the quantities Table 2 reports).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ser_netlist::{Circuit, NetlistError, NodeId};
@@ -90,7 +91,7 @@ impl CircuitSerAnalysis {
     ///
     /// Returns [`SpError`] if signal probabilities cannot be computed or
     /// the circuit is structurally invalid.
-    pub fn run(&self, circuit: &Circuit) -> Result<AnalysisOutcome, SpError> {
+    pub fn run(&self, circuit: impl Into<Arc<Circuit>>) -> Result<AnalysisOutcome, SpError> {
         let session = AnalysisSession::with_inputs(circuit, self.inputs.clone())?;
         Ok(self.run_with_session(&session))
     }
@@ -104,7 +105,7 @@ impl CircuitSerAnalysis {
     /// [`NetlistError`] if the circuit cannot be ordered.
     pub fn run_with_sp_engine(
         &self,
-        circuit: &Circuit,
+        circuit: impl Into<Arc<Circuit>>,
         engine: &dyn SpEngine,
     ) -> Result<AnalysisOutcome, SpError> {
         let session = AnalysisSession::with_engine(circuit, self.inputs.clone(), engine)?;
@@ -124,7 +125,7 @@ impl CircuitSerAnalysis {
     /// Panics if `sp` does not cover exactly `circuit.len()` nodes.
     pub fn run_with_sp(
         &self,
-        circuit: &Circuit,
+        circuit: impl Into<Arc<Circuit>>,
         sp: SpVector,
         sp_time: Duration,
     ) -> Result<AnalysisOutcome, NetlistError> {
@@ -149,7 +150,7 @@ impl CircuitSerAnalysis {
     /// applies only to entry points that compile the session
     /// themselves.
     #[must_use]
-    pub fn run_with_session(&self, session: &AnalysisSession<'_>) -> AnalysisOutcome {
+    pub fn run_with_session(&self, session: &AnalysisSession) -> AnalysisOutcome {
         let epp_start = Instant::now();
         let sweep = session.sweep(self.threads);
         let epp_time = epp_start.elapsed();

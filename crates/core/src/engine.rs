@@ -119,6 +119,11 @@ impl SiteEpp {
 /// signal probabilities are computed once, then any number of sites can
 /// be analyzed in linear time each.
 ///
+/// The analysis **owns** its circuit (`Arc<Circuit>`): no lifetime
+/// parameter, `Clone` is O(1) (three `Arc` bumps), and values are
+/// `Send + Sync + 'static`, so they can be cached in a service, moved
+/// into worker closures or shared across threads freely.
+///
 /// # Examples
 ///
 /// The paper's Fig. 1, reproduced end to end:
@@ -156,8 +161,8 @@ impl SiteEpp {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct EppAnalysis<'c> {
-    circuit: &'c Circuit,
+pub struct EppAnalysis {
+    circuit: Arc<Circuit>,
     /// Shared structural artifacts: topological positions (cone nodes
     /// are sorted by these, making a site pass O(cone log cone) instead
     /// of O(circuit)) and precomputed observe points. Behind an `Arc`
@@ -182,7 +187,7 @@ pub struct SiteWorkspace {
 impl SiteWorkspace {
     /// Creates a workspace sized for `analysis`' circuit.
     #[must_use]
-    pub fn new(analysis: &EppAnalysis<'_>) -> Self {
+    pub fn new(analysis: &EppAnalysis) -> Self {
         let n = analysis.circuit.len();
         SiteWorkspace {
             stamp: vec![0; n],
@@ -195,7 +200,7 @@ impl SiteWorkspace {
     }
 }
 
-impl<'c> EppAnalysis<'c> {
+impl EppAnalysis {
     /// Compiles the analysis: one topological sort, plus the signal
     /// probabilities the off-path handling will read.
     ///
@@ -207,8 +212,9 @@ impl<'c> EppAnalysis<'c> {
     /// # Panics
     ///
     /// Panics if `sp` does not cover exactly `circuit.len()` nodes.
-    pub fn new(circuit: &'c Circuit, sp: SpVector) -> Result<Self, NetlistError> {
-        let topo = Arc::new(TopoArtifacts::compute(circuit)?);
+    pub fn new(circuit: impl Into<Arc<Circuit>>, sp: SpVector) -> Result<Self, NetlistError> {
+        let circuit = circuit.into();
+        let topo = Arc::new(TopoArtifacts::compute(&circuit)?);
         Ok(Self::from_artifacts(circuit, topo, Arc::new(sp)))
     }
 
@@ -222,10 +228,11 @@ impl<'c> EppAnalysis<'c> {
     /// nodes.
     #[must_use]
     pub fn from_artifacts(
-        circuit: &'c Circuit,
+        circuit: impl Into<Arc<Circuit>>,
         topo: Arc<TopoArtifacts>,
         sp: Arc<SpVector>,
     ) -> Self {
+        let circuit = circuit.into();
         assert_eq!(
             topo.len(),
             circuit.len(),
@@ -241,8 +248,14 @@ impl<'c> EppAnalysis<'c> {
 
     /// The circuit under analysis.
     #[must_use]
-    pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The shared handle to that circuit (O(1) to clone).
+    #[must_use]
+    pub fn circuit_arc(&self) -> &Arc<Circuit> {
+        &self.circuit
     }
 
     /// The shared structural artifacts this analysis runs on.
@@ -451,7 +464,7 @@ impl WorkspacePool {
     /// circuit (a pool outliving its circuit and being reused) are
     /// quietly dropped and replaced rather than panicking.
     #[must_use]
-    pub fn checkout(&self, analysis: &EppAnalysis<'_>) -> SiteWorkspace {
+    pub fn checkout(&self, analysis: &EppAnalysis) -> SiteWorkspace {
         let mut slots = self.slots.lock().expect("pool lock");
         while let Some(ws) = slots.pop() {
             if ws.stamp.len() == analysis.circuit.len() {
@@ -515,7 +528,7 @@ mod tests {
     use ser_netlist::parse_bench;
     use ser_sp::{IndependentSp, InputProbs, SpEngine};
 
-    fn analysis<'a>(c: &'a Circuit, probs: &InputProbs) -> EppAnalysis<'a> {
+    fn analysis(c: &Circuit, probs: &InputProbs) -> EppAnalysis {
         let sp = IndependentSp::new().compute(c, probs).unwrap();
         EppAnalysis::new(c, sp).unwrap()
     }

@@ -101,7 +101,7 @@ impl ExactEpp {
     /// the limit.
     pub fn site_with_sim(
         &self,
-        sim: &BitSim<'_>,
+        sim: &BitSim,
         inputs: &InputProbs,
         site: NodeId,
     ) -> Result<ExactSiteEpp, SpError> {

@@ -80,7 +80,10 @@ pub use exact_bdd::BddExactEpp;
 pub use four_value::{FourValue, SUM_TOLERANCE};
 pub use hardening::{HardeningChoice, HardeningCost, HardeningPlan};
 pub use matrix::VulnerabilityMatrix;
-pub use multi_cycle::{multi_cycle_monte_carlo, MultiCycleEpp, MultiCycleResult};
+pub use multi_cycle::{
+    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential, MultiCycleEpp,
+    MultiCycleMcEstimate, MultiCycleResult,
+};
 pub use rules::propagate;
 pub use ser_model::{PlatchedModel, RseuModel, SerEntry, SerReport};
 pub use session::AnalysisSession;

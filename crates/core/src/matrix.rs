@@ -26,7 +26,7 @@ impl VulnerabilityMatrix {
     /// Computes the matrix for every node of the analysis' circuit, in
     /// one batched sweep over the shared cone plans.
     #[must_use]
-    pub fn compute(analysis: &EppAnalysis<'_>) -> Self {
+    pub fn compute(analysis: &EppAnalysis) -> Self {
         let circuit = analysis.circuit();
         let points: Vec<ObservePoint> = circuit.observe_points().collect();
         let cols = points.len();

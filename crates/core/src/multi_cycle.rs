@@ -15,7 +15,12 @@
 //!   polarity is dropped across frames, so this is an approximation —
 //!   cross-checked by the simulator below.
 //! - [`multi_cycle_monte_carlo`] — ground truth by differential
-//!   sequential simulation.
+//!   sequential simulation with a fixed run count, and
+//!   [`multi_cycle_monte_carlo_sequential`] — the same simulation under
+//!   Mendo's inverse-binomial stopping rule, spending runs until the
+//!   final-cycle estimate meets a normalized error target.
+
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,16 +31,18 @@ use ser_sp::SpVector;
 use crate::engine::{combine_sensitization, EppAnalysis, PolarityMode, WorkspacePool};
 
 /// Analytical multi-cycle observation probabilities.
+///
+/// Owns its circuit through the underlying [`EppAnalysis`]; no lifetime
+/// parameter, freely movable across threads.
 #[derive(Debug, Clone)]
-pub struct MultiCycleEpp<'c> {
-    circuit: &'c Circuit,
+pub struct MultiCycleEpp {
     /// `po_arrival[f]`: combined PO arrival probability when FF `f`'s
     /// output is the error site.
     po_arrival: Vec<f64>,
     /// `ff_arrival[f][g]`: arrival probability at FF `g`'s D pin when FF
     /// `f`'s output is the error site.
     ff_arrival: Vec<Vec<f64>>,
-    analysis: EppAnalysis<'c>,
+    analysis: EppAnalysis,
 }
 
 /// Per-cycle cumulative observation probabilities for one site.
@@ -52,7 +59,7 @@ pub struct MultiCycleResult {
     pub residual_corruption: Vec<f64>,
 }
 
-impl<'c> MultiCycleEpp<'c> {
+impl MultiCycleEpp {
     /// Compiles the frame-expansion tables: one EPP pass per flip-flop.
     ///
     /// # Errors
@@ -63,7 +70,10 @@ impl<'c> MultiCycleEpp<'c> {
     /// # Panics
     ///
     /// Panics if `sp` does not cover the circuit.
-    pub fn new(circuit: &'c Circuit, sp: SpVector) -> Result<Self, ser_netlist::NetlistError> {
+    pub fn new(
+        circuit: impl Into<Arc<Circuit>>,
+        sp: SpVector,
+    ) -> Result<Self, ser_netlist::NetlistError> {
         Ok(Self::with_analysis(EppAnalysis::new(circuit, sp)?))
     }
 
@@ -74,8 +84,8 @@ impl<'c> MultiCycleEpp<'c> {
     /// SP are not recomputed. The per-flip-flop passes run as one
     /// batched sweep over the shared cone plans.
     #[must_use]
-    pub fn with_analysis(analysis: EppAnalysis<'c>) -> Self {
-        let circuit = analysis.circuit();
+    pub fn with_analysis(analysis: EppAnalysis) -> Self {
+        let circuit = Arc::clone(analysis.circuit_arc());
         let nffs = circuit.num_dffs();
         let mut po_arrival = vec![0.0; nffs];
         let mut ff_arrival = vec![vec![0.0; nffs]; nffs];
@@ -99,7 +109,6 @@ impl<'c> MultiCycleEpp<'c> {
             po_arrival[fi] = combine_sensitization(po_arr);
         }
         MultiCycleEpp {
-            circuit,
             po_arrival,
             ff_arrival,
             analysis,
@@ -108,7 +117,7 @@ impl<'c> MultiCycleEpp<'c> {
 
     /// The underlying single-cycle analysis.
     #[must_use]
-    pub fn single_cycle(&self) -> &EppAnalysis<'c> {
+    pub fn single_cycle(&self) -> &EppAnalysis {
         &self.analysis
     }
 
@@ -121,7 +130,8 @@ impl<'c> MultiCycleEpp<'c> {
     #[must_use]
     pub fn site(&self, site: NodeId, cycles: usize) -> MultiCycleResult {
         assert!(cycles > 0, "at least the SEU cycle itself");
-        let nffs = self.circuit.num_dffs();
+        let circuit = self.analysis.circuit();
+        let nffs = circuit.num_dffs();
         let pool = WorkspacePool::new();
         let frame0_sweep = self
             .analysis
@@ -133,8 +143,7 @@ impl<'c> MultiCycleEpp<'c> {
             match p.point {
                 ObservePoint::PrimaryOutput(_) => po_arr.push(p.p_arrival()),
                 ObservePoint::FlipFlop { dff, .. } => {
-                    let gi = self
-                        .circuit
+                    let gi = circuit
                         .dffs()
                         .iter()
                         .position(|&d| d == dff)
@@ -190,26 +199,99 @@ impl<'c> MultiCycleEpp<'c> {
 ///
 /// Panics if `cycles` or `runs` is 0.
 pub fn multi_cycle_monte_carlo(
-    circuit: &Circuit,
+    circuit: impl Into<Arc<Circuit>>,
     site: NodeId,
     cycles: usize,
     runs: u64,
     seed: u64,
 ) -> Result<Vec<f64>, ser_netlist::NetlistError> {
-    assert!(cycles > 0, "at least the SEU cycle");
     assert!(runs > 0, "at least one run");
+    let est = run_multi_cycle_mc(circuit.into(), site, cycles, runs, None, seed)?;
+    Ok(est.cumulative)
+}
+
+/// Result of a sequential-stopping multi-cycle Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCycleMcEstimate {
+    /// `cumulative[k]`: estimated probability the error was seen at a
+    /// primary output within the first `k + 1` cycles. When the
+    /// stopping rule fired, the final cycle carries the debiased
+    /// inverse-binomial estimate and earlier cycles are scaled by the
+    /// same factor (keeping the vector consistent and monotone).
+    pub cumulative: Vec<f64>,
+    /// Differential simulation runs actually spent.
+    pub runs: u64,
+    /// `true` when the stopping rule reached its success target;
+    /// `false` when the `max_runs` cap cut the run short (plain
+    /// frequencies are reported in that case).
+    pub stopped_by_rule: bool,
+}
+
+/// [`multi_cycle_monte_carlo`] under Mendo's inverse-binomial stopping
+/// rule (the same scheme as
+/// [`SequentialMonteCarlo`](ser_sim::SequentialMonteCarlo), lifted from
+/// single-cycle `P_sensitized` to the multi-cycle observation
+/// probability): instead of a fixed run count, simulate 64-run blocks
+/// until `k = ⌈1/ε²⌉ + 2` runs have shown the error at a primary output
+/// within `cycles` cycles — so rarely-observed sites automatically get
+/// more runs and strongly-observed sites stop almost immediately, with
+/// normalized MSE on the final-cycle estimate bounded by ≈ `ε²`
+/// regardless of the unknown probability.
+///
+/// The stop is checked at block granularity and a hard `max_runs` cap
+/// bounds never-observed sites, exactly as in the single-cycle rule.
+///
+/// # Errors
+///
+/// Returns [`ser_netlist::NetlistError`] if the circuit cannot be
+/// simulated.
+///
+/// # Panics
+///
+/// Panics if `cycles` or `max_runs` is 0 or `target_error` is outside
+/// `(0, 1)`.
+pub fn multi_cycle_monte_carlo_sequential(
+    circuit: impl Into<Arc<Circuit>>,
+    site: NodeId,
+    cycles: usize,
+    target_error: f64,
+    max_runs: u64,
+    seed: u64,
+) -> Result<MultiCycleMcEstimate, ser_netlist::NetlistError> {
+    assert!(
+        target_error.is_finite() && target_error > 0.0 && target_error < 1.0,
+        "target error {target_error} outside (0,1)"
+    );
+    assert!(max_runs > 0, "at least one run");
+    let needed = (1.0 / (target_error * target_error)).ceil() as u64 + 2;
+    run_multi_cycle_mc(circuit.into(), site, cycles, max_runs, Some(needed), seed)
+}
+
+/// The shared differential-simulation core: runs 64-lane blocks up to
+/// `max_runs`, stopping early once the final-cycle success count
+/// reaches `needed` (when set). Both simulators are compiled once,
+/// sharing one circuit handle, and re-seeded per block.
+fn run_multi_cycle_mc(
+    circuit: Arc<Circuit>,
+    site: NodeId,
+    cycles: usize,
+    max_runs: u64,
+    needed: Option<u64>,
+    seed: u64,
+) -> Result<MultiCycleMcEstimate, ser_netlist::NetlistError> {
+    assert!(cycles > 0, "at least the SEU cycle");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut observed = vec![0u64; cycles];
     let mut done = 0u64;
-    while done < runs {
-        let lanes = (runs - done).min(64) as u32;
+    let mut good = SeqSim::new(Arc::clone(&circuit))?;
+    let mut faulty = SeqSim::new(Arc::clone(&circuit))?;
+    while done < max_runs && needed.is_none_or(|k| observed[cycles - 1] < k) {
+        let lanes = (max_runs - done).min(64) as u32;
         let valid = if lanes == 64 {
             !0u64
         } else {
             (1u64 << lanes) - 1
         };
-        let mut good = SeqSim::new(circuit)?;
-        let mut faulty = SeqSim::new(circuit)?;
         // Random initial state shared by both machines.
         let init: Vec<u64> = (0..circuit.num_dffs()).map(|_| rng.gen()).collect();
         good.set_state(&init);
@@ -234,10 +316,23 @@ pub fn multi_cycle_monte_carlo(
         }
         done += u64::from(lanes);
     }
-    Ok(observed
-        .into_iter()
-        .map(|o| o as f64 / runs as f64)
-        .collect())
+    let final_successes = observed[cycles - 1];
+    let stopped_by_rule = needed.is_some_and(|k| final_successes >= k);
+    let v = done as f64;
+    // When the rule stops on its own, debias the final cycle with the
+    // inverse-binomial estimator and scale the earlier cycles by the
+    // same factor, mirroring `SequentialMonteCarlo`'s per-point scaling.
+    let scale = if stopped_by_rule && done > 1 && final_successes > 0 {
+        let debiased = (final_successes - 1) as f64 / (done - 1) as f64;
+        debiased / (final_successes as f64 / v)
+    } else {
+        1.0
+    };
+    Ok(MultiCycleMcEstimate {
+        cumulative: observed.into_iter().map(|o| o as f64 / v * scale).collect(),
+        runs: done,
+        stopped_by_rule,
+    })
 }
 
 #[cfg(test)]
@@ -327,6 +422,61 @@ y = NOT(q)
         let s1 = multi_cycle_monte_carlo(&c, u, 2, 1000, 5).unwrap();
         let s2 = multi_cycle_monte_carlo(&c, u, 2, 1000, 5).unwrap();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn sequential_rule_stops_early_and_stays_accurate() {
+        // The pipeline error is always observed by cycle 1: the rule
+        // needs k = ceil(1/0.01)+2 = 102 successes, i.e. two 64-run
+        // blocks, far under the cap.
+        let c = parse_bench(PIPE, "pipe").unwrap();
+        let u = c.find("u").unwrap();
+        let est = multi_cycle_monte_carlo_sequential(&c, u, 3, 0.1, 1 << 20, 7).unwrap();
+        assert!(est.stopped_by_rule);
+        assert!(est.runs <= 256, "stopped after {} runs", est.runs);
+        assert_eq!(est.cumulative.len(), 3);
+        assert!(
+            (est.cumulative[1] - 1.0).abs() < 0.05,
+            "{:?}",
+            est.cumulative
+        );
+        // Deterministic per seed.
+        assert_eq!(
+            est,
+            multi_cycle_monte_carlo_sequential(&c, u, 3, 0.1, 1 << 20, 7).unwrap()
+        );
+        // Monotone after the debias scaling.
+        for w in est.cumulative.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sequential_rule_caps_never_observed_sites() {
+        // A site with no path to any PO is never observed: only the cap
+        // terminates the run, and the plain frequency (0) is reported.
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(b)\nu = NOT(a)\n", "dead").unwrap();
+        let u = c.find("u").unwrap();
+        let est = multi_cycle_monte_carlo_sequential(&c, u, 2, 0.2, 512, 3).unwrap();
+        assert!(!est.stopped_by_rule);
+        assert_eq!(est.runs, 512, "ran to the cap");
+        assert!(est.cumulative.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn sequential_rule_matches_fixed_count_distributionally() {
+        // Same RNG stream: with the success target effectively disabled
+        // the sequential core IS the fixed-count core.
+        let c = parse_bench(PIPE, "pipe").unwrap();
+        let u = c.find("u").unwrap();
+        let fixed = multi_cycle_monte_carlo(&c, u, 3, 256, 11).unwrap();
+        let seq = multi_cycle_monte_carlo_sequential(&c, u, 3, 0.9, 256, 11).unwrap();
+        // 0.9 target -> k = 4 successes: stops in the first block; the
+        // first block of the fixed run saw the same patterns, so the
+        // raw frequencies agree up to the debias factor.
+        assert!(seq.stopped_by_rule);
+        assert!(seq.runs <= 64);
+        assert!((seq.cumulative[2] - fixed[2]).abs() < 0.2);
     }
 
     #[test]

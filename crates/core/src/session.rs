@@ -14,9 +14,17 @@
 //! probabilities ([`set_inputs`](AnalysisSession::set_inputs)) re-runs
 //! only the SP computation — reusing the cached topological order — and
 //! bumps the session revision; the structural artifacts and the
-//! compiled simulator survive untouched. The circuit itself is borrowed
-//! immutably, so structural edits require a new session by
+//! compiled simulator survive untouched. The circuit is held immutably
+//! behind an `Arc`, so structural edits require a new session by
 //! construction.
+//!
+//! The session **owns** everything it caches (`Arc<Circuit>` plus the
+//! already-`Arc`-shared artifacts): there is no lifetime parameter, a
+//! session is `Send + Sync + 'static`, [`clone`](Clone::clone) is cheap
+//! (`Arc` bumps; clones share the scratch pool and compiled simulator),
+//! and sessions can be cached in an LRU, held across requests and moved
+//! into worker threads — the substrate the multi-circuit `SerService`
+//! batch front-end builds on.
 
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -76,9 +84,9 @@ use crate::sweep::SweepResults;
 /// assert!((session.site(a).p_sensitized() - 0.9).abs() < 1e-12);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
-pub struct AnalysisSession<'c> {
-    circuit: &'c Circuit,
+#[derive(Debug, Clone)]
+pub struct AnalysisSession {
+    circuit: Arc<Circuit>,
     topo: Arc<TopoArtifacts>,
     inputs: InputProbs,
     sp: Arc<SpVector>,
@@ -87,20 +95,26 @@ pub struct AnalysisSession<'c> {
     /// tag so consumers can detect staleness.
     revision: u64,
     /// The compiled bit-parallel simulator, built on first use from the
-    /// cached schedule (never re-sorted).
-    sim: OnceLock<BitSim<'c>>,
-    pool: WorkspacePool,
+    /// cached schedule (never re-sorted). The cell itself sits behind an
+    /// `Arc` so clones taken *before* the first use still share the one
+    /// eventual compilation.
+    sim: Arc<OnceLock<BitSim>>,
+    /// Shared by clones, so a cloned session reuses the same scratch.
+    pool: Arc<WorkspacePool>,
 }
 
-impl<'c> AnalysisSession<'c> {
+impl AnalysisSession {
     /// Compiles a session with the customary uniform-0.5 inputs and the
     /// paper's default (independent, linear-time) SP engine.
+    ///
+    /// Accepts `&Circuit` (cloned once into a fresh `Arc`) or an
+    /// `Arc<Circuit>` the caller already holds (O(1), shared).
     ///
     /// # Errors
     ///
     /// Returns [`SpError`] if the circuit cannot be topologically
     /// ordered or its signal probabilities do not converge.
-    pub fn new(circuit: &'c Circuit) -> Result<Self, SpError> {
+    pub fn new(circuit: impl Into<Arc<Circuit>>) -> Result<Self, SpError> {
         Self::with_inputs(circuit, InputProbs::default())
     }
 
@@ -109,7 +123,10 @@ impl<'c> AnalysisSession<'c> {
     /// # Errors
     ///
     /// See [`new`](Self::new).
-    pub fn with_inputs(circuit: &'c Circuit, inputs: InputProbs) -> Result<Self, SpError> {
+    pub fn with_inputs(
+        circuit: impl Into<Arc<Circuit>>,
+        inputs: InputProbs,
+    ) -> Result<Self, SpError> {
         Self::with_engine(circuit, inputs, &IndependentSp::new())
     }
 
@@ -121,13 +138,14 @@ impl<'c> AnalysisSession<'c> {
     /// Returns [`SpError`] from the engine, or a wrapped
     /// [`ser_netlist::NetlistError`] if the circuit cannot be ordered.
     pub fn with_engine(
-        circuit: &'c Circuit,
+        circuit: impl Into<Arc<Circuit>>,
         inputs: InputProbs,
         engine: &dyn SpEngine,
     ) -> Result<Self, SpError> {
-        let topo = Arc::new(TopoArtifacts::compute(circuit)?);
+        let circuit = circuit.into();
+        let topo = Arc::new(TopoArtifacts::compute(&circuit)?);
         let sp_start = Instant::now();
-        let sp = engine.compute_with_order(circuit, &inputs, topo.order())?;
+        let sp = engine.compute_with_order(&circuit, &inputs, topo.order())?;
         let sp_time = sp_start.elapsed();
         Ok(AnalysisSession {
             circuit,
@@ -136,8 +154,8 @@ impl<'c> AnalysisSession<'c> {
             sp: Arc::new(sp.with_tag(1)),
             sp_time,
             revision: 1,
-            sim: OnceLock::new(),
-            pool: WorkspacePool::new(),
+            sim: Arc::new(OnceLock::new()),
+            pool: Arc::new(WorkspacePool::new()),
         })
     }
 
@@ -154,17 +172,18 @@ impl<'c> AnalysisSession<'c> {
     ///
     /// Panics if `sp` does not cover exactly `circuit.len()` nodes.
     pub fn from_sp(
-        circuit: &'c Circuit,
+        circuit: impl Into<Arc<Circuit>>,
         inputs: InputProbs,
         sp: SpVector,
         sp_time: Duration,
     ) -> Result<Self, SpError> {
+        let circuit = circuit.into();
         assert_eq!(
             sp.len(),
             circuit.len(),
             "signal probabilities must cover every node"
         );
-        let topo = Arc::new(TopoArtifacts::compute(circuit)?);
+        let topo = Arc::new(TopoArtifacts::compute(&circuit)?);
         Ok(AnalysisSession {
             circuit,
             topo,
@@ -172,15 +191,22 @@ impl<'c> AnalysisSession<'c> {
             sp: Arc::new(sp.with_tag(1)),
             sp_time,
             revision: 1,
-            sim: OnceLock::new(),
-            pool: WorkspacePool::new(),
+            sim: Arc::new(OnceLock::new()),
+            pool: Arc::new(WorkspacePool::new()),
         })
     }
 
     /// The circuit this session compiled.
     #[must_use]
-    pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The shared handle to that circuit — what a cache or service
+    /// clones to hand the same netlist to further consumers (O(1)).
+    #[must_use]
+    pub fn circuit_arc(&self) -> &Arc<Circuit> {
+        &self.circuit
     }
 
     /// The cached structural artifacts (topological order, positions,
@@ -247,7 +273,7 @@ impl<'c> AnalysisSession<'c> {
         engine: &dyn SpEngine,
     ) -> Result<(), SpError> {
         let sp_start = Instant::now();
-        let sp = engine.compute_with_order(self.circuit, &inputs, self.topo.order())?;
+        let sp = engine.compute_with_order(&self.circuit, &inputs, self.topo.order())?;
         self.sp_time = sp_start.elapsed();
         self.revision += 1;
         self.sp = Arc::new(sp.with_tag(self.revision));
@@ -256,19 +282,26 @@ impl<'c> AnalysisSession<'c> {
     }
 
     /// The one-pass EPP engine over the session's cached artifacts.
-    /// O(1): both the topological artifacts and the SP vector are
-    /// shared, never recomputed.
+    /// O(1): the circuit handle, the topological artifacts and the SP
+    /// vector are all shared, never recomputed. The returned analysis is
+    /// owned and `'static` — it can be moved into a worker closure.
     #[must_use]
-    pub fn epp(&self) -> EppAnalysis<'c> {
-        EppAnalysis::from_artifacts(self.circuit, Arc::clone(&self.topo), Arc::clone(&self.sp))
+    pub fn epp(&self) -> EppAnalysis {
+        EppAnalysis::from_artifacts(
+            Arc::clone(&self.circuit),
+            Arc::clone(&self.topo),
+            Arc::clone(&self.sp),
+        )
     }
 
     /// The compiled bit-parallel simulator, built once from the cached
-    /// schedule and shared by every simulation-backed consumer.
+    /// schedule and shared by every simulation-backed consumer (clones
+    /// of the session included).
     #[must_use]
-    pub fn bit_sim(&self) -> &BitSim<'c> {
-        self.sim
-            .get_or_init(|| BitSim::with_schedule(self.circuit, self.topo.order().to_vec()))
+    pub fn bit_sim(&self) -> &BitSim {
+        self.sim.get_or_init(|| {
+            BitSim::with_schedule(Arc::clone(&self.circuit), self.topo.order().to_vec())
+        })
     }
 
     /// Analytical EPP for one error site, using pooled scratch.
@@ -347,7 +380,7 @@ impl<'c> AnalysisSession<'c> {
     /// artifacts (one EPP pass per flip-flop; no recomputation of order
     /// or SP).
     #[must_use]
-    pub fn multi_cycle(&self) -> crate::MultiCycleEpp<'c> {
+    pub fn multi_cycle(&self) -> crate::MultiCycleEpp {
         crate::MultiCycleEpp::with_analysis(self.epp())
     }
 
@@ -362,7 +395,7 @@ impl<'c> AnalysisSession<'c> {
         oracle: &BddExactEpp,
         site: NodeId,
     ) -> Result<ExactSiteEpp, SpError> {
-        oracle.site_with_order(self.circuit, &self.inputs, site, self.topo.order())
+        oracle.site_with_order(&self.circuit, &self.inputs, site, self.topo.order())
     }
 }
 

@@ -329,6 +329,39 @@ impl SweepResults {
     pub fn to_site_epps(&self) -> Vec<SiteEpp> {
         self.iter().map(|r| r.to_site_epp()).collect()
     }
+
+    /// Stitches several sweep arenas into one, in part order — how a
+    /// service reassembles a sweep it fanned out as independent site
+    /// batches over a shared executor. Per-site payloads are
+    /// position-independent, so the concatenation is exactly the arena
+    /// a single sweep over the concatenated site list would produce.
+    /// `threads_used` becomes the number of parts (each part is one
+    /// worker's output).
+    #[must_use]
+    pub fn concat<I: IntoIterator<Item = SweepResults>>(parts: I) -> SweepResults {
+        let mut out = SweepResults {
+            sites: Vec::new(),
+            dense: false,
+            p_sensitized: Vec::new(),
+            on_path_gates: Vec::new(),
+            point_off: vec![0],
+            points: Vec::new(),
+            threads_used: 0,
+        };
+        for part in parts {
+            out.threads_used += 1;
+            out.sites.extend_from_slice(&part.sites);
+            out.p_sensitized.extend_from_slice(&part.p_sensitized);
+            out.on_path_gates.extend_from_slice(&part.on_path_gates);
+            let base = *out.point_off.last().expect("non-empty offsets");
+            out.point_off
+                .extend(part.point_off[1..].iter().map(|&o| o + base));
+            out.points.extend_from_slice(&part.points);
+        }
+        out.dense = out.sites.iter().enumerate().all(|(i, s)| s.index() == i);
+        out.threads_used = out.threads_used.max(1);
+        out
+    }
 }
 
 /// Per-worker scratch for one sweep: SoA planes when cone plans are
@@ -340,7 +373,7 @@ enum SweepScratch {
 }
 
 impl SweepScratch {
-    fn checkout(analysis: &EppAnalysis<'_>, pool: &WorkspacePool, planned: bool) -> Self {
+    fn checkout(analysis: &EppAnalysis, pool: &WorkspacePool, planned: bool) -> Self {
         if planned {
             SweepScratch::Plan(pool.checkout_sweep())
         } else {
@@ -367,7 +400,7 @@ struct Segment {
     points: Vec<PointEpp>,
 }
 
-impl<'c> EppAnalysis<'c> {
+impl EppAnalysis {
     /// The batched whole-circuit sweep: every node as an error site,
     /// [`PolarityMode::Tracked`], results in one flat arena.
     ///
@@ -641,7 +674,7 @@ mod tests {
     use ser_netlist::parse_bench;
     use ser_sp::{IndependentSp, InputProbs, SpEngine};
 
-    fn analysis(c: &ser_netlist::Circuit) -> EppAnalysis<'_> {
+    fn analysis(c: &ser_netlist::Circuit) -> EppAnalysis {
         let sp = IndependentSp::new()
             .compute(c, &InputProbs::default())
             .unwrap();

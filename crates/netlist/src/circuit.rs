@@ -248,6 +248,45 @@ impl Circuit {
         self.dffs.is_empty()
     }
 
+    /// A 64-bit structural fingerprint of the netlist: name, every
+    /// node's (name, kind, fanin), and the output list, folded with
+    /// FNV-1a. Identical netlists always hash equal; it is a
+    /// *fingerprint*, so distinct netlists can collide (64 bits,
+    /// non-cryptographic) — consumers that must never confuse circuits
+    /// should confirm equality on a hash match, the way `SerService`'s
+    /// session cache does before serving a warm session.
+    ///
+    /// The hash is deterministic across processes and platforms (no
+    /// `RandomState`), so it can be logged, compared between runs and
+    /// used as a stable cache key.
+    #[must_use]
+    pub fn structural_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.nodes.len() as u64).to_le_bytes());
+        for node in &self.nodes {
+            eat(node.name.as_bytes());
+            eat(&[0xFF, node.kind as u8]);
+            eat(&(node.fanin.len() as u32).to_le_bytes());
+            for f in &node.fanin {
+                eat(&(f.0).to_le_bytes());
+            }
+        }
+        eat(&(self.outputs.len() as u64).to_le_bytes());
+        for o in &self.outputs {
+            eat(&(o.0).to_le_bytes());
+        }
+        h
+    }
+
     /// Internal validation used by the builder and parser: arity checks
     /// and fanout consistency. Exposed for tests of hand-built circuits.
     ///
@@ -265,6 +304,17 @@ impl Circuit {
             }
         }
         Ok(())
+    }
+}
+
+/// The bridge that lets every owned analysis entry point (`BitSim`,
+/// `EppAnalysis`, `AnalysisSession`, …) keep accepting `&Circuit` at
+/// call sites: a borrowed circuit is promoted to a shared handle by
+/// cloning it once. Hot paths that already hold an `Arc<Circuit>`
+/// should pass (a clone of) the `Arc` instead, which is O(1).
+impl From<&Circuit> for std::sync::Arc<Circuit> {
+    fn from(circuit: &Circuit) -> Self {
+        std::sync::Arc::new(circuit.clone())
     }
 }
 
@@ -405,5 +455,38 @@ mod tests {
         assert!(a < b);
         assert_eq!(a.to_string(), "n3");
         assert_eq!(a.index(), 3);
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_netlists() {
+        fn build(name: &str, kind: GateKind) -> Circuit {
+            let mut b = CircuitBuilder::new(name);
+            let a = b.input("a");
+            let bb = b.input("b");
+            let g = b.gate("g", kind, &[a, bb]);
+            b.mark_output(g);
+            b.finish().unwrap()
+        }
+        let c = build("tiny", GateKind::And);
+        // Stable: same netlist, same hash, including across clones.
+        assert_eq!(c.structural_hash(), c.structural_hash());
+        assert_eq!(
+            c.structural_hash(),
+            build("tiny", GateKind::And).structural_hash()
+        );
+        // An Arc promoted from a borrow hashes identically.
+        let shared: std::sync::Arc<Circuit> = (&c).into();
+        assert_eq!(shared.structural_hash(), c.structural_hash());
+
+        // A single gate-kind change or a rename flips the hash.
+        assert_ne!(
+            c.structural_hash(),
+            build("tiny", GateKind::Or).structural_hash()
+        );
+        assert_ne!(
+            c.structural_hash(),
+            build("tiny2", GateKind::And).structural_hash()
+        );
+        assert_ne!(c.structural_hash(), tiny().structural_hash());
     }
 }

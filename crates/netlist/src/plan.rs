@@ -11,6 +11,9 @@
 //! **once per circuit** in one flat CSR-style arena, so a sweep kernel
 //! degenerates to reading precomputed indices.
 
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
 use crate::artifacts::TopoArtifacts;
 use crate::circuit::{Circuit, NodeId};
 use crate::gate::GateKind;
@@ -118,9 +121,21 @@ impl ConePlans {
     /// to decline and fall back to per-site traversal.
     pub const DEFAULT_MEMBER_BUDGET: usize = 1 << 26;
 
+    /// Below this many sites the build runs on one thread: spawning
+    /// workers would cost more than the per-site DFS loop it splits.
+    const PARALLEL_BUILD_THRESHOLD: usize = 1024;
+
+    /// How many contiguous site ranges the parallel build cuts per
+    /// worker. Cone sizes are unknown up front, so oversubscription plus
+    /// an atomic claim cursor is what balances the load.
+    const CHUNKS_PER_THREAD: usize = 8;
+
     /// Builds the plans for every node of `circuit`. One DFS + one sort
     /// per site, paid once; `topo` supplies the positions and the
-    /// DFF-clipped fanout adjacency.
+    /// DFF-clipped fanout adjacency. Sites are independent, so large
+    /// circuits are built in parallel (see
+    /// [`build_bounded_with_threads`](Self::build_bounded_with_threads));
+    /// the result is identical whatever the thread count.
     ///
     /// # Panics
     ///
@@ -134,7 +149,7 @@ impl ConePlans {
     /// soon as the arena would exceed `max_members` total cone members —
     /// the guard that keeps pathological Θ(n²) circuits from exhausting
     /// memory (the per-site reference path handles them in O(n) scratch
-    /// instead).
+    /// instead). Uses every available core on large circuits.
     ///
     /// # Panics
     ///
@@ -145,16 +160,122 @@ impl ConePlans {
         topo: &TopoArtifacts,
         max_members: usize,
     ) -> Option<Self> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build_bounded_with_threads(circuit, topo, max_members, threads)
+    }
+
+    /// [`build_bounded`](Self::build_bounded) with an explicit worker
+    /// count. The per-site DFS loop is embarrassingly parallel: workers
+    /// claim contiguous site ranges through an atomic cursor, build
+    /// per-range plan fragments, and the fragments are stitched back in
+    /// site order — so the arena is bit-identical to a single-threaded
+    /// build. The member budget is enforced globally through a shared
+    /// counter; whether the build declines is deterministic (the total
+    /// member count does not depend on scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or `topo` was not computed from
+    /// `circuit`.
+    #[must_use]
+    pub fn build_bounded_with_threads(
+        circuit: &Circuit,
+        topo: &TopoArtifacts,
+        max_members: usize,
+        threads: usize,
+    ) -> Option<Self> {
+        assert!(threads > 0, "at least one thread");
         let n = circuit.len();
         assert_eq!(topo.len(), n, "artifacts must cover every node");
 
-        // Observe points indexed by observed signal, in observe order.
+        // Observe points indexed by observed signal, in observe order;
+        // shared read-only by every worker.
         let observe = topo.observe_points();
         let mut obs_of_signal: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, p) in observe.iter().enumerate() {
             obs_of_signal[p.signal().index()].push(u32::try_from(i).expect("observe fits u32"));
         }
 
+        let spent = AtomicUsize::new(0);
+        let over_budget = AtomicBool::new(false);
+        let budget = BuildBudget {
+            max_members,
+            spent: &spent,
+            over_budget: &over_budget,
+        };
+
+        let chunks: Vec<PlanChunk> = if threads == 1 || n < Self::PARALLEL_BUILD_THRESHOLD {
+            let mut scratch = ChunkScratch::new(n);
+            vec![build_chunk(
+                circuit,
+                topo,
+                &obs_of_signal,
+                0..n,
+                &budget,
+                &mut scratch,
+            )?]
+        } else {
+            let chunk_len = n.div_ceil(threads * Self::CHUNKS_PER_THREAD).max(1);
+            let ranges: Vec<Range<usize>> = (0..n)
+                .step_by(chunk_len)
+                .map(|start| start..(start + chunk_len).min(n))
+                .collect();
+            let cursor = AtomicUsize::new(0);
+            let mut parts: Vec<(usize, PlanChunk)> = Vec::with_capacity(ranges.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads.min(ranges.len()))
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let ranges = &ranges;
+                        let obs_of_signal = &obs_of_signal;
+                        let budget = &budget;
+                        scope.spawn(move || {
+                            // One scratch per worker, reused across every
+                            // range it claims.
+                            let mut scratch = ChunkScratch::new(n);
+                            let mut built: Vec<(usize, PlanChunk)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(range) = ranges.get(i).cloned() else {
+                                    break;
+                                };
+                                if budget.exceeded() {
+                                    break;
+                                }
+                                let Some(chunk) = build_chunk(
+                                    circuit,
+                                    topo,
+                                    obs_of_signal,
+                                    range.clone(),
+                                    budget,
+                                    &mut scratch,
+                                ) else {
+                                    break;
+                                };
+                                built.push((range.start, chunk));
+                            }
+                            built
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    parts.extend(h.join().expect("plan build worker panicked"));
+                }
+            });
+            if budget.exceeded() {
+                return None;
+            }
+            parts.sort_unstable_by_key(|&(start, _)| start);
+            debug_assert_eq!(parts.len(), ranges.len(), "every range built");
+            parts.into_iter().map(|(_, chunk)| chunk).collect()
+        };
+
+        // Stitch the fragments in site order. Member and observe entries
+        // are position-independent (fanin refs are cone-local or node
+        // ids), so concatenation plus offset rebasing reproduces the
+        // sequential arena exactly.
         let mut plans = ConePlans {
             member_off: Vec::with_capacity(n + 1),
             members: Vec::new(),
@@ -167,82 +288,27 @@ impl ConePlans {
         };
         plans.member_off.push(0);
         plans.observe_off.push(0);
-
-        // Scratch shared across sites: epoch-stamped membership and the
-        // node -> cone-local map.
-        let mut stamp = vec![0u32; n];
-        let mut local = vec![0u32; n];
-        let mut cone: Vec<NodeId> = Vec::new();
-        let mut stack: Vec<NodeId> = Vec::new();
-        let mut site_obs: Vec<(u32, u32)> = Vec::new();
-
-        for site_idx in 0..n {
-            let site = NodeId::from_index(site_idx);
-            let epoch = u32::try_from(site_idx + 1).expect("site count fits u32");
-
-            // DFS over the DFF-clipped fanout adjacency.
-            cone.clear();
-            stack.clear();
-            stamp[site_idx] = epoch;
-            cone.push(site);
-            stack.push(site);
-            while let Some(id) = stack.pop() {
-                for &succ in topo.comb_fanout(id) {
-                    if stamp[succ.index()] != epoch {
-                        stamp[succ.index()] = epoch;
-                        cone.push(succ);
-                        stack.push(succ);
-                    }
-                }
-            }
-            // Topological order within the cone (positions are a total
-            // order, so this matches any stable per-site re-sort).
-            cone.sort_unstable_by_key(|id| topo.position(*id));
-            debug_assert_eq!(cone[0], site, "site orders first in its own cone");
-            if plans.members.len() + cone.len() > max_members {
-                return None;
-            }
-            plans.max_cone_len = plans.max_cone_len.max(cone.len());
-
-            for (pos, &id) in cone.iter().enumerate() {
-                local[id.index()] = u32::try_from(pos).expect("cone fits u32");
-            }
-            site_obs.clear();
-            for (pos, &id) in cone.iter().enumerate() {
-                let node = circuit.node(id);
-                plans.members.push(id);
-                plans.kinds.push(node.kind());
-                if pos > 0 {
-                    debug_assert!(
-                        node.kind().is_logic(),
-                        "on-path non-site nodes are logic gates"
-                    );
-                    for &f in node.fanin() {
-                        plans.fanin_refs.push(if stamp[f.index()] == epoch {
-                            FaninRef::encode_on_path(local[f.index()])
-                        } else {
-                            FaninRef::encode_off_path(f)
-                        });
-                    }
-                }
-                plans
-                    .member_fanin_off
-                    .push(u32::try_from(plans.fanin_refs.len()).expect("fanin refs fit u32"));
-                for &obs in &obs_of_signal[id.index()] {
-                    site_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
-                }
-            }
-            // Reachable observe points in the artifacts' observe order.
-            site_obs.sort_unstable();
-            plans.observe_refs.extend_from_slice(&site_obs);
-
+        for chunk in chunks {
+            let member_base = u32::try_from(plans.members.len()).expect("cone members fit u32");
+            let fanin_base = u32::try_from(plans.fanin_refs.len()).expect("fanin refs fit u32");
+            let observe_base =
+                u32::try_from(plans.observe_refs.len()).expect("observe refs fit u32");
+            plans.members.extend_from_slice(&chunk.members);
+            plans.kinds.extend_from_slice(&chunk.kinds);
+            plans.fanin_refs.extend_from_slice(&chunk.fanin_refs);
+            plans.observe_refs.extend_from_slice(&chunk.observe_refs);
             plans
                 .member_off
-                .push(u32::try_from(plans.members.len()).expect("cone members fit u32"));
+                .extend(chunk.member_off[1..].iter().map(|&o| o + member_base));
+            plans
+                .member_fanin_off
+                .extend(chunk.member_fanin_off[1..].iter().map(|&o| o + fanin_base));
             plans
                 .observe_off
-                .push(u32::try_from(plans.observe_refs.len()).expect("observe refs fit u32"));
+                .extend(chunk.observe_off[1..].iter().map(|&o| o + observe_base));
+            plans.max_cone_len = plans.max_cone_len.max(chunk.max_cone_len);
         }
+        debug_assert_eq!(plans.member_off.len(), n + 1);
         Some(plans)
     }
 
@@ -291,6 +357,184 @@ impl ConePlans {
             site: site.index(),
         }
     }
+}
+
+/// One contiguous site range's share of the plan arena, with offsets
+/// local to the fragment (rebased during the stitch). All payload
+/// entries — members, kinds, fanin refs (cone-local or node-id), and
+/// observe refs — are position-independent, which is what makes the
+/// parallel build's concatenation exact.
+struct PlanChunk {
+    member_off: Vec<u32>,
+    members: Vec<NodeId>,
+    kinds: Vec<GateKind>,
+    member_fanin_off: Vec<u32>,
+    fanin_refs: Vec<u32>,
+    observe_off: Vec<u32>,
+    observe_refs: Vec<(u32, u32)>,
+    max_cone_len: usize,
+}
+
+/// Per-worker scratch for the chunked plan build: epoch-stamped
+/// membership, the node → cone-local map and the traversal buffers,
+/// allocated **once per worker** and reused across every range the
+/// worker claims (the epoch counter carries over, invalidating old
+/// stamps in O(1) exactly like the per-site sweep workspace).
+struct ChunkScratch {
+    stamp: Vec<u32>,
+    local: Vec<u32>,
+    epoch: u32,
+    cone: Vec<NodeId>,
+    stack: Vec<NodeId>,
+    site_obs: Vec<(u32, u32)>,
+}
+
+impl ChunkScratch {
+    fn new(n: usize) -> Self {
+        ChunkScratch {
+            stamp: vec![0u32; n],
+            local: vec![0u32; n],
+            epoch: 0,
+            cone: Vec::new(),
+            stack: Vec::new(),
+            site_obs: Vec::new(),
+        }
+    }
+}
+
+/// Shared member-budget accounting for the chunked build.
+struct BuildBudget<'a> {
+    max_members: usize,
+    spent: &'a AtomicUsize,
+    over_budget: &'a AtomicBool,
+}
+
+impl BuildBudget<'_> {
+    /// Charges one cone's members; `false` means the arena just
+    /// exceeded the budget (the flag is raised so sibling workers stop
+    /// early). The accumulated total is order-independent, so whether
+    /// the overall build declines is deterministic.
+    fn charge(&self, members: usize) -> bool {
+        let charged = self.spent.fetch_add(members, Ordering::Relaxed);
+        if charged + members > self.max_members {
+            self.over_budget.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn exceeded(&self) -> bool {
+        self.over_budget.load(Ordering::Relaxed)
+    }
+}
+
+/// Builds the plan fragment for `sites` (a contiguous id range). Charges
+/// every cone against the shared member budget and returns `None` on
+/// overflow.
+fn build_chunk(
+    circuit: &Circuit,
+    topo: &TopoArtifacts,
+    obs_of_signal: &[Vec<u32>],
+    sites: Range<usize>,
+    budget: &BuildBudget<'_>,
+    scratch: &mut ChunkScratch,
+) -> Option<PlanChunk> {
+    let mut chunk = PlanChunk {
+        member_off: Vec::with_capacity(sites.len() + 1),
+        members: Vec::new(),
+        kinds: Vec::new(),
+        member_fanin_off: vec![0],
+        fanin_refs: Vec::new(),
+        observe_off: Vec::with_capacity(sites.len() + 1),
+        observe_refs: Vec::new(),
+        max_cone_len: 0,
+    };
+    chunk.member_off.push(0);
+    chunk.observe_off.push(0);
+
+    let ChunkScratch {
+        stamp,
+        local,
+        epoch,
+        cone,
+        stack,
+        site_obs,
+    } = scratch;
+
+    for site_idx in sites {
+        let site = NodeId::from_index(site_idx);
+        // New epoch: previous stamps invalidate in O(1). On wrap, reset.
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            stamp.fill(0);
+            *epoch = 1;
+        }
+        let epoch = *epoch;
+
+        // DFS over the DFF-clipped fanout adjacency.
+        cone.clear();
+        stack.clear();
+        stamp[site_idx] = epoch;
+        cone.push(site);
+        stack.push(site);
+        while let Some(id) = stack.pop() {
+            for &succ in topo.comb_fanout(id) {
+                if stamp[succ.index()] != epoch {
+                    stamp[succ.index()] = epoch;
+                    cone.push(succ);
+                    stack.push(succ);
+                }
+            }
+        }
+        // Topological order within the cone (positions are a total
+        // order, so this matches any stable per-site re-sort).
+        cone.sort_unstable_by_key(|id| topo.position(*id));
+        debug_assert_eq!(cone[0], site, "site orders first in its own cone");
+        if !budget.charge(cone.len()) {
+            return None;
+        }
+        chunk.max_cone_len = chunk.max_cone_len.max(cone.len());
+
+        for (pos, &id) in cone.iter().enumerate() {
+            local[id.index()] = u32::try_from(pos).expect("cone fits u32");
+        }
+        site_obs.clear();
+        for (pos, &id) in cone.iter().enumerate() {
+            let node = circuit.node(id);
+            chunk.members.push(id);
+            chunk.kinds.push(node.kind());
+            if pos > 0 {
+                debug_assert!(
+                    node.kind().is_logic(),
+                    "on-path non-site nodes are logic gates"
+                );
+                for &f in node.fanin() {
+                    chunk.fanin_refs.push(if stamp[f.index()] == epoch {
+                        FaninRef::encode_on_path(local[f.index()])
+                    } else {
+                        FaninRef::encode_off_path(f)
+                    });
+                }
+            }
+            chunk
+                .member_fanin_off
+                .push(u32::try_from(chunk.fanin_refs.len()).expect("fanin refs fit u32"));
+            for &obs in &obs_of_signal[id.index()] {
+                site_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
+            }
+        }
+        // Reachable observe points in the artifacts' observe order.
+        site_obs.sort_unstable();
+        chunk.observe_refs.extend_from_slice(site_obs);
+
+        chunk
+            .member_off
+            .push(u32::try_from(chunk.members.len()).expect("cone members fit u32"));
+        chunk
+            .observe_off
+            .push(u32::try_from(chunk.observe_refs.len()).expect("observe refs fit u32"));
+    }
+    Some(chunk)
 }
 
 /// A borrowed view of one site's cone plan inside [`ConePlans`].
@@ -525,6 +769,40 @@ H = OR(C, D, G)
         // At or above the total: identical to the unbounded build.
         let bounded = ConePlans::build_bounded(&c, &topo, full.total_members()).unwrap();
         assert_eq!(bounded, full);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        // A chain with side inputs: 2,401 nodes (above the parallel
+        // threshold), cone sizes from the whole chain down to 1.
+        let stages = 1200;
+        let mut src = String::from("INPUT(x0)\n");
+        for i in 0..stages {
+            src.push_str(&format!("INPUT(s{i})\n"));
+        }
+        src.push_str(&format!("OUTPUT(g{})\n", stages - 1));
+        for i in 0..stages {
+            let prev = if i == 0 {
+                "x0".to_owned()
+            } else {
+                format!("g{}", i - 1)
+            };
+            src.push_str(&format!("g{i} = AND({prev}, s{i})\n"));
+        }
+        let c = parse_bench(&src, "chain").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let sequential = ConePlans::build_bounded_with_threads(&c, &topo, usize::MAX, 1).unwrap();
+        for threads in [2, 4, 7] {
+            let parallel =
+                ConePlans::build_bounded_with_threads(&c, &topo, usize::MAX, threads).unwrap();
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+        // The budget decision is deterministic in parallel too: decline
+        // below the true total, accept at it.
+        let total = sequential.total_members();
+        assert!(ConePlans::build_bounded_with_threads(&c, &topo, total - 1, 4).is_none());
+        let at_budget = ConePlans::build_bounded_with_threads(&c, &topo, total, 4).unwrap();
+        assert_eq!(at_budget, sequential);
     }
 
     #[test]

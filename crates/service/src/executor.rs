@@ -1,0 +1,203 @@
+//! The shared work executor every request runs on.
+//!
+//! One fixed pool of worker threads drains one shared FIFO of jobs.
+//! A sweep is fanned out as many small site-batch jobs, so when two
+//! sweeps on *different* circuits are submitted together their batches
+//! interleave across the workers instead of the second sweep waiting
+//! for the first to finish — the property the per-sweep scoped-thread
+//! scheduler could not provide. Within one sweep, batch granularity
+//! (see [`SerServiceConfig::sweep_batch_sites`](crate::SerServiceConfig))
+//! plays the same load-balancing role the per-sweep atomic cursor does
+//! in `ser-epp`.
+//!
+//! Jobs must be `'static` — which the owned-session redesign makes
+//! natural: closures capture `Arc<AnalysisSession>` clones, never
+//! borrows.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size worker pool over one shared job queue.
+///
+/// Dropping the executor drains the remaining queue, then joins every
+/// worker — no job that was successfully [`spawn`](Executor::spawn)ed
+/// is lost.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.workers.len())
+            .field(
+                "queued",
+                &self.shared.queue.lock().map(|q| q.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Starts `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or the OS refuses to spawn a thread.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ser-service-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job; a free worker picks it up in FIFO order.
+    /// Jobs must not block on other jobs of this executor (they would
+    /// deadlock a worker) — the service only submits leaf computations.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut queue = self.shared.queue.lock().expect("executor queue");
+        queue.push_back(Box::new(job));
+        drop(queue);
+        self.shared.ready.notify_one();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("executor queue");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.ready.wait(queue).expect("executor queue");
+            }
+        };
+        // A panicking job must not kill the worker: in a long-lived
+        // service a dead worker would strand queued jobs (and with one
+        // worker, wedge the whole daemon). The panic payload is dropped;
+        // the submitter observes the failure through its result channel
+        // closing when the job's sender is dropped mid-panic.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_every_job_across_workers() {
+        let ex = Executor::new(4);
+        assert_eq!(ex.threads(), 4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..100usize {
+            let tx = tx.clone();
+            ex.spawn(move || tx.send(i).expect("collector alive"));
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let ex = Executor::new(1);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                ex.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Dropped immediately: the queue is still mostly full.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50, "no job lost on drop");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let ex = Executor::new(1);
+        let (tx, rx) = mpsc::channel();
+        ex.spawn(|| panic!("job blew up"));
+        let tx2 = tx.clone();
+        ex.spawn(move || tx2.send(42u32).expect("collector alive"));
+        drop(tx);
+        // The single worker survived the first job's panic and ran the
+        // second; without isolation this recv would hang forever.
+        assert_eq!(rx.recv().expect("worker survived the panic"), 42);
+    }
+
+    #[test]
+    fn jobs_from_two_submitters_interleave() {
+        // Not a strict ordering assertion (that would be flaky) — just
+        // that one shared queue serves both submitters to completion.
+        let ex = Arc::new(Executor::new(2));
+        let (tx, rx) = mpsc::channel();
+        let submitters: Vec<_> = (0..2)
+            .map(|s| {
+                let ex = Arc::clone(&ex);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20 {
+                        let tx = tx.clone();
+                        ex.spawn(move || tx.send((s, i)).expect("collector alive"));
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().expect("submitter");
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 40);
+    }
+}

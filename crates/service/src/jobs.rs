@@ -1,0 +1,488 @@
+//! The line-oriented job protocol `ser-cli serve`/`batch` speak.
+//!
+//! One job per line, as a flat JSON object. The suite is offline (no
+//! serde), so this module carries a deliberately small hand-rolled
+//! parser: flat objects of string / number / boolean / null values —
+//! exactly the shape the protocol needs, nothing more.
+//!
+//! ```text
+//! {"op": "sweep",       "netlist": "s953.bench", "top": 5}
+//! {"op": "site",        "netlist": "s953.bench", "node": "G125"}
+//! {"op": "monte_carlo", "netlist": "s953.bench", "node": "G125", "vectors": 20000, "target_error": 0.1}
+//! {"op": "multi_cycle", "netlist": "s953.bench", "node": "G125", "cycles": 4, "runs": 10000}
+//! ```
+//!
+//! Unknown keys are rejected (a typo'd option should fail loudly, not
+//! silently fall back to a default).
+
+use ser_netlist::Circuit;
+
+use crate::request::{
+    MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, SiteRequest, SweepRequest,
+};
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string literal.
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Escapes a string for embedding in JSON output.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object (`{"key": value, ...}`) into key/value
+/// pairs in declaration order.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input, nested
+/// containers, or duplicate keys.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        chars: line.char_indices().peekable(),
+        src: line,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut pairs: Vec<(String, JsonValue)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.next();
+        p.skip_ws();
+        return p.at_end(pairs);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate key `{key}`"));
+        }
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        pairs.push((key, value));
+        p.skip_ws();
+        match p.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+    p.skip_ws();
+    p.at_end(pairs)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn next(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected `{want}`, got {other:?}")),
+        }
+    }
+
+    fn at_end<T>(&mut self, value: T) -> Result<T, String> {
+        match self.peek() {
+            None => Ok(value),
+            Some(c) => Err(format!("trailing input starting at `{c}`")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some('"') => Ok(JsonValue::Str(self.string()?)),
+            Some('t' | 'f' | 'n') => {
+                let start = self.chars.peek().map(|&(i, _)| i).unwrap_or(0);
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    self.next();
+                }
+                let end = self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len());
+                match &self.src[start..end] {
+                    "true" => Ok(JsonValue::Bool(true)),
+                    "false" => Ok(JsonValue::Bool(false)),
+                    "null" => Ok(JsonValue::Null),
+                    word => Err(format!("unknown literal `{word}`")),
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let start = self.chars.peek().map(|&(i, _)| i).unwrap_or(0);
+                while matches!(self.peek(), Some(c) if c == '-' || c == '+' || c == '.'
+                    || c == 'e' || c == 'E' || c.is_ascii_digit())
+                {
+                    self.next();
+                }
+                let end = self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len());
+                self.src[start..end]
+                    .parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|e| format!("bad number `{}`: {e}", &self.src[start..end]))
+            }
+            Some('{' | '[') => Err("nested containers are not part of the job protocol".to_owned()),
+            other => Err(format!("expected a value, got {other:?}")),
+        }
+    }
+}
+
+/// The operation a [`JobSpec`] requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOp {
+    /// Whole-circuit analytical sweep.
+    Sweep,
+    /// Single-site analytical EPP.
+    Site,
+    /// Single-cycle Monte-Carlo baseline.
+    MonteCarlo,
+    /// Multi-cycle frame expansion (+ optional simulation).
+    MultiCycle,
+}
+
+/// One parsed job line, still in name/path form (nodes are resolved
+/// against the loaded circuit by [`JobSpec::to_request`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What to run.
+    pub op: JobOp,
+    /// Path of the netlist file (`.bench` or `.v`).
+    pub netlist: String,
+    /// Site name, for single-site operations.
+    pub node: Option<String>,
+    /// Cycles, for `multi_cycle`.
+    pub cycles: Option<usize>,
+    /// Vector budget / cap, for `monte_carlo`.
+    pub vectors: Option<u64>,
+    /// Simulation runs, for `multi_cycle` (enables the simulation leg).
+    pub runs: Option<u64>,
+    /// Mendo normalized-error target for the sequential stopping rule.
+    pub target_error: Option<f64>,
+    /// PRNG seed.
+    pub seed: Option<u64>,
+    /// How many top-ranked sites a sweep response should print.
+    pub top: Option<usize>,
+}
+
+impl JobSpec {
+    /// Default Monte-Carlo vector budget when a job does not set one.
+    pub const DEFAULT_VECTORS: u64 = 10_000;
+    /// Default PRNG seed (the simulator crate's customary seed).
+    pub const DEFAULT_SEED: u64 = 0xE5EED;
+
+    /// Resolves this spec against a loaded circuit into a typed
+    /// [`Request`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a required field is missing, a field was
+    /// set that this op does not read (a silently dropped option would
+    /// silently change results — e.g. `runs` on a `monte_carlo` job,
+    /// where the intended budget is spelled `vectors`), or a node name
+    /// does not exist in the circuit.
+    pub fn to_request(&self, circuit: &Circuit) -> Result<Request, String> {
+        self.reject_unread_fields()?;
+        let node = |spec: &JobSpec| -> Result<ser_netlist::NodeId, String> {
+            let name = spec
+                .node
+                .as_deref()
+                .ok_or_else(|| "`node` is required for this op".to_owned())?;
+            circuit
+                .find(name)
+                .ok_or_else(|| format!("no node named `{name}` in `{}`", circuit.name()))
+        };
+        match self.op {
+            JobOp::Sweep => Ok(Request::Sweep(SweepRequest::default())),
+            JobOp::Site => Ok(Request::Site(SiteRequest { site: node(self)? })),
+            JobOp::MonteCarlo => Ok(Request::MonteCarlo(MonteCarloRequest {
+                site: node(self)?,
+                vectors: self.vectors.unwrap_or(Self::DEFAULT_VECTORS),
+                target_error: self.target_error,
+                seed: self.seed.unwrap_or(Self::DEFAULT_SEED),
+            })),
+            JobOp::MultiCycle => Ok(Request::MultiCycle(MultiCycleRequest {
+                site: node(self)?,
+                cycles: self
+                    .cycles
+                    .ok_or_else(|| "`cycles` is required for multi_cycle".to_owned())?,
+                monte_carlo: self.runs.map(|runs| MultiCycleMcRequest {
+                    runs,
+                    target_error: self.target_error,
+                    seed: self.seed.unwrap_or(Self::DEFAULT_SEED),
+                }),
+            })),
+        }
+    }
+
+    /// Fails when a field was set that [`to_request`](Self::to_request)
+    /// would not read for this op — the "fail loudly" contract extends
+    /// from unknown keys to known-but-irrelevant ones.
+    fn reject_unread_fields(&self) -> Result<(), String> {
+        let op_name = match self.op {
+            JobOp::Sweep => "sweep",
+            JobOp::Site => "site",
+            JobOp::MonteCarlo => "monte_carlo",
+            JobOp::MultiCycle => "multi_cycle",
+        };
+        // Per op: the optional fields the conversion actually consumes.
+        let allowed: &[&str] = match self.op {
+            JobOp::Sweep => &["top"],
+            JobOp::Site => &["node"],
+            JobOp::MonteCarlo => &["node", "vectors", "target_error", "seed"],
+            JobOp::MultiCycle => &["node", "cycles", "runs", "target_error", "seed"],
+        };
+        let set: [(&str, bool); 7] = [
+            ("node", self.node.is_some()),
+            ("cycles", self.cycles.is_some()),
+            ("vectors", self.vectors.is_some()),
+            ("runs", self.runs.is_some()),
+            ("target_error", self.target_error.is_some()),
+            ("seed", self.seed.is_some()),
+            ("top", self.top.is_some()),
+        ];
+        for (field, is_set) in set {
+            if is_set && !allowed.contains(&field) {
+                return Err(format!(
+                    "`{field}` is not read by op `{op_name}` (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+        // target_error without a simulation leg would also be dropped.
+        if self.op == JobOp::MultiCycle && self.target_error.is_some() && self.runs.is_none() {
+            return Err(
+                "`target_error` on multi_cycle needs `runs` (the simulation leg's cap)".to_owned(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Parses one JSONL job line into a [`JobSpec`].
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON, unknown ops/keys, or values
+/// of the wrong type.
+pub fn parse_job_line(line: &str) -> Result<JobSpec, String> {
+    let pairs = parse_flat_object(line)?;
+    let mut spec = JobSpec {
+        op: JobOp::Sweep,
+        netlist: String::new(),
+        node: None,
+        cycles: None,
+        vectors: None,
+        runs: None,
+        target_error: None,
+        seed: None,
+        top: None,
+    };
+    let mut saw_op = false;
+    let mut saw_netlist = false;
+    for (key, value) in pairs {
+        match (key.as_str(), value) {
+            ("op", JsonValue::Str(op)) => {
+                spec.op = match op.as_str() {
+                    "sweep" => JobOp::Sweep,
+                    "site" | "epp" => JobOp::Site,
+                    "monte_carlo" | "mc" => JobOp::MonteCarlo,
+                    "multi_cycle" => JobOp::MultiCycle,
+                    other => return Err(format!("unknown op `{other}`")),
+                };
+                saw_op = true;
+            }
+            ("netlist", JsonValue::Str(path)) => {
+                spec.netlist = path;
+                saw_netlist = true;
+            }
+            ("node", JsonValue::Str(name)) => spec.node = Some(name),
+            ("cycles", JsonValue::Num(n)) => spec.cycles = Some(as_count(&key, n)? as usize),
+            ("vectors", JsonValue::Num(n)) => spec.vectors = Some(as_count(&key, n)?),
+            ("runs", JsonValue::Num(n)) => spec.runs = Some(as_count(&key, n)?),
+            ("seed", JsonValue::Num(n)) => spec.seed = Some(as_count(&key, n)?),
+            ("top", JsonValue::Num(n)) => spec.top = Some(as_count(&key, n)? as usize),
+            ("target_error", JsonValue::Num(e)) => spec.target_error = Some(e),
+            ("target_error", JsonValue::Null) => spec.target_error = None,
+            (k, v) => return Err(format!("unknown or mistyped field `{k}` = {v:?}")),
+        }
+    }
+    if !saw_op {
+        return Err("missing required field `op`".to_owned());
+    }
+    if !saw_netlist {
+        return Err("missing required field `netlist`".to_owned());
+    }
+    Ok(spec)
+}
+
+fn as_count(key: &str, n: f64) -> Result<u64, String> {
+    if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+        Ok(n as u64)
+    } else {
+        Err(format!("`{key}` must be a non-negative integer, got {n}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ser_netlist::parse_bench;
+
+    #[test]
+    fn parses_a_full_job_line() {
+        let spec = parse_job_line(
+            r#"{"op": "monte_carlo", "netlist": "a.bench", "node": "y", "vectors": 5000, "target_error": 0.1, "seed": 7}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.op, JobOp::MonteCarlo);
+        assert_eq!(spec.netlist, "a.bench");
+        assert_eq!(spec.node.as_deref(), Some("y"));
+        assert_eq!(spec.vectors, Some(5000));
+        assert_eq!(spec.target_error, Some(0.1));
+        assert_eq!(spec.seed, Some(7));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_job_line("").is_err());
+        assert!(parse_job_line("{}").is_err(), "missing op/netlist");
+        assert!(parse_job_line(r#"{"op": "sweep"}"#).is_err(), "no netlist");
+        assert!(parse_job_line(r#"{"op": "warp", "netlist": "x"}"#).is_err());
+        assert!(
+            parse_job_line(r#"{"op": "sweep", "netlist": "x", "bogus": 1}"#).is_err(),
+            "unknown keys fail loudly"
+        );
+        assert!(
+            parse_job_line(r#"{"op": "sweep", "netlist": "x", "op": "site"}"#).is_err(),
+            "duplicate keys rejected"
+        );
+        assert!(
+            parse_job_line(r#"{"op": "sweep", "netlist": "x"} trailing"#).is_err(),
+            "trailing input rejected"
+        );
+        assert!(
+            parse_job_line(r#"{"op": "sweep", "netlist": "x", "vectors": 1.5}"#).is_err(),
+            "fractional counts rejected"
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let pairs =
+            parse_flat_object(r#"{"a": "q\"\\\nA", "b": true, "c": null, "d": -2.5e1}"#).unwrap();
+        assert_eq!(pairs[0].1, JsonValue::Str("q\"\\\nA".to_owned()));
+        assert_eq!(pairs[1].1, JsonValue::Bool(true));
+        assert_eq!(pairs[2].1, JsonValue::Null);
+        assert_eq!(pairs[3].1, JsonValue::Num(-25.0));
+        assert_eq!(json_escape("q\"\\\n"), "q\\\"\\\\\\n");
+    }
+
+    #[test]
+    fn to_request_resolves_nodes() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let spec = parse_job_line(r#"{"op": "site", "netlist": "t.bench", "node": "y"}"#).unwrap();
+        let req = spec.to_request(&c).unwrap();
+        assert!(matches!(req, Request::Site(s) if s.site == c.find("y").unwrap()));
+        let bad = parse_job_line(r#"{"op": "site", "netlist": "t.bench", "node": "zz"}"#).unwrap();
+        assert!(bad.to_request(&c).is_err());
+        // multi_cycle without cycles is rejected at conversion time.
+        let mc =
+            parse_job_line(r#"{"op": "multi_cycle", "netlist": "t.bench", "node": "y"}"#).unwrap();
+        assert!(mc.to_request(&c).is_err());
+    }
+
+    #[test]
+    fn fields_the_op_does_not_read_are_rejected() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        // `runs` on monte_carlo would silently lose the intended budget
+        // (monte_carlo spells it `vectors`): fail loudly instead.
+        let spec = parse_job_line(
+            r#"{"op": "monte_carlo", "netlist": "t.bench", "node": "y", "runs": 50000}"#,
+        )
+        .unwrap();
+        let err = spec.to_request(&c).unwrap_err();
+        assert!(err.contains("`runs` is not read"), "{err}");
+        // `node` on a sweep, `top` on a site query: same contract.
+        let spec = parse_job_line(r#"{"op": "sweep", "netlist": "t.bench", "node": "y"}"#).unwrap();
+        assert!(spec.to_request(&c).is_err());
+        let spec = parse_job_line(r#"{"op": "site", "netlist": "t.bench", "node": "y", "top": 3}"#)
+            .unwrap();
+        assert!(spec.to_request(&c).is_err());
+        // target_error on multi_cycle without the simulation leg.
+        let spec = parse_job_line(
+            r#"{"op": "multi_cycle", "netlist": "t.bench", "node": "y", "cycles": 2, "target_error": 0.1}"#,
+        )
+        .unwrap();
+        let err = spec.to_request(&c).unwrap_err();
+        assert!(err.contains("needs `runs`"), "{err}");
+    }
+}

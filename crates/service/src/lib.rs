@@ -1,0 +1,64 @@
+//! # ser-service — the multi-circuit SER batch front-end
+//!
+//! The ROADMAP's "heavy traffic" loop: keep many compiled circuits
+//! **warm** and serve typed estimation requests against them from one
+//! shared worker pool.
+//!
+//! Three pieces:
+//!
+//! - [`SerService`] — warm [`AnalysisSession`](ser_epp::AnalysisSession)s
+//!   in a bounded LRU keyed by
+//!   [`Circuit::structural_hash`](ser_netlist::Circuit::structural_hash),
+//!   with typed requests ([`SweepRequest`], [`SiteRequest`],
+//!   [`MultiCycleRequest`], [`MonteCarloRequest`]) and arena-backed
+//!   responses.
+//! - [`Executor`] — the shared FIFO worker pool every request fans out
+//!   onto, so concurrent sweeps on different circuits interleave
+//!   instead of serializing.
+//! - [`jobs`] — the JSONL job protocol `ser-cli serve` / `ser-cli
+//!   batch` speak (hand-rolled flat-object JSON; the suite is offline).
+//!
+//! All of it rides on the owned-session redesign: sessions are
+//! `Send + Sync + 'static` `Arc` handles, so caching them, sharing them
+//! across request threads and moving them into executor closures is
+//! safe by construction.
+//!
+//! # Examples
+//!
+//! Two circuits served interleaved from one warm cache:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ser_netlist::parse_bench;
+//! use ser_service::{Request, SerService, SweepRequest};
+//!
+//! let and2: Arc<_> =
+//!     parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?.into();
+//! let or2: Arc<_> =
+//!     parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "or2")?.into();
+//! let service = SerService::with_defaults();
+//! let responses = service.submit_batch(vec![
+//!     (Arc::clone(&and2), Request::Sweep(SweepRequest::default())),
+//!     (Arc::clone(&or2), Request::Sweep(SweepRequest::default())),
+//! ]);
+//! for r in &responses {
+//!     assert_eq!(r.as_ref().unwrap().as_sweep().unwrap().len(), 3);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod executor;
+pub mod jobs;
+mod request;
+mod service;
+
+pub use executor::Executor;
+pub use jobs::{json_escape, parse_flat_object, parse_job_line, JobOp, JobSpec, JsonValue};
+pub use request::{
+    MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, ResponseMeta,
+    ResponsePayload, ServiceError, SiteRequest, SweepRequest,
+};
+pub use service::{SerService, SerServiceConfig, ServiceStats};

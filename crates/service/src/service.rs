@@ -1,0 +1,584 @@
+//! The multi-circuit batch front-end.
+//!
+//! [`SerService`] is the ROADMAP's "heavy traffic" loop made concrete:
+//! compiled [`AnalysisSession`]s are kept warm in a bounded LRU keyed
+//! by [`Circuit::structural_hash`], and every request — sweep, site,
+//! multi-cycle, Monte-Carlo — runs as small jobs on **one shared
+//! executor**, so concurrent requests against different circuits
+//! interleave across the worker pool instead of serializing.
+//!
+//! The service exists because the session layer became *owned*: an
+//! `Arc<AnalysisSession>` is `Send + Sync + 'static`, so it can sit in
+//! a cache, be handed to any number of concurrent requests, and be
+//! moved into executor closures — none of which the old
+//! `AnalysisSession<'circuit>` could do.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ser_epp::{
+    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential, AnalysisSession,
+    MultiCycleMcEstimate, MultiCycleResult, SiteEpp, SweepResults,
+};
+use ser_netlist::{Circuit, NodeId};
+use ser_sim::{MonteCarlo, SequentialMonteCarlo, SiteEstimate};
+
+use crate::executor::Executor;
+use crate::request::{
+    MultiCycleRequest, Request, Response, ResponseMeta, ResponsePayload, ServiceError, SiteRequest,
+};
+
+/// Tuning knobs of a [`SerService`].
+#[derive(Debug, Clone, Copy)]
+pub struct SerServiceConfig {
+    /// Warm sessions kept in the LRU; the least-recently-used session
+    /// is evicted when a new circuit arrives at capacity. Must be ≥ 1.
+    pub max_sessions: usize,
+    /// Executor worker threads. Must be ≥ 1.
+    pub threads: usize,
+    /// Sites per executor job when a sweep is fanned out. Smaller
+    /// batches interleave better with concurrent requests; larger
+    /// batches have less queue overhead. Must be ≥ 1.
+    pub sweep_batch_sites: usize,
+}
+
+impl Default for SerServiceConfig {
+    fn default() -> Self {
+        SerServiceConfig {
+            max_sessions: 8,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            sweep_batch_sites: 256,
+        }
+    }
+}
+
+/// Counters the service keeps (monotonic over its lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests that found a warm session in the cache.
+    pub session_hits: u64,
+    /// Requests that had to compile a session.
+    pub session_misses: u64,
+    /// Sessions evicted to make room.
+    pub evictions: u64,
+    /// Sessions currently cached.
+    pub sessions_cached: usize,
+}
+
+struct CacheEntry {
+    session: Arc<AnalysisSession>,
+    last_used: u64,
+}
+
+struct SessionCache {
+    entries: HashMap<u64, CacheEntry>,
+    /// Logical clock for LRU recency.
+    tick: u64,
+}
+
+/// The multi-circuit SER service. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use ser_netlist::parse_bench;
+/// use ser_service::{Request, SerService, SweepRequest};
+///
+/// let c: Arc<_> = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?.into();
+/// let service = SerService::with_defaults();
+/// let response = service.submit(&c, Request::Sweep(SweepRequest::default()))?;
+/// let sweep = response.as_sweep().unwrap();
+/// assert_eq!(sweep.len(), c.len());
+/// assert!(!response.meta.warm_session, "first request compiles");
+/// // Same netlist again: served from the warm cache.
+/// let again = service.submit(&c, Request::Sweep(SweepRequest::default()))?;
+/// assert!(again.meta.warm_session);
+/// assert_eq!(again.as_sweep().unwrap(), sweep);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct SerService {
+    config: SerServiceConfig,
+    executor: Executor,
+    cache: Mutex<SessionCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for SessionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCache")
+            .field("sessions", &self.entries.len())
+            .finish()
+    }
+}
+
+/// One executor job's output, tagged `(job, part)` for reassembly.
+enum Part {
+    Sweep(SweepResults),
+    Site(SiteEpp),
+    MultiCycle(MultiCycleResult, Option<MultiCycleMcEstimate>),
+    MonteCarlo(SiteEstimate),
+}
+
+/// `(job, part, result, completed_at)` — the timestamp is taken by the
+/// worker the moment the part finishes, so per-job wall time never
+/// includes time spent preparing or collecting *other* jobs.
+type PartMsg = (usize, usize, Result<Part, ServiceError>, Instant);
+
+/// A validated job waiting for its parts.
+struct Prepared {
+    session: Arc<AnalysisSession>,
+    warm: bool,
+    started: Instant,
+    /// Number of executor jobs this request fans out to.
+    parts: usize,
+    request: Request,
+}
+
+impl SerService {
+    /// Creates a service with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration field is 0.
+    #[must_use]
+    pub fn new(config: SerServiceConfig) -> Self {
+        assert!(config.max_sessions > 0, "cache at least one session");
+        assert!(
+            config.sweep_batch_sites > 0,
+            "batches need at least one site"
+        );
+        SerService {
+            executor: Executor::new(config.threads),
+            config,
+            cache: Mutex::new(SessionCache {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a service with [`SerServiceConfig::default`].
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        SerService::new(SerServiceConfig::default())
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SerServiceConfig {
+        &self.config
+    }
+
+    /// Current cache/request counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            session_hits: self.hits.load(Ordering::Relaxed),
+            session_misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            sessions_cached: self.cache.lock().expect("session cache").entries.len(),
+        }
+    }
+
+    /// The warm session for `circuit`: cached if its netlist hash is
+    /// known, compiled (session + cone plans) and cached otherwise.
+    /// Returns the session and whether it was warm.
+    ///
+    /// Compilation happens outside the cache lock, so a slow compile
+    /// never blocks requests against other circuits; if two threads
+    /// race to compile the same netlist, the first insert wins and the
+    /// loser adopts it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Compile`] when the circuit cannot be
+    /// compiled (cyclic, SP divergence).
+    pub fn session(
+        &self,
+        circuit: &Arc<Circuit>,
+    ) -> Result<(Arc<AnalysisSession>, bool), ServiceError> {
+        let key = circuit.structural_hash();
+        {
+            let mut cache = self.cache.lock().expect("session cache");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.entries.get_mut(&key) {
+                if same_circuit(entry.session.circuit_arc(), circuit) {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(&entry.session), true));
+                }
+                // A 64-bit hash collision between two *different*
+                // netlists: never serve the wrong session. The colliding
+                // circuits contend for one slot (correct, just not warm
+                // for both); fall through and recompile.
+                cache.entries.remove(&key);
+            }
+        }
+
+        // Miss: compile outside the lock. Cone plans are forced here so
+        // a "warm" session really is warm — the first sweep against it
+        // pays no plan build.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(AnalysisSession::new(Arc::clone(circuit))?);
+        let _ = session.epp().artifacts().cone_plans(circuit);
+
+        let mut cache = self.cache.lock().expect("session cache");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(entry) = cache.entries.get_mut(&key) {
+            if same_circuit(entry.session.circuit_arc(), circuit) {
+                // Lost a compile race; adopt the winner.
+                entry.last_used = tick;
+                return Ok((Arc::clone(&entry.session), true));
+            }
+            cache.entries.remove(&key);
+        }
+        if cache.entries.len() >= self.config.max_sessions {
+            let lru = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty cache");
+            cache.entries.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        cache.entries.insert(
+            key,
+            CacheEntry {
+                session: Arc::clone(&session),
+                last_used: tick,
+            },
+        );
+        Ok((session, false))
+    }
+
+    /// Serves one request. Equivalent to a one-element
+    /// [`submit_batch`](Self::submit_batch); the request's jobs still
+    /// fan out across the shared executor.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceError`].
+    pub fn submit(
+        &self,
+        circuit: &Arc<Circuit>,
+        request: Request,
+    ) -> Result<Response, ServiceError> {
+        self.submit_batch(vec![(Arc::clone(circuit), request)])
+            .pop()
+            .expect("one response per job")
+    }
+
+    /// Serves a batch of requests, possibly against different circuits.
+    /// Every request's jobs are enqueued up front, so sweeps on
+    /// distinct circuits run interleaved on the shared workers; the
+    /// responses come back in submission order.
+    ///
+    /// Results are **bit-identical** to running each request directly
+    /// on its session: the sweep fan-out re-partitions sites across
+    /// jobs, but each site is evaluated by the same plan kernel over
+    /// the same shared artifacts.
+    #[must_use]
+    pub fn submit_batch(
+        &self,
+        jobs: Vec<(Arc<Circuit>, Request)>,
+    ) -> Vec<Result<Response, ServiceError>> {
+        let (tx, rx) = mpsc::channel::<PartMsg>();
+        let mut prepared: Vec<Result<Prepared, ServiceError>> = Vec::with_capacity(jobs.len());
+
+        for (job_idx, (circuit, request)) in jobs.into_iter().enumerate() {
+            match self.prepare(&circuit, request, job_idx, &tx) {
+                Ok(p) => prepared.push(Ok(p)),
+                Err(e) => prepared.push(Err(e)),
+            }
+        }
+        drop(tx);
+
+        // Collect every part; per-job wall time runs from the job's own
+        // submission to the worker-side completion stamp of its slowest
+        // part — never inflated by neighbouring jobs' compiles or by
+        // when this thread got around to draining the channel.
+        let expected: usize = prepared
+            .iter()
+            .map(|p| p.as_ref().map(|p| p.parts).unwrap_or(0))
+            .sum();
+        let mut parts: Vec<Vec<(usize, Result<Part, ServiceError>)>> =
+            prepared.iter().map(|_| Vec::new()).collect();
+        let mut walls: Vec<Duration> = prepared
+            .iter()
+            .map(|p| match p {
+                // Jobs with no executor parts (e.g. an empty site list)
+                // are complete as soon as they were prepared.
+                Ok(p) if p.parts == 0 => p.started.elapsed(),
+                _ => Duration::ZERO,
+            })
+            .collect();
+        for _ in 0..expected {
+            let (job_idx, part_idx, part, completed_at) =
+                rx.recv().expect("a service job panicked before reporting");
+            parts[job_idx].push((part_idx, part));
+            if let Ok(prep) = &prepared[job_idx] {
+                walls[job_idx] =
+                    walls[job_idx].max(completed_at.saturating_duration_since(prep.started));
+            }
+        }
+
+        prepared
+            .into_iter()
+            .zip(parts)
+            .zip(walls)
+            .map(|((prep, mut parts), wall)| {
+                let prep = prep?;
+                parts.sort_unstable_by_key(|&(idx, _)| idx);
+                let payload = assemble(&prep.request, parts)?;
+                Ok(Response {
+                    meta: ResponseMeta {
+                        circuit: prep.session.circuit().name().to_owned(),
+                        netlist_hash: prep.session.circuit().structural_hash(),
+                        warm_session: prep.warm,
+                        wall,
+                    },
+                    payload,
+                })
+            })
+            .collect()
+    }
+
+    /// Validates one request, resolves its session and enqueues its
+    /// executor jobs. Returns the bookkeeping needed to reassemble.
+    fn prepare(
+        &self,
+        circuit: &Arc<Circuit>,
+        request: Request,
+        job_idx: usize,
+        tx: &mpsc::Sender<PartMsg>,
+    ) -> Result<Prepared, ServiceError> {
+        let started = Instant::now();
+        validate(circuit, &request)?;
+        let (session, warm) = self.session(circuit)?;
+
+        let parts = match &request {
+            Request::Sweep(req) => {
+                let sites: Vec<NodeId> = match &req.sites {
+                    Some(sites) => sites.clone(),
+                    None => circuit.node_ids().collect(),
+                };
+                let polarity = req.polarity;
+                let batches: Vec<Vec<NodeId>> = sites
+                    .chunks(self.config.sweep_batch_sites)
+                    .map(<[NodeId]>::to_vec)
+                    .collect();
+                let n_parts = batches.len();
+                for (part_idx, batch) in batches.into_iter().enumerate() {
+                    let session = Arc::clone(&session);
+                    let tx = tx.clone();
+                    self.executor.spawn(move || {
+                        let epp = session.epp();
+                        let results =
+                            epp.sweep_sites_with(&batch, polarity, 1, session.workspace_pool());
+                        let _ =
+                            tx.send((job_idx, part_idx, Ok(Part::Sweep(results)), Instant::now()));
+                    });
+                }
+                n_parts
+            }
+            Request::Site(SiteRequest { site }) => {
+                let site = *site;
+                let session = Arc::clone(&session);
+                let tx = tx.clone();
+                self.executor.spawn(move || {
+                    let _ = tx.send((
+                        job_idx,
+                        0,
+                        Ok(Part::Site(session.site(site))),
+                        Instant::now(),
+                    ));
+                });
+                1
+            }
+            Request::MultiCycle(req) => {
+                let req = *req;
+                let session = Arc::clone(&session);
+                let tx = tx.clone();
+                self.executor.spawn(move || {
+                    let part = run_multi_cycle(&session, &req);
+                    let _ = tx.send((job_idx, 0, part, Instant::now()));
+                });
+                1
+            }
+            Request::MonteCarlo(req) => {
+                let req = *req;
+                let session = Arc::clone(&session);
+                let tx = tx.clone();
+                self.executor.spawn(move || {
+                    let estimate = match req.target_error {
+                        Some(eps) => SequentialMonteCarlo::new(eps)
+                            .with_seed(req.seed)
+                            .with_max_vectors(req.vectors)
+                            .estimate_site(session.bit_sim(), req.site),
+                        None => MonteCarlo::new(req.vectors)
+                            .with_seed(req.seed)
+                            .estimate_site(session.bit_sim(), req.site),
+                    };
+                    let _ = tx.send((job_idx, 0, Ok(Part::MonteCarlo(estimate)), Instant::now()));
+                });
+                1
+            }
+        };
+        Ok(Prepared {
+            session,
+            warm,
+            started,
+            parts,
+            request,
+        })
+    }
+}
+
+/// `true` when a cached session's circuit really is the submitted one.
+/// The pointer check covers callers that resubmit the same `Arc`; the
+/// structural comparison (O(n), still far cheaper than a recompile)
+/// guards against 64-bit hash collisions serving the wrong circuit.
+fn same_circuit(cached: &Arc<Circuit>, submitted: &Arc<Circuit>) -> bool {
+    Arc::ptr_eq(cached, submitted) || cached == submitted
+}
+
+/// The multi-cycle leg runs analytic + optional simulation in one job
+/// (both are single-site and cheap relative to a sweep).
+fn run_multi_cycle(
+    session: &AnalysisSession,
+    req: &MultiCycleRequest,
+) -> Result<Part, ServiceError> {
+    let analytic = session.multi_cycle().site(req.site, req.cycles);
+    let monte_carlo = match req.monte_carlo {
+        None => None,
+        Some(mc) => Some(match mc.target_error {
+            Some(eps) => multi_cycle_monte_carlo_sequential(
+                Arc::clone(session.circuit_arc()),
+                req.site,
+                req.cycles,
+                eps,
+                mc.runs,
+                mc.seed,
+            )
+            .map_err(ServiceError::Simulation)?,
+            None => {
+                let cumulative = multi_cycle_monte_carlo(
+                    Arc::clone(session.circuit_arc()),
+                    req.site,
+                    req.cycles,
+                    mc.runs,
+                    mc.seed,
+                )
+                .map_err(ServiceError::Simulation)?;
+                MultiCycleMcEstimate {
+                    cumulative,
+                    runs: mc.runs,
+                    stopped_by_rule: false,
+                }
+            }
+        }),
+    };
+    Ok(Part::MultiCycle(analytic, monte_carlo))
+}
+
+/// Rejects malformed requests before any job is enqueued, so executor
+/// jobs never panic.
+fn validate(circuit: &Circuit, request: &Request) -> Result<(), ServiceError> {
+    let len = circuit.len();
+    let check_site = |site: NodeId| {
+        if site.index() < len {
+            Ok(())
+        } else {
+            Err(ServiceError::SiteOutOfRange { site, len })
+        }
+    };
+    let check_eps = |eps: Option<f64>| match eps {
+        Some(e) if !(e.is_finite() && e > 0.0 && e < 1.0) => Err(ServiceError::InvalidRequest(
+            format!("target_error {e} outside (0, 1)"),
+        )),
+        _ => Ok(()),
+    };
+    match request {
+        Request::Sweep(req) => {
+            for &site in req.sites.iter().flatten() {
+                check_site(site)?;
+            }
+            Ok(())
+        }
+        Request::Site(req) => check_site(req.site),
+        Request::MultiCycle(req) => {
+            check_site(req.site)?;
+            if req.cycles == 0 {
+                return Err(ServiceError::InvalidRequest("cycles must be ≥ 1".into()));
+            }
+            if let Some(mc) = req.monte_carlo {
+                if mc.runs == 0 {
+                    return Err(ServiceError::InvalidRequest("runs must be ≥ 1".into()));
+                }
+                check_eps(mc.target_error)?;
+            }
+            Ok(())
+        }
+        Request::MonteCarlo(req) => {
+            check_site(req.site)?;
+            if req.vectors == 0 {
+                return Err(ServiceError::InvalidRequest("vectors must be ≥ 1".into()));
+            }
+            check_eps(req.target_error)
+        }
+    }
+}
+
+/// Reassembles a request's parts (already in part order) into its
+/// response payload.
+fn assemble(
+    request: &Request,
+    parts: Vec<(usize, Result<Part, ServiceError>)>,
+) -> Result<ResponsePayload, ServiceError> {
+    match request {
+        Request::Sweep(_) => {
+            let mut arenas = Vec::with_capacity(parts.len());
+            for (_, part) in parts {
+                match part? {
+                    Part::Sweep(results) => arenas.push(results),
+                    _ => unreachable!("sweep jobs produce sweep parts"),
+                }
+            }
+            Ok(ResponsePayload::Sweep(SweepResults::concat(arenas)))
+        }
+        Request::Site(_) => match single(parts)? {
+            Part::Site(site) => Ok(ResponsePayload::Site(site)),
+            _ => unreachable!("site jobs produce site parts"),
+        },
+        Request::MultiCycle(_) => match single(parts)? {
+            Part::MultiCycle(analytic, monte_carlo) => Ok(ResponsePayload::MultiCycle {
+                analytic,
+                monte_carlo,
+            }),
+            _ => unreachable!("multi-cycle jobs produce multi-cycle parts"),
+        },
+        Request::MonteCarlo(_) => match single(parts)? {
+            Part::MonteCarlo(estimate) => Ok(ResponsePayload::MonteCarlo(estimate)),
+            _ => unreachable!("monte-carlo jobs produce monte-carlo parts"),
+        },
+    }
+}
+
+fn single(parts: Vec<(usize, Result<Part, ServiceError>)>) -> Result<Part, ServiceError> {
+    debug_assert_eq!(parts.len(), 1, "single-part request");
+    parts.into_iter().next().expect("single-part request").1
+}

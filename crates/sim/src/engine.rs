@@ -1,5 +1,7 @@
 //! The bit-parallel combinational evaluation engine.
 
+use std::sync::Arc;
+
 use ser_netlist::{Circuit, GateKind, NetlistError, NodeId};
 
 use crate::pattern::PatternBlock;
@@ -11,6 +13,13 @@ use crate::pattern::PatternBlock;
 /// sweep. Flip-flop values are *inputs* to a combinational evaluation —
 /// sequential behaviour is layered on top by
 /// [`SeqSim`](crate::SeqSim).
+///
+/// The simulator **owns** its circuit through an `Arc`: it has no
+/// lifetime parameter, can be cached, cloned and moved across threads
+/// freely (session layers and services build on this). Constructors
+/// accept anything convertible into an `Arc<Circuit>` — pass a borrowed
+/// `&Circuit` for convenience (cloned once) or an `Arc` you already
+/// hold (O(1)).
 ///
 /// # Examples
 ///
@@ -27,8 +36,8 @@ use crate::pattern::PatternBlock;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct BitSim<'c> {
-    circuit: &'c Circuit,
+pub struct BitSim {
+    circuit: Arc<Circuit>,
     /// Topological schedule over combinational edges.
     order: Vec<NodeId>,
     /// Source nodes (inputs then flip-flops, in declaration order): the
@@ -36,15 +45,16 @@ pub struct BitSim<'c> {
     sources: Vec<NodeId>,
 }
 
-impl<'c> BitSim<'c> {
+impl BitSim {
     /// Compiles a simulator for `circuit`.
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if the circuit's
     /// combinational graph is cyclic.
-    pub fn new(circuit: &'c Circuit) -> Result<Self, NetlistError> {
-        let order = ser_netlist::topo_order(circuit)?;
+    pub fn new(circuit: impl Into<Arc<Circuit>>) -> Result<Self, NetlistError> {
+        let circuit = circuit.into();
+        let order = ser_netlist::topo_order(&circuit)?;
         // Freshly computed order: no re-validation needed.
         Ok(Self::from_parts(circuit, order))
     }
@@ -63,15 +73,16 @@ impl<'c> BitSim<'c> {
     /// Panics if `order` is not a topological order of `circuit`'s
     /// combinational graph.
     #[must_use]
-    pub fn with_schedule(circuit: &'c Circuit, order: Vec<NodeId>) -> Self {
+    pub fn with_schedule(circuit: impl Into<Arc<Circuit>>, order: Vec<NodeId>) -> Self {
+        let circuit = circuit.into();
         assert!(
-            ser_netlist::is_topo_order(circuit, &order),
+            ser_netlist::is_topo_order(&circuit, &order),
             "schedule must be a topological order of the circuit"
         );
         Self::from_parts(circuit, order)
     }
 
-    fn from_parts(circuit: &'c Circuit, order: Vec<NodeId>) -> Self {
+    fn from_parts(circuit: Arc<Circuit>, order: Vec<NodeId>) -> Self {
         let sources = circuit
             .inputs()
             .iter()
@@ -87,8 +98,15 @@ impl<'c> BitSim<'c> {
 
     /// The circuit this simulator was compiled for.
     #[must_use]
-    pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The shared handle to that circuit — O(1) to clone, the way a
+    /// session or service hands the same netlist to further consumers.
+    #[must_use]
+    pub fn circuit_arc(&self) -> &Arc<Circuit> {
+        &self.circuit
     }
 
     /// The signals a caller assigns: primary inputs first (declaration

@@ -53,7 +53,7 @@ pub struct SiteFaultSim {
 impl SiteFaultSim {
     /// Builds the per-site schedule from a compiled simulator.
     #[must_use]
-    pub fn new(sim: &BitSim<'_>, site: NodeId) -> Self {
+    pub fn new(sim: &BitSim, site: NodeId) -> Self {
         let cone = FanoutCone::extract(sim.circuit(), site);
         let schedule = sim
             .schedule()
@@ -92,7 +92,7 @@ impl SiteFaultSim {
     ///
     /// Panics (debug) if `scratch` differs from `good` outside the cone.
     #[must_use]
-    pub fn inject(&self, sim: &BitSim<'_>, good: &[u64], scratch: &mut [u64]) -> FaultOutcome {
+    pub fn inject(&self, sim: &BitSim, good: &[u64], scratch: &mut [u64]) -> FaultOutcome {
         debug_assert_eq!(good.len(), scratch.len());
         let circuit = sim.circuit();
         // The erroneous value: complement of the fault-free value.

@@ -60,7 +60,7 @@ impl MonteCarlo {
     /// Estimates `P_sensitized` and per-output error-arrival
     /// probabilities for one error site.
     #[must_use]
-    pub fn estimate_site(&self, sim: &BitSim<'_>, site: NodeId) -> SiteEstimate {
+    pub fn estimate_site(&self, sim: &BitSim, site: NodeId) -> SiteEstimate {
         let fault = SiteFaultSim::new(sim, site);
         self.run_site(sim, &fault)
     }
@@ -68,14 +68,14 @@ impl MonteCarlo {
     /// Estimates every site in `sites`, reusing one PRNG stream; returns
     /// estimates in the same order.
     #[must_use]
-    pub fn estimate_sites(&self, sim: &BitSim<'_>, sites: &[NodeId]) -> Vec<SiteEstimate> {
+    pub fn estimate_sites(&self, sim: &BitSim, sites: &[NodeId]) -> Vec<SiteEstimate> {
         sites
             .iter()
             .map(|&site| self.estimate_site(sim, site))
             .collect()
     }
 
-    fn run_site(&self, sim: &BitSim<'_>, fault: &SiteFaultSim) -> SiteEstimate {
+    fn run_site(&self, sim: &BitSim, fault: &SiteFaultSim) -> SiteEstimate {
         let num_sources = sim.sources().len();
         let mut rng = SmallRng::seed_from_u64(self.seed ^ fault.site().index() as u64);
         let mut source_words = vec![0u64; num_sources];
@@ -243,7 +243,7 @@ impl SequentialMonteCarlo {
     /// sensitized vectors have been seen or the cap is reached.
     /// `SiteEstimate::vectors` reports the trials actually spent.
     #[must_use]
-    pub fn estimate_site(&self, sim: &BitSim<'_>, site: NodeId) -> SiteEstimate {
+    pub fn estimate_site(&self, sim: &BitSim, site: NodeId) -> SiteEstimate {
         let fault = SiteFaultSim::new(sim, site);
         let needed = self.successes_required();
         let num_sources = sim.sources().len();
@@ -310,7 +310,7 @@ impl SequentialMonteCarlo {
 
     /// Estimates every site in `sites`; returns estimates in order.
     #[must_use]
-    pub fn estimate_sites(&self, sim: &BitSim<'_>, sites: &[NodeId]) -> Vec<SiteEstimate> {
+    pub fn estimate_sites(&self, sim: &BitSim, sites: &[NodeId]) -> Vec<SiteEstimate> {
         sites
             .iter()
             .map(|&site| self.estimate_site(sim, site))

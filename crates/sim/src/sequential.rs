@@ -6,12 +6,18 @@
 //! across cycles — which the suite uses for the sequential-extension
 //! experiments.
 
+use std::sync::Arc;
+
 use ser_netlist::{Circuit, NetlistError, NodeId};
 
 use crate::engine::BitSim;
 
 /// A sequential bit-parallel simulator: 64 independent trajectories of
 /// the same circuit, stepped cycle by cycle.
+///
+/// Owns its circuit through the underlying [`BitSim`] — no lifetime
+/// parameter; constructors accept `&Circuit` (cloned once) or an
+/// `Arc<Circuit>` (shared, O(1)).
 ///
 /// # Examples
 ///
@@ -31,13 +37,13 @@ use crate::engine::BitSim;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct SeqSim<'c> {
-    sim: BitSim<'c>,
+pub struct SeqSim {
+    sim: BitSim,
     /// Current Q value word per flip-flop, in `circuit.dffs()` order.
     state: Vec<u64>,
 }
 
-impl<'c> SeqSim<'c> {
+impl SeqSim {
     /// Compiles a sequential simulator for `circuit`, with all
     /// flip-flops initialized to 0.
     ///
@@ -45,21 +51,21 @@ impl<'c> SeqSim<'c> {
     ///
     /// Returns [`NetlistError::CombinationalCycle`] if the combinational
     /// graph is cyclic.
-    pub fn new(circuit: &'c Circuit) -> Result<Self, NetlistError> {
+    pub fn new(circuit: impl Into<Arc<Circuit>>) -> Result<Self, NetlistError> {
         let sim = BitSim::new(circuit)?;
-        let state = vec![0u64; circuit.num_dffs()];
+        let state = vec![0u64; sim.circuit().num_dffs()];
         Ok(SeqSim { sim, state })
     }
 
     /// The underlying combinational engine.
     #[must_use]
-    pub fn engine(&self) -> &BitSim<'c> {
+    pub fn engine(&self) -> &BitSim {
         &self.sim
     }
 
     /// The circuit being simulated.
     #[must_use]
-    pub fn circuit(&self) -> &'c Circuit {
+    pub fn circuit(&self) -> &Circuit {
         self.sim.circuit()
     }
 

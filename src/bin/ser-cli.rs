@@ -4,20 +4,36 @@
 //! ser-cli info    <netlist>                   structural summary
 //! ser-cli analyze <netlist> [--top N]         whole-circuit SER report
 //! ser-cli epp     <netlist> <node>            per-site EPP detail
+//! ser-cli batch   <jobs.jsonl>                run a JSONL job file through the service
+//! ser-cli serve                               line-oriented service on stdin/stdout
 //! ser-cli gen     <profile> [--seed S] [-o F] emit a synthetic benchmark
 //! ser-cli convert <in> <out>                  .bench <-> .v conversion
 //! ```
 //!
 //! Netlists may be ISCAS `.bench` files or structural Verilog (`.v`);
 //! the format is chosen by file extension.
+//!
+//! `batch` and `serve` both speak the JSONL job protocol documented in
+//! [`ser_suite::service::jobs`]: one job object per line, one JSON
+//! response (or error) line back per job. `batch` submits the whole
+//! file as one interleaved batch; `serve` answers line by line on
+//! stdin/stdout while keeping every compiled circuit warm in the
+//! session LRU.
 
+use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::fs;
+use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ser_suite::epp::{AnalysisSession, CircuitSerAnalysis};
 use ser_suite::gen::{profile, synthesize};
 use ser_suite::netlist::{
     parse_bench, parse_verilog, write_bench, write_verilog, Circuit, CircuitStats,
+};
+use ser_suite::service::{
+    json_escape, parse_job_line, JobSpec, Response, ResponsePayload, SerService, SerServiceConfig,
 };
 
 fn load(path: &str) -> Result<Circuit, String> {
@@ -110,6 +126,229 @@ fn cmd_epp(path: &str, node_name: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads netlists for the service commands, caching by path so a job
+/// file naming one netlist many times parses (and hashes) it once.
+struct CircuitCache {
+    by_path: HashMap<String, Arc<Circuit>>,
+}
+
+impl CircuitCache {
+    fn new() -> Self {
+        CircuitCache {
+            by_path: HashMap::new(),
+        }
+    }
+
+    fn load(&mut self, path: &str) -> Result<Arc<Circuit>, String> {
+        if let Some(c) = self.by_path.get(path) {
+            return Ok(Arc::clone(c));
+        }
+        let circuit: Arc<Circuit> = Arc::new(load(path)?);
+        self.by_path.insert(path.to_owned(), Arc::clone(&circuit));
+        Ok(circuit)
+    }
+}
+
+/// Renders one served response as a JSON line.
+fn response_json(spec: &JobSpec, circuit: &Circuit, response: &Response) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"circuit\": \"{}\", \"netlist_hash\": \"{:016x}\", \"warm\": {}, \"wall_us\": {}",
+        json_escape(&response.meta.circuit),
+        response.meta.netlist_hash,
+        response.meta.warm_session,
+        response.meta.wall.as_micros()
+    );
+    match &response.payload {
+        ResponsePayload::Sweep(sweep) => {
+            let total: f64 = sweep.p_sensitized().iter().sum();
+            let _ = write!(
+                out,
+                ", \"op\": \"sweep\", \"nodes\": {}, \"total_p_sensitized\": {total:.6}",
+                sweep.len()
+            );
+            let top = spec.top.unwrap_or(5);
+            if top > 0 {
+                let mut ranked: Vec<usize> = (0..sweep.len()).collect();
+                ranked.sort_by(|&a, &b| {
+                    sweep.p_sensitized()[b]
+                        .partial_cmp(&sweep.p_sensitized()[a])
+                        .expect("finite probabilities")
+                });
+                out.push_str(", \"top\": [");
+                for (i, &pos) in ranked.iter().take(top).enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let site = sweep.get(pos);
+                    let _ = write!(
+                        out,
+                        "{{\"node\": \"{}\", \"p_sensitized\": {:.6}}}",
+                        json_escape(circuit.node(site.site()).name()),
+                        site.p_sensitized()
+                    );
+                }
+                out.push(']');
+            }
+        }
+        ResponsePayload::Site(site) => {
+            let _ = write!(
+                out,
+                ", \"op\": \"site\", \"node\": \"{}\", \"p_sensitized\": {:.6}, \"on_path_gates\": {}",
+                json_escape(circuit.node(site.site()).name()),
+                site.p_sensitized(),
+                site.on_path_gates()
+            );
+        }
+        ResponsePayload::MonteCarlo(est) => {
+            let _ = write!(
+                out,
+                ", \"op\": \"monte_carlo\", \"node\": \"{}\", \"p_sensitized\": {:.6}, \"vectors\": {}",
+                json_escape(circuit.node(est.site).name()),
+                est.p_sensitized,
+                est.vectors
+            );
+        }
+        ResponsePayload::MultiCycle {
+            analytic,
+            monte_carlo,
+        } => {
+            let _ = write!(
+                out,
+                ", \"op\": \"multi_cycle\", \"node\": \"{}\", \"cumulative\": [{}]",
+                json_escape(circuit.node(analytic.site).name()),
+                analytic
+                    .cumulative
+                    .iter()
+                    .map(|p| format!("{p:.6}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            if let Some(mc) = monte_carlo {
+                let _ = write!(
+                    out,
+                    ", \"mc_cumulative\": [{}], \"mc_runs\": {}, \"mc_stopped_by_rule\": {}",
+                    mc.cumulative
+                        .iter()
+                        .map(|p| format!("{p:.6}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    mc.runs,
+                    mc.stopped_by_rule
+                );
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn error_json(line_no: usize, message: &str) -> String {
+    format!(
+        "{{\"line\": {line_no}, \"error\": \"{}\"}}",
+        json_escape(message)
+    )
+}
+
+fn service_config(args: &[String]) -> Result<SerServiceConfig, String> {
+    let mut config = SerServiceConfig::default();
+    if let Some(threads) = flag_value(args, "--threads") {
+        config.threads = threads
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .ok_or_else(|| "bad --threads value (need a positive integer)".to_owned())?;
+    }
+    if let Some(sessions) = flag_value(args, "--sessions") {
+        config.max_sessions = sessions
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .ok_or_else(|| "bad --sessions value (need a positive integer)".to_owned())?;
+    }
+    Ok(config)
+}
+
+/// `batch`: parse the whole job file, submit it as one interleaved
+/// batch, print one response line per job in file order.
+fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let service = SerService::new(config);
+    let mut cache = CircuitCache::new();
+    // Parse every line first; a bad line fails the whole batch up front
+    // (jobs may take minutes — better to reject early).
+    let mut specs: Vec<(usize, JobSpec, Arc<Circuit>)> = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let spec = parse_job_line(line).map_err(|e| format!("line {}: {e}", line_no + 1))?;
+        let circuit = cache
+            .load(&spec.netlist)
+            .map_err(|e| format!("line {}: {e}", line_no + 1))?;
+        specs.push((line_no + 1, spec, circuit));
+    }
+    let jobs = specs
+        .iter()
+        .map(|(line_no, spec, circuit)| {
+            let request = spec
+                .to_request(circuit)
+                .map_err(|e| format!("line {line_no}: {e}"))?;
+            Ok((Arc::clone(circuit), request))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let responses = service.submit_batch(jobs);
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    for ((line_no, spec, circuit), response) in specs.iter().zip(responses) {
+        let line = match response {
+            Ok(r) => response_json(spec, circuit, &r),
+            Err(e) => error_json(*line_no, &e.to_string()),
+        };
+        writeln!(w, "{line}").map_err(|e| e.to_string())?;
+    }
+    let stats = service.stats();
+    eprintln!(
+        "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached)",
+        specs.len(),
+        stats.session_hits,
+        stats.session_misses,
+        stats.evictions,
+        stats.sessions_cached
+    );
+    Ok(())
+}
+
+/// `serve`: answer JSONL jobs line by line on stdin/stdout, holding
+/// compiled sessions warm between requests until EOF.
+fn cmd_serve(config: SerServiceConfig) -> Result<(), String> {
+    let service = SerService::new(config);
+    let mut cache = CircuitCache::new();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    for (line_no, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let answer = (|| -> Result<String, String> {
+            let spec = parse_job_line(&line)?;
+            let circuit = cache.load(&spec.netlist)?;
+            let request = spec.to_request(&circuit)?;
+            let response = service
+                .submit(&circuit, request)
+                .map_err(|e| e.to_string())?;
+            Ok(response_json(&spec, &circuit, &response))
+        })()
+        .unwrap_or_else(|e| error_json(line_no + 1, &e));
+        writeln!(w, "{answer}").map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
 fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
     let p = profile(name).ok_or_else(|| {
         format!("unknown profile `{name}` (try s953, s1196, ..., s38417, s298, s344, s386, s526)")
@@ -127,7 +366,7 @@ fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>"
+    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N]\n  ser-cli serve   [--threads N] [--sessions N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>"
         .to_owned()
 }
 
@@ -167,6 +406,11 @@ fn run() -> Result<(), String> {
             let node = args.get(2).ok_or_else(usage)?;
             cmd_epp(path, node)
         }
+        Some("batch") => {
+            let path = args.get(1).ok_or_else(usage)?;
+            cmd_batch(path, service_config(&args)?)
+        }
+        Some("serve") => cmd_serve(service_config(&args)?),
         Some("convert") => {
             let input = args.get(1).ok_or_else(usage)?;
             let output = args.get(2).ok_or_else(usage)?;

@@ -11,6 +11,7 @@
 //! | [`sp`] | `ser-sp` | signal-probability engines |
 //! | [`epp`] | `ser-epp` | the paper's EPP computation and the SER model |
 //! | [`gen`] | `ser-gen` | benchmark circuits and generators |
+//! | [`service`] | `ser-service` | multi-circuit batch service: warm session LRU + shared executor |
 //!
 //! # Examples
 //!
@@ -63,5 +64,6 @@
 pub use ser_epp as epp;
 pub use ser_gen as gen;
 pub use ser_netlist as netlist;
+pub use ser_service as service;
 pub use ser_sim as sim;
 pub use ser_sp as sp;

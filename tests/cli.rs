@@ -111,3 +111,57 @@ fn bad_usage_fails_with_message() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn batch_serves_jsonl_jobs_with_warm_reuse() {
+    let bench = temp_path("batch_s298.bench");
+    let jobs = temp_path("jobs.jsonl");
+    let out = cli()
+        .args(["gen", "s298", "--seed", "3", "-o"])
+        .arg(&bench)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    let netlist = bench.to_str().unwrap();
+    std::fs::write(
+        &jobs,
+        format!(
+            "# a comment line\n\
+             {{\"op\": \"sweep\", \"netlist\": \"{netlist}\", \"top\": 2}}\n\
+             \n\
+             {{\"op\": \"site\", \"netlist\": \"{netlist}\", \"node\": \"G0\"}}\n\
+             {{\"op\": \"monte_carlo\", \"netlist\": \"{netlist}\", \"node\": \"G0\", \"vectors\": 1000}}\n"
+        ),
+    )
+    .unwrap();
+
+    let out = cli()
+        .args(["batch"])
+        .arg(&jobs)
+        .args(["--threads", "2", "--sessions", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "batch failed: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one response per job: {text}");
+    assert!(lines[0].contains("\"op\": \"sweep\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"warm\": false"), "first compiles");
+    assert!(lines[1].contains("\"op\": \"site\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"warm\": true"), "second is warm");
+    assert!(lines[2].contains("\"vectors\": 1000"), "{}", lines[2]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("2 warm hits"), "stats on stderr: {err}");
+
+    // A malformed job file is rejected before anything runs.
+    std::fs::write(&jobs, "{\"op\": \"warp\", \"netlist\": \"x\"}\n").unwrap();
+    let out = cli().args(["batch"]).arg(&jobs).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown op"), "stderr: {err}");
+
+    for p in [&bench, &jobs] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,326 @@
+//! Integration tests for the `SerService` batch front-end and the
+//! owned-session API it rides on: LRU eviction/reuse semantics,
+//! cross-thread session sharing, and bit-identical equivalence of
+//! service responses vs direct owned-session calls.
+
+use std::sync::Arc;
+
+use ser_suite::epp::{AnalysisSession, PolarityMode};
+use ser_suite::gen::{c17, iscas89_like, ripple_carry_adder};
+use ser_suite::netlist::Circuit;
+use ser_suite::service::{
+    MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, ResponsePayload,
+    SerService, SerServiceConfig, ServiceError, SiteRequest, SweepRequest,
+};
+use ser_suite::sim::{MonteCarlo, SequentialMonteCarlo};
+
+fn arc(c: Circuit) -> Arc<Circuit> {
+    Arc::new(c)
+}
+
+/// The owned session is what the service relies on: cheap to clone,
+/// shareable across threads, `'static`.
+#[test]
+fn owned_sessions_are_send_sync_and_cheaply_cloneable() {
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<AnalysisSession>();
+    assert_send_sync::<SerService>();
+
+    let circuit = arc(c17());
+    let session = Arc::new(AnalysisSession::new(Arc::clone(&circuit)).unwrap());
+    // A clone shares the compiled artifacts and scratch pool — and a
+    // clone taken BEFORE the first simulator use still shares the one
+    // eventual BitSim compilation (the OnceLock cell is shared, not
+    // copied empty).
+    let clone = AnalysisSession::clone(&session);
+    assert!(Arc::ptr_eq(session.topo(), clone.topo()));
+    assert!(std::ptr::eq(
+        session.workspace_pool(),
+        clone.workspace_pool()
+    ));
+    assert!(
+        std::ptr::eq(session.bit_sim(), clone.bit_sim()),
+        "clones share one compiled simulator"
+    );
+    // And the session handle itself moves across threads.
+    let handle = {
+        let session = Arc::clone(&session);
+        std::thread::spawn(move || session.sweep(1))
+    };
+    let theirs = handle.join().unwrap();
+    assert_eq!(theirs, session.sweep(1), "cross-thread sweep identical");
+}
+
+/// Service sweep responses are bit-identical to direct session calls,
+/// even though the service re-partitions the sweep into executor jobs.
+#[test]
+fn service_sweep_is_bit_identical_to_direct_session() {
+    for circuit in [
+        arc(c17()),
+        arc(ripple_carry_adder(8)),
+        arc(iscas89_like("s298").unwrap()),
+    ] {
+        let service = SerService::new(SerServiceConfig {
+            max_sessions: 4,
+            threads: 4,
+            sweep_batch_sites: 10, // force many parts per sweep
+        });
+        let response = service
+            .submit(&circuit, Request::Sweep(SweepRequest::default()))
+            .unwrap();
+        let sweep = response.as_sweep().unwrap();
+
+        let direct = AnalysisSession::new(Arc::clone(&circuit)).unwrap();
+        for threads in [1, 4] {
+            assert_eq!(
+                sweep,
+                &direct.sweep(threads),
+                "{}: service vs direct ({threads} threads)",
+                circuit.name()
+            );
+        }
+
+        // Single-site and Monte-Carlo requests too.
+        let site = circuit.node_ids().last().unwrap();
+        let via_service = service
+            .submit(&circuit, Request::Site(SiteRequest { site }))
+            .unwrap();
+        assert_eq!(via_service.as_site().unwrap(), &direct.site(site));
+
+        let mc_req = MonteCarloRequest {
+            site,
+            vectors: 4_096,
+            target_error: None,
+            seed: 11,
+        };
+        let via_service = service
+            .submit(&circuit, Request::MonteCarlo(mc_req))
+            .unwrap();
+        let mc = MonteCarlo::new(4_096).with_seed(11);
+        assert_eq!(
+            via_service.as_monte_carlo().unwrap(),
+            &direct.monte_carlo_site(&mc, site)
+        );
+
+        // Sequential (Mendo) Monte-Carlo goes through the same rule.
+        let seq_req = MonteCarloRequest {
+            site,
+            vectors: 1 << 16,
+            target_error: Some(0.1),
+            seed: 11,
+        };
+        let via_service = service
+            .submit(&circuit, Request::MonteCarlo(seq_req))
+            .unwrap();
+        let rule = SequentialMonteCarlo::new(0.1)
+            .with_seed(11)
+            .with_max_vectors(1 << 16);
+        assert_eq!(
+            via_service.as_monte_carlo().unwrap(),
+            &rule.estimate_site(direct.bit_sim(), site)
+        );
+    }
+}
+
+/// Warm-cache behavior: hits on resubmission, LRU eviction at
+/// capacity, and recency updates.
+#[test]
+fn lru_reuses_and_evicts_sessions() {
+    let a = arc(c17());
+    let b = arc(ripple_carry_adder(4));
+    let c = arc(iscas89_like("s298").unwrap());
+    let service = SerService::new(SerServiceConfig {
+        max_sessions: 2,
+        threads: 2,
+        sweep_batch_sites: 64,
+    });
+
+    // Compile a and b (2 misses), then hit both.
+    let (sa1, warm_a1) = service.session(&a).unwrap();
+    let (sb1, warm_b1) = service.session(&b).unwrap();
+    assert!(!warm_a1 && !warm_b1);
+    let (sa2, warm_a2) = service.session(&a).unwrap();
+    assert!(warm_a2, "second lookup is warm");
+    assert!(Arc::ptr_eq(&sa1, &sa2), "the very same session object");
+
+    // Touch order is now b, a (a most recent). Adding c evicts b.
+    let (_, warm_c) = service.session(&c).unwrap();
+    assert!(!warm_c);
+    let stats = service.stats();
+    assert_eq!(stats.session_misses, 3);
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.sessions_cached, 2);
+
+    // a survived (recently used), b was evicted and recompiles.
+    let (sa3, warm_a3) = service.session(&a).unwrap();
+    assert!(warm_a3);
+    assert!(Arc::ptr_eq(&sa1, &sa3));
+    let (sb2, warm_b2) = service.session(&b).unwrap();
+    assert!(!warm_b2, "b was the LRU victim");
+    assert!(!Arc::ptr_eq(&sb1, &sb2), "recompiled session");
+    assert_eq!(service.stats().evictions, 2, "c evicted in turn");
+}
+
+/// The acceptance scenario: one service, two distinct circuits, sweeps
+/// submitted concurrently from multiple threads against the warm
+/// cache — every response bit-identical to a direct session call.
+#[test]
+fn serves_two_circuits_concurrently_from_warm_cache() {
+    let a = arc(iscas89_like("s298").unwrap());
+    let b = arc(ripple_carry_adder(8));
+    let service = Arc::new(SerService::new(SerServiceConfig {
+        max_sessions: 4,
+        threads: 4,
+        sweep_batch_sites: 16,
+    }));
+    // Warm both circuits.
+    service.session(&a).unwrap();
+    service.session(&b).unwrap();
+
+    let expected_a = AnalysisSession::new(Arc::clone(&a)).unwrap().sweep(1);
+    let expected_b = AnalysisSession::new(Arc::clone(&b)).unwrap().sweep(1);
+
+    // One interleaved batch mixing both circuits…
+    let responses = service.submit_batch(vec![
+        (Arc::clone(&a), Request::Sweep(SweepRequest::default())),
+        (Arc::clone(&b), Request::Sweep(SweepRequest::default())),
+        (Arc::clone(&a), Request::Sweep(SweepRequest::default())),
+    ]);
+    for (i, expected) in [&expected_a, &expected_b, &expected_a].iter().enumerate() {
+        let r = responses[i].as_ref().unwrap();
+        assert!(r.meta.warm_session, "response {i} came from the warm cache");
+        assert_eq!(r.as_sweep().unwrap(), *expected, "response {i}");
+    }
+
+    // …and genuinely concurrent submitters sharing the service.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let circuit = if i % 2 == 0 {
+                Arc::clone(&a)
+            } else {
+                Arc::clone(&b)
+            };
+            std::thread::spawn(move || {
+                service
+                    .submit(&circuit, Request::Sweep(SweepRequest::default()))
+                    .unwrap()
+            })
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.join().unwrap();
+        let expected = if i % 2 == 0 { &expected_a } else { &expected_b };
+        assert!(r.meta.warm_session);
+        assert_eq!(r.as_sweep().unwrap(), expected, "submitter {i}");
+    }
+}
+
+/// Multi-cycle requests through the service match the direct engines,
+/// including the Mendo sequential-stopping simulation leg.
+#[test]
+fn multi_cycle_request_matches_direct_engines() {
+    let circuit = arc(iscas89_like("s298").unwrap());
+    let service = SerService::with_defaults();
+    let site = circuit.find("G0").unwrap();
+    let request = MultiCycleRequest {
+        site,
+        cycles: 3,
+        monte_carlo: Some(MultiCycleMcRequest {
+            runs: 2_048,
+            target_error: Some(0.2),
+            seed: 9,
+        }),
+    };
+    let response = service
+        .submit(&circuit, Request::MultiCycle(request))
+        .unwrap();
+    let ResponsePayload::MultiCycle {
+        analytic,
+        monte_carlo,
+    } = &response.payload
+    else {
+        panic!("multi-cycle payload expected");
+    };
+
+    let session = AnalysisSession::new(Arc::clone(&circuit)).unwrap();
+    assert_eq!(analytic, &session.multi_cycle().site(site, 3));
+    let direct = ser_suite::epp::multi_cycle_monte_carlo_sequential(
+        Arc::clone(&circuit),
+        site,
+        3,
+        0.2,
+        2_048,
+        9,
+    )
+    .unwrap();
+    assert_eq!(monte_carlo.as_ref().unwrap(), &direct);
+}
+
+/// Sweep over an explicit site subset and an explicit polarity.
+#[test]
+fn subset_sweep_with_polarity() {
+    let circuit = arc(c17());
+    let service = SerService::with_defaults();
+    let sites: Vec<_> = circuit.node_ids().take(4).collect();
+    let response = service
+        .submit(
+            &circuit,
+            Request::Sweep(SweepRequest {
+                sites: Some(sites.clone()),
+                polarity: PolarityMode::Merged,
+            }),
+        )
+        .unwrap();
+    let sweep = response.as_sweep().unwrap();
+    assert_eq!(sweep.sites(), sites.as_slice());
+
+    let session = AnalysisSession::new(Arc::clone(&circuit)).unwrap();
+    let direct =
+        session
+            .epp()
+            .sweep_sites_with(&sites, PolarityMode::Merged, 1, session.workspace_pool());
+    assert_eq!(sweep, &direct);
+}
+
+/// Malformed requests come back as typed errors, not worker panics.
+#[test]
+fn invalid_requests_are_rejected_up_front() {
+    let circuit = arc(c17());
+    let service = SerService::with_defaults();
+    let bogus = ser_suite::netlist::NodeId::from_index(10_000);
+    let err = service
+        .submit(&circuit, Request::Site(SiteRequest { site: bogus }))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::SiteOutOfRange { .. }), "{err}");
+
+    let err = service
+        .submit(
+            &circuit,
+            Request::MonteCarlo(MonteCarloRequest {
+                site: circuit.node_ids().next().unwrap(),
+                vectors: 100,
+                target_error: Some(1.5),
+                seed: 1,
+            }),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::InvalidRequest(_)), "{err}");
+
+    // A failed job in a batch doesn't poison its neighbours.
+    let results = service.submit_batch(vec![
+        (
+            Arc::clone(&circuit),
+            Request::Site(SiteRequest { site: bogus }),
+        ),
+        (
+            Arc::clone(&circuit),
+            Request::Sweep(SweepRequest::default()),
+        ),
+    ]);
+    assert!(results[0].is_err());
+    assert_eq!(
+        results[1].as_ref().unwrap().as_sweep().unwrap().len(),
+        circuit.len()
+    );
+}

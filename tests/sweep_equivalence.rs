@@ -31,7 +31,7 @@ fn build(inputs: usize, gates: usize, reconv: f64, xf: f64, seed: u64) -> Circui
 /// Asserts one sweep against per-site reference passes, bit for bit.
 fn assert_sweep_matches_reference(
     circuit: &Circuit,
-    analysis: &EppAnalysis<'_>,
+    analysis: &EppAnalysis,
     sweep: &SweepResults,
     polarity: PolarityMode,
 ) {
