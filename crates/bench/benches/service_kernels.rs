@@ -14,6 +14,8 @@ fn warm_service(threads: usize) -> (SerService, Arc<ser_netlist::Circuit>) {
         max_sessions: 4,
         threads,
         sweep_batch_sites: 64,
+        // Exercise the kernel path, not the response cache.
+        max_sweep_responses: 0,
     });
     service.session(&circuit).unwrap();
     (service, circuit)

@@ -42,6 +42,9 @@ fn fresh_service(threads: usize) -> SerService {
         max_sessions: 8,
         threads,
         sweep_batch_sites: 256,
+        // The warm-sweep rows measure the *kernel* path; response
+        // caching would short-circuit every repeat to a map lookup.
+        max_sweep_responses: 0,
     })
 }
 

@@ -16,15 +16,19 @@
 //!   speedup with scheduling kept out of the picture.
 //! - `batched_mt`: the cone-plan sweep under the work-stealing
 //!   scheduler at the machine's parallelism.
-//! - `plan_build_ms`: one-time cone-plan compilation cost (amortized
+//! - `plan_build_ms`: one-time cone-plan compilation cost of the
+//!   **reverse-topological** builder (what production pays, amortized
 //!   across every subsequent sweep of the session).
+//! - `plan_build_dfs_ms` / `plan_speedup`: the retained per-site-DFS
+//!   reference builder's cost on the same circuit, and the ratio — the
+//!   cold-start win of the merge builder.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use ser_epp::{AnalysisSession, PolarityMode, SiteWorkspace};
 use ser_gen::synthesize;
-use ser_netlist::NodeId;
+use ser_netlist::{ConePlans, NodeId};
 
 /// Latency percentile over a sorted sample, in microseconds.
 fn percentile_us(sorted: &[f64], q: f64) -> f64 {
@@ -92,13 +96,30 @@ fn main() {
             p99_us: percentile_us(&ref_lat, 0.99),
         };
 
-        // --- Plan build (one-time, then cached on the session). -------
+        // --- Plan build: both builders, explicitly timed. -------------
+        // The reference (per-site DFS + sort) builder first…
+        let topo = epp.artifacts();
         let plan_start = Instant::now();
+        let dfs_plans =
+            ConePlans::build_reference_bounded_with_threads(&circuit, topo, usize::MAX, threads)
+                .expect("unbounded build cannot decline");
+        let plan_build_dfs_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+        // …then the reverse-topological merge builder (the production
+        // path), which must produce the identical arena.
+        let plan_start = Instant::now();
+        let merged_plans =
+            ConePlans::build_bounded_with_threads(&circuit, topo, usize::MAX, threads)
+                .expect("unbounded build cannot decline");
+        let plan_build_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(merged_plans, dfs_plans, "builders must be bit-identical");
+        drop((merged_plans, dfs_plans));
+        let plan_speedup = plan_build_dfs_ms / plan_build_ms;
+        // Warm the session's own cached plans so the sweeps below pay
+        // no build.
         assert!(
             epp.artifacts().cone_plans(&circuit).is_some(),
             "bench circuits fit the plan budget"
         );
-        let plan_build_ms = plan_start.elapsed().as_secs_f64() * 1e3;
 
         // --- Batched, one thread: the kernel speedup. -----------------
         let t = Instant::now();
@@ -133,7 +154,7 @@ fn main() {
         let speedup_1t = batched_1t.sites_per_sec / reference.sites_per_sec;
         let speedup_mt = (n as f64 / batched_mt_total) / reference.sites_per_sec;
         eprintln!(
-            "{name}: {n} nodes | ref {:.0}/s | batched(1t) {:.0}/s ({speedup_1t:.2}x) | batched({}t used) {:.0}/s ({speedup_mt:.2}x) | plans {plan_build_ms:.1}ms",
+            "{name}: {n} nodes | ref {:.0}/s | batched(1t) {:.0}/s ({speedup_1t:.2}x) | batched({}t used) {:.0}/s ({speedup_mt:.2}x) | plans {plan_build_ms:.1}ms (dfs {plan_build_dfs_ms:.1}ms, {plan_speedup:.1}x)",
             reference.sites_per_sec,
             batched_1t.sites_per_sec,
             sweep_mt.threads_used(),
@@ -143,7 +164,7 @@ fn main() {
         let mut rec = String::from("  {");
         let _ = write!(
             rec,
-            "\"circuit\": \"{name}\", \"nodes\": {n}, \"plan_build_ms\": {plan_build_ms:.3}, "
+            "\"circuit\": \"{name}\", \"nodes\": {n}, \"plan_build_ms\": {plan_build_ms:.3}, \"plan_build_dfs_ms\": {plan_build_dfs_ms:.3}, \"plan_speedup\": {plan_speedup:.3}, "
         );
         rec.push_str(&json_engine("reference", &reference));
         rec.push_str(", ");

@@ -79,14 +79,20 @@ impl FourValue {
         v
     }
 
-    /// Reassembles a tuple from components previously produced by this
-    /// type's own getters — no checks, no clamping, bit-exact. Used by
-    /// the structure-of-arrays sweep planes, which store the four
-    /// components in separate `f64` slices and must round-trip them
-    /// without perturbation.
+    /// The tuple as a 4-wide lane array `[Pa, Pā, P0, P1]` — the shape
+    /// the fused sweep kernel computes in (one 32-byte load/store per
+    /// tuple, `std::simd::f64x4`-ready). Bit-exact.
     #[inline]
     #[must_use]
-    pub(crate) const fn from_parts(pa: f64, pa_bar: f64, p0: f64, p1: f64) -> Self {
+    pub(crate) const fn lanes(self) -> [f64; 4] {
+        [self.pa, self.pa_bar, self.p0, self.p1]
+    }
+
+    /// Inverse of [`lanes`](Self::lanes): no checks, no clamping,
+    /// bit-exact.
+    #[inline]
+    #[must_use]
+    pub(crate) const fn from_lanes([pa, pa_bar, p0, p1]: [f64; 4]) -> Self {
         FourValue { pa, pa_bar, p0, p1 }
     }
 

@@ -26,7 +26,7 @@
 //! into worker threads — the substrate the multi-circuit `SerService`
 //! batch front-end builds on.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ser_netlist::{Circuit, NodeId, TopoArtifacts};
@@ -34,6 +34,16 @@ use ser_sim::{BitSim, MonteCarlo, SiteEstimate};
 use ser_sp::{IndependentSp, InputProbs, SpEngine, SpError, SpVector};
 
 use crate::engine::{EppAnalysis, SiteEpp, WorkspacePool};
+
+/// One cached [`MultiCycleEpp`](crate::MultiCycleEpp) compilation,
+/// pinned to the exact SP vector it was compiled under. Identity
+/// (`Arc::ptr_eq`), not the numeric revision, is the cache key: clones
+/// of one session each count revisions independently, so two diverged
+/// clones can share a revision *number* while holding different SP
+/// vectors — the pinned `Arc` cannot be confused that way (and keeps
+/// its allocation alive, so pointer reuse is impossible while the
+/// entry exists).
+type MultiCycleSlot = Arc<Mutex<Option<(Arc<SpVector>, Arc<crate::MultiCycleEpp>)>>>;
 use crate::exact::{ExactEpp, ExactSiteEpp};
 use crate::exact_bdd::BddExactEpp;
 use crate::sweep::SweepResults;
@@ -99,6 +109,13 @@ pub struct AnalysisSession {
     /// `Arc` so clones taken *before* the first use still share the one
     /// eventual compilation.
     sim: Arc<OnceLock<BitSim>>,
+    /// The compiled multi-cycle frame-expansion tables, pinned to the
+    /// SP vector they were compiled under — repeated multi-cycle
+    /// queries reuse them instead of re-running one EPP sweep per
+    /// flip-flop, and any [`set_inputs`](Self::set_inputs) invalidates
+    /// them by construction (it installs a fresh SP `Arc`, so the
+    /// identity check fails). Shared by clones.
+    multi_cycle: MultiCycleSlot,
     /// Shared by clones, so a cloned session reuses the same scratch.
     pool: Arc<WorkspacePool>,
 }
@@ -155,6 +172,7 @@ impl AnalysisSession {
             sp_time,
             revision: 1,
             sim: Arc::new(OnceLock::new()),
+            multi_cycle: Arc::new(Mutex::new(None)),
             pool: Arc::new(WorkspacePool::new()),
         })
     }
@@ -192,6 +210,7 @@ impl AnalysisSession {
             sp_time,
             revision: 1,
             sim: Arc::new(OnceLock::new()),
+            multi_cycle: Arc::new(Mutex::new(None)),
             pool: Arc::new(WorkspacePool::new()),
         })
     }
@@ -378,10 +397,58 @@ impl AnalysisSession {
 
     /// The multi-cycle frame expansion compiled on the session's
     /// artifacts (one EPP pass per flip-flop; no recomputation of order
-    /// or SP).
+    /// or SP). Always compiles fresh tables; prefer
+    /// [`multi_cycle_cached`](Self::multi_cycle_cached) when the same
+    /// session serves repeated multi-cycle queries.
     #[must_use]
     pub fn multi_cycle(&self) -> crate::MultiCycleEpp {
         crate::MultiCycleEpp::with_analysis(self.epp())
+    }
+
+    /// The multi-cycle frame-expansion tables, compiled **at most once
+    /// per SP vector** and shared: repeated multi-cycle requests skip
+    /// the per-flip-flop EPP sweep entirely. The cached tables are
+    /// pinned to the exact `Arc<SpVector>` they were compiled under
+    /// (identity-checked, not revision-numbered — diverged clones can
+    /// share a revision number but never an SP allocation), so a
+    /// [`set_inputs`](Self::set_inputs) on this session or any clone
+    /// invalidates automatically — the next call recompiles against
+    /// the caller's own signal probabilities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ser_netlist::parse_bench;
+    /// use ser_epp::AnalysisSession;
+    ///
+    /// let c = parse_bench("INPUT(x)\nOUTPUT(y)\nu = NOT(x)\nq = DFF(u)\ny = NOT(q)\n", "p")?;
+    /// let session = AnalysisSession::new(&c)?;
+    /// let first = session.multi_cycle_cached();
+    /// let again = session.multi_cycle_cached();
+    /// assert!(std::sync::Arc::ptr_eq(&first, &again), "compiled once");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    #[must_use]
+    pub fn multi_cycle_cached(&self) -> Arc<crate::MultiCycleEpp> {
+        let mut slot = self.multi_cycle.lock().expect("multi-cycle cache lock");
+        if let Some((sp, tables)) = slot.as_ref() {
+            if Arc::ptr_eq(sp, &self.sp) {
+                return Arc::clone(tables);
+            }
+        }
+        let tables = Arc::new(crate::MultiCycleEpp::with_analysis(self.epp()));
+        *slot = Some((Arc::clone(&self.sp), Arc::clone(&tables)));
+        tables
+    }
+
+    /// The shared handle to the current SP vector. Its **identity** is
+    /// what uniquely names an input distribution: every
+    /// [`set_inputs`](Self::set_inputs) installs a fresh `Arc`, while
+    /// the numeric [`revision`](Self::revision) is a per-clone counter
+    /// that diverged clones can collide on.
+    #[must_use]
+    pub fn signal_probabilities_arc(&self) -> &Arc<SpVector> {
+        &self.sp
     }
 
     /// BDD-backed exact EPP for one site, reusing the session's cached
@@ -527,6 +594,68 @@ mod tests {
         assert_eq!(session.workspace_pool().idle(), 1);
         let _ = session.site(c.find("a").unwrap());
         assert_eq!(session.workspace_pool().idle(), 1);
+    }
+
+    #[test]
+    fn multi_cycle_cache_compiles_once_per_revision() {
+        let c = parse_bench(
+            "INPUT(x)\nOUTPUT(y)\nu = NOT(x)\nq = DFF(u)\ny = NOT(q)\n",
+            "pipe",
+        )
+        .unwrap();
+        let mut session = AnalysisSession::new(&c).unwrap();
+        let u = c.find("u").unwrap();
+
+        let first = session.multi_cycle_cached();
+        let again = session.multi_cycle_cached();
+        assert!(Arc::ptr_eq(&first, &again), "same compiled tables");
+        // Cached tables produce the same results as a fresh compile.
+        assert_eq!(first.site(u, 3), session.multi_cycle().site(u, 3));
+        // Clones share the cache slot.
+        assert!(Arc::ptr_eq(&session.clone().multi_cycle_cached(), &first));
+
+        // SP invalidation evicts by key: the next call recompiles
+        // against the new signal probabilities.
+        let x = c.find("x").unwrap();
+        session
+            .set_inputs(InputProbs::uniform(0.5).with(x, 0.9))
+            .unwrap();
+        let fresh = session.multi_cycle_cached();
+        assert!(!Arc::ptr_eq(&fresh, &first), "revision bump recompiles");
+        assert_eq!(fresh.site(u, 3), session.multi_cycle().site(u, 3));
+        assert!(Arc::ptr_eq(&session.multi_cycle_cached(), &fresh));
+    }
+
+    #[test]
+    fn multi_cycle_cache_is_safe_across_divergent_clones() {
+        // Two clones of one session share the cache slot but then
+        // diverge: both reach revision 2 with *different* inputs. The
+        // SP-identity key must keep them from serving each other's
+        // tables (a numeric revision key would not).
+        let c = parse_bench(
+            "INPUT(x)\nINPUT(z)\nOUTPUT(y)\nu = AND(x, z)\nq = DFF(u)\ny = NOT(q)\n",
+            "pipe",
+        )
+        .unwrap();
+        let base = AnalysisSession::new(&c).unwrap();
+        let mut s1 = base.clone();
+        let mut s2 = base.clone();
+        // `z` masks the error on `x` at the AND, so the multi-cycle
+        // observation probability genuinely depends on SP(z).
+        let z = c.find("z").unwrap();
+        s1.set_inputs(InputProbs::uniform(0.5).with(z, 0.1))
+            .unwrap();
+        s2.set_inputs(InputProbs::uniform(0.5).with(z, 0.9))
+            .unwrap();
+        assert_eq!(s1.revision(), s2.revision(), "revisions collide");
+
+        let x = c.find("x").unwrap();
+        let t1 = s1.multi_cycle_cached();
+        let t2 = s2.multi_cycle_cached();
+        assert!(!Arc::ptr_eq(&t1, &t2), "diverged clones get own tables");
+        assert_eq!(t1.site(x, 2), s1.multi_cycle().site(x, 2));
+        assert_eq!(t2.site(x, 2), s2.multi_cycle().site(x, 2));
+        assert_ne!(t1.site(x, 2), t2.site(x, 2), "inputs differ");
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::engine::{
     WorkspacePool,
 };
 use crate::four_value::FourValue;
-use crate::rules::propagate;
+use crate::rules::{propagate_fused, RuleOp};
 
 /// Below this many sites a parallel sweep is all coordination and no
 /// work: the scheduler runs single-threaded instead. (The old engine
@@ -50,18 +50,18 @@ pub const SINGLE_THREAD_SWEEP_THRESHOLD: usize = 64;
 /// wildly) at the cost of a little queue traffic.
 const BATCHES_PER_THREAD: usize = 8;
 
-/// Per-thread scratch for the batched sweep: the four-value planes in
-/// structure-of-arrays form, indexed by cone-local position, plus the
-/// fanin gather buffer. Grows to the largest cone it evaluates and is
-/// reused across sites, sweeps and circuits (pool it via
+/// Per-thread scratch for the batched sweep: the `(Pa, Pā, P0, P1)`
+/// value planes indexed by cone-local position, stored as one 4-wide
+/// lane array `[f64; 4]` per position — so reading or writing one
+/// tuple is a single bounds check and one contiguous 32-byte access
+/// (the `std::simd::f64x4` memory shape), and the slice-pattern
+/// destructuring in the fused rules compiles without per-component
+/// bounds checks. Grows to the largest cone it evaluates and is reused
+/// across sites, sweeps and circuits (pool it via
 /// [`WorkspacePool::checkout_sweep`]).
 #[derive(Debug, Default)]
 pub struct SweepWorkspace {
-    pa: Vec<f64>,
-    pa_bar: Vec<f64>,
-    p0: Vec<f64>,
-    p1: Vec<f64>,
-    fanin_buf: Vec<FourValue>,
+    lanes: Vec<[f64; 4]>,
 }
 
 impl SweepWorkspace {
@@ -74,29 +74,23 @@ impl SweepWorkspace {
     /// Current plane capacity (largest cone seen so far).
     #[must_use]
     pub fn plane_len(&self) -> usize {
-        self.pa.len()
+        self.lanes.len()
     }
 
     fn ensure(&mut self, len: usize) {
-        if self.pa.len() < len {
-            self.pa.resize(len, 0.0);
-            self.pa_bar.resize(len, 0.0);
-            self.p0.resize(len, 0.0);
-            self.p1.resize(len, 0.0);
+        if self.lanes.len() < len {
+            self.lanes.resize(len, [0.0; 4]);
         }
     }
 
     #[inline]
     fn read(&self, pos: usize) -> FourValue {
-        FourValue::from_parts(self.pa[pos], self.pa_bar[pos], self.p0[pos], self.p1[pos])
+        FourValue::from_lanes(self.lanes[pos])
     }
 
     #[inline]
     fn write(&mut self, pos: usize, v: FourValue) {
-        self.pa[pos] = v.pa();
-        self.pa_bar[pos] = v.pa_bar();
-        self.p0[pos] = v.p0();
-        self.p1[pos] = v.p1();
+        self.lanes[pos] = v.lanes();
     }
 }
 
@@ -611,9 +605,15 @@ impl EppAnalysis {
     }
 
     /// The allocation-free plan-driven kernel for one site: evaluates
-    /// the precompiled cone over the SoA planes, appends the per-point
-    /// arrivals to `points_out`, and returns
+    /// the precompiled cone over the 4-wide lane planes, appends the
+    /// per-point arrivals to `points_out`, and returns
     /// `(p_sensitized, on-path gates, points appended)`.
+    ///
+    /// Per gate, the rule is dispatched **once** ([`RuleOp::of`],
+    /// outside the per-fanin loop) and the fused rule core consumes
+    /// fanin lanes straight off the planes / SP vector — no
+    /// intermediate tuple buffer, no per-fanin re-dispatch, one fused
+    /// traversal where the slice-based rules made three.
     ///
     /// Performs the exact same float operations in the exact same order
     /// as [`site_with_workspace`](Self::site_with_workspace) — the two
@@ -631,19 +631,24 @@ impl EppAnalysis {
         ws.ensure(len);
         ws.write(0, FourValue::error_site());
 
-        let sp = self.signal_probabilities();
+        let sp: &[f64] = self.signal_probabilities().as_slice();
         for (pos, &kind) in plan.kinds().iter().enumerate().skip(1) {
-            ws.fanin_buf.clear();
-            for &raw in plan.fanin_refs(pos) {
-                let tuple = match FaninRef::decode(raw) {
-                    FaninRef::OnPath(local) => ws.read(local),
-                    FaninRef::OffPath(idx) => {
-                        FourValue::from_signal_probability(sp.get(NodeId::from_index(idx)))
-                    }
-                };
-                ws.fanin_buf.push(tuple);
-            }
-            let mut out = propagate(kind, &ws.fanin_buf);
+            let op = RuleOp::of(kind);
+            let lanes = &ws.lanes;
+            let mut out = propagate_fused(
+                op,
+                plan.fanin_refs(pos)
+                    .iter()
+                    .map(|&raw| match FaninRef::decode(raw) {
+                        FaninRef::OnPath(local) => lanes[local],
+                        FaninRef::OffPath(idx) => {
+                            // Keeps `from_signal_probability`'s range
+                            // check: a bad SP must panic here, like the
+                            // reference path, not corrupt the sweep.
+                            FourValue::from_signal_probability(sp[idx]).lanes()
+                        }
+                    }),
+            );
             if polarity == PolarityMode::Merged {
                 // Collapse Pā into Pa after every gate — same ablation
                 // transform as the reference path.

@@ -155,6 +155,9 @@ impl TopoArtifacts {
     /// The cached per-site cone plans, built on first use and shared by
     /// every consumer of these artifacts (the batched sweep engine reads
     /// them instead of re-running a DFS + sort per site per sweep).
+    /// Compilation uses the reverse-topological merge builder
+    /// ([`ConePlans::build_bounded`]), which derives each cone from its
+    /// successors' instead of rediscovering it by DFS.
     ///
     /// Returns `None` — once, cached — when the circuit's plan arena
     /// would exceed [`ConePlans::DEFAULT_MEMBER_BUDGET`] total cone

@@ -8,6 +8,11 @@
 //! so the forward traversal stops at DFF nodes: reaching a D pin means
 //! the error is latched (an observe point), not combinationally
 //! propagated.
+//!
+//! [`FanoutCone`] is the *definitional* (per-site DFS) form of the
+//! cone; the sweep engine compiles the same sets for every site at
+//! once through the reverse-topological [`crate::ConePlans`] builder,
+//! which is tested to agree with this one.
 
 use crate::circuit::{Circuit, NodeId, ObservePoint};
 use crate::gate::GateKind;

@@ -10,6 +10,27 @@
 //! sort and a per-fanin membership test. [`ConePlans`] computes it
 //! **once per circuit** in one flat CSR-style arena, so a sweep kernel
 //! degenerates to reading precomputed indices.
+//!
+//! # How the plans are built
+//!
+//! Cone *membership* is computed by a single **reverse-topological
+//! pass** ([`MergedCones`]): walking nodes from the last topological
+//! position down to the first, each node's cone is `{self}` followed by
+//! the sorted-merge of its combinational successors' already-built
+//! cones. Reachability over the DFF-clipped adjacency satisfies
+//! `reach(v) = {v} ∪ ⋃_{s ∈ comb_fanout(v)} reach(s)`, every successor
+//! cone is already a position-sorted list, and `v`'s position is
+//! strictly below everything reachable from it — so one merge per node
+//! replaces the per-site DFS *and* the per-site sort the original
+//! builder paid. The classification pass (fanin on/off-path packing,
+//! observe refs) then runs over contiguous site ranges exactly as
+//! before, in parallel, stitched deterministically.
+//!
+//! The original per-site-DFS builder is retained as
+//! [`ConePlans::build_reference`] — the semantic definition the
+//! reverse-topological builder is proptest-checked to match bit for
+//! bit (`tests/plan_builder.rs`), and the baseline the sweep benchmark
+//! reports `plan_build_ms` against.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -130,12 +151,12 @@ impl ConePlans {
     /// an atomic claim cursor is what balances the load.
     const CHUNKS_PER_THREAD: usize = 8;
 
-    /// Builds the plans for every node of `circuit`. One DFS + one sort
-    /// per site, paid once; `topo` supplies the positions and the
-    /// DFF-clipped fanout adjacency. Sites are independent, so large
-    /// circuits are built in parallel (see
-    /// [`build_bounded_with_threads`](Self::build_bounded_with_threads));
-    /// the result is identical whatever the thread count.
+    /// Builds the plans for every node of `circuit` with the
+    /// reverse-topological builder: one merge pass over all cones, then
+    /// a parallel classification pass. `topo` supplies the positions and
+    /// the DFF-clipped fanout adjacency. The result is identical
+    /// whatever the thread count, and bit-identical to
+    /// [`build_reference`](Self::build_reference).
     ///
     /// # Panics
     ///
@@ -167,13 +188,18 @@ impl ConePlans {
     }
 
     /// [`build_bounded`](Self::build_bounded) with an explicit worker
-    /// count. The per-site DFS loop is embarrassingly parallel: workers
-    /// claim contiguous site ranges through an atomic cursor, build
-    /// per-range plan fragments, and the fragments are stitched back in
-    /// site order — so the arena is bit-identical to a single-threaded
-    /// build. The member budget is enforced globally through a shared
-    /// counter; whether the build declines is deterministic (the total
-    /// member count does not depend on scheduling).
+    /// count.
+    ///
+    /// Phase 1 computes every cone's membership in one sequential
+    /// reverse-topological merge pass (see the [module docs](self)) —
+    /// this is where the member budget is enforced, and the decision is
+    /// trivially deterministic (the pass is sequential and the total is
+    /// scheduling-independent, exactly like the reference builder's
+    /// shared counter). Phase 2 classifies fanins and packs the arena
+    /// over contiguous site ranges claimed through an atomic cursor and
+    /// stitched back in site order, so the arena is bit-identical to a
+    /// single-threaded build — and to the per-site-DFS
+    /// [`build_reference_bounded_with_threads`](Self::build_reference_bounded_with_threads).
     ///
     /// # Panics
     ///
@@ -187,6 +213,64 @@ impl ConePlans {
         threads: usize,
     ) -> Option<Self> {
         assert!(threads > 0, "at least one thread");
+        assert_eq!(topo.len(), circuit.len(), "artifacts must cover every node");
+        let cones = MergedCones::build(topo, max_members)?;
+        Self::assemble(circuit, topo, Some(&cones), max_members, threads)
+    }
+
+    /// The original per-site-DFS builder, retained as the semantic
+    /// reference: one DFS + one sort per site. The reverse-topological
+    /// [`build`](Self::build) is proptest-checked to be bit-identical
+    /// to this path; the sweep benchmark reports both builders' cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` was not computed from `circuit`.
+    #[must_use]
+    pub fn build_reference(circuit: &Circuit, topo: &TopoArtifacts) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::build_reference_bounded_with_threads(circuit, topo, usize::MAX, threads)
+            .expect("unbounded build cannot decline")
+    }
+
+    /// [`build_reference`](Self::build_reference) with an explicit
+    /// member budget and worker count — the per-site DFS loop is
+    /// embarrassingly parallel: workers claim contiguous site ranges
+    /// through an atomic cursor, build per-range plan fragments, and
+    /// the fragments are stitched back in site order. The member budget
+    /// is enforced globally through a shared counter; whether the build
+    /// declines is deterministic (the total member count does not
+    /// depend on scheduling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or `topo` was not computed from
+    /// `circuit`.
+    #[must_use]
+    pub fn build_reference_bounded_with_threads(
+        circuit: &Circuit,
+        topo: &TopoArtifacts,
+        max_members: usize,
+        threads: usize,
+    ) -> Option<Self> {
+        assert!(threads > 0, "at least one thread");
+        Self::assemble(circuit, topo, None, max_members, threads)
+    }
+
+    /// The shared classification-and-packing pass: derives each site's
+    /// packed plan either from phase-1 [`MergedCones`] (the
+    /// reverse-topological builder) or by per-site DFS + sort (the
+    /// reference builder), over contiguous site ranges, in parallel,
+    /// stitched deterministically.
+    fn assemble(
+        circuit: &Circuit,
+        topo: &TopoArtifacts,
+        cones: Option<&MergedCones>,
+        max_members: usize,
+        threads: usize,
+    ) -> Option<Self> {
         let n = circuit.len();
         assert_eq!(topo.len(), n, "artifacts must cover every node");
 
@@ -206,16 +290,17 @@ impl ConePlans {
             over_budget: &over_budget,
         };
 
+        // The merged path packs through flat per-position tables; the
+        // reference path walks `Node`s directly.
+        let tables = cones.map(|_| PackTables::build(circuit, topo, &obs_of_signal));
+        let run_range = |range: Range<usize>, scratch: &mut ChunkScratch| match (cones, &tables) {
+            (Some(c), Some(t)) => build_chunk_merged(topo, c, t, range, &budget, scratch),
+            _ => build_chunk_reference(circuit, topo, &obs_of_signal, range, &budget, scratch),
+        };
+
         let chunks: Vec<PlanChunk> = if threads == 1 || n < Self::PARALLEL_BUILD_THRESHOLD {
             let mut scratch = ChunkScratch::new(n);
-            vec![build_chunk(
-                circuit,
-                topo,
-                &obs_of_signal,
-                0..n,
-                &budget,
-                &mut scratch,
-            )?]
+            vec![run_range(0..n, &mut scratch)?]
         } else {
             let chunk_len = n.div_ceil(threads * Self::CHUNKS_PER_THREAD).max(1);
             let ranges: Vec<Range<usize>> = (0..n)
@@ -229,8 +314,8 @@ impl ConePlans {
                     .map(|_| {
                         let cursor = &cursor;
                         let ranges = &ranges;
-                        let obs_of_signal = &obs_of_signal;
                         let budget = &budget;
+                        let run_range = &run_range;
                         scope.spawn(move || {
                             // One scratch per worker, reused across every
                             // range it claims.
@@ -244,14 +329,7 @@ impl ConePlans {
                                 if budget.exceeded() {
                                     break;
                                 }
-                                let Some(chunk) = build_chunk(
-                                    circuit,
-                                    topo,
-                                    obs_of_signal,
-                                    range.clone(),
-                                    budget,
-                                    &mut scratch,
-                                ) else {
+                                let Some(chunk) = run_range(range.clone(), &mut scratch) else {
                                     break;
                                 };
                                 built.push((range.start, chunk));
@@ -271,6 +349,24 @@ impl ConePlans {
             debug_assert_eq!(parts.len(), ranges.len(), "every range built");
             parts.into_iter().map(|(_, chunk)| chunk).collect()
         };
+
+        // A single fragment (the sequential path) already is the final
+        // arena — adopt its vectors instead of copying ~all of the plan
+        // memory through the stitch loop.
+        if chunks.len() == 1 {
+            let chunk = chunks.into_iter().next().expect("one chunk");
+            debug_assert_eq!(chunk.member_off.len(), n + 1);
+            return Some(ConePlans {
+                member_off: chunk.member_off,
+                members: chunk.members,
+                kinds: chunk.kinds,
+                member_fanin_off: chunk.member_fanin_off,
+                fanin_refs: chunk.fanin_refs,
+                observe_off: chunk.observe_off,
+                observe_refs: chunk.observe_refs,
+                max_cone_len: chunk.max_cone_len,
+            });
+        }
 
         // Stitch the fragments in site order. Member and observe entries
         // are position-independent (fanin refs are cone-local or node
@@ -359,6 +455,222 @@ impl ConePlans {
     }
 }
 
+/// Per-topo-position lookup tables compiled once per build for the
+/// packing pass — the flat-array form of everything the per-member
+/// loop needs, so packing 9M+ cone members never chases a pointer into
+/// a `Node`:
+///
+/// - the gate kind,
+/// - each fanin pin as `(fanin topo position, pre-packed off-path
+///   ref)` — the off-path encoding of a pin is site-independent, so it
+///   is computed exactly once here; the packing loop only has to pick
+///   between it and the cone-local on-path index,
+/// - the observe-point indices of the position's signal.
+struct PackTables {
+    kind_by_pos: Vec<GateKind>,
+    /// CSR offsets per position into `fanins`. Length `n + 1`.
+    fanin_off: Vec<u32>,
+    /// Fanin pins in declaration order, duplicates preserved.
+    fanins: Vec<(u32, u32)>,
+    /// CSR offsets per position into `observes`. Length `n + 1`.
+    obs_off: Vec<u32>,
+    /// Observe-point indices (the artifacts' observe order).
+    observes: Vec<u32>,
+    /// `(topo position of the observed signal, observe index)` in
+    /// observe order — for the per-site scan strategy (see
+    /// [`scan_observe_points`](Self::scan_observe_points)).
+    obs_points: Vec<(u32, u32)>,
+}
+
+impl PackTables {
+    fn build(circuit: &Circuit, topo: &TopoArtifacts, obs_of_signal: &[Vec<u32>]) -> Self {
+        let n = circuit.len();
+        let mut tables = PackTables {
+            kind_by_pos: Vec::with_capacity(n),
+            fanin_off: Vec::with_capacity(n + 1),
+            fanins: Vec::new(),
+            obs_off: Vec::with_capacity(n + 1),
+            observes: Vec::new(),
+            obs_points: Vec::new(),
+        };
+        tables.fanin_off.push(0);
+        tables.obs_off.push(0);
+        for &id in topo.order() {
+            let node = circuit.node(id);
+            tables.kind_by_pos.push(node.kind());
+            for &f in node.fanin() {
+                tables
+                    .fanins
+                    .push((topo.position(f), FaninRef::encode_off_path(f)));
+            }
+            tables
+                .fanin_off
+                .push(u32::try_from(tables.fanins.len()).expect("edge count fits u32"));
+            tables
+                .observes
+                .extend_from_slice(&obs_of_signal[id.index()]);
+            tables
+                .obs_off
+                .push(u32::try_from(tables.observes.len()).expect("observe refs fit u32"));
+        }
+        for (i, p) in topo.observe_points().iter().enumerate() {
+            tables.obs_points.push((
+                topo.position(p.signal()),
+                u32::try_from(i).expect("observe fits u32"),
+            ));
+        }
+        tables
+    }
+
+    fn fanins_of(&self, pos: usize) -> &[(u32, u32)] {
+        &self.fanins[self.fanin_off[pos] as usize..self.fanin_off[pos + 1] as usize]
+    }
+
+    fn observes_of(&self, pos: usize) -> &[u32] {
+        &self.observes[self.obs_off[pos] as usize..self.obs_off[pos + 1] as usize]
+    }
+
+    /// Chooses how a chunk's reachable observe points are gathered —
+    /// the two strategies emit identical refs (observe order), they
+    /// only differ in cost:
+    ///
+    /// - **scan** (`true`): walk the circuit's observe-point list once
+    ///   per site testing cone membership — `O(sites × observe points)`
+    ///   for the chunk, already sorted;
+    /// - **probe** (`false`): consult the per-position CSR for every
+    ///   cone member, then sort — `O(chunk members)`, the right choice
+    ///   for observe-dense circuits (e.g. deep DFF pipelines).
+    ///
+    /// Both costs are chunk-local (`sites` is the chunk's site count,
+    /// `total_members` its member total), so parallel builds make the
+    /// same per-chunk choice a sequential build would.
+    fn scan_observe_points(&self, sites: usize, total_members: usize) -> bool {
+        (self.obs_points.len() as u64) * (sites as u64) < total_members as u64
+    }
+}
+
+/// Phase-1 output of the reverse-topological builder: every site's
+/// DFF-clipped cone as a list of **ascending topological positions**,
+/// in one flat arena indexed by topological position.
+///
+/// Built back-to-front: when position `p` is processed, every
+/// combinational successor (all at positions `> p`) already has its
+/// cone in the arena, so `p`'s cone is `[p]` followed by the
+/// duplicate-free sorted merge of the successors' cones. A single
+/// successor degenerates to a `memcpy` (`extend_from_within`), which is
+/// the overwhelmingly common case in gate-level netlists.
+struct MergedCones {
+    /// Per topo position: start of the cone's slice in `members_by_pos`.
+    start: Vec<u32>,
+    /// Per topo position: end of that slice.
+    end: Vec<u32>,
+    /// All cones, concatenated in build (reverse-topological) order.
+    members_by_pos: Vec<u32>,
+}
+
+impl MergedCones {
+    /// One site's cone as ascending topological positions (the site's
+    /// own position first).
+    fn cone(&self, pos: usize) -> &[u32] {
+        &self.members_by_pos[self.cone_range(pos)]
+    }
+
+    /// The arena slice of one site's cone — the same indices address
+    /// the [`ArenaTranslations`] arrays.
+    fn cone_range(&self, pos: usize) -> Range<usize> {
+        self.start[pos] as usize..self.end[pos] as usize
+    }
+
+    /// Runs the reverse-topological merge pass. Returns `None` as soon
+    /// as the arena exceeds `max_members` total cone members — the same
+    /// deterministic decision as the reference builder's shared
+    /// counter, since the total is a property of the circuit alone.
+    fn build(topo: &TopoArtifacts, max_members: usize) -> Option<Self> {
+        let n = topo.len();
+        let order = topo.order();
+        let mut start = vec![0u32; n];
+        let mut end = vec![0u32; n];
+        let mut members: Vec<u32> = Vec::with_capacity(n);
+        // Scratch for the ≥2-successor merge; reused across nodes.
+        let mut merge_buf: Vec<u32> = Vec::new();
+        let mut heads: Vec<(usize, usize)> = Vec::new();
+        for p in (0..n).rev() {
+            let cone_start = members.len();
+            members.push(u32::try_from(p).expect("node count fits u32"));
+            let succs = topo.comb_fanout(order[p]);
+            match succs.len() {
+                0 => {}
+                1 => {
+                    let sp = topo.position(succs[0]) as usize;
+                    members.extend_from_within(start[sp] as usize..end[sp] as usize);
+                }
+                2 => {
+                    // The most common multi-successor shape gets a
+                    // tight two-pointer merge with dedup.
+                    let ap = topo.position(succs[0]) as usize;
+                    let bp = topo.position(succs[1]) as usize;
+                    merge_buf.clear();
+                    let (mut i, ae) = (start[ap] as usize, end[ap] as usize);
+                    let (mut j, be) = (start[bp] as usize, end[bp] as usize);
+                    while i < ae && j < be {
+                        let (a, b) = (members[i], members[j]);
+                        merge_buf.push(a.min(b));
+                        i += usize::from(a <= b);
+                        j += usize::from(b <= a);
+                    }
+                    members.extend_from_slice(&merge_buf);
+                    // At most one tail remains; it is disjoint and
+                    // sorted, so it concatenates by straight copy.
+                    if i < ae {
+                        members.extend_from_within(i..ae);
+                    } else if j < be {
+                        members.extend_from_within(j..be);
+                    }
+                }
+                _ => {
+                    // K-way merge with dedup over the successors' sorted
+                    // position lists. K is the fanout degree (small);
+                    // every head equal to the minimum advances together,
+                    // which is what collapses reconvergent overlap.
+                    merge_buf.clear();
+                    heads.clear();
+                    heads.extend(succs.iter().map(|&s| {
+                        let sp = topo.position(s) as usize;
+                        (start[sp] as usize, end[sp] as usize)
+                    }));
+                    loop {
+                        let mut min: Option<u32> = None;
+                        for &(cur, e) in &heads {
+                            if cur < e {
+                                let v = members[cur];
+                                min = Some(min.map_or(v, |m| m.min(v)));
+                            }
+                        }
+                        let Some(m) = min else { break };
+                        merge_buf.push(m);
+                        for (cur, e) in &mut heads {
+                            if *cur < *e && members[*cur] == m {
+                                *cur += 1;
+                            }
+                        }
+                    }
+                    members.extend_from_slice(&merge_buf);
+                }
+            }
+            if members.len() > max_members {
+                return None;
+            }
+            start[p] = u32::try_from(cone_start).expect("cone members fit u32");
+            end[p] = u32::try_from(members.len()).expect("cone members fit u32");
+        }
+        Some(MergedCones {
+            start,
+            end,
+            members_by_pos: members,
+        })
+    }
+}
+
 /// One contiguous site range's share of the plan arena, with offsets
 /// local to the fragment (rebased during the stitch). All payload
 /// entries — members, kinds, fanin refs (cone-local or node-id), and
@@ -375,6 +687,41 @@ struct PlanChunk {
     max_cone_len: usize,
 }
 
+impl PlanChunk {
+    /// An empty fragment with offset rows opened for `sites` sites.
+    fn with_site_capacity(sites: usize) -> Self {
+        let mut chunk = PlanChunk {
+            member_off: Vec::with_capacity(sites + 1),
+            members: Vec::new(),
+            kinds: Vec::new(),
+            member_fanin_off: vec![0],
+            fanin_refs: Vec::new(),
+            observe_off: Vec::with_capacity(sites + 1),
+            observe_refs: Vec::new(),
+            max_cone_len: 0,
+        };
+        chunk.member_off.push(0);
+        chunk.observe_off.push(0);
+        chunk
+    }
+
+    /// Flushes one site's gathered observe refs (sorted into the
+    /// artifacts' observe order) and closes its offset rows.
+    fn finish_site(&mut self, site_obs: &mut [(u32, u32)]) {
+        site_obs.sort_unstable();
+        self.observe_refs.extend_from_slice(site_obs);
+        self.close_site_offsets();
+    }
+
+    /// Closes one site's offset rows (observe refs already emitted).
+    fn close_site_offsets(&mut self) {
+        self.member_off
+            .push(u32::try_from(self.members.len()).expect("cone members fit u32"));
+        self.observe_off
+            .push(u32::try_from(self.observe_refs.len()).expect("observe refs fit u32"));
+    }
+}
+
 /// Per-worker scratch for the chunked plan build: epoch-stamped
 /// membership, the node → cone-local map and the traversal buffers,
 /// allocated **once per worker** and reused across every range the
@@ -383,6 +730,10 @@ struct PlanChunk {
 struct ChunkScratch {
     stamp: Vec<u32>,
     local: Vec<u32>,
+    /// The merged path's combined membership + cone-local map, indexed
+    /// by topological position: `epoch << 32 | local`, so one L1 read
+    /// answers both "is this fanin on-path?" and "at which index?".
+    stamp_local: Vec<u64>,
     epoch: u32,
     cone: Vec<NodeId>,
     stack: Vec<NodeId>,
@@ -394,6 +745,7 @@ impl ChunkScratch {
         ChunkScratch {
             stamp: vec![0u32; n],
             local: vec![0u32; n],
+            stamp_local: vec![0u64; n],
             epoch: 0,
             cone: Vec::new(),
             stack: Vec::new(),
@@ -428,10 +780,12 @@ impl BuildBudget<'_> {
     }
 }
 
-/// Builds the plan fragment for `sites` (a contiguous id range). Charges
-/// every cone against the shared member budget and returns `None` on
-/// overflow.
-fn build_chunk(
+/// Builds the plan fragment for `sites` (a contiguous id range) with
+/// the per-site-DFS reference discovery: DFS over the DFF-clipped
+/// fanout adjacency, sort by topological position, classify fanins
+/// against the epoch-stamped membership. Charges every cone against
+/// the shared member budget and returns `None` on overflow.
+fn build_chunk_reference(
     circuit: &Circuit,
     topo: &TopoArtifacts,
     obs_of_signal: &[Vec<u32>],
@@ -439,18 +793,7 @@ fn build_chunk(
     budget: &BuildBudget<'_>,
     scratch: &mut ChunkScratch,
 ) -> Option<PlanChunk> {
-    let mut chunk = PlanChunk {
-        member_off: Vec::with_capacity(sites.len() + 1),
-        members: Vec::new(),
-        kinds: Vec::new(),
-        member_fanin_off: vec![0],
-        fanin_refs: Vec::new(),
-        observe_off: Vec::with_capacity(sites.len() + 1),
-        observe_refs: Vec::new(),
-        max_cone_len: 0,
-    };
-    chunk.member_off.push(0);
-    chunk.observe_off.push(0);
+    let mut chunk = PlanChunk::with_site_capacity(sites.len());
 
     let ChunkScratch {
         stamp,
@@ -459,6 +802,7 @@ fn build_chunk(
         cone,
         stack,
         site_obs,
+        ..
     } = scratch;
 
     for site_idx in sites {
@@ -523,16 +867,144 @@ fn build_chunk(
                 site_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
             }
         }
-        // Reachable observe points in the artifacts' observe order.
-        site_obs.sort_unstable();
-        chunk.observe_refs.extend_from_slice(site_obs);
+        chunk.finish_site(site_obs);
+    }
+    Some(chunk)
+}
 
+/// Builds the plan fragment for `sites` (a contiguous id range) from
+/// the phase-1 [`MergedCones`] arena and the flat [`PackTables`] — the
+/// reverse-topological builder’s packing pass.
+///
+/// One **fused pass** per cone does everything: stamp membership,
+/// emit the member/kind rows, and classify + emit the member's fanin
+/// refs. The fusion is sound because cones are sorted by topological
+/// position and every fanin's position is strictly below its
+/// consumer's — so by the time a member's pins are classified, every
+/// pin that *can* be on-path has already been stamped earlier in this
+/// same pass. Per member the loop touches only flat arrays indexed by
+/// topological position (it never walks a `Node`); membership and the
+/// cone-local index live in **one** epoch-stamped `u64` per position
+/// (`epoch << 32 | local`), so classification is a single L1 read; and
+/// every output vector is reserved up front from the phase-1 cone
+/// sizes so the packing runs realloc-free.
+fn build_chunk_merged(
+    topo: &TopoArtifacts,
+    cones: &MergedCones,
+    tables: &PackTables,
+    sites: Range<usize>,
+    budget: &BuildBudget<'_>,
+    scratch: &mut ChunkScratch,
+) -> Option<PlanChunk> {
+    let mut chunk = PlanChunk::with_site_capacity(sites.len());
+    let order = topo.order();
+
+    // Exact member total for this range (phase 1 knows every cone
+    // size), plus a density-based estimate for the fanin refs.
+    let total: usize = sites
+        .clone()
+        .map(|site_idx| {
+            cones
+                .cone_range(topo.position(NodeId::from_index(site_idx)) as usize)
+                .len()
+        })
+        .sum();
+    chunk.members.reserve_exact(total);
+    chunk.kinds.reserve_exact(total);
+    chunk.member_fanin_off.reserve_exact(total);
+    // Cone members skew toward logic gates, whose degree exceeds the
+    // all-nodes average (sources have none) — reserve with headroom so
+    // the hot loop never triggers a multi-ten-MB realloc copy.
+    let n = tables.kind_by_pos.len().max(1);
+    chunk
+        .fanin_refs
+        .reserve(total * tables.fanins.len() * 2 / n + 16);
+    let scan_observe = tables.scan_observe_points(sites.len(), total);
+
+    let ChunkScratch {
+        stamp_local,
+        epoch,
+        site_obs,
+        ..
+    } = scratch;
+
+    for site_idx in sites {
+        let site = NodeId::from_index(site_idx);
+        // New epoch: previous stamps invalidate in O(1). On wrap, reset.
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            stamp_local.fill(0);
+            *epoch = 1;
+        }
+        let epoch = u64::from(*epoch) << 32;
+
+        let cone = cones.cone(topo.position(site) as usize);
+        debug_assert_eq!(order[cone[0] as usize], site, "site first in cone");
+        if !budget.charge(cone.len()) {
+            return None;
+        }
+        chunk.max_cone_len = chunk.max_cone_len.max(cone.len());
+
+        // Stamp membership + the position → cone-local map: one u64
+        // write per member.
+        for (pos, &p) in cone.iter().enumerate() {
+            stamp_local[p as usize] = epoch | pos as u64;
+        }
+        // Members and kinds as exact-size `extend`s (no per-item
+        // capacity checks — the iterator length is trusted).
         chunk
-            .member_off
-            .push(u32::try_from(chunk.members.len()).expect("cone members fit u32"));
+            .members
+            .extend(cone.iter().map(|&p| order[p as usize]));
         chunk
-            .observe_off
-            .push(u32::try_from(chunk.observe_refs.len()).expect("observe refs fit u32"));
+            .kinds
+            .extend(cone.iter().map(|&p| tables.kind_by_pos[p as usize]));
+        // The site itself (member 0) carries no fanin refs; per further
+        // member, classify its pins straight off the CSR — the
+        // off-path packed ref was precomputed once per pin; on-path
+        // pins read the cone-local half of the stamp word.
+        chunk
+            .member_fanin_off
+            .push(u32::try_from(chunk.fanin_refs.len()).expect("fanin refs fit u32"));
+        for &p in &cone[1..] {
+            let p = p as usize;
+            debug_assert!(
+                tables.kind_by_pos[p].is_logic(),
+                "on-path non-site nodes are logic gates"
+            );
+            for &(pf, off_ref) in tables.fanins_of(p) {
+                let sl = stamp_local[pf as usize];
+                chunk.fanin_refs.push(if sl & !0xFFFF_FFFF == epoch {
+                    FaninRef::encode_on_path(sl as u32)
+                } else {
+                    off_ref
+                });
+            }
+            chunk
+                .member_fanin_off
+                .push(u32::try_from(chunk.fanin_refs.len()).expect("fanin refs fit u32"));
+        }
+        if scan_observe {
+            // Observe-sparse circuits: test each observe point against
+            // the cone instead of probing the CSR per member. Walking
+            // the observe list in order emits the refs already sorted.
+            for &(pos, obs) in &tables.obs_points {
+                let sl = stamp_local[pos as usize];
+                if sl & !0xFFFF_FFFF == epoch {
+                    chunk.observe_refs.push((obs, sl as u32));
+                }
+            }
+            chunk.close_site_offsets();
+        } else {
+            // Observe-dense circuits: gather per member off the CSR,
+            // then sort into observe order.
+            site_obs.clear();
+            for (pos, &p) in cone.iter().enumerate() {
+                for &obs in tables.observes_of(p as usize) {
+                    site_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
+                }
+            }
+            chunk.finish_site(site_obs);
+        }
     }
     Some(chunk)
 }
@@ -803,6 +1275,54 @@ H = OR(C, D, G)
         assert!(ConePlans::build_bounded_with_threads(&c, &topo, total - 1, 4).is_none());
         let at_budget = ConePlans::build_bounded_with_threads(&c, &topo, total, 4).unwrap();
         assert_eq!(at_budget, sequential);
+    }
+
+    #[test]
+    fn reverse_topo_matches_reference_builder() {
+        // The merge builder and the DFS reference must agree bit for
+        // bit — including on duplicate fanin pins, DFF clipping and
+        // multi-successor reconvergence.
+        for (name, src) in [
+            ("fig1", FIG1),
+            ("dup", "INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n"),
+            ("seq", "INPUT(x)\nOUTPUT(z)\ng = NOT(x)\nq = DFF(g)\nz = NOT(q)\n"),
+            (
+                "reconv",
+                "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nu = NOT(a)\nv = NAND(a, b)\nw = XOR(u, v)\ny = OR(w, u)\n",
+            ),
+        ] {
+            let c = parse_bench(src, name).unwrap();
+            let topo = TopoArtifacts::compute(&c).unwrap();
+            let reference = ConePlans::build_reference(&c, &topo);
+            for threads in [1, 3] {
+                let merged =
+                    ConePlans::build_bounded_with_threads(&c, &topo, usize::MAX, threads).unwrap();
+                assert_eq!(merged, reference, "{name} ({threads} threads)");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_builder_budget_decision_matches() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let total = ConePlans::build(&c, &topo).total_members();
+        for threads in [1, 4] {
+            assert!(
+                ConePlans::build_reference_bounded_with_threads(&c, &topo, total - 1, threads)
+                    .is_none(),
+                "reference declines below the true total"
+            );
+            assert!(
+                ConePlans::build_bounded_with_threads(&c, &topo, total - 1, threads).is_none(),
+                "merge builder declines below the true total"
+            );
+            assert_eq!(
+                ConePlans::build_reference_bounded_with_threads(&c, &topo, total, threads),
+                ConePlans::build_bounded_with_threads(&c, &topo, total, threads),
+                "both accept at the exact total"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! them into per-site heap objects.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ser_epp::{MultiCycleMcEstimate, MultiCycleResult, PolarityMode, SiteEpp, SweepResults};
@@ -122,8 +123,10 @@ pub struct Response {
 /// The result payload of a [`Response`].
 #[derive(Debug, Clone)]
 pub enum ResponsePayload {
-    /// Sweep results, arena-backed (one allocation pool for all sites).
-    Sweep(SweepResults),
+    /// Sweep results, arena-backed (one allocation pool for all sites),
+    /// behind an `Arc` so the service's cross-request response cache
+    /// serves repeat whole-circuit sweeps without copying the arena.
+    Sweep(Arc<SweepResults>),
     /// Single-site analytical result.
     Site(SiteEpp),
     /// Multi-cycle results.
@@ -142,7 +145,7 @@ impl Response {
     #[must_use]
     pub fn as_sweep(&self) -> Option<&SweepResults> {
         match &self.payload {
-            ResponsePayload::Sweep(results) => Some(results),
+            ResponsePayload::Sweep(results) => Some(results.as_ref()),
             _ => None,
         }
     }

@@ -20,10 +20,11 @@ use std::time::{Duration, Instant};
 
 use ser_epp::{
     multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential, AnalysisSession,
-    MultiCycleMcEstimate, MultiCycleResult, SiteEpp, SweepResults,
+    MultiCycleMcEstimate, MultiCycleResult, PolarityMode, SiteEpp, SweepResults,
 };
 use ser_netlist::{Circuit, NodeId};
 use ser_sim::{MonteCarlo, SequentialMonteCarlo, SiteEstimate};
+use ser_sp::{InputProbs, SpVector};
 
 use crate::executor::Executor;
 use crate::request::{
@@ -42,6 +43,10 @@ pub struct SerServiceConfig {
     /// batches interleave better with concurrent requests; larger
     /// batches have less queue overhead. Must be ≥ 1.
     pub sweep_batch_sites: usize,
+    /// Whole-circuit sweep responses kept in the cross-request cache
+    /// (LRU, keyed by `(netlist hash, inputs revision, polarity)`).
+    /// `0` disables response caching.
+    pub max_sweep_responses: usize,
 }
 
 impl Default for SerServiceConfig {
@@ -52,6 +57,7 @@ impl Default for SerServiceConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             sweep_batch_sites: 256,
+            max_sweep_responses: 32,
         }
     }
 }
@@ -67,6 +73,14 @@ pub struct ServiceStats {
     pub evictions: u64,
     /// Sessions currently cached.
     pub sessions_cached: usize,
+    /// Whole-circuit sweep requests served straight from the
+    /// cross-request response cache (no executor jobs at all).
+    pub sweep_cache_hits: u64,
+    /// Cacheable sweep requests that had to run (and then populated
+    /// the cache).
+    pub sweep_cache_misses: u64,
+    /// Sweep responses currently cached.
+    pub sweep_responses_cached: usize,
 }
 
 struct CacheEntry {
@@ -77,6 +91,55 @@ struct CacheEntry {
 struct SessionCache {
     entries: HashMap<u64, CacheEntry>,
     /// Logical clock for LRU recency.
+    tick: u64,
+}
+
+/// Cross-request sweep-response cache key: `(netlist hash, polarity)`.
+/// The *inputs* dimension is not part of the key — every entry pins
+/// the exact `Arc<SpVector>` its sweep was computed under, and lookups
+/// require pointer identity with the resolved session's current SP
+/// vector. That is what makes invalidation airtight: session revision
+/// numbers are per-clone counters that diverged clones (or an
+/// evict-recompile cycle) can collide on, but an SP *allocation* is
+/// unique per distribution for as long as anything references it —
+/// and the entry itself keeps it alive, so pointer reuse is
+/// impossible. [`SerService::set_inputs`] additionally purges the
+/// hash's entries so stale arenas don't linger until overwritten.
+type SweepKey = (u64, PolarityMode);
+
+struct SweepCacheEntry {
+    /// The SP vector the cached sweep was computed under (identity is
+    /// the validity check — see [`SweepKey`]).
+    sp: Arc<SpVector>,
+    results: Arc<SweepResults>,
+    last_used: u64,
+}
+
+/// Evicts the least-recently-used entry when `entries` sits at
+/// `capacity` and does not already contain `key`. Shared by the
+/// session cache, the sweep-response cache and `set_inputs` — one
+/// eviction policy, written once. Returns whether an entry was
+/// evicted.
+fn evict_lru_at_capacity<K: std::hash::Hash + Eq + Copy, V>(
+    entries: &mut HashMap<K, V>,
+    key: &K,
+    capacity: usize,
+    last_used: impl Fn(&V) -> u64,
+) -> bool {
+    if entries.contains_key(key) || entries.len() < capacity {
+        return false;
+    }
+    let lru = entries
+        .iter()
+        .min_by_key(|(_, e)| last_used(e))
+        .map(|(&k, _)| k)
+        .expect("non-empty cache");
+    entries.remove(&lru);
+    true
+}
+
+struct SweepCache {
+    entries: HashMap<SweepKey, SweepCacheEntry>,
     tick: u64,
 }
 
@@ -106,15 +169,30 @@ pub struct SerService {
     config: SerServiceConfig,
     executor: Executor,
     cache: Mutex<SessionCache>,
+    sweep_cache: Mutex<SweepCache>,
+    /// Last `set_inputs` distribution per netlist hash — consulted when
+    /// a session is (re)compiled, so eviction cannot silently revert a
+    /// circuit to default inputs.
+    inputs_overrides: Mutex<HashMap<u64, InputProbs>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    sweep_hits: AtomicU64,
+    sweep_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for SessionCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SessionCache")
             .field("sessions", &self.entries.len())
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for SweepCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepCache")
+            .field("responses", &self.entries.len())
             .finish()
     }
 }
@@ -140,6 +218,11 @@ struct Prepared {
     /// Number of executor jobs this request fans out to.
     parts: usize,
     request: Request,
+    /// A response served straight from the sweep cache (no parts).
+    cached: Option<ResponsePayload>,
+    /// When set, the assembled sweep response populates the cache
+    /// under this key, pinned to this SP vector.
+    cache_key: Option<(SweepKey, Arc<SpVector>)>,
 }
 
 impl SerService {
@@ -162,9 +245,16 @@ impl SerService {
                 entries: HashMap::new(),
                 tick: 0,
             }),
+            sweep_cache: Mutex::new(SweepCache {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            inputs_overrides: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            sweep_hits: AtomicU64::new(0),
+            sweep_misses: AtomicU64::new(0),
         }
     }
 
@@ -188,7 +278,112 @@ impl SerService {
             session_misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             sessions_cached: self.cache.lock().expect("session cache").entries.len(),
+            sweep_cache_hits: self.sweep_hits.load(Ordering::Relaxed),
+            sweep_cache_misses: self.sweep_misses.load(Ordering::Relaxed),
+            sweep_responses_cached: self.sweep_cache.lock().expect("sweep cache").entries.len(),
         }
+    }
+
+    /// Looks up a cached whole-circuit sweep response, refreshing its
+    /// LRU recency on hit. `sp` must be the resolved session's current
+    /// SP vector: an entry computed under any other vector — stale
+    /// inputs, a diverged clone, even a hash-colliding circuit — fails
+    /// the pointer-identity check and reads as a miss.
+    fn sweep_cache_get(&self, key: &SweepKey, sp: &Arc<SpVector>) -> Option<Arc<SweepResults>> {
+        let mut cache = self.sweep_cache.lock().expect("sweep cache");
+        cache.tick += 1;
+        let tick = cache.tick;
+        let entry = cache.entries.get_mut(key)?;
+        if !Arc::ptr_eq(&entry.sp, sp) {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.results))
+    }
+
+    /// Inserts a whole-circuit sweep response pinned to the SP vector
+    /// it was computed under, evicting the least-recently-used entry
+    /// at capacity.
+    fn sweep_cache_put(&self, key: SweepKey, sp: Arc<SpVector>, results: Arc<SweepResults>) {
+        if self.config.max_sweep_responses == 0 {
+            return;
+        }
+        let mut cache = self.sweep_cache.lock().expect("sweep cache");
+        cache.tick += 1;
+        let tick = cache.tick;
+        let SweepCache { entries, .. } = &mut *cache;
+        evict_lru_at_capacity(entries, &key, self.config.max_sweep_responses, |e| {
+            e.last_used
+        });
+        entries.insert(
+            key,
+            SweepCacheEntry {
+                sp,
+                results,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Re-derives the signal probabilities of `circuit`'s warm session
+    /// under a new input distribution — the service-level
+    /// `set_inputs`: the session keeps its structural artifacts, cone
+    /// plans, compiled simulator and scratch pool, its revision is
+    /// bumped, and every cached sweep response for this netlist is
+    /// dropped. The distribution is also **recorded per netlist hash**,
+    /// so if the session is later LRU-evicted, its recompilation
+    /// restores the same inputs instead of silently reverting to the
+    /// defaults. Returns the new session revision (informational —
+    /// response-cache validity is keyed by SP-vector identity, not by
+    /// this number).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Compile`] when the session cannot be
+    /// compiled or the new probabilities do not converge; the warm
+    /// session, the response cache and the recorded inputs are left
+    /// untouched in that case.
+    pub fn set_inputs(
+        &self,
+        circuit: &Arc<Circuit>,
+        inputs: InputProbs,
+    ) -> Result<u64, ServiceError> {
+        let (session, _) = self.session(circuit)?;
+        let mut updated = (*session).clone();
+        updated.set_inputs(inputs.clone())?;
+        let revision = updated.revision();
+        let key = circuit.structural_hash();
+
+        // Record the distribution so eviction + recompile restores it…
+        self.inputs_overrides
+            .lock()
+            .expect("inputs overrides")
+            .insert(key, inputs);
+
+        // …purge this netlist's cached sweep responses…
+        self.sweep_cache
+            .lock()
+            .expect("sweep cache")
+            .entries
+            .retain(|&(hash, _), _| hash != key);
+
+        // …then swap the updated session in (same eviction discipline
+        // as `session`, in case the entry vanished between the locks).
+        let mut cache = self.cache.lock().expect("session cache");
+        cache.tick += 1;
+        let tick = cache.tick;
+        let SessionCache { entries, .. } = &mut *cache;
+        if evict_lru_at_capacity(entries, &key, self.config.max_sessions, |e| e.last_used) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.insert(
+            key,
+            CacheEntry {
+                session: Arc::new(updated),
+                last_used: tick,
+            },
+        );
+        Ok(revision)
     }
 
     /// The warm session for `circuit`: cached if its netlist hash is
@@ -227,11 +422,22 @@ impl SerService {
             }
         }
 
-        // Miss: compile outside the lock. Cone plans are forced here so
-        // a "warm" session really is warm — the first sweep against it
-        // pays no plan build.
+        // Miss: compile outside the lock, under the last distribution
+        // `set_inputs` recorded for this netlist (if any) so an LRU
+        // eviction never silently reverts a circuit to default inputs.
+        // Cone plans are forced here so a "warm" session really is
+        // warm — the first sweep against it pays no plan build.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let session = Arc::new(AnalysisSession::new(Arc::clone(circuit))?);
+        let override_inputs = self
+            .inputs_overrides
+            .lock()
+            .expect("inputs overrides")
+            .get(&key)
+            .cloned();
+        let session = Arc::new(match override_inputs {
+            Some(inputs) => AnalysisSession::with_inputs(Arc::clone(circuit), inputs)?,
+            None => AnalysisSession::new(Arc::clone(circuit))?,
+        });
         let _ = session.epp().artifacts().cone_plans(circuit);
 
         let mut cache = self.cache.lock().expect("session cache");
@@ -245,17 +451,11 @@ impl SerService {
             }
             cache.entries.remove(&key);
         }
-        if cache.entries.len() >= self.config.max_sessions {
-            let lru = cache
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-                .expect("non-empty cache");
-            cache.entries.remove(&lru);
+        let SessionCache { entries, .. } = &mut *cache;
+        if evict_lru_at_capacity(entries, &key, self.config.max_sessions, |e| e.last_used) {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        cache.entries.insert(
+        entries.insert(
             key,
             CacheEntry {
                 session: Arc::clone(&session),
@@ -342,8 +542,19 @@ impl SerService {
             .zip(walls)
             .map(|((prep, mut parts), wall)| {
                 let prep = prep?;
-                parts.sort_unstable_by_key(|&(idx, _)| idx);
-                let payload = assemble(&prep.request, parts)?;
+                let payload = match prep.cached {
+                    Some(payload) => payload,
+                    None => {
+                        parts.sort_unstable_by_key(|&(idx, _)| idx);
+                        let payload = assemble(&prep.request, parts)?;
+                        if let (Some((key, sp)), ResponsePayload::Sweep(results)) =
+                            (prep.cache_key, &payload)
+                        {
+                            self.sweep_cache_put(key, sp, Arc::clone(results));
+                        }
+                        payload
+                    }
+                };
                 Ok(Response {
                     meta: ResponseMeta {
                         circuit: prep.session.circuit().name().to_owned(),
@@ -369,6 +580,31 @@ impl SerService {
         let started = Instant::now();
         validate(circuit, &request)?;
         let (session, warm) = self.session(circuit)?;
+
+        // Whole-circuit sweeps are a pure function of the netlist, the
+        // SP vector and the polarity — serve repeats straight from the
+        // response cache, enqueueing nothing.
+        let mut cache_key = None;
+        if let Request::Sweep(req) = &request {
+            if req.sites.is_none() && self.config.max_sweep_responses > 0 {
+                let key = (circuit.structural_hash(), req.polarity);
+                let sp = Arc::clone(session.signal_probabilities_arc());
+                if let Some(results) = self.sweep_cache_get(&key, &sp) {
+                    self.sweep_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Prepared {
+                        session,
+                        warm,
+                        started,
+                        parts: 0,
+                        request,
+                        cached: Some(ResponsePayload::Sweep(results)),
+                        cache_key: None,
+                    });
+                }
+                self.sweep_misses.fetch_add(1, Ordering::Relaxed);
+                cache_key = Some((key, sp));
+            }
+        }
 
         let parts = match &request {
             Request::Sweep(req) => {
@@ -444,6 +680,8 @@ impl SerService {
             started,
             parts,
             request,
+            cached: None,
+            cache_key,
         })
     }
 }
@@ -462,7 +700,10 @@ fn run_multi_cycle(
     session: &AnalysisSession,
     req: &MultiCycleRequest,
 ) -> Result<Part, ServiceError> {
-    let analytic = session.multi_cycle().site(req.site, req.cycles);
+    // The frame-expansion tables are compiled once per session per SP
+    // revision (`multi_cycle_cached`), so repeated multi-cycle requests
+    // against a warm session skip the per-flip-flop sweep entirely.
+    let analytic = session.multi_cycle_cached().site(req.site, req.cycles);
     let monte_carlo = match req.monte_carlo {
         None => None,
         Some(mc) => Some(match mc.target_error {
@@ -558,7 +799,9 @@ fn assemble(
                     _ => unreachable!("sweep jobs produce sweep parts"),
                 }
             }
-            Ok(ResponsePayload::Sweep(SweepResults::concat(arenas)))
+            Ok(ResponsePayload::Sweep(Arc::new(SweepResults::concat(
+                arenas,
+            ))))
         }
         Request::Site(_) => match single(parts)? {
             Part::Site(site) => Ok(ResponsePayload::Site(site)),

@@ -310,12 +310,15 @@ fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
     }
     let stats = service.stats();
     eprintln!(
-        "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached)",
+        "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached; sweep cache {} hits / {} misses, {} cached)",
         specs.len(),
         stats.session_hits,
         stats.session_misses,
         stats.evictions,
-        stats.sessions_cached
+        stats.sessions_cached,
+        stats.sweep_cache_hits,
+        stats.sweep_cache_misses,
+        stats.sweep_responses_cached
     );
     Ok(())
 }

@@ -1,0 +1,115 @@
+//! The reverse-topological cone-plan builder must be **bit-identical**
+//! to the retained per-site-DFS reference builder — same arena, same
+//! packed refs, same observe refs, same budget decisions — for every
+//! circuit shape, at every thread count. This is the contract that
+//! lets the sweep engine compile plans through the fast merge builder
+//! while the DFS builder stays the semantic definition.
+//!
+//! (The downstream identity — the 4-wide plan kernel vs
+//! `site_with_workspace` — is proptest-enforced separately in
+//! `tests/sweep_equivalence.rs`.)
+
+use proptest::prelude::*;
+use ser_suite::gen::RandomDag;
+use ser_suite::netlist::{Circuit, ConePlans, TopoArtifacts};
+
+fn dag_strategy() -> impl Strategy<Value = (usize, usize, f64, f64, u64)> {
+    (
+        2usize..8,   // inputs
+        3usize..120, // gates
+        0.0f64..1.0, // reconvergence
+        0.0f64..0.5, // xor fraction
+        0u64..1_000, // seed
+    )
+}
+
+fn build_dag(inputs: usize, gates: usize, reconv: f64, xf: f64, seed: u64) -> Circuit {
+    RandomDag::new(inputs, gates)
+        .with_reconvergence(reconv)
+        .with_xor_fraction(xf)
+        .build(seed)
+}
+
+/// Asserts both builders agree on `circuit` for 1 and N worker
+/// threads, and that the bounded-budget decision (decline below the
+/// true member total, identical arena at it) matches too.
+fn assert_builders_agree(circuit: &Circuit) {
+    let topo = TopoArtifacts::compute(circuit).unwrap();
+    let reference = ConePlans::build_reference(circuit, &topo);
+    let total = reference.total_members();
+    for threads in [1usize, 4] {
+        let merged = ConePlans::build_bounded_with_threads(circuit, &topo, usize::MAX, threads)
+            .expect("unbounded build cannot decline");
+        assert_eq!(merged, reference, "{} ({threads} threads)", circuit.name());
+
+        // Budget semantics: both decline below the exact total…
+        assert!(
+            ConePlans::build_bounded_with_threads(circuit, &topo, total - 1, threads).is_none(),
+            "{}: merge builder must decline under budget",
+            circuit.name()
+        );
+        assert!(
+            ConePlans::build_reference_bounded_with_threads(circuit, &topo, total - 1, threads)
+                .is_none(),
+            "{}: reference builder must decline under budget",
+            circuit.name()
+        );
+        // …and both accept (identically) at it.
+        let at_budget = ConePlans::build_bounded_with_threads(circuit, &topo, total, threads)
+            .expect("exact budget fits");
+        assert_eq!(at_budget, reference, "{} at budget", circuit.name());
+    }
+}
+
+/// Sequential circuits: DFF-clipped cones, flip-flop observe points,
+/// feedback through state — deterministically covered.
+#[test]
+fn sequential_circuits_bit_identical() {
+    use ser_suite::gen::{accumulator, iscas89_like, lfsr, shift_register};
+    for c in [
+        shift_register(8),
+        lfsr(&[7, 5, 4, 3]),
+        accumulator(4),
+        iscas89_like("s298").unwrap(),
+        iscas89_like("s953").unwrap(),
+    ] {
+        assert_builders_agree(&c);
+    }
+}
+
+/// A chain above the parallel-build threshold: cone sizes from the
+/// whole chain down to 1, exercising range stitching in both builders
+/// and the merge builder's single-successor copy path.
+#[test]
+fn long_chain_above_parallel_threshold() {
+    let stages = 1200;
+    let mut src = String::from("INPUT(x0)\n");
+    for i in 0..stages {
+        src.push_str(&format!("INPUT(s{i})\n"));
+    }
+    src.push_str(&format!("OUTPUT(g{})\n", stages - 1));
+    for i in 0..stages {
+        let prev = if i == 0 {
+            "x0".to_owned()
+        } else {
+            format!("g{}", i - 1)
+        };
+        src.push_str(&format!("g{i} = AND({prev}, s{i})\n"));
+    }
+    let c = ser_suite::netlist::parse_bench(&src, "chain").unwrap();
+    assert_builders_agree(&c);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random DAGs spanning tree-like to densely reconvergent, XOR-light
+    /// to XOR-heavy: the merge builder's k-way dedup merge must
+    /// reproduce the DFS cone discovery exactly, including the budget
+    /// decision, at 1 and N threads.
+    #[test]
+    fn random_dags_bit_identical((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = build_dag(inputs, gates, reconv, xf, seed);
+        assert_builders_agree(&c);
+    }
+}

@@ -64,6 +64,7 @@ fn service_sweep_is_bit_identical_to_direct_session() {
             max_sessions: 4,
             threads: 4,
             sweep_batch_sites: 10, // force many parts per sweep
+            max_sweep_responses: 32,
         });
         let response = service
             .submit(&circuit, Request::Sweep(SweepRequest::default()))
@@ -133,6 +134,7 @@ fn lru_reuses_and_evicts_sessions() {
         max_sessions: 2,
         threads: 2,
         sweep_batch_sites: 64,
+        max_sweep_responses: 32,
     });
 
     // Compile a and b (2 misses), then hit both.
@@ -172,6 +174,7 @@ fn serves_two_circuits_concurrently_from_warm_cache() {
         max_sessions: 4,
         threads: 4,
         sweep_batch_sites: 16,
+        max_sweep_responses: 32,
     }));
     // Warm both circuits.
     service.session(&a).unwrap();
@@ -281,6 +284,128 @@ fn subset_sweep_with_polarity() {
             .epp()
             .sweep_sites_with(&sites, PolarityMode::Merged, 1, session.workspace_pool());
     assert_eq!(sweep, &direct);
+}
+
+/// The cross-request sweep-response cache: repeat whole-circuit sweeps
+/// are served from the cache (same `Arc`, no copy), the key includes
+/// polarity, subset sweeps bypass it, and `set_inputs` both purges the
+/// netlist's entries and yields new (correct) results.
+#[test]
+fn sweep_response_cache_hits_and_invalidates() {
+    use ser_suite::sp::InputProbs;
+
+    let circuit = arc(iscas89_like("s298").unwrap());
+    let service = SerService::with_defaults();
+
+    let r1 = service
+        .submit(&circuit, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.sweep_cache_misses, 1);
+    assert_eq!(stats.sweep_cache_hits, 0);
+    assert_eq!(stats.sweep_responses_cached, 1);
+
+    let r2 = service
+        .submit(&circuit, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert_eq!(service.stats().sweep_cache_hits, 1);
+    assert_eq!(r2.as_sweep().unwrap(), r1.as_sweep().unwrap());
+    // Served without copying: the very same arena.
+    let (ResponsePayload::Sweep(a1), ResponsePayload::Sweep(a2)) = (&r1.payload, &r2.payload)
+    else {
+        panic!("sweep payloads expected");
+    };
+    assert!(Arc::ptr_eq(a1, a2), "cache hit shares the arena");
+
+    // Polarity is part of the key: a merged sweep is its own entry.
+    let merged = service
+        .submit(
+            &circuit,
+            Request::Sweep(SweepRequest {
+                sites: None,
+                polarity: PolarityMode::Merged,
+            }),
+        )
+        .unwrap();
+    assert_eq!(service.stats().sweep_cache_misses, 2);
+    assert_eq!(service.stats().sweep_responses_cached, 2);
+    assert_ne!(merged.as_sweep().unwrap(), r1.as_sweep().unwrap());
+
+    // Subset sweeps bypass the cache entirely.
+    let sites: Vec<_> = circuit.node_ids().take(3).collect();
+    let _ = service
+        .submit(
+            &circuit,
+            Request::Sweep(SweepRequest {
+                sites: Some(sites),
+                polarity: PolarityMode::Tracked,
+            }),
+        )
+        .unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.sweep_cache_misses, 2, "subset sweep not counted");
+    assert_eq!(stats.sweep_responses_cached, 2);
+
+    // set_inputs: bumps the revision, purges the netlist's entries and
+    // the next sweep reflects the new distribution.
+    let revision = service
+        .set_inputs(&circuit, InputProbs::uniform(0.9))
+        .unwrap();
+    assert_eq!(revision, 2);
+    assert_eq!(service.stats().sweep_responses_cached, 0, "purged");
+
+    let r3 = service
+        .submit(&circuit, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert!(r3.meta.warm_session, "set_inputs keeps the session warm");
+    assert_eq!(service.stats().sweep_cache_misses, 3);
+    assert_ne!(r3.as_sweep().unwrap(), r1.as_sweep().unwrap());
+    let direct = AnalysisSession::with_inputs(Arc::clone(&circuit), InputProbs::uniform(0.9))
+        .unwrap()
+        .sweep(1);
+    assert_eq!(r3.as_sweep().unwrap(), &direct, "new inputs in force");
+
+    // And the new-revision response is itself cached + served shared.
+    let r4 = service
+        .submit(&circuit, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert_eq!(service.stats().sweep_cache_hits, 2);
+    assert_eq!(r4.as_sweep().unwrap(), r3.as_sweep().unwrap());
+}
+
+/// LRU eviction must not silently revert `set_inputs`: the service
+/// records the distribution per netlist hash and recompiles under it.
+#[test]
+fn set_inputs_survives_session_eviction() {
+    use ser_suite::sp::InputProbs;
+
+    let target = arc(iscas89_like("s298").unwrap());
+    let other = arc(ripple_carry_adder(4));
+    let service = SerService::new(SerServiceConfig {
+        max_sessions: 1, // any second circuit evicts the first
+        threads: 2,
+        sweep_batch_sites: 64,
+        max_sweep_responses: 8,
+    });
+
+    service
+        .set_inputs(&target, InputProbs::uniform(0.8))
+        .unwrap();
+    let expected = AnalysisSession::with_inputs(Arc::clone(&target), InputProbs::uniform(0.8))
+        .unwrap()
+        .sweep(1);
+
+    // Evict the configured session, then come back to the circuit.
+    service.session(&other).unwrap();
+    let response = service
+        .submit(&target, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert!(!response.meta.warm_session, "session was recompiled");
+    assert_eq!(
+        response.as_sweep().unwrap(),
+        &expected,
+        "recompiled session restores the recorded inputs"
+    );
 }
 
 /// Malformed requests come back as typed errors, not worker panics.
