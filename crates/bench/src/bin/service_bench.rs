@@ -17,20 +17,30 @@
 //! - `site_requests_per_sec`: single-site analytical requests served
 //!   per second from the warm cache.
 //!
-//! Plus one cross-circuit experiment:
+//! Plus two cross-cutting experiments:
 //!
 //! - `interleave`: two warm circuits, a full sweep each — submitted
 //!   back to back (serialized) vs as one batch (interleaved on the
 //!   shared executor). `speedup` is serialized / interleaved wall time;
 //!   above 1.0 means concurrent sweeps genuinely overlap.
+//! - `tcp`: the same service behind the TCP front door on loopback —
+//!   v2 envelope round trips per second, p50 round-trip latency for
+//!   warm single-site requests, and one warm whole-circuit sweep round
+//!   trip. The gap to the in-process rows is the wire cost (framing,
+//!   JSON, syscalls).
 
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Instant;
 
 use ser_gen::synthesize;
-use ser_netlist::Circuit;
-use ser_service::{Request, SerService, SerServiceConfig, SiteRequest, SweepRequest};
+use ser_netlist::{write_bench, Circuit};
+use ser_service::{
+    serve, EngineConfig, ProtocolEngine, Request, SerService, SerServiceConfig, SiteRequest,
+    SweepRequest, TcpTransport,
+};
 
 fn median_ms(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -165,13 +175,115 @@ fn main() {
         b.name()
     );
 
+    // --- TCP round trips: the same workload over the wire. ------------
+    let tcp = bench_tcp(&circuits[0], threads, site_requests);
+    eprintln!(
+        "tcp {}: {:.0} round trips/s | p50 {:.1}us | warm sweep {:.1}ms over the wire",
+        names[0], tcp.round_trips_per_sec, tcp.p50_us, tcp.sweep_round_trip_ms
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"unit_note\": \"latencies in milliseconds; cold includes session compile + cone-plan build; interleave speedup > 1 needs more than one executor worker\",\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \"interleave\": {{\"circuits\": [\"{}\", \"{}\"], \"serialized_ms\": {serialized_ms:.3}, \"interleaved_ms\": {interleaved_ms:.3}, \"speedup\": {speedup:.3}}}\n}}\n",
+        "{{\n  \"bench\": \"service_throughput\",\n  \"unit_note\": \"latencies in milliseconds; cold includes session compile + cone-plan build; interleave speedup > 1 needs more than one executor worker; tcp rows measure loopback v2-envelope round trips\",\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \"interleave\": {{\"circuits\": [\"{}\", \"{}\"], \"serialized_ms\": {serialized_ms:.3}, \"interleaved_ms\": {interleaved_ms:.3}, \"speedup\": {speedup:.3}}},\n  \"tcp\": {{\"circuit\": \"{}\", \"round_trips_per_sec\": {:.1}, \"p50_us\": {:.1}, \"sweep_round_trip_ms\": {:.3}}}\n}}\n",
         records.join(",\n"),
         a.name(),
-        b.name()
+        b.name(),
+        names[0],
+        tcp.round_trips_per_sec,
+        tcp.p50_us,
+        tcp.sweep_round_trip_ms
     );
     std::fs::write(&out_path, &json).expect("write benchmark output");
     println!("{json}");
     eprintln!("wrote {out_path}");
+}
+
+struct TcpRecord {
+    round_trips_per_sec: f64,
+    p50_us: f64,
+    sweep_round_trip_ms: f64,
+}
+
+/// Serves `circuit` over loopback TCP and measures warm v2-envelope
+/// round trips from one client.
+fn bench_tcp(circuit: &Arc<Circuit>, threads: usize, site_requests: usize) -> TcpRecord {
+    // The wire addresses netlists by path: materialize the synthesized
+    // circuit as a .bench file.
+    let mut netlist = std::env::temp_dir();
+    netlist.push(format!(
+        "ser_service_bench_{}_{}.bench",
+        std::process::id(),
+        circuit.name()
+    ));
+    std::fs::write(&netlist, write_bench(circuit)).expect("write bench netlist");
+    let path = netlist.to_str().expect("utf-8 temp path").to_owned();
+
+    let engine = Arc::new(ProtocolEngine::new(
+        Arc::new(fresh_service(threads)),
+        EngineConfig::default(),
+    ));
+    let mut transport = TcpTransport::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = transport.local_addr();
+    let handle = transport.shutdown_handle();
+    let server = std::thread::spawn(move || serve(&mut transport, &engine));
+
+    let stream = TcpStream::connect(addr).expect("connect loopback");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut round_trip = |request: &str| -> String {
+        writer.write_all(request.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        writer.flush().expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("reply");
+        line.clone()
+    };
+
+    // Warm the session (pays compile + plan build once).
+    let reply = round_trip(&format!(
+        "{{\"v\": 2, \"op\": \"sweep\", \"netlist\": \"{path}\", \"top\": 1}}"
+    ));
+    assert!(reply.contains("\"frame\": \"result\""), "{reply}");
+
+    // Warm single-site round trips.
+    let sites: Vec<String> = circuit
+        .node_ids()
+        .map(|id| circuit.node(id).name().to_owned())
+        .collect();
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(site_requests);
+    let t = Instant::now();
+    for i in 0..site_requests {
+        let request = format!(
+            "{{\"v\": 2, \"op\": \"site\", \"netlist\": \"{path}\", \"node\": \"{}\"}}",
+            sites[i % sites.len()]
+        );
+        let t_one = Instant::now();
+        let reply = round_trip(&request);
+        latencies_us.push(t_one.elapsed().as_secs_f64() * 1e6);
+        debug_assert!(reply.contains("p_sensitized"), "{reply}");
+    }
+    let round_trips_per_sec = site_requests as f64 / t.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p50_us = latencies_us[latencies_us.len() / 2];
+
+    // One warm whole-circuit sweep over the wire (response cache is
+    // off in `fresh_service`, so this is kernel + serialization).
+    let t = Instant::now();
+    let reply = round_trip(&format!(
+        "{{\"v\": 2, \"op\": \"sweep\", \"netlist\": \"{path}\", \"top\": 1}}"
+    ));
+    let sweep_round_trip_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(reply.contains("\"warm\": true"), "{reply}");
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+    server.join().expect("server thread").expect("serve ok");
+    let _ = std::fs::remove_file(&netlist);
+    TcpRecord {
+        round_trips_per_sec,
+        p50_us,
+        sweep_round_trip_ms,
+    }
 }

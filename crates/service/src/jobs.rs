@@ -1,9 +1,16 @@
-//! The line-oriented job protocol `ser-cli serve`/`batch` speak.
+//! The **v1 compatibility shim**: the line-oriented job dialect PR 3's
+//! `ser-cli serve`/`batch` spoke, kept wire-compatible.
 //!
-//! One job per line, as a flat JSON object. The suite is offline (no
-//! serde), so this module carries a deliberately small hand-rolled
-//! parser: flat objects of string / number / boolean / null values —
-//! exactly the shape the protocol needs, nothing more.
+//! One job per line, as a flat JSON object of scalar values — the
+//! versioned envelope protocol (see [`crate::protocol`]) recognizes a
+//! line *without* a `"v"` field as this dialect, parses it here, and
+//! answers **success** responses in the exact v1 shape (no envelope,
+//! no frames). One deliberate departure: error replies now carry the
+//! structured `{code, message}` object everywhere (`{"line": N,
+//! "error": {...}}` here; an envelope `error` frame for lines that
+//! don't parse at all), so a v1 client that reads `"error"` as a bare
+//! string must update its error path — its request lines and its
+//! success parsing need no change:
 //!
 //! ```text
 //! {"op": "sweep",       "netlist": "s953.bench", "top": 5}
@@ -13,186 +20,44 @@
 //! ```
 //!
 //! Unknown keys are rejected (a typo'd option should fail loudly, not
-//! silently fall back to a default).
+//! silently fall back to a default), and nested containers stay
+//! rejected in this dialect exactly as PR 3 rejected them — new,
+//! structured options belong to the v2 envelope.
 
 use ser_netlist::Circuit;
 
+use crate::json::{self, JsonValue};
 use crate::request::{
-    MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, SiteRequest, SweepRequest,
+    MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, SiteRequest,
+    SweepRequest,
 };
 
-/// A parsed flat JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// A string literal.
-    Str(String),
-    /// Any JSON number.
-    Num(f64),
-    /// `true` / `false`.
-    Bool(bool),
-    /// `null`.
-    Null,
-}
+pub use crate::json::json_escape;
 
-/// Escapes a string for embedding in JSON output.
-#[must_use]
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Parses one flat JSON object (`{"key": value, ...}`) into key/value
-/// pairs in declaration order.
+/// Parses one **flat** JSON object (`{"key": scalar, ...}`) into
+/// key/value pairs in declaration order — the v1 dialect's shape.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message for malformed input, nested
 /// containers, or duplicate keys.
 pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
-    let mut p = Parser {
-        chars: line.char_indices().peekable(),
-        src: line,
-    };
-    p.skip_ws();
-    p.expect('{')?;
-    let mut pairs: Vec<(String, JsonValue)> = Vec::new();
-    p.skip_ws();
-    if p.peek() == Some('}') {
-        p.next();
-        p.skip_ws();
-        return p.at_end(pairs);
-    }
-    loop {
-        p.skip_ws();
-        let key = p.string()?;
-        if pairs.iter().any(|(k, _)| *k == key) {
-            return Err(format!("duplicate key `{key}`"));
-        }
-        p.skip_ws();
-        p.expect(':')?;
-        p.skip_ws();
-        let value = p.value()?;
-        pairs.push((key, value));
-        p.skip_ws();
-        match p.next() {
-            Some(',') => continue,
-            Some('}') => break,
-            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
-        }
-    }
-    p.skip_ws();
-    p.at_end(pairs)
+    let pairs = json::parse_object(line)?;
+    reject_nested(&pairs)?;
+    Ok(pairs)
 }
 
-struct Parser<'a> {
-    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
-    src: &'a str,
-}
-
-impl Parser<'_> {
-    fn peek(&mut self) -> Option<char> {
-        self.chars.peek().map(|&(_, c)| c)
-    }
-
-    fn next(&mut self) -> Option<char> {
-        self.chars.next().map(|(_, c)| c)
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
-            self.next();
-        }
-    }
-
-    fn expect(&mut self, want: char) -> Result<(), String> {
-        match self.next() {
-            Some(c) if c == want => Ok(()),
-            other => Err(format!("expected `{want}`, got {other:?}")),
-        }
-    }
-
-    fn at_end<T>(&mut self, value: T) -> Result<T, String> {
-        match self.peek() {
-            None => Ok(value),
-            Some(c) => Err(format!("trailing input starting at `{c}`")),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.next() {
-                None => return Err("unterminated string".to_owned()),
-                Some('"') => return Ok(out),
-                Some('\\') => match self.next() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('r') => out.push('\r'),
-                    Some('t') => out.push('\t'),
-                    Some('u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self
-                                .next()
-                                .and_then(|c| c.to_digit(16))
-                                .ok_or("bad \\u escape")?;
-                            code = code * 16 + d;
-                        }
-                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                },
-                Some(c) => out.push(c),
-            }
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, String> {
-        match self.peek() {
-            Some('"') => Ok(JsonValue::Str(self.string()?)),
-            Some('t' | 'f' | 'n') => {
-                let start = self.chars.peek().map(|&(i, _)| i).unwrap_or(0);
-                while matches!(self.peek(), Some(c) if c.is_ascii_alphabetic()) {
-                    self.next();
-                }
-                let end = self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len());
-                match &self.src[start..end] {
-                    "true" => Ok(JsonValue::Bool(true)),
-                    "false" => Ok(JsonValue::Bool(false)),
-                    "null" => Ok(JsonValue::Null),
-                    word => Err(format!("unknown literal `{word}`")),
-                }
-            }
-            Some(c) if c == '-' || c.is_ascii_digit() => {
-                let start = self.chars.peek().map(|&(i, _)| i).unwrap_or(0);
-                while matches!(self.peek(), Some(c) if c == '-' || c == '+' || c == '.'
-                    || c == 'e' || c == 'E' || c.is_ascii_digit())
-                {
-                    self.next();
-                }
-                let end = self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len());
-                self.src[start..end]
-                    .parse::<f64>()
-                    .map(JsonValue::Num)
-                    .map_err(|e| format!("bad number `{}`: {e}", &self.src[start..end]))
-            }
-            Some('{' | '[') => Err("nested containers are not part of the job protocol".to_owned()),
-            other => Err(format!("expected a value, got {other:?}")),
-        }
+/// Enforces the v1 dialect's flatness on already-parsed pairs — the
+/// one copy of the rule, shared by [`parse_flat_object`] and the
+/// protocol layer's v1 detection path.
+pub(crate) fn reject_nested(pairs: &[(String, JsonValue)]) -> Result<(), String> {
+    match pairs.iter().find(|(_, v)| !v.is_scalar()) {
+        None => Ok(()),
+        Some((key, value)) => Err(format!(
+            "nested containers are not part of the v1 job protocol (`{key}` is {}); \
+             send a versioned envelope ({{\"v\": 2, ...}}) instead",
+            value.type_name()
+        )),
     }
 }
 
@@ -327,14 +192,15 @@ impl JobSpec {
     }
 }
 
-/// Parses one JSONL job line into a [`JobSpec`].
+/// Builds a [`JobSpec`] from already-parsed **flat** key/value pairs.
+/// Shared by [`parse_job_line`] and the protocol layer's v1 detection
+/// path (which has already parsed the line once and must not parse it
+/// twice).
 ///
 /// # Errors
 ///
-/// Returns a message for malformed JSON, unknown ops/keys, or values
-/// of the wrong type.
-pub fn parse_job_line(line: &str) -> Result<JobSpec, String> {
-    let pairs = parse_flat_object(line)?;
+/// Returns a message for unknown ops/keys or values of the wrong type.
+pub(crate) fn spec_from_pairs(pairs: Vec<(String, JsonValue)>) -> Result<JobSpec, String> {
     let mut spec = JobSpec {
         op: JobOp::Sweep,
         netlist: String::new(),
@@ -384,12 +250,32 @@ pub fn parse_job_line(line: &str) -> Result<JobSpec, String> {
     Ok(spec)
 }
 
+/// Parses one JSONL job line into a [`JobSpec`].
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON, unknown ops/keys, or values
+/// of the wrong type.
+pub fn parse_job_line(line: &str) -> Result<JobSpec, String> {
+    spec_from_pairs(parse_flat_object(line)?)
+}
+
 fn as_count(key: &str, n: f64) -> Result<u64, String> {
-    if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
-        Ok(n as u64)
-    } else {
-        Err(format!("`{key}` must be a non-negative integer, got {n}"))
-    }
+    JsonValue::Num(n)
+        .as_count()
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer, got {n}"))
+}
+
+/// Renders one served response in the v1 shape — a single flat-ish
+/// JSON line, no envelope, no frames; `top` caps a sweep's ranking
+/// (`None` = the dialect's customary 5). Bit-for-bit the PR 3 format,
+/// so recorded v1 clients keep parsing.
+#[must_use]
+pub fn v1_response_json(top: Option<usize>, circuit: &Circuit, response: &Response) -> String {
+    format!(
+        "{{{}}}",
+        crate::protocol::response_fields(top, circuit, response, false)
+    )
 }
 
 #[cfg(test)]
@@ -433,6 +319,10 @@ mod tests {
             parse_job_line(r#"{"op": "sweep", "netlist": "x", "vectors": 1.5}"#).is_err(),
             "fractional counts rejected"
         );
+        // Nested containers stay out of the v1 dialect.
+        let err =
+            parse_job_line(r#"{"op": "sweep", "netlist": "x", "sites": ["G0"]}"#).unwrap_err();
+        assert!(err.contains("nested containers"), "{err}");
     }
 
     #[test]

@@ -1,26 +1,39 @@
-//! # ser-service — the multi-circuit SER batch front-end
+//! # ser-service — the multi-circuit SER estimation daemon
 //!
 //! The ROADMAP's "heavy traffic" loop: keep many compiled circuits
 //! **warm** and serve typed estimation requests against them from one
-//! shared worker pool.
+//! shared worker pool — in-process, over stdin/stdout, or over TCP.
 //!
-//! Three pieces:
+//! The pieces, bottom up:
 //!
 //! - [`SerService`] — warm [`AnalysisSession`](ser_epp::AnalysisSession)s
 //!   in a bounded LRU keyed by
 //!   [`Circuit::structural_hash`](ser_netlist::Circuit::structural_hash),
 //!   with typed requests ([`SweepRequest`], [`SiteRequest`],
-//!   [`MultiCycleRequest`], [`MonteCarloRequest`]) and arena-backed
-//!   responses.
+//!   [`MultiCycleRequest`], [`MonteCarloRequest`]), arena-backed
+//!   responses, cross-request response caching, and streaming
+//!   [`Progress`] events ([`SerService::submit_streaming`]).
 //! - [`Executor`] — the shared FIFO worker pool every request fans out
 //!   onto, so concurrent sweeps on different circuits interleave
 //!   instead of serializing.
-//! - [`jobs`] — the JSONL job protocol `ser-cli serve` / `ser-cli
-//!   batch` speak (hand-rolled flat-object JSON; the suite is offline).
+//! - [`protocol`] — the versioned wire API: envelope requests
+//!   (`{"v": 2, "id": ..., "op": ...}` with nested parameters),
+//!   framed replies (`progress` / `chunk` / `result` / `error`),
+//!   structured `{code, message}` errors, and the transport-agnostic
+//!   [`ProtocolEngine`] behind the [`Transport`] trait.
+//! - [`net`] — the std-only TCP front door ([`TcpTransport`]):
+//!   connection threads feeding the shared engine, optional
+//!   shared-secret auth, per-client request quotas, a server-wide
+//!   in-flight cap, graceful shutdown.
+//! - [`jobs`] — the v1 compatibility shim: PR 3's flat JSONL job
+//!   dialect, still served (a line without a `"v"` field), answered in
+//!   its original shape.
+//! - [`json`] — the hand-rolled nested JSON layer both dialects parse
+//!   and render with (the suite is offline; no serde).
 //!
 //! All of it rides on the owned-session redesign: sessions are
 //! `Send + Sync + 'static` `Arc` handles, so caching them, sharing them
-//! across request threads and moving them into executor closures is
+//! across connection threads and moving them into executor closures is
 //! safe by construction.
 //!
 //! # Examples
@@ -46,19 +59,44 @@
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The same service as a TCP daemon (see [`net`] for the client side):
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ser_service::{serve, EngineConfig, ProtocolEngine, SerService, TcpTransport};
+//!
+//! let engine = Arc::new(ProtocolEngine::new(
+//!     Arc::new(SerService::with_defaults()),
+//!     EngineConfig { auth_token: Some("secret".into()), ..EngineConfig::default() },
+//! ));
+//! let mut transport = TcpTransport::bind("0.0.0.0:7453")?;
+//! serve(&mut transport, &engine)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod executor;
 pub mod jobs;
+pub mod json;
+pub mod net;
+pub mod protocol;
 mod request;
 mod service;
 
 pub use executor::Executor;
-pub use jobs::{json_escape, parse_flat_object, parse_job_line, JobOp, JobSpec, JsonValue};
+pub use jobs::{json_escape, parse_flat_object, parse_job_line, v1_response_json, JobOp, JobSpec};
+pub use json::JsonValue;
+pub use net::{TcpShutdownHandle, TcpTransport};
+pub use protocol::{
+    parse_wire_line, serve, Connection, EngineConfig, ErrorCode, FrameSink, LineStream,
+    MonteCarloOp, MultiCycleMcOp, MultiCycleOp, ParsedLine, ProtocolEngine, SetInputsOp, SiteOp,
+    StdioTransport, SweepOp, Transport, WireError, WireOp, WireRequest, PROTOCOL_VERSION,
+};
 pub use request::{
     MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, ResponseMeta,
     ResponsePayload, ServiceError, SiteRequest, SweepRequest,
 };
-pub use service::{SerService, SerServiceConfig, ServiceStats};
+pub use service::{Progress, ProgressFn, SerService, SerServiceConfig, ServiceStats};

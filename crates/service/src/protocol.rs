@@ -1,0 +1,1536 @@
+//! The versioned wire protocol: envelopes, frames, and the
+//! transport-agnostic request engine.
+//!
+//! PR 3's job dialect was a flat JSONL object bound to stdin/stdout —
+//! no request ids, no version field, no way to express `set_inputs`,
+//! and errors were bare strings. This module redesigns the service's
+//! public protocol layer from the ground up:
+//!
+//! - **Envelopes** — every request is one JSON object line carrying a
+//!   protocol version (`"v": 2`), an optional client-chosen request
+//!   id (echoed on every frame of the reply), a typed `"op"`, and
+//!   op-specific parameters that may be **nested containers** (an
+//!   input-distribution object for `set_inputs`, a simulation config
+//!   for `multi_cycle`, a site array for subset sweeps).
+//! - **Frames** — a reply is a sequence of framed lines: zero or more
+//!   `progress` frames (sweep part completions; sequential
+//!   Monte-Carlo trial counters at doubling thresholds), zero or more
+//!   `chunk` frames (a sweep's per-site values, paged), then exactly
+//!   one `result` **or** `error` frame. Long-running Monte-Carlo jobs
+//!   are why frames exist at all — Mendo's sequential estimator has
+//!   data-dependent runtime, so the wire format is designed for
+//!   partial responses rather than having them bolted on.
+//! - **Structured errors** — every failure is a `{code, message}`
+//!   object with a closed set of [`ErrorCode`]s, not a prose string.
+//! - **Transport decoupling** — the engine speaks through the
+//!   [`Transport`] trait ([`StdioTransport`] here,
+//!   [`TcpTransport`](crate::net::TcpTransport) in `net`), so the
+//!   protocol has no opinion about sockets, and progress frames can be
+//!   written from executor workers mid-request through the shared,
+//!   lock-protected [`FrameSink`].
+//! - **v1 shim** — a line with no `"v"` field is the old dialect; it
+//!   parses through [`crate::jobs`] and is answered in the old shape,
+//!   so recorded PR 3 job lines keep working against the new server.
+//!
+//! Numbers in v2 frames render in shortest round-trip form, so a
+//! client parsing a `result` frame recovers **bit-identical** `f64`s
+//! to an in-process [`SerService::submit`] call — asserted over real
+//! TCP in `tests/net.rs`.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead as _, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ser_epp::PolarityMode;
+use ser_netlist::{parse_bench, parse_verilog, Circuit, NodeId};
+use ser_sp::InputProbs;
+
+use crate::jobs::{self, JobSpec};
+use crate::json::{self, fmt_f64, json_escape, JsonValue};
+use crate::request::{
+    MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, ResponsePayload,
+    ServiceError, SiteRequest, SweepRequest,
+};
+use crate::service::{Progress, SerService};
+
+/// The protocol version this engine speaks. Version 1 is the
+/// unversioned flat dialect, recognized by the *absence* of a `"v"`
+/// field and served through the compatibility shim.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+// ---------------------------------------------------------------------
+// Structured errors
+// ---------------------------------------------------------------------
+
+/// The closed set of protocol error codes. Codes are the machine-
+/// readable half of every error object; messages are for humans and
+/// carry no stability guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line is not well-formed JSON (or is truncated).
+    Parse,
+    /// The envelope names a protocol version this server cannot serve.
+    UnsupportedVersion,
+    /// The envelope's `op` is not one this server knows.
+    UnknownOp,
+    /// A parameter is missing, mistyped, out of range, or not read by
+    /// the op (unread fields fail loudly rather than silently).
+    BadRequest,
+    /// A named netlist file or circuit node does not exist.
+    NotFound,
+    /// Session compilation failed (cyclic circuit, SP divergence).
+    Compile,
+    /// The simulation leg failed structurally.
+    Simulation,
+    /// The connection has not presented the server's shared secret.
+    Unauthorized,
+    /// The connection exhausted its per-client request quota.
+    QuotaExceeded,
+    /// The server failed internally (I/O mid-request, a worker died).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of this code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Compile => "compile",
+            ErrorCode::Simulation => "simulation",
+            ErrorCode::Unauthorized => "unauthorized",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured wire error: `{code, message}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Creates an error.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error *object* (`{"code": ..., "message": ...}`) —
+    /// the payload both dialects embed in their error lines.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"code\": \"{}\", \"message\": \"{}\"}}",
+            self.code,
+            json_escape(&self.message)
+        )
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl From<&ServiceError> for WireError {
+    fn from(e: &ServiceError) -> Self {
+        let code = match e {
+            ServiceError::Compile(_) => ErrorCode::Compile,
+            ServiceError::SiteOutOfRange { .. } => ErrorCode::NotFound,
+            ServiceError::InvalidRequest(_) => ErrorCode::BadRequest,
+            ServiceError::Simulation(_) => ErrorCode::Simulation,
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+impl From<ServiceError> for WireError {
+    fn from(e: ServiceError) -> Self {
+        WireError::from(&e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Envelope parsing
+// ---------------------------------------------------------------------
+
+/// A parsed request line: a versioned envelope, or a v1 job line
+/// recognized by the absence of a `"v"` field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine {
+    /// A v2 envelope.
+    V2(WireRequest),
+    /// An old-dialect job line, to be served through the shim.
+    V1(JobSpec),
+}
+
+/// One parsed v2 envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRequest {
+    /// The client's request id, echoed on every frame of the reply.
+    pub id: Option<String>,
+    /// The operation.
+    pub op: WireOp,
+}
+
+/// A v2 operation with its parameters (node/input names unresolved —
+/// resolution against the loaded circuit happens at dispatch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOp {
+    /// Connection handshake; carries the shared secret when the server
+    /// requires one.
+    Hello {
+        /// The shared secret, if the client presents one.
+        token: Option<String>,
+    },
+    /// Service counters (sessions, caches) — closes the ROADMAP's
+    /// "expose `stats` on the wire" item.
+    Stats,
+    /// Re-derive a circuit's input distribution (the wire form of
+    /// [`SerService::set_inputs`]).
+    SetInputs(SetInputsOp),
+    /// Whole-circuit (or subset) analytical sweep.
+    Sweep(SweepOp),
+    /// Single-site analytical EPP.
+    Site(SiteOp),
+    /// Single-cycle Monte-Carlo; streams progress when sequential.
+    MonteCarlo(MonteCarloOp),
+    /// Multi-cycle frame expansion with an optional nested simulation
+    /// config.
+    MultiCycle(MultiCycleOp),
+}
+
+/// Parameters of a v2 `sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOp {
+    /// Netlist path.
+    pub netlist: String,
+    /// Explicit site-name list (`None` = every node).
+    pub sites: Option<Vec<String>>,
+    /// Polarity handling (default tracked — the paper's method).
+    pub polarity: PolarityMode,
+    /// Ranking length in the result frame (default 5).
+    pub top: Option<usize>,
+    /// When set, page every site's `p_sensitized` into `chunk` frames
+    /// of this many sites before the result frame.
+    pub chunk_sites: Option<usize>,
+    /// Emit `progress` frames as sweep parts complete (default off —
+    /// sweeps are usually fast; opt in for huge circuits).
+    pub progress: bool,
+}
+
+/// Parameters of a v2 `site`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteOp {
+    /// Netlist path.
+    pub netlist: String,
+    /// Site name.
+    pub node: String,
+}
+
+/// Parameters of a v2 `monte_carlo`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloOp {
+    /// Netlist path.
+    pub netlist: String,
+    /// Site name.
+    pub node: String,
+    /// Vector budget (fixed count) or cap (sequential rule).
+    pub vectors: Option<u64>,
+    /// Mendo normalized-error target; switches to the sequential rule.
+    pub target_error: Option<f64>,
+    /// PRNG seed.
+    pub seed: Option<u64>,
+    /// Stream `progress` frames while a sequential run is under way
+    /// (default on; meaningless without `target_error`).
+    pub progress: bool,
+}
+
+/// Parameters of a v2 `multi_cycle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCycleOp {
+    /// Netlist path.
+    pub netlist: String,
+    /// Site name.
+    pub node: String,
+    /// Clock cycles to follow the error through (≥ 1).
+    pub cycles: usize,
+    /// The nested simulation-leg config, when requested.
+    pub monte_carlo: Option<MultiCycleMcOp>,
+}
+
+/// The nested `"monte_carlo"` object of a v2 `multi_cycle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCycleMcOp {
+    /// Fixed run count, or the sequential rule's cap.
+    pub runs: u64,
+    /// Mendo normalized-error target.
+    pub target_error: Option<f64>,
+    /// PRNG seed.
+    pub seed: Option<u64>,
+}
+
+/// Parameters of a v2 `set_inputs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetInputsOp {
+    /// Netlist path.
+    pub netlist: String,
+    /// Probability for inputs without an override (default 0.5).
+    pub default_p: f64,
+    /// Per-input overrides, by node name.
+    pub overrides: Vec<(String, f64)>,
+}
+
+/// Parses one request line into a v2 envelope or a v1 job spec.
+///
+/// # Errors
+///
+/// Returns a structured [`WireError`]: `parse` for malformed JSON,
+/// `unsupported_version` for a `"v"` this server cannot serve,
+/// `unknown_op` / `bad_request` for envelope-level problems.
+pub fn parse_wire_line(line: &str) -> Result<ParsedLine, WireError> {
+    let pairs = json::parse_object(line).map_err(|e| WireError::new(ErrorCode::Parse, e))?;
+    let Some(version) = pairs.iter().find(|(k, _)| k == "v").map(|(_, v)| v) else {
+        // No version field: the v1 dialect. Flatness is enforced the
+        // way PR 3 enforced it (one shared rule in `jobs`).
+        return jobs::reject_nested(&pairs)
+            .and_then(|()| jobs::spec_from_pairs(pairs))
+            .map(ParsedLine::V1)
+            .map_err(|e| WireError::new(ErrorCode::BadRequest, e));
+    };
+    match version.as_count() {
+        Some(v) if v == PROTOCOL_VERSION => {}
+        Some(1) => {
+            return Err(WireError::new(
+                ErrorCode::UnsupportedVersion,
+                "protocol v1 lines are unversioned — drop the \"v\" field to use the shim",
+            ))
+        }
+        Some(v) => {
+            return Err(WireError::new(
+                ErrorCode::UnsupportedVersion,
+                format!("this server speaks v{PROTOCOL_VERSION} (got v{v})"),
+            ))
+        }
+        None => {
+            return Err(WireError::new(
+                ErrorCode::BadRequest,
+                format!("\"v\" must be an integer, got {}", version.type_name()),
+            ))
+        }
+    }
+    parse_v2(pairs).map(ParsedLine::V2)
+}
+
+/// Field cursor over an envelope's pairs: every field must be taken by
+/// the op's parser, or the envelope is rejected — the v1 dialect's
+/// "unknown keys fail loudly" contract, kept under v2.
+struct Fields {
+    pairs: Vec<(String, Option<JsonValue>)>,
+}
+
+impl Fields {
+    fn new(pairs: Vec<(String, JsonValue)>) -> Self {
+        Fields {
+            pairs: pairs.into_iter().map(|(k, v)| (k, Some(v))).collect(),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<JsonValue> {
+        self.pairs
+            .iter_mut()
+            .find(|(k, v)| k == key && v.is_some())
+            .and_then(|(_, v)| v.take())
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<Option<String>, WireError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(JsonValue::Str(s)) => Ok(Some(s)),
+            Some(other) => Err(bad(format!(
+                "`{key}` must be a string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn need_str(&mut self, key: &str, op: &str) -> Result<String, WireError> {
+        self.take_str(key)?
+            .ok_or_else(|| bad(format!("`{key}` is required for op `{op}`")))
+    }
+
+    fn take_count(&mut self, key: &str) -> Result<Option<u64>, WireError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(v) => v.as_count().map(Some).ok_or_else(|| {
+                bad(format!(
+                    "`{key}` must be a non-negative integer, got {}",
+                    v.type_name()
+                ))
+            }),
+        }
+    }
+
+    fn take_f64(&mut self, key: &str) -> Result<Option<f64>, WireError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(JsonValue::Num(n)) => Ok(Some(n)),
+            Some(JsonValue::Null) => Ok(None),
+            Some(other) => Err(bad(format!(
+                "`{key}` must be a number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn take_bool(&mut self, key: &str, default: bool) -> Result<bool, WireError> {
+        match self.take(key) {
+            None => Ok(default),
+            Some(JsonValue::Bool(b)) => Ok(b),
+            Some(other) => Err(bad(format!(
+                "`{key}` must be a boolean, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Every key must have been taken; leftovers fail loudly.
+    fn finish(self, op: &str) -> Result<(), WireError> {
+        match self.pairs.iter().find(|(_, v)| v.is_some()) {
+            None => Ok(()),
+            Some((key, _)) => Err(bad(format!("`{key}` is not read by op `{op}`"))),
+        }
+    }
+}
+
+fn bad(message: impl Into<String>) -> WireError {
+    WireError::new(ErrorCode::BadRequest, message)
+}
+
+fn parse_v2(pairs: Vec<(String, JsonValue)>) -> Result<WireRequest, WireError> {
+    let mut fields = Fields::new(pairs);
+    let _ = fields.take("v");
+    let id = fields.take_str("id")?;
+    let op_name = fields.need_str("op", "<envelope>")?;
+    let op = match op_name.as_str() {
+        "hello" => WireOp::Hello {
+            token: fields.take_str("token")?,
+        },
+        "stats" => WireOp::Stats,
+        "set_inputs" => {
+            let netlist = fields.need_str("netlist", "set_inputs")?;
+            let (default_p, overrides) = parse_inputs_object(fields.take("inputs"))?;
+            WireOp::SetInputs(SetInputsOp {
+                netlist,
+                default_p,
+                overrides,
+            })
+        }
+        "sweep" => {
+            let netlist = fields.need_str("netlist", "sweep")?;
+            let sites = match fields.take("sites") {
+                None => None,
+                Some(JsonValue::Arr(items)) => {
+                    let mut names = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            JsonValue::Str(name) => names.push(name),
+                            other => {
+                                return Err(bad(format!(
+                                    "`sites` entries must be node-name strings, got {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                    if names.is_empty() {
+                        return Err(bad("`sites` must not be empty (omit it for all nodes)"));
+                    }
+                    Some(names)
+                }
+                Some(other) => {
+                    return Err(bad(format!(
+                        "`sites` must be an array, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let polarity = match fields.take_str("polarity")?.as_deref() {
+                None | Some("tracked") => PolarityMode::Tracked,
+                Some("merged") => PolarityMode::Merged,
+                Some(other) => {
+                    return Err(bad(format!(
+                        "`polarity` must be \"tracked\" or \"merged\", got \"{other}\""
+                    )))
+                }
+            };
+            let chunk_sites = fields.take_count("chunk_sites")?.map(|n| n as usize);
+            if chunk_sites == Some(0) {
+                return Err(bad("`chunk_sites` must be ≥ 1"));
+            }
+            WireOp::Sweep(SweepOp {
+                netlist,
+                sites,
+                polarity,
+                top: fields.take_count("top")?.map(|n| n as usize),
+                chunk_sites,
+                progress: fields.take_bool("progress", false)?,
+            })
+        }
+        "site" | "epp" => WireOp::Site(SiteOp {
+            netlist: fields.need_str("netlist", "site")?,
+            node: fields.need_str("node", "site")?,
+        }),
+        "monte_carlo" | "mc" => WireOp::MonteCarlo(MonteCarloOp {
+            netlist: fields.need_str("netlist", "monte_carlo")?,
+            node: fields.need_str("node", "monte_carlo")?,
+            vectors: fields.take_count("vectors")?,
+            target_error: fields.take_f64("target_error")?,
+            seed: fields.take_count("seed")?,
+            progress: fields.take_bool("progress", true)?,
+        }),
+        "multi_cycle" => {
+            let netlist = fields.need_str("netlist", "multi_cycle")?;
+            let node = fields.need_str("node", "multi_cycle")?;
+            let cycles = fields
+                .take_count("cycles")?
+                .ok_or_else(|| bad("`cycles` is required for multi_cycle"))?
+                as usize;
+            let monte_carlo = match fields.take("monte_carlo") {
+                None | Some(JsonValue::Null) => None,
+                Some(JsonValue::Obj(inner)) => {
+                    let mut mc = Fields::new(inner);
+                    let parsed = MultiCycleMcOp {
+                        runs: mc
+                            .take_count("runs")?
+                            .ok_or_else(|| bad("`monte_carlo.runs` is required"))?,
+                        target_error: mc.take_f64("target_error")?,
+                        seed: mc.take_count("seed")?,
+                    };
+                    mc.finish("multi_cycle.monte_carlo")?;
+                    Some(parsed)
+                }
+                Some(other) => {
+                    return Err(bad(format!(
+                        "`monte_carlo` must be an object, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            WireOp::MultiCycle(MultiCycleOp {
+                netlist,
+                node,
+                cycles,
+                monte_carlo,
+            })
+        }
+        other => {
+            return Err(WireError::new(
+                ErrorCode::UnknownOp,
+                format!("unknown op `{other}`"),
+            ))
+        }
+    };
+    fields.finish(&op_name)?;
+    Ok(WireRequest { id, op })
+}
+
+/// Parses a `set_inputs` `"inputs"` object:
+/// `{"default": p, "overrides": {"name": p, ...}}` (both parts
+/// optional). Probabilities are validated here so a bad request is a
+/// structured error, not a panic deep in `InputProbs`.
+fn parse_inputs_object(value: Option<JsonValue>) -> Result<(f64, Vec<(String, f64)>), WireError> {
+    let check = |what: &str, p: f64| -> Result<f64, WireError> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            Ok(p)
+        } else {
+            Err(bad(format!("{what} probability {p} outside [0, 1]")))
+        }
+    };
+    match value {
+        None => Ok((0.5, Vec::new())),
+        Some(JsonValue::Obj(inner)) => {
+            let mut fields = Fields::new(inner);
+            let default_p = match fields.take_f64("default")? {
+                Some(p) => check("`inputs.default`", p)?,
+                None => 0.5,
+            };
+            let overrides = match fields.take("overrides") {
+                None => Vec::new(),
+                Some(JsonValue::Obj(pairs)) => {
+                    let mut out = Vec::with_capacity(pairs.len());
+                    for (name, v) in pairs {
+                        let p = v.as_f64().ok_or_else(|| {
+                            bad(format!(
+                                "`inputs.overrides.{name}` must be a number, got {}",
+                                v.type_name()
+                            ))
+                        })?;
+                        out.push((name, check("override", p)?));
+                    }
+                    out
+                }
+                Some(other) => {
+                    return Err(bad(format!(
+                        "`inputs.overrides` must be an object, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            fields.finish("set_inputs.inputs")?;
+            Ok((default_p, overrides))
+        }
+        Some(other) => Err(bad(format!(
+            "`inputs` must be an object, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame rendering
+// ---------------------------------------------------------------------
+
+/// `{"v": 2, "id": ..., "frame": "<kind>"` — every v2 frame's opening.
+fn frame_head(kind: &str, id: Option<&str>) -> String {
+    match id {
+        Some(id) => format!(
+            "{{\"v\": {PROTOCOL_VERSION}, \"id\": \"{}\", \"frame\": \"{kind}\"",
+            json_escape(id)
+        ),
+        None => format!("{{\"v\": {PROTOCOL_VERSION}, \"id\": null, \"frame\": \"{kind}\""),
+    }
+}
+
+/// Renders a v2 error frame.
+#[must_use]
+pub fn render_error_frame(id: Option<&str>, error: &WireError) -> String {
+    format!(
+        "{}, \"error\": {}}}",
+        frame_head("error", id),
+        error.render()
+    )
+}
+
+/// Renders a v2 progress frame for a service [`Progress`] event.
+#[must_use]
+pub fn render_progress_frame(id: Option<&str>, progress: &Progress) -> String {
+    let head = frame_head("progress", id);
+    match progress {
+        Progress::Sweep {
+            sites_done,
+            sites_total,
+        } => format!(
+            "{head}, \"op\": \"sweep\", \"sites_done\": {sites_done}, \"sites_total\": {sites_total}}}"
+        ),
+        Progress::MonteCarlo { vectors, sensitized } => format!(
+            "{head}, \"op\": \"monte_carlo\", \"vectors\": {vectors}, \"sensitized\": {sensitized}, \"interim_p\": {}}}",
+            fmt_f64(*sensitized as f64 / *vectors as f64)
+        ),
+    }
+}
+
+/// Formats one probability for the wire: v1 keeps its historical
+/// 6-decimal form; v2 uses shortest round-trip (bit-identical on
+/// parse).
+fn fmt_prob(p: f64, full_precision: bool) -> String {
+    if full_precision {
+        fmt_f64(p)
+    } else {
+        format!("{p:.6}")
+    }
+}
+
+/// Renders a served [`Response`]'s meta + payload as the *fields* of a
+/// response object (no surrounding braces): both dialects share this —
+/// the v1 line wraps it in `{}`, the v2 `result` frame prefixes the
+/// envelope head. `top` caps a sweep's ranking (`None` = 5);
+/// `full_precision` selects the v2 float form.
+#[must_use]
+pub fn response_fields(
+    top: Option<usize>,
+    circuit: &Circuit,
+    response: &Response,
+    full_precision: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "\"circuit\": \"{}\", \"netlist_hash\": \"{:016x}\", \"warm\": {}, \"wall_us\": {}",
+        json_escape(&response.meta.circuit),
+        response.meta.netlist_hash,
+        response.meta.warm_session,
+        response.meta.wall.as_micros()
+    );
+    match &response.payload {
+        ResponsePayload::Sweep(sweep) => {
+            let total: f64 = sweep.p_sensitized().iter().sum();
+            let _ = write!(
+                out,
+                ", \"op\": \"sweep\", \"nodes\": {}, \"total_p_sensitized\": {}",
+                sweep.len(),
+                fmt_prob(total, full_precision)
+            );
+            let top = top.unwrap_or(5);
+            if top > 0 {
+                let mut ranked: Vec<usize> = (0..sweep.len()).collect();
+                ranked.sort_by(|&a, &b| {
+                    sweep.p_sensitized()[b]
+                        .partial_cmp(&sweep.p_sensitized()[a])
+                        .expect("finite probabilities")
+                });
+                out.push_str(", \"top\": [");
+                for (i, &pos) in ranked.iter().take(top).enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let site = sweep.get(pos);
+                    let _ = write!(
+                        out,
+                        "{{\"node\": \"{}\", \"p_sensitized\": {}}}",
+                        json_escape(circuit.node(site.site()).name()),
+                        fmt_prob(site.p_sensitized(), full_precision)
+                    );
+                }
+                out.push(']');
+            }
+        }
+        ResponsePayload::Site(site) => {
+            let _ = write!(
+                out,
+                ", \"op\": \"site\", \"node\": \"{}\", \"p_sensitized\": {}, \"on_path_gates\": {}",
+                json_escape(circuit.node(site.site()).name()),
+                fmt_prob(site.p_sensitized(), full_precision),
+                site.on_path_gates()
+            );
+        }
+        ResponsePayload::MonteCarlo(est) => {
+            let _ = write!(
+                out,
+                ", \"op\": \"monte_carlo\", \"node\": \"{}\", \"p_sensitized\": {}, \"vectors\": {}",
+                json_escape(circuit.node(est.site).name()),
+                fmt_prob(est.p_sensitized, full_precision),
+                est.vectors
+            );
+        }
+        ResponsePayload::MultiCycle {
+            analytic,
+            monte_carlo,
+        } => {
+            let join = |values: &[f64]| {
+                values
+                    .iter()
+                    .map(|&p| fmt_prob(p, full_precision))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = write!(
+                out,
+                ", \"op\": \"multi_cycle\", \"node\": \"{}\", \"cumulative\": [{}]",
+                json_escape(circuit.node(analytic.site).name()),
+                join(&analytic.cumulative)
+            );
+            if let Some(mc) = monte_carlo {
+                let _ = write!(
+                    out,
+                    ", \"mc_cumulative\": [{}], \"mc_runs\": {}, \"mc_stopped_by_rule\": {}",
+                    join(&mc.cumulative),
+                    mc.runs,
+                    mc.stopped_by_rule
+                );
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Transport abstraction
+// ---------------------------------------------------------------------
+
+/// A blocking source of request lines from one client.
+pub trait LineStream: Send {
+    /// The next line (without its terminator); `Ok(None)` when the
+    /// client is done. A final unterminated fragment is returned as a
+    /// line — the parser turns a truncated frame into a `parse` error
+    /// rather than dropping it silently.
+    fn next_line(&mut self) -> io::Result<Option<String>>;
+}
+
+/// The write half of a connection: a cloneable, thread-safe sink of
+/// response frames. Executor workers hold clones so sequential
+/// Monte-Carlo progress streams out *while the request runs*; the
+/// mutex keeps every frame line atomic on the wire.
+///
+/// A sink that errors once is **dead**: every later [`send`]
+/// fails fast without touching the writer. Combined with the TCP
+/// transport's write timeout, this bounds how long a client that has
+/// stopped reading can block a shared executor worker mid-stream — one
+/// stalled write, then nothing.
+///
+/// [`send`]: FrameSink::send
+#[derive(Clone)]
+pub struct FrameSink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+    dead: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl std::fmt::Debug for FrameSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameSink").finish_non_exhaustive()
+    }
+}
+
+impl FrameSink {
+    /// Wraps a writer.
+    #[must_use]
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        FrameSink {
+            writer: Arc::new(Mutex::new(Box::new(writer))),
+            dead: Arc::default(),
+        }
+    }
+
+    /// Writes one frame as a line and flushes (line-buffered framing:
+    /// a client may act on every line as it arrives). The frame and
+    /// its terminator go down in a **single** write, so an unbuffered
+    /// writer (a TCP socket) sends one packet per frame — two writes
+    /// would tickle Nagle vs delayed-ACK into a ~40ms stall per reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's first error; every send
+    /// after an error fails immediately (the sink is dead — a partial
+    /// frame may be on the wire, so nothing coherent can follow it).
+    pub fn send(&self, frame: &str) -> io::Result<()> {
+        use std::sync::atomic::Ordering;
+        if self.dead.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "frame sink is dead after an earlier write failure",
+            ));
+        }
+        let mut line = String::with_capacity(frame.len() + 1);
+        line.push_str(frame);
+        line.push('\n');
+        let mut w = self
+            .writer
+            .lock()
+            .map_err(|_| io::Error::other("frame sink poisoned"))?;
+        let result = w.write_all(line.as_bytes()).and_then(|()| w.flush());
+        if result.is_err() {
+            self.dead.store(true, Ordering::Release);
+        }
+        result
+    }
+}
+
+/// One client connection: a line source, a frame sink, and a label for
+/// diagnostics.
+pub struct Connection {
+    /// Incoming request lines.
+    pub lines: Box<dyn LineStream>,
+    /// Outgoing frames.
+    pub sink: FrameSink,
+    /// Who this is (peer address, or `"stdio"`).
+    pub peer: String,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("peer", &self.peer)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A source of client connections — the I/O half the protocol engine
+/// is decoupled from. Two implementations ship: [`StdioTransport`]
+/// (one connection over stdin/stdout, the PR 3 framing) and
+/// [`TcpTransport`](crate::net::TcpTransport).
+pub trait Transport {
+    /// Blocks for the next client; `Ok(None)` when the transport is
+    /// closed (stdio after its single connection, TCP after shutdown).
+    fn accept(&mut self) -> io::Result<Option<Connection>>;
+}
+
+/// The stdin/stdout transport: exactly one connection, then end of
+/// transport. Keeps `ser-cli serve` wire-compatible with PR 3 while
+/// sharing every byte of protocol logic with the TCP front door.
+#[derive(Debug, Default)]
+pub struct StdioTransport {
+    served: bool,
+}
+
+impl StdioTransport {
+    /// Creates the transport.
+    #[must_use]
+    pub fn new() -> Self {
+        StdioTransport::default()
+    }
+}
+
+struct StdinLines;
+
+impl LineStream for StdinLines {
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        let mut buf = String::new();
+        if io::stdin().lock().read_line(&mut buf)? == 0 {
+            return Ok(None);
+        }
+        while buf.ends_with('\n') || buf.ends_with('\r') {
+            buf.pop();
+        }
+        Ok(Some(buf))
+    }
+}
+
+impl Transport for StdioTransport {
+    fn accept(&mut self) -> io::Result<Option<Connection>> {
+        if self.served {
+            return Ok(None);
+        }
+        self.served = true;
+        Ok(Some(Connection {
+            lines: Box::new(StdinLines),
+            sink: FrameSink::new(io::stdout()),
+            peer: "stdio".to_owned(),
+        }))
+    }
+}
+
+/// Runs the engine over a transport: each accepted connection is
+/// served on its own thread until the transport closes, then every
+/// connection thread is joined — the graceful-shutdown path for the
+/// TCP front door (stop accepting, finish in-flight clients, return).
+///
+/// # Errors
+///
+/// Propagates transport `accept` failures; per-connection I/O errors
+/// only end their own connection.
+pub fn serve(transport: &mut dyn Transport, engine: &Arc<ProtocolEngine>) -> io::Result<()> {
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while let Some(conn) = transport.accept()? {
+        let engine = Arc::clone(engine);
+        handles.push(std::thread::spawn(move || {
+            // A client that vanishes mid-reply is routine, not fatal.
+            let _ = engine.serve_connection(conn);
+        }));
+        handles.retain(|h| !h.is_finished());
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// Tuning knobs of a [`ProtocolEngine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// When set, every connection must open with a `hello` op carrying
+    /// this token before anything else is served.
+    pub auth_token: Option<String>,
+    /// Per-client request quota: after this many served ops (anything
+    /// but `hello`), further requests get `quota_exceeded` and the
+    /// connection closes. `None` = unlimited.
+    pub quota: Option<u64>,
+    /// Server-wide cap on concurrently executing requests; arrivals
+    /// beyond it wait their turn (backpressure, not rejection). `0` =
+    /// unlimited.
+    pub max_inflight: usize,
+}
+
+/// Counting gate bounding concurrently executing requests.
+#[derive(Debug)]
+struct InflightGate {
+    limit: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl InflightGate {
+    fn acquire(&self) -> InflightPermit<'_> {
+        if self.limit > 0 {
+            let mut active = self.active.lock().expect("inflight gate");
+            while *active >= self.limit {
+                active = self.freed.wait(active).expect("inflight gate");
+            }
+            *active += 1;
+        }
+        InflightPermit { gate: self }
+    }
+}
+
+struct InflightPermit<'a> {
+    gate: &'a InflightGate,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        if self.gate.limit > 0 {
+            *self.gate.active.lock().expect("inflight gate") -= 1;
+            self.gate.freed.notify_one();
+        }
+    }
+}
+
+/// Per-connection protocol state.
+#[derive(Debug, Default)]
+struct ConnState {
+    /// 1-based line counter (for v1 error lines).
+    line: usize,
+    /// Lines served (for the quota).
+    served: u64,
+    /// Whether the shared secret has been presented.
+    authed: bool,
+    /// Whether the one quota-free handshake has been spent.
+    greeted: bool,
+}
+
+/// Whether the connection continues after a line.
+enum Flow {
+    Continue,
+    Close,
+}
+
+/// The transport-agnostic request engine: parses envelope (or v1) job
+/// lines, dispatches them onto a shared [`SerService`], and writes the
+/// framed reply — including mid-request progress frames — through the
+/// connection's [`FrameSink`]. One engine serves every connection of a
+/// server, so the session/response caches and the netlist cache are
+/// shared across clients.
+#[derive(Debug)]
+pub struct ProtocolEngine {
+    service: Arc<SerService>,
+    config: EngineConfig,
+    circuits: Mutex<NetlistCache>,
+    inflight: InflightGate,
+}
+
+impl ProtocolEngine {
+    /// Creates an engine over a service.
+    #[must_use]
+    pub fn new(service: Arc<SerService>, config: EngineConfig) -> Self {
+        ProtocolEngine {
+            inflight: InflightGate {
+                limit: config.max_inflight,
+                active: Mutex::new(0),
+                freed: Condvar::new(),
+            },
+            service,
+            config,
+            circuits: Mutex::new(NetlistCache::default()),
+        }
+    }
+
+    /// The shared service.
+    #[must_use]
+    pub fn service(&self) -> &Arc<SerService> {
+        &self.service
+    }
+
+    /// Serves one client connection to completion: reads lines,
+    /// answers frames, enforces auth and quota, stops at end of
+    /// stream or on a fatal protocol violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unrecoverable I/O error (client gone).
+    pub fn serve_connection(&self, conn: Connection) -> io::Result<()> {
+        let mut lines = conn.lines;
+        let sink = conn.sink;
+        let mut state = ConnState::default();
+        while let Some(line) = lines.next_line()? {
+            state.line += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match self.handle_line(trimmed, &mut state, &sink)? {
+                Flow::Continue => {}
+                Flow::Close => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses and dispatches one request line, writing every frame of
+    /// the reply.
+    fn handle_line(&self, line: &str, state: &mut ConnState, sink: &FrameSink) -> io::Result<Flow> {
+        let parsed = parse_wire_line(line);
+
+        // Auth gate first — it covers unparseable lines too, so an
+        // unauthenticated client cannot elicit unlimited error replies
+        // by sending garbage: with a token configured, the first line
+        // must be a valid hello, and anything else (including a line
+        // that does not parse) closes the connection.
+        if self.config.auth_token.is_some() && !state.authed {
+            if let Ok(ParsedLine::V2(WireRequest {
+                id,
+                op: WireOp::Hello { token },
+            })) = &parsed
+            {
+                if token.as_deref() == self.config.auth_token.as_deref() {
+                    state.authed = true;
+                    state.greeted = true;
+                    sink.send(&hello_frame(id.as_deref()))?;
+                    return Ok(Flow::Continue);
+                }
+                sink.send(&render_error_frame(
+                    id.as_deref(),
+                    &WireError::new(ErrorCode::Unauthorized, "bad or missing token"),
+                ))?;
+                return Ok(Flow::Close);
+            }
+            sink.send(&render_error_frame(
+                None,
+                &WireError::new(
+                    ErrorCode::Unauthorized,
+                    "this server requires a hello op with a token first",
+                ),
+            ))?;
+            return Ok(Flow::Close);
+        }
+
+        // The first hello is the quota-free handshake; repeats fall
+        // through to the quota gate like any other op, so a hello loop
+        // cannot elicit unlimited replies.
+        if let Ok(ParsedLine::V2(WireRequest {
+            id,
+            op: WireOp::Hello { .. },
+        })) = &parsed
+        {
+            if !state.greeted {
+                state.authed = true;
+                state.greeted = true;
+                sink.send(&hello_frame(id.as_deref()))?;
+                return Ok(Flow::Continue);
+            }
+        }
+
+        // Quota gate: every post-handshake line counts, parseable or
+        // not — a quota that garbage lines bypassed would be no quota.
+        if let Some(quota) = self.config.quota {
+            if state.served >= quota {
+                let id = match &parsed {
+                    Ok(ParsedLine::V2(req)) => req.id.clone(),
+                    _ => None,
+                };
+                sink.send(&render_error_frame(
+                    id.as_deref(),
+                    &WireError::new(
+                        ErrorCode::QuotaExceeded,
+                        format!("request quota ({quota}) exhausted for this connection"),
+                    ),
+                ))?;
+                return Ok(Flow::Close);
+            }
+        }
+        state.served += 1;
+
+        let parsed = match parsed {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                // Dialect unknown when the line didn't parse: the v2
+                // error frame carries the same `error` key v1 clients
+                // look for.
+                sink.send(&render_error_frame(None, &e))?;
+                return Ok(Flow::Continue);
+            }
+        };
+
+        match parsed {
+            ParsedLine::V1(spec) => {
+                let line_no = state.line;
+                match self.dispatch_v1(&spec) {
+                    Ok(reply) => sink.send(&reply)?,
+                    Err(e) => sink.send(&format!(
+                        "{{\"line\": {line_no}, \"error\": {}}}",
+                        e.render()
+                    ))?,
+                }
+            }
+            ParsedLine::V2(req) => {
+                let id = req.id.as_deref();
+                if let Err(e) = self.dispatch_v2(id, &req.op, sink)? {
+                    sink.send(&render_error_frame(id, &e))?;
+                }
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    /// Serves a v1 job line; the reply is the old one-line response.
+    fn dispatch_v1(&self, spec: &JobSpec) -> Result<String, WireError> {
+        let circuit = self.load_circuit(&spec.netlist)?;
+        let request = spec.to_request(&circuit).map_err(classify_request_error)?;
+        let _permit = self.inflight.acquire();
+        let response = self.service.submit(&circuit, request)?;
+        Ok(jobs::v1_response_json(spec.top, &circuit, &response))
+    }
+
+    /// Serves a v2 op, writing progress/chunk/result frames. The outer
+    /// `io::Result` is transport failure; the inner result reports a
+    /// protocol-level error for the caller to frame.
+    fn dispatch_v2(
+        &self,
+        id: Option<&str>,
+        op: &WireOp,
+        sink: &FrameSink,
+    ) -> io::Result<Result<(), WireError>> {
+        match op {
+            // Only *repeated* hellos land here (the first is answered
+            // quota-free before dispatch); they count like any op.
+            WireOp::Hello { .. } => {
+                sink.send(&hello_frame(id))?;
+                Ok(Ok(()))
+            }
+            WireOp::Stats => {
+                let s = self.service.stats();
+                sink.send(&format!(
+                    "{}, \"op\": \"stats\", \"session_hits\": {}, \"session_misses\": {}, \
+                     \"evictions\": {}, \"sessions_cached\": {}, \"sweep_cache_hits\": {}, \
+                     \"sweep_cache_misses\": {}, \"sweep_responses_cached\": {}}}",
+                    frame_head("result", id),
+                    s.session_hits,
+                    s.session_misses,
+                    s.evictions,
+                    s.sessions_cached,
+                    s.sweep_cache_hits,
+                    s.sweep_cache_misses,
+                    s.sweep_responses_cached
+                ))?;
+                Ok(Ok(()))
+            }
+            WireOp::SetInputs(op) => match self.run_set_inputs(op) {
+                Ok((circuit, revision)) => {
+                    sink.send(&format!(
+                        "{}, \"op\": \"set_inputs\", \"circuit\": \"{}\", \
+                         \"netlist_hash\": \"{:016x}\", \"revision\": {revision}}}",
+                        frame_head("result", id),
+                        json_escape(circuit.name()),
+                        circuit.structural_hash()
+                    ))?;
+                    Ok(Ok(()))
+                }
+                Err(e) => Ok(Err(e)),
+            },
+            WireOp::Sweep(op) => self.run_sweep(id, op, sink),
+            WireOp::Site(op) => match self.run_simple(id, &op.netlist, |circuit| {
+                Ok(Request::Site(SiteRequest {
+                    site: resolve_node(circuit, &op.node)?,
+                }))
+            }) {
+                Ok(frame) => {
+                    sink.send(&frame)?;
+                    Ok(Ok(()))
+                }
+                Err(e) => Ok(Err(e)),
+            },
+            WireOp::MonteCarlo(op) => self.run_monte_carlo(id, op, sink),
+            WireOp::MultiCycle(op) => match self.run_simple(id, &op.netlist, |circuit| {
+                Ok(Request::MultiCycle(MultiCycleRequest {
+                    site: resolve_node(circuit, &op.node)?,
+                    cycles: op.cycles,
+                    monte_carlo: op.monte_carlo.as_ref().map(|mc| MultiCycleMcRequest {
+                        runs: mc.runs,
+                        target_error: mc.target_error,
+                        seed: mc.seed.unwrap_or(JobSpec::DEFAULT_SEED),
+                    }),
+                }))
+            }) {
+                Ok(frame) => {
+                    sink.send(&frame)?;
+                    Ok(Ok(()))
+                }
+                Err(e) => Ok(Err(e)),
+            },
+        }
+    }
+
+    /// One-frame ops: resolve, submit, render the result frame.
+    fn run_simple(
+        &self,
+        id: Option<&str>,
+        netlist: &str,
+        build: impl FnOnce(&Circuit) -> Result<Request, WireError>,
+    ) -> Result<String, WireError> {
+        let circuit = self.load_circuit(netlist)?;
+        let request = build(&circuit)?;
+        let _permit = self.inflight.acquire();
+        let response = self.service.submit(&circuit, request)?;
+        Ok(format!(
+            "{}, {}}}",
+            frame_head("result", id),
+            response_fields(None, &circuit, &response, true)
+        ))
+    }
+
+    fn run_set_inputs(&self, op: &SetInputsOp) -> Result<(Arc<Circuit>, u64), WireError> {
+        let circuit = self.load_circuit(&op.netlist)?;
+        let mut inputs = InputProbs::uniform(op.default_p);
+        for (name, p) in &op.overrides {
+            inputs = inputs.with(resolve_node(&circuit, name)?, *p);
+        }
+        let _permit = self.inflight.acquire();
+        let revision = self.service.set_inputs(&circuit, inputs)?;
+        Ok((circuit, revision))
+    }
+
+    fn run_sweep(
+        &self,
+        id: Option<&str>,
+        op: &SweepOp,
+        sink: &FrameSink,
+    ) -> io::Result<Result<(), WireError>> {
+        let circuit = match self.load_circuit(&op.netlist) {
+            Ok(c) => c,
+            Err(e) => return Ok(Err(e)),
+        };
+        let sites: Option<Vec<NodeId>> = match &op.sites {
+            None => None,
+            Some(names) => {
+                let mut ids = Vec::with_capacity(names.len());
+                for name in names {
+                    match resolve_node(&circuit, name) {
+                        Ok(id) => ids.push(id),
+                        Err(e) => return Ok(Err(e)),
+                    }
+                }
+                Some(ids)
+            }
+        };
+        let request = Request::Sweep(SweepRequest {
+            sites,
+            polarity: op.polarity,
+        });
+        let _permit = self.inflight.acquire();
+        let response = if op.progress {
+            let sink = sink.clone();
+            let id: Option<String> = id.map(str::to_owned);
+            self.service.submit_streaming(
+                &circuit,
+                request,
+                Arc::new(move |p: Progress| {
+                    let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
+                }),
+            )
+        } else {
+            self.service.submit(&circuit, request)
+        };
+        let response = match response {
+            Ok(r) => r,
+            Err(e) => return Ok(Err(e.into())),
+        };
+
+        // Page per-site values into chunk frames before the result.
+        let mut chunks = 0usize;
+        if let (Some(chunk_sites), ResponsePayload::Sweep(sweep)) =
+            (op.chunk_sites, &response.payload)
+        {
+            for (seq, first) in (0..sweep.len()).step_by(chunk_sites).enumerate() {
+                let mut frame = format!(
+                    "{}, \"seq\": {seq}, \"first\": {first}, \"sites\": [",
+                    frame_head("chunk", id)
+                );
+                for pos in first..(first + chunk_sites).min(sweep.len()) {
+                    if pos > first {
+                        frame.push_str(", ");
+                    }
+                    let site = sweep.get(pos);
+                    frame.push_str(&format!(
+                        "{{\"node\": \"{}\", \"p_sensitized\": {}}}",
+                        json_escape(circuit.node(site.site()).name()),
+                        fmt_f64(site.p_sensitized())
+                    ));
+                }
+                frame.push_str("]}");
+                sink.send(&frame)?;
+                chunks = seq + 1;
+            }
+        }
+        let chunk_note = if op.chunk_sites.is_some() {
+            format!(", \"chunks\": {chunks}")
+        } else {
+            String::new()
+        };
+        sink.send(&format!(
+            "{}, {}{chunk_note}}}",
+            frame_head("result", id),
+            response_fields(op.top, &circuit, &response, true)
+        ))?;
+        Ok(Ok(()))
+    }
+
+    fn run_monte_carlo(
+        &self,
+        id: Option<&str>,
+        op: &MonteCarloOp,
+        sink: &FrameSink,
+    ) -> io::Result<Result<(), WireError>> {
+        let circuit = match self.load_circuit(&op.netlist) {
+            Ok(c) => c,
+            Err(e) => return Ok(Err(e)),
+        };
+        let site = match resolve_node(&circuit, &op.node) {
+            Ok(s) => s,
+            Err(e) => return Ok(Err(e)),
+        };
+        let request = Request::MonteCarlo(MonteCarloRequest {
+            site,
+            vectors: op.vectors.unwrap_or(JobSpec::DEFAULT_VECTORS),
+            target_error: op.target_error,
+            seed: op.seed.unwrap_or(JobSpec::DEFAULT_SEED),
+        });
+        let _permit = self.inflight.acquire();
+        let streaming = op.progress && op.target_error.is_some();
+        let response = if streaming {
+            let sink = sink.clone();
+            let id: Option<String> = id.map(str::to_owned);
+            self.service.submit_streaming(
+                &circuit,
+                request,
+                Arc::new(move |p: Progress| {
+                    let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
+                }),
+            )
+        } else {
+            self.service.submit(&circuit, request)
+        };
+        match response {
+            Ok(response) => {
+                sink.send(&format!(
+                    "{}, {}}}",
+                    frame_head("result", id),
+                    response_fields(None, &circuit, &response, true)
+                ))?;
+                Ok(Ok(()))
+            }
+            Err(e) => Ok(Err(e.into())),
+        }
+    }
+
+    /// Loads (or reuses) a netlist by path. The cache is engine-wide:
+    /// every connection shares one parse and one `Arc<Circuit>` per
+    /// path, which also keeps the service's session cache keyed
+    /// consistently.
+    fn load_circuit(&self, path: &str) -> Result<Arc<Circuit>, WireError> {
+        if let Some(c) = self.circuits.lock().expect("netlist cache").get(path) {
+            return Ok(c);
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            WireError::new(ErrorCode::NotFound, format!("cannot read `{path}`: {e}"))
+        })?;
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("circuit");
+        let circuit = if path.ends_with(".v") || path.ends_with(".sv") {
+            parse_verilog(&text)
+        } else {
+            parse_bench(&text, stem)
+        }
+        .map_err(|e| {
+            WireError::new(ErrorCode::BadRequest, format!("cannot parse `{path}`: {e}"))
+        })?;
+        let circuit = Arc::new(circuit);
+        self.circuits
+            .lock()
+            .expect("netlist cache")
+            .insert(path, &circuit);
+        Ok(circuit)
+    }
+}
+
+/// The engine-wide netlist cache: one parse and one `Arc<Circuit>`
+/// per path, shared by every connection — **bounded**, with the same
+/// LRU discipline as the service's session/response caches, so a
+/// daemon fed ever-fresh paths cannot grow without limit. Eviction
+/// only drops the cache's own handle; sessions already compiled from
+/// an evicted circuit keep their `Arc`s.
+#[derive(Debug, Default)]
+struct NetlistCache {
+    entries: HashMap<String, (Arc<Circuit>, u64)>,
+    tick: u64,
+}
+
+impl NetlistCache {
+    /// A daemon legitimately serving more distinct netlists than this
+    /// at once is running a batch workload through the wrong front
+    /// end; re-parsing the overflow is correct, just slower.
+    const CAPACITY: usize = 64;
+
+    fn get(&mut self, path: &str) -> Option<Arc<Circuit>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (circuit, last_used) = self.entries.get_mut(path)?;
+        *last_used = tick;
+        Some(Arc::clone(circuit))
+    }
+
+    fn insert(&mut self, path: &str, circuit: &Arc<Circuit>) {
+        self.tick += 1;
+        let tick = self.tick;
+        crate::service::evict_lru_at_capacity(
+            &mut self.entries,
+            &path.to_owned(),
+            Self::CAPACITY,
+            |&(_, last_used)| last_used,
+        );
+        self.entries
+            .entry(path.to_owned())
+            .or_insert((Arc::clone(circuit), tick));
+    }
+}
+
+fn hello_frame(id: Option<&str>) -> String {
+    format!(
+        "{}, \"op\": \"hello\", \"protocol\": {PROTOCOL_VERSION}, \"server\": \"ser-service\"}}",
+        frame_head("result", id)
+    )
+}
+
+fn resolve_node(circuit: &Circuit, name: &str) -> Result<NodeId, WireError> {
+    circuit.find(name).ok_or_else(|| {
+        WireError::new(
+            ErrorCode::NotFound,
+            format!("no node named `{name}` in `{}`", circuit.name()),
+        )
+    })
+}
+
+/// v1 request-conversion errors are "not found" when they name a
+/// missing node, "bad request" otherwise — the split the structured
+/// codes need from the shim's prose errors.
+fn classify_request_error(message: String) -> WireError {
+    if message.starts_with("no node named") {
+        WireError::new(ErrorCode::NotFound, message)
+    } else {
+        WireError::new(ErrorCode::BadRequest, message)
+    }
+}

@@ -117,10 +117,10 @@ struct SweepCacheEntry {
 
 /// Evicts the least-recently-used entry when `entries` sits at
 /// `capacity` and does not already contain `key`. Shared by the
-/// session cache, the sweep-response cache and `set_inputs` — one
-/// eviction policy, written once. Returns whether an entry was
-/// evicted.
-fn evict_lru_at_capacity<K: std::hash::Hash + Eq + Copy, V>(
+/// session cache, the sweep-response cache, `set_inputs` and the
+/// protocol engine's netlist cache — one eviction policy, written
+/// once. Returns whether an entry was evicted.
+pub(crate) fn evict_lru_at_capacity<K: std::hash::Hash + Eq + Clone, V>(
     entries: &mut HashMap<K, V>,
     key: &K,
     capacity: usize,
@@ -132,7 +132,7 @@ fn evict_lru_at_capacity<K: std::hash::Hash + Eq + Copy, V>(
     let lru = entries
         .iter()
         .min_by_key(|(_, e)| last_used(e))
-        .map(|(&k, _)| k)
+        .map(|(k, _)| k.clone())
         .expect("non-empty cache");
     entries.remove(&lru);
     true
@@ -197,6 +197,35 @@ impl std::fmt::Debug for SweepCache {
     }
 }
 
+/// A progress event emitted while a streaming-capable request runs —
+/// the service-level signal the wire protocol turns into `progress`
+/// frames. Events are advisory: they never change what the final
+/// [`Response`] contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// A sweep's executor parts completing; `sites_done` is cumulative.
+    Sweep {
+        /// Sites evaluated so far.
+        sites_done: usize,
+        /// Sites the sweep will evaluate in total.
+        sites_total: usize,
+    },
+    /// A sequential (Mendo-rule) Monte-Carlo run's trial counters, at
+    /// doubling vector thresholds starting at
+    /// [`MC_PROGRESS_FIRST_AT`](SerService::MC_PROGRESS_FIRST_AT).
+    MonteCarlo {
+        /// Vectors simulated so far.
+        vectors: u64,
+        /// Sensitized observations so far.
+        sensitized: u64,
+    },
+}
+
+/// A progress callback. Invoked from executor workers (Monte-Carlo)
+/// and from the collecting thread (sweep parts), so it must be
+/// `Send + Sync`; keep it cheap — it runs on the request's hot path.
+pub type ProgressFn = Arc<dyn Fn(Progress) + Send + Sync>;
+
 /// One executor job's output, tagged `(job, part)` for reassembly.
 enum Part {
     Sweep(SweepResults),
@@ -223,6 +252,11 @@ struct Prepared {
     /// When set, the assembled sweep response populates the cache
     /// under this key, pinned to this SP vector.
     cache_key: Option<(SweepKey, Arc<SpVector>)>,
+    /// Progress sink, when the submitter asked for streaming.
+    progress: Option<ProgressFn>,
+    /// Total sweep sites (for [`Progress::Sweep`] events; 0 for
+    /// non-sweep requests).
+    sweep_sites_total: usize,
 }
 
 impl SerService {
@@ -482,6 +516,32 @@ impl SerService {
             .expect("one response per job")
     }
 
+    /// Serves one request, streaming [`Progress`] events into
+    /// `on_progress` while it runs: sweep part completions as they are
+    /// collected, and — for sequential Monte-Carlo requests — interim
+    /// trial counters from the worker at doubling vector thresholds
+    /// (first at [`MC_PROGRESS_FIRST_AT`](Self::MC_PROGRESS_FIRST_AT),
+    /// so short runs stay quiet and long runs emit O(log n) events).
+    ///
+    /// The response is **identical** to [`submit`](Self::submit) with
+    /// the same arguments: progress reporting observes the run, it
+    /// never reshapes it. Requests served straight from the response
+    /// cache complete without any progress events.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceError`].
+    pub fn submit_streaming(
+        &self,
+        circuit: &Arc<Circuit>,
+        request: Request,
+        on_progress: ProgressFn,
+    ) -> Result<Response, ServiceError> {
+        self.submit_batch_with(vec![(Arc::clone(circuit), request, Some(on_progress))])
+            .pop()
+            .expect("one response per job")
+    }
+
     /// Serves a batch of requests, possibly against different circuits.
     /// Every request's jobs are enqueued up front, so sweeps on
     /// distinct circuits run interleaved on the shared workers; the
@@ -496,11 +556,25 @@ impl SerService {
         &self,
         jobs: Vec<(Arc<Circuit>, Request)>,
     ) -> Vec<Result<Response, ServiceError>> {
+        self.submit_batch_with(
+            jobs.into_iter()
+                .map(|(circuit, request)| (circuit, request, None))
+                .collect(),
+        )
+    }
+
+    /// [`submit_batch`](Self::submit_batch) with an optional progress
+    /// sink per job (see [`submit_streaming`](Self::submit_streaming)).
+    #[must_use]
+    pub fn submit_batch_with(
+        &self,
+        jobs: Vec<(Arc<Circuit>, Request, Option<ProgressFn>)>,
+    ) -> Vec<Result<Response, ServiceError>> {
         let (tx, rx) = mpsc::channel::<PartMsg>();
         let mut prepared: Vec<Result<Prepared, ServiceError>> = Vec::with_capacity(jobs.len());
 
-        for (job_idx, (circuit, request)) in jobs.into_iter().enumerate() {
-            match self.prepare(&circuit, request, job_idx, &tx) {
+        for (job_idx, (circuit, request, progress)) in jobs.into_iter().enumerate() {
+            match self.prepare(&circuit, request, progress, job_idx, &tx) {
                 Ok(p) => prepared.push(Ok(p)),
                 Err(e) => prepared.push(Err(e)),
             }
@@ -526,14 +600,24 @@ impl SerService {
                 _ => Duration::ZERO,
             })
             .collect();
+        let mut sites_done: Vec<usize> = vec![0; prepared.len()];
         for _ in 0..expected {
             let (job_idx, part_idx, part, completed_at) =
                 rx.recv().expect("a service job panicked before reporting");
-            parts[job_idx].push((part_idx, part));
             if let Ok(prep) = &prepared[job_idx] {
                 walls[job_idx] =
                     walls[job_idx].max(completed_at.saturating_duration_since(prep.started));
+                // Sweep parts double as progress ticks: report them as
+                // they land, from this (collecting) thread.
+                if let (Some(sink), Ok(Part::Sweep(results))) = (&prep.progress, &part) {
+                    sites_done[job_idx] += results.len();
+                    sink(Progress::Sweep {
+                        sites_done: sites_done[job_idx],
+                        sites_total: prep.sweep_sites_total,
+                    });
+                }
             }
+            parts[job_idx].push((part_idx, part));
         }
 
         prepared
@@ -568,12 +652,20 @@ impl SerService {
             .collect()
     }
 
+    /// First vector threshold at which a streaming sequential
+    /// Monte-Carlo run reports [`Progress::MonteCarlo`]; later reports
+    /// come at each doubling (512, 1024, …), so a run of `n` vectors
+    /// emits ⌈log₂(n / 256)⌉ + 1 events — enough cadence for a client
+    /// progress bar, bounded even for million-vector runs.
+    pub const MC_PROGRESS_FIRST_AT: u64 = 256;
+
     /// Validates one request, resolves its session and enqueues its
     /// executor jobs. Returns the bookkeeping needed to reassemble.
     fn prepare(
         &self,
         circuit: &Arc<Circuit>,
         request: Request,
+        progress: Option<ProgressFn>,
         job_idx: usize,
         tx: &mpsc::Sender<PartMsg>,
     ) -> Result<Prepared, ServiceError> {
@@ -599,6 +691,8 @@ impl SerService {
                         request,
                         cached: Some(ResponsePayload::Sweep(results)),
                         cache_key: None,
+                        progress: None,
+                        sweep_sites_total: 0,
                     });
                 }
                 self.sweep_misses.fetch_add(1, Ordering::Relaxed);
@@ -606,12 +700,14 @@ impl SerService {
             }
         }
 
+        let mut sweep_sites_total = 0;
         let parts = match &request {
             Request::Sweep(req) => {
                 let sites: Vec<NodeId> = match &req.sites {
                     Some(sites) => sites.clone(),
                     None => circuit.node_ids().collect(),
                 };
+                sweep_sites_total = sites.len();
                 let polarity = req.polarity;
                 let batches: Vec<Vec<NodeId>> = sites
                     .chunks(self.config.sweep_batch_sites)
@@ -659,12 +755,39 @@ impl SerService {
                 let req = *req;
                 let session = Arc::clone(&session);
                 let tx = tx.clone();
+                let sink = progress.clone();
                 self.executor.spawn(move || {
                     let estimate = match req.target_error {
-                        Some(eps) => SequentialMonteCarlo::new(eps)
-                            .with_seed(req.seed)
-                            .with_max_vectors(req.vectors)
-                            .estimate_site(session.bit_sim(), req.site),
+                        Some(eps) => {
+                            let rule = SequentialMonteCarlo::new(eps)
+                                .with_seed(req.seed)
+                                .with_max_vectors(req.vectors);
+                            match sink {
+                                // Streaming: same rule, with the trial
+                                // counters reported at doubling vector
+                                // thresholds. The observer cannot
+                                // perturb the run (bit-identical).
+                                Some(sink) => {
+                                    let mut next = SerService::MC_PROGRESS_FIRST_AT;
+                                    rule.estimate_site_observed(
+                                        session.bit_sim(),
+                                        req.site,
+                                        |vectors, sensitized| {
+                                            if vectors >= next {
+                                                while next <= vectors {
+                                                    next = next.saturating_mul(2);
+                                                }
+                                                sink(Progress::MonteCarlo {
+                                                    vectors,
+                                                    sensitized,
+                                                });
+                                            }
+                                        },
+                                    )
+                                }
+                                None => rule.estimate_site(session.bit_sim(), req.site),
+                            }
+                        }
                         None => MonteCarlo::new(req.vectors)
                             .with_seed(req.seed)
                             .estimate_site(session.bit_sim(), req.site),
@@ -682,6 +805,8 @@ impl SerService {
             request,
             cached: None,
             cache_key,
+            progress,
+            sweep_sites_total,
         })
     }
 }

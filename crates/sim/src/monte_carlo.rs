@@ -244,6 +244,24 @@ impl SequentialMonteCarlo {
     /// `SiteEstimate::vectors` reports the trials actually spent.
     #[must_use]
     pub fn estimate_site(&self, sim: &BitSim, site: NodeId) -> SiteEstimate {
+        self.estimate_site_observed(sim, site, |_, _| {})
+    }
+
+    /// [`estimate_site`](Self::estimate_site) with a progress observer:
+    /// `observe(vectors_run, sensitized_so_far)` is called after every
+    /// simulated block (64 vectors, fewer on the capped final block), so
+    /// a long-running sequential estimate can stream interim counts —
+    /// the service's wire protocol turns these into progress frames.
+    ///
+    /// The observer cannot influence the run: the estimate is
+    /// **bit-identical** to `estimate_site` whatever it does.
+    #[must_use]
+    pub fn estimate_site_observed(
+        &self,
+        sim: &BitSim,
+        site: NodeId,
+        mut observe: impl FnMut(u64, u64),
+    ) -> SiteEstimate {
         let fault = SiteFaultSim::new(sim, site);
         let needed = self.successes_required();
         let num_sources = sim.sources().len();
@@ -279,6 +297,7 @@ impl SequentialMonteCarlo {
                 slot.2 += u64::from((masks.odd & valid).count_ones());
             }
             ran += u64::from(count);
+            observe(ran, sensitized);
         }
 
         let v = ran as f64;
@@ -490,6 +509,29 @@ mod tests {
             est.per_point[0].p_arrival(),
             est.p_sensitized
         );
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_monotonic() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n",
+            "t",
+        )
+        .unwrap();
+        let sim = BitSim::new(&c).unwrap();
+        let a = c.find("a").unwrap();
+        let mc = SequentialMonteCarlo::new(0.1).with_seed(3);
+        let plain = mc.estimate_site(&sim, a);
+        let mut calls: Vec<(u64, u64)> = Vec::new();
+        let observed = mc.estimate_site_observed(&sim, a, |ran, hits| calls.push((ran, hits)));
+        assert_eq!(observed, plain, "observer must not perturb the run");
+        // One call per 64-vector block, counts non-decreasing, final
+        // call reports the totals the estimate is built from.
+        assert_eq!(calls.len() as u64, plain.vectors.div_ceil(64));
+        assert!(calls
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(calls.last().unwrap().0, plain.vectors);
     }
 
     #[test]

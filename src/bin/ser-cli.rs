@@ -4,8 +4,8 @@
 //! ser-cli info    <netlist>                   structural summary
 //! ser-cli analyze <netlist> [--top N]         whole-circuit SER report
 //! ser-cli epp     <netlist> <node>            per-site EPP detail
-//! ser-cli batch   <jobs.jsonl>                run a JSONL job file through the service
-//! ser-cli serve                               line-oriented service on stdin/stdout
+//! ser-cli batch   <jobs.jsonl>                run a v1 JSONL job file through the service
+//! ser-cli serve   [--tcp ADDR]                protocol server on stdin/stdout or TCP
 //! ser-cli gen     <profile> [--seed S] [-o F] emit a synthetic benchmark
 //! ser-cli convert <in> <out>                  .bench <-> .v conversion
 //! ```
@@ -13,17 +13,17 @@
 //! Netlists may be ISCAS `.bench` files or structural Verilog (`.v`);
 //! the format is chosen by file extension.
 //!
-//! `batch` and `serve` both speak the JSONL job protocol documented in
-//! [`ser_suite::service::jobs`]: one job object per line, one JSON
-//! response (or error) line back per job. `batch` submits the whole
-//! file as one interleaved batch; `serve` answers line by line on
-//! stdin/stdout while keeping every compiled circuit warm in the
-//! session LRU.
+//! `serve` speaks the versioned wire protocol documented in
+//! [`ser_suite::service::protocol`] — envelope requests, framed
+//! streaming replies, structured errors — plus the v1 flat-job shim,
+//! on stdin/stdout by default or as a TCP daemon with `--tcp ADDR`
+//! (optional `--auth-token`, per-client `--quota`, server-wide
+//! `--max-inflight`). `batch` runs a v1 JSONL job file as one
+//! interleaved batch, prints one response line per job, and exits
+//! non-zero if any job failed.
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::fs;
-use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -33,7 +33,8 @@ use ser_suite::netlist::{
     parse_bench, parse_verilog, write_bench, write_verilog, Circuit, CircuitStats,
 };
 use ser_suite::service::{
-    json_escape, parse_job_line, JobSpec, Response, ResponsePayload, SerService, SerServiceConfig,
+    parse_job_line, serve, v1_response_json, EngineConfig, JobSpec, ProtocolEngine, SerService,
+    SerServiceConfig, StdioTransport, TcpTransport, WireError,
 };
 
 fn load(path: &str) -> Result<Circuit, String> {
@@ -149,106 +150,10 @@ impl CircuitCache {
     }
 }
 
-/// Renders one served response as a JSON line.
-fn response_json(spec: &JobSpec, circuit: &Circuit, response: &Response) -> String {
-    let mut out = String::from("{");
-    let _ = write!(
-        out,
-        "\"circuit\": \"{}\", \"netlist_hash\": \"{:016x}\", \"warm\": {}, \"wall_us\": {}",
-        json_escape(&response.meta.circuit),
-        response.meta.netlist_hash,
-        response.meta.warm_session,
-        response.meta.wall.as_micros()
-    );
-    match &response.payload {
-        ResponsePayload::Sweep(sweep) => {
-            let total: f64 = sweep.p_sensitized().iter().sum();
-            let _ = write!(
-                out,
-                ", \"op\": \"sweep\", \"nodes\": {}, \"total_p_sensitized\": {total:.6}",
-                sweep.len()
-            );
-            let top = spec.top.unwrap_or(5);
-            if top > 0 {
-                let mut ranked: Vec<usize> = (0..sweep.len()).collect();
-                ranked.sort_by(|&a, &b| {
-                    sweep.p_sensitized()[b]
-                        .partial_cmp(&sweep.p_sensitized()[a])
-                        .expect("finite probabilities")
-                });
-                out.push_str(", \"top\": [");
-                for (i, &pos) in ranked.iter().take(top).enumerate() {
-                    if i > 0 {
-                        out.push_str(", ");
-                    }
-                    let site = sweep.get(pos);
-                    let _ = write!(
-                        out,
-                        "{{\"node\": \"{}\", \"p_sensitized\": {:.6}}}",
-                        json_escape(circuit.node(site.site()).name()),
-                        site.p_sensitized()
-                    );
-                }
-                out.push(']');
-            }
-        }
-        ResponsePayload::Site(site) => {
-            let _ = write!(
-                out,
-                ", \"op\": \"site\", \"node\": \"{}\", \"p_sensitized\": {:.6}, \"on_path_gates\": {}",
-                json_escape(circuit.node(site.site()).name()),
-                site.p_sensitized(),
-                site.on_path_gates()
-            );
-        }
-        ResponsePayload::MonteCarlo(est) => {
-            let _ = write!(
-                out,
-                ", \"op\": \"monte_carlo\", \"node\": \"{}\", \"p_sensitized\": {:.6}, \"vectors\": {}",
-                json_escape(circuit.node(est.site).name()),
-                est.p_sensitized,
-                est.vectors
-            );
-        }
-        ResponsePayload::MultiCycle {
-            analytic,
-            monte_carlo,
-        } => {
-            let _ = write!(
-                out,
-                ", \"op\": \"multi_cycle\", \"node\": \"{}\", \"cumulative\": [{}]",
-                json_escape(circuit.node(analytic.site).name()),
-                analytic
-                    .cumulative
-                    .iter()
-                    .map(|p| format!("{p:.6}"))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            );
-            if let Some(mc) = monte_carlo {
-                let _ = write!(
-                    out,
-                    ", \"mc_cumulative\": [{}], \"mc_runs\": {}, \"mc_stopped_by_rule\": {}",
-                    mc.cumulative
-                        .iter()
-                        .map(|p| format!("{p:.6}"))
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                    mc.runs,
-                    mc.stopped_by_rule
-                );
-            }
-        }
-    }
-    out.push('}');
-    out
-}
-
-fn error_json(line_no: usize, message: &str) -> String {
-    format!(
-        "{{\"line\": {line_no}, \"error\": \"{}\"}}",
-        json_escape(message)
-    )
+/// Renders a failed job as a v1 error line with a structured
+/// `{code, message}` error object.
+fn error_json(line_no: usize, error: &WireError) -> String {
+    format!("{{\"line\": {line_no}, \"error\": {}}}", error.render())
 }
 
 fn service_config(args: &[String]) -> Result<SerServiceConfig, String> {
@@ -271,8 +176,12 @@ fn service_config(args: &[String]) -> Result<SerServiceConfig, String> {
 }
 
 /// `batch`: parse the whole job file, submit it as one interleaved
-/// batch, print one response line per job in file order.
+/// batch, print one response line per job in file order. Exits
+/// non-zero when any job failed (the error lines still print, so a
+/// pipeline sees both the partial results and the failure).
 fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
+    use std::io::Write as _;
+
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let service = SerService::new(config);
     let mut cache = CircuitCache::new();
@@ -301,13 +210,18 @@ fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
     let responses = service.submit_batch(jobs);
     let stdout = std::io::stdout();
     let mut w = stdout.lock();
+    let mut failed = 0usize;
     for ((line_no, spec, circuit), response) in specs.iter().zip(responses) {
         let line = match response {
-            Ok(r) => response_json(spec, circuit, &r),
-            Err(e) => error_json(*line_no, &e.to_string()),
+            Ok(r) => v1_response_json(spec.top, circuit, &r),
+            Err(e) => {
+                failed += 1;
+                error_json(*line_no, &WireError::from(e))
+            }
         };
         writeln!(w, "{line}").map_err(|e| e.to_string())?;
     }
+    drop(w);
     let stats = service.stats();
     eprintln!(
         "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached; sweep cache {} hits / {} misses, {} cached)",
@@ -320,36 +234,63 @@ fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
         stats.sweep_cache_misses,
         stats.sweep_responses_cached
     );
+    if failed > 0 {
+        return Err(format!("{failed} of {} jobs failed", specs.len()));
+    }
     Ok(())
 }
 
-/// `serve`: answer JSONL jobs line by line on stdin/stdout, holding
-/// compiled sessions warm between requests until EOF.
-fn cmd_serve(config: SerServiceConfig) -> Result<(), String> {
-    let service = SerService::new(config);
-    let mut cache = CircuitCache::new();
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut w = stdout.lock();
-    for (line_no, line) in stdin.lock().lines().enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
-        if line.trim().is_empty() || line.trim_start().starts_with('#') {
-            continue;
+/// `serve`: the protocol server — versioned envelopes with streaming
+/// frames plus the v1 shim — on stdin/stdout, or on TCP with `--tcp`.
+/// Compiled circuits stay warm in the shared session LRU across
+/// requests (and, on TCP, across client connections).
+fn cmd_serve(
+    config: SerServiceConfig,
+    engine_config: EngineConfig,
+    tcp: Option<String>,
+) -> Result<(), String> {
+    let engine = Arc::new(ProtocolEngine::new(
+        Arc::new(SerService::new(config)),
+        engine_config,
+    ));
+    match tcp {
+        None => {
+            let mut transport = StdioTransport::new();
+            serve(&mut transport, &engine).map_err(|e| e.to_string())
         }
-        let answer = (|| -> Result<String, String> {
-            let spec = parse_job_line(&line)?;
-            let circuit = cache.load(&spec.netlist)?;
-            let request = spec.to_request(&circuit)?;
-            let response = service
-                .submit(&circuit, request)
-                .map_err(|e| e.to_string())?;
-            Ok(response_json(&spec, &circuit, &response))
-        })()
-        .unwrap_or_else(|e| error_json(line_no + 1, &e));
-        writeln!(w, "{answer}").map_err(|e| e.to_string())?;
-        w.flush().map_err(|e| e.to_string())?;
+        Some(addr) => {
+            let mut transport =
+                TcpTransport::bind(&addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+            eprintln!("ser-service listening on {}", transport.local_addr());
+            serve(&mut transport, &engine).map_err(|e| e.to_string())
+        }
     }
-    Ok(())
+}
+
+/// The serve-only flags (`--tcp`, `--auth-token`, `--quota`,
+/// `--max-inflight`).
+fn engine_config(args: &[String]) -> Result<EngineConfig, String> {
+    let mut config = EngineConfig {
+        auth_token: flag_value(args, "--auth-token"),
+        ..EngineConfig::default()
+    };
+    if let Some(quota) = flag_value(args, "--quota") {
+        config.quota = Some(
+            quota
+                .parse()
+                .ok()
+                .filter(|&n: &u64| n > 0)
+                .ok_or_else(|| "bad --quota value (need a positive integer)".to_owned())?,
+        );
+    }
+    if let Some(inflight) = flag_value(args, "--max-inflight") {
+        config.max_inflight = inflight
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .ok_or_else(|| "bad --max-inflight value (need a positive integer)".to_owned())?;
+    }
+    Ok(config)
 }
 
 fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
@@ -369,7 +310,7 @@ fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N]\n  ser-cli serve   [--threads N] [--sessions N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>"
+    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N]\n  ser-cli serve   [--threads N] [--sessions N] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>"
         .to_owned()
 }
 
@@ -413,7 +354,11 @@ fn run() -> Result<(), String> {
             let path = args.get(1).ok_or_else(usage)?;
             cmd_batch(path, service_config(&args)?)
         }
-        Some("serve") => cmd_serve(service_config(&args)?),
+        Some("serve") => cmd_serve(
+            service_config(&args)?,
+            engine_config(&args)?,
+            flag_value(&args, "--tcp"),
+        ),
         Some("convert") => {
             let input = args.get(1).ok_or_else(usage)?;
             let output = args.get(2).ok_or_else(usage)?;

@@ -165,3 +165,108 @@ fn batch_serves_jsonl_jobs_with_warm_reuse() {
         let _ = std::fs::remove_file(p);
     }
 }
+
+#[test]
+fn batch_exits_nonzero_when_a_job_fails() {
+    let good = temp_path("ok.bench");
+    let jobs = temp_path("failing_jobs.jsonl");
+    std::fs::write(&good, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+    let path = good.to_str().unwrap();
+    // The second job parses fine but fails the service's request
+    // validation (`vectors` must be ≥ 1) — a serve-time failure, not a
+    // parse-time one.
+    std::fs::write(
+        &jobs,
+        format!(
+            "{{\"op\": \"sweep\", \"netlist\": \"{path}\", \"top\": 1}}\n\
+             {{\"op\": \"monte_carlo\", \"netlist\": \"{path}\", \"node\": \"y\", \"vectors\": 0}}\n"
+        ),
+    )
+    .unwrap();
+    let out = cli().args(["batch"]).arg(&jobs).output().unwrap();
+    assert!(
+        !out.status.success(),
+        "a failed job must fail the exit code"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "both jobs still answered: {text}");
+    assert!(lines[0].contains("\"op\": \"sweep\""), "{}", lines[0]);
+    // The failure is a structured {code, message} object, not a bare
+    // string.
+    assert!(
+        lines[1].contains("\"error\": {\"code\": \"bad_request\""),
+        "{}",
+        lines[1]
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("1 of 2 jobs failed"), "stderr: {err}");
+
+    for p in [&good, &jobs] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn serve_speaks_both_dialects_on_stdio() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+
+    let bench = temp_path("serve.bench");
+    std::fs::write(
+        &bench,
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\ny = OR(u, c)\n",
+    )
+    .unwrap();
+    let path = bench.to_str().unwrap();
+
+    let mut child = cli()
+        .args(["serve", "--threads", "2", "--quota", "5"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let read_line = |stdout: &mut BufReader<_>| {
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("serve answers");
+        line
+    };
+
+    // A v1 job line: answered in the v1 shape.
+    writeln!(
+        stdin,
+        "{{\"op\": \"site\", \"netlist\": \"{path}\", \"node\": \"y\"}}"
+    )
+    .unwrap();
+    stdin.flush().unwrap();
+    let v1 = read_line(&mut stdout);
+    assert!(v1.contains("\"op\": \"site\""), "{v1}");
+    assert!(!v1.contains("\"frame\""), "v1 reply has no envelope: {v1}");
+
+    // A v2 envelope: framed result with the echoed id.
+    writeln!(
+        stdin,
+        "{{\"v\": 2, \"id\": \"r1\", \"op\": \"sweep\", \"netlist\": \"{path}\", \"top\": 1}}"
+    )
+    .unwrap();
+    stdin.flush().unwrap();
+    let v2 = read_line(&mut stdout);
+    assert!(v2.contains("\"frame\": \"result\""), "{v2}");
+    assert!(v2.contains("\"id\": \"r1\""), "{v2}");
+    assert!(v2.contains("\"warm\": true"), "session stayed warm: {v2}");
+
+    // A structured error for a bad line.
+    writeln!(stdin, "{{\"v\": 3, \"op\": \"stats\"}}").unwrap();
+    stdin.flush().unwrap();
+    let err = read_line(&mut stdout);
+    assert!(err.contains("\"code\": \"unsupported_version\""), "{err}");
+
+    // EOF ends the server cleanly.
+    drop(stdin);
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exits 0 on EOF: {status:?}");
+    let _ = std::fs::remove_file(&bench);
+}

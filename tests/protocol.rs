@@ -1,0 +1,723 @@
+//! Wire-protocol tests: envelope parsing (including the nested
+//! containers the v2 dialect adds), structured error codes, the v1
+//! compatibility shim against recorded PR-3 job lines, streaming
+//! frames through an in-memory connection, and proptests over
+//! malformed / truncated / version-mismatched lines.
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use ser_suite::epp::{AnalysisSession, PolarityMode};
+use ser_suite::service::json::{self, JsonValue};
+use ser_suite::service::{
+    parse_job_line, parse_wire_line, Connection, EngineConfig, ErrorCode, FrameSink, JobOp,
+    LineStream, ParsedLine, ProtocolEngine, SerService, SerServiceConfig, WireOp, PROTOCOL_VERSION,
+};
+use ser_suite::sim::SequentialMonteCarlo;
+use ser_suite::sp::InputProbs;
+
+// ---------------------------------------------------------------------
+// Harness: an in-memory connection over the real engine
+// ---------------------------------------------------------------------
+
+struct ScriptLines(std::vec::IntoIter<String>);
+
+impl LineStream for ScriptLines {
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        Ok(self.0.next())
+    }
+}
+
+#[derive(Clone)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs `lines` through one engine connection; returns the reply lines.
+fn run_lines(engine: &ProtocolEngine, lines: Vec<String>) -> Vec<String> {
+    let buffer = Arc::new(Mutex::new(Vec::new()));
+    let conn = Connection {
+        lines: Box::new(ScriptLines(lines.into_iter())),
+        sink: FrameSink::new(Capture(Arc::clone(&buffer))),
+        peer: "test".to_owned(),
+    };
+    engine.serve_connection(conn).expect("in-memory I/O");
+    let bytes = buffer.lock().unwrap().clone();
+    String::from_utf8(bytes)
+        .expect("utf-8 frames")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+fn engine() -> ProtocolEngine {
+    engine_with(EngineConfig::default())
+}
+
+fn engine_with(config: EngineConfig) -> ProtocolEngine {
+    ProtocolEngine::new(
+        Arc::new(SerService::new(SerServiceConfig {
+            max_sessions: 4,
+            threads: 2,
+            sweep_batch_sites: 4, // many parts per sweep
+            max_sweep_responses: 8,
+        })),
+        config,
+    )
+}
+
+/// Writes the canonical 5-node test netlist; returns its path.
+fn write_netlist(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ser_protocol_{}_{name}.bench", std::process::id()));
+    std::fs::write(
+        &path,
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\ny = OR(u, c)\n",
+    )
+    .unwrap();
+    path
+}
+
+fn frame_kind(line: &str) -> Option<String> {
+    let v = json::parse_value(line).unwrap_or_else(|e| panic!("bad frame `{line}`: {e}"));
+    v.get("frame")
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+}
+
+fn error_code(line: &str) -> Option<String> {
+    let v = json::parse_value(line).ok()?;
+    v.get("error")?
+        .get("code")
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+}
+
+// ---------------------------------------------------------------------
+// Envelope parsing
+// ---------------------------------------------------------------------
+
+#[test]
+fn v2_envelope_parses_each_op_with_nested_containers() {
+    let ParsedLine::V2(req) = parse_wire_line(
+        r#"{"v": 2, "id": "r1", "op": "sweep", "netlist": "x.bench", "sites": ["a", "y"], "polarity": "merged", "top": 3, "chunk_sites": 2}"#,
+    )
+    .unwrap() else {
+        panic!("v2 expected");
+    };
+    assert_eq!(req.id.as_deref(), Some("r1"));
+    let WireOp::Sweep(sweep) = req.op else {
+        panic!("sweep expected");
+    };
+    assert_eq!(
+        sweep.sites.as_deref(),
+        Some(&["a".to_owned(), "y".to_owned()][..])
+    );
+    assert_eq!(sweep.polarity, PolarityMode::Merged);
+    assert_eq!(sweep.top, Some(3));
+    assert_eq!(sweep.chunk_sites, Some(2));
+
+    let ParsedLine::V2(req) = parse_wire_line(
+        r#"{"v": 2, "op": "multi_cycle", "netlist": "x.bench", "node": "y", "cycles": 4, "monte_carlo": {"runs": 1000, "target_error": 0.2, "seed": 9}}"#,
+    )
+    .unwrap() else {
+        panic!("v2 expected");
+    };
+    let WireOp::MultiCycle(mcy) = req.op else {
+        panic!("multi_cycle expected");
+    };
+    assert_eq!(mcy.cycles, 4);
+    let leg = mcy.monte_carlo.unwrap();
+    assert_eq!(
+        (leg.runs, leg.target_error, leg.seed),
+        (1000, Some(0.2), Some(9))
+    );
+
+    let ParsedLine::V2(req) = parse_wire_line(
+        r#"{"v": 2, "op": "set_inputs", "netlist": "x.bench", "inputs": {"default": 0.3, "overrides": {"a": 0.9, "b": 0.25}}}"#,
+    )
+    .unwrap() else {
+        panic!("v2 expected");
+    };
+    let WireOp::SetInputs(si) = req.op else {
+        panic!("set_inputs expected");
+    };
+    assert_eq!(si.default_p, 0.3);
+    assert_eq!(
+        si.overrides,
+        vec![("a".to_owned(), 0.9), ("b".to_owned(), 0.25)]
+    );
+
+    assert!(matches!(
+        parse_wire_line(r#"{"v": 2, "op": "stats"}"#).unwrap(),
+        ParsedLine::V2(r) if matches!(r.op, WireOp::Stats)
+    ));
+    assert!(matches!(
+        parse_wire_line(r#"{"v": 2, "op": "hello", "token": "s"}"#).unwrap(),
+        ParsedLine::V2(r) if matches!(r.op, WireOp::Hello { token: Some(_) })
+    ));
+}
+
+#[test]
+fn v2_rejects_unknown_ops_unread_fields_and_bad_probabilities() {
+    let err = parse_wire_line(r#"{"v": 2, "op": "warp", "netlist": "x"}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownOp);
+
+    // Unread fields fail loudly, exactly like the v1 dialect.
+    let err = parse_wire_line(r#"{"v": 2, "op": "stats", "netlist": "x.bench"}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest, "{err}");
+    assert!(err.message.contains("netlist"), "{err}");
+    let err =
+        parse_wire_line(r#"{"v": 2, "op": "site", "netlist": "x", "node": "y", "vectors": 5}"#)
+            .unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest, "{err}");
+
+    // Probabilities validated at parse time (no panic deep inside).
+    let err = parse_wire_line(
+        r#"{"v": 2, "op": "set_inputs", "netlist": "x", "inputs": {"default": 1.5}}"#,
+    )
+    .unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest, "{err}");
+
+    // Nested config in the wrong shape.
+    let err = parse_wire_line(
+        r#"{"v": 2, "op": "multi_cycle", "netlist": "x", "node": "y", "cycles": 2, "monte_carlo": 7}"#,
+    )
+    .unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest, "{err}");
+}
+
+#[test]
+fn version_gate_is_strict() {
+    for (line, expect_shim_hint) in [
+        (r#"{"v": 1, "op": "sweep", "netlist": "x"}"#, true),
+        (r#"{"v": 3, "op": "sweep", "netlist": "x"}"#, false),
+        (r#"{"v": 99, "op": "stats"}"#, false),
+    ] {
+        let err = parse_wire_line(line).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnsupportedVersion, "{line}");
+        assert_eq!(err.message.contains("unversioned"), expect_shim_hint);
+    }
+    let err = parse_wire_line(r#"{"v": "two", "op": "stats"}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+    let err = parse_wire_line(r#"{"v": 2.5, "op": "stats"}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+}
+
+// ---------------------------------------------------------------------
+// The v1 shim
+// ---------------------------------------------------------------------
+
+/// The exact job lines PR 3 documented and tested — recorded here so
+/// the shim is measured against the dialect as it actually shipped.
+const RECORDED_V1_LINES: &[&str] = &[
+    r#"{"op": "sweep", "netlist": "s953.bench", "top": 5}"#,
+    r#"{"op": "site", "netlist": "s953.bench", "node": "G125"}"#,
+    r#"{"op": "monte_carlo", "netlist": "s953.bench", "node": "G125", "vectors": 20000, "target_error": 0.1}"#,
+    r#"{"op": "multi_cycle", "netlist": "s953.bench", "node": "G125", "cycles": 4, "runs": 10000}"#,
+    r#"{"op": "epp", "netlist": "a.bench", "node": "y"}"#,
+    r#"{"op": "mc", "netlist": "a.bench", "node": "y", "seed": 7}"#,
+];
+
+#[test]
+fn recorded_v1_job_lines_parse_through_the_shim() {
+    for line in RECORDED_V1_LINES {
+        let ParsedLine::V1(spec) = parse_wire_line(line).unwrap() else {
+            panic!("v1 expected for `{line}`");
+        };
+        // The shim must agree with the original v1 parser, field for
+        // field.
+        assert_eq!(spec, parse_job_line(line).unwrap(), "`{line}`");
+    }
+    // Spot-check the op mapping.
+    let ParsedLine::V1(spec) = parse_wire_line(RECORDED_V1_LINES[2]).unwrap() else {
+        panic!("v1");
+    };
+    assert_eq!(spec.op, JobOp::MonteCarlo);
+    assert_eq!(spec.vectors, Some(20000));
+    assert_eq!(spec.target_error, Some(0.1));
+
+    // v1 rejections keep their codes: unknown op, nested containers.
+    let err = parse_wire_line(r#"{"op": "warp", "netlist": "x"}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+    assert!(err.message.contains("unknown op"), "{err}");
+    let err = parse_wire_line(r#"{"op": "sweep", "netlist": "x", "sites": ["a"]}"#).unwrap_err();
+    assert!(err.message.contains("nested containers"), "{err}");
+}
+
+#[test]
+fn v1_lines_are_served_in_the_v1_response_shape() {
+    let netlist = write_netlist("v1shape");
+    let path = netlist.to_str().unwrap();
+    let engine = engine();
+    let replies = run_lines(
+        &engine,
+        vec![
+            "# a comment line".to_owned(),
+            String::new(),
+            format!(r#"{{"op": "sweep", "netlist": "{path}", "top": 2}}"#),
+            format!(r#"{{"op": "site", "netlist": "{path}", "node": "y"}}"#),
+            format!(r#"{{"op": "site", "netlist": "{path}", "node": "zz"}}"#),
+        ],
+    );
+    assert_eq!(replies.len(), 3, "{replies:?}");
+    // v1 responses: no envelope, no frame key, the old field layout.
+    let sweep = json::parse_value(&replies[0]).unwrap();
+    assert!(sweep.get("v").is_none() && sweep.get("frame").is_none());
+    assert_eq!(sweep.get("op").and_then(JsonValue::as_str), Some("sweep"));
+    assert_eq!(sweep.get("warm"), Some(&JsonValue::Bool(false)));
+    assert_eq!(sweep.get("nodes").and_then(JsonValue::as_count), Some(5));
+    let JsonValue::Arr(top) = sweep.get("top").unwrap() else {
+        panic!("ranking array");
+    };
+    assert_eq!(top.len(), 2, "top: 2 honoured");
+    let site = json::parse_value(&replies[1]).unwrap();
+    assert_eq!(
+        site.get("warm"),
+        Some(&JsonValue::Bool(true)),
+        "session warm"
+    );
+    // v1 errors now carry the structured object (the one deliberate
+    // change to the dialect).
+    let err = json::parse_value(&replies[2]).unwrap();
+    assert_eq!(err.get("line").and_then(JsonValue::as_count), Some(5));
+    assert_eq!(
+        err.get("error")
+            .unwrap()
+            .get("code")
+            .and_then(JsonValue::as_str),
+        Some("not_found")
+    );
+    let _ = std::fs::remove_file(&netlist);
+}
+
+// ---------------------------------------------------------------------
+// v2 end to end through an in-memory connection
+// ---------------------------------------------------------------------
+
+#[test]
+fn sweep_chunks_are_bit_identical_to_a_direct_session() {
+    let netlist = write_netlist("chunks");
+    let path = netlist.to_str().unwrap();
+    let engine = engine();
+    let replies = run_lines(
+        &engine,
+        vec![format!(
+            r#"{{"v": 2, "id": "s1", "op": "sweep", "netlist": "{path}", "chunk_sites": 2, "top": 0}}"#
+        )],
+    );
+    // 5 nodes in chunks of 2: three chunk frames, then the result.
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    let mut values: Vec<(String, f64)> = Vec::new();
+    for line in &replies[..3] {
+        assert_eq!(frame_kind(line).as_deref(), Some("chunk"));
+        let v = json::parse_value(line).unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("s1"));
+        let JsonValue::Arr(sites) = v.get("sites").unwrap() else {
+            panic!("sites array");
+        };
+        for site in sites {
+            values.push((
+                site.get("node")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .to_owned(),
+                site.get("p_sensitized")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap(),
+            ));
+        }
+    }
+    let result = json::parse_value(&replies[3]).unwrap();
+    assert_eq!(frame_kind(&replies[3]).as_deref(), Some("result"));
+    assert_eq!(result.get("chunks").and_then(JsonValue::as_count), Some(3));
+
+    // Every chunked value round-trips bit-identically to the direct
+    // owned-session sweep.
+    let circuit =
+        ser_suite::netlist::parse_bench(&std::fs::read_to_string(&netlist).unwrap(), "chunks")
+            .unwrap();
+    let session = AnalysisSession::new(&circuit).unwrap();
+    let direct = session.sweep(1);
+    assert_eq!(values.len(), circuit.len());
+    for (pos, (name, p)) in values.iter().enumerate() {
+        let site = direct.get(pos);
+        assert_eq!(name, circuit.node(site.site()).name());
+        assert_eq!(
+            p.to_bits(),
+            site.p_sensitized().to_bits(),
+            "site {name}: wire value not bit-identical"
+        );
+    }
+    let _ = std::fs::remove_file(&netlist);
+}
+
+#[test]
+fn sequential_monte_carlo_streams_progress_frames() {
+    let netlist = write_netlist("mcstream");
+    let path = netlist.to_str().unwrap();
+    let engine = engine();
+    let replies = run_lines(
+        &engine,
+        vec![format!(
+            r#"{{"v": 2, "id": "mc1", "op": "monte_carlo", "netlist": "{path}", "node": "a", "target_error": 0.04, "seed": 11}}"#
+        )],
+    );
+    let (progress, rest): (Vec<_>, Vec<_>) = replies
+        .iter()
+        .partition(|l| frame_kind(l).as_deref() == Some("progress"));
+    assert!(
+        progress.len() >= 2,
+        "sequential MC must stream ≥ 2 progress frames, got {}: {replies:?}",
+        progress.len()
+    );
+    assert_eq!(rest.len(), 1, "exactly one result frame: {rest:?}");
+    assert!(
+        replies.last().map(|l| frame_kind(l)).unwrap().as_deref() == Some("result"),
+        "result is the final frame"
+    );
+    // Progress counters are monotonic and id-tagged.
+    let mut last_vectors = 0;
+    for line in &progress {
+        let v = json::parse_value(line).unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("mc1"));
+        let vectors = v.get("vectors").and_then(JsonValue::as_count).unwrap();
+        assert!(vectors > last_vectors);
+        last_vectors = vectors;
+        let interim = v.get("interim_p").and_then(JsonValue::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&interim));
+    }
+    // The final estimate is bit-identical to the rule run directly.
+    let circuit =
+        ser_suite::netlist::parse_bench(&std::fs::read_to_string(&netlist).unwrap(), "mcstream")
+            .unwrap();
+    let session = AnalysisSession::new(&circuit).unwrap();
+    let direct = SequentialMonteCarlo::new(0.04)
+        .with_seed(11)
+        .with_max_vectors(10_000)
+        .estimate_site(session.bit_sim(), circuit.find("a").unwrap());
+    let result = json::parse_value(rest[0]).unwrap();
+    assert_eq!(
+        result.get("vectors").and_then(JsonValue::as_count),
+        Some(direct.vectors)
+    );
+    assert_eq!(
+        result
+            .get("p_sensitized")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            .to_bits(),
+        direct.p_sensitized.to_bits()
+    );
+    assert!(last_vectors < direct.vectors, "progress precedes the end");
+    let _ = std::fs::remove_file(&netlist);
+}
+
+#[test]
+fn set_inputs_and_stats_travel_the_wire() {
+    let netlist = write_netlist("setinputs");
+    let path = netlist.to_str().unwrap();
+    let engine = engine();
+    let replies = run_lines(
+        &engine,
+        vec![
+            format!(r#"{{"v": 2, "id": "w0", "op": "sweep", "netlist": "{path}", "top": 0}}"#),
+            format!(
+                r#"{{"v": 2, "id": "w1", "op": "set_inputs", "netlist": "{path}", "inputs": {{"default": 0.5, "overrides": {{"a": 0.9, "c": 0.1}}}}}}"#
+            ),
+            format!(r#"{{"v": 2, "id": "w2", "op": "sweep", "netlist": "{path}", "top": 0}}"#),
+            r#"{"v": 2, "id": "w3", "op": "stats"}"#.to_owned(),
+        ],
+    );
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    let before = json::parse_value(&replies[0]).unwrap();
+    let set = json::parse_value(&replies[1]).unwrap();
+    let after = json::parse_value(&replies[2]).unwrap();
+    let stats = json::parse_value(&replies[3]).unwrap();
+
+    assert_eq!(
+        set.get("op").and_then(JsonValue::as_str),
+        Some("set_inputs")
+    );
+    assert_eq!(set.get("revision").and_then(JsonValue::as_count), Some(2));
+    assert_eq!(
+        after.get("warm"),
+        Some(&JsonValue::Bool(true)),
+        "set_inputs keeps the session warm"
+    );
+
+    // The re-derived sweep total equals the direct owned-session run
+    // under the same distribution, bit for bit.
+    let circuit =
+        ser_suite::netlist::parse_bench(&std::fs::read_to_string(&netlist).unwrap(), "setinputs")
+            .unwrap();
+    let a = circuit.find("a").unwrap();
+    let c = circuit.find("c").unwrap();
+    let direct =
+        AnalysisSession::with_inputs(&circuit, InputProbs::uniform(0.5).with(a, 0.9).with(c, 0.1))
+            .unwrap()
+            .sweep(1);
+    let direct_total: f64 = direct.p_sensitized().iter().sum();
+    let wire_total = after
+        .get("total_p_sensitized")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert_eq!(wire_total.to_bits(), direct_total.to_bits());
+    assert_ne!(
+        wire_total.to_bits(),
+        before
+            .get("total_p_sensitized")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            .to_bits(),
+        "the distribution change is visible on the wire"
+    );
+
+    // Stats reflect the traffic: two sweeps + the set_inputs lookup.
+    assert_eq!(stats.get("op").and_then(JsonValue::as_str), Some("stats"));
+    assert_eq!(
+        stats.get("sessions_cached").and_then(JsonValue::as_count),
+        Some(1)
+    );
+    assert!(
+        stats
+            .get("session_hits")
+            .and_then(JsonValue::as_count)
+            .unwrap()
+            >= 2
+    );
+    let _ = std::fs::remove_file(&netlist);
+}
+
+#[test]
+fn auth_and_quota_gates() {
+    let netlist = write_netlist("gates");
+    let path = netlist.to_str().unwrap();
+
+    // Auth: a non-hello first op is rejected and the connection closes.
+    let engine = engine_with(EngineConfig {
+        auth_token: Some("sesame".to_owned()),
+        ..EngineConfig::default()
+    });
+    let replies = run_lines(
+        &engine,
+        vec![
+            r#"{"v": 2, "op": "stats"}"#.to_owned(),
+            r#"{"v": 2, "op": "stats"}"#.to_owned(), // never reached
+        ],
+    );
+    assert_eq!(replies.len(), 1, "{replies:?}");
+    assert_eq!(error_code(&replies[0]).as_deref(), Some("unauthorized"));
+
+    // Wrong token: same.
+    let replies = run_lines(
+        &engine,
+        vec![r#"{"v": 2, "op": "hello", "token": "wrong"}"#.to_owned()],
+    );
+    assert_eq!(error_code(&replies[0]).as_deref(), Some("unauthorized"));
+
+    // Garbage cannot sidestep the gate: an unparseable pre-auth line
+    // closes the connection just like any other non-hello line (an
+    // unauthenticated client must not elicit unlimited replies).
+    let replies = run_lines(
+        &engine,
+        vec![
+            "not even json".to_owned(),
+            "more garbage".to_owned(), // never reached
+        ],
+    );
+    assert_eq!(replies.len(), 1, "{replies:?}");
+    assert_eq!(error_code(&replies[0]).as_deref(), Some("unauthorized"));
+
+    // Right token: handshake result, then service.
+    let replies = run_lines(
+        &engine,
+        vec![
+            r#"{"v": 2, "id": "h", "op": "hello", "token": "sesame"}"#.to_owned(),
+            r#"{"v": 2, "op": "stats"}"#.to_owned(),
+        ],
+    );
+    assert_eq!(replies.len(), 2, "{replies:?}");
+    let hello = json::parse_value(&replies[0]).unwrap();
+    assert_eq!(hello.get("op").and_then(JsonValue::as_str), Some("hello"));
+    assert_eq!(
+        hello.get("protocol").and_then(JsonValue::as_count),
+        Some(PROTOCOL_VERSION)
+    );
+    assert_eq!(frame_kind(&replies[1]).as_deref(), Some("result"));
+
+    // Quota: the third op (hello doesn't count) is refused, connection
+    // closes.
+    let engine = engine_with(EngineConfig {
+        quota: Some(2),
+        ..EngineConfig::default()
+    });
+    let replies = run_lines(
+        &engine,
+        vec![
+            r#"{"v": 2, "op": "hello"}"#.to_owned(),
+            format!(r#"{{"v": 2, "op": "site", "netlist": "{path}", "node": "y"}}"#),
+            r#"{"v": 2, "op": "stats"}"#.to_owned(),
+            r#"{"v": 2, "id": "q", "op": "stats"}"#.to_owned(),
+            r#"{"v": 2, "op": "stats"}"#.to_owned(), // never reached
+        ],
+    );
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    assert_eq!(error_code(&replies[3]).as_deref(), Some("quota_exceeded"));
+    let refused = json::parse_value(&replies[3]).unwrap();
+    assert_eq!(refused.get("id").and_then(JsonValue::as_str), Some("q"));
+
+    // Unparseable lines count against the quota too — garbage is not a
+    // loophole for unlimited replies.
+    let engine = engine_with(EngineConfig {
+        quota: Some(2),
+        ..EngineConfig::default()
+    });
+    let replies = run_lines(
+        &engine,
+        vec![
+            "garbage one {".to_owned(),
+            "garbage two {".to_owned(),
+            "garbage three {".to_owned(), // over quota: refused + close
+            "garbage four {".to_owned(),  // never reached
+        ],
+    );
+    assert_eq!(replies.len(), 3, "{replies:?}");
+    assert_eq!(error_code(&replies[0]).as_deref(), Some("parse"));
+    assert_eq!(error_code(&replies[1]).as_deref(), Some("parse"));
+    assert_eq!(error_code(&replies[2]).as_deref(), Some("quota_exceeded"));
+
+    // And so do repeated hellos: only the first handshake is free.
+    let engine = engine_with(EngineConfig {
+        quota: Some(2),
+        ..EngineConfig::default()
+    });
+    let hello = r#"{"v": 2, "op": "hello"}"#.to_owned();
+    let replies = run_lines(
+        &engine,
+        vec![
+            hello.clone(), // free handshake
+            hello.clone(), // counted: 1
+            hello.clone(), // counted: 2
+            hello.clone(), // over quota: refused + close
+            hello,         // never reached
+        ],
+    );
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    for line in &replies[..3] {
+        assert_eq!(frame_kind(line).as_deref(), Some("result"), "{line}");
+    }
+    assert_eq!(error_code(&replies[3]).as_deref(), Some("quota_exceeded"));
+    let _ = std::fs::remove_file(&netlist);
+}
+
+#[test]
+fn structured_errors_come_back_as_code_message_objects() {
+    let netlist = write_netlist("errors");
+    let path = netlist.to_str().unwrap();
+    let engine = engine();
+    let replies = run_lines(
+        &engine,
+        vec![
+            "not json at all".to_owned(),
+            r#"{"v": 7, "op": "stats"}"#.to_owned(),
+            format!(r#"{{"v": 2, "op": "site", "netlist": "{path}", "node": "nope"}}"#),
+            r#"{"v": 2, "op": "site", "netlist": "/nonexistent/x.bench", "node": "y"}"#.to_owned(),
+            format!(
+                r#"{{"v": 2, "op": "monte_carlo", "netlist": "{path}", "node": "y", "target_error": 1.5}}"#
+            ),
+        ],
+    );
+    let codes: Vec<_> = replies.iter().map(|l| error_code(l).unwrap()).collect();
+    assert_eq!(
+        codes,
+        [
+            "parse",
+            "unsupported_version",
+            "not_found",
+            "not_found",
+            "bad_request"
+        ],
+        "{replies:?}"
+    );
+    for line in &replies {
+        let v = json::parse_value(line).unwrap();
+        assert_eq!(frame_kind(line).as_deref(), Some("error"));
+        assert!(
+            v.get("error")
+                .unwrap()
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .is_some(),
+            "errors carry a message: {line}"
+        );
+    }
+    let _ = std::fs::remove_file(&netlist);
+}
+
+// ---------------------------------------------------------------------
+// Proptests: malformed, truncated, version-mismatched lines
+// ---------------------------------------------------------------------
+
+/// Canonical well-formed lines for the truncation property.
+const CANONICAL_LINES: &[&str] = &[
+    r#"{"v": 2, "id": "r1", "op": "sweep", "netlist": "x.bench", "sites": ["a", "y"], "chunk_sites": 2}"#,
+    r#"{"v": 2, "op": "set_inputs", "netlist": "x.bench", "inputs": {"default": 0.5, "overrides": {"a": 0.9}}}"#,
+    r#"{"v": 2, "op": "multi_cycle", "netlist": "x.bench", "node": "y", "cycles": 4, "monte_carlo": {"runs": 1000}}"#,
+    r#"{"op": "monte_carlo", "netlist": "s953.bench", "node": "G125", "vectors": 20000}"#,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the parser; they either parse (as
+    /// some valid line) or produce a structured error.
+    #[test]
+    fn garbage_lines_never_panic(bytes in proptest::collection::vec(0u8..128, 0usize..80)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        match parse_wire_line(&line) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(!e.message.is_empty()),
+        }
+    }
+
+    /// Every proper prefix of a canonical line is a structured parse
+    /// error — a truncated frame can never be mistaken for a request.
+    #[test]
+    fn truncated_frames_are_parse_errors((which, frac) in (0usize..4, 0.0f64..1.0)) {
+        let line = CANONICAL_LINES[which];
+        let cut = 1 + ((line.len() - 1) as f64 * frac) as usize;
+        prop_assert!(cut < line.len());
+        let truncated = &line[..cut];
+        let err = parse_wire_line(truncated).expect_err("truncation must not parse");
+        prop_assert_eq!(err.code, ErrorCode::Parse);
+    }
+
+    /// Any version other than 2 is refused with `unsupported_version`
+    /// (never served, never panics).
+    #[test]
+    fn version_mismatches_are_refused(v in 0u64..1000) {
+        let line = format!(r#"{{"v": {v}, "op": "stats"}}"#);
+        match parse_wire_line(&line) {
+            Ok(parsed) => {
+                prop_assert_eq!(v, PROTOCOL_VERSION);
+                prop_assert!(matches!(parsed, ParsedLine::V2(_)));
+            }
+            Err(e) => {
+                prop_assert_ne!(v, PROTOCOL_VERSION);
+                prop_assert_eq!(e.code, ErrorCode::UnsupportedVersion);
+            }
+        }
+    }
+}

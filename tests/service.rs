@@ -408,6 +408,91 @@ fn set_inputs_survives_session_eviction() {
     );
 }
 
+/// `submit_streaming` reports progress without perturbing results:
+/// sweep part completions arrive monotonically, sequential Monte-Carlo
+/// counters stream from the worker, and the responses are identical to
+/// plain `submit`.
+#[test]
+fn streaming_progress_observes_without_perturbing() {
+    use ser_suite::service::Progress;
+    use std::sync::Mutex;
+
+    let circuit = arc(iscas89_like("s298").unwrap());
+    let service = SerService::new(SerServiceConfig {
+        max_sessions: 2,
+        threads: 2,
+        sweep_batch_sites: 16,  // force several parts
+        max_sweep_responses: 0, // keep the cache out of the comparison
+    });
+
+    // Sweep: one Progress::Sweep event per part, cumulative, ending at
+    // the full site count.
+    let events: Arc<Mutex<Vec<Progress>>> = Arc::default();
+    let sink = {
+        let events = Arc::clone(&events);
+        Arc::new(move |p: Progress| events.lock().unwrap().push(p))
+    };
+    let streamed = service
+        .submit_streaming(&circuit, Request::Sweep(SweepRequest::default()), sink)
+        .unwrap();
+    let direct = service
+        .submit(&circuit, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert_eq!(streamed.as_sweep().unwrap(), direct.as_sweep().unwrap());
+    let events = std::mem::take(&mut *events.lock().unwrap());
+    let expected_parts = circuit.len().div_ceil(16);
+    assert_eq!(events.len(), expected_parts, "one event per part");
+    let mut last = 0;
+    for event in &events {
+        let Progress::Sweep {
+            sites_done,
+            sites_total,
+        } = event
+        else {
+            panic!("sweep events only: {event:?}");
+        };
+        assert!(*sites_done > last, "cumulative and monotonic");
+        last = *sites_done;
+        assert_eq!(*sites_total, circuit.len());
+    }
+    assert_eq!(last, circuit.len(), "final event covers every site");
+
+    // Sequential Monte-Carlo: doubling-threshold counters, identical
+    // final estimate.
+    let site = circuit.find("G0").unwrap();
+    let request = Request::MonteCarlo(MonteCarloRequest {
+        site,
+        vectors: 1 << 16,
+        target_error: Some(0.05),
+        seed: 13,
+    });
+    let events: Arc<Mutex<Vec<Progress>>> = Arc::default();
+    let sink = {
+        let events = Arc::clone(&events);
+        Arc::new(move |p: Progress| events.lock().unwrap().push(p))
+    };
+    let streamed = service
+        .submit_streaming(&circuit, request.clone(), sink)
+        .unwrap();
+    let direct = service.submit(&circuit, request).unwrap();
+    assert_eq!(
+        streamed.as_monte_carlo().unwrap(),
+        direct.as_monte_carlo().unwrap(),
+        "the observer must not perturb the estimate"
+    );
+    let events = std::mem::take(&mut *events.lock().unwrap());
+    assert!(events.len() >= 2, "long runs stream: {events:?}");
+    let mut last = 0;
+    for event in &events {
+        let Progress::MonteCarlo { vectors, .. } = event else {
+            panic!("monte-carlo events only: {event:?}");
+        };
+        assert!(*vectors > last);
+        last = *vectors;
+    }
+    assert!(last <= streamed.as_monte_carlo().unwrap().vectors);
+}
+
 /// Malformed requests come back as typed errors, not worker panics.
 #[test]
 fn invalid_requests_are_rejected_up_front() {

@@ -270,6 +270,23 @@ fn validate(doc: &Json) -> Result<(), String> {
             return Err(format!("results[{i}] carries no numeric metric"));
         }
     }
+    // Bench-specific shape: the service record carries a TCP round-trip
+    // section whose silent loss would drop the wire-cost trajectory.
+    if doc.get("bench") == Some(&Json::String("service_throughput".into())) {
+        let Some(tcp) = doc.get("tcp") else {
+            return Err("service_throughput is missing its \"tcp\" section".into());
+        };
+        for field in ["round_trips_per_sec", "p50_us", "sweep_round_trip_ms"] {
+            match tcp.get(field) {
+                Some(Json::Number(_)) => {}
+                _ => {
+                    return Err(format!(
+                        "\"tcp\" section is missing its numeric \"{field}\" metric"
+                    ))
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -347,6 +364,27 @@ fn run_diff(old_path: &str, new_path: &str) -> Result<(), String> {
                 }
                 Some((_, b)) => println!("{circuit}: {name} {b:.3} -> {after:.3}"),
                 None => println!("{circuit}: {name} (new metric) = {after:.3}"),
+            }
+        }
+    }
+    // Top-level metric sections ("interleave", "tcp", ...) diff like
+    // pseudo-circuits keyed by their field name.
+    let Json::Object(new_fields) = &new else {
+        unreachable!("validated");
+    };
+    for (key, value) in new_fields {
+        if key == "results" || !matches!(value, Json::Object(_)) {
+            continue;
+        }
+        let old_metrics = old.get(key).map(metrics).unwrap_or_default();
+        for (name, after) in metrics(value) {
+            match old_metrics.iter().find(|(n, _)| *n == name) {
+                Some((_, b)) if *b != 0.0 => {
+                    let delta = (after - b) / b * 100.0;
+                    println!("{key}: {name} {b:.3} -> {after:.3} ({delta:+.1}%)");
+                }
+                Some((_, b)) => println!("{key}: {name} {b:.3} -> {after:.3}"),
+                None => println!("{key}: {name} (new metric) = {after:.3}"),
             }
         }
     }
@@ -430,6 +468,28 @@ mod tests {
             let Ok(doc) = parse(bad) else { continue };
             assert!(validate(&doc).is_err(), "accepted shape: {bad}");
         }
+    }
+
+    #[test]
+    fn service_record_requires_its_tcp_section() {
+        let base = r#""results": [{"circuit": "c", "nodes": 1}]"#;
+        // Without the tcp section (or with it incomplete): rejected.
+        let doc = parse(&format!(r#"{{"bench": "service_throughput", {base}}}"#)).unwrap();
+        assert!(validate(&doc).unwrap_err().contains("tcp"));
+        let doc = parse(&format!(
+            r#"{{"bench": "service_throughput", {base}, "tcp": {{"round_trips_per_sec": 9000.0}}}}"#
+        ))
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("p50_us"));
+        // Complete: accepted.
+        let doc = parse(&format!(
+            r#"{{"bench": "service_throughput", {base}, "tcp": {{"circuit": "c", "round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1}}}}"#
+        ))
+        .unwrap();
+        validate(&doc).unwrap();
+        // Other bench names carry no such obligation.
+        let doc = parse(&format!(r#"{{"bench": "sweep_throughput", {base}}}"#)).unwrap();
+        validate(&doc).unwrap();
     }
 
     #[test]
