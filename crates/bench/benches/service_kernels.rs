@@ -16,6 +16,7 @@ fn warm_service(threads: usize) -> (SerService, Arc<ser_netlist::Circuit>) {
         sweep_batch_sites: 64,
         // Exercise the kernel path, not the response cache.
         max_sweep_responses: 0,
+        plan_cache_dir: None,
     });
     service.session(&circuit).unwrap();
     (service, circuit)

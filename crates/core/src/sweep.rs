@@ -62,6 +62,20 @@ const BATCHES_PER_THREAD: usize = 8;
 #[derive(Debug, Default)]
 pub struct SweepWorkspace {
     lanes: Vec<[f64; 4]>,
+    /// Per-site gather buffer for the chain path's observe refs —
+    /// sorted by observe index, then merged with the shared tail's
+    /// (already sorted) refs so points are emitted in the reference
+    /// path's observe order.
+    path_obs: Vec<(u32, u32)>,
+    /// Per-topological-position membership stamps for the tail walk:
+    /// `epoch << 32 | cone_local_index`, where the epoch is bumped
+    /// once per site. A tail pin whose position carries the current
+    /// epoch is on-path and its lanes sit at the stored cone-local
+    /// index; anything else resolves off-path by signal probability.
+    /// Stamps survive across sites/circuits (the epoch invalidates
+    /// them in O(1); on wrap the table is cleared).
+    pos_stamp: Vec<u64>,
+    stamp_epoch: u32,
 }
 
 impl SweepWorkspace {
@@ -81,6 +95,21 @@ impl SweepWorkspace {
         if self.lanes.len() < len {
             self.lanes.resize(len, [0.0; 4]);
         }
+    }
+
+    /// Sizes the position-stamp table for a circuit of `n` positions
+    /// and starts a fresh stamp epoch for the next site. Returns the
+    /// epoch already shifted into the stamp's high half.
+    fn next_epoch(&mut self, n: usize) -> u64 {
+        if self.pos_stamp.len() < n {
+            self.pos_stamp.resize(n, 0);
+        }
+        self.stamp_epoch = self.stamp_epoch.wrapping_add(1);
+        if self.stamp_epoch == 0 {
+            self.pos_stamp.fill(0);
+            self.stamp_epoch = 1;
+        }
+        u64::from(self.stamp_epoch) << 32
     }
 
     #[inline]
@@ -460,9 +489,8 @@ impl EppAnalysis {
         plans: Option<&ConePlans>,
     ) -> SweepResults {
         let dense = sites.iter().enumerate().all(|(i, s)| s.index() == i);
-        let total_points: usize = plans.map_or(0, |p| {
-            sites.iter().map(|&s| p.plan(s).observe_refs().len()).sum()
-        });
+        let total_points: usize =
+            plans.map_or(0, |p| sites.iter().map(|&s| p.plan(s).observe_len()).sum());
 
         let mut results = SweepResults {
             sites: sites.to_vec(),
@@ -605,9 +633,21 @@ impl EppAnalysis {
     }
 
     /// The allocation-free plan-driven kernel for one site: evaluates
-    /// the precompiled cone over the 4-wide lane planes, appends the
-    /// per-point arrivals to `points_out`, and returns
+    /// the suffix-shared cone — the chain path, then the shared tail —
+    /// over the 4-wide lane planes, appends the per-point arrivals to
+    /// `points_out`, and returns
     /// `(p_sensitized, on-path gates, points appended)`.
+    ///
+    /// **Path members** (cone positions `1..=prefix_len`) carry no
+    /// packed refs at all: a chain node's only possible on-path fanin
+    /// is its path predecessor (anything else reading it would make it
+    /// an anchor), so each pin resolves by comparing the pin's node id
+    /// against the previously walked node — the anchor at position
+    /// `prefix_len` included. **Tail members** read their packed
+    /// tail-local refs off the shared table, rebased by the path
+    /// length. Observe points are the sorted path observes merged with
+    /// the tail's presorted refs, so emission order matches the
+    /// reference path's observe order exactly.
     ///
     /// Per gate, the rule is dispatched **once** ([`RuleOp::of`],
     /// outside the per-fanin loop) and the fused rule core consumes
@@ -627,27 +667,45 @@ impl EppAnalysis {
         points_out: &mut Vec<PointEpp>,
     ) -> (f64, u32, u32) {
         let plan = plans.plan(site);
-        let len = plan.len();
+        let l = plan.prefix_len();
+        let tail = plan.tail();
+        let len = l + tail.len();
         ws.ensure(len);
         ws.write(0, FourValue::error_site());
 
+        let circuit = self.circuit();
         let sp: &[f64] = self.signal_probabilities().as_slice();
-        for (pos, &kind) in plan.kinds().iter().enumerate().skip(1) {
-            let op = RuleOp::of(kind);
-            let lanes = &ws.lanes;
+
+        // Chain path: walk `next_of` hops; position `l` is the anchor
+        // (the tail's first member), whose pins — like every path
+        // member's — resolve by predecessor comparison. When `l == 0`
+        // the site *is* the anchor and the walk is empty. Path observe
+        // refs (positions `0..l`) gather into the sort buffer; the
+        // anchor's observes live in the tail's presorted refs.
+        ws.path_obs.clear();
+        if l > 0 {
+            for &obs in plan.observes_of(site) {
+                ws.path_obs.push((obs, 0));
+            }
+        }
+        let mut prev = site;
+        for pos in 1..=l {
+            let id = plan.next_of(prev);
+            let node = circuit.node(id);
+            let op = RuleOp::of(node.kind());
+            let prev_lanes = ws.lanes[pos - 1];
             let mut out = propagate_fused(
                 op,
-                plan.fanin_refs(pos)
-                    .iter()
-                    .map(|&raw| match FaninRef::decode(raw) {
-                        FaninRef::OnPath(local) => lanes[local],
-                        FaninRef::OffPath(idx) => {
-                            // Keeps `from_signal_probability`'s range
-                            // check: a bad SP must panic here, like the
-                            // reference path, not corrupt the sweep.
-                            FourValue::from_signal_probability(sp[idx]).lanes()
-                        }
-                    }),
+                node.fanin().iter().map(|&pin| {
+                    if pin == prev {
+                        prev_lanes
+                    } else {
+                        // Keeps `from_signal_probability`'s range
+                        // check: a bad SP must panic here, like the
+                        // reference path, not corrupt the sweep.
+                        FourValue::from_signal_probability(sp[pin.index()]).lanes()
+                    }
+                }),
             );
             if polarity == PolarityMode::Merged {
                 // Collapse Pā into Pa after every gate — same ablation
@@ -655,11 +713,76 @@ impl EppAnalysis {
                 out = FourValue::new_clamped(out.p_arrival(), 0.0, out.p0(), out.p1());
             }
             ws.write(pos, out);
+            if pos < l {
+                for &obs in plan.observes_of(id) {
+                    ws.path_obs
+                        .push((obs, u32::try_from(pos).expect("cone fits u32")));
+                }
+            }
+            prev = id;
         }
 
+        // Shared tail: member `k` sits at cone position `l + k`. The
+        // tail stores only topological positions; kinds and pins come
+        // off the plans' per-position tables, and each pin classifies
+        // on the fly against the walked cone: positions are stamped
+        // with the site's epoch as their members are evaluated, every
+        // fanin position is strictly below its consumer's, and no tail
+        // member can read a path node (a path node's single successor
+        // is the next path node) — so a current-epoch stamp is exactly
+        // the old packed on-path ref, and anything else resolves by
+        // signal probability. Same values, same order: bit-identical.
+        let positions = tail.positions();
+        let epoch = ws.next_epoch(plans.len());
+        ws.pos_stamp[positions[0] as usize] = epoch | l as u64;
+        for (k, &q) in positions.iter().enumerate().skip(1) {
+            let op = RuleOp::of(plans.kind_at(q));
+            let lanes = &ws.lanes;
+            let stamp = &ws.pos_stamp;
+            let mut out = propagate_fused(
+                op,
+                plans.fanins_at(q).iter().map(|&(pf, off)| {
+                    let s = stamp[pf as usize];
+                    if s & !0xFFFF_FFFF == epoch {
+                        lanes[(s as u32) as usize]
+                    } else {
+                        match FaninRef::decode(off) {
+                            FaninRef::OffPath(idx) => {
+                                FourValue::from_signal_probability(sp[idx]).lanes()
+                            }
+                            FaninRef::OnPath(_) => unreachable!("packed refs are off-path"),
+                        }
+                    }
+                }),
+            );
+            if polarity == PolarityMode::Merged {
+                out = FourValue::new_clamped(out.p_arrival(), 0.0, out.p0(), out.p1());
+            }
+            ws.write(l + k, out);
+            ws.pos_stamp[q as usize] = epoch | (l + k) as u64;
+        }
+
+        // Emit points in observe order: merge the sorted path observes
+        // with the tail's (indices are unique per site, so the merge
+        // is a strict interleave — the reference emission order).
+        ws.path_obs.sort_unstable();
+        let tobs = tail.observe_refs();
         let observe: &[ObservePoint] = self.artifacts().observe_points();
         let first = points_out.len();
-        for &(obs, local) in plan.observe_refs() {
+        let l32 = u32::try_from(l).expect("cone fits u32");
+        let (mut i, mut j) = (0, 0);
+        while i < ws.path_obs.len() || j < tobs.len() {
+            let take_path =
+                j >= tobs.len() || (i < ws.path_obs.len() && ws.path_obs[i].0 < tobs[j].0);
+            let (obs, local) = if take_path {
+                let r = ws.path_obs[i];
+                i += 1;
+                r
+            } else {
+                let r = (tobs[j].0, tobs[j].1 + l32);
+                j += 1;
+                r
+            };
             points_out.push(PointEpp {
                 point: observe[obs as usize],
                 value: ws.read(local as usize),

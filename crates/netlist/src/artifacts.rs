@@ -183,6 +183,20 @@ impl TopoArtifacts {
             .as_ref()
     }
 
+    /// Seeds the plan cache with already-compiled plans (e.g. loaded
+    /// from a persistent [`crate::PlanCache`] entry), so the first
+    /// [`cone_plans`](Self::cone_plans) call returns them instead of
+    /// compiling. Returns `false` — and changes nothing — if plans
+    /// were already built or primed for these artifacts.
+    ///
+    /// The caller is responsible for `plans` belonging to the same
+    /// circuit as these artifacts (the service keys cache entries by
+    /// [`Circuit::structural_hash`] and verifies circuit equality
+    /// before reuse, exactly like its session cache).
+    pub fn prime_cone_plans(&self, plans: Arc<ConePlans>) -> bool {
+        self.plans.set(Some(plans)).is_ok()
+    }
+
     /// Number of nodes covered.
     #[must_use]
     pub fn len(&self) -> usize {

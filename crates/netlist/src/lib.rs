@@ -45,6 +45,7 @@ mod error;
 mod gate;
 mod parse;
 mod plan;
+mod plan_cache;
 mod scoap;
 mod stats;
 mod topo;
@@ -59,7 +60,10 @@ pub use cone::{fanin_mask, support, FanoutCone};
 pub use error::{NetlistError, ParseError};
 pub use gate::{GateKind, ParseGateKindError};
 pub use parse::parse_bench;
-pub use plan::{ConePlan, ConePlans, FaninRef};
+pub use plan::{
+    ConePlan, ConePlans, FaninRef, FlatConePlan, FlatConePlans, PlanMembers, SitePlan, TailView,
+};
+pub use plan_cache::{PlanCache, PlanCacheStats, PLAN_CACHE_EXT};
 pub use scoap::{Scoap, SCOAP_INFINITY};
 pub use stats::CircuitStats;
 pub use topo::{depth, is_topo_order, levelize, topo_order};

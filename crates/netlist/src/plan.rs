@@ -1,36 +1,85 @@
 //! Precomputed per-site cone plans — the compiled form of the paper's
-//! "path construction" step.
+//! "path construction" step — in a **suffix-shared arena**.
 //!
 //! The per-site EPP pass needs, for every error site: the DFF-clipped
 //! fanout cone in topological order, each cone member's gate kind, and
 //! each member fanin classified as **on-path** (it carries a four-value
 //! tuple, addressed by its cone-local position) or **off-path** (it is
 //! described by its signal probability, addressed by node id). The
-//! legacy sweep rediscovered all of this per site per sweep — a DFS, a
-//! sort and a per-fanin membership test. [`ConePlans`] computes it
-//! **once per circuit** in one flat CSR-style arena, so a sweep kernel
-//! degenerates to reading precomputed indices.
+//! legacy sweep rediscovered all of this per site per sweep; the flat
+//! arena of earlier revisions precomputed it once per circuit, but
+//! stored every site's full cone — and in gate-level netlists most of
+//! those members are duplicated suffixes: every node on a
+//! single-fanout chain has a cone equal to *its path to the next
+//! multi-fanout (or fanout-free) node* plus **that node's** cone.
+//!
+//! # The suffix-shared representation
+//!
+//! Classify every node by its DFF-clipped combinational fanout count:
+//!
+//! - **anchor** — 0 or ≥ 2 successors. Its cone is materialized once in
+//!   the shared **tail arena** as a slice of ascending topological
+//!   *positions* — and nothing else. A tail stores no per-member kinds
+//!   or fanin refs: those live in circuit-sized **per-position tables**
+//!   (`pos_kind`, `pos_fanin_off`/`pos_fanins`) shared by every tail,
+//!   so the builder's phase-2 output is four bytes per stored member.
+//! - **chain node** — exactly 1 successor. Its cone is *not* stored:
+//!   it is the path `self → next → … → anchor` followed by the
+//!   anchor's shared tail. Per node we store only O(1) scalars: the
+//!   next chain hop, the tail id, the path length, and suffix
+//!   pin/observe counts for O(1) `cost()`/`observe_len()`.
+//!
+//! Chain edges form in-trees toward anchors, so many sites share one
+//! tail entry — the stored member count drops by the chain-sharing
+//! factor, and the per-member footprint drops to one `u32`, which
+//! together is what broke the old builder's store-bandwidth wall.
+//!
+//! On-path/off-path fanin classification is *not* precomputed per tail
+//! member. Each `pos_fanins` entry carries the fanin's topological
+//! position plus its packed **off-path** reference; the sweep kernel
+//! decides on-path membership at evaluation time with an epoch-stamped
+//! position scratch: as it evaluates a cone it stamps each member's
+//! position with the member's cone-local index, and a fanin whose
+//! position carries the current epoch's stamp is on-path at the
+//! stamped index. Three facts make this exact (proptest-enforced
+//! against the per-site-DFS [`FlatConePlans`] oracle in
+//! `tests/plan_builder.rs`):
+//!
+//! 1. A path member's only possible on-path fanin is its path
+//!    predecessor (a chain node has exactly one combinational
+//!    successor, so any other cone member reading it would make it an
+//!    anchor) — the kernel resolves path fanins by comparing the pin
+//!    against the previously walked node, and no tail member can read
+//!    a path chain node for the same reason.
+//! 2. Every fanin sits at a strictly lower topological position than
+//!    its consumer and cone members are evaluated in ascending
+//!    position order, so stamping members as they are written covers
+//!    every on-path pin before it is read.
+//! 3. Cone order is path positions ascending followed by the anchor's
+//!    cone (all at strictly greater topological positions), which is
+//!    exactly the flat arena's position-sorted member order; observe
+//!    indices are unique per site, so merging the sorted path observes
+//!    with the tail's observes preserves the reference emission order.
 //!
 //! # How the plans are built
 //!
-//! Cone *membership* is computed by a single **reverse-topological
-//! pass** ([`MergedCones`]): walking nodes from the last topological
-//! position down to the first, each node's cone is `{self}` followed by
-//! the sorted-merge of its combinational successors' already-built
-//! cones. Reachability over the DFF-clipped adjacency satisfies
-//! `reach(v) = {v} ∪ ⋃_{s ∈ comb_fanout(v)} reach(s)`, every successor
-//! cone is already a position-sorted list, and `v`'s position is
-//! strictly below everything reachable from it — so one merge per node
-//! replaces the per-site DFS *and* the per-site sort the original
-//! builder paid. The classification pass (fanin on/off-path packing,
-//! observe refs) then runs over contiguous site ranges exactly as
-//! before, in parallel, stitched deterministically.
+//! Phase 1 walks positions reverse-topologically and merges cones
+//! **only for anchors** — merge inputs are virtual two-segment
+//! sequences (a lazily walked chain path plus an already-built tail
+//! slice), so the dominant single-successor `memcpy` of the old
+//! builder disappears entirely, and the merged position arena is
+//! adopted as the tail arena zero-copy. Phase 2 only records tail
+//! bounds, per-tail pin totals, and sorted observe refs; the
+//! per-position kind/fanin tables are a single linear pass over the
+//! circuit. The member budget is enforced in the sequential phase 1
+//! and counts **stored** (deduplicated) members: one entry per chain
+//! node plus the shared tail arena — the number that reflects actual
+//! memory.
 //!
 //! The original per-site-DFS builder is retained as
-//! [`ConePlans::build_reference`] — the semantic definition the
-//! reverse-topological builder is proptest-checked to match bit for
-//! bit (`tests/plan_builder.rs`), and the baseline the sweep benchmark
-//! reports `plan_build_ms` against.
+//! [`FlatConePlans`] — the semantic definition the suffix-shared
+//! builder is checked against bit for bit, and the baseline the sweep
+//! benchmark reports `plan_build_ms` against.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -43,8 +92,11 @@ use crate::gate::GateKind;
 /// on-path (cone-local index).
 const OFF_PATH_BIT: u32 = 1 << 31;
 
+/// Sentinel for "no next chain hop" (the node is an anchor).
+pub(crate) const NO_NEXT: u32 = u32::MAX;
+
 /// One decoded fanin reference of a cone member.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FaninRef {
     /// The fanin is inside the cone: its value is the four-value tuple
     /// at this cone-local position.
@@ -78,15 +130,34 @@ impl FaninRef {
     }
 }
 
-/// The compiled cone plans of every site of one circuit, stored as one
-/// flat arena (no per-site allocation once built).
+/// One site's plan fully decoded into owned, self-contained form — the
+/// comparison currency between the suffix-shared [`ConePlans`] and the
+/// flat [`FlatConePlans`] oracle (both [`materialize`](ConePlan::materialize)
+/// to this), and a convenient debugging view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SitePlan {
+    /// The error site.
+    pub site: NodeId,
+    /// Cone members in topological order; `members[0]` is the site.
+    pub members: Vec<NodeId>,
+    /// Gate kind per member.
+    pub kinds: Vec<GateKind>,
+    /// Decoded fanin references per member, in fanin declaration order
+    /// (duplicates preserved); empty for member 0.
+    pub fanin_refs: Vec<Vec<FaninRef>>,
+    /// `(observe index, cone-local position)` pairs ordered by observe
+    /// index.
+    pub observe_refs: Vec<(u32, u32)>,
+}
+
+/// The compiled cone plans of every site of one circuit in the
+/// suffix-shared arena (see the [module docs](self)).
 ///
-/// Layout: `members`/`kinds`/`member_fanin_off` are parallel arrays over
-/// all cone members of all sites; `member_off` delimits each site's
-/// slice. The site itself is always member 0 of its own cone and cone
-/// members appear in topological order, so evaluating members
-/// `1..len` in sequence visits every on-path gate after all of its
-/// on-path fanins.
+/// Per-node tables hold each chain node's O(1) entry (next hop, tail
+/// id, path length, suffix counts); the tail table stores each
+/// anchor's cone exactly once. A site's logical cone is its chain path
+/// followed by its anchor's shared tail — reconstructed on the fly by
+/// the sweep kernel and by [`ConePlan::materialize`].
 ///
 /// # Examples
 ///
@@ -101,62 +172,103 @@ impl FaninRef {
 /// assert_eq!(plan.len(), 2); // a itself plus the AND gate
 /// // The AND gate reads one on-path fanin (a, cone-local 0) and one
 /// // off-path fanin (b, by node id).
-/// let refs: Vec<FaninRef> = plan.fanin_refs(1).iter().map(|&r| FaninRef::decode(r)).collect();
+/// let decoded = plan.materialize(&c);
 /// let b = c.find("b").unwrap();
-/// assert!(refs.contains(&FaninRef::OnPath(0)));
-/// assert!(refs.contains(&FaninRef::OffPath(b.index())));
+/// assert!(decoded.fanin_refs[1].contains(&FaninRef::OnPath(0)));
+/// assert!(decoded.fanin_refs[1].contains(&FaninRef::OffPath(b.index())));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConePlans {
-    /// Per site: range `member_off[i]..member_off[i+1]` into the member
-    /// arrays. Length `n + 1`.
-    member_off: Vec<u32>,
-    /// Cone members, site first, then the on-path gates in topological
-    /// order.
-    members: Vec<NodeId>,
-    /// Gate kind per member (the site's own entry is present but unused
-    /// by the kernel).
-    kinds: Vec<GateKind>,
-    /// Per member: range into `fanin_refs` (empty for each site's own
-    /// entry). Length `members.len() + 1`.
-    member_fanin_off: Vec<u32>,
-    /// Packed fanin references (see [`FaninRef::decode`]), in fanin
-    /// declaration order, duplicates preserved.
-    fanin_refs: Vec<u32>,
-    /// Per site: range into `observe_refs`. Length `n + 1`.
-    observe_off: Vec<u32>,
-    /// `(observe-point index, cone-local position of its signal)` pairs,
-    /// ordered by observe-point index — the same order the artifacts'
-    /// observe list has.
-    observe_refs: Vec<(u32, u32)>,
-    /// Largest cone size over all sites (workspace sizing).
-    max_cone_len: usize,
+    // ---- per-node tables, indexed by `NodeId::index` (length n) ----
+    /// Next hop on the chain path (node index); [`NO_NEXT`] for
+    /// anchors.
+    pub(crate) chain_next: Vec<u32>,
+    /// Tail-table id of the node's anchor (an anchor's own id).
+    pub(crate) tail_of: Vec<u32>,
+    /// Number of path members before the shared tail (0 for anchors).
+    pub(crate) prefix_len: Vec<u32>,
+    /// Fanin pins of the path members strictly after this node, the
+    /// anchor included — with the tail's interior pin count this gives
+    /// O(1) [`cost`](ConePlan::cost).
+    pub(crate) path_pins_after: Vec<u32>,
+    /// Observe points on the path from this node (inclusive) to the
+    /// anchor (exclusive) — O(1) [`observe_len`](ConePlan::observe_len).
+    pub(crate) path_obs_from: Vec<u32>,
+    /// CSR offsets per node into `node_obs`. Length `n + 1`.
+    pub(crate) node_obs_off: Vec<u32>,
+    /// Observe-point indices of each node's signal (total = number of
+    /// observe points — one signal each).
+    pub(crate) node_obs: Vec<u32>,
+    // ---- per-position tables, indexed by topological position
+    //      (length n; tiny, cache-resident) ----
+    /// Node id at each position (the topological order).
+    pub(crate) pos_node: Vec<NodeId>,
+    /// Gate kind at each position.
+    pub(crate) pos_kind: Vec<GateKind>,
+    /// CSR offsets per position into `pos_fanins`. Length `n + 1`.
+    pub(crate) pos_fanin_off: Vec<u32>,
+    /// Fanin pins in declaration order (duplicates preserved) as
+    /// `(fanin topological position, packed off-path ref)` — the
+    /// off-path encoding of a pin is cone-independent, so it is
+    /// computed exactly once here.
+    pub(crate) pos_fanins: Vec<(u32, u32)>,
+    // ---- shared tail table, one entry per anchor, in topological
+    //      position order of the anchors ----
+    /// Per tail: start of the cone's slice in `tail_positions`.
+    pub(crate) tail_start: Vec<u32>,
+    /// Per tail: end of that slice.
+    pub(crate) tail_end: Vec<u32>,
+    /// Per tail: total fanin pin count of the members after the anchor
+    /// — O(1) [`cost`](ConePlan::cost).
+    pub(crate) tail_pins: Vec<u32>,
+    /// Every anchor's cone as ascending topological positions (anchor
+    /// first) — the phase-1 merge arena, adopted as-is. A member's
+    /// kind and pins resolve through the per-position tables; on-path
+    /// classification happens in the consumer against its walked cone
+    /// (see the [module docs](self)).
+    pub(crate) tail_positions: Vec<u32>,
+    /// Per tail: range into `tail_obs`. Length `T + 1`.
+    pub(crate) tail_obs_off: Vec<u32>,
+    /// `(observe index, tail-local position)` pairs ordered by observe
+    /// index.
+    pub(crate) tail_obs: Vec<(u32, u32)>,
+    // ---- global ----
+    /// Largest *logical* cone size over all sites (workspace sizing).
+    pub(crate) max_cone_len: usize,
+    /// Number of chain nodes (each stores one deduplicated member).
+    pub(crate) chain_count: usize,
+    /// Sum of logical cone sizes over all sites — what the flat arena
+    /// used to store.
+    pub(crate) logical_members: u64,
+    /// Sum of per-site reachable observe points — the exact arena size
+    /// a whole-circuit sweep's per-point results need.
+    pub(crate) logical_observe_refs: u64,
 }
 
 impl ConePlans {
-    /// Default budget for the total member count of one circuit's plan
-    /// arena (~1.3 GB at ~20 bytes amortized per member). Sum-of-cones
-    /// is Θ(n²) in the worst case (deep chain-dominated circuits), so
-    /// consumers must be prepared for [`build_bounded`](Self::build_bounded)
-    /// to decline and fall back to per-site traversal.
+    /// Default budget for the **stored** (deduplicated) member count of
+    /// one circuit's plan arena: one entry per chain node plus the
+    /// shared tail arena. Stored members are Θ(n²) in the worst case
+    /// (densely reconvergent anchor-heavy circuits), so consumers must
+    /// be prepared for [`build_bounded`](Self::build_bounded) to
+    /// decline and fall back to per-site traversal.
+    ///
+    /// Earlier revisions budgeted *logical* members (sum of cone
+    /// sizes); chain-dominated circuits whose logical total blew that
+    /// budget now fit comfortably, because their suffixes are stored
+    /// once.
     pub const DEFAULT_MEMBER_BUDGET: usize = 1 << 26;
 
-    /// Below this many sites the build runs on one thread: spawning
-    /// workers would cost more than the per-site DFS loop it splits.
-    const PARALLEL_BUILD_THRESHOLD: usize = 1024;
-
-    /// How many contiguous site ranges the parallel build cuts per
-    /// worker. Cone sizes are unknown up front, so oversubscription plus
-    /// an atomic claim cursor is what balances the load.
+    /// How many contiguous anchor ranges the parallel packing cuts per
+    /// worker (oversubscription + an atomic claim cursor balance the
+    /// unknown cone sizes).
     const CHUNKS_PER_THREAD: usize = 8;
 
-    /// Builds the plans for every node of `circuit` with the
-    /// reverse-topological builder: one merge pass over all cones, then
-    /// a parallel classification pass. `topo` supplies the positions and
-    /// the DFF-clipped fanout adjacency. The result is identical
-    /// whatever the thread count, and bit-identical to
-    /// [`build_reference`](Self::build_reference).
+    /// Builds the suffix-shared plans for every node of `circuit`.
+    /// `topo` supplies the positions and the DFF-clipped fanout
+    /// adjacency. The result is identical whatever the thread count,
+    /// and decodes site-for-site identically to [`FlatConePlans`].
     ///
     /// # Panics
     ///
@@ -166,11 +278,12 @@ impl ConePlans {
         Self::build_bounded(circuit, topo, usize::MAX).expect("unbounded build cannot decline")
     }
 
-    /// Like [`build`](Self::build), but aborts and returns `None` as
-    /// soon as the arena would exceed `max_members` total cone members —
-    /// the guard that keeps pathological Θ(n²) circuits from exhausting
-    /// memory (the per-site reference path handles them in O(n) scratch
-    /// instead). Uses every available core on large circuits.
+    /// Like [`build`](Self::build), but returns `None` as soon as the
+    /// arena would exceed `max_members` **stored** members (chain
+    /// entries plus the shared tail arena) — the guard that keeps
+    /// pathological Θ(n²) circuits from exhausting memory (the
+    /// per-site reference path handles them in O(n) scratch instead).
+    /// Uses every available core on large circuits.
     ///
     /// # Panics
     ///
@@ -190,16 +303,13 @@ impl ConePlans {
     /// [`build_bounded`](Self::build_bounded) with an explicit worker
     /// count.
     ///
-    /// Phase 1 computes every cone's membership in one sequential
-    /// reverse-topological merge pass (see the [module docs](self)) —
-    /// this is where the member budget is enforced, and the decision is
-    /// trivially deterministic (the pass is sequential and the total is
-    /// scheduling-independent, exactly like the reference builder's
-    /// shared counter). Phase 2 classifies fanins and packs the arena
-    /// over contiguous site ranges claimed through an atomic cursor and
-    /// stitched back in site order, so the arena is bit-identical to a
-    /// single-threaded build — and to the per-site-DFS
-    /// [`build_reference_bounded_with_threads`](Self::build_reference_bounded_with_threads).
+    /// Phase 1 (sequential, reverse-topological) merges cones for
+    /// anchors only and enforces the stored-member budget — the
+    /// decision is deterministic and thread-count independent by
+    /// construction. Phase 2 packs the tail table over contiguous
+    /// anchor ranges claimed through an atomic cursor and stitched
+    /// back in anchor order, so the arena is bit-identical to a
+    /// single-threaded build.
     ///
     /// # Panics
     ///
@@ -213,69 +323,929 @@ impl ConePlans {
         threads: usize,
     ) -> Option<Self> {
         assert!(threads > 0, "at least one thread");
-        assert_eq!(topo.len(), circuit.len(), "artifacts must cover every node");
-        let cones = MergedCones::build(topo, max_members)?;
-        Self::assemble(circuit, topo, Some(&cones), max_members, threads)
+        let n = circuit.len();
+        assert_eq!(topo.len(), n, "artifacts must cover every node");
+
+        let tc = TailCones::build(topo, max_members)?;
+        let order = topo.order();
+
+        // Observe points indexed by observed signal, in observe order.
+        let observe = topo.observe_points();
+        let mut obs_of_signal: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, p) in observe.iter().enumerate() {
+            obs_of_signal[p.signal().index()].push(u32::try_from(i).expect("observe fits u32"));
+        }
+
+        // Tail ids: anchors in ascending topological position order.
+        let mut tail_id_of_pos = vec![0u32; n];
+        let mut anchors: Vec<u32> = Vec::new();
+        for (p, id) in tail_id_of_pos.iter_mut().enumerate() {
+            if tc.next_pos[p] == NO_NEXT {
+                *id = u32::try_from(anchors.len()).expect("anchors fit u32");
+                anchors.push(u32::try_from(p).expect("node count fits u32"));
+            }
+        }
+
+        // Per-node chain tables, filled back-to-front so each chain
+        // node reads its successor's already-computed suffix scalars.
+        let mut chain_next = vec![NO_NEXT; n];
+        let mut tail_of = vec![0u32; n];
+        let mut prefix_len = vec![0u32; n];
+        let mut path_pins_after = vec![0u32; n];
+        let mut path_obs_from = vec![0u32; n];
+        for p in (0..n).rev() {
+            let v = order[p].index();
+            if tc.next_pos[p] == NO_NEXT {
+                tail_of[v] = tail_id_of_pos[p];
+            } else {
+                let s = order[tc.next_pos[p] as usize];
+                let si = s.index();
+                chain_next[v] = u32::try_from(si).expect("node index fits u32");
+                tail_of[v] = tail_of[si];
+                prefix_len[v] = prefix_len[si] + 1;
+                path_pins_after[v] = u32::try_from(circuit.node(s).fanin().len())
+                    .expect("pins fit u32")
+                    + path_pins_after[si];
+                path_obs_from[v] =
+                    u32::try_from(obs_of_signal[v].len()).expect("obs fit u32") + path_obs_from[si];
+            }
+        }
+
+        // Per-node observe CSR (tiny: one entry per observe point).
+        let mut node_obs_off = Vec::with_capacity(n + 1);
+        let mut node_obs = Vec::with_capacity(observe.len());
+        node_obs_off.push(0);
+        for obs in &obs_of_signal {
+            node_obs.extend_from_slice(obs);
+            node_obs_off.push(u32::try_from(node_obs.len()).expect("observe refs fit u32"));
+        }
+
+        let tables = PackTables::build(circuit, topo, &obs_of_signal);
+
+        // Phase 2: per-tail scalars only — slice bounds, interior pin
+        // totals, and the sorted observe refs. Everything per-member
+        // (kind, pins, on-path classification) resolves through the
+        // per-position tables at consumption time, so nothing of the
+        // old per-tail member/kind/ref copies is materialized at all.
+        let t_count = anchors.len();
+        let mut tail_start = Vec::with_capacity(t_count);
+        let mut tail_end = Vec::with_capacity(t_count);
+        let mut tail_pins = Vec::with_capacity(t_count);
+        let mut tail_obs_off = Vec::with_capacity(t_count + 1);
+        let mut tail_obs: Vec<(u32, u32)> = Vec::new();
+        let mut site_obs: Vec<(u32, u32)> = Vec::new();
+        tail_obs_off.push(0u32);
+        for &p in &anchors {
+            let p = p as usize;
+            tail_start.push(tc.start[p]);
+            tail_end.push(tc.end[p]);
+            let cone = tc.cone(p);
+            let mut pins = 0u32;
+            site_obs.clear();
+            for (k, &q) in cone.iter().enumerate() {
+                let q = q as usize;
+                if k > 0 {
+                    pins += tables.fanin_off[q + 1] - tables.fanin_off[q];
+                }
+                for &obs in tables.observes_of(q) {
+                    site_obs.push((obs, u32::try_from(k).expect("cone fits u32")));
+                }
+            }
+            site_obs.sort_unstable();
+            tail_obs.extend_from_slice(&site_obs);
+            tail_pins.push(pins);
+            tail_obs_off.push(u32::try_from(tail_obs.len()).expect("observe refs fit u32"));
+        }
+
+        let mut plans = ConePlans {
+            chain_next,
+            tail_of,
+            prefix_len,
+            path_pins_after,
+            path_obs_from,
+            node_obs_off,
+            node_obs,
+            pos_node: order.to_vec(),
+            pos_kind: tables.kind_by_pos,
+            pos_fanin_off: tables.fanin_off,
+            pos_fanins: tables.fanins,
+            tail_start,
+            tail_end,
+            tail_pins,
+            tail_positions: tc.arena,
+            tail_obs_off,
+            tail_obs,
+            max_cone_len: 0,
+            chain_count: tc.chain_count,
+            logical_members: 0,
+            logical_observe_refs: 0,
+        };
+        for v in 0..n {
+            let t = plans.tail_of[v] as usize;
+            let tail_len = (plans.tail_end[t] - plans.tail_start[t]) as usize;
+            let len = plans.prefix_len[v] as usize + tail_len;
+            let obs = plans.path_obs_from[v] as u64
+                + u64::from(plans.tail_obs_off[t + 1] - plans.tail_obs_off[t]);
+            plans.max_cone_len = plans.max_cone_len.max(len);
+            plans.logical_members += len as u64;
+            plans.logical_observe_refs += obs;
+        }
+        Some(plans)
     }
 
-    /// The original per-site-DFS builder, retained as the semantic
-    /// reference: one DFS + one sort per site. The reverse-topological
-    /// [`build`](Self::build) is proptest-checked to be bit-identical
-    /// to this path; the sweep benchmark reports both builders' cost.
+    /// Number of sites covered (one plan per circuit node).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chain_next.len()
+    }
+
+    /// `true` for an empty circuit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest logical cone size over all sites — the capacity a
+    /// cone-local value plane needs.
+    #[must_use]
+    pub fn max_cone_len(&self) -> usize {
+        self.max_cone_len
+    }
+
+    /// **Stored** (deduplicated) members: one entry per chain node
+    /// plus the shared tail arena — the quantity the member budget
+    /// bounds, proportional to the arena's actual memory.
+    #[must_use]
+    pub fn stored_members(&self) -> usize {
+        self.chain_count + self.tail_positions.len()
+    }
+
+    /// **Logical** members: the sum of per-site cone sizes — what the
+    /// flat arena used to store. `logical_members / stored_members` is
+    /// the suffix-sharing factor.
+    #[must_use]
+    pub fn logical_members(&self) -> u64 {
+        self.logical_members
+    }
+
+    /// Number of shared tail entries (anchors).
+    #[must_use]
+    pub fn tail_count(&self) -> usize {
+        self.tail_start.len()
+    }
+
+    /// Node id at topological position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn node_at(&self, pos: u32) -> NodeId {
+        self.pos_node[pos as usize]
+    }
+
+    /// Gate kind at topological position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn kind_at(&self, pos: u32) -> GateKind {
+        self.pos_kind[pos as usize]
+    }
+
+    /// Fanin pins of the node at position `pos`, in declaration order
+    /// (duplicates preserved), as `(fanin position, packed off-path
+    /// ref)` pairs. The packed ref decodes via [`FaninRef::decode`] to
+    /// the pin's [`FaninRef::OffPath`] form; whether the pin is
+    /// actually on-path for a given cone is decided by the consumer
+    /// (membership of the fanin position in the cone walked so far).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn fanins_at(&self, pos: u32) -> &[(u32, u32)] {
+        let pos = pos as usize;
+        &self.pos_fanins[self.pos_fanin_off[pos] as usize..self.pos_fanin_off[pos + 1] as usize]
+    }
+
+    /// Total reachable observe points over all sites — the exact arena
+    /// size a whole-circuit sweep's per-point results need.
+    #[must_use]
+    pub fn total_observe_refs(&self) -> u64 {
+        self.logical_observe_refs
+    }
+
+    /// Heap bytes of the arena (every table, exact element sizes) —
+    /// the `arena_bytes` the sweep benchmark reports.
+    #[must_use]
+    pub fn arena_bytes(&self) -> usize {
+        fn bytes<T>(v: &[T]) -> usize {
+            std::mem::size_of_val(v)
+        }
+        bytes(&self.chain_next)
+            + bytes(&self.tail_of)
+            + bytes(&self.prefix_len)
+            + bytes(&self.path_pins_after)
+            + bytes(&self.path_obs_from)
+            + bytes(&self.node_obs_off)
+            + bytes(&self.node_obs)
+            + bytes(&self.pos_node)
+            + bytes(&self.pos_kind)
+            + bytes(&self.pos_fanin_off)
+            + bytes(&self.pos_fanins)
+            + bytes(&self.tail_start)
+            + bytes(&self.tail_end)
+            + bytes(&self.tail_pins)
+            + bytes(&self.tail_positions)
+            + bytes(&self.tail_obs_off)
+            + bytes(&self.tail_obs)
+    }
+
+    /// The plan of one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn plan(&self, site: NodeId) -> ConePlan<'_> {
+        assert!(site.index() < self.len(), "site {site} out of range");
+        ConePlan {
+            plans: self,
+            site: site.index(),
+        }
+    }
+}
+
+/// A borrowed view of one site's plan inside the suffix-shared
+/// [`ConePlans`]: the chain path (walked via
+/// [`next_of`](Self::next_of)) followed by the shared
+/// [`tail`](Self::tail). All size/cost accessors are O(1).
+#[derive(Debug, Clone, Copy)]
+pub struct ConePlan<'a> {
+    plans: &'a ConePlans,
+    site: usize,
+}
+
+impl<'a> ConePlan<'a> {
+    /// The error site this plan was compiled for.
+    #[must_use]
+    pub fn site(&self) -> NodeId {
+        NodeId::from_index(self.site)
+    }
+
+    /// Number of path members before the shared tail (0 when the site
+    /// is an anchor). The anchor sits at cone-local position
+    /// `prefix_len()`; tail member `k` sits at `prefix_len() + k`.
+    #[must_use]
+    pub fn prefix_len(&self) -> usize {
+        self.plans.prefix_len[self.site] as usize
+    }
+
+    /// The shared tail of this plan (the site's anchor's cone).
+    #[must_use]
+    pub fn tail(&self) -> TailView<'a> {
+        TailView {
+            plans: self.plans,
+            tail: self.plans.tail_of[self.site] as usize,
+        }
+    }
+
+    /// Logical cone size (site included); at least 1. O(1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prefix_len() + self.tail().len()
+    }
+
+    /// Always `false`: a cone contains at least its site.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of reachable observe points. O(1).
+    #[must_use]
+    pub fn observe_len(&self) -> usize {
+        self.plans.path_obs_from[self.site] as usize + self.tail().observe_refs().len()
+    }
+
+    /// `true` if no observe point is reachable from the site.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.observe_len() == 0
+    }
+
+    /// Evaluation cost indicator: logical members plus fanin
+    /// references — proportional to the work one EPP pass over this
+    /// cone performs. O(1).
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        let t = self.tail().tail;
+        self.len()
+            + self.plans.path_pins_after[self.site] as usize
+            + self.plans.tail_pins[t] as usize
+    }
+
+    /// The next hop on the chain path after `node`. Valid for the site
+    /// and every path member before the anchor; the hop after the last
+    /// chain node is the anchor itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `node` is an anchor.
+    #[inline]
+    #[must_use]
+    pub fn next_of(&self, node: NodeId) -> NodeId {
+        let next = self.plans.chain_next[node.index()];
+        debug_assert_ne!(next, NO_NEXT, "next_of called on an anchor");
+        NodeId::from_index(next as usize)
+    }
+
+    /// Observe-point indices of `node`'s signal (the artifacts'
+    /// observe order).
+    #[inline]
+    #[must_use]
+    pub fn observes_of(&self, node: NodeId) -> &'a [u32] {
+        let v = node.index();
+        &self.plans.node_obs
+            [self.plans.node_obs_off[v] as usize..self.plans.node_obs_off[v + 1] as usize]
+    }
+
+    /// Cone members in topological order; the first is the site.
+    #[must_use]
+    pub fn members(&self) -> PlanMembers<'a> {
+        PlanMembers {
+            plans: self.plans,
+            next_node: u32::try_from(self.site).expect("node index fits u32"),
+            path_left: self.plans.prefix_len[self.site],
+            tail: self.tail().positions().iter(),
+        }
+    }
+
+    /// Decodes the plan into owned, self-contained [`SitePlan`] form —
+    /// resolving path fanins by predecessor comparison and rebasing
+    /// tail-local references, exactly as the sweep kernel does. This
+    /// is the representation `tests/plan_builder.rs` compares against
+    /// the flat oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is not the circuit the plans were built
+    /// from.
+    #[must_use]
+    pub fn materialize(&self, circuit: &Circuit) -> SitePlan {
+        let l = self.prefix_len();
+        let tail = self.tail();
+        let len = l + tail.len();
+        let mut members = Vec::with_capacity(len);
+        let mut kinds = Vec::with_capacity(len);
+        let mut fanin_refs: Vec<Vec<FaninRef>> = Vec::with_capacity(len);
+
+        // Path members 0..l: the site carries no refs; each subsequent
+        // path member's only possible on-path pin is its predecessor.
+        // When `l == 0` the site *is* the anchor — its member/kind rows
+        // come from the tail below, only the empty ref row is its own.
+        let site = self.site();
+        if l > 0 {
+            members.push(site);
+            kinds.push(circuit.node(site).kind());
+        }
+        fanin_refs.push(Vec::new());
+        let mut prev = site;
+        for pos in 1..=l {
+            let id = self.next_of(prev);
+            let node = circuit.node(id);
+            if pos < l {
+                members.push(id);
+                kinds.push(node.kind());
+            }
+            // Anchor (pos == l) members/kinds come from the tail below;
+            // its refs are still resolved here, predecessor-compared.
+            let refs: Vec<FaninRef> = node
+                .fanin()
+                .iter()
+                .map(|&pin| {
+                    if pin == prev {
+                        FaninRef::OnPath(pos - 1)
+                    } else {
+                        FaninRef::OffPath(pin.index())
+                    }
+                })
+                .collect();
+            fanin_refs.push(refs);
+            prev = id;
+        }
+
+        // Tail members at cone positions l..len. A tail pin is on-path
+        // iff its position is in the tail itself (a path node's single
+        // successor is the next path node, so no tail member can read
+        // one); the cone-local index of tail member k is l + k.
+        let positions = tail.positions();
+        members.extend(positions.iter().map(|&q| self.plans.node_at(q)));
+        kinds.extend(positions.iter().map(|&q| self.plans.kind_at(q)));
+        let local_of: std::collections::HashMap<u32, usize> = positions
+            .iter()
+            .enumerate()
+            .map(|(k, &q)| (q, l + k))
+            .collect();
+        for &q in &positions[1..] {
+            fanin_refs.push(
+                self.plans
+                    .fanins_at(q)
+                    .iter()
+                    .map(|&(pf, off)| match local_of.get(&pf) {
+                        Some(&loc) => FaninRef::OnPath(loc),
+                        None => FaninRef::decode(off),
+                    })
+                    .collect(),
+            );
+        }
+        debug_assert_eq!(members.len(), len);
+        debug_assert_eq!(fanin_refs.len(), len);
+
+        // Observe refs: sorted path observes merged with the tail's
+        // (already sorted) observes, rebased by +l. Observe indices
+        // are unique per site, so the merge is a strict interleave.
+        let mut path_obs: Vec<(u32, u32)> = Vec::new();
+        if l > 0 {
+            let mut cur = site;
+            for pos in 0..l {
+                for &obs in self.observes_of(cur) {
+                    path_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
+                }
+                if pos + 1 < l {
+                    cur = self.next_of(cur);
+                }
+            }
+        }
+        path_obs.sort_unstable();
+        let tobs = tail.observe_refs();
+        let mut observe_refs = Vec::with_capacity(path_obs.len() + tobs.len());
+        let (mut i, mut j) = (0, 0);
+        let l32 = u32::try_from(l).expect("cone fits u32");
+        while i < path_obs.len() || j < tobs.len() {
+            let take_path = j >= tobs.len() || (i < path_obs.len() && path_obs[i].0 < tobs[j].0);
+            if take_path {
+                observe_refs.push(path_obs[i]);
+                i += 1;
+            } else {
+                observe_refs.push((tobs[j].0, tobs[j].1 + l32));
+                j += 1;
+            }
+        }
+
+        SitePlan {
+            site,
+            members,
+            kinds,
+            fanin_refs,
+            observe_refs,
+        }
+    }
+}
+
+/// Iterator over a plan's logical members: the chain path, then the
+/// shared tail slice.
+#[derive(Debug, Clone)]
+pub struct PlanMembers<'a> {
+    plans: &'a ConePlans,
+    next_node: u32,
+    path_left: u32,
+    tail: std::slice::Iter<'a, u32>,
+}
+
+impl Iterator for PlanMembers<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.path_left > 0 {
+            let id = self.next_node as usize;
+            self.next_node = self.plans.chain_next[id];
+            self.path_left -= 1;
+            Some(NodeId::from_index(id))
+        } else {
+            self.tail.next().map(|&q| self.plans.node_at(q))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.path_left as usize + self.tail.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PlanMembers<'_> {}
+
+/// A borrowed view of one shared tail entry (an anchor's cone).
+#[derive(Debug, Clone, Copy)]
+pub struct TailView<'a> {
+    plans: &'a ConePlans,
+    tail: usize,
+}
+
+impl<'a> TailView<'a> {
+    fn member_range(&self) -> Range<usize> {
+        self.plans.tail_start[self.tail] as usize..self.plans.tail_end[self.tail] as usize
+    }
+
+    /// Number of tail members (anchor included); at least 1.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.member_range().len()
+    }
+
+    /// Always `false`: a tail contains at least its anchor.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Tail members as ascending topological positions; the first is
+    /// the anchor. Resolve a member's node id, gate kind and fanin
+    /// pins through [`ConePlans::node_at`], [`ConePlans::kind_at`] and
+    /// [`ConePlans::fanins_at`]; a pin is on-path iff its position is
+    /// in this slice (tail-local index = slice index, cone-local index
+    /// = that plus the site's path length).
+    #[must_use]
+    pub fn positions(&self) -> &'a [u32] {
+        &self.plans.tail_positions[self.member_range()]
+    }
+
+    /// Reachable observe points as `(observe index, tail-local
+    /// position)` pairs, ordered by observe index.
+    #[must_use]
+    pub fn observe_refs(&self) -> &'a [(u32, u32)] {
+        &self.plans.tail_obs[self.plans.tail_obs_off[self.tail] as usize
+            ..self.plans.tail_obs_off[self.tail + 1] as usize]
+    }
+}
+
+/// Per-topo-position lookup tables compiled once per build for the
+/// tail packing pass — the flat-array form of everything the
+/// per-member loop needs, so packing never chases a pointer into a
+/// `Node`:
+///
+/// - the gate kind,
+/// - each fanin pin as `(fanin topo position, pre-packed off-path
+///   ref)` — the off-path encoding of a pin is site-independent, so it
+///   is computed exactly once here,
+/// - the observe-point indices of the position's signal.
+struct PackTables {
+    kind_by_pos: Vec<GateKind>,
+    /// CSR offsets per position into `fanins`. Length `n + 1`.
+    fanin_off: Vec<u32>,
+    /// Fanin pins in declaration order, duplicates preserved.
+    fanins: Vec<(u32, u32)>,
+    /// CSR offsets per position into `observes`. Length `n + 1`.
+    obs_off: Vec<u32>,
+    /// Observe-point indices (the artifacts' observe order).
+    observes: Vec<u32>,
+}
+
+impl PackTables {
+    fn build(circuit: &Circuit, topo: &TopoArtifacts, obs_of_signal: &[Vec<u32>]) -> Self {
+        let n = circuit.len();
+        let mut tables = PackTables {
+            kind_by_pos: Vec::with_capacity(n),
+            fanin_off: Vec::with_capacity(n + 1),
+            fanins: Vec::new(),
+            obs_off: Vec::with_capacity(n + 1),
+            observes: Vec::new(),
+        };
+        tables.fanin_off.push(0);
+        tables.obs_off.push(0);
+        for &id in topo.order() {
+            let node = circuit.node(id);
+            tables.kind_by_pos.push(node.kind());
+            for &f in node.fanin() {
+                tables
+                    .fanins
+                    .push((topo.position(f), FaninRef::encode_off_path(f)));
+            }
+            tables
+                .fanin_off
+                .push(u32::try_from(tables.fanins.len()).expect("edge count fits u32"));
+            tables
+                .observes
+                .extend_from_slice(&obs_of_signal[id.index()]);
+            tables
+                .obs_off
+                .push(u32::try_from(tables.observes.len()).expect("observe refs fit u32"));
+        }
+        tables
+    }
+
+    fn observes_of(&self, pos: usize) -> &[u32] {
+        &self.observes[self.obs_off[pos] as usize..self.obs_off[pos + 1] as usize]
+    }
+}
+
+/// Phase-1 output: the chain classification and every **anchor's**
+/// cone as ascending topological positions in one flat arena.
+///
+/// Built back-to-front: when anchor position `p` is processed, every
+/// combinational successor (all at positions `> p`) already has its
+/// cone available — as an arena slice (anchor successor) or as a
+/// virtual two-segment sequence (chain successor: its lazily walked
+/// path plus its own anchor's arena slice). `p`'s cone is `[p]`
+/// followed by the duplicate-free sorted merge of those sequences.
+/// Chain positions get **no** arena entry — that is the suffix
+/// sharing, and it removes the single-successor `memcpy` that made
+/// the old flat builder store-bandwidth-bound.
+struct TailCones {
+    /// Per topo position: the single successor's position for chain
+    /// nodes, [`NO_NEXT`] for anchors.
+    next_pos: Vec<u32>,
+    /// Per topo position (anchors only): start of the cone's arena
+    /// slice.
+    start: Vec<u32>,
+    /// Per topo position (anchors only): end of that slice.
+    end: Vec<u32>,
+    /// All anchor cones, concatenated in build order.
+    arena: Vec<u32>,
+    /// Number of chain nodes (each counts as one stored member).
+    chain_count: usize,
+}
+
+/// A merge cursor over one successor's (possibly virtual) cone:
+/// first the chain path positions, then the anchor's arena slice.
+#[derive(Clone, Copy)]
+struct ConeCursor {
+    /// Current path position, or [`NO_NEXT`] once in slice mode.
+    pos: u32,
+    /// Arena slice range (set on entering slice mode).
+    idx: u32,
+    end: u32,
+}
+
+impl ConeCursor {
+    fn new(q: u32, next_pos: &[u32], start: &[u32], end: &[u32]) -> Self {
+        if next_pos[q as usize] == NO_NEXT {
+            ConeCursor {
+                pos: NO_NEXT,
+                idx: start[q as usize],
+                end: end[q as usize],
+            }
+        } else {
+            ConeCursor {
+                pos: q,
+                idx: 0,
+                end: 0,
+            }
+        }
+    }
+
+    #[inline]
+    fn peek(&self, arena: &[u32]) -> Option<u32> {
+        if self.pos != NO_NEXT {
+            Some(self.pos)
+        } else if self.idx < self.end {
+            Some(arena[self.idx as usize])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn advance(&mut self, next_pos: &[u32], start: &[u32], end: &[u32]) {
+        if self.pos != NO_NEXT {
+            let np = self.pos as usize;
+            let next = next_pos[np] as usize;
+            debug_assert_ne!(next_pos[np], NO_NEXT);
+            if next_pos[next] == NO_NEXT {
+                // Reached the anchor: switch to its arena slice (which
+                // starts with the anchor itself).
+                self.pos = NO_NEXT;
+                self.idx = start[next];
+                self.end = end[next];
+            } else {
+                self.pos = next_pos[np];
+            }
+        } else {
+            self.idx += 1;
+        }
+    }
+}
+
+impl TailCones {
+    /// One anchor's cone as ascending topological positions (the
+    /// anchor's own position first).
+    fn cone(&self, pos: usize) -> &[u32] {
+        debug_assert_eq!(self.next_pos[pos], NO_NEXT, "cone() wants an anchor");
+        &self.arena[self.start[pos] as usize..self.end[pos] as usize]
+    }
+
+    /// Runs the reverse-topological anchor-only merge pass. Returns
+    /// `None` as soon as stored members (chain entries + the arena)
+    /// exceed `max_members` — a sequential, scheduling-independent
+    /// decision.
+    fn build(topo: &TopoArtifacts, max_members: usize) -> Option<Self> {
+        let n = topo.len();
+        let order = topo.order();
+        let mut next_pos = vec![NO_NEXT; n];
+        let mut chain_count = 0usize;
+        for (p, np) in next_pos.iter_mut().enumerate() {
+            let succs = topo.comb_fanout(order[p]);
+            if succs.len() == 1 {
+                *np = topo.position(succs[0]);
+                chain_count += 1;
+            }
+        }
+        if chain_count > max_members {
+            return None;
+        }
+
+        let mut start = vec![0u32; n];
+        let mut end = vec![0u32; n];
+        let mut arena: Vec<u32> = Vec::with_capacity(n - chain_count);
+        // Cursor scratch for the rare ≥ 3-way merges; reused.
+        let mut cursors: Vec<ConeCursor> = Vec::new();
+        for p in (0..n).rev() {
+            if next_pos[p] != NO_NEXT {
+                continue;
+            }
+            let cone_start = arena.len();
+            arena.push(u32::try_from(p).expect("node count fits u32"));
+            let succs = topo.comb_fanout(order[p]);
+            // Anchors have 0 or ≥ 2 successors by definition, so the
+            // merge is always a true multi-way dedup merge.
+            match succs.len() {
+                0 => {}
+                2 => {
+                    // Dominant shape: a tight two-pointer merge. Any
+                    // chain-path prefix is drained element-wise first;
+                    // once both cursors sit in their anchor slices the
+                    // inner loop is branch-light array traversal.
+                    // Merged output is pushed straight into the arena:
+                    // cursors address it by index, so reallocation
+                    // while reading earlier regions is sound.
+                    let mut a = ConeCursor::new(topo.position(succs[0]), &next_pos, &start, &end);
+                    let mut b = ConeCursor::new(topo.position(succs[1]), &next_pos, &start, &end);
+                    while a.pos != NO_NEXT || b.pos != NO_NEXT {
+                        let (Some(x), Some(y)) = (a.peek(&arena), b.peek(&arena)) else {
+                            break;
+                        };
+                        arena.push(x.min(y));
+                        if x <= y {
+                            a.advance(&next_pos, &start, &end);
+                        }
+                        if y <= x {
+                            b.advance(&next_pos, &start, &end);
+                        }
+                    }
+                    if a.pos == NO_NEXT && b.pos == NO_NEXT {
+                        let (mut i, ae) = (a.idx as usize, a.end as usize);
+                        let (mut j, be) = (b.idx as usize, b.end as usize);
+                        while i < ae && j < be {
+                            let (x, y) = (arena[i], arena[j]);
+                            arena.push(x.min(y));
+                            i += usize::from(x <= y);
+                            j += usize::from(y <= x);
+                        }
+                        a.idx = i as u32;
+                        b.idx = j as u32;
+                    }
+                    // At most one cursor still holds elements; append
+                    // its remainder (path part, then slice memcpy).
+                    for mut c in [a, b] {
+                        if c.peek(&arena).is_none() {
+                            continue;
+                        }
+                        while c.pos != NO_NEXT {
+                            arena.push(c.pos);
+                            c.advance(&next_pos, &start, &end);
+                        }
+                        arena.extend_from_within(c.idx as usize..c.end as usize);
+                    }
+                }
+                _ => {
+                    cursors.clear();
+                    cursors.extend(
+                        succs
+                            .iter()
+                            .map(|&s| ConeCursor::new(topo.position(s), &next_pos, &start, &end)),
+                    );
+                    loop {
+                        let mut min = u32::MAX;
+                        let mut live = 0usize;
+                        let mut last = 0usize;
+                        for (ci, c) in cursors.iter().enumerate() {
+                            if let Some(v) = c.peek(&arena) {
+                                live += 1;
+                                last = ci;
+                                min = min.min(v);
+                            }
+                        }
+                        match live {
+                            0 => break,
+                            1 => {
+                                // Lone survivor: bulk-append the
+                                // remainder (walk the path part,
+                                // memcpy the slice part).
+                                let mut c = cursors[last];
+                                while c.pos != NO_NEXT {
+                                    arena.push(c.pos);
+                                    c.advance(&next_pos, &start, &end);
+                                }
+                                arena.extend_from_within(c.idx as usize..c.end as usize);
+                                break;
+                            }
+                            _ => {
+                                arena.push(min);
+                                for c in &mut cursors {
+                                    if c.peek(&arena) == Some(min) {
+                                        c.advance(&next_pos, &start, &end);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if chain_count + arena.len() > max_members {
+                return None;
+            }
+            start[p] = u32::try_from(cone_start).expect("cone members fit u32");
+            end[p] = u32::try_from(arena.len()).expect("cone members fit u32");
+        }
+        Some(TailCones {
+            next_pos,
+            start,
+            end,
+            arena,
+            chain_count,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The flat per-site-DFS oracle
+// ---------------------------------------------------------------------------
+
+/// The original flat cone-plan arena, built by per-site DFS — retained
+/// as the **semantic reference**: every site's full cone is stored
+/// (members, kinds, per-member packed refs, observe refs), with no
+/// suffix sharing. The suffix-shared [`ConePlans`] is proptest-checked
+/// to [`materialize`](ConePlan::materialize) site-for-site identically
+/// to [`FlatConePlan::materialize`], and the sweep benchmark reports
+/// `plan_build_ms` for both builders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatConePlans {
+    member_off: Vec<u32>,
+    members: Vec<NodeId>,
+    kinds: Vec<GateKind>,
+    member_fanin_off: Vec<u32>,
+    fanin_refs: Vec<u32>,
+    observe_off: Vec<u32>,
+    observe_refs: Vec<(u32, u32)>,
+    max_cone_len: usize,
+}
+
+impl FlatConePlans {
+    /// Builds the flat plans with per-site DFS discovery on every
+    /// available core.
     ///
     /// # Panics
     ///
     /// Panics if `topo` was not computed from `circuit`.
     #[must_use]
-    pub fn build_reference(circuit: &Circuit, topo: &TopoArtifacts) -> Self {
+    pub fn build(circuit: &Circuit, topo: &TopoArtifacts) -> Self {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self::build_reference_bounded_with_threads(circuit, topo, usize::MAX, threads)
+        Self::build_bounded_with_threads(circuit, topo, usize::MAX, threads)
             .expect("unbounded build cannot decline")
     }
 
-    /// [`build_reference`](Self::build_reference) with an explicit
-    /// member budget and worker count — the per-site DFS loop is
-    /// embarrassingly parallel: workers claim contiguous site ranges
-    /// through an atomic cursor, build per-range plan fragments, and
-    /// the fragments are stitched back in site order. The member budget
-    /// is enforced globally through a shared counter; whether the build
-    /// declines is deterministic (the total member count does not
-    /// depend on scheduling).
+    /// [`build`](Self::build) with an explicit **logical**-member
+    /// budget (the flat arena stores every site's full cone, so its
+    /// memory is proportional to the logical total, unlike
+    /// [`ConePlans::build_bounded`]'s stored-member budget) and worker
+    /// count. The per-site DFS loop is embarrassingly parallel:
+    /// workers claim contiguous site ranges through an atomic cursor
+    /// and the fragments are stitched back in site order; the budget
+    /// is a shared counter whose decline decision is deterministic
+    /// (the total is scheduling-independent).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is 0 or `topo` was not computed from
     /// `circuit`.
     #[must_use]
-    pub fn build_reference_bounded_with_threads(
+    pub fn build_bounded_with_threads(
         circuit: &Circuit,
         topo: &TopoArtifacts,
         max_members: usize,
         threads: usize,
     ) -> Option<Self> {
         assert!(threads > 0, "at least one thread");
-        Self::assemble(circuit, topo, None, max_members, threads)
-    }
-
-    /// The shared classification-and-packing pass: derives each site's
-    /// packed plan either from phase-1 [`MergedCones`] (the
-    /// reverse-topological builder) or by per-site DFS + sort (the
-    /// reference builder), over contiguous site ranges, in parallel,
-    /// stitched deterministically.
-    fn assemble(
-        circuit: &Circuit,
-        topo: &TopoArtifacts,
-        cones: Option<&MergedCones>,
-        max_members: usize,
-        threads: usize,
-    ) -> Option<Self> {
         let n = circuit.len();
         assert_eq!(topo.len(), n, "artifacts must cover every node");
 
-        // Observe points indexed by observed signal, in observe order;
-        // shared read-only by every worker.
         let observe = topo.observe_points();
         let mut obs_of_signal: Vec<Vec<u32>> = vec![Vec::new(); n];
         for (i, p) in observe.iter().enumerate() {
@@ -290,19 +1260,18 @@ impl ConePlans {
             over_budget: &over_budget,
         };
 
-        // The merged path packs through flat per-position tables; the
-        // reference path walks `Node`s directly.
-        let tables = cones.map(|_| PackTables::build(circuit, topo, &obs_of_signal));
-        let run_range = |range: Range<usize>, scratch: &mut ChunkScratch| match (cones, &tables) {
-            (Some(c), Some(t)) => build_chunk_merged(topo, c, t, range, &budget, scratch),
-            _ => build_chunk_reference(circuit, topo, &obs_of_signal, range, &budget, scratch),
-        };
-
-        let chunks: Vec<PlanChunk> = if threads == 1 || n < Self::PARALLEL_BUILD_THRESHOLD {
+        let chunks: Vec<PlanChunk> = if threads == 1 || n < FLAT_PARALLEL_BUILD_THRESHOLD {
             let mut scratch = ChunkScratch::new(n);
-            vec![run_range(0..n, &mut scratch)?]
+            vec![build_chunk_reference(
+                circuit,
+                topo,
+                &obs_of_signal,
+                0..n,
+                &budget,
+                &mut scratch,
+            )?]
         } else {
-            let chunk_len = n.div_ceil(threads * Self::CHUNKS_PER_THREAD).max(1);
+            let chunk_len = n.div_ceil(threads * ConePlans::CHUNKS_PER_THREAD).max(1);
             let ranges: Vec<Range<usize>> = (0..n)
                 .step_by(chunk_len)
                 .map(|start| start..(start + chunk_len).min(n))
@@ -315,10 +1284,10 @@ impl ConePlans {
                         let cursor = &cursor;
                         let ranges = &ranges;
                         let budget = &budget;
-                        let run_range = &run_range;
+                        let obs_of_signal = &obs_of_signal;
                         scope.spawn(move || {
-                            // One scratch per worker, reused across every
-                            // range it claims.
+                            // One scratch per worker, reused across
+                            // every range it claims.
                             let mut scratch = ChunkScratch::new(n);
                             let mut built: Vec<(usize, PlanChunk)> = Vec::new();
                             loop {
@@ -329,7 +1298,14 @@ impl ConePlans {
                                 if budget.exceeded() {
                                     break;
                                 }
-                                let Some(chunk) = run_range(range.clone(), &mut scratch) else {
+                                let Some(chunk) = build_chunk_reference(
+                                    circuit,
+                                    topo,
+                                    obs_of_signal,
+                                    range.clone(),
+                                    budget,
+                                    &mut scratch,
+                                ) else {
                                     break;
                                 };
                                 built.push((range.start, chunk));
@@ -350,13 +1326,12 @@ impl ConePlans {
             parts.into_iter().map(|(_, chunk)| chunk).collect()
         };
 
-        // A single fragment (the sequential path) already is the final
-        // arena — adopt its vectors instead of copying ~all of the plan
-        // memory through the stitch loop.
+        // Adopt a lone fragment; otherwise stitch with offset
+        // rebasing (all payload entries are position-independent).
         if chunks.len() == 1 {
             let chunk = chunks.into_iter().next().expect("one chunk");
             debug_assert_eq!(chunk.member_off.len(), n + 1);
-            return Some(ConePlans {
+            return Some(FlatConePlans {
                 member_off: chunk.member_off,
                 members: chunk.members,
                 kinds: chunk.kinds,
@@ -367,12 +1342,7 @@ impl ConePlans {
                 max_cone_len: chunk.max_cone_len,
             });
         }
-
-        // Stitch the fragments in site order. Member and observe entries
-        // are position-independent (fanin refs are cone-local or node
-        // ids), so concatenation plus offset rebasing reproduces the
-        // sequential arena exactly.
-        let mut plans = ConePlans {
+        let mut plans = FlatConePlans {
             member_off: Vec::with_capacity(n + 1),
             members: Vec::new(),
             kinds: Vec::new(),
@@ -420,258 +1390,162 @@ impl ConePlans {
         self.len() == 0
     }
 
-    /// Largest cone size over all sites — the capacity a cone-local
-    /// value plane needs.
+    /// Largest cone size over all sites.
     #[must_use]
     pub fn max_cone_len(&self) -> usize {
         self.max_cone_len
     }
 
-    /// Total cone members over all sites (a memory/cost indicator).
+    /// Total (logical) cone members over all sites — the flat arena
+    /// stores every one of them.
     #[must_use]
     pub fn total_members(&self) -> usize {
         self.members.len()
     }
 
-    /// Total reachable observe points over all sites — the exact arena
-    /// size a whole-circuit sweep's per-point results need.
+    /// Total reachable observe points over all sites.
     #[must_use]
     pub fn total_observe_refs(&self) -> usize {
         self.observe_refs.len()
     }
 
-    /// The plan of one site.
+    /// Heap bytes of the flat arena — the baseline `arena_bytes` the
+    /// suffix-shared layout is compared against.
+    #[must_use]
+    pub fn arena_bytes(&self) -> usize {
+        fn bytes<T>(v: &[T]) -> usize {
+            std::mem::size_of_val(v)
+        }
+        bytes(&self.member_off)
+            + bytes(&self.members)
+            + bytes(&self.kinds)
+            + bytes(&self.member_fanin_off)
+            + bytes(&self.fanin_refs)
+            + bytes(&self.observe_off)
+            + bytes(&self.observe_refs)
+    }
+
+    /// The flat plan of one site.
     ///
     /// # Panics
     ///
     /// Panics if `site` is out of range.
     #[must_use]
-    pub fn plan(&self, site: NodeId) -> ConePlan<'_> {
+    pub fn plan(&self, site: NodeId) -> FlatConePlan<'_> {
         assert!(site.index() < self.len(), "site {site} out of range");
-        ConePlan {
+        FlatConePlan {
             plans: self,
             site: site.index(),
         }
     }
 }
 
-/// Per-topo-position lookup tables compiled once per build for the
-/// packing pass — the flat-array form of everything the per-member
-/// loop needs, so packing 9M+ cone members never chases a pointer into
-/// a `Node`:
-///
-/// - the gate kind,
-/// - each fanin pin as `(fanin topo position, pre-packed off-path
-///   ref)` — the off-path encoding of a pin is site-independent, so it
-///   is computed exactly once here; the packing loop only has to pick
-///   between it and the cone-local on-path index,
-/// - the observe-point indices of the position's signal.
-struct PackTables {
-    kind_by_pos: Vec<GateKind>,
-    /// CSR offsets per position into `fanins`. Length `n + 1`.
-    fanin_off: Vec<u32>,
-    /// Fanin pins in declaration order, duplicates preserved.
-    fanins: Vec<(u32, u32)>,
-    /// CSR offsets per position into `observes`. Length `n + 1`.
-    obs_off: Vec<u32>,
-    /// Observe-point indices (the artifacts' observe order).
-    observes: Vec<u32>,
-    /// `(topo position of the observed signal, observe index)` in
-    /// observe order — for the per-site scan strategy (see
-    /// [`scan_observe_points`](Self::scan_observe_points)).
-    obs_points: Vec<(u32, u32)>,
+/// Below this many nodes the flat build runs on one thread.
+const FLAT_PARALLEL_BUILD_THRESHOLD: usize = 1024;
+
+/// A borrowed view of one site's plan inside [`FlatConePlans`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatConePlan<'a> {
+    plans: &'a FlatConePlans,
+    site: usize,
 }
 
-impl PackTables {
-    fn build(circuit: &Circuit, topo: &TopoArtifacts, obs_of_signal: &[Vec<u32>]) -> Self {
-        let n = circuit.len();
-        let mut tables = PackTables {
-            kind_by_pos: Vec::with_capacity(n),
-            fanin_off: Vec::with_capacity(n + 1),
-            fanins: Vec::new(),
-            obs_off: Vec::with_capacity(n + 1),
-            observes: Vec::new(),
-            obs_points: Vec::new(),
-        };
-        tables.fanin_off.push(0);
-        tables.obs_off.push(0);
-        for &id in topo.order() {
-            let node = circuit.node(id);
-            tables.kind_by_pos.push(node.kind());
-            for &f in node.fanin() {
-                tables
-                    .fanins
-                    .push((topo.position(f), FaninRef::encode_off_path(f)));
-            }
-            tables
-                .fanin_off
-                .push(u32::try_from(tables.fanins.len()).expect("edge count fits u32"));
-            tables
-                .observes
-                .extend_from_slice(&obs_of_signal[id.index()]);
-            tables
-                .obs_off
-                .push(u32::try_from(tables.observes.len()).expect("observe refs fit u32"));
-        }
-        for (i, p) in topo.observe_points().iter().enumerate() {
-            tables.obs_points.push((
-                topo.position(p.signal()),
-                u32::try_from(i).expect("observe fits u32"),
-            ));
-        }
-        tables
+impl<'a> FlatConePlan<'a> {
+    /// The error site this plan was compiled for.
+    #[must_use]
+    pub fn site(&self) -> NodeId {
+        NodeId::from_index(self.site)
     }
 
-    fn fanins_of(&self, pos: usize) -> &[(u32, u32)] {
-        &self.fanins[self.fanin_off[pos] as usize..self.fanin_off[pos + 1] as usize]
+    fn member_range(&self) -> Range<usize> {
+        self.plans.member_off[self.site] as usize..self.plans.member_off[self.site + 1] as usize
     }
 
-    fn observes_of(&self, pos: usize) -> &[u32] {
-        &self.observes[self.obs_off[pos] as usize..self.obs_off[pos + 1] as usize]
+    /// Number of cone members (site included); at least 1.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.member_range().len()
     }
 
-    /// Chooses how a chunk's reachable observe points are gathered —
-    /// the two strategies emit identical refs (observe order), they
-    /// only differ in cost:
+    /// Always `false`: a cone contains at least its site.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cone members in topological order; `members()[0]` is the site.
+    #[must_use]
+    pub fn members(&self) -> &'a [NodeId] {
+        &self.plans.members[self.member_range()]
+    }
+
+    /// Gate kinds parallel to [`members`](Self::members).
+    #[must_use]
+    pub fn kinds(&self) -> &'a [GateKind] {
+        &self.plans.kinds[self.member_range()]
+    }
+
+    /// Packed fanin references of cone member `pos` (cone-local
+    /// on-path values; decode with [`FaninRef::decode`]). Empty for
+    /// `pos == 0` (the site).
     ///
-    /// - **scan** (`true`): walk the circuit's observe-point list once
-    ///   per site testing cone membership — `O(sites × observe points)`
-    ///   for the chunk, already sorted;
-    /// - **probe** (`false`): consult the per-position CSR for every
-    ///   cone member, then sort — `O(chunk members)`, the right choice
-    ///   for observe-dense circuits (e.g. deep DFF pipelines).
+    /// # Panics
     ///
-    /// Both costs are chunk-local (`sites` is the chunk's site count,
-    /// `total_members` its member total), so parallel builds make the
-    /// same per-chunk choice a sequential build would.
-    fn scan_observe_points(&self, sites: usize, total_members: usize) -> bool {
-        (self.obs_points.len() as u64) * (sites as u64) < total_members as u64
-    }
-}
-
-/// Phase-1 output of the reverse-topological builder: every site's
-/// DFF-clipped cone as a list of **ascending topological positions**,
-/// in one flat arena indexed by topological position.
-///
-/// Built back-to-front: when position `p` is processed, every
-/// combinational successor (all at positions `> p`) already has its
-/// cone in the arena, so `p`'s cone is `[p]` followed by the
-/// duplicate-free sorted merge of the successors' cones. A single
-/// successor degenerates to a `memcpy` (`extend_from_within`), which is
-/// the overwhelmingly common case in gate-level netlists.
-struct MergedCones {
-    /// Per topo position: start of the cone's slice in `members_by_pos`.
-    start: Vec<u32>,
-    /// Per topo position: end of that slice.
-    end: Vec<u32>,
-    /// All cones, concatenated in build (reverse-topological) order.
-    members_by_pos: Vec<u32>,
-}
-
-impl MergedCones {
-    /// One site's cone as ascending topological positions (the site's
-    /// own position first).
-    fn cone(&self, pos: usize) -> &[u32] {
-        &self.members_by_pos[self.cone_range(pos)]
+    /// Panics if `pos` is out of range for the cone.
+    #[must_use]
+    pub fn fanin_refs(&self, pos: usize) -> &'a [u32] {
+        let range = self.member_range();
+        assert!(pos < range.len(), "cone member {pos} out of range");
+        let m = range.start + pos;
+        &self.plans.fanin_refs
+            [self.plans.member_fanin_off[m] as usize..self.plans.member_fanin_off[m + 1] as usize]
     }
 
-    /// The arena slice of one site's cone — the same indices address
-    /// the [`ArenaTranslations`] arrays.
-    fn cone_range(&self, pos: usize) -> Range<usize> {
-        self.start[pos] as usize..self.end[pos] as usize
+    /// Reachable observe points as `(observe index, cone-local
+    /// position)` pairs, ordered by observe index.
+    #[must_use]
+    pub fn observe_refs(&self) -> &'a [(u32, u32)] {
+        &self.plans.observe_refs[self.plans.observe_off[self.site] as usize
+            ..self.plans.observe_off[self.site + 1] as usize]
     }
 
-    /// Runs the reverse-topological merge pass. Returns `None` as soon
-    /// as the arena exceeds `max_members` total cone members — the same
-    /// deterministic decision as the reference builder's shared
-    /// counter, since the total is a property of the circuit alone.
-    fn build(topo: &TopoArtifacts, max_members: usize) -> Option<Self> {
-        let n = topo.len();
-        let order = topo.order();
-        let mut start = vec![0u32; n];
-        let mut end = vec![0u32; n];
-        let mut members: Vec<u32> = Vec::with_capacity(n);
-        // Scratch for the ≥2-successor merge; reused across nodes.
-        let mut merge_buf: Vec<u32> = Vec::new();
-        let mut heads: Vec<(usize, usize)> = Vec::new();
-        for p in (0..n).rev() {
-            let cone_start = members.len();
-            members.push(u32::try_from(p).expect("node count fits u32"));
-            let succs = topo.comb_fanout(order[p]);
-            match succs.len() {
-                0 => {}
-                1 => {
-                    let sp = topo.position(succs[0]) as usize;
-                    members.extend_from_within(start[sp] as usize..end[sp] as usize);
-                }
-                2 => {
-                    // The most common multi-successor shape gets a
-                    // tight two-pointer merge with dedup.
-                    let ap = topo.position(succs[0]) as usize;
-                    let bp = topo.position(succs[1]) as usize;
-                    merge_buf.clear();
-                    let (mut i, ae) = (start[ap] as usize, end[ap] as usize);
-                    let (mut j, be) = (start[bp] as usize, end[bp] as usize);
-                    while i < ae && j < be {
-                        let (a, b) = (members[i], members[j]);
-                        merge_buf.push(a.min(b));
-                        i += usize::from(a <= b);
-                        j += usize::from(b <= a);
-                    }
-                    members.extend_from_slice(&merge_buf);
-                    // At most one tail remains; it is disjoint and
-                    // sorted, so it concatenates by straight copy.
-                    if i < ae {
-                        members.extend_from_within(i..ae);
-                    } else if j < be {
-                        members.extend_from_within(j..be);
-                    }
-                }
-                _ => {
-                    // K-way merge with dedup over the successors' sorted
-                    // position lists. K is the fanout degree (small);
-                    // every head equal to the minimum advances together,
-                    // which is what collapses reconvergent overlap.
-                    merge_buf.clear();
-                    heads.clear();
-                    heads.extend(succs.iter().map(|&s| {
-                        let sp = topo.position(s) as usize;
-                        (start[sp] as usize, end[sp] as usize)
-                    }));
-                    loop {
-                        let mut min: Option<u32> = None;
-                        for &(cur, e) in &heads {
-                            if cur < e {
-                                let v = members[cur];
-                                min = Some(min.map_or(v, |m| m.min(v)));
-                            }
-                        }
-                        let Some(m) = min else { break };
-                        merge_buf.push(m);
-                        for (cur, e) in &mut heads {
-                            if *cur < *e && members[*cur] == m {
-                                *cur += 1;
-                            }
-                        }
-                    }
-                    members.extend_from_slice(&merge_buf);
-                }
-            }
-            if members.len() > max_members {
-                return None;
-            }
-            start[p] = u32::try_from(cone_start).expect("cone members fit u32");
-            end[p] = u32::try_from(members.len()).expect("cone members fit u32");
+    /// `true` if no observe point is reachable from the site.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.observe_refs().is_empty()
+    }
+
+    /// Evaluation cost indicator: cone members plus fanin references.
+    #[must_use]
+    pub fn cost(&self) -> usize {
+        let range = self.member_range();
+        let fanins = self.plans.member_fanin_off[range.end] as usize
+            - self.plans.member_fanin_off[range.start] as usize;
+        range.len() + fanins
+    }
+
+    /// Decodes the plan into owned [`SitePlan`] form — the flat arena
+    /// already stores everything, so this is a straight copy.
+    #[must_use]
+    pub fn materialize(&self) -> SitePlan {
+        SitePlan {
+            site: self.site(),
+            members: self.members().to_vec(),
+            kinds: self.kinds().to_vec(),
+            fanin_refs: (0..self.len())
+                .map(|pos| {
+                    self.fanin_refs(pos)
+                        .iter()
+                        .map(|&raw| FaninRef::decode(raw))
+                        .collect()
+                })
+                .collect(),
+            observe_refs: self.observe_refs().to_vec(),
         }
-        Some(MergedCones {
-            start,
-            end,
-            members_by_pos: members,
-        })
     }
 }
 
-/// One contiguous site range's share of the plan arena, with offsets
+/// One contiguous site range's share of the flat plan arena, offsets
 /// local to the fragment (rebased during the stitch). All payload
 /// entries — members, kinds, fanin refs (cone-local or node-id), and
 /// observe refs — are position-independent, which is what makes the
@@ -687,53 +1561,13 @@ struct PlanChunk {
     max_cone_len: usize,
 }
 
-impl PlanChunk {
-    /// An empty fragment with offset rows opened for `sites` sites.
-    fn with_site_capacity(sites: usize) -> Self {
-        let mut chunk = PlanChunk {
-            member_off: Vec::with_capacity(sites + 1),
-            members: Vec::new(),
-            kinds: Vec::new(),
-            member_fanin_off: vec![0],
-            fanin_refs: Vec::new(),
-            observe_off: Vec::with_capacity(sites + 1),
-            observe_refs: Vec::new(),
-            max_cone_len: 0,
-        };
-        chunk.member_off.push(0);
-        chunk.observe_off.push(0);
-        chunk
-    }
-
-    /// Flushes one site's gathered observe refs (sorted into the
-    /// artifacts' observe order) and closes its offset rows.
-    fn finish_site(&mut self, site_obs: &mut [(u32, u32)]) {
-        site_obs.sort_unstable();
-        self.observe_refs.extend_from_slice(site_obs);
-        self.close_site_offsets();
-    }
-
-    /// Closes one site's offset rows (observe refs already emitted).
-    fn close_site_offsets(&mut self) {
-        self.member_off
-            .push(u32::try_from(self.members.len()).expect("cone members fit u32"));
-        self.observe_off
-            .push(u32::try_from(self.observe_refs.len()).expect("observe refs fit u32"));
-    }
-}
-
-/// Per-worker scratch for the chunked plan build: epoch-stamped
-/// membership, the node → cone-local map and the traversal buffers,
-/// allocated **once per worker** and reused across every range the
-/// worker claims (the epoch counter carries over, invalidating old
-/// stamps in O(1) exactly like the per-site sweep workspace).
+/// Per-worker scratch for the flat build: epoch-stamped membership,
+/// the node → cone-local map and the traversal buffers, allocated once
+/// per worker and reused across every range the worker claims (the
+/// epoch counter carries over, invalidating old stamps in O(1)).
 struct ChunkScratch {
     stamp: Vec<u32>,
     local: Vec<u32>,
-    /// The merged path's combined membership + cone-local map, indexed
-    /// by topological position: `epoch << 32 | local`, so one L1 read
-    /// answers both "is this fanin on-path?" and "at which index?".
-    stamp_local: Vec<u64>,
     epoch: u32,
     cone: Vec<NodeId>,
     stack: Vec<NodeId>,
@@ -745,7 +1579,6 @@ impl ChunkScratch {
         ChunkScratch {
             stamp: vec![0u32; n],
             local: vec![0u32; n],
-            stamp_local: vec![0u64; n],
             epoch: 0,
             cone: Vec::new(),
             stack: Vec::new(),
@@ -754,7 +1587,7 @@ impl ChunkScratch {
     }
 }
 
-/// Shared member-budget accounting for the chunked build.
+/// Shared member-budget accounting for the chunked flat build.
 struct BuildBudget<'a> {
     max_members: usize,
     spent: &'a AtomicUsize,
@@ -780,11 +1613,11 @@ impl BuildBudget<'_> {
     }
 }
 
-/// Builds the plan fragment for `sites` (a contiguous id range) with
-/// the per-site-DFS reference discovery: DFS over the DFF-clipped
-/// fanout adjacency, sort by topological position, classify fanins
-/// against the epoch-stamped membership. Charges every cone against
-/// the shared member budget and returns `None` on overflow.
+/// Builds the flat plan fragment for `sites` (a contiguous id range)
+/// with per-site-DFS discovery: DFS over the DFF-clipped fanout
+/// adjacency, sort by topological position, classify fanins against
+/// the epoch-stamped membership. Charges every cone against the shared
+/// member budget and returns `None` on overflow.
 fn build_chunk_reference(
     circuit: &Circuit,
     topo: &TopoArtifacts,
@@ -793,7 +1626,18 @@ fn build_chunk_reference(
     budget: &BuildBudget<'_>,
     scratch: &mut ChunkScratch,
 ) -> Option<PlanChunk> {
-    let mut chunk = PlanChunk::with_site_capacity(sites.len());
+    let mut chunk = PlanChunk {
+        member_off: Vec::with_capacity(sites.len() + 1),
+        members: Vec::new(),
+        kinds: Vec::new(),
+        member_fanin_off: vec![0],
+        fanin_refs: Vec::new(),
+        observe_off: Vec::with_capacity(sites.len() + 1),
+        observe_refs: Vec::new(),
+        max_cone_len: 0,
+    };
+    chunk.member_off.push(0);
+    chunk.observe_off.push(0);
 
     let ChunkScratch {
         stamp,
@@ -802,7 +1646,6 @@ fn build_chunk_reference(
         cone,
         stack,
         site_obs,
-        ..
     } = scratch;
 
     for site_idx in sites {
@@ -867,229 +1710,16 @@ fn build_chunk_reference(
                 site_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
             }
         }
-        chunk.finish_site(site_obs);
+        site_obs.sort_unstable();
+        chunk.observe_refs.extend_from_slice(site_obs);
+        chunk
+            .member_off
+            .push(u32::try_from(chunk.members.len()).expect("cone members fit u32"));
+        chunk
+            .observe_off
+            .push(u32::try_from(chunk.observe_refs.len()).expect("observe refs fit u32"));
     }
     Some(chunk)
-}
-
-/// Builds the plan fragment for `sites` (a contiguous id range) from
-/// the phase-1 [`MergedCones`] arena and the flat [`PackTables`] — the
-/// reverse-topological builder’s packing pass.
-///
-/// One **fused pass** per cone does everything: stamp membership,
-/// emit the member/kind rows, and classify + emit the member's fanin
-/// refs. The fusion is sound because cones are sorted by topological
-/// position and every fanin's position is strictly below its
-/// consumer's — so by the time a member's pins are classified, every
-/// pin that *can* be on-path has already been stamped earlier in this
-/// same pass. Per member the loop touches only flat arrays indexed by
-/// topological position (it never walks a `Node`); membership and the
-/// cone-local index live in **one** epoch-stamped `u64` per position
-/// (`epoch << 32 | local`), so classification is a single L1 read; and
-/// every output vector is reserved up front from the phase-1 cone
-/// sizes so the packing runs realloc-free.
-fn build_chunk_merged(
-    topo: &TopoArtifacts,
-    cones: &MergedCones,
-    tables: &PackTables,
-    sites: Range<usize>,
-    budget: &BuildBudget<'_>,
-    scratch: &mut ChunkScratch,
-) -> Option<PlanChunk> {
-    let mut chunk = PlanChunk::with_site_capacity(sites.len());
-    let order = topo.order();
-
-    // Exact member total for this range (phase 1 knows every cone
-    // size), plus a density-based estimate for the fanin refs.
-    let total: usize = sites
-        .clone()
-        .map(|site_idx| {
-            cones
-                .cone_range(topo.position(NodeId::from_index(site_idx)) as usize)
-                .len()
-        })
-        .sum();
-    chunk.members.reserve_exact(total);
-    chunk.kinds.reserve_exact(total);
-    chunk.member_fanin_off.reserve_exact(total);
-    // Cone members skew toward logic gates, whose degree exceeds the
-    // all-nodes average (sources have none) — reserve with headroom so
-    // the hot loop never triggers a multi-ten-MB realloc copy.
-    let n = tables.kind_by_pos.len().max(1);
-    chunk
-        .fanin_refs
-        .reserve(total * tables.fanins.len() * 2 / n + 16);
-    let scan_observe = tables.scan_observe_points(sites.len(), total);
-
-    let ChunkScratch {
-        stamp_local,
-        epoch,
-        site_obs,
-        ..
-    } = scratch;
-
-    for site_idx in sites {
-        let site = NodeId::from_index(site_idx);
-        // New epoch: previous stamps invalidate in O(1). On wrap, reset.
-        *epoch = epoch.wrapping_add(1);
-        if *epoch == 0 {
-            stamp_local.fill(0);
-            *epoch = 1;
-        }
-        let epoch = u64::from(*epoch) << 32;
-
-        let cone = cones.cone(topo.position(site) as usize);
-        debug_assert_eq!(order[cone[0] as usize], site, "site first in cone");
-        if !budget.charge(cone.len()) {
-            return None;
-        }
-        chunk.max_cone_len = chunk.max_cone_len.max(cone.len());
-
-        // Stamp membership + the position → cone-local map: one u64
-        // write per member.
-        for (pos, &p) in cone.iter().enumerate() {
-            stamp_local[p as usize] = epoch | pos as u64;
-        }
-        // Members and kinds as exact-size `extend`s (no per-item
-        // capacity checks — the iterator length is trusted).
-        chunk
-            .members
-            .extend(cone.iter().map(|&p| order[p as usize]));
-        chunk
-            .kinds
-            .extend(cone.iter().map(|&p| tables.kind_by_pos[p as usize]));
-        // The site itself (member 0) carries no fanin refs; per further
-        // member, classify its pins straight off the CSR — the
-        // off-path packed ref was precomputed once per pin; on-path
-        // pins read the cone-local half of the stamp word.
-        chunk
-            .member_fanin_off
-            .push(u32::try_from(chunk.fanin_refs.len()).expect("fanin refs fit u32"));
-        for &p in &cone[1..] {
-            let p = p as usize;
-            debug_assert!(
-                tables.kind_by_pos[p].is_logic(),
-                "on-path non-site nodes are logic gates"
-            );
-            for &(pf, off_ref) in tables.fanins_of(p) {
-                let sl = stamp_local[pf as usize];
-                chunk.fanin_refs.push(if sl & !0xFFFF_FFFF == epoch {
-                    FaninRef::encode_on_path(sl as u32)
-                } else {
-                    off_ref
-                });
-            }
-            chunk
-                .member_fanin_off
-                .push(u32::try_from(chunk.fanin_refs.len()).expect("fanin refs fit u32"));
-        }
-        if scan_observe {
-            // Observe-sparse circuits: test each observe point against
-            // the cone instead of probing the CSR per member. Walking
-            // the observe list in order emits the refs already sorted.
-            for &(pos, obs) in &tables.obs_points {
-                let sl = stamp_local[pos as usize];
-                if sl & !0xFFFF_FFFF == epoch {
-                    chunk.observe_refs.push((obs, sl as u32));
-                }
-            }
-            chunk.close_site_offsets();
-        } else {
-            // Observe-dense circuits: gather per member off the CSR,
-            // then sort into observe order.
-            site_obs.clear();
-            for (pos, &p) in cone.iter().enumerate() {
-                for &obs in tables.observes_of(p as usize) {
-                    site_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
-                }
-            }
-            chunk.finish_site(site_obs);
-        }
-    }
-    Some(chunk)
-}
-
-/// A borrowed view of one site's cone plan inside [`ConePlans`].
-#[derive(Debug, Clone, Copy)]
-pub struct ConePlan<'a> {
-    plans: &'a ConePlans,
-    site: usize,
-}
-
-impl<'a> ConePlan<'a> {
-    /// The error site this plan was compiled for.
-    #[must_use]
-    pub fn site(&self) -> NodeId {
-        NodeId::from_index(self.site)
-    }
-
-    fn member_range(&self) -> std::ops::Range<usize> {
-        self.plans.member_off[self.site] as usize..self.plans.member_off[self.site + 1] as usize
-    }
-
-    /// Number of cone members (site included); at least 1.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.member_range().len()
-    }
-
-    /// Always `false`: a cone contains at least its site.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        false
-    }
-
-    /// Cone members in topological order; `members()[0]` is the site.
-    #[must_use]
-    pub fn members(&self) -> &'a [NodeId] {
-        &self.plans.members[self.member_range()]
-    }
-
-    /// Gate kinds parallel to [`members`](Self::members).
-    #[must_use]
-    pub fn kinds(&self) -> &'a [GateKind] {
-        &self.plans.kinds[self.member_range()]
-    }
-
-    /// Packed fanin references of cone member `pos` (decode with
-    /// [`FaninRef::decode`]). Empty for `pos == 0` (the site).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pos` is out of range for the cone.
-    #[must_use]
-    pub fn fanin_refs(&self, pos: usize) -> &'a [u32] {
-        let range = self.member_range();
-        assert!(pos < range.len(), "cone member {pos} out of range");
-        let m = range.start + pos;
-        &self.plans.fanin_refs
-            [self.plans.member_fanin_off[m] as usize..self.plans.member_fanin_off[m + 1] as usize]
-    }
-
-    /// Reachable observe points as `(observe index, cone-local position
-    /// of the observed signal)` pairs, ordered by observe index —
-    /// the artifacts' observe order restricted to this cone.
-    #[must_use]
-    pub fn observe_refs(&self) -> &'a [(u32, u32)] {
-        &self.plans.observe_refs[self.plans.observe_off[self.site] as usize
-            ..self.plans.observe_off[self.site + 1] as usize]
-    }
-
-    /// `true` if no observe point is reachable from the site.
-    #[must_use]
-    pub fn is_dead(&self) -> bool {
-        self.observe_refs().is_empty()
-    }
-
-    /// Evaluation cost indicator: cone members plus fanin references —
-    /// proportional to the work one EPP pass over this cone performs.
-    #[must_use]
-    pub fn cost(&self) -> usize {
-        let range = self.member_range();
-        let fanins = self.plans.member_fanin_off[range.end] as usize
-            - self.plans.member_fanin_off[range.start] as usize;
-        range.len() + fanins
-    }
 }
 
 #[cfg(test)]
@@ -1110,6 +1740,34 @@ G = AND(E, F)
 H = OR(C, D, G)
 ";
 
+    /// Decodes every site of both builders and asserts they agree.
+    fn assert_matches_flat(c: &Circuit) {
+        let topo = TopoArtifacts::compute(c).unwrap();
+        let shared = ConePlans::build(c, &topo);
+        let flat = FlatConePlans::build(c, &topo);
+        for id in c.node_ids() {
+            assert_eq!(
+                shared.plan(id).materialize(c),
+                flat.plan(id).materialize(),
+                "{} site {id}",
+                c.name()
+            );
+        }
+        assert_eq!(shared.max_cone_len(), flat.max_cone_len(), "{}", c.name());
+        assert_eq!(
+            shared.logical_members(),
+            flat.total_members() as u64,
+            "{}",
+            c.name()
+        );
+        assert_eq!(
+            shared.total_observe_refs(),
+            flat.total_observe_refs() as u64,
+            "{}",
+            c.name()
+        );
+    }
+
     #[test]
     fn plans_match_fanout_cones() {
         let c = parse_bench(FIG1, "fig1").unwrap();
@@ -1118,22 +1776,28 @@ H = OR(C, D, G)
         assert_eq!(plans.len(), c.len());
         for id in c.node_ids() {
             let plan = plans.plan(id);
+            let decoded = plan.materialize(&c);
             let cone = FanoutCone::extract(&c, id);
             // Same membership (plan is topo-sorted, cone id-sorted).
-            let mut plan_members: Vec<NodeId> = plan.members().to_vec();
+            let mut plan_members = decoded.members.clone();
             plan_members.sort_unstable();
             assert_eq!(plan_members, cone.on_path(), "site {id}");
-            assert_eq!(plan.members()[0], id, "site first");
+            assert_eq!(decoded.members[0], id, "site first");
+            assert_eq!(plan.len(), decoded.members.len(), "O(1) len agrees");
+            // The members() iterator walks the same logical cone.
+            let walked: Vec<NodeId> = plan.members().collect();
+            assert_eq!(walked, decoded.members);
             // Topological order.
-            for w in plan.members().windows(2) {
+            for w in decoded.members.windows(2) {
                 assert!(topo.position(w[0]) < topo.position(w[1]));
             }
             // Observe points match.
-            assert_eq!(plan.observe_refs().len(), cone.observe_points().len());
+            assert_eq!(decoded.observe_refs.len(), cone.observe_points().len());
+            assert_eq!(plan.observe_len(), decoded.observe_refs.len());
             assert_eq!(plan.is_dead(), cone.is_dead());
-            for &(obs, local) in plan.observe_refs() {
+            for &(obs, local) in &decoded.observe_refs {
                 let p = topo.observe_points()[obs as usize];
-                assert_eq!(plan.members()[local as usize], p.signal());
+                assert_eq!(decoded.members[local as usize], p.signal());
             }
         }
     }
@@ -1144,21 +1808,21 @@ H = OR(C, D, G)
         let topo = TopoArtifacts::compute(&c).unwrap();
         let plans = ConePlans::build(&c, &topo);
         let a = c.find("A").unwrap();
-        let plan = plans.plan(a);
+        let decoded = plans.plan(a).materialize(&c);
         let cone = FanoutCone::extract(&c, a);
-        for (pos, &member) in plan.members().iter().enumerate() {
+        for (pos, &member) in decoded.members.iter().enumerate() {
             if pos == 0 {
-                assert!(plan.fanin_refs(0).is_empty(), "site has no refs");
+                assert!(decoded.fanin_refs[0].is_empty(), "site has no refs");
                 continue;
             }
             let node = c.node(member);
-            let refs = plan.fanin_refs(pos);
+            let refs = &decoded.fanin_refs[pos];
             assert_eq!(refs.len(), node.fanin().len(), "one ref per fanin pin");
-            for (&raw, &f) in refs.iter().zip(node.fanin()) {
-                match FaninRef::decode(raw) {
+            for (&r, &f) in refs.iter().zip(node.fanin()) {
+                match r {
                     FaninRef::OnPath(local) => {
                         assert!(cone.contains(f), "{f} claimed on-path");
-                        assert_eq!(plan.members()[local], f);
+                        assert_eq!(decoded.members[local], f);
                     }
                     FaninRef::OffPath(idx) => {
                         assert!(!cone.contains(f), "{f} claimed off-path");
@@ -1168,19 +1832,15 @@ H = OR(C, D, G)
             }
         }
         // Fig. 1: H = OR(C, D, G) with C off-path, D and G on-path.
-        let h_pos = plan
-            .members()
+        let h_pos = decoded
+            .members
             .iter()
             .position(|&m| m == c.find("H").unwrap())
             .unwrap();
-        let decoded: Vec<FaninRef> = plan
-            .fanin_refs(h_pos)
-            .iter()
-            .map(|&r| FaninRef::decode(r))
-            .collect();
-        assert!(matches!(decoded[0], FaninRef::OffPath(_)), "C off-path");
-        assert!(matches!(decoded[1], FaninRef::OnPath(_)), "D on-path");
-        assert!(matches!(decoded[2], FaninRef::OnPath(_)), "G on-path");
+        let h_refs = &decoded.fanin_refs[h_pos];
+        assert!(matches!(h_refs[0], FaninRef::OffPath(_)), "C off-path");
+        assert!(matches!(h_refs[1], FaninRef::OnPath(_)), "D on-path");
+        assert!(matches!(h_refs[2], FaninRef::OnPath(_)), "G on-path");
     }
 
     #[test]
@@ -1190,9 +1850,14 @@ H = OR(C, D, G)
         let topo = TopoArtifacts::compute(&c).unwrap();
         let plans = ConePlans::build(&c, &topo);
         let a = c.find("a").unwrap();
-        let plan = plans.plan(a);
-        assert_eq!(plan.len(), 2);
-        assert_eq!(plan.fanin_refs(1), &[0, 0], "both pins resolve to local 0");
+        let decoded = plans.plan(a).materialize(&c);
+        assert_eq!(decoded.members.len(), 2);
+        assert_eq!(
+            decoded.fanin_refs[1],
+            vec![FaninRef::OnPath(0), FaninRef::OnPath(0)],
+            "both pins resolve to local 0"
+        );
+        assert_matches_flat(&c);
     }
 
     #[test]
@@ -1205,13 +1870,14 @@ H = OR(C, D, G)
         let topo = TopoArtifacts::compute(&c).unwrap();
         let plans = ConePlans::build(&c, &topo);
         let x = c.find("x").unwrap();
-        let plan = plans.plan(x);
-        let member_names: Vec<&str> = plan.members().iter().map(|&m| c.node(m).name()).collect();
+        let decoded = plans.plan(x).materialize(&c);
+        let member_names: Vec<&str> = decoded.members.iter().map(|&m| c.node(m).name()).collect();
         assert_eq!(member_names, vec!["x", "g"], "cone stops at the DFF");
-        assert_eq!(plan.observe_refs().len(), 1);
-        let (obs, local) = plan.observe_refs()[0];
+        assert_eq!(decoded.observe_refs.len(), 1);
+        let (obs, local) = decoded.observe_refs[0];
         assert!(topo.observe_points()[obs as usize].is_flip_flop());
-        assert_eq!(c.node(plan.members()[local as usize]).name(), "g");
+        assert_eq!(c.node(decoded.members[local as usize]).name(), "g");
+        assert_matches_flat(&c);
     }
 
     #[test]
@@ -1223,24 +1889,56 @@ H = OR(C, D, G)
         // Cone {A, E, D, G, H}: 5 members; fanins E:1, D:2, G:2, H:3 = 8.
         assert_eq!(plans.plan(a).cost(), 13);
         assert!(plans.max_cone_len() >= 5);
+        // The O(1) cost of every site equals the decoded pin total.
+        for id in c.node_ids() {
+            let plan = plans.plan(id);
+            let decoded = plan.materialize(&c);
+            let pins: usize = decoded.fanin_refs.iter().map(Vec::len).sum();
+            assert_eq!(plan.cost(), decoded.members.len() + pins, "site {id}");
+        }
         assert_eq!(
             plans.total_observe_refs(),
             c.node_ids()
-                .map(|i| plans.plan(i).observe_refs().len())
-                .sum::<usize>()
+                .map(|i| plans.plan(i).observe_len() as u64)
+                .sum::<u64>()
         );
     }
 
     #[test]
-    fn bounded_build_declines_over_budget() {
+    fn suffix_sharing_dedups_chain_members() {
+        // FIG1: anchors are A (2 successors) and H (none); the other 6
+        // nodes are chain nodes. Stored = 6 chain entries + the two
+        // tail cones {A,E,D,G,H} and {H} = 12, against 19 logical.
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        assert_eq!(plans.tail_count(), 2);
+        assert_eq!(plans.stored_members(), 12);
+        assert_eq!(
+            plans.logical_members(),
+            c.node_ids()
+                .map(|i| plans.plan(i).len() as u64)
+                .sum::<u64>()
+        );
+        assert!(plans.logical_members() > plans.stored_members() as u64);
+        assert!(plans.arena_bytes() > 0);
+    }
+
+    #[test]
+    fn bounded_build_counts_stored_members() {
         let c = parse_bench(FIG1, "fig1").unwrap();
         let topo = TopoArtifacts::compute(&c).unwrap();
         let full = ConePlans::build(&c, &topo);
-        // A budget below the real total: declined.
-        assert!(ConePlans::build_bounded(&c, &topo, full.total_members() - 1).is_none());
-        // At or above the total: identical to the unbounded build.
-        let bounded = ConePlans::build_bounded(&c, &topo, full.total_members()).unwrap();
+        let stored = full.stored_members();
+        // The stored (deduplicated) total is what the budget bounds:
+        // a budget below it declines, at it the build is identical.
+        assert!(ConePlans::build_bounded(&c, &topo, stored - 1).is_none());
+        let bounded = ConePlans::build_bounded(&c, &topo, stored).unwrap();
         assert_eq!(bounded, full);
+        // The logical total no longer matters: FIG1 stores 12 of 19
+        // logical members, so a budget between the two still fits.
+        assert!(stored < full.logical_members() as usize);
+        assert!(ConePlans::build_bounded(&c, &topo, stored + 1).is_some());
     }
 
     #[test]
@@ -1270,18 +1968,18 @@ H = OR(C, D, G)
             assert_eq!(parallel, sequential, "{threads} threads");
         }
         // The budget decision is deterministic in parallel too: decline
-        // below the true total, accept at it.
-        let total = sequential.total_members();
-        assert!(ConePlans::build_bounded_with_threads(&c, &topo, total - 1, 4).is_none());
-        let at_budget = ConePlans::build_bounded_with_threads(&c, &topo, total, 4).unwrap();
+        // below the stored total, accept at it.
+        let stored = sequential.stored_members();
+        assert!(ConePlans::build_bounded_with_threads(&c, &topo, stored - 1, 4).is_none());
+        let at_budget = ConePlans::build_bounded_with_threads(&c, &topo, stored, 4).unwrap();
         assert_eq!(at_budget, sequential);
+        // Every chain node shares the suffix: the stored total is
+        // linear while the logical total is quadratic.
+        assert!(sequential.logical_members() > 10 * sequential.stored_members() as u64);
     }
 
     #[test]
-    fn reverse_topo_matches_reference_builder() {
-        // The merge builder and the DFS reference must agree bit for
-        // bit — including on duplicate fanin pins, DFF clipping and
-        // multi-successor reconvergence.
+    fn suffix_shared_matches_flat_oracle() {
         for (name, src) in [
             ("fig1", FIG1),
             ("dup", "INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n"),
@@ -1292,36 +1990,7 @@ H = OR(C, D, G)
             ),
         ] {
             let c = parse_bench(src, name).unwrap();
-            let topo = TopoArtifacts::compute(&c).unwrap();
-            let reference = ConePlans::build_reference(&c, &topo);
-            for threads in [1, 3] {
-                let merged =
-                    ConePlans::build_bounded_with_threads(&c, &topo, usize::MAX, threads).unwrap();
-                assert_eq!(merged, reference, "{name} ({threads} threads)");
-            }
-        }
-    }
-
-    #[test]
-    fn reference_builder_budget_decision_matches() {
-        let c = parse_bench(FIG1, "fig1").unwrap();
-        let topo = TopoArtifacts::compute(&c).unwrap();
-        let total = ConePlans::build(&c, &topo).total_members();
-        for threads in [1, 4] {
-            assert!(
-                ConePlans::build_reference_bounded_with_threads(&c, &topo, total - 1, threads)
-                    .is_none(),
-                "reference declines below the true total"
-            );
-            assert!(
-                ConePlans::build_bounded_with_threads(&c, &topo, total - 1, threads).is_none(),
-                "merge builder declines below the true total"
-            );
-            assert_eq!(
-                ConePlans::build_reference_bounded_with_threads(&c, &topo, total, threads),
-                ConePlans::build_bounded_with_threads(&c, &topo, total, threads),
-                "both accept at the exact total"
-            );
+            assert_matches_flat(&c);
         }
     }
 
@@ -1334,5 +2003,8 @@ H = OR(C, D, G)
         let plans = ConePlans::build(&c, &topo);
         assert!(plans.is_empty());
         assert_eq!(plans.max_cone_len(), 0);
+        assert_eq!(plans.stored_members(), 0);
+        let flat = FlatConePlans::build(&c, &topo);
+        assert!(flat.is_empty());
     }
 }

@@ -14,6 +14,7 @@
 //! `AnalysisSession<'circuit>` could do.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -22,7 +23,7 @@ use ser_epp::{
     multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential, AnalysisSession,
     MultiCycleMcEstimate, MultiCycleResult, PolarityMode, SiteEpp, SweepResults,
 };
-use ser_netlist::{Circuit, NodeId};
+use ser_netlist::{Circuit, NodeId, PlanCache};
 use ser_sim::{MonteCarlo, SequentialMonteCarlo, SiteEstimate};
 use ser_sp::{InputProbs, SpVector};
 
@@ -32,7 +33,7 @@ use crate::request::{
 };
 
 /// Tuning knobs of a [`SerService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SerServiceConfig {
     /// Warm sessions kept in the LRU; the least-recently-used session
     /// is evicted when a new circuit arrives at capacity. Must be ≥ 1.
@@ -47,6 +48,14 @@ pub struct SerServiceConfig {
     /// (LRU, keyed by `(netlist hash, inputs revision, polarity)`).
     /// `0` disables response caching.
     pub max_sweep_responses: usize,
+    /// Directory of the persistent compile-artifact cache
+    /// ([`PlanCache`]). When set, session compilation first tries the
+    /// cached cone plans for the circuit's structural hash (skipping
+    /// plan compilation entirely on a hit) and persists freshly built
+    /// plans on a miss — so a restarted or newly spawned replica pays
+    /// cold plan compile at most once per circuit, ever. `None`
+    /// disables persistence.
+    pub plan_cache_dir: Option<PathBuf>,
 }
 
 impl Default for SerServiceConfig {
@@ -58,6 +67,7 @@ impl Default for SerServiceConfig {
                 .unwrap_or(1),
             sweep_batch_sites: 256,
             max_sweep_responses: 32,
+            plan_cache_dir: None,
         }
     }
 }
@@ -81,6 +91,13 @@ pub struct ServiceStats {
     pub sweep_cache_misses: u64,
     /// Sweep responses currently cached.
     pub sweep_responses_cached: usize,
+    /// Session compiles whose cone plans were loaded from the
+    /// persistent artifact cache (plan compilation skipped).
+    pub plan_cache_hits: u64,
+    /// Session compiles that built plans fresh while a persistent
+    /// cache was configured (the entry was absent, stale or invalid;
+    /// the built plans were persisted for next time).
+    pub plan_cache_misses: u64,
 }
 
 struct CacheEntry {
@@ -174,11 +191,15 @@ pub struct SerService {
     /// a session is (re)compiled, so eviction cannot silently revert a
     /// circuit to default inputs.
     inputs_overrides: Mutex<HashMap<u64, InputProbs>>,
+    /// Persistent compile-artifact cache (`None` when not configured).
+    plan_cache: Option<PlanCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     sweep_hits: AtomicU64,
     sweep_misses: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for SessionCache {
@@ -274,6 +295,7 @@ impl SerService {
         );
         SerService {
             executor: Executor::new(config.threads),
+            plan_cache: config.plan_cache_dir.clone().map(PlanCache::new),
             config,
             cache: Mutex::new(SessionCache {
                 entries: HashMap::new(),
@@ -289,6 +311,8 @@ impl SerService {
             evictions: AtomicU64::new(0),
             sweep_hits: AtomicU64::new(0),
             sweep_misses: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
         }
     }
 
@@ -315,6 +339,8 @@ impl SerService {
             sweep_cache_hits: self.sweep_hits.load(Ordering::Relaxed),
             sweep_cache_misses: self.sweep_misses.load(Ordering::Relaxed),
             sweep_responses_cached: self.sweep_cache.lock().expect("sweep cache").entries.len(),
+            plan_cache_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -472,7 +498,40 @@ impl SerService {
             Some(inputs) => AnalysisSession::with_inputs(Arc::clone(circuit), inputs)?,
             None => AnalysisSession::new(Arc::clone(circuit))?,
         });
-        let _ = session.epp().artifacts().cone_plans(circuit);
+        // Try the persistent artifact cache first: a valid entry primes
+        // the session's plan slot and the force below returns it without
+        // compiling. Absent/corrupt/stale entries read as a miss; the
+        // freshly built plans are then persisted (best-effort) so the
+        // next cold process skips the compile.
+        let primed = match &self.plan_cache {
+            Some(cache) => match cache.load(key) {
+                // `load` verified version, key and checksum; the length
+                // check below guards the residual 64-bit fingerprint
+                // collision (a different circuit of identical size would
+                // produce wrong plans undetected, but so would any other
+                // fingerprint consumer — the session cache's equality
+                // check already gates reuse of *sessions* across
+                // colliding netlists).
+                Some(plans) if plans.len() == circuit.len() => {
+                    self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    session.epp().artifacts().prime_cone_plans(Arc::new(plans))
+                }
+                _ => {
+                    self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            },
+            None => false,
+        };
+        {
+            let epp = session.epp();
+            let built = epp.artifacts().cone_plans(circuit);
+            if !primed {
+                if let (Some(cache), Some(plans)) = (&self.plan_cache, built) {
+                    let _ = cache.store(key, plans);
+                }
+            }
+        }
 
         let mut cache = self.cache.lock().expect("session cache");
         cache.tick += 1;

@@ -8,6 +8,7 @@
 //! ser-cli serve   [--tcp ADDR]                protocol server on stdin/stdout or TCP
 //! ser-cli gen     <profile> [--seed S] [-o F] emit a synthetic benchmark
 //! ser-cli convert <in> <out>                  .bench <-> .v conversion
+//! ser-cli cache   <stats|clear> --cache-dir D inspect/empty the plan-artifact cache
 //! ```
 //!
 //! Netlists may be ISCAS `.bench` files or structural Verilog (`.v`);
@@ -21,6 +22,10 @@
 //! `--max-inflight`). `batch` runs a v1 JSONL job file as one
 //! interleaved batch, prints one response line per job, and exits
 //! non-zero if any job failed.
+//!
+//! `batch` and `serve` accept `--cache-dir DIR` to persist compiled
+//! cone plans across processes (see [`ser_suite::netlist::PlanCache`]);
+//! `cache stats` / `cache clear` inspect and empty that directory.
 
 use std::collections::HashMap;
 use std::fs;
@@ -30,7 +35,7 @@ use std::sync::Arc;
 use ser_suite::epp::{AnalysisSession, CircuitSerAnalysis};
 use ser_suite::gen::{profile, synthesize};
 use ser_suite::netlist::{
-    parse_bench, parse_verilog, write_bench, write_verilog, Circuit, CircuitStats,
+    parse_bench, parse_verilog, write_bench, write_verilog, Circuit, CircuitStats, PlanCache,
 };
 use ser_suite::service::{
     parse_job_line, serve, v1_response_json, EngineConfig, JobSpec, ProtocolEngine, SerService,
@@ -172,7 +177,36 @@ fn service_config(args: &[String]) -> Result<SerServiceConfig, String> {
             .filter(|&n: &usize| n > 0)
             .ok_or_else(|| "bad --sessions value (need a positive integer)".to_owned())?;
     }
+    if let Some(dir) = flag_value(args, "--cache-dir") {
+        config.plan_cache_dir = Some(dir.into());
+    }
     Ok(config)
+}
+
+/// `cache stats` / `cache clear`: inspect or empty a persistent
+/// plan-artifact cache directory.
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let dir = flag_value(args, "--cache-dir")
+        .ok_or_else(|| "cache: --cache-dir DIR is required".to_owned())?;
+    let cache = PlanCache::new(&dir);
+    match args.get(1).map(String::as_str) {
+        Some("stats") => {
+            let stats = cache.stats().map_err(|e| format!("cache stats: {e}"))?;
+            println!(
+                "plan cache at {dir}: {} entries, {} bytes (format v{})",
+                stats.entries,
+                stats.bytes,
+                PlanCache::FORMAT_VERSION
+            );
+            Ok(())
+        }
+        Some("clear") => {
+            let removed = cache.clear().map_err(|e| format!("cache clear: {e}"))?;
+            eprintln!("removed {removed} entries from {dir}");
+            Ok(())
+        }
+        _ => Err("usage: ser-cli cache <stats|clear> --cache-dir DIR".to_owned()),
+    }
 }
 
 /// `batch`: parse the whole job file, submit it as one interleaved
@@ -224,7 +258,7 @@ fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
     drop(w);
     let stats = service.stats();
     eprintln!(
-        "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached; sweep cache {} hits / {} misses, {} cached)",
+        "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached; sweep cache {} hits / {} misses, {} cached; plan cache {} hits / {} misses)",
         specs.len(),
         stats.session_hits,
         stats.session_misses,
@@ -232,7 +266,9 @@ fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
         stats.sessions_cached,
         stats.sweep_cache_hits,
         stats.sweep_cache_misses,
-        stats.sweep_responses_cached
+        stats.sweep_responses_cached,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses
     );
     if failed > 0 {
         return Err(format!("{failed} of {} jobs failed", specs.len()));
@@ -310,7 +346,7 @@ fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N]\n  ser-cli serve   [--threads N] [--sessions N] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>"
+    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N] [--cache-dir DIR]\n  ser-cli serve   [--threads N] [--sessions N] [--cache-dir DIR] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>\n  ser-cli cache   <stats|clear> --cache-dir DIR"
         .to_owned()
 }
 
@@ -364,6 +400,7 @@ fn run() -> Result<(), String> {
             let output = args.get(2).ok_or_else(usage)?;
             cmd_convert(input, output)
         }
+        Some("cache") => cmd_cache(&args),
         Some("gen") => {
             let name = args.get(1).ok_or_else(usage)?;
             let seed = flag_value(&args, "--seed")

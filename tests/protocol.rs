@@ -72,6 +72,7 @@ fn engine_with(config: EngineConfig) -> ProtocolEngine {
             threads: 2,
             sweep_batch_sites: 4, // many parts per sweep
             max_sweep_responses: 8,
+            plan_cache_dir: None,
         })),
         config,
     )

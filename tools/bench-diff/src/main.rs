@@ -270,6 +270,27 @@ fn validate(doc: &Json) -> Result<(), String> {
             return Err(format!("results[{i}] carries no numeric metric"));
         }
     }
+    // Bench-specific per-result shape: the sweep record tracks the
+    // suffix-shared arena footprint, the service record the
+    // artifact-cache cold path; losing either silently would erase
+    // that perf trajectory.
+    let required: &[&str] = match doc.get("bench") {
+        Some(Json::String(name)) if name == "sweep_throughput" => &["arena_members", "arena_bytes"],
+        Some(Json::String(name)) if name == "service_throughput" => &["cold_cached_sweep_ms"],
+        _ => &[],
+    };
+    for (i, entry) in results.iter().enumerate() {
+        for field in required {
+            match entry.get(field) {
+                Some(Json::Number(_)) => {}
+                _ => {
+                    return Err(format!(
+                        "results[{i}] is missing its numeric \"{field}\" metric"
+                    ))
+                }
+            }
+        }
+    }
     // Bench-specific shape: the service record carries a TCP round-trip
     // section whose silent loss would drop the wire-cost trajectory.
     if doc.get("bench") == Some(&Json::String("service_throughput".into())) {
@@ -421,6 +442,7 @@ mod tests {
       "unit_note": "latencies in microseconds",
       "results": [
         {"circuit": "s953", "nodes": 440, "plan_build_ms": 2.4,
+         "arena_members": 9000, "arena_bytes": 120000,
          "reference": {"sites_per_sec": 147038.2, "p50_us": 4.4}}
       ]
     }"#;
@@ -471,8 +493,28 @@ mod tests {
     }
 
     #[test]
+    fn sweep_record_requires_its_arena_metrics() {
+        // The committed sweep record must carry the suffix-shared arena
+        // footprint per circuit.
+        let doc =
+            parse(r#"{"bench": "sweep_throughput", "results": [{"circuit": "c", "nodes": 1}]}"#)
+                .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("arena_members"));
+        let doc = parse(
+            r#"{"bench": "sweep_throughput", "results": [{"circuit": "c", "arena_members": 5}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("arena_bytes"));
+        let doc = parse(
+            r#"{"bench": "sweep_throughput", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80}]}"#,
+        )
+        .unwrap();
+        validate(&doc).unwrap();
+    }
+
+    #[test]
     fn service_record_requires_its_tcp_section() {
-        let base = r#""results": [{"circuit": "c", "nodes": 1}]"#;
+        let base = r#""results": [{"circuit": "c", "nodes": 1, "cold_cached_sweep_ms": 1.5}]"#;
         // Without the tcp section (or with it incomplete): rejected.
         let doc = parse(&format!(r#"{{"bench": "service_throughput", {base}}}"#)).unwrap();
         assert!(validate(&doc).unwrap_err().contains("tcp"));
@@ -487,8 +529,14 @@ mod tests {
         ))
         .unwrap();
         validate(&doc).unwrap();
+        // The cached-cold metric is mandatory per service result too.
+        let doc = parse(
+            r#"{"bench": "service_throughput", "results": [{"circuit": "c", "nodes": 1}], "tcp": {"round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1}}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("cold_cached_sweep_ms"));
         // Other bench names carry no such obligation.
-        let doc = parse(&format!(r#"{{"bench": "sweep_throughput", {base}}}"#)).unwrap();
+        let doc = parse(r#"{"bench": "x", "results": [{"circuit": "c", "nodes": 1}]}"#).unwrap();
         validate(&doc).unwrap();
     }
 
