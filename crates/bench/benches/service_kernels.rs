@@ -17,6 +17,7 @@ fn warm_service(threads: usize) -> (SerService, Arc<ser_netlist::Circuit>) {
         // Exercise the kernel path, not the response cache.
         max_sweep_responses: 0,
         plan_cache_dir: None,
+        plan_cache_max_bytes: None,
     });
     service.session(&circuit).unwrap();
     (service, circuit)

@@ -56,6 +56,7 @@ fn fresh_service(threads: usize) -> SerService {
         // caching would short-circuit every repeat to a map lookup.
         max_sweep_responses: 0,
         plan_cache_dir: None,
+        plan_cache_max_bytes: None,
     })
 }
 
@@ -68,6 +69,7 @@ fn cached_service(threads: usize, dir: &std::path::Path) -> SerService {
         sweep_batch_sites: 256,
         max_sweep_responses: 0,
         plan_cache_dir: Some(dir.to_path_buf()),
+        plan_cache_max_bytes: None,
     })
 }
 
@@ -231,8 +233,11 @@ fn main() {
         names[0], tcp.round_trips_per_sec, tcp.p50_us, tcp.sweep_round_trip_ms
     );
 
+    // Backend provenance: the warm-sweep rows are kernel-bound, so the
+    // rule-core backend that served them is part of the result.
+    let kernel = ser_epp::KernelBackend::auto().name();
     let json = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"unit_note\": \"latencies in milliseconds; cold includes session compile + cone-plan build; cold_cached loads compiled plans from the persistent artifact cache; interleave speedup > 1 needs more than one executor worker; tcp rows measure loopback v2-envelope round trips; host cores: {threads}\",\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \"interleave\": {{\"circuits\": [\"{}\", \"{}\"], \"executor_workers\": {executor_workers}, \"serialized_ms\": {serialized_ms:.3}, \"interleaved_ms\": {interleaved_ms:.3}, \"speedup\": {speedup:.3}}},\n  \"tcp\": {{\"circuit\": \"{}\", \"round_trips_per_sec\": {:.1}, \"p50_us\": {:.1}, \"sweep_round_trip_ms\": {:.3}}}\n}}\n",
+        "{{\n  \"bench\": \"service_throughput\",\n  \"kernel\": \"{kernel}\",\n  \"unit_note\": \"latencies in milliseconds; cold includes session compile + cone-plan build; cold_cached loads compiled plans from the persistent artifact cache; interleave speedup > 1 needs more than one executor worker; tcp rows measure loopback v2-envelope round trips; host cores: {threads}\",\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \"interleave\": {{\"circuits\": [\"{}\", \"{}\"], \"executor_workers\": {executor_workers}, \"serialized_ms\": {serialized_ms:.3}, \"interleaved_ms\": {interleaved_ms:.3}, \"speedup\": {speedup:.3}}},\n  \"tcp\": {{\"circuit\": \"{}\", \"round_trips_per_sec\": {:.1}, \"p50_us\": {:.1}, \"sweep_round_trip_ms\": {:.3}}}\n}}\n",
         records.join(",\n"),
         a.name(),
         b.name(),

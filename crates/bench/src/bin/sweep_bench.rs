@@ -13,7 +13,9 @@
 //!   sort + full-circuit AoS scratch per site) — sites/sec plus p50/p99
 //!   per-site latency.
 //! - `batched_1t`: the cone-plan sweep, one thread — the kernel-level
-//!   speedup with scheduling kept out of the picture.
+//!   speedup with scheduling kept out of the picture (best of five
+//!   whole-circuit sweeps, so scheduler steal on a shared recording
+//!   host doesn't masquerade as a kernel regression).
 //! - `batched_mt`: the cone-plan sweep under the work-stealing
 //!   scheduler at the machine's parallelism.
 //! - `plan_build_ms`: one-time cone-plan compilation cost of the
@@ -26,7 +28,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use ser_epp::{AnalysisSession, PolarityMode, SiteWorkspace};
+use ser_epp::{AnalysisSession, KernelBackend, PolarityMode, SiteWorkspace};
 use ser_gen::synthesize;
 use ser_netlist::{ConePlans, FlatConePlans, NodeId};
 
@@ -138,9 +140,17 @@ fn main() {
         );
 
         // --- Batched, one thread: the kernel speedup. -----------------
-        let t = Instant::now();
-        let sweep1 = session.sweep(1);
-        let batched1_total = t.elapsed().as_secs_f64();
+        // Best of a few whole-circuit sweeps: one sweep is tens of
+        // milliseconds, short enough that a single shot folds scheduler
+        // steal (this records on shared hosts) straight into the
+        // trajectory; the min is the pace the kernel actually sustains.
+        let mut batched1_total = f64::INFINITY;
+        let mut sweep1 = session.sweep(1);
+        for _ in 0..5 {
+            let t = Instant::now();
+            sweep1 = session.sweep(1);
+            batched1_total = batched1_total.min(t.elapsed().as_secs_f64());
+        }
         // Per-site latency sample: singleton sweeps through the shared
         // plans and pool (an upper bound on steady-state per-site cost —
         // each call still assembles a one-site result arena).
@@ -204,8 +214,11 @@ fn main() {
         records.push(rec);
     }
 
+    // Backend provenance: a throughput number without the rule-core
+    // backend that produced it is uninterpretable across hosts.
+    let kernel = KernelBackend::auto().name();
     let json = format!(
-        "{{\n  \"bench\": \"sweep_throughput\",\n  \"unit_note\": \"latencies in microseconds; speedups vs per-site reference path; arena_members = deduplicated stored cone members (suffix-shared); host cores: {threads}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"sweep_throughput\",\n  \"kernel\": \"{kernel}\",\n  \"unit_note\": \"latencies in microseconds; speedups vs per-site reference path; arena_members = deduplicated stored cone members (suffix-shared); host cores: {threads}\",\n  \"results\": [\n{}\n  ]\n}}\n",
         records.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write benchmark output");

@@ -270,6 +270,12 @@ impl EppAnalysis {
         &self.sp
     }
 
+    /// The shared SP handle — what the sweep workspaces pin their
+    /// off-path SP lane plane to (`Arc::ptr_eq` identity).
+    pub(crate) fn sp_arc(&self) -> &Arc<SpVector> {
+        &self.sp
+    }
+
     /// Runs the one-pass EPP computation for one error site.
     ///
     /// # Panics

@@ -66,6 +66,7 @@ mod multi_cycle;
 mod rules;
 mod ser_model;
 mod session;
+mod simd;
 mod sweep;
 
 pub use analysis::{AnalysisOutcome, CircuitSerAnalysis};
@@ -87,6 +88,7 @@ pub use multi_cycle::{
 pub use rules::propagate;
 pub use ser_model::{PlatchedModel, RseuModel, SerEntry, SerReport};
 pub use session::AnalysisSession;
+pub use simd::KernelBackend;
 pub use sweep::{
     EppSiteView, SweepResults, SweepSiteRef, SweepWorkspace, SINGLE_THREAD_SWEEP_THRESHOLD,
 };

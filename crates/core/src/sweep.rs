@@ -30,15 +30,20 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use ser_netlist::{ConePlans, FaninRef, NodeId, ObservePoint};
+use ser_sp::SpVector;
 
 use crate::engine::{
     combine_sensitization, EppAnalysis, PointEpp, PolarityMode, SiteEpp, SiteWorkspace,
     WorkspacePool,
 };
 use crate::four_value::FourValue;
-use crate::rules::{propagate_fused, RuleOp};
+use crate::rules::{merge_polarity_v, propagate2_v, propagate_fused_v, RuleOp};
+#[cfg(target_arch = "x86_64")]
+use crate::simd::AvxVec;
+use crate::simd::{KernelBackend, Lane4, LaneVec, ScalarVec};
 
 /// Below this many sites a parallel sweep is all coordination and no
 /// work: the scheduler runs single-threaded instead. (The old engine
@@ -50,18 +55,22 @@ pub const SINGLE_THREAD_SWEEP_THRESHOLD: usize = 64;
 /// wildly) at the cost of a little queue traffic.
 const BATCHES_PER_THREAD: usize = 8;
 
+/// How far ahead of the tail walk the kernel prefetches fanin rows —
+/// far enough to cover a DRAM round trip at the walk's pace, near
+/// enough that the lines still sit in L1/L2 when the walk arrives.
+const PREFETCH_DISTANCE: usize = 8;
+
 /// Per-thread scratch for the batched sweep: the `(Pa, Pā, P0, P1)`
-/// value planes indexed by cone-local position, stored as one 4-wide
-/// lane array `[f64; 4]` per position — so reading or writing one
-/// tuple is a single bounds check and one contiguous 32-byte access
-/// (the `std::simd::f64x4` memory shape), and the slice-pattern
-/// destructuring in the fused rules compiles without per-component
-/// bounds checks. Grows to the largest cone it evaluates and is reused
-/// across sites, sweeps and circuits (pool it via
-/// [`WorkspacePool::checkout_sweep`]).
+/// value planes indexed by cone-local position, stored as one
+/// 32-byte-aligned 4-wide lane array ([`Lane4`]) per position — so
+/// reading or writing one tuple is a single bounds check and one
+/// aligned 32-byte access: a `vmovapd` for the AVX2 backend, a plain
+/// `[f64; 4]` copy for the scalar twin. Grows to the largest cone it
+/// evaluates and is reused across sites, sweeps and circuits (pool it
+/// via [`WorkspacePool::checkout_sweep`]).
 #[derive(Debug, Default)]
 pub struct SweepWorkspace {
-    lanes: Vec<[f64; 4]>,
+    lanes: Vec<Lane4>,
     /// Per-site gather buffer for the chain path's observe refs —
     /// sorted by observe index, then merged with the shared tail's
     /// (already sorted) refs so points are emitted in the reference
@@ -76,6 +85,17 @@ pub struct SweepWorkspace {
     /// them in O(1); on wrap the table is cleared).
     pos_stamp: Vec<u64>,
     stamp_epoch: u32,
+    /// The off-path **SP lane plane**: one precomputed
+    /// `from_signal_probability` tuple per circuit position, so every
+    /// off-path gather in the kernel is a single aligned 32-byte load
+    /// instead of a recomputed (and re-range-checked) tuple.
+    sp_lanes: Vec<Lane4>,
+    /// The SP vector `sp_lanes` was built from, pinned so the plane
+    /// survives across sweeps: an SP allocation is immutable and its
+    /// address unique for as long as anything references it, so
+    /// `Arc::ptr_eq` is a sound cache key (the same invariant the
+    /// session's multi-cycle cache relies on).
+    sp_pin: Option<Arc<SpVector>>,
 }
 
 impl SweepWorkspace {
@@ -93,8 +113,29 @@ impl SweepWorkspace {
 
     fn ensure(&mut self, len: usize) {
         if self.lanes.len() < len {
-            self.lanes.resize(len, [0.0; 4]);
+            self.lanes.resize(len, Lane4::default());
         }
+    }
+
+    /// Builds (or reuses) the SP lane plane for `sp`. Validation
+    /// happens here, once per distribution per workspace — a bad SP
+    /// panics at plane build exactly as `from_signal_probability`
+    /// would have panicked at first gather, instead of corrupting the
+    /// sweep.
+    fn ensure_sp_plane(&mut self, sp: &Arc<SpVector>) {
+        if let Some(pin) = &self.sp_pin {
+            if Arc::ptr_eq(pin, sp) {
+                return;
+            }
+        }
+        self.sp_pin = None;
+        self.sp_lanes.clear();
+        self.sp_lanes.extend(
+            sp.as_slice()
+                .iter()
+                .map(|&x| Lane4(FourValue::from_signal_probability(x).lanes())),
+        );
+        self.sp_pin = Some(Arc::clone(sp));
     }
 
     /// Sizes the position-stamp table for a circuit of `n` positions
@@ -110,16 +151,6 @@ impl SweepWorkspace {
             self.stamp_epoch = 1;
         }
         u64::from(self.stamp_epoch) << 32
-    }
-
-    #[inline]
-    fn read(&self, pos: usize) -> FourValue {
-        FourValue::from_lanes(self.lanes[pos])
-    }
-
-    #[inline]
-    fn write(&mut self, pos: usize, v: FourValue) {
-        self.lanes[pos] = v.lanes();
     }
 }
 
@@ -398,7 +429,13 @@ enum SweepScratch {
 impl SweepScratch {
     fn checkout(analysis: &EppAnalysis, pool: &WorkspacePool, planned: bool) -> Self {
         if planned {
-            SweepScratch::Plan(pool.checkout_sweep())
+            let mut ws = pool.checkout_sweep();
+            // One plane build per worker per sweep — and usually none:
+            // pooled workspaces keep their plane pinned to the exact SP
+            // allocation, so repeat sweeps (and the service's
+            // single-site requests) skip straight through.
+            ws.ensure_sp_plane(analysis.sp_arc());
+            SweepScratch::Plan(ws)
         } else {
             SweepScratch::Reference(pool.checkout(analysis))
         }
@@ -459,7 +496,8 @@ impl EppAnalysis {
 
     /// The batched sweep over an explicit site list (e.g. only the
     /// flip-flops, for the multi-cycle frame expansion). Results come
-    /// back in the same order as `sites`.
+    /// back in the same order as `sites`. The rule-core backend is
+    /// selected here, once per sweep ([`KernelBackend::auto`]).
     ///
     /// # Panics
     ///
@@ -472,12 +510,40 @@ impl EppAnalysis {
         threads: usize,
         pool: &WorkspacePool,
     ) -> SweepResults {
+        self.sweep_sites_with_backend(sites, polarity, threads, pool, KernelBackend::auto())
+    }
+
+    /// Like [`sweep_sites_with`](Self::sweep_sites_with) with an
+    /// explicit rule-core backend — the forcing hook the dual-backend
+    /// equivalence tests and benches use. A backend the host cannot
+    /// run degrades to [`KernelBackend::Scalar`]
+    /// ([`KernelBackend::sanitized`]), so forcing is always safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or any site is out of range.
+    #[must_use]
+    pub fn sweep_sites_with_backend(
+        &self,
+        sites: &[NodeId],
+        polarity: PolarityMode,
+        threads: usize,
+        pool: &WorkspacePool,
+        backend: KernelBackend,
+    ) -> SweepResults {
         assert!(threads > 0, "at least one thread");
         // `None` when the circuit's plan arena exceeds the member
         // budget: the sweep then runs the bit-identical per-site
         // reference kernel (O(n) scratch) under the same scheduler.
         let plans = self.artifacts().cone_plans(self.circuit()).cloned();
-        self.sweep_impl(sites, polarity, threads, pool, plans.as_deref())
+        self.sweep_impl(
+            sites,
+            polarity,
+            threads,
+            pool,
+            plans.as_deref(),
+            backend.sanitized(),
+        )
     }
 
     fn sweep_impl(
@@ -487,6 +553,7 @@ impl EppAnalysis {
         threads: usize,
         pool: &WorkspacePool,
         plans: Option<&ConePlans>,
+        backend: KernelBackend,
     ) -> SweepResults {
         let dense = sites.iter().enumerate().all(|(i, s)| s.index() == i);
         let total_points: usize =
@@ -506,8 +573,14 @@ impl EppAnalysis {
         if threads == 1 || sites.len() < SINGLE_THREAD_SWEEP_THRESHOLD {
             let mut scratch = SweepScratch::checkout(self, pool, plans.is_some());
             for &site in sites {
-                let (p_sens, gates, n_points) =
-                    self.site_kernel(plans, site, polarity, &mut scratch, &mut results.points);
+                let (p_sens, gates, n_points) = self.site_kernel(
+                    plans,
+                    site,
+                    polarity,
+                    &mut scratch,
+                    &mut results.points,
+                    backend,
+                );
                 results.p_sensitized.push(p_sens);
                 results.on_path_gates.push(gates);
                 let last = *results.point_off.last().expect("non-empty offsets");
@@ -573,6 +646,7 @@ impl EppAnalysis {
                                     polarity,
                                     &mut scratch,
                                     &mut seg.points,
+                                    backend,
                                 );
                                 seg.p_sens.push(p_sens);
                                 seg.gates.push(gates);
@@ -606,9 +680,10 @@ impl EppAnalysis {
         results
     }
 
-    /// Dispatches one site to the plan-driven kernel or, when the plan
-    /// arena was declined for size, to the per-site reference kernel —
-    /// both bit-identical, so the choice is invisible in the results.
+    /// Dispatches one site to the plan-driven kernel (on the sweep's
+    /// selected rule-core backend) or, when the plan arena was
+    /// declined for size, to the per-site reference kernel — all
+    /// bit-identical, so the choice is invisible in the results.
     fn site_kernel(
         &self,
         plans: Option<&ConePlans>,
@@ -616,11 +691,25 @@ impl EppAnalysis {
         polarity: PolarityMode,
         scratch: &mut SweepScratch,
         points_out: &mut Vec<PointEpp>,
+        backend: KernelBackend,
     ) -> (f64, u32, u32) {
         match (plans, scratch) {
-            (Some(plans), SweepScratch::Plan(ws)) => {
-                self.plan_kernel(plans, site, polarity, ws, points_out)
-            }
+            (Some(plans), SweepScratch::Plan(ws)) => match backend {
+                KernelBackend::Scalar => {
+                    self.plan_kernel::<ScalarVec>(plans, site, polarity, ws, points_out)
+                }
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `backend` went through `sanitized()` at sweep
+                // entry, so `Avx2` implies
+                // `is_x86_feature_detected!("avx2")` held on this host.
+                KernelBackend::Avx2 => unsafe {
+                    self.plan_kernel_avx2(plans, site, polarity, ws, points_out)
+                },
+                #[cfg(not(target_arch = "x86_64"))]
+                KernelBackend::Avx2 => {
+                    unreachable!("sanitized backends exclude AVX2 off x86-64")
+                }
+            },
             (None, SweepScratch::Reference(ws)) => {
                 let r = self.site_with_workspace(site, polarity, ws);
                 let n_points = u32::try_from(r.per_point().len()).expect("points fit u32");
@@ -657,8 +746,16 @@ impl EppAnalysis {
     ///
     /// Performs the exact same float operations in the exact same order
     /// as [`site_with_workspace`](Self::site_with_workspace) — the two
-    /// paths are bit-identical by construction.
-    fn plan_kernel(
+    /// paths are bit-identical by construction, on either rule-core
+    /// backend (the vector cores are lane-wise twins of the scalar
+    /// ones; see `crates/core/src/rules.rs`).
+    ///
+    /// Generic over the lane-vector backend; `#[inline(always)]` so
+    /// each monomorphization collapses into its entry point — in
+    /// particular into `plan_kernel_avx2`'s `target_feature` scope,
+    /// where the AVX2 intrinsics inline to single instructions.
+    #[inline(always)]
+    fn plan_kernel<V: LaneVec>(
         &self,
         plans: &ConePlans,
         site: NodeId,
@@ -671,10 +768,26 @@ impl EppAnalysis {
         let tail = plan.tail();
         let len = l + tail.len();
         ws.ensure(len);
-        ws.write(0, FourValue::error_site());
+        let epoch = ws.next_epoch(plans.len());
+        debug_assert_eq!(
+            ws.sp_lanes.len(),
+            self.circuit().len(),
+            "SP lane plane prepared at scratch checkout"
+        );
 
         let circuit = self.circuit();
-        let sp: &[f64] = self.signal_probabilities().as_slice();
+        // Split the workspace borrows once: the gather closures read
+        // the SP plane while the value plane is written between gates.
+        let SweepWorkspace {
+            lanes,
+            path_obs,
+            pos_stamp,
+            sp_lanes,
+            ..
+        } = ws;
+        let sp_lanes: &[Lane4] = sp_lanes;
+
+        lanes[0] = Lane4(FourValue::error_site().lanes());
 
         // Chain path: walk `next_of` hops; position `l` is the anchor
         // (the tail's first member), whose pins — like every path
@@ -682,10 +795,10 @@ impl EppAnalysis {
         // the site *is* the anchor and the walk is empty. Path observe
         // refs (positions `0..l`) gather into the sort buffer; the
         // anchor's observes live in the tail's presorted refs.
-        ws.path_obs.clear();
+        path_obs.clear();
         if l > 0 {
             for &obs in plan.observes_of(site) {
-                ws.path_obs.push((obs, 0));
+                path_obs.push((obs, 0));
             }
         }
         let mut prev = site;
@@ -693,30 +806,29 @@ impl EppAnalysis {
             let id = plan.next_of(prev);
             let node = circuit.node(id);
             let op = RuleOp::of(node.kind());
-            let prev_lanes = ws.lanes[pos - 1];
-            let mut out = propagate_fused(
+            let prev_lanes = V::load(&lanes[pos - 1]);
+            let mut out = propagate_fused_v(
                 op,
                 node.fanin().iter().map(|&pin| {
                     if pin == prev {
                         prev_lanes
                     } else {
-                        // Keeps `from_signal_probability`'s range
-                        // check: a bad SP must panic here, like the
-                        // reference path, not corrupt the sweep.
-                        FourValue::from_signal_probability(sp[pin.index()]).lanes()
+                        // Off-path: one aligned load off the SP plane
+                        // (the tuple — and its range check — was
+                        // computed once at plane build).
+                        V::load(&sp_lanes[pin.index()])
                     }
                 }),
             );
             if polarity == PolarityMode::Merged {
                 // Collapse Pā into Pa after every gate — same ablation
                 // transform as the reference path.
-                out = FourValue::new_clamped(out.p_arrival(), 0.0, out.p0(), out.p1());
+                out = merge_polarity_v(out);
             }
-            ws.write(pos, out);
+            lanes[pos] = out.store();
             if pos < l {
                 for &obs in plan.observes_of(id) {
-                    ws.path_obs
-                        .push((obs, u32::try_from(pos).expect("cone fits u32")));
+                    path_obs.push((obs, u32::try_from(pos).expect("cone fits u32")));
                 }
             }
             prev = id;
@@ -733,49 +845,71 @@ impl EppAnalysis {
         // the old packed on-path ref, and anything else resolves by
         // signal probability. Same values, same order: bit-identical.
         let positions = tail.positions();
-        let epoch = ws.next_epoch(plans.len());
-        ws.pos_stamp[positions[0] as usize] = epoch | l as u64;
+        pos_stamp[positions[0] as usize] = epoch | l as u64;
         for (k, &q) in positions.iter().enumerate().skip(1) {
-            let op = RuleOp::of(plans.kind_at(q));
-            let lanes = &ws.lanes;
-            let stamp = &ws.pos_stamp;
-            let mut out = propagate_fused(
-                op,
-                plans.fanins_at(q).iter().map(|&(pf, off)| {
-                    let s = stamp[pf as usize];
-                    if s & !0xFFFF_FFFF == epoch {
-                        lanes[(s as u32) as usize]
-                    } else {
-                        match FaninRef::decode(off) {
-                            FaninRef::OffPath(idx) => {
-                                FourValue::from_signal_probability(sp[idx]).lanes()
-                            }
-                            FaninRef::OnPath(_) => unreachable!("packed refs are off-path"),
-                        }
-                    }
-                }),
-            );
-            if polarity == PolarityMode::Merged {
-                out = FourValue::new_clamped(out.p_arrival(), 0.0, out.p0(), out.p1());
+            // Stay a few positions ahead of the walk: the per-position
+            // fanin rows live in the shared plan arena, which outgrows
+            // the LLC on the larger circuits, and the row address is
+            // data-dependent (position → CSR offset → row), so the
+            // hardware prefetcher cannot follow it.
+            if let Some(&qn) = positions.get(k + PREFETCH_DISTANCE) {
+                if let Some(first) = plans.fanins_at(qn).first() {
+                    crate::simd::prefetch_t0(first);
+                }
             }
-            ws.write(l + k, out);
-            ws.pos_stamp[q as usize] = epoch | (l + k) as u64;
+            let op = RuleOp::of(plans.kind_at(q));
+            let lanes_now: &[Lane4] = lanes;
+            let stamp: &[u64] = pos_stamp;
+            // Branchless fanin gather: whether a fanin is on-path is
+            // data-dependent (the shared tail serves every site), so an
+            // `if` here mispredicts constantly. Both candidate slots
+            // are always safely indexable — stamps only ever hold
+            // positions below the workspace high-water mark, and the
+            // packed ref of an on-path fanin decodes to a harmless
+            // in-range placeholder — so we resolve both and let a
+            // conditional move pick the address.
+            let gather = move |&(pf, off): &(u32, u32)| -> V {
+                let s = stamp[pf as usize];
+                let on_path = s & !0xFFFF_FFFF == epoch;
+                let off_idx = match FaninRef::decode(off) {
+                    FaninRef::OffPath(idx) => idx,
+                    // Packed tail refs are always off-path; this arm
+                    // only fires when `on_path` already won the select.
+                    FaninRef::OnPath(_) => 0,
+                };
+                let src = std::hint::select_unpredictable(
+                    on_path,
+                    &lanes_now[(s as u32) as usize],
+                    &sp_lanes[off_idx],
+                );
+                V::load(src)
+            };
+            let fanins = plans.fanins_at(q);
+            let mut out = if fanins.len() == 2 {
+                propagate2_v(op, gather(&fanins[0]), gather(&fanins[1]))
+            } else {
+                propagate_fused_v(op, fanins.iter().map(gather))
+            };
+            if polarity == PolarityMode::Merged {
+                out = merge_polarity_v(out);
+            }
+            lanes[l + k] = out.store();
+            pos_stamp[q as usize] = epoch | (l + k) as u64;
         }
 
         // Emit points in observe order: merge the sorted path observes
         // with the tail's (indices are unique per site, so the merge
         // is a strict interleave — the reference emission order).
-        ws.path_obs.sort_unstable();
+        path_obs.sort_unstable();
         let tobs = tail.observe_refs();
         let observe: &[ObservePoint] = self.artifacts().observe_points();
         let first = points_out.len();
         let l32 = u32::try_from(l).expect("cone fits u32");
         let (mut i, mut j) = (0, 0);
-        while i < ws.path_obs.len() || j < tobs.len() {
-            let take_path =
-                j >= tobs.len() || (i < ws.path_obs.len() && ws.path_obs[i].0 < tobs[j].0);
+        while i < path_obs.len() || j < tobs.len() {
+            let take_path = j >= tobs.len() || (i < path_obs.len() && path_obs[i].0 < tobs[j].0);
             let (obs, local) = if take_path {
-                let r = ws.path_obs[i];
+                let r = path_obs[i];
                 i += 1;
                 r
             } else {
@@ -785,7 +919,7 @@ impl EppAnalysis {
             };
             points_out.push(PointEpp {
                 point: observe[obs as usize],
-                value: ws.read(local as usize),
+                value: FourValue::from_lanes(lanes[local as usize].0),
             });
         }
         let p_sensitized =
@@ -793,6 +927,28 @@ impl EppAnalysis {
         let gates = u32::try_from(len - 1).expect("cone fits u32");
         let n_points = u32::try_from(points_out.len() - first).expect("points fit u32");
         (p_sensitized, gates, n_points)
+    }
+
+    /// The AVX2 monomorphization of [`plan_kernel`](Self::plan_kernel)
+    /// behind the one `target_feature` boundary: everything between
+    /// here and the `__m256d` intrinsics is `#[inline(always)]`, so
+    /// the whole per-site kernel compiles as a single AVX2 function.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the host supports AVX2
+    /// (`is_x86_feature_detected!("avx2")`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn plan_kernel_avx2(
+        &self,
+        plans: &ConePlans,
+        site: NodeId,
+        polarity: PolarityMode,
+        ws: &mut SweepWorkspace,
+        points_out: &mut Vec<PointEpp>,
+    ) -> (f64, u32, u32) {
+        self.plan_kernel::<AvxVec>(plans, site, polarity, ws, points_out)
     }
 }
 
@@ -840,6 +996,62 @@ H = OR(C, D, G)
                 assert_eq!(batched.to_site_epp(), reference);
             }
         }
+    }
+
+    #[test]
+    fn forced_backends_are_bit_identical() {
+        // Big enough that chains, shared tails and both gather paths
+        // are all exercised; every backend the host can run must agree
+        // bitwise with the per-site reference.
+        let c = ser_gen_like_chain(120);
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let sites: Vec<ser_netlist::NodeId> = c.node_ids().collect();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            let scalar =
+                epp.sweep_sites_with_backend(&sites, polarity, 1, &pool, KernelBackend::Scalar);
+            let forced_avx2 =
+                epp.sweep_sites_with_backend(&sites, polarity, 1, &pool, KernelBackend::Avx2);
+            assert_eq!(scalar, forced_avx2, "{polarity:?}");
+            for &site in &sites {
+                assert_eq!(
+                    scalar.site(site).to_site_epp(),
+                    epp.site_with(site, polarity),
+                    "{polarity:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sp_plane_is_pinned_and_rebuilt_on_new_sp() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let epp = analysis(&c);
+        let pool = WorkspacePool::new();
+        let _ = epp.sweep(1, &pool);
+        {
+            let slots = pool.checkout_sweep();
+            assert!(slots
+                .sp_pin
+                .as_ref()
+                .is_some_and(|p| Arc::ptr_eq(p, epp.sp_arc())));
+            assert_eq!(slots.sp_lanes.len(), c.len());
+            pool.give_back_sweep(slots);
+        }
+        // A different SP allocation (same values) must rebuild the plane.
+        let sp2 = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
+        let epp2 = EppAnalysis::new(&c, sp2).unwrap();
+        let r1 = epp.sweep(1, &pool);
+        let r2 = epp2.sweep(1, &pool);
+        assert_eq!(r1, r2);
+        let slots = pool.checkout_sweep();
+        assert!(slots
+            .sp_pin
+            .as_ref()
+            .is_some_and(|p| Arc::ptr_eq(p, epp2.sp_arc())));
+        pool.give_back_sweep(slots);
     }
 
     #[test]
@@ -924,8 +1136,10 @@ H = OR(C, D, G)
         for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
             let planned = epp.sweep_with(polarity, 1, &pool);
             for threads in [1usize, 4] {
-                let planless = epp.sweep_impl(&sites, polarity, threads, &pool, None);
-                assert_eq!(planless, planned, "{threads} threads ({polarity:?})");
+                for backend in [KernelBackend::Scalar, KernelBackend::Avx2.sanitized()] {
+                    let planless = epp.sweep_impl(&sites, polarity, threads, &pool, None, backend);
+                    assert_eq!(planless, planned, "{threads} threads ({polarity:?})");
+                }
             }
         }
         // The fallback checked out per-site workspaces, not sweep ones.

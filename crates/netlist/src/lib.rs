@@ -63,7 +63,7 @@ pub use parse::parse_bench;
 pub use plan::{
     ConePlan, ConePlans, FaninRef, FlatConePlan, FlatConePlans, PlanMembers, SitePlan, TailView,
 };
-pub use plan_cache::{PlanCache, PlanCacheStats, PLAN_CACHE_EXT};
+pub use plan_cache::{PlanCache, PlanCacheStats, PlanStoreOutcome, PLAN_CACHE_EXT};
 pub use scoap::{Scoap, SCOAP_INFINITY};
 pub use stats::CircuitStats;
 pub use topo::{depth, is_topo_order, levelize, topo_order};

@@ -35,10 +35,22 @@
 //! recompile, never an error and never a wrong plan. Writes go through
 //! a temp file + atomic rename so readers only ever observe complete
 //! entries.
+//!
+//! # Size cap
+//!
+//! An optional byte budget ([`PlanCache::with_max_bytes`]) turns the
+//! directory into an LRU: every successful [`PlanCache::load`] re-dates
+//! its entry's mtime, and [`PlanCache::store`] evicts
+//! oldest-mtime-first until the directory fits the cap again. Eviction
+//! runs at store time only — a cache that is never written never
+//! shrinks — and never removes the entry just stored, so a single
+//! over-budget circuit still caches (the cap is a target, not an
+//! invariant).
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 use crate::circuit::NodeId;
 use crate::gate::GateKind;
@@ -85,6 +97,20 @@ pub struct PlanCacheStats {
 #[derive(Debug, Clone)]
 pub struct PlanCache {
     dir: PathBuf,
+    /// Byte budget for the directory (`None` = unbounded). See the
+    /// [module docs](self) on the eviction policy.
+    max_bytes: Option<u64>,
+}
+
+/// What one [`PlanCache::store`] did: where the entry landed, and how
+/// many older entries were evicted to make room under the byte cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStoreOutcome {
+    /// The stored entry's path.
+    pub path: PathBuf,
+    /// `.serplan` entries removed by LRU-by-mtime eviction (always 0
+    /// on an unbounded cache).
+    pub evicted: usize,
 }
 
 impl PlanCache {
@@ -93,10 +119,30 @@ impl PlanCache {
     /// any other version are ignored (and recompiled over).
     pub const FORMAT_VERSION: u32 = 1;
 
-    /// A cache rooted at `dir` (created lazily on first store).
+    /// A cache rooted at `dir` (created lazily on first store),
+    /// unbounded.
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        PlanCache { dir: dir.into() }
+        PlanCache {
+            dir: dir.into(),
+            max_bytes: None,
+        }
+    }
+
+    /// Caps the directory at `max_bytes` total `.serplan` bytes
+    /// (`None` removes the cap). At every store the oldest-mtime
+    /// entries are evicted until the directory fits; loads re-date
+    /// their entry so "oldest" means least recently *used*.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// The byte cap in force, if any.
+    #[must_use]
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
     }
 
     /// The cache directory.
@@ -117,19 +163,33 @@ impl PlanCache {
     /// error.
     #[must_use]
     pub fn load(&self, hash: u64) -> Option<ConePlans> {
-        let bytes = fs::read(self.entry_path(hash)).ok()?;
-        decode(hash, &bytes)
+        let path = self.entry_path(hash);
+        let bytes = fs::read(&path).ok()?;
+        let plans = decode(hash, &bytes)?;
+        // Under a byte cap the mtime is the LRU recency, so a hit must
+        // re-date the entry or eviction would remove the hottest
+        // circuits in insertion order. Best-effort: a read-only
+        // directory still serves hits, it just ages them.
+        if self.max_bytes.is_some() {
+            let _ = fs::File::options()
+                .append(true)
+                .open(&path)
+                .and_then(|f| f.set_modified(SystemTime::now()));
+        }
+        Some(plans)
     }
 
     /// Persists `plans` under `hash`, atomically (temp file + rename):
     /// concurrent readers see either the old entry or the complete new
-    /// one, never a torn write. Returns the entry path.
+    /// one, never a torn write. Under a byte cap, then evicts
+    /// oldest-mtime entries (never the one just stored) until the
+    /// directory fits again.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors (callers typically treat a failed
     /// store as best-effort and carry on with the in-memory plans).
-    pub fn store(&self, hash: u64, plans: &ConePlans) -> io::Result<PathBuf> {
+    pub fn store(&self, hash: u64, plans: &ConePlans) -> io::Result<PlanStoreOutcome> {
         fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(hash);
         let tmp = self.dir.join(format!(
@@ -146,7 +206,58 @@ impl PlanCache {
         if result.is_err() {
             let _ = fs::remove_file(&tmp);
         }
-        result.map(|()| path)
+        result?;
+        let evicted = self.evict_to_cap(&path)?;
+        Ok(PlanStoreOutcome { path, evicted })
+    }
+
+    /// Removes oldest-mtime `.serplan` entries (never `keep`) until the
+    /// directory's total fits the byte cap; a no-op on an unbounded
+    /// cache. Returns how many entries were removed.
+    fn evict_to_cap(&self, keep: &Path) -> io::Result<usize> {
+        let Some(cap) = self.max_bytes else {
+            return Ok(0);
+        };
+        let mut total: u64 = 0;
+        let mut candidates: Vec<(SystemTime, u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(PLAN_CACHE_EXT) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            total += meta.len();
+            if path != keep {
+                // Entries whose mtime is unreadable evict first — on
+                // such a filesystem recency is unknowable anyway.
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                candidates.push((mtime, meta.len(), path));
+            }
+        }
+        if total <= cap {
+            return Ok(0);
+        }
+        // Oldest first; path breaks mtime ties so eviction order is
+        // deterministic on coarse-timestamp filesystems.
+        candidates.sort();
+        let mut evicted = 0;
+        for (_, len, path) in candidates {
+            if total <= cap {
+                break;
+            }
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    total -= len;
+                    evicted += 1;
+                }
+                // A concurrent process beat us to it: the bytes are
+                // gone either way.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => total -= len,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(evicted)
     }
 
     /// Entry count and total bytes of the cache directory. A missing
@@ -551,6 +662,109 @@ mod tests {
         // Restoring the original bytes restores the hit.
         fs::write(&path, &full).unwrap();
         assert_eq!(cache.load(hash).expect("hit"), plans);
+    }
+
+    /// A NOT-chain circuit of the given depth — each depth has a
+    /// distinct structural hash, giving eviction tests distinct keys.
+    fn chain_sample(depth: usize) -> (u64, ConePlans) {
+        let mut src = String::from("INPUT(a)\nOUTPUT(z)\n");
+        let mut prev = "a".to_owned();
+        for i in 0..depth {
+            src.push_str(&format!("n{i} = NOT({prev})\n"));
+            prev = format!("n{i}");
+        }
+        src.push_str(&format!("z = NOT({prev})\n"));
+        let c = parse_bench(&src, &format!("chain{depth}")).unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let plans = ConePlans::build(&c, &topo);
+        (c.structural_hash(), plans)
+    }
+
+    fn set_mtime(path: &Path, t: std::time::SystemTime) {
+        fs::File::options()
+            .append(true)
+            .open(path)
+            .unwrap()
+            .set_modified(t)
+            .unwrap();
+    }
+
+    #[test]
+    fn byte_cap_evicts_oldest_entries_at_store_time() {
+        let dir = TempCacheDir::new("evict");
+        let (h1, p1) = chain_sample(1);
+        let (h2, p2) = chain_sample(2);
+        let (h3, p3) = chain_sample(3);
+        let sizes: Vec<u64> = [(h1, &p1), (h2, &p2), (h3, &p3)]
+            .iter()
+            .map(|&(h, p)| encode(h, p).len() as u64)
+            .collect();
+
+        let unbounded = PlanCache::new(&dir.0);
+        assert_eq!(unbounded.store(h1, &p1).unwrap().evicted, 0);
+        assert_eq!(unbounded.store(h2, &p2).unwrap().evicted, 0);
+        // Age the entries deterministically: h1 oldest.
+        let epoch = std::time::SystemTime::UNIX_EPOCH;
+        set_mtime(
+            &unbounded.entry_path(h1),
+            epoch + std::time::Duration::from_secs(1_000),
+        );
+        set_mtime(
+            &unbounded.entry_path(h2),
+            epoch + std::time::Duration::from_secs(2_000),
+        );
+
+        // Cap sized so that evicting exactly the oldest entry fits.
+        let bounded = PlanCache::new(&dir.0).with_max_bytes(Some(sizes[1] + sizes[2]));
+        assert_eq!(bounded.max_bytes(), Some(sizes[1] + sizes[2]));
+        let outcome = bounded.store(h3, &p3).unwrap();
+        assert_eq!(outcome.evicted, 1, "exactly the oldest entry goes");
+        assert!(bounded.load(h1).is_none(), "h1 was least recently used");
+        assert_eq!(bounded.load(h2).expect("survives"), p2);
+        assert_eq!(bounded.load(h3).expect("just stored"), p3);
+        assert!(bounded.stats().unwrap().bytes <= sizes[1] + sizes[2]);
+    }
+
+    #[test]
+    fn a_load_hit_re_dates_its_entry_under_a_cap() {
+        let dir = TempCacheDir::new("redate");
+        let (h1, p1) = chain_sample(4);
+        let (h2, p2) = chain_sample(5);
+        let (h3, p3) = chain_sample(6);
+        let s1 = encode(h1, &p1).len() as u64;
+        let s3 = encode(h3, &p3).len() as u64;
+
+        let bounded = PlanCache::new(&dir.0).with_max_bytes(Some(s1 + s3));
+        bounded.store(h1, &p1).unwrap();
+        bounded.store(h2, &p2).unwrap();
+        let epoch = std::time::SystemTime::UNIX_EPOCH;
+        set_mtime(
+            &bounded.entry_path(h1),
+            epoch + std::time::Duration::from_secs(1_000),
+        );
+        set_mtime(
+            &bounded.entry_path(h2),
+            epoch + std::time::Duration::from_secs(2_000),
+        );
+        // h1 is older on disk, but this hit marks it as in active use…
+        assert_eq!(bounded.load(h1).expect("hit"), p1);
+        // …so the eviction triggered by storing h3 removes h2 instead.
+        assert_eq!(bounded.store(h3, &p3).unwrap().evicted, 1);
+        assert_eq!(bounded.load(h1).expect("recency protected"), p1);
+        assert!(bounded.load(h2).is_none(), "h2 became the LRU entry");
+        assert_eq!(bounded.load(h3).expect("just stored"), p3);
+    }
+
+    #[test]
+    fn an_unbounded_store_never_evicts() {
+        let dir = TempCacheDir::new("unbounded");
+        let cache = PlanCache::new(&dir.0);
+        assert_eq!(cache.max_bytes(), None);
+        for depth in 1..=4 {
+            let (h, p) = chain_sample(depth);
+            assert_eq!(cache.store(h, &p).unwrap().evicted, 0);
+        }
+        assert_eq!(cache.stats().unwrap().entries, 4);
     }
 
     #[test]

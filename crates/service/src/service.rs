@@ -56,6 +56,13 @@ pub struct SerServiceConfig {
     /// cold plan compile at most once per circuit, ever. `None`
     /// disables persistence.
     pub plan_cache_dir: Option<PathBuf>,
+    /// Byte budget for the persistent plan cache directory. When set,
+    /// every store evicts least-recently-used `.serplan` entries
+    /// (oldest mtime first; loads re-date their entry) until the
+    /// directory fits — so a long-lived fleet's cache disk stays
+    /// bounded. `None` (the default) leaves the directory unbounded.
+    /// Ignored when `plan_cache_dir` is `None`.
+    pub plan_cache_max_bytes: Option<u64>,
 }
 
 impl Default for SerServiceConfig {
@@ -68,6 +75,7 @@ impl Default for SerServiceConfig {
             sweep_batch_sites: 256,
             max_sweep_responses: 32,
             plan_cache_dir: None,
+            plan_cache_max_bytes: None,
         }
     }
 }
@@ -98,6 +106,10 @@ pub struct ServiceStats {
     /// cache was configured (the entry was absent, stale or invalid;
     /// the built plans were persisted for next time).
     pub plan_cache_misses: u64,
+    /// Persistent-cache entries evicted by the byte cap
+    /// ([`SerServiceConfig::plan_cache_max_bytes`]) across every store
+    /// this service performed. Always 0 on an unbounded cache.
+    pub plan_cache_evictions: u64,
 }
 
 struct CacheEntry {
@@ -200,6 +212,7 @@ pub struct SerService {
     sweep_misses: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for SessionCache {
@@ -295,7 +308,10 @@ impl SerService {
         );
         SerService {
             executor: Executor::new(config.threads),
-            plan_cache: config.plan_cache_dir.clone().map(PlanCache::new),
+            plan_cache: config
+                .plan_cache_dir
+                .clone()
+                .map(|dir| PlanCache::new(dir).with_max_bytes(config.plan_cache_max_bytes)),
             config,
             cache: Mutex::new(SessionCache {
                 entries: HashMap::new(),
@@ -313,6 +329,7 @@ impl SerService {
             sweep_misses: AtomicU64::new(0),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
+            plan_evictions: AtomicU64::new(0),
         }
     }
 
@@ -341,6 +358,7 @@ impl SerService {
             sweep_responses_cached: self.sweep_cache.lock().expect("sweep cache").entries.len(),
             plan_cache_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_cache_evictions: self.plan_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -528,7 +546,12 @@ impl SerService {
             let built = epp.artifacts().cone_plans(circuit);
             if !primed {
                 if let (Some(cache), Some(plans)) = (&self.plan_cache, built) {
-                    let _ = cache.store(key, plans);
+                    // Best-effort persist; the eviction count is the
+                    // only part of a failed store worth surfacing.
+                    if let Ok(outcome) = cache.store(key, plans) {
+                        self.plan_evictions
+                            .fetch_add(outcome.evicted as u64, Ordering::Relaxed);
+                    }
                 }
             }
         }

@@ -24,8 +24,10 @@
 //! non-zero if any job failed.
 //!
 //! `batch` and `serve` accept `--cache-dir DIR` to persist compiled
-//! cone plans across processes (see [`ser_suite::netlist::PlanCache`]);
-//! `cache stats` / `cache clear` inspect and empty that directory.
+//! cone plans across processes (see [`ser_suite::netlist::PlanCache`])
+//! and `--cache-max-bytes N` to cap that directory (least-recently-used
+//! entries are evicted at store time); `cache stats` / `cache clear`
+//! inspect and empty the directory.
 
 use std::collections::HashMap;
 use std::fs;
@@ -180,6 +182,15 @@ fn service_config(args: &[String]) -> Result<SerServiceConfig, String> {
     if let Some(dir) = flag_value(args, "--cache-dir") {
         config.plan_cache_dir = Some(dir.into());
     }
+    if let Some(max) = flag_value(args, "--cache-max-bytes") {
+        if config.plan_cache_dir.is_none() {
+            return Err("--cache-max-bytes needs --cache-dir".to_owned());
+        }
+        config.plan_cache_max_bytes =
+            Some(max.parse().ok().filter(|&n: &u64| n > 0).ok_or_else(|| {
+                "bad --cache-max-bytes value (need a positive integer)".to_owned()
+            })?);
+    }
     Ok(config)
 }
 
@@ -258,7 +269,7 @@ fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
     drop(w);
     let stats = service.stats();
     eprintln!(
-        "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached; sweep cache {} hits / {} misses, {} cached; plan cache {} hits / {} misses)",
+        "served {} jobs ({} warm hits, {} compiles, {} evictions, {} sessions cached; sweep cache {} hits / {} misses, {} cached; plan cache {} hits / {} misses / {} evicted)",
         specs.len(),
         stats.session_hits,
         stats.session_misses,
@@ -268,7 +279,8 @@ fn cmd_batch(path: &str, config: SerServiceConfig) -> Result<(), String> {
         stats.sweep_cache_misses,
         stats.sweep_responses_cached,
         stats.plan_cache_hits,
-        stats.plan_cache_misses
+        stats.plan_cache_misses,
+        stats.plan_cache_evictions
     );
     if failed > 0 {
         return Err(format!("{failed} of {} jobs failed", specs.len()));
@@ -346,7 +358,7 @@ fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N] [--cache-dir DIR]\n  ser-cli serve   [--threads N] [--sessions N] [--cache-dir DIR] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>\n  ser-cli cache   <stats|clear> --cache-dir DIR"
+    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N]\n  ser-cli serve   [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>\n  ser-cli cache   <stats|clear> --cache-dir DIR"
         .to_owned()
 }
 

@@ -32,6 +32,7 @@ impl Server {
             sweep_batch_sites: 8,
             max_sweep_responses: 8,
             plan_cache_dir: None,
+            plan_cache_max_bytes: None,
         }));
         let engine = Arc::new(ProtocolEngine::new(Arc::clone(&service), config));
         let mut transport = TcpTransport::bind("127.0.0.1:0").expect("bind loopback");

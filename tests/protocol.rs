@@ -73,6 +73,7 @@ fn engine_with(config: EngineConfig) -> ProtocolEngine {
             sweep_batch_sites: 4, // many parts per sweep
             max_sweep_responses: 8,
             plan_cache_dir: None,
+            plan_cache_max_bytes: None,
         })),
         config,
     )

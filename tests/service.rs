@@ -66,6 +66,7 @@ fn service_sweep_is_bit_identical_to_direct_session() {
             sweep_batch_sites: 10, // force many parts per sweep
             max_sweep_responses: 32,
             plan_cache_dir: None,
+            plan_cache_max_bytes: None,
         });
         let response = service
             .submit(&circuit, Request::Sweep(SweepRequest::default()))
@@ -137,6 +138,7 @@ fn lru_reuses_and_evicts_sessions() {
         sweep_batch_sites: 64,
         max_sweep_responses: 32,
         plan_cache_dir: None,
+        plan_cache_max_bytes: None,
     });
 
     // Compile a and b (2 misses), then hit both.
@@ -178,6 +180,7 @@ fn serves_two_circuits_concurrently_from_warm_cache() {
         sweep_batch_sites: 16,
         max_sweep_responses: 32,
         plan_cache_dir: None,
+        plan_cache_max_bytes: None,
     }));
     // Warm both circuits.
     service.session(&a).unwrap();
@@ -390,6 +393,7 @@ fn set_inputs_survives_session_eviction() {
         sweep_batch_sites: 64,
         max_sweep_responses: 8,
         plan_cache_dir: None,
+        plan_cache_max_bytes: None,
     });
 
     service
@@ -428,6 +432,7 @@ fn streaming_progress_observes_without_perturbing() {
         sweep_batch_sites: 16,  // force several parts
         max_sweep_responses: 0, // keep the cache out of the comparison
         plan_cache_dir: None,
+        plan_cache_max_bytes: None,
     });
 
     // Sweep: one Progress::Sweep event per part, cumulative, ending at
@@ -557,6 +562,7 @@ fn plan_cache_survives_service_restart() {
         sweep_batch_sites: 64,
         max_sweep_responses: 0,
         plan_cache_dir: Some(dir.clone()),
+        plan_cache_max_bytes: None,
     };
 
     // First process: compiles, stores, and reports no hit.
@@ -610,6 +616,90 @@ fn plan_cache_survives_service_restart() {
         .submit(&circuit, Request::Sweep(SweepRequest::default()))
         .unwrap();
     assert_eq!(fourth.stats().plan_cache_hits, 1, "entry was rewritten");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The plan-cache byte cap: a bounded cache evicts the least-recently-
+/// used entry at store time, the service counts the eviction, and the
+/// evicted circuit recompiles (correctly) on the next cold start.
+#[test]
+fn plan_cache_byte_cap_evicts_lru_and_counts() {
+    let small = arc(ripple_carry_adder(8));
+    let large = arc(iscas89_like("s298").unwrap());
+    let dir = std::env::temp_dir().join(format!("ser-service-cache-cap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let unbounded = SerServiceConfig {
+        max_sessions: 4,
+        threads: 2,
+        sweep_batch_sites: 64,
+        max_sweep_responses: 0,
+        plan_cache_dir: Some(dir.clone()),
+        plan_cache_max_bytes: None,
+    };
+
+    // Size the entries first (the cap must fit exactly one of them).
+    let sizer = SerService::new(unbounded.clone());
+    sizer
+        .submit(&small, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    sizer
+        .submit(&large, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert_eq!(sizer.stats().plan_cache_evictions, 0, "unbounded");
+    drop(sizer);
+    let entry_bytes: Vec<u64> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .collect();
+    assert_eq!(entry_bytes.len(), 2, "both circuits persisted");
+    let cap = *entry_bytes.iter().max().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Bounded run: the second store must push the first entry out.
+    let bounded = SerService::new(SerServiceConfig {
+        plan_cache_max_bytes: Some(cap),
+        ..unbounded.clone()
+    });
+    let small_sweep = bounded
+        .submit(&small, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert_eq!(bounded.stats().plan_cache_evictions, 0);
+    bounded
+        .submit(&large, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert_eq!(
+        bounded.stats().plan_cache_evictions,
+        1,
+        "storing the second entry evicted the first"
+    );
+    drop(bounded);
+
+    // Cold restart: the surviving circuit hits; the evicted one misses
+    // and recompiles to the identical sweep.
+    let restarted = SerService::new(SerServiceConfig {
+        plan_cache_max_bytes: Some(cap),
+        ..unbounded
+    });
+    restarted
+        .submit(&large, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    assert_eq!(
+        restarted.stats().plan_cache_hits,
+        1,
+        "the most recently stored entry survived the cap"
+    );
+    let recompiled = restarted
+        .submit(&small, Request::Sweep(SweepRequest::default()))
+        .unwrap();
+    let stats = restarted.stats();
+    assert_eq!(stats.plan_cache_hits, 1, "evicted entry cannot hit");
+    assert_eq!(stats.plan_cache_misses, 1);
+    assert_eq!(
+        recompiled.as_sweep().unwrap(),
+        small_sweep.as_sweep().unwrap(),
+        "eviction costs time, never correctness"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -6,7 +6,9 @@
 //! while the slow engine stays the semantic definition.
 
 use proptest::prelude::*;
-use ser_suite::epp::{EppAnalysis, PolarityMode, SiteWorkspace, SweepResults, WorkspacePool};
+use ser_suite::epp::{
+    EppAnalysis, KernelBackend, PolarityMode, SiteWorkspace, SweepResults, WorkspacePool,
+};
 use ser_suite::gen::RandomDag;
 use ser_suite::netlist::Circuit;
 use ser_suite::sp::{IndependentSp, InputProbs, SpEngine};
@@ -53,6 +55,28 @@ fn assert_sweep_matches_reference(
     }
 }
 
+/// Runs one full-circuit sweep under each rule-core backend and
+/// asserts the SIMD run, the scalar run and the per-site reference all
+/// agree bit for bit. On hosts without AVX2 the forced-AVX2 run
+/// degrades to the scalar twin, so the identity (trivially) still
+/// holds — the cross-backend half of this check is only meaningful on
+/// x86-64, which is where CI runs it.
+fn assert_backends_agree(circuit: &Circuit, analysis: &EppAnalysis, polarity: PolarityMode) {
+    let pool = WorkspacePool::new();
+    let sites: Vec<_> = circuit.node_ids().collect();
+    let scalar =
+        analysis.sweep_sites_with_backend(&sites, polarity, 1, &pool, KernelBackend::Scalar);
+    let simd = analysis.sweep_sites_with_backend(
+        &sites,
+        polarity,
+        1,
+        &pool,
+        KernelBackend::Avx2.sanitized(),
+    );
+    assert_eq!(scalar, simd, "backends diverged ({polarity:?})");
+    assert_sweep_matches_reference(circuit, analysis, &scalar, polarity);
+}
+
 /// Sequential circuits (DFF-clipped cones, flip-flop observe points)
 /// go through the same identity, deterministically.
 #[test]
@@ -85,8 +109,78 @@ fn sequential_circuits_bit_identical() {
     }
 }
 
+/// Forced backends on sequential circuits: the chain/tail kernel sees
+/// DFF-clipped cones and flip-flop observe points under both rule-core
+/// implementations.
+#[test]
+fn sequential_circuits_backend_invariant() {
+    use ser_suite::gen::{accumulator, iscas89_like, lfsr, shift_register};
+    for c in [
+        shift_register(8),
+        lfsr(&[7, 5, 4, 3]),
+        accumulator(4),
+        iscas89_like("s298").unwrap(),
+    ] {
+        let sp = IndependentSp::new()
+            .compute(&c, &InputProbs::default())
+            .unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            assert_backends_agree(&c, &analysis, polarity);
+        }
+    }
+}
+
+/// Denormal and clamp-edge values through `new_clamped` on both
+/// backends: inputs pinned to exact 0, exact 1, the smallest normal,
+/// the smallest subnormal and 1−ε drive the rule cores into gradual
+/// underflow (long AND/OR products collapse toward subnormals and
+/// zero) and into the 0/1 clamp — where `max`/`min` ordering, not just
+/// arithmetic, must match lane for lane.
+#[test]
+fn denormal_and_clamp_edge_inputs_backend_invariant() {
+    let edges = [
+        0.0,
+        1.0,
+        f64::MIN_POSITIVE, // smallest normal
+        5e-324,            // smallest subnormal
+        1.0 - f64::EPSILON,
+        0.5,
+    ];
+    // Deep, reconvergent, XOR-heavy: long fused products plus the
+    // shuffle-based XOR core, over several seeds so the edge values
+    // land on varied gate mixes.
+    for seed in [3u64, 17, 40] {
+        let c = build(6, 90, 0.8, 0.3, seed);
+        let mut probs = InputProbs::uniform(0.5);
+        for (i, &id) in c.inputs().iter().enumerate() {
+            probs = probs.with(id, edges[i % edges.len()]);
+        }
+        let sp = IndependentSp::new().compute(&c, &probs).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            assert_backends_agree(&c, &analysis, polarity);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// SIMD sweep vs scalar sweep vs per-site reference on random
+    /// DAGs: the three engines must agree bit for bit in both polarity
+    /// modes. This is the backend-forcing companion of
+    /// `sweep_bit_identical_to_reference` — it pins each run's rule
+    /// cores instead of trusting the runtime dispatch.
+    #[test]
+    fn forced_backends_bit_identical((inputs, gates, reconv, xf, seed) in dag_strategy()) {
+        let c = build(inputs, gates, reconv, xf, seed);
+        let sp = IndependentSp::new().compute(&c, &InputProbs::default()).unwrap();
+        let analysis = EppAnalysis::new(&c, sp).unwrap();
+        for polarity in [PolarityMode::Tracked, PolarityMode::Merged] {
+            assert_backends_agree(&c, &analysis, polarity);
+        }
+    }
 
     /// Batched sweep == per-site reference, Tracked and Merged, on
     /// random DAGs spanning tree-like to densely reconvergent.

@@ -279,6 +279,22 @@ fn validate(doc: &Json) -> Result<(), String> {
         Some(Json::String(name)) if name == "service_throughput" => &["cold_cached_sweep_ms"],
         _ => &[],
     };
+    // Both throughput records must name the rule-core backend that
+    // produced them: a speedup number without its kernel is
+    // uninterpretable across hosts.
+    if matches!(doc.get("bench"),
+        Some(Json::String(name)) if name == "sweep_throughput" || name == "service_throughput")
+    {
+        match doc.get("kernel") {
+            Some(Json::String(k)) if k == "avx2" || k == "scalar" => {}
+            Some(other) => {
+                return Err(format!(
+                    "\"kernel\" must be \"avx2\" or \"scalar\", found {other}"
+                ))
+            }
+            None => return Err("missing \"kernel\" backend field".into()),
+        }
+    }
     for (i, entry) in results.iter().enumerate() {
         for field in required {
             match entry.get(field) {
@@ -439,6 +455,7 @@ mod tests {
 
     const GOOD: &str = r#"{
       "bench": "sweep_throughput",
+      "kernel": "avx2",
       "unit_note": "latencies in microseconds",
       "results": [
         {"circuit": "s953", "nodes": 440, "plan_build_ms": 2.4,
@@ -496,25 +513,50 @@ mod tests {
     fn sweep_record_requires_its_arena_metrics() {
         // The committed sweep record must carry the suffix-shared arena
         // footprint per circuit.
-        let doc =
-            parse(r#"{"bench": "sweep_throughput", "results": [{"circuit": "c", "nodes": 1}]}"#)
-                .unwrap();
+        let doc = parse(
+            r#"{"bench": "sweep_throughput", "kernel": "scalar", "results": [{"circuit": "c", "nodes": 1}]}"#,
+        )
+        .unwrap();
         assert!(validate(&doc).unwrap_err().contains("arena_members"));
         let doc = parse(
-            r#"{"bench": "sweep_throughput", "results": [{"circuit": "c", "arena_members": 5}]}"#,
+            r#"{"bench": "sweep_throughput", "kernel": "scalar", "results": [{"circuit": "c", "arena_members": 5}]}"#,
         )
         .unwrap();
         assert!(validate(&doc).unwrap_err().contains("arena_bytes"));
         let doc = parse(
-            r#"{"bench": "sweep_throughput", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80}]}"#,
+            r#"{"bench": "sweep_throughput", "kernel": "scalar", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80}]}"#,
         )
         .unwrap();
         validate(&doc).unwrap();
     }
 
     #[test]
+    fn throughput_records_require_their_kernel_backend() {
+        // Missing: rejected, for both throughput bench kinds.
+        let doc = parse(
+            r#"{"bench": "sweep_throughput", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("kernel"));
+        let doc = parse(
+            r#"{"bench": "service_throughput", "results": [{"circuit": "c", "cold_cached_sweep_ms": 1.0}], "tcp": {"round_trips_per_sec": 1.0, "p50_us": 1.0, "sweep_round_trip_ms": 1.0}}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("kernel"));
+        // An unknown backend name: rejected.
+        let doc = parse(
+            r#"{"bench": "sweep_throughput", "kernel": "sse9", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("kernel"));
+        // Other bench names carry no kernel obligation.
+        let doc = parse(r#"{"bench": "x", "results": [{"circuit": "c", "nodes": 1}]}"#).unwrap();
+        validate(&doc).unwrap();
+    }
+
+    #[test]
     fn service_record_requires_its_tcp_section() {
-        let base = r#""results": [{"circuit": "c", "nodes": 1, "cold_cached_sweep_ms": 1.5}]"#;
+        let base = r#""kernel": "avx2", "results": [{"circuit": "c", "nodes": 1, "cold_cached_sweep_ms": 1.5}]"#;
         // Without the tcp section (or with it incomplete): rejected.
         let doc = parse(&format!(r#"{{"bench": "service_throughput", {base}}}"#)).unwrap();
         assert!(validate(&doc).unwrap_err().contains("tcp"));
@@ -531,7 +573,7 @@ mod tests {
         validate(&doc).unwrap();
         // The cached-cold metric is mandatory per service result too.
         let doc = parse(
-            r#"{"bench": "service_throughput", "results": [{"circuit": "c", "nodes": 1}], "tcp": {"round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1}}"#,
+            r#"{"bench": "service_throughput", "kernel": "avx2", "results": [{"circuit": "c", "nodes": 1}], "tcp": {"round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1}}"#,
         )
         .unwrap();
         assert!(validate(&doc).unwrap_err().contains("cold_cached_sweep_ms"));
