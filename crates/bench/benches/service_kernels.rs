@@ -18,6 +18,7 @@ fn warm_service(threads: usize) -> (SerService, Arc<ser_netlist::Circuit>) {
         max_sweep_responses: 0,
         plan_cache_dir: None,
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     });
     service.session(&circuit).unwrap();
     (service, circuit)

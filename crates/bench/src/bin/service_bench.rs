@@ -57,6 +57,7 @@ fn fresh_service(threads: usize) -> SerService {
         max_sweep_responses: 0,
         plan_cache_dir: None,
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     })
 }
 
@@ -70,6 +71,7 @@ fn cached_service(threads: usize, dir: &std::path::Path) -> SerService {
         max_sweep_responses: 0,
         plan_cache_dir: Some(dir.to_path_buf()),
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     })
 }
 

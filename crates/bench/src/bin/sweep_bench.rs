@@ -24,13 +24,38 @@
 //! - `plan_build_dfs_ms` / `plan_speedup`: the retained per-site-DFS
 //!   reference builder's cost on the same circuit, and the ratio — the
 //!   cold-start win of the merge builder.
+//! - `whatif_resweep_ms` / `whatif_dirty_site_fraction` /
+//!   `whatif_full_recompute_ms`: the incremental what-if engine on a
+//!   single-gate TMR — dirty-region re-sweep cost and dirty fraction
+//!   vs the from-scratch recompute an edit used to require (the run
+//!   also asserts the incremental state matches that oracle bitwise).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use ser_epp::{AnalysisSession, KernelBackend, PolarityMode, SiteWorkspace};
+use ser_epp::{AnalysisSession, Edit, KernelBackend, PolarityMode, SiteWorkspace, WhatIfSession};
 use ser_gen::synthesize;
 use ser_netlist::{ConePlans, FlatConePlans, NodeId};
+
+/// Number of nodes with a DFF-free path into `root` — the what-if
+/// engine's dirty region for an edit at a fanout-free gate.
+fn comb_fanin_closure(circuit: &ser_netlist::Circuit, root: NodeId) -> usize {
+    let mut seen = vec![false; circuit.len()];
+    let mut stack = vec![root];
+    let mut count = 0;
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut seen[id.index()], true) {
+            continue;
+        }
+        count += 1;
+        let node = circuit.node(id);
+        if node.kind() != ser_netlist::GateKind::Dff {
+            stack.extend_from_slice(node.fanin());
+        }
+    }
+    count
+}
 
 /// Latency percentile over a sorted sample, in microseconds.
 fn percentile_us(sorted: &[f64], q: f64) -> f64 {
@@ -62,10 +87,22 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
-    let names: &[&str] = if quick {
-        &["s953"]
+    let only = args
+        .iter()
+        .position(|a| a == "--circuit")
+        .and_then(|i| args.get(i + 1).cloned());
+    let names: Vec<&str> = if let Some(only) = only.as_deref() {
+        vec![match only {
+            "s953" => "s953",
+            "s1196" => "s1196",
+            "s1423" => "s1423",
+            "s9234" => "s9234",
+            other => panic!("unknown bench circuit `{other}`"),
+        }]
+    } else if quick {
+        vec!["s953"]
     } else {
-        &["s953", "s1196", "s1423", "s9234"]
+        vec!["s953", "s1196", "s1423", "s9234"]
     };
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -184,13 +221,60 @@ fn main() {
         };
         assert_eq!(sweep1.p_sensitized().len(), n, "sweep covered every node");
 
+        // --- What-if: single-gate TMR, incremental vs from-scratch. ---
+        // Target: a fanout-free logic gate (a PO driver) with the
+        // smallest combinational fan-in cone. Fanout-free keeps the
+        // dirty region at the gate's own fan-in closure — a TMR
+        // voter's signal probability moves, so an edit with downstream
+        // consumers dirties everything its perturbation reaches
+        // through the DFF fixed point. Small-cone makes the record
+        // measure blast-radius-proportional cost, the property the
+        // engine sells.
+        let target = circuit
+            .node_ids()
+            .filter(|&id| {
+                circuit.node(id).kind().is_logic() && circuit.node(id).fanout().is_empty()
+            })
+            .min_by_key(|&id| (comb_fanin_closure(&circuit, id), id.index()))
+            .expect("bench circuits have fanout-free logic gates");
+        let mut wf = WhatIfSession::with_base_results(session.clone(), Arc::new(sweep1.clone()), 1);
+        let mut whatif_ms = f64::INFINITY;
+        let mut dirty_fraction = 0.0;
+        for _ in 0..3 {
+            let outcome = wf.apply(Edit::Tmr(target)).expect("valid TMR target");
+            whatif_ms = whatif_ms.min(outcome.elapsed.as_secs_f64() * 1e3);
+            dirty_fraction = outcome.dirty_sites as f64 / outcome.total_sites as f64;
+            wf.revert();
+        }
+        // What the same edit costs without the engine: a fresh session
+        // on the edited circuit (compile + plans + whole-circuit
+        // sweep) — and the oracle the incremental state must match.
+        let outcome = wf.apply(Edit::Tmr(target)).expect("valid TMR target");
+        let t = Instant::now();
+        let (full, full_total) = wf.full_recompute().expect("edited circuit recompiles");
+        let whatif_full_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            full_total.to_bits(),
+            wf.total_ser().to_bits(),
+            "incremental total diverged from the from-scratch oracle"
+        );
+        assert_eq!(
+            &full,
+            wf.results().as_ref(),
+            "incremental arena diverged from the from-scratch oracle"
+        );
+        let whatif_dirty = outcome.dirty_sites;
+        drop(wf);
+
         let speedup_1t = batched_1t.sites_per_sec / reference.sites_per_sec;
         let speedup_mt = (n as f64 / batched_mt_total) / reference.sites_per_sec;
         eprintln!(
-            "{name}: {n} nodes | ref {:.0}/s | batched(1t) {:.0}/s ({speedup_1t:.2}x) | batched({mt_threads_used}t used) {:.0}/s ({speedup_mt:.2}x) | plans {plan_build_ms:.1}ms (dfs {plan_build_dfs_ms:.1}ms, {plan_speedup:.1}x) | arena {arena_members} stored / {logical_members} logical ({dedup_factor:.1}x), {arena_bytes} B",
+            "{name}: {n} nodes | ref {:.0}/s | batched(1t) {:.0}/s ({speedup_1t:.2}x) | batched({mt_threads_used}t used) {:.0}/s ({speedup_mt:.2}x) | plans {plan_build_ms:.1}ms (dfs {plan_build_dfs_ms:.1}ms, {plan_speedup:.1}x) | arena {arena_members} stored / {logical_members} logical ({dedup_factor:.1}x), {arena_bytes} B | whatif TMR {whatif_ms:.2}ms ({whatif_dirty} dirty, {:.1}% of sites; full {whatif_full_ms:.1}ms, warm sweep {:.1}ms)",
             reference.sites_per_sec,
             batched_1t.sites_per_sec,
             n as f64 / batched_mt_total,
+            dirty_fraction * 100.0,
+            batched1_total * 1e3,
         );
 
         let mut rec = String::from("  {");
@@ -209,7 +293,8 @@ fn main() {
         );
         let _ = write!(
             rec,
-            ", \"speedup_1t\": {speedup_1t:.3}, \"speedup_mt\": {speedup_mt:.3}}}"
+            ", \"speedup_1t\": {speedup_1t:.3}, \"speedup_mt\": {speedup_mt:.3}, \"whatif_resweep_ms\": {whatif_ms:.3}, \"whatif_dirty_site_fraction\": {:.4}, \"whatif_full_recompute_ms\": {whatif_full_ms:.3}}}",
+            dirty_fraction
         );
         records.push(rec);
     }

@@ -68,6 +68,7 @@ mod ser_model;
 mod session;
 mod simd;
 mod sweep;
+mod whatif;
 
 pub use analysis::{AnalysisOutcome, CircuitSerAnalysis};
 pub use electrical::{gate_depths_from, ElectricalMasking};
@@ -82,8 +83,9 @@ pub use four_value::{FourValue, SUM_TOLERANCE};
 pub use hardening::{HardeningChoice, HardeningCost, HardeningPlan};
 pub use matrix::VulnerabilityMatrix;
 pub use multi_cycle::{
-    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential, MultiCycleEpp,
-    MultiCycleMcEstimate, MultiCycleResult,
+    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential,
+    multi_cycle_monte_carlo_sequential_observed, MultiCycleEpp, MultiCycleMcEstimate,
+    MultiCycleResult,
 };
 pub use rules::propagate;
 pub use ser_model::{PlatchedModel, RseuModel, SerEntry, SerReport};
@@ -92,3 +94,4 @@ pub use simd::KernelBackend;
 pub use sweep::{
     EppSiteView, SweepResults, SweepSiteRef, SweepWorkspace, SINGLE_THREAD_SWEEP_THRESHOLD,
 };
+pub use whatif::{Edit, SiteDelta, WhatIfOutcome, WhatIfSession};

@@ -206,7 +206,7 @@ pub fn multi_cycle_monte_carlo(
     seed: u64,
 ) -> Result<Vec<f64>, ser_netlist::NetlistError> {
     assert!(runs > 0, "at least one run");
-    let est = run_multi_cycle_mc(circuit.into(), site, cycles, runs, None, seed)?;
+    let est = run_multi_cycle_mc(circuit.into(), site, cycles, runs, None, seed, None)?;
     Ok(est.cumulative)
 }
 
@@ -264,7 +264,50 @@ pub fn multi_cycle_monte_carlo_sequential(
     );
     assert!(max_runs > 0, "at least one run");
     let needed = (1.0 / (target_error * target_error)).ceil() as u64 + 2;
-    run_multi_cycle_mc(circuit.into(), site, cycles, max_runs, Some(needed), seed)
+    run_multi_cycle_mc(circuit.into(), site, cycles, max_runs, Some(needed), seed, None)
+}
+
+/// [`multi_cycle_monte_carlo_sequential`] with a progress observer:
+/// after every 64-run block, `observer(runs_done, observed_final)`
+/// reports the runs spent so far and the final-cycle success count —
+/// the raw tick a service throttles (e.g. at doubling thresholds) into
+/// wire `progress` frames. The observer is pure telemetry: the RNG
+/// stream, stopping decisions, and estimate are bit-identical to the
+/// unobserved call.
+///
+/// # Errors
+///
+/// Returns [`ser_netlist::NetlistError`] if the circuit cannot be
+/// simulated.
+///
+/// # Panics
+///
+/// Panics if `cycles` or `max_runs` is 0 or `target_error` is outside
+/// `(0, 1)`.
+pub fn multi_cycle_monte_carlo_sequential_observed(
+    circuit: impl Into<Arc<Circuit>>,
+    site: NodeId,
+    cycles: usize,
+    target_error: f64,
+    max_runs: u64,
+    seed: u64,
+    observer: &mut dyn FnMut(u64, u64),
+) -> Result<MultiCycleMcEstimate, ser_netlist::NetlistError> {
+    assert!(
+        target_error.is_finite() && target_error > 0.0 && target_error < 1.0,
+        "target error {target_error} outside (0,1)"
+    );
+    assert!(max_runs > 0, "at least one run");
+    let needed = (1.0 / (target_error * target_error)).ceil() as u64 + 2;
+    run_multi_cycle_mc(
+        circuit.into(),
+        site,
+        cycles,
+        max_runs,
+        Some(needed),
+        seed,
+        Some(observer),
+    )
 }
 
 /// The shared differential-simulation core: runs 64-lane blocks up to
@@ -278,6 +321,7 @@ fn run_multi_cycle_mc(
     max_runs: u64,
     needed: Option<u64>,
     seed: u64,
+    mut observer: Option<&mut dyn FnMut(u64, u64)>,
 ) -> Result<MultiCycleMcEstimate, ser_netlist::NetlistError> {
     assert!(cycles > 0, "at least the SEU cycle");
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -315,6 +359,9 @@ fn run_multi_cycle_mc(
             observed[cycle] += u64::from((seen & valid).count_ones());
         }
         done += u64::from(lanes);
+        if let Some(obs) = observer.as_deref_mut() {
+            obs(done, observed[cycles - 1]);
+        }
     }
     let final_successes = observed[cycles - 1];
     let stopped_by_rule = needed.is_some_and(|k| final_successes >= k);
@@ -448,6 +495,31 @@ y = NOT(q)
         // Monotone after the debias scaling.
         for w in est.cumulative.windows(2) {
             assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sequential_observer_ticks_without_perturbing_the_estimate() {
+        let c = parse_bench(PIPE, "pipe").unwrap();
+        let u = c.find("u").unwrap();
+        let plain = multi_cycle_monte_carlo_sequential(&c, u, 3, 0.1, 1 << 20, 7).unwrap();
+        let mut ticks: Vec<(u64, u64)> = Vec::new();
+        let observed = multi_cycle_monte_carlo_sequential_observed(
+            &c,
+            u,
+            3,
+            0.1,
+            1 << 20,
+            7,
+            &mut |runs, seen| ticks.push((runs, seen)),
+        )
+        .unwrap();
+        assert_eq!(observed, plain, "the observer is pure telemetry");
+        assert!(!ticks.is_empty(), "one tick per 64-run block");
+        assert_eq!(ticks.last().unwrap().0, observed.runs, "final tick is the total");
+        for w in ticks.windows(2) {
+            assert!(w[0].0 < w[1].0, "run counts strictly increase");
+            assert!(w[0].1 <= w[1].1, "success counts never decrease");
         }
     }
 

@@ -416,6 +416,157 @@ impl SweepResults {
         out.threads_used = out.threads_used.max(1);
         out
     }
+
+    /// Assembles a dense whole-circuit arena site by site — the splice
+    /// primitive the what-if engine uses to merge re-swept dirty sites
+    /// into a cached base sweep. `fill` is called once per node in id
+    /// order; it appends the site's per-point arrivals to the shared
+    /// arena and returns `(p_sensitized, on_path_gates)`. The result is
+    /// indistinguishable from a fresh [`EppAnalysis::sweep`] producing
+    /// the same per-site payloads (`threads_used` is 1; equality
+    /// ignores it). `points_capacity` pre-sizes the shared arrival
+    /// arena (a hint — the arena still grows if `fill` overshoots);
+    /// splice callers pass the base arena's
+    /// [`total_points`](Self::total_points), which is within a few
+    /// sites of exact.
+    #[must_use]
+    pub fn assemble_dense(
+        n_sites: usize,
+        points_capacity: usize,
+        mut fill: impl FnMut(NodeId, &mut Vec<PointEpp>) -> (f64, u32),
+    ) -> SweepResults {
+        let mut out = SweepResults {
+            sites: (0..n_sites).map(NodeId::from_index).collect(),
+            dense: true,
+            p_sensitized: Vec::with_capacity(n_sites),
+            on_path_gates: Vec::with_capacity(n_sites),
+            point_off: Vec::with_capacity(n_sites + 1),
+            points: Vec::with_capacity(points_capacity),
+            threads_used: 1,
+        };
+        out.point_off.push(0);
+        for i in 0..n_sites {
+            let before = out.points.len();
+            let (p_sens, gates) = fill(NodeId::from_index(i), &mut out.points);
+            out.p_sensitized.push(p_sens);
+            out.on_path_gates.push(gates);
+            let n_points = u32::try_from(out.points.len() - before).expect("points fit u32");
+            let last = *out.point_off.last().expect("non-empty offsets");
+            out.point_off.push(last + n_points);
+        }
+        out
+    }
+
+    /// The sink-TMR splice, specialized from
+    /// [`assemble_dense`](Self::assemble_dense) into bulk copies: `self`
+    /// is the dense pre-edit arena, the gate at old index `g_idx` was
+    /// hardened in place (six inserted nodes, so every id at or above
+    /// `g_idx` shifts up by 6) and `struct_res` holds the seven freshly
+    /// swept replacement sites in id order.
+    ///
+    /// The arena is its own probe: a fanout-free gate is observed as
+    /// its own primary output, and a stored arrival at a primary
+    /// output *is* the [`PolarityMode::Tracked`] four-value state of
+    /// that node — exactly the state the three replicas reproduce
+    /// bitwise after hardening (same kinds, same fanins, same
+    /// on/off-path classification). So each `fast` site's new arrival
+    /// at the gate's observe point is `voter_of` (the TMR voter rule)
+    /// applied to the arrival the site already has on record, and no
+    /// cone is re-walked at all. The patch runs in one pass per site:
+    /// bulk `extend_from_slice`, voter substitution at the gate's
+    /// point, id shift, and the sensitization fold re-run in observe
+    /// order (plus the six voter-tree gates on the site's path count).
+    ///
+    /// Bit-for-bit equal to re-sweeping every `fast` site on the
+    /// edited circuit: the copies, patches, and folds perform the same
+    /// float operations in the same order as the kernel's own observe
+    /// emission.
+    #[must_use]
+    pub(crate) fn splice_tmr_sink(
+        &self,
+        g_idx: usize,
+        struct_res: &SweepResults,
+        fast: &[bool],
+        voter_of: impl Fn(FourValue) -> FourValue,
+    ) -> SweepResults {
+        debug_assert!(self.dense, "splice requires the dense base arena");
+        debug_assert_eq!(struct_res.len(), 7, "replicas, voter pairs, voter");
+        let n_old = self.sites.len();
+        let g_point = ObservePoint::PrimaryOutput(NodeId::from_index(g_idx));
+        let g_span = (self.point_off[g_idx + 1] - self.point_off[g_idx]) as usize;
+        let mut out = SweepResults {
+            sites: (0..n_old + 6).map(NodeId::from_index).collect(),
+            dense: true,
+            p_sensitized: Vec::with_capacity(n_old + 6),
+            on_path_gates: Vec::with_capacity(n_old + 6),
+            point_off: Vec::with_capacity(n_old + 7),
+            points: Vec::with_capacity(self.points.len() - g_span + struct_res.points.len()),
+            threads_used: 1,
+        };
+        out.point_off.push(0);
+        let shift = |id: NodeId| {
+            if id.index() >= g_idx {
+                NodeId::from_index(id.index() + 6)
+            } else {
+                id
+            }
+        };
+        let copy_patched = |out: &mut SweepResults, old: usize| {
+            let start = out.points.len();
+            out.points.extend_from_slice(
+                &self.points[self.point_off[old] as usize..self.point_off[old + 1] as usize],
+            );
+            let mut patched = false;
+            for p in &mut out.points[start..] {
+                if fast[old] && p.point == g_point {
+                    p.value = voter_of(p.value);
+                    patched = true;
+                }
+                p.point = match p.point {
+                    ObservePoint::PrimaryOutput(id) => ObservePoint::PrimaryOutput(shift(id)),
+                    ObservePoint::FlipFlop { dff, data } => ObservePoint::FlipFlop {
+                        dff: shift(dff),
+                        data: shift(data),
+                    },
+                };
+            }
+            if patched {
+                out.p_sensitized.push(combine_sensitization(
+                    out.points[start..].iter().map(PointEpp::p_arrival),
+                ));
+            } else {
+                out.p_sensitized.push(self.p_sensitized[old]);
+            }
+            out.on_path_gates
+                .push(self.on_path_gates[old] + if fast[old] { 6 } else { 0 });
+            let n = u32::try_from(out.points.len() - start).expect("points fit u32");
+            let last = *out.point_off.last().expect("non-empty offsets");
+            out.point_off.push(last + n);
+        };
+        for old in 0..g_idx {
+            copy_patched(&mut out, old);
+        }
+        for s in 0..struct_res.len() {
+            debug_assert_eq!(
+                struct_res.sites[s].index(),
+                g_idx + s,
+                "struct splice order"
+            );
+            out.points.extend_from_slice(
+                &struct_res.points
+                    [struct_res.point_off[s] as usize..struct_res.point_off[s + 1] as usize],
+            );
+            out.p_sensitized.push(struct_res.p_sensitized[s]);
+            out.on_path_gates.push(struct_res.on_path_gates[s]);
+            let last = *out.point_off.last().expect("non-empty offsets");
+            out.point_off
+                .push(last + (struct_res.point_off[s + 1] - struct_res.point_off[s]));
+        }
+        for old in g_idx + 1..n_old {
+            copy_patched(&mut out, old);
+        }
+        out
+    }
 }
 
 /// Per-worker scratch for one sweep: SoA planes when cone plans are
@@ -543,6 +694,35 @@ impl EppAnalysis {
             pool,
             plans.as_deref(),
             backend.sanitized(),
+        )
+    }
+
+    /// The batched sweep over an explicit site list forced onto the
+    /// per-site reference kernel (no cone plans consulted, none
+    /// compiled). Bit-identical to the planned sweep; the what-if
+    /// engine uses it to re-sweep a handful of structurally dirty
+    /// sites on an edited circuit without paying that circuit's plan
+    /// compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or any site is out of range.
+    #[must_use]
+    pub fn sweep_sites_unplanned(
+        &self,
+        sites: &[NodeId],
+        polarity: PolarityMode,
+        threads: usize,
+        pool: &WorkspacePool,
+    ) -> SweepResults {
+        assert!(threads > 0, "at least one thread");
+        self.sweep_impl(
+            sites,
+            polarity,
+            threads,
+            pool,
+            None,
+            KernelBackend::auto().sanitized(),
         )
     }
 

@@ -152,6 +152,92 @@ impl TopoArtifacts {
             ..self.comb_fanout_off[id.index() + 1] as usize]
     }
 
+    /// Marks every node whose DFF-clipped cone intersects `seeds` —
+    /// the what-if engine's dirty-*site* query. A site's cone is itself
+    /// plus its forward closure over the clipped fanout, so the sites
+    /// whose cones touch a seed are exactly the seeds' combinational
+    /// ancestors (seeds included): the returned mask is computed by one
+    /// backward traversal over fanin edges, never entering a flip-flop
+    /// from below (an edge *into* a DFF is not a combinational edge, so
+    /// a DFF seed is only ever in its own cone).
+    ///
+    /// Equivalent to testing every site's [`ConePlan`] position list
+    /// against the seed set (see
+    /// [`ConePlan::intersects`](crate::ConePlan::intersects)),
+    /// but O(ancestors + edges) instead of O(sum of cones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is not the circuit these artifacts were
+    /// computed from, or a seed is out of range.
+    #[must_use]
+    pub fn comb_ancestors(
+        &self,
+        circuit: &Circuit,
+        seeds: impl IntoIterator<Item = NodeId>,
+    ) -> Vec<bool> {
+        assert_eq!(circuit.len(), self.len(), "artifacts' own circuit");
+        let mut marked = vec![false; circuit.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for seed in seeds {
+            if !marked[seed.index()] {
+                marked[seed.index()] = true;
+                stack.push(seed);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            // No combinational edge enters a DFF: stop walking up here.
+            if circuit.node(id).kind() == GateKind::Dff {
+                continue;
+            }
+            for &pred in circuit.node(id).fanin() {
+                if !marked[pred.index()] {
+                    marked[pred.index()] = true;
+                    stack.push(pred);
+                }
+            }
+        }
+        marked
+    }
+
+    /// Marks the forward closure of `seeds` over the DFF-clipped
+    /// fanout (seeds included) — the nodes an edit at the seeds can
+    /// combinationally influence within one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed is out of range.
+    #[must_use]
+    pub fn comb_descendants(&self, seeds: impl IntoIterator<Item = NodeId>) -> Vec<bool> {
+        let mut marked = vec![false; self.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for seed in seeds {
+            if !marked[seed.index()] {
+                marked[seed.index()] = true;
+                stack.push(seed);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            for &succ in self.comb_fanout(id) {
+                if !marked[succ.index()] {
+                    marked[succ.index()] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        marked
+    }
+
+    /// The already-built cone plans, if any — a peek that never
+    /// triggers compilation. The what-if engine uses this to decide
+    /// whether a dirty re-sweep can ride the warm plan kernel or should
+    /// take the per-site reference path instead of paying a cold plan
+    /// compile it was created to avoid.
+    #[must_use]
+    pub fn cone_plans_primed(&self) -> Option<&Arc<ConePlans>> {
+        self.plans.get().and_then(Option::as_ref)
+    }
+
     /// The cached per-site cone plans, built on first use and shared by
     /// every consumer of these artifacts (the batched sweep engine reads
     /// them instead of re-running a DFS + sort per site per sweep).
@@ -288,6 +374,46 @@ mod tests {
         // Equality ignores cache state.
         let fresh = TopoArtifacts::compute(&c).unwrap();
         assert_eq!(t, fresh);
+    }
+
+    #[test]
+    fn comb_ancestors_marks_exactly_cone_intersecting_sites() {
+        // u = NAND(a,b); q = DFF(u); y = XOR(u,q): seeding y marks
+        // everything combinationally upstream of y, clipped at the DFF.
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(u)\nu = NAND(a, b)\nq = DFF(u)\ny = XOR(u, q)\n",
+            "t",
+        )
+        .unwrap();
+        let t = TopoArtifacts::compute(&c).unwrap();
+        let y = c.find("y").unwrap();
+        let got = t.comb_ancestors(&c, [y]);
+        // Oracle: forward-DFS every site's cone and test membership.
+        for site in c.node_ids() {
+            let desc = t.comb_descendants([site]);
+            assert_eq!(
+                got[site.index()],
+                desc[y.index()],
+                "site {site}: ancestor mask must equal cone-contains-seed"
+            );
+        }
+        // The DFF's cone is itself only: seeding q marks just q.
+        let q = c.find("q").unwrap();
+        let only_q = t.comb_ancestors(&c, [q]);
+        assert_eq!(only_q.iter().filter(|&&m| m).count(), 1);
+        assert!(only_q[q.index()]);
+    }
+
+    #[test]
+    fn cone_plans_primed_is_a_peek() {
+        let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let t = TopoArtifacts::compute(&c).unwrap();
+        assert!(t.cone_plans_primed().is_none(), "peek must not compile");
+        let built = std::sync::Arc::clone(t.cone_plans(&c).unwrap());
+        assert!(std::sync::Arc::ptr_eq(
+            t.cone_plans_primed().unwrap(),
+            &built
+        ));
     }
 
     #[test]

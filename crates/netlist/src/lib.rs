@@ -67,6 +67,6 @@ pub use plan_cache::{PlanCache, PlanCacheStats, PlanStoreOutcome, PLAN_CACHE_EXT
 pub use scoap::{Scoap, SCOAP_INFINITY};
 pub use stats::CircuitStats;
 pub use topo::{depth, is_topo_order, levelize, topo_order};
-pub use transform::harden_tmr;
+pub use transform::{harden_tmr, swap_kind};
 pub use verilog::{parse_verilog, write_verilog};
 pub use write::write_bench;

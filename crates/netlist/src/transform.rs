@@ -110,6 +110,70 @@ pub fn harden_tmr(circuit: &Circuit, nodes: &[NodeId]) -> Result<Circuit, Netlis
     b.finish()
 }
 
+/// Replaces one logic gate's kind, keeping its name, fanins and every
+/// other node untouched. The returned circuit keeps the original name:
+/// a kind swap is an in-place ECO, not a derived variant.
+///
+/// Both the current node and the replacement `kind` must be pure logic
+/// ([`GateKind::is_logic`]), and the node's existing fanin count must
+/// satisfy the new kind's [`GateKind::arity_ok`] — so a 3-input gate
+/// cannot become a NOT.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidNodeId`] if `node` is out of range,
+/// or [`NetlistError::BadArity`] if either kind check above fails.
+///
+/// # Examples
+///
+/// ```
+/// use ser_netlist::{parse_bench, swap_kind, GateKind};
+///
+/// let c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t")?;
+/// let y = c.find("y").unwrap();
+/// let swapped = swap_kind(&c, y, GateKind::Nor)?;
+/// assert_eq!(swapped.node(swapped.find("y").unwrap()).kind(), GateKind::Nor);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn swap_kind(circuit: &Circuit, node: NodeId, kind: GateKind) -> Result<Circuit, NetlistError> {
+    let target = circuit.try_node(node)?;
+    if !target.kind().is_logic() || !kind.is_logic() || !kind.arity_ok(target.fanin().len()) {
+        return Err(NetlistError::BadArity {
+            name: target.name().to_owned(),
+            kind: kind.to_string(),
+            got: target.fanin().len(),
+        });
+    }
+
+    let mut b = CircuitBuilder::new(circuit.name().to_owned());
+    for (id, n) in circuit.iter() {
+        let fanin_names: Vec<String> = n
+            .fanin()
+            .iter()
+            .map(|&f| circuit.node(f).name().to_owned())
+            .collect();
+        match n.kind() {
+            GateKind::Input => {
+                b.input(n.name());
+            }
+            GateKind::Const0 => {
+                b.constant(n.name(), false);
+            }
+            GateKind::Const1 => {
+                b.constant(n.name(), true);
+            }
+            k => {
+                let k = if id == node { kind } else { k };
+                b.gate_named(n.name(), k, &fanin_names);
+            }
+        }
+    }
+    for &po in circuit.outputs() {
+        b.mark_output_named(circuit.node(po).name());
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +215,44 @@ mod tests {
         let q = h.find("q").unwrap();
         let dv = h.node(q).fanin()[0];
         assert_eq!(h.node(dv).name(), "d");
+    }
+
+    #[test]
+    fn swap_kind_replaces_exactly_one_kind() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nm = AND(a, b)\ny = OR(m, a)\n",
+            "t",
+        )
+        .unwrap();
+        let m = c.find("m").unwrap();
+        let s = swap_kind(&c, m, GateKind::Nand).unwrap();
+        assert_eq!(s.name(), "t", "kind swap keeps the circuit name");
+        assert_eq!(s.len(), c.len());
+        for (id, node) in c.iter() {
+            let sn = s.node(s.find(node.name()).unwrap());
+            let expect = if id == m { GateKind::Nand } else { node.kind() };
+            assert_eq!(sn.kind(), expect, "{}", node.name());
+            let fanins: Vec<&str> = sn.fanin().iter().map(|&f| s.node(f).name()).collect();
+            let orig: Vec<&str> = node.fanin().iter().map(|&f| c.node(f).name()).collect();
+            assert_eq!(fanins, orig, "{}", node.name());
+        }
+    }
+
+    #[test]
+    fn swap_kind_rejects_bad_targets() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(d)\nOUTPUT(y)\nq = DFF(d)\ny = AND(a, b, q)\n",
+            "t",
+        )
+        .unwrap();
+        let a = c.find("a").unwrap();
+        let q = c.find("q").unwrap();
+        let y = c.find("y").unwrap();
+        assert!(swap_kind(&c, a, GateKind::Not).is_err(), "input target");
+        assert!(swap_kind(&c, q, GateKind::And).is_err(), "dff target");
+        assert!(swap_kind(&c, y, GateKind::Dff).is_err(), "non-logic kind");
+        assert!(swap_kind(&c, y, GateKind::Not).is_err(), "arity mismatch");
+        assert!(swap_kind(&c, y, GateKind::Xor).is_ok(), "n-ary swap ok");
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   [`Circuit::structural_hash`](ser_netlist::Circuit::structural_hash),
 //!   with typed requests ([`SweepRequest`], [`SiteRequest`],
 //!   [`MultiCycleRequest`], [`MonteCarloRequest`]), arena-backed
-//!   responses, cross-request response caching, and streaming
-//!   [`Progress`] events ([`SerService::submit_streaming`]).
+//!   responses, cross-request response caching, streaming
+//!   [`Progress`] events ([`SerService::submit_streaming`]), and warm
+//!   per-netlist what-if stacks ([`SerService::whatif_apply`] /
+//!   [`SerService::whatif_revert`]) for the interactive
+//!   rank → harden → re-rank loop.
 //! - [`Executor`] — the shared FIFO worker pool every request fans out
 //!   onto, so concurrent sweeps on different circuits interleave
 //!   instead of serializing.
@@ -93,7 +96,8 @@ pub use net::{TcpShutdownHandle, TcpTransport};
 pub use protocol::{
     parse_wire_line, serve, Connection, EngineConfig, ErrorCode, FrameSink, LineStream,
     MonteCarloOp, MultiCycleMcOp, MultiCycleOp, ParsedLine, ProtocolEngine, SetInputsOp, SiteOp,
-    StdioTransport, SweepOp, Transport, WireError, WireOp, WireRequest, PROTOCOL_VERSION,
+    StdioTransport, SweepOp, Transport, WhatIfEditOp, WhatIfOp, WhatIfRevertOp, WireError, WireOp,
+    WireRequest, PROTOCOL_VERSION,
 };
 pub use request::{
     MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, ResponseMeta,

@@ -41,8 +41,8 @@ use std::collections::HashMap;
 use std::io::{self, BufRead as _, Write};
 use std::sync::{Arc, Condvar, Mutex};
 
-use ser_epp::PolarityMode;
-use ser_netlist::{parse_bench, parse_verilog, Circuit, NodeId};
+use ser_epp::{Edit, PolarityMode, WhatIfOutcome};
+use ser_netlist::{parse_bench, parse_verilog, Circuit, GateKind, NodeId};
 use ser_sp::InputProbs;
 
 use crate::jobs::{self, JobSpec};
@@ -82,6 +82,9 @@ pub enum ErrorCode {
     Compile,
     /// The simulation leg failed structurally.
     Simulation,
+    /// The request asked for more work than the service's configured
+    /// ceiling allows (`max_vectors` / `max_cycles` / `max_runs`).
+    CapExceeded,
     /// The connection has not presented the server's shared secret.
     Unauthorized,
     /// The connection exhausted its per-client request quota.
@@ -102,6 +105,7 @@ impl ErrorCode {
             ErrorCode::NotFound => "not_found",
             ErrorCode::Compile => "compile",
             ErrorCode::Simulation => "simulation",
+            ErrorCode::CapExceeded => "cap_exceeded",
             ErrorCode::Unauthorized => "unauthorized",
             ErrorCode::QuotaExceeded => "quota_exceeded",
             ErrorCode::Internal => "internal",
@@ -158,6 +162,7 @@ impl From<&ServiceError> for WireError {
             ServiceError::Compile(_) => ErrorCode::Compile,
             ServiceError::SiteOutOfRange { .. } => ErrorCode::NotFound,
             ServiceError::InvalidRequest(_) => ErrorCode::BadRequest,
+            ServiceError::CapExceeded { .. } => ErrorCode::CapExceeded,
             ServiceError::Simulation(_) => ErrorCode::Simulation,
         };
         WireError::new(code, e.to_string())
@@ -218,6 +223,11 @@ pub enum WireOp {
     /// Multi-cycle frame expansion with an optional nested simulation
     /// config.
     MultiCycle(MultiCycleOp),
+    /// Apply one incremental edit to a netlist's warm what-if stack
+    /// and stream the dirty-region per-site deltas.
+    WhatIf(WhatIfOp),
+    /// Pop the most recent edit of a netlist's what-if stack.
+    WhatIfRevert(WhatIfRevertOp),
 }
 
 /// Parameters of a v2 `sweep`.
@@ -277,6 +287,11 @@ pub struct MultiCycleOp {
     pub cycles: usize,
     /// The nested simulation-leg config, when requested.
     pub monte_carlo: Option<MultiCycleMcOp>,
+    /// Stream `progress` frames while a sequential simulation leg is
+    /// under way (default on; meaningless without
+    /// `monte_carlo.target_error`) — the same doubling-threshold run
+    /// counters the single-cycle `monte_carlo` op reports.
+    pub progress: bool,
 }
 
 /// The nested `"monte_carlo"` object of a v2 `multi_cycle`.
@@ -288,6 +303,66 @@ pub struct MultiCycleMcOp {
     pub target_error: Option<f64>,
     /// PRNG seed.
     pub seed: Option<u64>,
+}
+
+/// Parameters of a v2 `whatif` — one incremental edit against the
+/// netlist's warm what-if stack. Node names resolve against the
+/// stack's **current** (possibly already-edited) circuit, so a client
+/// can TMR a replica it created one edit ago.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfOp {
+    /// Netlist path (names the *base* circuit; the stack is keyed by
+    /// its structural hash).
+    pub netlist: String,
+    /// The edit to apply.
+    pub edit: WhatIfEditOp,
+    /// Per-site deltas per `chunk` frame (default 256).
+    pub chunk_sites: usize,
+}
+
+/// The `"edit"` of a v2 `whatif`, discriminated by the envelope's
+/// `"edit"` string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhatIfEditOp {
+    /// `"edit": "tmr"` — protect `node` with triple modular redundancy.
+    Tmr {
+        /// Gate name, resolved against the stack's current circuit.
+        node: String,
+    },
+    /// `"edit": "swap_kind"` — replace `node`'s gate function in place.
+    SwapKind {
+        /// Gate name, resolved against the stack's current circuit.
+        node: String,
+        /// The replacement function.
+        kind: GateKind,
+    },
+    /// `"edit": "set_inputs"` — a new input distribution (same nested
+    /// `"inputs"` object as the `set_inputs` op).
+    SetInputs {
+        /// Probability for inputs without an override.
+        default_p: f64,
+        /// Per-input overrides, by node name.
+        overrides: Vec<(String, f64)>,
+    },
+}
+
+impl WhatIfEditOp {
+    /// The wire spelling echoed in the result frame.
+    #[must_use]
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            WhatIfEditOp::Tmr { .. } => "tmr",
+            WhatIfEditOp::SwapKind { .. } => "swap_kind",
+            WhatIfEditOp::SetInputs { .. } => "set_inputs",
+        }
+    }
+}
+
+/// Parameters of a v2 `whatif_revert`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfRevertOp {
+    /// Netlist path (names the base circuit whose stack to pop).
+    pub netlist: String,
 }
 
 /// Parameters of a v2 `set_inputs`.
@@ -542,8 +617,45 @@ fn parse_v2(pairs: Vec<(String, JsonValue)>) -> Result<WireRequest, WireError> {
                 node,
                 cycles,
                 monte_carlo,
+                progress: fields.take_bool("progress", true)?,
             })
         }
+        "whatif" => {
+            let netlist = fields.need_str("netlist", "whatif")?;
+            let edit = match fields.need_str("edit", "whatif")?.as_str() {
+                "tmr" => WhatIfEditOp::Tmr {
+                    node: fields.need_str("node", "whatif")?,
+                },
+                "swap_kind" => WhatIfEditOp::SwapKind {
+                    node: fields.need_str("node", "whatif")?,
+                    kind: parse_gate_kind(&fields.need_str("kind", "whatif")?)?,
+                },
+                "set_inputs" => {
+                    let (default_p, overrides) = parse_inputs_object(fields.take("inputs"))?;
+                    WhatIfEditOp::SetInputs {
+                        default_p,
+                        overrides,
+                    }
+                }
+                other => {
+                    return Err(bad(format!(
+                        "`edit` must be \"tmr\", \"swap_kind\" or \"set_inputs\", got \"{other}\""
+                    )))
+                }
+            };
+            let chunk_sites = fields.take_count("chunk_sites")?.unwrap_or(256) as usize;
+            if chunk_sites == 0 {
+                return Err(bad("`chunk_sites` must be ≥ 1"));
+            }
+            WireOp::WhatIf(WhatIfOp {
+                netlist,
+                edit,
+                chunk_sites,
+            })
+        }
+        "whatif_revert" => WireOp::WhatIfRevert(WhatIfRevertOp {
+            netlist: fields.need_str("netlist", "whatif_revert")?,
+        }),
         other => {
             return Err(WireError::new(
                 ErrorCode::UnknownOp,
@@ -553,6 +665,26 @@ fn parse_v2(pairs: Vec<(String, JsonValue)>) -> Result<WireRequest, WireError> {
     };
     fields.finish(&op_name)?;
     Ok(WireRequest { id, op })
+}
+
+/// Parses a `whatif` `"kind"` string into the replacement gate
+/// function — logic kinds only, because a swap to `input`/`dff`/const
+/// is not a function change but a structural rewrite the what-if
+/// engine does not model.
+fn parse_gate_kind(name: &str) -> Result<GateKind, WireError> {
+    match name {
+        "and" => Ok(GateKind::And),
+        "nand" => Ok(GateKind::Nand),
+        "or" => Ok(GateKind::Or),
+        "nor" => Ok(GateKind::Nor),
+        "not" => Ok(GateKind::Not),
+        "buf" => Ok(GateKind::Buf),
+        "xor" => Ok(GateKind::Xor),
+        "xnor" => Ok(GateKind::Xnor),
+        other => Err(bad(format!(
+            "`kind` must be a logic gate (and/nand/or/nor/not/buf/xor/xnor), got \"{other}\""
+        ))),
+    }
 }
 
 /// Parses a `set_inputs` `"inputs"` object:
@@ -1253,19 +1385,18 @@ impl ProtocolEngine {
                 Err(e) => Ok(Err(e)),
             },
             WireOp::MonteCarlo(op) => self.run_monte_carlo(id, op, sink),
-            WireOp::MultiCycle(op) => match self.run_simple(id, &op.netlist, |circuit| {
-                Ok(Request::MultiCycle(MultiCycleRequest {
-                    site: resolve_node(circuit, &op.node)?,
-                    cycles: op.cycles,
-                    monte_carlo: op.monte_carlo.as_ref().map(|mc| MultiCycleMcRequest {
-                        runs: mc.runs,
-                        target_error: mc.target_error,
-                        seed: mc.seed.unwrap_or(JobSpec::DEFAULT_SEED),
-                    }),
-                }))
-            }) {
-                Ok(frame) => {
-                    sink.send(&frame)?;
+            WireOp::MultiCycle(op) => self.run_multi_cycle(id, op, sink),
+            WireOp::WhatIf(op) => self.run_whatif(id, op, sink),
+            WireOp::WhatIfRevert(op) => match self.run_whatif_revert(op) {
+                Ok((circuit, depth, total)) => {
+                    sink.send(&format!(
+                        "{}, \"op\": \"whatif_revert\", \"circuit\": \"{}\", \
+                         \"netlist_hash\": \"{:016x}\", \"total_ser\": {}, \"depth\": {depth}}}",
+                        frame_head("result", id),
+                        json_escape(circuit.name()),
+                        circuit.structural_hash(),
+                        fmt_f64(total)
+                    ))?;
                     Ok(Ok(()))
                 }
                 Err(e) => Ok(Err(e)),
@@ -1435,6 +1566,155 @@ impl ProtocolEngine {
         }
     }
 
+    fn run_multi_cycle(
+        &self,
+        id: Option<&str>,
+        op: &MultiCycleOp,
+        sink: &FrameSink,
+    ) -> io::Result<Result<(), WireError>> {
+        let circuit = match self.load_circuit(&op.netlist) {
+            Ok(c) => c,
+            Err(e) => return Ok(Err(e)),
+        };
+        let site = match resolve_node(&circuit, &op.node) {
+            Ok(s) => s,
+            Err(e) => return Ok(Err(e)),
+        };
+        let request = Request::MultiCycle(MultiCycleRequest {
+            site,
+            cycles: op.cycles,
+            monte_carlo: op.monte_carlo.as_ref().map(|mc| MultiCycleMcRequest {
+                runs: mc.runs,
+                target_error: mc.target_error,
+                seed: mc.seed.unwrap_or(JobSpec::DEFAULT_SEED),
+            }),
+        });
+        let _permit = self.inflight.acquire();
+        // Progress only makes sense when the simulation leg runs under
+        // the sequential stopping rule (data-dependent runtime).
+        let streaming = op.progress
+            && op
+                .monte_carlo
+                .as_ref()
+                .is_some_and(|mc| mc.target_error.is_some());
+        let response = if streaming {
+            let sink = sink.clone();
+            let id: Option<String> = id.map(str::to_owned);
+            self.service.submit_streaming(
+                &circuit,
+                request,
+                Arc::new(move |p: Progress| {
+                    let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
+                }),
+            )
+        } else {
+            self.service.submit(&circuit, request)
+        };
+        match response {
+            Ok(response) => {
+                sink.send(&format!(
+                    "{}, {}}}",
+                    frame_head("result", id),
+                    response_fields(None, &circuit, &response, true)
+                ))?;
+                Ok(Ok(()))
+            }
+            Err(e) => Ok(Err(e.into())),
+        }
+    }
+
+    /// Serves a `whatif` op: applies the edit to the netlist's warm
+    /// stack, pages the dirty-region per-site deltas into `chunk`
+    /// frames (`old_p` is `null` for sites the edit introduced), then
+    /// sends a result frame with the new total and the re-sweep
+    /// telemetry. The incremental engine guarantees the spliced state
+    /// is bit-identical to a from-scratch analysis, so the wire totals
+    /// can be compared bitwise against a full `sweep` of the edited
+    /// circuit.
+    fn run_whatif(
+        &self,
+        id: Option<&str>,
+        op: &WhatIfOp,
+        sink: &FrameSink,
+    ) -> io::Result<Result<(), WireError>> {
+        let circuit = match self.load_circuit(&op.netlist) {
+            Ok(c) => c,
+            Err(e) => return Ok(Err(e)),
+        };
+        let _permit = self.inflight.acquire();
+        // The resolver runs against the stack's *current* circuit; a
+        // resolution failure is stashed so its error code (not_found /
+        // bad_request) survives the trip through `ServiceError`.
+        let mut resolve_err: Option<WireError> = None;
+        let result = self.service.whatif_apply(&circuit, |current| {
+            build_whatif_edit(current, &op.edit).map_err(|e| {
+                let msg = e.message.clone();
+                resolve_err = Some(e);
+                ServiceError::InvalidRequest(msg)
+            })
+        });
+        let outcome: WhatIfOutcome = match result {
+            Ok(o) => o,
+            Err(e) => {
+                return Ok(Err(match resolve_err {
+                    Some(wire) => wire,
+                    None => e.into(),
+                }))
+            }
+        };
+
+        let mut chunks = 0usize;
+        for (seq, chunk) in outcome.deltas.chunks(op.chunk_sites).enumerate() {
+            let mut frame = format!("{}, \"seq\": {seq}, \"deltas\": [", frame_head("chunk", id));
+            for (i, delta) in chunk.iter().enumerate() {
+                if i > 0 {
+                    frame.push_str(", ");
+                }
+                let old = match delta.old_p {
+                    Some(p) => fmt_f64(p),
+                    None => "null".to_owned(),
+                };
+                frame.push_str(&format!(
+                    "{{\"node\": \"{}\", \"old_p\": {old}, \"new_p\": {}}}",
+                    json_escape(&delta.name),
+                    fmt_f64(delta.new_p)
+                ));
+            }
+            frame.push_str("]}");
+            sink.send(&frame)?;
+            chunks = seq + 1;
+        }
+        sink.send(&format!(
+            "{}, \"op\": \"whatif\", \"circuit\": \"{}\", \"netlist_hash\": \"{:016x}\", \
+             \"edit\": \"{}\", \"total_ser\": {}, \"previous_ser\": {}, \"dirty_sites\": {}, \
+             \"resweep_planned\": {}, \"resweep_reference\": {}, \"total_sites\": {}, \
+             \"depth\": {}, \"elapsed_us\": {}, \"chunks\": {chunks}}}",
+            frame_head("result", id),
+            json_escape(circuit.name()),
+            circuit.structural_hash(),
+            op.edit.kind_str(),
+            fmt_f64(outcome.total),
+            fmt_f64(outcome.previous_total),
+            outcome.dirty_sites,
+            outcome.resweep_planned,
+            outcome.resweep_reference,
+            outcome.total_sites,
+            outcome.depth,
+            outcome.elapsed.as_micros()
+        ))?;
+        Ok(Ok(()))
+    }
+
+    fn run_whatif_revert(
+        &self,
+        op: &WhatIfRevertOp,
+    ) -> Result<(Arc<Circuit>, usize, f64), WireError> {
+        let circuit = self.load_circuit(&op.netlist)?;
+        let _permit = self.inflight.acquire();
+        let (depth, total) = self.service.whatif_revert(&circuit)?;
+        Ok((circuit, depth, total))
+    }
+
     /// Loads (or reuses) a netlist by path. The cache is engine-wide:
     /// every connection shares one parse and one `Arc<Circuit>` per
     /// path, which also keeps the service's session cache keyed
@@ -1513,6 +1793,27 @@ fn hello_frame(id: Option<&str>) -> String {
         "{}, \"op\": \"hello\", \"protocol\": {PROTOCOL_VERSION}, \"server\": \"ser-service\"}}",
         frame_head("result", id)
     )
+}
+
+/// Resolves a wire-level what-if edit against the stack's current
+/// circuit into the engine's typed [`Edit`].
+fn build_whatif_edit(circuit: &Circuit, edit: &WhatIfEditOp) -> Result<Edit, WireError> {
+    match edit {
+        WhatIfEditOp::Tmr { node } => Ok(Edit::Tmr(resolve_node(circuit, node)?)),
+        WhatIfEditOp::SwapKind { node, kind } => {
+            Ok(Edit::SwapKind(resolve_node(circuit, node)?, *kind))
+        }
+        WhatIfEditOp::SetInputs {
+            default_p,
+            overrides,
+        } => {
+            let mut inputs = InputProbs::uniform(*default_p);
+            for (name, p) in overrides {
+                inputs = inputs.with(resolve_node(circuit, name)?, *p);
+            }
+            Ok(Edit::SetInputs(inputs))
+        }
+    }
 }
 
 fn resolve_node(circuit: &Circuit, name: &str) -> Result<NodeId, WireError> {

@@ -183,6 +183,18 @@ pub enum ServiceError {
     },
     /// A request parameter was out of range.
     InvalidRequest(String),
+    /// A request asked for more work than the operator-configured
+    /// ceiling allows ([`SerServiceConfig`](crate::SerServiceConfig)'s
+    /// `max_vectors` / `max_cycles` / `max_runs`). Rejected up front,
+    /// before the request reaches the executor.
+    CapExceeded {
+        /// Which knob was exceeded (`"vectors"`, `"cycles"`, `"runs"`).
+        what: &'static str,
+        /// What the request asked for.
+        requested: u64,
+        /// The configured ceiling.
+        cap: u64,
+    },
     /// The simulation leg failed structurally.
     Simulation(ser_netlist::NetlistError),
 }
@@ -195,6 +207,16 @@ impl fmt::Display for ServiceError {
                 write!(f, "site {site} out of range for a {len}-node circuit")
             }
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServiceError::CapExceeded {
+                what,
+                requested,
+                cap,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} {what} exceeds the service cap of {cap}"
+                )
+            }
             ServiceError::Simulation(e) => write!(f, "simulation failed: {e}"),
         }
     }

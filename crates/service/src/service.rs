@@ -20,8 +20,9 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ser_epp::{
-    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential, AnalysisSession,
-    MultiCycleMcEstimate, MultiCycleResult, PolarityMode, SiteEpp, SweepResults,
+    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential,
+    multi_cycle_monte_carlo_sequential_observed, AnalysisSession, Edit, MultiCycleMcEstimate,
+    MultiCycleResult, PolarityMode, SiteEpp, SweepResults, WhatIfOutcome, WhatIfSession,
 };
 use ser_netlist::{Circuit, NodeId, PlanCache};
 use ser_sim::{MonteCarlo, SequentialMonteCarlo, SiteEstimate};
@@ -63,6 +64,23 @@ pub struct SerServiceConfig {
     /// bounded. `None` (the default) leaves the directory unbounded.
     /// Ignored when `plan_cache_dir` is `None`.
     pub plan_cache_max_bytes: Option<u64>,
+    /// Largest Monte-Carlo vector count one request may ask for
+    /// (fixed-count or sequential-rule cap alike). Requests over the
+    /// ceiling are rejected with [`ServiceError::CapExceeded`] *before*
+    /// any executor job is enqueued, so one greedy client cannot pin a
+    /// worker for hours. Must be ≥ 1.
+    pub max_vectors: u64,
+    /// Largest multi-cycle frame-expansion depth one request may ask
+    /// for. Same up-front rejection discipline. Must be ≥ 1.
+    pub max_cycles: usize,
+    /// Largest multi-cycle simulation run count one request may ask
+    /// for. Same up-front rejection discipline. Must be ≥ 1.
+    pub max_runs: u64,
+    /// What-if sessions kept warm, one per base netlist (LRU, keyed by
+    /// [`Circuit::structural_hash`]). Each holds the edit stack and the
+    /// dense base sweep that make incremental re-analysis cheap. Must
+    /// be ≥ 1.
+    pub max_whatif_sessions: usize,
 }
 
 impl Default for SerServiceConfig {
@@ -76,6 +94,13 @@ impl Default for SerServiceConfig {
             max_sweep_responses: 32,
             plan_cache_dir: None,
             plan_cache_max_bytes: None,
+            // Permissive but finite: far above anything the benches or
+            // the paper's experiments ask for, low enough that a typo'd
+            // `1e18` cannot wedge a worker.
+            max_vectors: 1_000_000_000,
+            max_cycles: 4_096,
+            max_runs: 1_000_000_000,
+            max_whatif_sessions: 4,
         }
     }
 }
@@ -110,6 +135,8 @@ pub struct ServiceStats {
     /// ([`SerServiceConfig::plan_cache_max_bytes`]) across every store
     /// this service performed. Always 0 on an unbounded cache.
     pub plan_cache_evictions: u64,
+    /// What-if sessions currently warm (one per base netlist).
+    pub whatif_sessions_cached: usize,
 }
 
 struct CacheEntry {
@@ -172,6 +199,34 @@ struct SweepCache {
     tick: u64,
 }
 
+/// One warm what-if session per base netlist. The entry is an
+/// `Arc<Mutex<…>>` so the edit/revert critical section is **per
+/// netlist**: a long re-sweep of one circuit's what-if stack never
+/// blocks edits against another circuit (the outer map lock is held
+/// only for the lookup).
+struct WhatIfEntry {
+    /// The *base* (unedited) circuit the stack grew from — the
+    /// collision guard, exactly like the session cache's `same_circuit`
+    /// check: a hash-colliding different netlist must never be handed
+    /// another circuit's edit stack.
+    base: Arc<Circuit>,
+    session: Arc<Mutex<WhatIfSession>>,
+    last_used: u64,
+}
+
+struct WhatIfCache {
+    entries: HashMap<u64, WhatIfEntry>,
+    tick: u64,
+}
+
+impl std::fmt::Debug for WhatIfCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WhatIfCache")
+            .field("sessions", &self.entries.len())
+            .finish()
+    }
+}
+
 /// The multi-circuit SER service. See the [module docs](self).
 ///
 /// # Examples
@@ -205,6 +260,8 @@ pub struct SerService {
     inputs_overrides: Mutex<HashMap<u64, InputProbs>>,
     /// Persistent compile-artifact cache (`None` when not configured).
     plan_cache: Option<PlanCache>,
+    /// Warm what-if sessions, one per base netlist hash.
+    whatif: Mutex<WhatIfCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -306,6 +363,13 @@ impl SerService {
             config.sweep_batch_sites > 0,
             "batches need at least one site"
         );
+        assert!(config.max_vectors > 0, "allow at least one vector");
+        assert!(config.max_cycles > 0, "allow at least one cycle");
+        assert!(config.max_runs > 0, "allow at least one run");
+        assert!(
+            config.max_whatif_sessions > 0,
+            "cache at least one what-if session"
+        );
         SerService {
             executor: Executor::new(config.threads),
             plan_cache: config
@@ -318,6 +382,10 @@ impl SerService {
                 tick: 0,
             }),
             sweep_cache: Mutex::new(SweepCache {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            whatif: Mutex::new(WhatIfCache {
                 entries: HashMap::new(),
                 tick: 0,
             }),
@@ -359,6 +427,7 @@ impl SerService {
             plan_cache_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_misses.load(Ordering::Relaxed),
             plan_cache_evictions: self.plan_evictions.load(Ordering::Relaxed),
+            whatif_sessions_cached: self.whatif.lock().expect("whatif cache").entries.len(),
         }
     }
 
@@ -462,6 +531,137 @@ impl SerService {
             },
         );
         Ok(revision)
+    }
+
+    /// The warm what-if session for `circuit`: the per-netlist edit
+    /// stack behind [`whatif_apply`](Self::whatif_apply) /
+    /// [`whatif_revert`](Self::whatif_revert). Created on first use by
+    /// cloning the warm [`AnalysisSession`] (so the what-if loop never
+    /// pays a cold compile while the analysis session is cached) and
+    /// seeding the dense base sweep from the cross-request response
+    /// cache when its arena is still valid for the session's current SP
+    /// vector — a client that swept first starts editing without
+    /// re-sweeping at all.
+    fn whatif_session(
+        &self,
+        circuit: &Arc<Circuit>,
+    ) -> Result<Arc<Mutex<WhatIfSession>>, ServiceError> {
+        let key = circuit.structural_hash();
+        {
+            let mut cache = self.whatif.lock().expect("whatif cache");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.entries.get_mut(&key) {
+                if same_circuit(&entry.base, circuit) {
+                    entry.last_used = tick;
+                    return Ok(Arc::clone(&entry.session));
+                }
+                // Hash collision between different netlists: the slot
+                // is contended, never shared (see the session cache).
+                cache.entries.remove(&key);
+            }
+        }
+
+        // Build outside the lock — the base sweep can be expensive.
+        let (session, _) = self.session(circuit)?;
+        let sp = Arc::clone(session.signal_probabilities_arc());
+        let wf = match self.sweep_cache_get(&(key, PolarityMode::Tracked), &sp) {
+            Some(results) => {
+                WhatIfSession::with_base_results((*session).clone(), results, self.config.threads)
+            }
+            None => WhatIfSession::new((*session).clone(), self.config.threads),
+        };
+        let wf = Arc::new(Mutex::new(wf));
+
+        let mut cache = self.whatif.lock().expect("whatif cache");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(entry) = cache.entries.get_mut(&key) {
+            if same_circuit(&entry.base, circuit) {
+                // Lost a build race; adopt the winner (its stack may
+                // already hold edits this caller wants to extend).
+                entry.last_used = tick;
+                return Ok(Arc::clone(&entry.session));
+            }
+            cache.entries.remove(&key);
+        }
+        let WhatIfCache { entries, .. } = &mut *cache;
+        evict_lru_at_capacity(entries, &key, self.config.max_whatif_sessions, |e| {
+            e.last_used
+        });
+        entries.insert(
+            key,
+            WhatIfEntry {
+                base: Arc::clone(circuit),
+                session: Arc::clone(&wf),
+                last_used: tick,
+            },
+        );
+        Ok(wf)
+    }
+
+    /// Applies one incremental edit to `circuit`'s what-if stack and
+    /// returns the engine's outcome: new total SER, per-site deltas
+    /// over the dirty region, and the re-sweep tier split. The first
+    /// call against a netlist creates the stack from the warm session
+    /// (see [`whatif_session`](Self::whatif_session)); later calls pay
+    /// only the dirty-region re-analysis.
+    ///
+    /// `edit` is a *resolver*, not an [`Edit`]: it receives the stack's
+    /// **current** (possibly already-edited) circuit, because that is
+    /// the circuit names must resolve against — after a TMR edit the
+    /// interesting nodes (`u__r0`, voter internals) do not exist in the
+    /// base netlist the caller loaded.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `edit` returns, or [`ServiceError::Compile`] when the
+    /// edited circuit's signal probabilities cannot be computed (the
+    /// stack is left untouched).
+    pub fn whatif_apply(
+        &self,
+        circuit: &Arc<Circuit>,
+        edit: impl FnOnce(&Circuit) -> Result<Edit, ServiceError>,
+    ) -> Result<WhatIfOutcome, ServiceError> {
+        let wf = self.whatif_session(circuit)?;
+        let mut wf = wf.lock().expect("whatif session");
+        let edit = edit(wf.circuit())?;
+        wf.apply(edit).map_err(ServiceError::Compile)
+    }
+
+    /// Pops the most recent what-if edit of `circuit`'s stack and
+    /// returns `(remaining depth, restored total SER)`. Reverting never
+    /// recomputes anything — the previous state was kept verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidRequest`] when the netlist has no what-if
+    /// stack or the stack is already at its base state.
+    pub fn whatif_revert(&self, circuit: &Arc<Circuit>) -> Result<(usize, f64), ServiceError> {
+        let key = circuit.structural_hash();
+        let wf = {
+            let mut cache = self.whatif.lock().expect("whatif cache");
+            cache.tick += 1;
+            let tick = cache.tick;
+            match cache.entries.get_mut(&key) {
+                Some(entry) if same_circuit(&entry.base, circuit) => {
+                    entry.last_used = tick;
+                    Arc::clone(&entry.session)
+                }
+                _ => {
+                    return Err(ServiceError::InvalidRequest(
+                        "no what-if session for this netlist — apply an edit first".into(),
+                    ))
+                }
+            }
+        };
+        let mut wf = wf.lock().expect("whatif session");
+        match wf.revert() {
+            Some(total) => Ok((wf.depth(), total)),
+            None => Err(ServiceError::InvalidRequest(
+                "what-if stack is at the base state — nothing to revert".into(),
+            )),
+        }
     }
 
     /// The warm session for `circuit`: cached if its netlist hash is
@@ -752,7 +952,7 @@ impl SerService {
         tx: &mpsc::Sender<PartMsg>,
     ) -> Result<Prepared, ServiceError> {
         let started = Instant::now();
-        validate(circuit, &request)?;
+        validate(circuit, &request, &self.config)?;
         let (session, warm) = self.session(circuit)?;
 
         // Whole-circuit sweeps are a pure function of the netlist, the
@@ -827,8 +1027,9 @@ impl SerService {
                 let req = *req;
                 let session = Arc::clone(&session);
                 let tx = tx.clone();
+                let sink = progress.clone();
                 self.executor.spawn(move || {
-                    let part = run_multi_cycle(&session, &req);
+                    let part = run_multi_cycle(&session, &req, sink);
                     let _ = tx.send((job_idx, 0, part, Instant::now()));
                 });
                 1
@@ -902,10 +1103,14 @@ fn same_circuit(cached: &Arc<Circuit>, submitted: &Arc<Circuit>) -> bool {
 }
 
 /// The multi-cycle leg runs analytic + optional simulation in one job
-/// (both are single-site and cheap relative to a sweep).
+/// (both are single-site and cheap relative to a sweep). With a
+/// progress sink, the sequential (Mendo-rule) simulation reports its
+/// run counters at the same doubling thresholds as the single-cycle
+/// Monte-Carlo leg — same observer, same cadence, bit-identical result.
 fn run_multi_cycle(
     session: &AnalysisSession,
     req: &MultiCycleRequest,
+    progress: Option<ProgressFn>,
 ) -> Result<Part, ServiceError> {
     // The frame-expansion tables are compiled once per session per SP
     // revision (`multi_cycle_cached`), so repeated multi-cycle requests
@@ -914,15 +1119,40 @@ fn run_multi_cycle(
     let monte_carlo = match req.monte_carlo {
         None => None,
         Some(mc) => Some(match mc.target_error {
-            Some(eps) => multi_cycle_monte_carlo_sequential(
-                Arc::clone(session.circuit_arc()),
-                req.site,
-                req.cycles,
-                eps,
-                mc.runs,
-                mc.seed,
-            )
-            .map_err(ServiceError::Simulation)?,
+            Some(eps) => match progress {
+                Some(sink) => {
+                    let mut next = SerService::MC_PROGRESS_FIRST_AT;
+                    multi_cycle_monte_carlo_sequential_observed(
+                        Arc::clone(session.circuit_arc()),
+                        req.site,
+                        req.cycles,
+                        eps,
+                        mc.runs,
+                        mc.seed,
+                        &mut |runs, successes| {
+                            if runs >= next {
+                                while next <= runs {
+                                    next = next.saturating_mul(2);
+                                }
+                                sink(Progress::MonteCarlo {
+                                    vectors: runs,
+                                    sensitized: successes,
+                                });
+                            }
+                        },
+                    )
+                    .map_err(ServiceError::Simulation)?
+                }
+                None => multi_cycle_monte_carlo_sequential(
+                    Arc::clone(session.circuit_arc()),
+                    req.site,
+                    req.cycles,
+                    eps,
+                    mc.runs,
+                    mc.seed,
+                )
+                .map_err(ServiceError::Simulation)?,
+            },
             None => {
                 let cumulative = multi_cycle_monte_carlo(
                     Arc::clone(session.circuit_arc()),
@@ -944,8 +1174,15 @@ fn run_multi_cycle(
 }
 
 /// Rejects malformed requests before any job is enqueued, so executor
-/// jobs never panic.
-fn validate(circuit: &Circuit, request: &Request) -> Result<(), ServiceError> {
+/// jobs never panic — and enforces the operator-configured work
+/// ceilings (`max_vectors` / `max_cycles` / `max_runs`) at the same
+/// chokepoint, so an over-cap request is refused before it costs
+/// anything.
+fn validate(
+    circuit: &Circuit,
+    request: &Request,
+    config: &SerServiceConfig,
+) -> Result<(), ServiceError> {
     let len = circuit.len();
     let check_site = |site: NodeId| {
         if site.index() < len {
@@ -960,6 +1197,17 @@ fn validate(circuit: &Circuit, request: &Request) -> Result<(), ServiceError> {
         )),
         _ => Ok(()),
     };
+    let check_cap = |what: &'static str, requested: u64, cap: u64| {
+        if requested > cap {
+            Err(ServiceError::CapExceeded {
+                what,
+                requested,
+                cap,
+            })
+        } else {
+            Ok(())
+        }
+    };
     match request {
         Request::Sweep(req) => {
             for &site in req.sites.iter().flatten() {
@@ -973,10 +1221,12 @@ fn validate(circuit: &Circuit, request: &Request) -> Result<(), ServiceError> {
             if req.cycles == 0 {
                 return Err(ServiceError::InvalidRequest("cycles must be ≥ 1".into()));
             }
+            check_cap("cycles", req.cycles as u64, config.max_cycles as u64)?;
             if let Some(mc) = req.monte_carlo {
                 if mc.runs == 0 {
                     return Err(ServiceError::InvalidRequest("runs must be ≥ 1".into()));
                 }
+                check_cap("runs", mc.runs, config.max_runs)?;
                 check_eps(mc.target_error)?;
             }
             Ok(())
@@ -986,6 +1236,7 @@ fn validate(circuit: &Circuit, request: &Request) -> Result<(), ServiceError> {
             if req.vectors == 0 {
                 return Err(ServiceError::InvalidRequest("vectors must be ≥ 1".into()));
             }
+            check_cap("vectors", req.vectors, config.max_vectors)?;
             check_eps(req.target_error)
         }
     }

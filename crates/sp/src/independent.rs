@@ -117,6 +117,79 @@ impl IndependentSp {
     }
 }
 
+impl IndependentSp {
+    /// Frontier-seeded forward recomputation — the what-if engine's
+    /// SP-invalidation fast path. Starting from `base` (a vector this
+    /// engine previously computed for a circuit that agrees with
+    /// `circuit` everywhere outside `frontier`'s forward closure), only
+    /// nodes downstream of the frontier are re-evaluated; everything
+    /// else keeps its `base` value untouched.
+    ///
+    /// For a **combinational** circuit the result is bit-for-bit the
+    /// vector [`compute_with_order`](SpEngine::compute_with_order)
+    /// would produce from scratch: every recomputed node sees bitwise
+    /// identical fanin values and applies the identical arithmetic, and
+    /// every skipped node is, by the caller's contract, already at its
+    /// from-scratch value. For a **sequential** circuit the fixed-point
+    /// trajectory is global (every flip-flop participates in the same
+    /// convergence test), so this falls back to a full from-scratch
+    /// computation — still bitwise identical to the oracle path, just
+    /// not incremental.
+    ///
+    /// The caller owns the contract that `base` is valid outside the
+    /// frontier closure: pass every node whose defining function,
+    /// fanins or input probability changed (new nodes included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError`] only on the sequential fallback (no
+    /// convergence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not cover exactly `circuit.len()` nodes.
+    pub fn recompute_forward(
+        &self,
+        circuit: &Circuit,
+        inputs: &InputProbs,
+        order: &[NodeId],
+        base: &SpVector,
+        frontier: &[NodeId],
+    ) -> Result<SpVector, SpError> {
+        assert_eq!(
+            base.len(),
+            circuit.len(),
+            "base vector must cover every node"
+        );
+        if circuit.num_dffs() != 0 {
+            return self.compute_with_order(circuit, inputs, order);
+        }
+        let mut values = base.as_slice().to_vec();
+        let mut dirty = vec![false; circuit.len()];
+        for &f in frontier {
+            dirty[f.index()] = true;
+        }
+        let mut fanin_buf: Vec<f64> = Vec::with_capacity(8);
+        for &id in order {
+            let node = circuit.node(id);
+            if !dirty[id.index()] && !node.fanin().iter().any(|f| dirty[f.index()]) {
+                continue;
+            }
+            dirty[id.index()] = true;
+            match node.kind() {
+                GateKind::Input => values[id.index()] = inputs.probability(id),
+                GateKind::Dff => unreachable!("combinational circuit has no flip-flops"),
+                kind => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(node.fanin().iter().map(|f| values[f.index()]));
+                    values[id.index()] = gate_output_probability(kind, &fanin_buf);
+                }
+            }
+        }
+        Ok(SpVector::new(values))
+    }
+}
+
 impl Default for IndependentSp {
     fn default() -> Self {
         IndependentSp::new()
@@ -307,6 +380,53 @@ mod tests {
             .compute(&c, &InputProbs::default())
             .unwrap_err();
         assert!(matches!(err, SpError::NoConvergence { iterations: 3, .. }));
+    }
+
+    #[test]
+    fn recompute_forward_matches_scratch_bitwise() {
+        let c = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nu = AND(a, b)\nv = OR(u, c)\ny = XOR(v, a)\n",
+            "t",
+        )
+        .unwrap();
+        let order = ser_netlist::topo_order(&c).unwrap();
+        let engine = IndependentSp::new();
+        let a = c.find("a").unwrap();
+        let before = InputProbs::uniform(0.5);
+        let after = before.clone().with(a, 0.9);
+        let base = engine.compute_with_order(&c, &before, &order).unwrap();
+        let scratch = engine.compute_with_order(&c, &after, &order).unwrap();
+        let incremental = engine
+            .recompute_forward(&c, &after, &order, &base, &[a])
+            .unwrap();
+        for id in c.node_ids() {
+            assert_eq!(
+                incremental.get(id).to_bits(),
+                scratch.get(id).to_bits(),
+                "node {id} must match from-scratch bitwise"
+            );
+        }
+        // Nodes outside the frontier closure keep their base values.
+        let b = c.find("b").unwrap();
+        assert_eq!(incremental.get(b).to_bits(), base.get(b).to_bits());
+    }
+
+    #[test]
+    fn recompute_forward_sequential_falls_back_to_scratch() {
+        let c = parse_bench("INPUT(x)\nOUTPUT(q)\nq = DFF(d)\nd = AND(q, x)\n", "seq").unwrap();
+        let order = ser_netlist::topo_order(&c).unwrap();
+        let engine = IndependentSp::new();
+        let x = c.find("x").unwrap();
+        let before = InputProbs::default();
+        let after = InputProbs::uniform(0.5).with(x, 0.25);
+        let base = engine.compute_with_order(&c, &before, &order).unwrap();
+        let scratch = engine.compute_with_order(&c, &after, &order).unwrap();
+        let incremental = engine
+            .recompute_forward(&c, &after, &order, &base, &[x])
+            .unwrap();
+        for id in c.node_ids() {
+            assert_eq!(incremental.get(id).to_bits(), scratch.get(id).to_bits());
+        }
     }
 
     #[test]

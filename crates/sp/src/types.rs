@@ -69,6 +69,13 @@ impl InputProbs {
     pub fn probability(&self, input: NodeId) -> f64 {
         self.overrides.get(&input).copied().unwrap_or(self.default)
     }
+
+    /// The explicit per-input overrides, in arbitrary order — what a
+    /// caller rebuilding the assignment against a re-built circuit
+    /// (where node ids shifted but names survived) iterates.
+    pub fn overrides(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.overrides.iter().map(|(&id, &p)| (id, p))
+    }
 }
 
 impl Default for InputProbs {

@@ -4,6 +4,8 @@
 //! ser-cli info    <netlist>                   structural summary
 //! ser-cli analyze <netlist> [--top N]         whole-circuit SER report
 //! ser-cli epp     <netlist> <node>            per-site EPP detail
+//! ser-cli advise  <netlist> [--rounds N]      iterative hardening advisor
+
 //! ser-cli batch   <jobs.jsonl>                run a v1 JSONL job file through the service
 //! ser-cli serve   [--tcp ADDR]                protocol server on stdin/stdout or TCP
 //! ser-cli gen     <profile> [--seed S] [-o F] emit a synthetic benchmark
@@ -34,7 +36,9 @@ use std::fs;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use ser_suite::epp::{AnalysisSession, CircuitSerAnalysis};
+use ser_suite::epp::{
+    AnalysisSession, CircuitSerAnalysis, Edit, HardeningCost, HardeningPlan, WhatIfSession,
+};
 use ser_suite::gen::{profile, synthesize};
 use ser_suite::netlist::{
     parse_bench, parse_verilog, write_bench, write_verilog, Circuit, CircuitStats, PlanCache,
@@ -131,6 +135,91 @@ fn cmd_epp(path: &str, node_name: &str) -> Result<(), String> {
             p.value
         );
     }
+    Ok(())
+}
+
+/// `advise`: the rank → harden → re-rank loop. Each round takes the
+/// greedy [`HardeningPlan`]'s top affordable pick, applies the TMR
+/// **for real** through the incremental what-if engine, and reports the
+/// *measured* SER change next to the plan's stale single-shot
+/// prediction — then re-ranks on the edited circuit, so round `k+1`
+/// chooses against the circuit that round `k` actually produced
+/// instead of the original ranking. Only the dirty region is re-swept
+/// per round, which is what makes the loop interactive on large
+/// circuits.
+fn cmd_advise(
+    path: &str,
+    rounds: usize,
+    budget: f64,
+    cost: HardeningCost,
+    threads: usize,
+) -> Result<(), String> {
+    let c = load(path)?;
+    let session = AnalysisSession::new(&c).map_err(|e| e.to_string())?;
+    let mut wf = WhatIfSession::new(session, threads);
+    let base_total = wf.total_ser();
+    println!(
+        "{}: base total SER (unit models) {:.6} over {} sites",
+        c.name(),
+        base_total,
+        wf.circuit().len()
+    );
+    println!(
+        "{:>5} {:<20} {:>8} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "round", "gate", "cost", "predicted", "measured", "total", "dirty/total", "resweep"
+    );
+    println!("{}", "-".repeat(100));
+
+    let mut remaining = budget;
+    let mut applied = 0usize;
+    for round in 1..=rounds {
+        // Re-rank against the *current* (already hardened) circuit.
+        let report = wf.report();
+        let circuit = Arc::clone(wf.circuit());
+        let plan = HardeningPlan::greedy(&circuit, &report, cost, remaining);
+        // TMR applies to logic gates; the plan may also rank inputs
+        // and flip-flops, so skip to the best protectable pick.
+        let Some(choice) = plan
+            .choices()
+            .iter()
+            .find(|ch| circuit.node(ch.node).kind().is_logic())
+            .copied()
+        else {
+            println!("round {round}: no affordable logic gate left (budget {remaining:.2}); stopping");
+            break;
+        };
+        let name = circuit.node(choice.node).name().to_owned();
+        let outcome = wf.apply(Edit::Tmr(choice.node)).map_err(|e| e.to_string())?;
+        applied += 1;
+        remaining -= choice.cost;
+        // The measured change re-evaluates everything the plan's
+        // per-entry estimate ignores: the voter tree's own exposure
+        // and every reconvergent site whose P_sensitized shifted.
+        let measured = outcome.previous_total - outcome.total;
+        println!(
+            "{:>5} {:<20} {:>8.2} {:>12.6} {:>12.6} {:>12.6} {:>9}/{:<5} {:>4}p+{:<4}r {:>6.1?}",
+            round,
+            name,
+            choice.cost,
+            choice.removed_ser,
+            measured,
+            outcome.total,
+            outcome.dirty_sites,
+            outcome.total_sites,
+            outcome.resweep_planned,
+            outcome.resweep_reference,
+            outcome.elapsed
+        );
+    }
+    let final_total = wf.total_ser();
+    println!("{}", "-".repeat(100));
+    println!(
+        "after {applied} hardening edits: total SER {:.6} ({:+.2}% vs base), budget spent {:.2} of {:.2}",
+        final_total,
+        (final_total - base_total) / base_total * 100.0,
+        budget - remaining,
+        budget
+    );
     Ok(())
 }
 
@@ -358,7 +447,7 @@ fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N]\n  ser-cli serve   [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>\n  ser-cli cache   <stats|clear> --cache-dir DIR"
+    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli advise  <netlist> [--rounds N] [--budget B] [--cost unit|area] [--threads N]\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N]\n  ser-cli serve   [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>\n  ser-cli cache   <stats|clear> --cache-dir DIR"
         .to_owned()
 }
 
@@ -397,6 +486,46 @@ fn run() -> Result<(), String> {
             let path = args.get(1).ok_or_else(usage)?;
             let node = args.get(2).ok_or_else(usage)?;
             cmd_epp(path, node)
+        }
+        Some("advise") => {
+            let path = args.get(1).ok_or_else(usage)?;
+            let rounds = flag_value(&args, "--rounds")
+                .map(|v| {
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| "bad --rounds value (need a positive integer)".to_owned())
+                })
+                .transpose()?
+                .unwrap_or(5);
+            let budget = flag_value(&args, "--budget")
+                .map(|v| {
+                    v.parse()
+                        .ok()
+                        .filter(|&b: &f64| b.is_finite() && b > 0.0)
+                        .ok_or_else(|| "bad --budget value (need a positive number)".to_owned())
+                })
+                .transpose()?
+                .unwrap_or(f64::from(u32::MAX));
+            let cost = match flag_value(&args, "--cost").as_deref() {
+                None | Some("unit") => HardeningCost::Unit,
+                Some("area") => HardeningCost::AreaProxy,
+                Some(other) => return Err(format!("bad --cost value `{other}` (unit or area)")),
+            };
+            let threads = flag_value(&args, "--threads")
+                .map(|v| {
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| "bad --threads value (need a positive integer)".to_owned())
+                })
+                .transpose()?
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            cmd_advise(path, rounds, budget, cost, threads)
         }
         Some("batch") => {
             let path = args.get(1).ok_or_else(usage)?;

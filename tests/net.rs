@@ -33,6 +33,7 @@ impl Server {
             max_sweep_responses: 8,
             plan_cache_dir: None,
             plan_cache_max_bytes: None,
+            ..SerServiceConfig::default()
         }));
         let engine = Arc::new(ProtocolEngine::new(Arc::clone(&service), config));
         let mut transport = TcpTransport::bind("127.0.0.1:0").expect("bind loopback");

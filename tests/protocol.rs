@@ -74,6 +74,7 @@ fn engine_with(config: EngineConfig) -> ProtocolEngine {
             max_sweep_responses: 8,
             plan_cache_dir: None,
             plan_cache_max_bytes: None,
+            ..SerServiceConfig::default()
         })),
         config,
     )
@@ -499,6 +500,268 @@ fn set_inputs_and_stats_travel_the_wire() {
             .unwrap()
             >= 2
     );
+    let _ = std::fs::remove_file(&netlist);
+}
+
+/// Writes a small sequential netlist (one DFF in the path); returns
+/// its path.
+fn write_dff_netlist(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ser_protocol_{}_{name}.bench", std::process::id()));
+    std::fs::write(
+        &path,
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nu = AND(a, b)\nq = DFF(u)\ny = OR(q, b)\n",
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn whatif_and_revert_round_trip_bitwise() {
+    let netlist = write_netlist("whatif");
+    let path = netlist.to_str().unwrap();
+    let engine = engine();
+    let replies = run_lines(
+        &engine,
+        vec![
+            format!(r#"{{"v": 2, "id": "q0", "op": "sweep", "netlist": "{path}", "top": 0}}"#),
+            format!(
+                r#"{{"v": 2, "id": "q1", "op": "whatif", "netlist": "{path}", "edit": "tmr", "node": "u", "chunk_sites": 4}}"#
+            ),
+            format!(r#"{{"v": 2, "id": "q2", "op": "whatif_revert", "netlist": "{path}"}}"#),
+            format!(r#"{{"v": 2, "id": "q3", "op": "sweep", "netlist": "{path}", "top": 0}}"#),
+        ],
+    );
+
+    let baseline = json::parse_value(&replies[0]).unwrap();
+    let baseline_total = baseline
+        .get("total_p_sensitized")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+
+    // The whatif reply: chunk frames carrying the dirty-region deltas,
+    // then the result frame.
+    let whatif_frames: Vec<&String> = replies[1..]
+        .iter()
+        .take_while(|l| frame_kind(l).as_deref() == Some("chunk"))
+        .collect();
+    let result = json::parse_value(&replies[1 + whatif_frames.len()]).unwrap();
+    assert_eq!(result.get("op").and_then(JsonValue::as_str), Some("whatif"));
+    assert_eq!(result.get("edit").and_then(JsonValue::as_str), Some("tmr"));
+    assert_eq!(result.get("depth").and_then(JsonValue::as_count), Some(1));
+
+    let mut deltas = 0usize;
+    let mut born = 0usize; // sites the edit introduced (old_p null)
+    for (seq, line) in whatif_frames.iter().enumerate() {
+        let v = json::parse_value(line).unwrap();
+        assert_eq!(v.get("seq").and_then(JsonValue::as_count), Some(seq as u64));
+        let JsonValue::Arr(items) = v.get("deltas").unwrap() else {
+            panic!("deltas array");
+        };
+        for item in items {
+            deltas += 1;
+            if matches!(item.get("old_p"), Some(JsonValue::Null)) {
+                born += 1;
+            } else {
+                item.get("old_p").and_then(JsonValue::as_f64).unwrap();
+            }
+            item.get("new_p").and_then(JsonValue::as_f64).unwrap();
+        }
+    }
+    assert_eq!(born, 6, "TMR introduces two replicas and a 4-gate voter tree");
+    assert_eq!(
+        result.get("dirty_sites").and_then(JsonValue::as_count),
+        Some(deltas as u64),
+        "every dirty site's delta is streamed"
+    );
+    assert_eq!(
+        result.get("chunks").and_then(JsonValue::as_count),
+        Some(whatif_frames.len() as u64)
+    );
+    assert_eq!(
+        result
+            .get("previous_ser")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            .to_bits(),
+        baseline_total.to_bits(),
+        "the what-if base state is the warm sweep, bit for bit"
+    );
+
+    // The incremental total is bit-identical to a from-scratch session
+    // on the edited circuit.
+    let circuit =
+        ser_suite::netlist::parse_bench(&std::fs::read_to_string(&netlist).unwrap(), "whatif")
+            .unwrap();
+    let u = circuit.find("u").unwrap();
+    let hardened = ser_suite::netlist::harden_tmr(&circuit, &[u]).unwrap();
+    let direct: f64 = AnalysisSession::new(&hardened)
+        .unwrap()
+        .sweep(1)
+        .p_sensitized()
+        .iter()
+        .sum();
+    let edited_total = result
+        .get("total_ser")
+        .and_then(JsonValue::as_f64)
+        .unwrap();
+    assert_eq!(result.get("total_sites").and_then(JsonValue::as_count), Some(11));
+    assert_eq!(edited_total.to_bits(), direct.to_bits());
+    assert_ne!(edited_total.to_bits(), baseline_total.to_bits());
+
+    // Revert pops back to the base payload bitwise, and a fresh sweep
+    // of the (unchanged) netlist agrees.
+    let revert = json::parse_value(&replies[1 + whatif_frames.len() + 1]).unwrap();
+    assert_eq!(
+        revert.get("op").and_then(JsonValue::as_str),
+        Some("whatif_revert")
+    );
+    assert_eq!(revert.get("depth").and_then(JsonValue::as_count), Some(0));
+    assert_eq!(
+        revert
+            .get("total_ser")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            .to_bits(),
+        baseline_total.to_bits(),
+        "revert restores the base total bitwise"
+    );
+    let after = json::parse_value(replies.last().unwrap()).unwrap();
+    assert_eq!(
+        after
+            .get("total_p_sensitized")
+            .and_then(JsonValue::as_f64)
+            .unwrap()
+            .to_bits(),
+        baseline_total.to_bits()
+    );
+    let _ = std::fs::remove_file(&netlist);
+}
+
+#[test]
+fn caps_reject_oversized_requests_before_the_executor() {
+    let netlist = write_netlist("caps");
+    let path = netlist.to_str().unwrap();
+    let engine = ProtocolEngine::new(
+        Arc::new(SerService::new(SerServiceConfig {
+            max_sessions: 4,
+            threads: 2,
+            max_vectors: 1_000,
+            max_cycles: 8,
+            max_runs: 500,
+            ..SerServiceConfig::default()
+        })),
+        EngineConfig::default(),
+    );
+    let replies = run_lines(
+        &engine,
+        vec![
+            format!(
+                r#"{{"v": 2, "id": "c1", "op": "multi_cycle", "netlist": "{path}", "node": "y", "cycles": 9}}"#
+            ),
+            format!(
+                r#"{{"v": 2, "id": "c2", "op": "monte_carlo", "netlist": "{path}", "node": "y", "vectors": 2000}}"#
+            ),
+            format!(
+                r#"{{"v": 2, "id": "c3", "op": "multi_cycle", "netlist": "{path}", "node": "y", "cycles": 2, "monte_carlo": {{"runs": 600}}}}"#
+            ),
+            format!(
+                r#"{{"v": 2, "id": "c4", "op": "monte_carlo", "netlist": "{path}", "node": "y", "vectors": 1000, "seed": 3}}"#
+            ),
+        ],
+    );
+    assert_eq!(replies.len(), 4, "{replies:?}");
+    for (line, what) in replies[..3].iter().zip(["cycles", "vectors", "runs"]) {
+        assert_eq!(frame_kind(line).as_deref(), Some("error"), "{line}");
+        assert_eq!(error_code(line).as_deref(), Some("cap_exceeded"), "{line}");
+        let message = json::parse_value(line)
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_owned();
+        assert!(
+            message.contains(what) && message.contains("cap"),
+            "message names the knob: {message}"
+        );
+    }
+    assert_eq!(
+        frame_kind(&replies[3]).as_deref(),
+        Some("result"),
+        "a request at the cap is served: {}",
+        replies[3]
+    );
+    let _ = std::fs::remove_file(&netlist);
+}
+
+#[test]
+fn multi_cycle_sequential_mc_streams_progress_frames() {
+    let netlist = write_dff_netlist("mcycle_stream");
+    let path = netlist.to_str().unwrap();
+    let engine = engine();
+    let replies = run_lines(
+        &engine,
+        vec![format!(
+            r#"{{"v": 2, "id": "p1", "op": "multi_cycle", "netlist": "{path}", "node": "u", "cycles": 3, "monte_carlo": {{"runs": 100000, "target_error": 0.05, "seed": 7}}}}"#
+        )],
+    );
+    let (progress, rest): (Vec<_>, Vec<_>) = replies
+        .iter()
+        .partition(|l| frame_kind(l).as_deref() == Some("progress"));
+    assert!(
+        !progress.is_empty(),
+        "sequential multi-cycle MC must stream progress frames: {replies:?}"
+    );
+    assert_eq!(rest.len(), 1, "exactly one result frame: {rest:?}");
+    let mut last = 0;
+    for line in &progress {
+        let v = json::parse_value(line).unwrap();
+        assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("p1"));
+        assert_eq!(
+            v.get("op").and_then(JsonValue::as_str),
+            Some("monte_carlo"),
+            "multi-cycle progress reuses the MC progress shape"
+        );
+        let runs = v.get("vectors").and_then(JsonValue::as_count).unwrap();
+        assert!(runs > last, "monotonic: {replies:?}");
+        last = runs;
+    }
+
+    // The estimate is bit-identical to the sequential rule run
+    // directly — the observer is pure telemetry.
+    let circuit = ser_suite::netlist::parse_bench(
+        &std::fs::read_to_string(&netlist).unwrap(),
+        "mcycle_stream",
+    )
+    .unwrap();
+    let direct = ser_suite::epp::multi_cycle_monte_carlo_sequential(
+        circuit.clone(),
+        circuit.find("u").unwrap(),
+        3,
+        0.05,
+        100_000,
+        7,
+    )
+    .unwrap();
+    let result = json::parse_value(rest[0]).unwrap();
+    assert_eq!(
+        result.get("mc_runs").and_then(JsonValue::as_count),
+        Some(direct.runs)
+    );
+    let JsonValue::Arr(wire_cumulative) = result.get("mc_cumulative").unwrap() else {
+        panic!("mc_cumulative array");
+    };
+    assert_eq!(wire_cumulative.len(), direct.cumulative.len());
+    for (wire, direct) in wire_cumulative.iter().zip(&direct.cumulative) {
+        assert_eq!(
+            wire.as_f64().unwrap().to_bits(),
+            direct.to_bits(),
+            "wire multi-cycle MC value not bit-identical"
+        );
+    }
+    assert!(last < direct.runs, "progress precedes the end");
     let _ = std::fs::remove_file(&netlist);
 }
 

@@ -67,6 +67,7 @@ fn service_sweep_is_bit_identical_to_direct_session() {
             max_sweep_responses: 32,
             plan_cache_dir: None,
             plan_cache_max_bytes: None,
+            ..SerServiceConfig::default()
         });
         let response = service
             .submit(&circuit, Request::Sweep(SweepRequest::default()))
@@ -139,6 +140,7 @@ fn lru_reuses_and_evicts_sessions() {
         max_sweep_responses: 32,
         plan_cache_dir: None,
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     });
 
     // Compile a and b (2 misses), then hit both.
@@ -181,6 +183,7 @@ fn serves_two_circuits_concurrently_from_warm_cache() {
         max_sweep_responses: 32,
         plan_cache_dir: None,
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     }));
     // Warm both circuits.
     service.session(&a).unwrap();
@@ -394,6 +397,7 @@ fn set_inputs_survives_session_eviction() {
         max_sweep_responses: 8,
         plan_cache_dir: None,
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     });
 
     service
@@ -433,6 +437,7 @@ fn streaming_progress_observes_without_perturbing() {
         max_sweep_responses: 0, // keep the cache out of the comparison
         plan_cache_dir: None,
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     });
 
     // Sweep: one Progress::Sweep event per part, cumulative, ending at
@@ -563,6 +568,7 @@ fn plan_cache_survives_service_restart() {
         max_sweep_responses: 0,
         plan_cache_dir: Some(dir.clone()),
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     };
 
     // First process: compiles, stores, and reports no hit.
@@ -636,6 +642,7 @@ fn plan_cache_byte_cap_evicts_lru_and_counts() {
         max_sweep_responses: 0,
         plan_cache_dir: Some(dir.clone()),
         plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
     };
 
     // Size the entries first (the cap must fit exactly one of them).

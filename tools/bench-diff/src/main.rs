@@ -275,7 +275,13 @@ fn validate(doc: &Json) -> Result<(), String> {
     // artifact-cache cold path; losing either silently would erase
     // that perf trajectory.
     let required: &[&str] = match doc.get("bench") {
-        Some(Json::String(name)) if name == "sweep_throughput" => &["arena_members", "arena_bytes"],
+        Some(Json::String(name)) if name == "sweep_throughput" => &[
+            "arena_members",
+            "arena_bytes",
+            "whatif_resweep_ms",
+            "whatif_dirty_site_fraction",
+            "whatif_full_recompute_ms",
+        ],
         Some(Json::String(name)) if name == "service_throughput" => &["cold_cached_sweep_ms"],
         _ => &[],
     };
@@ -460,6 +466,8 @@ mod tests {
       "results": [
         {"circuit": "s953", "nodes": 440, "plan_build_ms": 2.4,
          "arena_members": 9000, "arena_bytes": 120000,
+         "whatif_resweep_ms": 1.2, "whatif_dirty_site_fraction": 0.41,
+         "whatif_full_recompute_ms": 8.5,
          "reference": {"sites_per_sec": 147038.2, "p50_us": 4.4}}
       ]
     }"#;
@@ -523,8 +531,22 @@ mod tests {
         )
         .unwrap();
         assert!(validate(&doc).unwrap_err().contains("arena_bytes"));
+        // The incremental what-if record rides along: losing it would
+        // silently drop the resweep-vs-full trajectory.
         let doc = parse(
             r#"{"bench": "sweep_throughput", "kernel": "scalar", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("whatif_resweep_ms"));
+        let doc = parse(
+            r#"{"bench": "sweep_throughput", "kernel": "scalar", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80, "whatif_resweep_ms": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(validate(&doc)
+            .unwrap_err()
+            .contains("whatif_dirty_site_fraction"));
+        let doc = parse(
+            r#"{"bench": "sweep_throughput", "kernel": "scalar", "results": [{"circuit": "c", "arena_members": 5, "arena_bytes": 80, "whatif_resweep_ms": 1.0, "whatif_dirty_site_fraction": 0.4, "whatif_full_recompute_ms": 3.0}]}"#,
         )
         .unwrap();
         validate(&doc).unwrap();
