@@ -25,9 +25,12 @@
 //!   above 1.0 means concurrent sweeps genuinely overlap.
 //! - `tcp`: the same service behind the TCP front door on loopback —
 //!   v2 envelope round trips per second, p50 round-trip latency for
-//!   warm single-site requests, and one warm whole-circuit sweep round
-//!   trip. The gap to the in-process rows is the wire cost (framing,
-//!   JSON, syscalls).
+//!   warm single-site requests, one warm whole-circuit sweep round
+//!   trip, and `cancel_latency_ms`: median time from a `cancel`
+//!   envelope (sent from a second connection mid-sweep) to the
+//!   `cancelled` error frame landing on the swept connection. The gap
+//!   to the in-process rows is the wire cost (framing, JSON,
+//!   syscalls).
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
@@ -230,16 +233,17 @@ fn main() {
 
     // --- TCP round trips: the same workload over the wire. ------------
     let tcp = bench_tcp(&circuits[0], threads, site_requests);
+    let cancel_latency_ms = bench_cancel_latency(&circuits[0], threads, if quick { 3 } else { 5 });
     eprintln!(
-        "tcp {}: {:.0} round trips/s | p50 {:.1}us | warm sweep {:.1}ms over the wire",
-        names[0], tcp.round_trips_per_sec, tcp.p50_us, tcp.sweep_round_trip_ms
+        "tcp {}: {:.0} round trips/s | p50 {:.1}us | warm sweep {:.1}ms over the wire | cancel {:.2}ms",
+        names[0], tcp.round_trips_per_sec, tcp.p50_us, tcp.sweep_round_trip_ms, cancel_latency_ms
     );
 
     // Backend provenance: the warm-sweep rows are kernel-bound, so the
     // rule-core backend that served them is part of the result.
     let kernel = ser_epp::KernelBackend::auto().name();
     let json = format!(
-        "{{\n  \"bench\": \"service_throughput\",\n  \"kernel\": \"{kernel}\",\n  \"unit_note\": \"latencies in milliseconds; cold includes session compile + cone-plan build; cold_cached loads compiled plans from the persistent artifact cache; interleave speedup > 1 needs more than one executor worker; tcp rows measure loopback v2-envelope round trips; host cores: {threads}\",\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \"interleave\": {{\"circuits\": [\"{}\", \"{}\"], \"executor_workers\": {executor_workers}, \"serialized_ms\": {serialized_ms:.3}, \"interleaved_ms\": {interleaved_ms:.3}, \"speedup\": {speedup:.3}}},\n  \"tcp\": {{\"circuit\": \"{}\", \"round_trips_per_sec\": {:.1}, \"p50_us\": {:.1}, \"sweep_round_trip_ms\": {:.3}}}\n}}\n",
+        "{{\n  \"bench\": \"service_throughput\",\n  \"kernel\": \"{kernel}\",\n  \"unit_note\": \"latencies in milliseconds; cold includes session compile + cone-plan build; cold_cached loads compiled plans from the persistent artifact cache; interleave speedup > 1 needs more than one executor worker; tcp rows measure loopback v2-envelope round trips; cancel_latency_ms is cancel envelope to cancelled error frame on the swept connection; host cores: {threads}\",\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \"interleave\": {{\"circuits\": [\"{}\", \"{}\"], \"executor_workers\": {executor_workers}, \"serialized_ms\": {serialized_ms:.3}, \"interleaved_ms\": {interleaved_ms:.3}, \"speedup\": {speedup:.3}}},\n  \"tcp\": {{\"circuit\": \"{}\", \"round_trips_per_sec\": {:.1}, \"p50_us\": {:.1}, \"sweep_round_trip_ms\": {:.3}, \"cancel_latency_ms\": {cancel_latency_ms:.3}}}\n}}\n",
         records.join(",\n"),
         a.name(),
         b.name(),
@@ -259,18 +263,23 @@ struct TcpRecord {
     sweep_round_trip_ms: f64,
 }
 
-/// Serves `circuit` over loopback TCP and measures warm v2-envelope
-/// round trips from one client.
-fn bench_tcp(circuit: &Arc<Circuit>, threads: usize, site_requests: usize) -> TcpRecord {
-    // The wire addresses netlists by path: materialize the synthesized
-    // circuit as a .bench file.
+/// Materializes `circuit` as a .bench file — the wire addresses
+/// netlists by path.
+fn materialize(circuit: &Circuit, tag: &str) -> std::path::PathBuf {
     let mut netlist = std::env::temp_dir();
     netlist.push(format!(
-        "ser_service_bench_{}_{}.bench",
+        "ser_service_bench_{}_{}_{tag}.bench",
         std::process::id(),
         circuit.name()
     ));
     std::fs::write(&netlist, write_bench(circuit)).expect("write bench netlist");
+    netlist
+}
+
+/// Serves `circuit` over loopback TCP and measures warm v2-envelope
+/// round trips from one client.
+fn bench_tcp(circuit: &Arc<Circuit>, threads: usize, site_requests: usize) -> TcpRecord {
+    let netlist = materialize(circuit, "tcp");
     let path = netlist.to_str().expect("utf-8 temp path").to_owned();
 
     let engine = Arc::new(ProtocolEngine::new(
@@ -342,4 +351,121 @@ fn bench_tcp(circuit: &Arc<Circuit>, threads: usize, site_requests: usize) -> Tc
         p50_us,
         sweep_round_trip_ms,
     }
+}
+
+/// Measures the cancel round trip over the wire: a whole-circuit sweep
+/// streams progress on one connection, a `cancel` envelope goes out on
+/// a second the moment the first progress frame lands, and the clock
+/// stops when the `cancelled` error frame reaches the swept
+/// connection. Returns the median over `samples` landed cancels.
+fn bench_cancel_latency(circuit: &Arc<Circuit>, threads: usize, samples: usize) -> f64 {
+    let netlist = materialize(circuit, "cancel");
+    let path = netlist.to_str().expect("utf-8 temp path").to_owned();
+
+    // Small site batches give the sweep many cancellation checkpoints,
+    // so the cancel reliably lands mid-flight instead of racing a
+    // nearly-finished request.
+    let service = SerService::new(SerServiceConfig {
+        max_sessions: 8,
+        threads,
+        sweep_batch_sites: 8,
+        max_sweep_responses: 0,
+        plan_cache_dir: None,
+        plan_cache_max_bytes: None,
+        ..SerServiceConfig::default()
+    });
+    let engine = Arc::new(ProtocolEngine::new(
+        Arc::new(service),
+        EngineConfig::default(),
+    ));
+    let mut transport = TcpTransport::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = transport.local_addr();
+    let handle = transport.shutdown_handle();
+    let server = std::thread::spawn(move || serve(&mut transport, &engine));
+
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        (reader, stream)
+    };
+    let (mut swept_reader, mut swept) = connect();
+    let (mut cancel_reader, mut canceller) = connect();
+    let send = |writer: &mut TcpStream, request: String| {
+        writer.write_all(request.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        writer.flush().expect("send");
+    };
+
+    // Warm the session so every sample measures cancellation, not the
+    // one-time compile + plan build.
+    let mut line = String::new();
+    send(
+        &mut swept,
+        format!("{{\"v\": 2, \"op\": \"sweep\", \"netlist\": \"{path}\", \"top\": 1}}"),
+    );
+    swept_reader.read_line(&mut line).expect("warm reply");
+    assert!(line.contains("\"frame\": \"result\""), "{line}");
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(samples);
+    let mut attempt = 0;
+    while latencies.len() < samples && attempt < samples * 4 {
+        attempt += 1;
+        let id = format!("cancel-{attempt}");
+        send(
+            &mut swept,
+            format!(
+                "{{\"v\": 2, \"id\": \"{id}\", \"op\": \"sweep\", \"netlist\": \"{path}\", \"progress\": true}}"
+            ),
+        );
+        // Wait until the sweep is demonstrably in flight (or already
+        // over — then this attempt can't measure a cancel).
+        loop {
+            line.clear();
+            swept_reader.read_line(&mut line).expect("frame");
+            assert!(!line.contains("\"frame\": \"error\""), "{line}");
+            if line.contains("\"frame\": \"progress\"") || line.contains("\"frame\": \"result\"") {
+                break;
+            }
+        }
+        if line.contains("\"frame\": \"result\"") {
+            continue;
+        }
+        let t = Instant::now();
+        send(
+            &mut canceller,
+            format!("{{\"v\": 2, \"op\": \"cancel\", \"target\": \"{id}\"}}"),
+        );
+        // Drain to the swept connection's terminal frame; the clock
+        // stops the moment it arrives.
+        let cancelled = loop {
+            line.clear();
+            swept_reader.read_line(&mut line).expect("frame");
+            if line.contains("\"frame\": \"error\"") {
+                break true;
+            }
+            if line.contains("\"frame\": \"result\"") {
+                break false;
+            }
+        };
+        let elapsed = t.elapsed().as_secs_f64();
+        if cancelled {
+            assert!(line.contains("cancelled"), "{line}");
+            latencies.push(elapsed);
+        }
+        // The cancel op's own reply — read outside the measured path.
+        line.clear();
+        cancel_reader.read_line(&mut line).expect("cancel reply");
+        assert!(line.contains("\"frame\": \"result\""), "{line}");
+    }
+    assert!(!latencies.is_empty(), "no cancel ever landed mid-sweep");
+
+    drop(swept);
+    drop(swept_reader);
+    drop(canceller);
+    drop(cancel_reader);
+    handle.shutdown();
+    server.join().expect("server thread").expect("serve ok");
+    let _ = std::fs::remove_file(&netlist);
+    median_ms(&mut latencies)
 }

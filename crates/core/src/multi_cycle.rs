@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use ser_netlist::{Circuit, NodeId, ObservePoint};
+use ser_netlist::{CancelCause, CancelToken, Circuit, NodeId, ObservePoint};
 use ser_sim::SeqSim;
 use ser_sp::SpVector;
 
@@ -206,8 +206,30 @@ pub fn multi_cycle_monte_carlo(
     seed: u64,
 ) -> Result<Vec<f64>, ser_netlist::NetlistError> {
     assert!(runs > 0, "at least one run");
-    let est = run_multi_cycle_mc(circuit.into(), site, cycles, runs, None, seed, None)?;
+    let est = expect_uncancelled(run_multi_cycle_mc(
+        circuit.into(),
+        site,
+        cycles,
+        runs,
+        None,
+        seed,
+        None,
+        None,
+    ))?;
     Ok(est.cumulative)
+}
+
+/// Maps the cancellable core's abort back to a plain simulation error
+/// for the token-less entry points, where cancellation is impossible.
+fn expect_uncancelled(
+    result: Result<MultiCycleMcEstimate, MultiCycleMcAbort>,
+) -> Result<MultiCycleMcEstimate, ser_netlist::NetlistError> {
+    result.map_err(|e| match e {
+        MultiCycleMcAbort::Simulation(e) => e,
+        MultiCycleMcAbort::Cancelled(_) => {
+            unreachable!("a run without a token cannot be cancelled")
+        }
+    })
 }
 
 /// Result of a sequential-stopping multi-cycle Monte-Carlo run.
@@ -225,6 +247,40 @@ pub struct MultiCycleMcEstimate {
     /// `false` when the `max_runs` cap cut the run short (plain
     /// frequencies are reported in that case).
     pub stopped_by_rule: bool,
+}
+
+/// Why a cancellable multi-cycle Monte-Carlo run ended without an
+/// estimate.
+#[derive(Debug)]
+pub enum MultiCycleMcAbort {
+    /// The circuit could not be simulated.
+    Simulation(ser_netlist::NetlistError),
+    /// The cancellation token tripped at an observation-block
+    /// boundary; all partial counts were dropped.
+    Cancelled(CancelCause),
+}
+
+impl std::fmt::Display for MultiCycleMcAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiCycleMcAbort::Simulation(e) => e.fmt(f),
+            MultiCycleMcAbort::Cancelled(cause) => cause.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MultiCycleMcAbort {}
+
+impl From<ser_netlist::NetlistError> for MultiCycleMcAbort {
+    fn from(e: ser_netlist::NetlistError) -> Self {
+        MultiCycleMcAbort::Simulation(e)
+    }
+}
+
+impl From<CancelCause> for MultiCycleMcAbort {
+    fn from(cause: CancelCause) -> Self {
+        MultiCycleMcAbort::Cancelled(cause)
+    }
 }
 
 /// [`multi_cycle_monte_carlo`] under Mendo's inverse-binomial stopping
@@ -264,7 +320,16 @@ pub fn multi_cycle_monte_carlo_sequential(
     );
     assert!(max_runs > 0, "at least one run");
     let needed = (1.0 / (target_error * target_error)).ceil() as u64 + 2;
-    run_multi_cycle_mc(circuit.into(), site, cycles, max_runs, Some(needed), seed, None)
+    expect_uncancelled(run_multi_cycle_mc(
+        circuit.into(),
+        site,
+        cycles,
+        max_runs,
+        Some(needed),
+        seed,
+        None,
+        None,
+    ))
 }
 
 /// [`multi_cycle_monte_carlo_sequential`] with a progress observer:
@@ -299,6 +364,54 @@ pub fn multi_cycle_monte_carlo_sequential_observed(
     );
     assert!(max_runs > 0, "at least one run");
     let needed = (1.0 / (target_error * target_error)).ceil() as u64 + 2;
+    expect_uncancelled(run_multi_cycle_mc(
+        circuit.into(),
+        site,
+        cycles,
+        max_runs,
+        Some(needed),
+        seed,
+        Some(observer),
+        None,
+    ))
+}
+
+/// [`multi_cycle_monte_carlo_sequential_observed`] with a cooperative
+/// [`CancelToken`], polled at every Mendo observation-block boundary
+/// (the same 64-run granularity the observer ticks at). A trip aborts
+/// with [`MultiCycleMcAbort::Cancelled`] and drops all partial counts;
+/// with a live token the estimate is **bit-identical** to the
+/// token-less call.
+///
+/// # Errors
+///
+/// [`MultiCycleMcAbort::Simulation`] if the circuit cannot be
+/// simulated, [`MultiCycleMcAbort::Cancelled`] when `cancel` trips
+/// before the stopping rule (or the `max_runs` cap) finishes the run.
+///
+/// # Panics
+///
+/// Panics if `cycles` or `max_runs` is 0 or `target_error` is outside
+/// `(0, 1)`.
+// The token-less signature plus the one cancel argument; bundling
+// would break the mirror between the two entry points.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_cycle_monte_carlo_sequential_cancellable(
+    circuit: impl Into<Arc<Circuit>>,
+    site: NodeId,
+    cycles: usize,
+    target_error: f64,
+    max_runs: u64,
+    seed: u64,
+    observer: &mut dyn FnMut(u64, u64),
+    cancel: Option<&CancelToken>,
+) -> Result<MultiCycleMcEstimate, MultiCycleMcAbort> {
+    assert!(
+        target_error.is_finite() && target_error > 0.0 && target_error < 1.0,
+        "target error {target_error} outside (0,1)"
+    );
+    assert!(max_runs > 0, "at least one run");
+    let needed = (1.0 / (target_error * target_error)).ceil() as u64 + 2;
     run_multi_cycle_mc(
         circuit.into(),
         site,
@@ -307,6 +420,7 @@ pub fn multi_cycle_monte_carlo_sequential_observed(
         Some(needed),
         seed,
         Some(observer),
+        cancel,
     )
 }
 
@@ -314,6 +428,7 @@ pub fn multi_cycle_monte_carlo_sequential_observed(
 /// `max_runs`, stopping early once the final-cycle success count
 /// reaches `needed` (when set). Both simulators are compiled once,
 /// sharing one circuit handle, and re-seeded per block.
+#[allow(clippy::too_many_arguments)]
 fn run_multi_cycle_mc(
     circuit: Arc<Circuit>,
     site: NodeId,
@@ -322,7 +437,8 @@ fn run_multi_cycle_mc(
     needed: Option<u64>,
     seed: u64,
     mut observer: Option<&mut dyn FnMut(u64, u64)>,
-) -> Result<MultiCycleMcEstimate, ser_netlist::NetlistError> {
+    cancel: Option<&CancelToken>,
+) -> Result<MultiCycleMcEstimate, MultiCycleMcAbort> {
     assert!(cycles > 0, "at least the SEU cycle");
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut observed = vec![0u64; cycles];
@@ -330,6 +446,9 @@ fn run_multi_cycle_mc(
     let mut good = SeqSim::new(Arc::clone(&circuit))?;
     let mut faulty = SeqSim::new(Arc::clone(&circuit))?;
     while done < max_runs && needed.is_none_or(|k| observed[cycles - 1] < k) {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         let lanes = (max_runs - done).min(64) as u32;
         let valid = if lanes == 64 {
             !0u64
@@ -516,7 +635,11 @@ y = NOT(q)
         .unwrap();
         assert_eq!(observed, plain, "the observer is pure telemetry");
         assert!(!ticks.is_empty(), "one tick per 64-run block");
-        assert_eq!(ticks.last().unwrap().0, observed.runs, "final tick is the total");
+        assert_eq!(
+            ticks.last().unwrap().0,
+            observed.runs,
+            "final tick is the total"
+        );
         for w in ticks.windows(2) {
             assert!(w[0].0 < w[1].0, "run counts strictly increase");
             assert!(w[0].1 <= w[1].1, "success counts never decrease");

@@ -55,7 +55,10 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ser_netlist::{harden_tmr, swap_kind, Circuit, GateKind, NodeId, ObservePoint, TopoArtifacts};
+use ser_netlist::{
+    harden_tmr, swap_kind, CancelCause, CancelToken, Circuit, GateKind, NodeId, ObservePoint,
+    TopoArtifacts,
+};
 use ser_sp::{IndependentSp, InputProbs, SpError, SpVector};
 
 use crate::engine::{EppAnalysis, PointEpp, PolarityMode};
@@ -75,6 +78,46 @@ pub enum Edit {
     SwapKind(NodeId, GateKind),
     /// Replace the input probability assignment.
     SetInputs(InputProbs),
+}
+
+/// Why a cancellable [`WhatIfSession::apply_cancellable`] ended
+/// without pushing a state.
+#[derive(Debug)]
+pub enum WhatIfAbort {
+    /// The edit was invalid or the edited circuit failed to compile.
+    Compile(SpError),
+    /// The cancellation token tripped between re-analysis tiers; the
+    /// session's edit stack is untouched (no state was pushed).
+    Cancelled(CancelCause),
+}
+
+impl std::fmt::Display for WhatIfAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhatIfAbort::Compile(e) => e.fmt(f),
+            WhatIfAbort::Cancelled(cause) => cause.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WhatIfAbort {}
+
+impl From<SpError> for WhatIfAbort {
+    fn from(e: SpError) -> Self {
+        WhatIfAbort::Compile(e)
+    }
+}
+
+impl From<ser_netlist::NetlistError> for WhatIfAbort {
+    fn from(e: ser_netlist::NetlistError) -> Self {
+        WhatIfAbort::Compile(e.into())
+    }
+}
+
+impl From<CancelCause> for WhatIfAbort {
+    fn from(cause: CancelCause) -> Self {
+        WhatIfAbort::Cancelled(cause)
+    }
 }
 
 /// What one [`WhatIfSession::apply`] did and what it changed.
@@ -275,6 +318,38 @@ impl WhatIfSession {
     /// or the SP engine's error if the edited circuit cannot be
     /// ordered or its sequential fixed point does not converge.
     pub fn apply(&mut self, edit: Edit) -> Result<WhatIfOutcome, SpError> {
+        self.apply_cancellable(edit, None).map_err(|e| match e {
+            WhatIfAbort::Compile(e) => e,
+            WhatIfAbort::Cancelled(_) => {
+                unreachable!("an apply without a token cannot be cancelled")
+            }
+        })
+    }
+
+    /// [`apply`](Self::apply) with a cooperative [`CancelToken`],
+    /// polled between the re-analysis tiers (after the SP forward
+    /// recompute, before each re-sweep tier, before the splice). A
+    /// trip aborts with [`WhatIfAbort::Cancelled`] **before** any
+    /// state is pushed: the edit stack, cached arenas and totals are
+    /// exactly as they were, so a subsequent apply (or nothing at all)
+    /// sees pre-request state.
+    ///
+    /// # Errors
+    ///
+    /// [`WhatIfAbort::Compile`] exactly where [`apply`](Self::apply)
+    /// errors, [`WhatIfAbort::Cancelled`] when `cancel` trips at a
+    /// tier boundary.
+    pub fn apply_cancellable(
+        &mut self,
+        edit: Edit,
+        cancel: Option<&CancelToken>,
+    ) -> Result<WhatIfOutcome, WhatIfAbort> {
+        let checkpoint = || -> Result<(), WhatIfAbort> {
+            match cancel {
+                Some(token) => Ok(token.check()?),
+                None => Ok(()),
+            }
+        };
         let t0 = Instant::now();
         let cur = self.stack.last().expect("stack holds at least the base");
 
@@ -363,6 +438,9 @@ impl WhatIfSession {
             )?)
         };
 
+        // SP recompute done — first tier boundary.
+        checkpoint()?;
+
         // rev[new id] = old id, for splice copies and delta reporting.
         let mut rev: Vec<Option<NodeId>> = vec![None; circuit.len()];
         for old in cur.circuit.node_ids() {
@@ -442,10 +520,12 @@ impl WhatIfSession {
             // Splice: bulk copy + in-place patch (the voter rule over
             // each dirty site's recorded arrival at g, one refold per
             // dirty site), the seven fresh sites in the gap.
-            let results = cur.results.splice_tmr_sink(g_idx, &struct_res, &fast, |vr| {
-                let vt = propagate(GateKind::And, &[vr, vr]);
-                propagate(GateKind::Or, &[vt, vt, vt])
-            });
+            let results = cur
+                .results
+                .splice_tmr_sink(g_idx, &struct_res, &fast, |vr| {
+                    let vt = propagate(GateKind::And, &[vr, vr]);
+                    propagate(GateKind::Or, &[vt, vt, vt])
+                });
             (results, dirty, fast_count, struct_sites.len())
         } else {
             // --- 3b. General path: dirty region, two-tier re-sweep,
@@ -483,6 +563,8 @@ impl WhatIfSession {
                     reference_sites.push(NodeId::from_index(i));
                 }
             }
+            // Reference tier boundary.
+            checkpoint()?;
             let reference_results = if reference_sites.is_empty() {
                 None
             } else {
@@ -498,6 +580,8 @@ impl WhatIfSession {
                     pool,
                 ))
             };
+            // Planned (warm) tier boundary.
+            checkpoint()?;
             let planned_results = if planned_sites_old.is_empty() {
                 None
             } else {
@@ -524,6 +608,9 @@ impl WhatIfSession {
                 ))
             };
 
+            // Splice boundary: the last chance to abort before the
+            // new arena is assembled.
+            checkpoint()?;
             // Splice into a fresh dense arena. Both re-sweep site
             // lists and the splice walk ascend in new id order (the
             // old→new map is monotone), so plain cursors line results
@@ -535,8 +622,10 @@ impl WhatIfSession {
                 cur.results.total_points(),
                 |id, points| {
                     let i = id.index();
-                    if reference_results.is_some() && dirty[i] && !planned_mask[i] {
-                        let res = reference_results.as_ref().expect("checked above");
+                    if let Some(res) = reference_results
+                        .as_ref()
+                        .filter(|_| dirty[i] && !planned_mask[i])
+                    {
                         let site = res.get(ref_cursor);
                         ref_cursor += 1;
                         debug_assert_eq!(site.site(), id, "reference splice order");
@@ -649,7 +738,7 @@ fn gates_u32(gates: usize) -> u32 {
 fn remap_inputs(inputs: &InputProbs, old: &Circuit, new: &Circuit) -> InputProbs {
     let mut out = InputProbs::uniform(inputs.default_probability());
     for (id, p) in inputs.overrides() {
-        if let Some(node) = old.try_node(id).ok() {
+        if let Ok(node) = old.try_node(id) {
             if let Some(new_id) = new.find(node.name()) {
                 out = out.with(new_id, p);
             }

@@ -11,6 +11,7 @@
 
 use std::sync::{Arc, OnceLock};
 
+use crate::cancel::{CancelCause, CancelToken};
 use crate::circuit::{Circuit, NodeId, ObservePoint};
 use crate::error::NetlistError;
 use crate::gate::GateKind;
@@ -267,6 +268,52 @@ impl TopoArtifacts {
                     .map(Arc::new)
             })
             .as_ref()
+    }
+
+    /// [`cone_plans`](Self::cone_plans) with a cooperative cancel
+    /// checkpoint inside the compile.
+    ///
+    /// A tripped token aborts the build and returns the cause — and,
+    /// critically, leaves the plan slot *empty*: the build runs outside
+    /// the `OnceLock` initializer, so a cancelled compile never poisons
+    /// the cache and the next caller compiles from scratch. If two
+    /// callers race, the loser's freshly-built plans are discarded and
+    /// the winner's are returned (same single-winner semantics as
+    /// `OnceLock`, paid only on a cold concurrent miss).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CancelCause`] when `cancel` trips mid-build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is not the circuit these artifacts were
+    /// computed from.
+    pub fn cone_plans_cancellable(
+        &self,
+        circuit: &Circuit,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<&Arc<ConePlans>>, CancelCause> {
+        assert_eq!(
+            circuit.len(),
+            self.len(),
+            "cone plans require the artifacts' own circuit"
+        );
+        if let Some(slot) = self.plans.get() {
+            return Ok(slot.as_ref());
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let built = ConePlans::build_bounded_cancellable(
+            circuit,
+            self,
+            ConePlans::DEFAULT_MEMBER_BUDGET,
+            threads,
+            cancel,
+        )?
+        .map(Arc::new);
+        Ok(self.plans.get_or_init(|| built).as_ref())
     }
 
     /// Seeds the plan cache with already-compiled plans (e.g. loaded

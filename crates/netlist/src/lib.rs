@@ -39,6 +39,7 @@
 
 mod artifacts;
 mod builder;
+mod cancel;
 mod circuit;
 mod cone;
 mod error;
@@ -55,6 +56,7 @@ mod write;
 
 pub use artifacts::TopoArtifacts;
 pub use builder::CircuitBuilder;
+pub use cancel::{CancelCause, CancelToken};
 pub use circuit::{Circuit, Node, NodeId, ObservePoint};
 pub use cone::{fanin_mask, support, FanoutCone};
 pub use error::{NetlistError, ParseError};
@@ -63,7 +65,9 @@ pub use parse::parse_bench;
 pub use plan::{
     ConePlan, ConePlans, FaninRef, FlatConePlan, FlatConePlans, PlanMembers, SitePlan, TailView,
 };
-pub use plan_cache::{PlanCache, PlanCacheStats, PlanStoreOutcome, PLAN_CACHE_EXT};
+pub use plan_cache::{
+    FaultPlan, PlanCache, PlanCacheStats, PlanStoreOutcome, StoreFault, PLAN_CACHE_EXT,
+};
 pub use scoap::{Scoap, SCOAP_INFINITY};
 pub use stats::CircuitStats;
 pub use topo::{depth, is_topo_order, levelize, topo_order};

@@ -85,6 +85,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::artifacts::TopoArtifacts;
+use crate::cancel::{CancelCause, CancelToken};
 use crate::circuit::{Circuit, NodeId};
 use crate::gate::GateKind;
 
@@ -322,11 +323,50 @@ impl ConePlans {
         max_members: usize,
         threads: usize,
     ) -> Option<Self> {
+        match Self::build_bounded_cancellable(circuit, topo, max_members, threads, None) {
+            Ok(plans) => plans,
+            Err(_) => unreachable!("a build without a token cannot be cancelled"),
+        }
+    }
+
+    /// How many phase-1 anchor merges / phase-2 tail packings run
+    /// between cooperative cancellation checkpoints. Small enough that
+    /// a trip lands within a few milliseconds even on the largest
+    /// benches, large enough that the poll is free.
+    pub(crate) const CANCEL_CHECK_EVERY: usize = 4096;
+
+    /// [`build_bounded_with_threads`](Self::build_bounded_with_threads)
+    /// with a cooperative [`CancelToken`]: the phase-1
+    /// reverse-topological merge and the phase-2 tail packing poll the
+    /// token every few thousand anchors and abort mid-compile when it
+    /// trips, dropping all partial state. `Ok(None)` still means the
+    /// stored-member budget declined the build (the two outcomes stay
+    /// distinguishable: a declined build falls back to per-site
+    /// traversal, a cancelled one aborts the request).
+    ///
+    /// # Errors
+    ///
+    /// The [`CancelCause`] when `cancel` trips before the build
+    /// finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0 or `topo` was not computed from
+    /// `circuit`.
+    pub fn build_bounded_cancellable(
+        circuit: &Circuit,
+        topo: &TopoArtifacts,
+        max_members: usize,
+        threads: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<Self>, CancelCause> {
         assert!(threads > 0, "at least one thread");
         let n = circuit.len();
         assert_eq!(topo.len(), n, "artifacts must cover every node");
 
-        let tc = TailCones::build(topo, max_members)?;
+        let Some(tc) = TailCones::build(topo, max_members, cancel)? else {
+            return Ok(None);
+        };
         let order = topo.order();
 
         // Observe points indexed by observed signal, in observe order.
@@ -395,7 +435,12 @@ impl ConePlans {
         let mut tail_obs: Vec<(u32, u32)> = Vec::new();
         let mut site_obs: Vec<(u32, u32)> = Vec::new();
         tail_obs_off.push(0u32);
-        for &p in &anchors {
+        for (packed, &p) in anchors.iter().enumerate() {
+            if packed % Self::CANCEL_CHECK_EVERY == 0 {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+            }
             let p = p as usize;
             tail_start.push(tc.start[p]);
             tail_end.push(tc.end[p]);
@@ -450,7 +495,7 @@ impl ConePlans {
             plans.logical_members += len as u64;
             plans.logical_observe_refs += obs;
         }
-        Some(plans)
+        Ok(Some(plans))
     }
 
     /// Number of sites covered (one plan per circuit node).
@@ -1065,10 +1110,15 @@ impl TailCones {
     }
 
     /// Runs the reverse-topological anchor-only merge pass. Returns
-    /// `None` as soon as stored members (chain entries + the arena)
-    /// exceed `max_members` — a sequential, scheduling-independent
-    /// decision.
-    fn build(topo: &TopoArtifacts, max_members: usize) -> Option<Self> {
+    /// `Ok(None)` as soon as stored members (chain entries + the
+    /// arena) exceed `max_members` — a sequential,
+    /// scheduling-independent decision — and `Err` when the
+    /// cancellation token trips at an anchor checkpoint.
+    fn build(
+        topo: &TopoArtifacts,
+        max_members: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Option<Self>, CancelCause> {
         let n = topo.len();
         let order = topo.order();
         let mut next_pos = vec![NO_NEXT; n];
@@ -1081,7 +1131,7 @@ impl TailCones {
             }
         }
         if chain_count > max_members {
-            return None;
+            return Ok(None);
         }
 
         let mut start = vec![0u32; n];
@@ -1089,10 +1139,17 @@ impl TailCones {
         let mut arena: Vec<u32> = Vec::with_capacity(n - chain_count);
         // Cursor scratch for the rare ≥ 3-way merges; reused.
         let mut cursors: Vec<ConeCursor> = Vec::new();
+        let mut merged = 0usize;
         for p in (0..n).rev() {
             if next_pos[p] != NO_NEXT {
                 continue;
             }
+            if merged.is_multiple_of(ConePlans::CANCEL_CHECK_EVERY) {
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+            }
+            merged += 1;
             let cone_start = arena.len();
             arena.push(u32::try_from(p).expect("node count fits u32"));
             let succs = topo.comb_fanout(order[p]);
@@ -1192,18 +1249,18 @@ impl TailCones {
                 }
             }
             if chain_count + arena.len() > max_members {
-                return None;
+                return Ok(None);
             }
             start[p] = u32::try_from(cone_start).expect("cone members fit u32");
             end[p] = u32::try_from(arena.len()).expect("cone members fit u32");
         }
-        Some(TailCones {
+        Ok(Some(TailCones {
             next_pos,
             start,
             end,
             arena,
             chain_count,
-        })
+        }))
     }
 }
 
@@ -2042,6 +2099,39 @@ H = OR(C, D, G)
             let c = parse_bench(src, name).unwrap();
             assert_matches_flat(&c);
         }
+    }
+
+    #[test]
+    fn cancelled_build_aborts_and_live_token_is_identical() {
+        let c = parse_bench(FIG1, "fig1").unwrap();
+        let topo = TopoArtifacts::compute(&c).unwrap();
+        let reference = ConePlans::build(&c, &topo);
+
+        // A live token changes nothing: the build is bit-identical.
+        let live = crate::CancelToken::new();
+        let with_token =
+            ConePlans::build_bounded_cancellable(&c, &topo, usize::MAX, 1, Some(&live))
+                .unwrap()
+                .unwrap();
+        assert_eq!(with_token, reference);
+
+        // A tripped token aborts at the first checkpoint with its
+        // cause; the budget decline stays distinguishable.
+        let tripped = crate::CancelToken::new();
+        tripped.cancel();
+        assert_eq!(
+            ConePlans::build_bounded_cancellable(&c, &topo, usize::MAX, 1, Some(&tripped)),
+            Err(crate::CancelCause::Cancelled)
+        );
+        let expired = crate::CancelToken::with_deadline(std::time::Instant::now());
+        assert_eq!(
+            ConePlans::build_bounded_cancellable(&c, &topo, usize::MAX, 1, Some(&expired)),
+            Err(crate::CancelCause::DeadlineExceeded)
+        );
+        assert_eq!(
+            ConePlans::build_bounded_cancellable(&c, &topo, 1, 1, Some(&live)),
+            Ok(None)
+        );
     }
 
     #[test]

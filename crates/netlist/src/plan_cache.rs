@@ -47,9 +47,12 @@
 //! over-budget circuit still caches (the cap is a target, not an
 //! invariant).
 
+use std::collections::VecDeque;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::SystemTime;
 
 use crate::circuit::NodeId;
@@ -100,6 +103,69 @@ pub struct PlanCache {
     /// Byte budget for the directory (`None` = unbounded). See the
     /// [module docs](self) on the eviction policy.
     max_bytes: Option<u64>,
+    /// Chaos-test fault injection; `None` in production.
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// A single injected fault for one [`PlanCache::store`] call — the
+/// crash shapes a production filesystem can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Write only the first `keep` bytes of the encoded entry, then
+    /// rename anyway: a present-but-torn file, as after power loss on
+    /// a filesystem that reordered the rename past the data blocks.
+    /// [`PlanCache::load`] must reject it via length/checksum.
+    Torn {
+        /// Bytes of the encoded entry actually written.
+        keep: usize,
+    },
+    /// The data write itself fails (disk full / I/O error mid-write);
+    /// `store` returns the error and cleans up the temp file.
+    WriteError,
+    /// The final rename fails; the complete temp file is cleaned up
+    /// and `store` returns the error — no entry appears.
+    RenameError,
+}
+
+/// A deterministic fault schedule for [`PlanCache`] chaos tests: each
+/// [`PlanCache::store`] call consumes the next slot in order (`None` =
+/// store healthily). Once the schedule is exhausted every store is
+/// healthy. Shared via `Arc` so the injecting test keeps a handle.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    schedule: Mutex<VecDeque<Option<StoreFault>>>,
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A schedule consumed one slot per store, in order.
+    #[must_use]
+    pub fn new(schedule: impl IntoIterator<Item = Option<StoreFault>>) -> Self {
+        FaultPlan {
+            schedule: Mutex::new(schedule.into_iter().collect()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// How many faults have actually been injected so far — lets a
+    /// test assert its schedule was exercised, not silently skipped.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn next(&self) -> Option<StoreFault> {
+        let fault = self
+            .schedule
+            .lock()
+            .expect("fault schedule poisoned")
+            .pop_front()
+            .flatten();
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
 }
 
 /// What one [`PlanCache::store`] did: where the entry landed, and how
@@ -126,7 +192,17 @@ impl PlanCache {
         PlanCache {
             dir: dir.into(),
             max_bytes: None,
+            faults: None,
         }
+    }
+
+    /// Arms a chaos-test [`FaultPlan`]: each subsequent
+    /// [`store`](Self::store) consumes one slot of the schedule. Never
+    /// used in production paths.
+    #[must_use]
+    pub fn with_fault_plan(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Caps the directory at `max_bytes` total `.serplan` bytes
@@ -197,10 +273,31 @@ impl PlanCache {
             std::process::id()
         ));
         let bytes = encode(hash, plans);
+        let fault = self.faults.as_ref().and_then(|f| f.next());
         let result = (|| {
             let mut f = fs::File::create(&tmp)?;
+            match fault {
+                Some(StoreFault::Torn { keep }) => {
+                    // The crash shape: a truncated entry becomes
+                    // visible under the final name. `load` must treat
+                    // it as a miss and the next store overwrites it.
+                    f.write_all(&bytes[..keep.min(bytes.len())])?;
+                    f.sync_all()?;
+                    return fs::rename(&tmp, &path);
+                }
+                Some(StoreFault::WriteError) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "injected mid-write failure",
+                    ));
+                }
+                Some(StoreFault::RenameError) | None => {}
+            }
             f.write_all(&bytes)?;
             f.sync_all()?;
+            if matches!(fault, Some(StoreFault::RenameError)) {
+                return Err(io::Error::other("injected rename failure"));
+            }
             fs::rename(&tmp, &path)
         })();
         if result.is_err() {
@@ -661,6 +758,51 @@ mod tests {
 
         // Restoring the original bytes restores the hit.
         fs::write(&path, &full).unwrap();
+        assert_eq!(cache.load(hash).expect("hit"), plans);
+    }
+
+    #[test]
+    fn fault_plan_torn_write_recovers_silently() {
+        let (c, plans) = sample();
+        let hash = c.structural_hash();
+        let dir = TempCacheDir::new("fault-torn");
+        let faults = Arc::new(FaultPlan::new([Some(StoreFault::Torn { keep: 13 }), None]));
+        let cache = PlanCache::new(&dir.0).with_fault_plan(Arc::clone(&faults));
+
+        // The torn store "succeeds" (the rename landed) but the entry
+        // on disk is garbage: the next load is a silent miss.
+        cache.store(hash, &plans).expect("torn store still renames");
+        assert!(fs::read(cache.entry_path(hash)).unwrap().len() < HEADER_LEN);
+        assert!(cache.load(hash).is_none());
+        assert_eq!(faults.injected(), 1);
+
+        // Recompile-and-store overwrites the torn entry; hits resume.
+        cache.store(hash, &plans).expect("healthy store");
+        assert_eq!(cache.load(hash).expect("hit"), plans);
+    }
+
+    #[test]
+    fn fault_plan_write_and_rename_failures_leave_no_entry() {
+        let (c, plans) = sample();
+        let hash = c.structural_hash();
+        let dir = TempCacheDir::new("fault-write");
+        let faults = Arc::new(FaultPlan::new([
+            Some(StoreFault::WriteError),
+            Some(StoreFault::RenameError),
+        ]));
+        let cache = PlanCache::new(&dir.0).with_fault_plan(Arc::clone(&faults));
+
+        for expect in ["mid-write", "rename"] {
+            let err = cache.store(hash, &plans).expect_err(expect);
+            assert!(err.to_string().contains("injected"), "{expect}: {err}");
+            // No entry, no stray temp file: the directory stays clean.
+            assert!(cache.load(hash).is_none());
+            assert_eq!(fs::read_dir(&dir.0).unwrap().count(), 0, "{expect}");
+        }
+        assert_eq!(faults.injected(), 2);
+
+        // Schedule exhausted: stores are healthy again.
+        cache.store(hash, &plans).expect("healthy store");
         assert_eq!(cache.load(hash).expect("hit"), plans);
     }
 

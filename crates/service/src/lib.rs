@@ -22,12 +22,20 @@
 //! - [`protocol`] — the versioned wire API: envelope requests
 //!   (`{"v": 2, "id": ..., "op": ...}` with nested parameters),
 //!   framed replies (`progress` / `chunk` / `result` / `error`),
-//!   structured `{code, message}` errors, and the transport-agnostic
-//!   [`ProtocolEngine`] behind the [`Transport`] trait.
+//!   structured `{code, message}` errors, cooperative cancellation
+//!   (the `cancel` op and per-request `deadline_ms`, both backed by
+//!   [`CancelToken`](ser_netlist::CancelToken)s threaded through every
+//!   compute leg), multi-job `batch` envelopes, and the
+//!   transport-agnostic [`ProtocolEngine`] behind the [`Transport`]
+//!   trait.
 //! - [`net`] — the std-only TCP front door ([`TcpTransport`]):
 //!   connection threads feeding the shared engine, optional
 //!   shared-secret auth, per-client request quotas, a server-wide
-//!   in-flight cap, graceful shutdown.
+//!   in-flight cap, idle-connection reaping, graceful shutdown.
+//! - [`chaos`] — deterministic seeded fault injection
+//!   ([`ChaosTransport`]): torn writes, mid-frame disconnects,
+//!   injected read errors — the harness the robustness tests drive the
+//!   whole stack through.
 //! - [`jobs`] — the v1 compatibility shim: PR 3's flat JSONL job
 //!   dialect, still served (a line without a `"v"` field), answered in
 //!   its original shape.
@@ -81,6 +89,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 mod executor;
 pub mod jobs;
 pub mod json;
@@ -89,18 +98,19 @@ pub mod protocol;
 mod request;
 mod service;
 
+pub use chaos::{ChaosLines, ChaosSchedule, ChaosTransport, ChaosWriter};
 pub use executor::Executor;
 pub use jobs::{json_escape, parse_flat_object, parse_job_line, v1_response_json, JobOp, JobSpec};
 pub use json::JsonValue;
 pub use net::{TcpShutdownHandle, TcpTransport};
 pub use protocol::{
-    parse_wire_line, serve, Connection, EngineConfig, ErrorCode, FrameSink, LineStream,
-    MonteCarloOp, MultiCycleMcOp, MultiCycleOp, ParsedLine, ProtocolEngine, SetInputsOp, SiteOp,
-    StdioTransport, SweepOp, Transport, WhatIfEditOp, WhatIfOp, WhatIfRevertOp, WireError, WireOp,
-    WireRequest, PROTOCOL_VERSION,
+    parse_wire_line, serve, BatchOp, CancelOp, Connection, EngineConfig, ErrorCode, FrameSink,
+    LineStream, MonteCarloOp, MultiCycleMcOp, MultiCycleOp, ParsedLine, ProtocolEngine,
+    SetInputsOp, SiteOp, StdioTransport, SweepOp, Transport, WhatIfEditOp, WhatIfOp,
+    WhatIfRevertOp, WireError, WireOp, WireRequest, PROTOCOL_VERSION,
 };
 pub use request::{
     MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, ResponseMeta,
     ResponsePayload, ServiceError, SiteRequest, SweepRequest,
 };
-pub use service::{Progress, ProgressFn, SerService, SerServiceConfig, ServiceStats};
+pub use service::{BatchJob, Progress, ProgressFn, SerService, SerServiceConfig, ServiceStats};

@@ -20,9 +20,9 @@
 
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{Connection, FrameSink, LineStream, Transport};
 
@@ -66,6 +66,8 @@ pub struct TcpTransport {
     listener: TcpListener,
     local: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
+    idle_reaped: Arc<AtomicU64>,
 }
 
 /// Stops a [`TcpTransport`] from another thread. Cloneable; any clone
@@ -117,7 +119,25 @@ impl TcpTransport {
             listener,
             local,
             shutdown: Arc::new(AtomicBool::new(false)),
+            idle_timeout: None,
+            idle_reaped: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Reap connections that go `timeout` without delivering a single
+    /// byte: the reader returns end-of-stream, the serve loop closes
+    /// the connection, and `reaped` (typically
+    /// [`SerService::idle_reap_counter`](crate::SerService::idle_reap_counter),
+    /// so reaps surface in [`ServiceStats`](crate::ServiceStats)) is
+    /// incremented. The timer resets on every received byte, so a
+    /// slow-trickling client is *not* idle; a request already in
+    /// flight is unaffected — reaping only interrupts the wait for the
+    /// **next** line.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, timeout: Duration, reaped: Arc<AtomicU64>) -> Self {
+        self.idle_timeout = Some(timeout);
+        self.idle_reaped = reaped;
+        self
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -189,6 +209,9 @@ impl Transport for TcpTransport {
                     reader: BufReader::new(reader),
                     pending: Vec::new(),
                     shutdown: Arc::clone(&self.shutdown),
+                    idle_timeout: self.idle_timeout,
+                    last_activity: Instant::now(),
+                    reaped: Arc::clone(&self.idle_reaped),
                 }),
                 sink: FrameSink::new(stream),
                 peer: peer.to_string(),
@@ -210,6 +233,15 @@ struct TcpLines {
     /// UTF-8 is validated once per complete line.
     pending: Vec<u8>,
     shutdown: Arc<AtomicBool>,
+    /// Reap this connection once no byte has arrived for this long
+    /// (`None` = never). Checked on the same [`SHUTDOWN_POLL`] wakeups
+    /// that watch the shutdown flag, so reaping needs no extra thread
+    /// and lands within one poll interval of the deadline.
+    idle_timeout: Option<Duration>,
+    /// When the last byte arrived (or the connection was accepted).
+    last_activity: Instant,
+    /// Server-wide count of idle-reaped connections.
+    reaped: Arc<AtomicU64>,
 }
 
 impl TcpLines {
@@ -230,10 +262,15 @@ impl TcpLines {
 
 impl LineStream for TcpLines {
     fn next_line(&mut self) -> io::Result<Option<String>> {
+        // The idle clock measures the wait for *this* line, so it
+        // starts now — time spent serving the previous request does
+        // not count as idleness.
+        self.last_activity = Instant::now();
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 return Ok(None);
             }
+            let before = self.pending.len();
             match self.reader.read_until(b'\n', &mut self.pending) {
                 // EOF. A final unterminated fragment is still a line —
                 // the parser reports the truncation instead of the
@@ -252,7 +289,17 @@ impl LineStream for TcpLines {
                     ) =>
                 {
                     // Timeout: whatever was read so far stays in
-                    // `pending`; go around and poll the flag.
+                    // `pending`. Any byte that did arrive this window
+                    // resets the idle timer — only true silence reaps.
+                    if self.pending.len() > before {
+                        self.last_activity = Instant::now();
+                    }
+                    if let Some(limit) = self.idle_timeout {
+                        if self.last_activity.elapsed() >= limit {
+                            self.reaped.fetch_add(1, Ordering::Relaxed);
+                            return Ok(None);
+                        }
+                    }
                     continue;
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,

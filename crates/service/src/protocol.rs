@@ -40,9 +40,12 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead as _, Write};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
-use ser_epp::{Edit, PolarityMode, WhatIfOutcome};
-use ser_netlist::{parse_bench, parse_verilog, Circuit, GateKind, NodeId};
+use ser_epp::{Edit, PolarityMode, SweepResults, WhatIfOutcome};
+use ser_netlist::{
+    parse_bench, parse_verilog, CancelCause, CancelToken, Circuit, GateKind, NodeId,
+};
 use ser_sp::InputProbs;
 
 use crate::jobs::{self, JobSpec};
@@ -51,7 +54,7 @@ use crate::request::{
     MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, ResponsePayload,
     ServiceError, SiteRequest, SweepRequest,
 };
-use crate::service::{Progress, SerService};
+use crate::service::{Progress, ProgressFn, SerService};
 
 /// The protocol version this engine speaks. Version 1 is the
 /// unversioned flat dialect, recognized by the *absence* of a `"v"`
@@ -89,6 +92,12 @@ pub enum ErrorCode {
     Unauthorized,
     /// The connection exhausted its per-client request quota.
     QuotaExceeded,
+    /// The request was aborted by an explicit `cancel` op before it
+    /// completed. Partial results were dropped; no cache was touched.
+    Cancelled,
+    /// The request's `deadline_ms` passed before it completed. Same
+    /// clean-abort contract as `cancelled`.
+    DeadlineExceeded,
     /// The server failed internally (I/O mid-request, a worker died).
     Internal,
 }
@@ -108,6 +117,8 @@ impl ErrorCode {
             ErrorCode::CapExceeded => "cap_exceeded",
             ErrorCode::Unauthorized => "unauthorized",
             ErrorCode::QuotaExceeded => "quota_exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Internal => "internal",
         }
     }
@@ -164,6 +175,8 @@ impl From<&ServiceError> for WireError {
             ServiceError::InvalidRequest(_) => ErrorCode::BadRequest,
             ServiceError::CapExceeded { .. } => ErrorCode::CapExceeded,
             ServiceError::Simulation(_) => ErrorCode::Simulation,
+            ServiceError::Cancelled(CancelCause::Cancelled) => ErrorCode::Cancelled,
+            ServiceError::Cancelled(CancelCause::DeadlineExceeded) => ErrorCode::DeadlineExceeded,
         };
         WireError::new(code, e.to_string())
     }
@@ -192,10 +205,16 @@ pub enum ParsedLine {
 /// One parsed v2 envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireRequest {
-    /// The client's request id, echoed on every frame of the reply.
+    /// The client's request id, echoed on every frame of the reply —
+    /// and, while the request is in flight, the handle a concurrent
+    /// `cancel` op (from any connection) targets.
     pub id: Option<String>,
     /// The operation.
     pub op: WireOp,
+    /// Server-side deadline, milliseconds from receipt. Honored on
+    /// every op: once it passes, the request aborts at its next
+    /// cooperative checkpoint with a `deadline_exceeded` error frame.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A v2 operation with its parameters (node/input names unresolved —
@@ -228,6 +247,39 @@ pub enum WireOp {
     WhatIf(WhatIfOp),
     /// Pop the most recent edit of a netlist's what-if stack.
     WhatIfRevert(WhatIfRevertOp),
+    /// Trip the cancel token of an in-flight request by its client id.
+    /// Races cleanly with completion: a `cancel` that arrives after the
+    /// target's result frame reports `found: false` and changes
+    /// nothing.
+    Cancel(CancelOp),
+    /// A nested array of analysis jobs served as one envelope: every
+    /// job's executor parts interleave on the shared workers, each job
+    /// answers with its own id-echoed frames, and a final batch result
+    /// frame summarizes the outcome.
+    Batch(BatchOp),
+}
+
+/// Parameters of a v2 `cancel`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CancelOp {
+    /// The client-chosen `id` of the request to cancel.
+    pub target: String,
+}
+
+/// Parameters of a v2 `batch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOp {
+    /// The analysis jobs (sweep / site / monte_carlo / multi_cycle
+    /// only), each a nested envelope without a `"v"` field. A job's
+    /// `id` scopes its frames and its cancel handle; the batch
+    /// envelope's `id` cancels every job at once.
+    pub jobs: Vec<WireRequest>,
+}
+
+impl BatchOp {
+    /// Most jobs one `batch` envelope may carry; larger workloads
+    /// split across envelopes (the executor interleaves them anyway).
+    pub const MAX_JOBS: usize = 256;
 }
 
 /// Parameters of a v2 `sweep`.
@@ -506,6 +558,7 @@ fn parse_v2(pairs: Vec<(String, JsonValue)>) -> Result<WireRequest, WireError> {
     let mut fields = Fields::new(pairs);
     let _ = fields.take("v");
     let id = fields.take_str("id")?;
+    let deadline_ms = fields.take_count("deadline_ms")?;
     let op_name = fields.need_str("op", "<envelope>")?;
     let op = match op_name.as_str() {
         "hello" => WireOp::Hello {
@@ -656,6 +709,57 @@ fn parse_v2(pairs: Vec<(String, JsonValue)>) -> Result<WireRequest, WireError> {
         "whatif_revert" => WireOp::WhatIfRevert(WhatIfRevertOp {
             netlist: fields.need_str("netlist", "whatif_revert")?,
         }),
+        "cancel" => WireOp::Cancel(CancelOp {
+            target: fields.need_str("target", "cancel")?,
+        }),
+        "batch" => {
+            let items = match fields.take("jobs") {
+                Some(JsonValue::Arr(items)) => items,
+                Some(other) => {
+                    return Err(bad(format!(
+                        "`jobs` must be an array, got {}",
+                        other.type_name()
+                    )))
+                }
+                None => return Err(bad("`jobs` is required for op `batch`")),
+            };
+            if items.is_empty() {
+                return Err(bad("`jobs` must not be empty"));
+            }
+            if items.len() > BatchOp::MAX_JOBS {
+                return Err(bad(format!(
+                    "`jobs` is capped at {} per batch envelope",
+                    BatchOp::MAX_JOBS
+                )));
+            }
+            let mut jobs = Vec::with_capacity(items.len());
+            for (idx, item) in items.into_iter().enumerate() {
+                let pairs = match item {
+                    JsonValue::Obj(pairs) => pairs,
+                    other => {
+                        return Err(bad(format!(
+                            "`jobs[{idx}]` must be an object, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                let job =
+                    parse_v2(pairs).map_err(|e| bad(format!("`jobs[{idx}]`: {}", e.message)))?;
+                match job.op {
+                    WireOp::Sweep(_)
+                    | WireOp::Site(_)
+                    | WireOp::MonteCarlo(_)
+                    | WireOp::MultiCycle(_) => {}
+                    _ => {
+                        return Err(bad(format!(
+                            "`jobs[{idx}]` must be a sweep/site/monte_carlo/multi_cycle job"
+                        )))
+                    }
+                }
+                jobs.push(job);
+            }
+            WireOp::Batch(BatchOp { jobs })
+        }
         other => {
             return Err(WireError::new(
                 ErrorCode::UnknownOp,
@@ -664,7 +768,11 @@ fn parse_v2(pairs: Vec<(String, JsonValue)>) -> Result<WireRequest, WireError> {
         }
     };
     fields.finish(&op_name)?;
-    Ok(WireRequest { id, op })
+    Ok(WireRequest {
+        id,
+        op,
+        deadline_ms,
+    })
 }
 
 /// Parses a `whatif` `"kind"` string into the replacement gate
@@ -944,6 +1052,18 @@ impl FrameSink {
         }
     }
 
+    /// Replaces the sink's writer with `wrap(old_writer)` — the hook
+    /// the chaos harness uses to interpose a fault-injecting writer
+    /// (byte-split writes, mid-frame failures) between the protocol
+    /// engine and the transport without either knowing. Frames sent
+    /// while the swap runs wait on the sink's own mutex, so no frame
+    /// is ever split across the old and new writer.
+    pub fn wrap_writer(&self, wrap: impl FnOnce(Box<dyn Write + Send>) -> Box<dyn Write + Send>) {
+        let mut w = self.writer.lock().expect("frame sink");
+        let inner = std::mem::replace(&mut *w, Box::new(io::sink()));
+        *w = wrap(inner);
+    }
+
     /// Writes one frame as a line and flushes (line-buffered framing:
     /// a client may act on every line as it arrives). The frame and
     /// its terminator go down in a **single** write, so an unbuffered
@@ -1162,6 +1282,53 @@ pub struct ProtocolEngine {
     config: EngineConfig,
     circuits: Mutex<NetlistCache>,
     inflight: InflightGate,
+    /// In-flight cancel handles, keyed by client request id. Engine-
+    /// wide on purpose: a connection's serve loop is sequential, so a
+    /// `cancel` necessarily arrives on a *different* connection than
+    /// the request it targets. Ids map to a `Vec` because a batch
+    /// registers every job token under the batch id, and because
+    /// nothing stops two clients from picking the same id.
+    cancels: Mutex<HashMap<String, Vec<CancelToken>>>,
+}
+
+/// RAII deregistration of cancel-registry entries: however a request
+/// ends — result, error, panic unwinding past the dispatch — its
+/// tokens leave the registry, so a late `cancel` for a reused id can
+/// never trip a *future* request. Removal is by token identity
+/// ([`CancelToken::ptr_eq`]), not by id, so a concurrent request that
+/// chose the same id keeps its own registration.
+struct CancelGuard<'a> {
+    registry: &'a Mutex<HashMap<String, Vec<CancelToken>>>,
+    entries: Vec<(String, CancelToken)>,
+}
+
+impl<'a> CancelGuard<'a> {
+    fn register(
+        registry: &'a Mutex<HashMap<String, Vec<CancelToken>>>,
+        entries: Vec<(String, CancelToken)>,
+    ) -> Self {
+        {
+            let mut map = registry.lock().expect("cancel registry");
+            for (id, token) in &entries {
+                map.entry(id.clone()).or_default().push(token.clone());
+            }
+        }
+        CancelGuard { registry, entries }
+    }
+}
+
+impl Drop for CancelGuard<'_> {
+    fn drop(&mut self) {
+        let mut map = self.registry.lock().expect("cancel registry");
+        for (id, token) in &self.entries {
+            if let Some(tokens) = map.get_mut(id) {
+                tokens.retain(|t| !t.ptr_eq(token));
+                if tokens.is_empty() {
+                    map.remove(id);
+                }
+            }
+        }
+    }
 }
 
 impl ProtocolEngine {
@@ -1177,6 +1344,7 @@ impl ProtocolEngine {
             service,
             config,
             circuits: Mutex::new(NetlistCache::default()),
+            cancels: Mutex::new(HashMap::new()),
         }
     }
 
@@ -1184,6 +1352,22 @@ impl ProtocolEngine {
     #[must_use]
     pub fn service(&self) -> &Arc<SerService> {
         &self.service
+    }
+
+    /// Requests currently holding an inflight permit. The chaos tests
+    /// assert this returns to zero after every fault schedule — a
+    /// leaked permit would eventually wedge the gate shut.
+    #[must_use]
+    pub fn inflight_active(&self) -> usize {
+        *self.inflight.active.lock().expect("inflight gate")
+    }
+
+    /// Request ids with live cancel registrations. Like
+    /// [`inflight_active`](Self::inflight_active), must drain to zero
+    /// once no request is in flight — the registry is RAII-guarded.
+    #[must_use]
+    pub fn cancel_registrations(&self) -> usize {
+        self.cancels.lock().expect("cancel registry").len()
     }
 
     /// Serves one client connection to completion: reads lines,
@@ -1225,6 +1409,7 @@ impl ProtocolEngine {
             if let Ok(ParsedLine::V2(WireRequest {
                 id,
                 op: WireOp::Hello { token },
+                ..
             })) = &parsed
             {
                 if token.as_deref() == self.config.auth_token.as_deref() {
@@ -1255,6 +1440,7 @@ impl ProtocolEngine {
         if let Ok(ParsedLine::V2(WireRequest {
             id,
             op: WireOp::Hello { .. },
+            ..
         })) = &parsed
         {
             if !state.greeted {
@@ -1309,7 +1495,7 @@ impl ProtocolEngine {
             }
             ParsedLine::V2(req) => {
                 let id = req.id.as_deref();
-                if let Err(e) = self.dispatch_v2(id, &req.op, sink)? {
+                if let Err(e) = self.dispatch_v2(&req, sink)? {
                     sink.send(&render_error_frame(id, &e))?;
                 }
             }
@@ -1331,11 +1517,32 @@ impl ProtocolEngine {
     /// protocol-level error for the caller to frame.
     fn dispatch_v2(
         &self,
-        id: Option<&str>,
-        op: &WireOp,
+        req: &WireRequest,
         sink: &FrameSink,
     ) -> io::Result<Result<(), WireError>> {
-        match op {
+        let id = req.id.as_deref();
+        // A token exists whenever the request carries an id (so a
+        // concurrent `cancel` can find it) or a deadline; ops that
+        // never reach a compute leg still honor it via the pre-check.
+        let token = match (&req.id, req.deadline_ms) {
+            (None, None) => None,
+            (_, Some(ms)) => Some(CancelToken::with_timeout(Duration::from_millis(ms))),
+            (Some(_), None) => Some(CancelToken::new()),
+        };
+        let _guard = match (&req.id, &token) {
+            (Some(rid), Some(token)) => Some(CancelGuard::register(
+                &self.cancels,
+                vec![(rid.clone(), token.clone())],
+            )),
+            _ => None,
+        };
+        if let Some(token) = &token {
+            if let Err(cause) = token.check() {
+                return Ok(Err((&ServiceError::Cancelled(cause)).into()));
+            }
+        }
+        let cancel = token.as_ref();
+        match &req.op {
             // Only *repeated* hellos land here (the first is answered
             // quota-free before dispatch); they count like any op.
             WireOp::Hello { .. } => {
@@ -1347,7 +1554,8 @@ impl ProtocolEngine {
                 sink.send(&format!(
                     "{}, \"op\": \"stats\", \"session_hits\": {}, \"session_misses\": {}, \
                      \"evictions\": {}, \"sessions_cached\": {}, \"sweep_cache_hits\": {}, \
-                     \"sweep_cache_misses\": {}, \"sweep_responses_cached\": {}}}",
+                     \"sweep_cache_misses\": {}, \"sweep_responses_cached\": {}, \
+                     \"requests_cancelled\": {}, \"idle_reaped\": {}}}",
                     frame_head("result", id),
                     s.session_hits,
                     s.session_misses,
@@ -1355,7 +1563,9 @@ impl ProtocolEngine {
                     s.sessions_cached,
                     s.sweep_cache_hits,
                     s.sweep_cache_misses,
-                    s.sweep_responses_cached
+                    s.sweep_responses_cached,
+                    s.requests_cancelled,
+                    s.idle_reaped
                 ))?;
                 Ok(Ok(()))
             }
@@ -1372,21 +1582,47 @@ impl ProtocolEngine {
                 }
                 Err(e) => Ok(Err(e)),
             },
-            WireOp::Sweep(op) => self.run_sweep(id, op, sink),
-            WireOp::Site(op) => match self.run_simple(id, &op.netlist, |circuit| {
-                Ok(Request::Site(SiteRequest {
-                    site: resolve_node(circuit, &op.node)?,
-                }))
-            }) {
+            WireOp::Sweep(op) => self.run_sweep(id, op, sink, cancel),
+            WireOp::Site(op) => match self.run_simple(
+                id,
+                &op.netlist,
+                |circuit| {
+                    Ok(Request::Site(SiteRequest {
+                        site: resolve_node(circuit, &op.node)?,
+                    }))
+                },
+                cancel,
+            ) {
                 Ok(frame) => {
                     sink.send(&frame)?;
                     Ok(Ok(()))
                 }
                 Err(e) => Ok(Err(e)),
             },
-            WireOp::MonteCarlo(op) => self.run_monte_carlo(id, op, sink),
-            WireOp::MultiCycle(op) => self.run_multi_cycle(id, op, sink),
-            WireOp::WhatIf(op) => self.run_whatif(id, op, sink),
+            WireOp::MonteCarlo(op) => self.run_monte_carlo(id, op, sink, cancel),
+            WireOp::MultiCycle(op) => self.run_multi_cycle(id, op, sink, cancel),
+            WireOp::WhatIf(op) => self.run_whatif(id, op, sink, cancel),
+            WireOp::Cancel(op) => {
+                let found = {
+                    let map = self.cancels.lock().expect("cancel registry");
+                    match map.get(&op.target) {
+                        Some(tokens) => {
+                            for token in tokens {
+                                token.cancel();
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                sink.send(&format!(
+                    "{}, \"op\": \"cancel\", \"target\": \"{}\", \"found\": {found}}}",
+                    frame_head("result", id),
+                    json_escape(&op.target)
+                ))?;
+                Ok(Ok(()))
+            }
+            WireOp::Batch(op) => self.run_batch(id, op, req.deadline_ms, sink),
             WireOp::WhatIfRevert(op) => match self.run_whatif_revert(op) {
                 Ok((circuit, depth, total)) => {
                     sink.send(&format!(
@@ -1410,11 +1646,14 @@ impl ProtocolEngine {
         id: Option<&str>,
         netlist: &str,
         build: impl FnOnce(&Circuit) -> Result<Request, WireError>,
+        cancel: Option<&CancelToken>,
     ) -> Result<String, WireError> {
         let circuit = self.load_circuit(netlist)?;
         let request = build(&circuit)?;
         let _permit = self.inflight.acquire();
-        let response = self.service.submit(&circuit, request)?;
+        let response = self
+            .service
+            .submit_cancellable(&circuit, request, None, cancel.cloned())?;
         Ok(format!(
             "{}, {}}}",
             frame_head("result", id),
@@ -1438,6 +1677,7 @@ impl ProtocolEngine {
         id: Option<&str>,
         op: &SweepOp,
         sink: &FrameSink,
+        cancel: Option<&CancelToken>,
     ) -> io::Result<Result<(), WireError>> {
         let circuit = match self.load_circuit(&op.netlist) {
             Ok(c) => c,
@@ -1461,19 +1701,16 @@ impl ProtocolEngine {
             polarity: op.polarity,
         });
         let _permit = self.inflight.acquire();
-        let response = if op.progress {
+        let progress = op.progress.then(|| -> ProgressFn {
             let sink = sink.clone();
             let id: Option<String> = id.map(str::to_owned);
-            self.service.submit_streaming(
-                &circuit,
-                request,
-                Arc::new(move |p: Progress| {
-                    let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
-                }),
-            )
-        } else {
-            self.service.submit(&circuit, request)
-        };
+            Arc::new(move |p: Progress| {
+                let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
+            })
+        });
+        let response =
+            self.service
+                .submit_cancellable(&circuit, request, progress, cancel.cloned());
         let response = match response {
             Ok(r) => r,
             Err(e) => return Ok(Err(e.into())),
@@ -1484,26 +1721,7 @@ impl ProtocolEngine {
         if let (Some(chunk_sites), ResponsePayload::Sweep(sweep)) =
             (op.chunk_sites, &response.payload)
         {
-            for (seq, first) in (0..sweep.len()).step_by(chunk_sites).enumerate() {
-                let mut frame = format!(
-                    "{}, \"seq\": {seq}, \"first\": {first}, \"sites\": [",
-                    frame_head("chunk", id)
-                );
-                for pos in first..(first + chunk_sites).min(sweep.len()) {
-                    if pos > first {
-                        frame.push_str(", ");
-                    }
-                    let site = sweep.get(pos);
-                    frame.push_str(&format!(
-                        "{{\"node\": \"{}\", \"p_sensitized\": {}}}",
-                        json_escape(circuit.node(site.site()).name()),
-                        fmt_f64(site.p_sensitized())
-                    ));
-                }
-                frame.push_str("]}");
-                sink.send(&frame)?;
-                chunks = seq + 1;
-            }
+            chunks = send_sweep_chunks(sink, id, &circuit, sweep, chunk_sites)?;
         }
         let chunk_note = if op.chunk_sites.is_some() {
             format!(", \"chunks\": {chunks}")
@@ -1523,6 +1741,7 @@ impl ProtocolEngine {
         id: Option<&str>,
         op: &MonteCarloOp,
         sink: &FrameSink,
+        cancel: Option<&CancelToken>,
     ) -> io::Result<Result<(), WireError>> {
         let circuit = match self.load_circuit(&op.netlist) {
             Ok(c) => c,
@@ -1540,19 +1759,16 @@ impl ProtocolEngine {
         });
         let _permit = self.inflight.acquire();
         let streaming = op.progress && op.target_error.is_some();
-        let response = if streaming {
+        let progress = streaming.then(|| -> ProgressFn {
             let sink = sink.clone();
             let id: Option<String> = id.map(str::to_owned);
-            self.service.submit_streaming(
-                &circuit,
-                request,
-                Arc::new(move |p: Progress| {
-                    let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
-                }),
-            )
-        } else {
-            self.service.submit(&circuit, request)
-        };
+            Arc::new(move |p: Progress| {
+                let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
+            })
+        });
+        let response =
+            self.service
+                .submit_cancellable(&circuit, request, progress, cancel.cloned());
         match response {
             Ok(response) => {
                 sink.send(&format!(
@@ -1571,6 +1787,7 @@ impl ProtocolEngine {
         id: Option<&str>,
         op: &MultiCycleOp,
         sink: &FrameSink,
+        cancel: Option<&CancelToken>,
     ) -> io::Result<Result<(), WireError>> {
         let circuit = match self.load_circuit(&op.netlist) {
             Ok(c) => c,
@@ -1597,19 +1814,16 @@ impl ProtocolEngine {
                 .monte_carlo
                 .as_ref()
                 .is_some_and(|mc| mc.target_error.is_some());
-        let response = if streaming {
+        let progress = streaming.then(|| -> ProgressFn {
             let sink = sink.clone();
             let id: Option<String> = id.map(str::to_owned);
-            self.service.submit_streaming(
-                &circuit,
-                request,
-                Arc::new(move |p: Progress| {
-                    let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
-                }),
-            )
-        } else {
-            self.service.submit(&circuit, request)
-        };
+            Arc::new(move |p: Progress| {
+                let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
+            })
+        });
+        let response =
+            self.service
+                .submit_cancellable(&circuit, request, progress, cancel.cloned());
         match response {
             Ok(response) => {
                 sink.send(&format!(
@@ -1636,6 +1850,7 @@ impl ProtocolEngine {
         id: Option<&str>,
         op: &WhatIfOp,
         sink: &FrameSink,
+        cancel: Option<&CancelToken>,
     ) -> io::Result<Result<(), WireError>> {
         let circuit = match self.load_circuit(&op.netlist) {
             Ok(c) => c,
@@ -1646,13 +1861,17 @@ impl ProtocolEngine {
         // resolution failure is stashed so its error code (not_found /
         // bad_request) survives the trip through `ServiceError`.
         let mut resolve_err: Option<WireError> = None;
-        let result = self.service.whatif_apply(&circuit, |current| {
-            build_whatif_edit(current, &op.edit).map_err(|e| {
-                let msg = e.message.clone();
-                resolve_err = Some(e);
-                ServiceError::InvalidRequest(msg)
-            })
-        });
+        let result = self.service.whatif_apply_cancellable(
+            &circuit,
+            |current| {
+                build_whatif_edit(current, &op.edit).map_err(|e| {
+                    let msg = e.message.clone();
+                    resolve_err = Some(e);
+                    ServiceError::InvalidRequest(msg)
+                })
+            },
+            cancel,
+        );
         let outcome: WhatIfOutcome = match result {
             Ok(o) => o,
             Err(e) => {
@@ -1713,6 +1932,203 @@ impl ProtocolEngine {
         let _permit = self.inflight.acquire();
         let (depth, total) = self.service.whatif_revert(&circuit)?;
         Ok((circuit, depth, total))
+    }
+
+    /// Serves a `batch` op: every job is resolved up front (any
+    /// resolution failure rejects the whole batch before any work is
+    /// enqueued), then all jobs are submitted together so their
+    /// executor parts interleave on the shared workers. Each job
+    /// answers with its own id-echoed progress/chunk/result (or error)
+    /// frames, in job order, then one batch-level result frame closes
+    /// the envelope. One inflight permit covers the whole batch — it
+    /// is one wire request.
+    ///
+    /// Cancellation: each job's token registers under the job's own id
+    /// *and* under the batch envelope's id, so a client can cancel one
+    /// job surgically or the whole batch at once; a batch-level
+    /// `deadline_ms` combines with per-job deadlines (earlier wins).
+    fn run_batch(
+        &self,
+        id: Option<&str>,
+        op: &BatchOp,
+        deadline_ms: Option<u64>,
+        sink: &FrameSink,
+    ) -> io::Result<Result<(), WireError>> {
+        let mut jobs = Vec::with_capacity(op.jobs.len());
+        for job in &op.jobs {
+            match self.resolve_batch_job(job, deadline_ms, sink) {
+                Ok(j) => jobs.push(j),
+                Err(e) => return Ok(Err(e)),
+            }
+        }
+        let mut entries = Vec::new();
+        for (job, spec) in op.jobs.iter().zip(&jobs) {
+            if let Some(jid) = &job.id {
+                entries.push((jid.clone(), spec.token.clone()));
+            }
+            if let Some(bid) = id {
+                entries.push((bid.to_owned(), spec.token.clone()));
+            }
+        }
+        let _guard = CancelGuard::register(&self.cancels, entries);
+        let _permit = self.inflight.acquire();
+        let results = self.service.submit_batch_cancellable(
+            jobs.iter()
+                .map(|j| {
+                    (
+                        Arc::clone(&j.circuit),
+                        j.request.clone(),
+                        j.progress.clone(),
+                        Some(j.token.clone()),
+                    )
+                })
+                .collect(),
+        );
+        let mut errors = 0usize;
+        for ((job, spec), result) in op.jobs.iter().zip(&jobs).zip(results) {
+            let jid = job.id.as_deref();
+            match result {
+                Ok(response) => {
+                    let mut chunks = 0usize;
+                    if let (Some(chunk_sites), ResponsePayload::Sweep(sweep)) =
+                        (spec.chunk_sites, &response.payload)
+                    {
+                        chunks = send_sweep_chunks(sink, jid, &spec.circuit, sweep, chunk_sites)?;
+                    }
+                    let chunk_note = if spec.chunk_sites.is_some() {
+                        format!(", \"chunks\": {chunks}")
+                    } else {
+                        String::new()
+                    };
+                    sink.send(&format!(
+                        "{}, {}{chunk_note}}}",
+                        frame_head("result", jid),
+                        response_fields(spec.top, &spec.circuit, &response, true)
+                    ))?;
+                }
+                Err(e) => {
+                    errors += 1;
+                    sink.send(&render_error_frame(jid, &WireError::from(&e)))?;
+                }
+            }
+        }
+        sink.send(&format!(
+            "{}, \"op\": \"batch\", \"jobs\": {}, \"errors\": {errors}}}",
+            frame_head("result", id),
+            jobs.len()
+        ))?;
+        Ok(Ok(()))
+    }
+
+    /// Resolves one `batch` job into a submittable request plus its
+    /// render/cancel bookkeeping.
+    fn resolve_batch_job(
+        &self,
+        job: &WireRequest,
+        batch_deadline_ms: Option<u64>,
+        sink: &FrameSink,
+    ) -> Result<BatchJob, WireError> {
+        let effective_ms = match (batch_deadline_ms, job.deadline_ms) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let token = match effective_ms {
+            Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let progress_sink = |want: bool| -> Option<ProgressFn> {
+            want.then(|| -> ProgressFn {
+                let sink = sink.clone();
+                let id: Option<String> = job.id.clone();
+                Arc::new(move |p: Progress| {
+                    let _ = sink.send(&render_progress_frame(id.as_deref(), &p));
+                })
+            })
+        };
+        match &job.op {
+            WireOp::Sweep(op) => {
+                let circuit = self.load_circuit(&op.netlist)?;
+                let sites = match &op.sites {
+                    None => None,
+                    Some(names) => {
+                        let mut ids = Vec::with_capacity(names.len());
+                        for name in names {
+                            ids.push(resolve_node(&circuit, name)?);
+                        }
+                        Some(ids)
+                    }
+                };
+                Ok(BatchJob {
+                    request: Request::Sweep(SweepRequest {
+                        sites,
+                        polarity: op.polarity,
+                    }),
+                    progress: progress_sink(op.progress),
+                    top: op.top,
+                    chunk_sites: op.chunk_sites,
+                    circuit,
+                    token,
+                })
+            }
+            WireOp::Site(op) => {
+                let circuit = self.load_circuit(&op.netlist)?;
+                let site = resolve_node(&circuit, &op.node)?;
+                Ok(BatchJob {
+                    request: Request::Site(SiteRequest { site }),
+                    progress: None,
+                    top: None,
+                    chunk_sites: None,
+                    circuit,
+                    token,
+                })
+            }
+            WireOp::MonteCarlo(op) => {
+                let circuit = self.load_circuit(&op.netlist)?;
+                let site = resolve_node(&circuit, &op.node)?;
+                Ok(BatchJob {
+                    request: Request::MonteCarlo(MonteCarloRequest {
+                        site,
+                        vectors: op.vectors.unwrap_or(JobSpec::DEFAULT_VECTORS),
+                        target_error: op.target_error,
+                        seed: op.seed.unwrap_or(JobSpec::DEFAULT_SEED),
+                    }),
+                    progress: progress_sink(op.progress && op.target_error.is_some()),
+                    top: None,
+                    chunk_sites: None,
+                    circuit,
+                    token,
+                })
+            }
+            WireOp::MultiCycle(op) => {
+                let circuit = self.load_circuit(&op.netlist)?;
+                let site = resolve_node(&circuit, &op.node)?;
+                let streaming = op.progress
+                    && op
+                        .monte_carlo
+                        .as_ref()
+                        .is_some_and(|mc| mc.target_error.is_some());
+                Ok(BatchJob {
+                    request: Request::MultiCycle(MultiCycleRequest {
+                        site,
+                        cycles: op.cycles,
+                        monte_carlo: op.monte_carlo.as_ref().map(|mc| MultiCycleMcRequest {
+                            runs: mc.runs,
+                            target_error: mc.target_error,
+                            seed: mc.seed.unwrap_or(JobSpec::DEFAULT_SEED),
+                        }),
+                    }),
+                    progress: progress_sink(streaming),
+                    top: None,
+                    chunk_sites: None,
+                    circuit,
+                    token,
+                })
+            }
+            // Unreachable in practice: the parser rejects other ops.
+            _ => Err(bad(
+                "batch jobs are sweep/site/monte_carlo/multi_cycle only",
+            )),
+        }
     }
 
     /// Loads (or reuses) a netlist by path. The cache is engine-wide:
@@ -1814,6 +2230,52 @@ fn build_whatif_edit(circuit: &Circuit, edit: &WhatIfEditOp) -> Result<Edit, Wir
             Ok(Edit::SetInputs(inputs))
         }
     }
+}
+
+/// One resolved job of a `batch` envelope, ready to submit: the loaded
+/// circuit, the typed request, and the render/cancel bookkeeping the
+/// reply loop needs after the executor returns.
+struct BatchJob {
+    circuit: Arc<Circuit>,
+    request: Request,
+    progress: Option<ProgressFn>,
+    token: CancelToken,
+    top: Option<usize>,
+    chunk_sites: Option<usize>,
+}
+
+/// Pages a sweep's per-site values into id-echoed `chunk` frames
+/// (shared by the solo `sweep` op and each sweep job of a `batch`);
+/// returns the number of chunk frames sent.
+fn send_sweep_chunks(
+    sink: &FrameSink,
+    id: Option<&str>,
+    circuit: &Circuit,
+    sweep: &SweepResults,
+    chunk_sites: usize,
+) -> io::Result<usize> {
+    let mut chunks = 0usize;
+    for (seq, first) in (0..sweep.len()).step_by(chunk_sites).enumerate() {
+        let mut frame = format!(
+            "{}, \"seq\": {seq}, \"first\": {first}, \"sites\": [",
+            frame_head("chunk", id)
+        );
+        for pos in first..(first + chunk_sites).min(sweep.len()) {
+            if pos > first {
+                frame.push_str(", ");
+            }
+            let site = sweep.get(pos);
+            frame.push_str(&format!(
+                "{{\"node\": \"{}\", \"p_sensitized\": {}}}",
+                json_escape(circuit.node(site.site()).name()),
+                fmt_f64(site.p_sensitized())
+            ));
+        }
+        frame.push_str("]}");
+        sink.send(&frame)?;
+        chunks = seq + 1;
+    }
+    Ok(chunks)
 }
 
 fn resolve_node(circuit: &Circuit, name: &str) -> Result<NodeId, WireError> {

@@ -197,6 +197,10 @@ pub enum ServiceError {
     },
     /// The simulation leg failed structurally.
     Simulation(ser_netlist::NetlistError),
+    /// The request was aborted at a cooperative checkpoint: an
+    /// explicit `cancel` or an expired deadline. Partial results were
+    /// dropped, never cached or spliced.
+    Cancelled(ser_netlist::CancelCause),
 }
 
 impl fmt::Display for ServiceError {
@@ -218,6 +222,7 @@ impl fmt::Display for ServiceError {
                 )
             }
             ServiceError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            ServiceError::Cancelled(cause) => write!(f, "request aborted: {cause}"),
         }
     }
 }

@@ -20,11 +20,11 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ser_epp::{
-    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential,
-    multi_cycle_monte_carlo_sequential_observed, AnalysisSession, Edit, MultiCycleMcEstimate,
-    MultiCycleResult, PolarityMode, SiteEpp, SweepResults, WhatIfOutcome, WhatIfSession,
+    multi_cycle_monte_carlo, multi_cycle_monte_carlo_sequential_cancellable, AnalysisSession, Edit,
+    MultiCycleMcAbort, MultiCycleMcEstimate, MultiCycleResult, PolarityMode, SiteEpp, SweepResults,
+    WhatIfAbort, WhatIfOutcome, WhatIfSession,
 };
-use ser_netlist::{Circuit, NodeId, PlanCache};
+use ser_netlist::{CancelToken, Circuit, NodeId, PlanCache};
 use ser_sim::{MonteCarlo, SequentialMonteCarlo, SiteEstimate};
 use ser_sp::{InputProbs, SpVector};
 
@@ -137,6 +137,14 @@ pub struct ServiceStats {
     pub plan_cache_evictions: u64,
     /// What-if sessions currently warm (one per base netlist).
     pub whatif_sessions_cached: usize,
+    /// Requests aborted at a cooperative checkpoint — an explicit
+    /// cancel or an expired deadline. Partial work was dropped; no
+    /// cache was populated from a cancelled request.
+    pub requests_cancelled: u64,
+    /// Connections the TCP front door reaped for idling past the
+    /// configured idle timeout (see
+    /// [`TcpTransport::with_idle_timeout`](crate::TcpTransport::with_idle_timeout)).
+    pub idle_reaped: u64,
 }
 
 struct CacheEntry {
@@ -270,6 +278,11 @@ pub struct SerService {
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     plan_evictions: AtomicU64,
+    cancelled: AtomicU64,
+    /// Shared with the TCP transport's per-connection line streams —
+    /// they bump it when an idle connection is reaped, the service
+    /// only reads it for [`stats`](Self::stats).
+    idle_reaped: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for SessionCache {
@@ -316,6 +329,17 @@ pub enum Progress {
 /// and from the collecting thread (sweep parts), so it must be
 /// `Send + Sync`; keep it cheap — it runs on the request's hot path.
 pub type ProgressFn = Arc<dyn Fn(Progress) + Send + Sync>;
+
+/// One job of a cancellable batch
+/// ([`SerService::submit_batch_cancellable`]): the circuit, the typed
+/// request, an optional per-job progress sink and an optional per-job
+/// cancel token.
+pub type BatchJob = (
+    Arc<Circuit>,
+    Request,
+    Option<ProgressFn>,
+    Option<CancelToken>,
+);
 
 /// One executor job's output, tagged `(job, part)` for reassembly.
 enum Part {
@@ -398,6 +422,8 @@ impl SerService {
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
             plan_evictions: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            idle_reaped: Arc::default(),
         }
     }
 
@@ -428,7 +454,17 @@ impl SerService {
             plan_cache_misses: self.plan_misses.load(Ordering::Relaxed),
             plan_cache_evictions: self.plan_evictions.load(Ordering::Relaxed),
             whatif_sessions_cached: self.whatif.lock().expect("whatif cache").entries.len(),
+            requests_cancelled: self.cancelled.load(Ordering::Relaxed),
+            idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
         }
+    }
+
+    /// The shared idle-reap counter the TCP transport bumps when it
+    /// reaps an idle connection; surfaced as
+    /// [`ServiceStats::idle_reaped`].
+    #[must_use]
+    pub fn idle_reap_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.idle_reaped)
     }
 
     /// Looks up a cached whole-circuit sweep response, refreshing its
@@ -545,6 +581,7 @@ impl SerService {
     fn whatif_session(
         &self,
         circuit: &Arc<Circuit>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Arc<Mutex<WhatIfSession>>, ServiceError> {
         let key = circuit.structural_hash();
         {
@@ -563,7 +600,7 @@ impl SerService {
         }
 
         // Build outside the lock — the base sweep can be expensive.
-        let (session, _) = self.session(circuit)?;
+        let (session, _) = self.session_cancellable(circuit, cancel)?;
         let sp = Arc::clone(session.signal_probabilities_arc());
         let wf = match self.sweep_cache_get(&(key, PolarityMode::Tracked), &sp) {
             Some(results) => {
@@ -623,10 +660,36 @@ impl SerService {
         circuit: &Arc<Circuit>,
         edit: impl FnOnce(&Circuit) -> Result<Edit, ServiceError>,
     ) -> Result<WhatIfOutcome, ServiceError> {
-        let wf = self.whatif_session(circuit)?;
+        self.whatif_apply_cancellable(circuit, edit, None)
+    }
+
+    /// [`whatif_apply`](Self::whatif_apply) with a cooperative
+    /// [`CancelToken`]: the token is polled at the session compile's
+    /// plan-build checkpoints and at the re-sweep's tier boundaries
+    /// (SP recompute → reference tier → planned tier → splice). A trip
+    /// leaves the edit stack exactly as it was — the partially
+    /// re-analyzed state is dropped, never pushed.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`whatif_apply`](Self::whatif_apply) returns, plus
+    /// [`ServiceError::Cancelled`] when the token trips.
+    pub fn whatif_apply_cancellable(
+        &self,
+        circuit: &Arc<Circuit>,
+        edit: impl FnOnce(&Circuit) -> Result<Edit, ServiceError>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<WhatIfOutcome, ServiceError> {
+        let wf = self.whatif_session(circuit, cancel)?;
         let mut wf = wf.lock().expect("whatif session");
         let edit = edit(wf.circuit())?;
-        wf.apply(edit).map_err(ServiceError::Compile)
+        wf.apply_cancellable(edit, cancel).map_err(|e| match e {
+            WhatIfAbort::Compile(e) => ServiceError::Compile(e),
+            WhatIfAbort::Cancelled(cause) => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+                ServiceError::Cancelled(cause)
+            }
+        })
     }
 
     /// Pops the most recent what-if edit of `circuit`'s stack and
@@ -680,6 +743,26 @@ impl SerService {
     pub fn session(
         &self,
         circuit: &Arc<Circuit>,
+    ) -> Result<(Arc<AnalysisSession>, bool), ServiceError> {
+        self.session_cancellable(circuit, None)
+    }
+
+    /// [`session`](Self::session) with a cooperative [`CancelToken`]:
+    /// on a cache miss the cone-plan compile polls the token at its
+    /// merge/anchor checkpoints and a trip aborts the compile with
+    /// [`ServiceError::Cancelled`]. The session cache is left without
+    /// an entry (nothing partial is inserted) and the session's plan
+    /// slot stays cold, so the next — uncancelled — request compiles
+    /// from scratch and gets bit-identical plans.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`session`](Self::session) returns, plus
+    /// [`ServiceError::Cancelled`] when the token trips mid-compile.
+    pub fn session_cancellable(
+        &self,
+        circuit: &Arc<Circuit>,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Arc<AnalysisSession>, bool), ServiceError> {
         let key = circuit.structural_hash();
         {
@@ -743,7 +826,10 @@ impl SerService {
         };
         {
             let epp = session.epp();
-            let built = epp.artifacts().cone_plans(circuit);
+            let built = epp
+                .artifacts()
+                .cone_plans_cancellable(circuit, cancel)
+                .map_err(ServiceError::Cancelled)?;
             if !primed {
                 if let (Some(cache), Some(plans)) = (&self.plan_cache, built) {
                     // Best-effort persist; the eviction count is the
@@ -819,7 +905,30 @@ impl SerService {
         request: Request,
         on_progress: ProgressFn,
     ) -> Result<Response, ServiceError> {
-        self.submit_batch_with(vec![(Arc::clone(circuit), request, Some(on_progress))])
+        self.submit_cancellable(circuit, request, Some(on_progress), None)
+    }
+
+    /// Serves one request under an optional progress sink and an
+    /// optional cooperative [`CancelToken`] — the fully general single
+    /// submit. The token is polled between executor parts (sweep site
+    /// batches), between Monte-Carlo observation blocks, at the
+    /// multi-cycle simulation's block boundaries and inside a cold
+    /// session's plan compile; a trip aborts the request with
+    /// [`ServiceError::Cancelled`], drops every partial part, and
+    /// populates **no** cache. Requests without a token are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceError`]; [`ServiceError::Cancelled`] when the
+    /// token trips before the request completes.
+    pub fn submit_cancellable(
+        &self,
+        circuit: &Arc<Circuit>,
+        request: Request,
+        on_progress: Option<ProgressFn>,
+        cancel: Option<CancelToken>,
+    ) -> Result<Response, ServiceError> {
+        self.submit_batch_cancellable(vec![(Arc::clone(circuit), request, on_progress, cancel)])
             .pop()
             .expect("one response per job")
     }
@@ -852,11 +961,29 @@ impl SerService {
         &self,
         jobs: Vec<(Arc<Circuit>, Request, Option<ProgressFn>)>,
     ) -> Vec<Result<Response, ServiceError>> {
+        self.submit_batch_cancellable(
+            jobs.into_iter()
+                .map(|(circuit, request, progress)| (circuit, request, progress, None))
+                .collect(),
+        )
+    }
+
+    /// [`submit_batch_with`](Self::submit_batch_with) with an optional
+    /// cooperative [`CancelToken`] per job (see
+    /// [`submit_cancellable`](Self::submit_cancellable)). Tokens are
+    /// independent: cancelling one job of a batch never disturbs its
+    /// neighbours — their parts keep running and their responses stay
+    /// bit-identical to a solo run.
+    #[must_use]
+    pub fn submit_batch_cancellable(
+        &self,
+        jobs: Vec<BatchJob>,
+    ) -> Vec<Result<Response, ServiceError>> {
         let (tx, rx) = mpsc::channel::<PartMsg>();
         let mut prepared: Vec<Result<Prepared, ServiceError>> = Vec::with_capacity(jobs.len());
 
-        for (job_idx, (circuit, request, progress)) in jobs.into_iter().enumerate() {
-            match self.prepare(&circuit, request, progress, job_idx, &tx) {
+        for (job_idx, (circuit, request, progress, cancel)) in jobs.into_iter().enumerate() {
+            match self.prepare(&circuit, request, progress, cancel, job_idx, &tx) {
                 Ok(p) => prepared.push(Ok(p)),
                 Err(e) => prepared.push(Err(e)),
             }
@@ -902,7 +1029,7 @@ impl SerService {
             parts[job_idx].push((part_idx, part));
         }
 
-        prepared
+        let responses: Vec<Result<Response, ServiceError>> = prepared
             .into_iter()
             .zip(parts)
             .zip(walls)
@@ -931,7 +1058,13 @@ impl SerService {
                     payload,
                 })
             })
-            .collect()
+            .collect();
+        for response in &responses {
+            if matches!(response, Err(ServiceError::Cancelled(_))) {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        responses
     }
 
     /// First vector threshold at which a streaming sequential
@@ -948,12 +1081,16 @@ impl SerService {
         circuit: &Arc<Circuit>,
         request: Request,
         progress: Option<ProgressFn>,
+        cancel: Option<CancelToken>,
         job_idx: usize,
         tx: &mpsc::Sender<PartMsg>,
     ) -> Result<Prepared, ServiceError> {
         let started = Instant::now();
+        if let Some(token) = &cancel {
+            token.check().map_err(ServiceError::Cancelled)?;
+        }
         validate(circuit, &request, &self.config)?;
-        let (session, warm) = self.session(circuit)?;
+        let (session, warm) = self.session_cancellable(circuit, cancel.as_ref())?;
 
         // Whole-circuit sweeps are a pure function of the netlist, the
         // SP vector and the polarity — serve repeats straight from the
@@ -999,12 +1136,24 @@ impl SerService {
                 for (part_idx, batch) in batches.into_iter().enumerate() {
                     let session = Arc::clone(&session);
                     let tx = tx.clone();
+                    let cancel = cancel.clone();
                     self.executor.spawn(move || {
-                        let epp = session.epp();
-                        let results =
-                            epp.sweep_sites_with(&batch, polarity, 1, session.workspace_pool());
-                        let _ =
-                            tx.send((job_idx, part_idx, Ok(Part::Sweep(results)), Instant::now()));
+                        // Cancelled jobs still send their part — the
+                        // collector blocks for exactly `parts` messages,
+                        // so a silent return would hang the batch.
+                        let part = match check(cancel.as_ref()) {
+                            Err(e) => Err(e),
+                            Ok(()) => {
+                                let epp = session.epp();
+                                Ok(Part::Sweep(epp.sweep_sites_with(
+                                    &batch,
+                                    polarity,
+                                    1,
+                                    session.workspace_pool(),
+                                )))
+                            }
+                        };
+                        let _ = tx.send((job_idx, part_idx, part, Instant::now()));
                     });
                 }
                 n_parts
@@ -1013,13 +1162,13 @@ impl SerService {
                 let site = *site;
                 let session = Arc::clone(&session);
                 let tx = tx.clone();
+                let cancel = cancel.clone();
                 self.executor.spawn(move || {
-                    let _ = tx.send((
-                        job_idx,
-                        0,
-                        Ok(Part::Site(session.site(site))),
-                        Instant::now(),
-                    ));
+                    let part = match check(cancel.as_ref()) {
+                        Err(e) => Err(e),
+                        Ok(()) => Ok(Part::Site(session.site(site))),
+                    };
+                    let _ = tx.send((job_idx, 0, part, Instant::now()));
                 });
                 1
             }
@@ -1028,8 +1177,9 @@ impl SerService {
                 let session = Arc::clone(&session);
                 let tx = tx.clone();
                 let sink = progress.clone();
+                let cancel = cancel.clone();
                 self.executor.spawn(move || {
-                    let part = run_multi_cycle(&session, &req, sink);
+                    let part = run_multi_cycle(&session, &req, sink, cancel.as_ref());
                     let _ = tx.send((job_idx, 0, part, Instant::now()));
                 });
                 1
@@ -1039,23 +1189,27 @@ impl SerService {
                 let session = Arc::clone(&session);
                 let tx = tx.clone();
                 let sink = progress.clone();
+                let cancel = cancel.clone();
                 self.executor.spawn(move || {
-                    let estimate = match req.target_error {
-                        Some(eps) => {
-                            let rule = SequentialMonteCarlo::new(eps)
-                                .with_seed(req.seed)
-                                .with_max_vectors(req.vectors);
-                            match sink {
-                                // Streaming: same rule, with the trial
-                                // counters reported at doubling vector
-                                // thresholds. The observer cannot
-                                // perturb the run (bit-identical).
-                                Some(sink) => {
-                                    let mut next = SerService::MC_PROGRESS_FIRST_AT;
-                                    rule.estimate_site_observed(
-                                        session.bit_sim(),
-                                        req.site,
-                                        |vectors, sensitized| {
+                    let part = (|| {
+                        check(cancel.as_ref())?;
+                        let estimate = match req.target_error {
+                            Some(eps) => {
+                                let rule = SequentialMonteCarlo::new(eps)
+                                    .with_seed(req.seed)
+                                    .with_max_vectors(req.vectors);
+                                // The trial counters are reported at
+                                // doubling vector thresholds when
+                                // streaming; the observer cannot perturb
+                                // the run (bit-identical), and the token
+                                // is polled at the same block cadence.
+                                let mut next = SerService::MC_PROGRESS_FIRST_AT;
+                                rule.estimate_site_cancellable(
+                                    session.bit_sim(),
+                                    req.site,
+                                    cancel.as_ref(),
+                                    |vectors, sensitized| {
+                                        if let Some(sink) = &sink {
                                             if vectors >= next {
                                                 while next <= vectors {
                                                     next = next.saturating_mul(2);
@@ -1065,17 +1219,18 @@ impl SerService {
                                                     sensitized,
                                                 });
                                             }
-                                        },
-                                    )
-                                }
-                                None => rule.estimate_site(session.bit_sim(), req.site),
+                                        }
+                                    },
+                                )
+                                .map_err(ServiceError::Cancelled)?
                             }
-                        }
-                        None => MonteCarlo::new(req.vectors)
-                            .with_seed(req.seed)
-                            .estimate_site(session.bit_sim(), req.site),
-                    };
-                    let _ = tx.send((job_idx, 0, Ok(Part::MonteCarlo(estimate)), Instant::now()));
+                            None => MonteCarlo::new(req.vectors)
+                                .with_seed(req.seed)
+                                .estimate_site(session.bit_sim(), req.site),
+                        };
+                        Ok(Part::MonteCarlo(estimate))
+                    })();
+                    let _ = tx.send((job_idx, 0, part, Instant::now()));
                 });
                 1
             }
@@ -1091,6 +1246,15 @@ impl SerService {
             progress,
             sweep_sites_total,
         })
+    }
+}
+
+/// One executor job's cooperative token poll: `Ok` with no token or a
+/// live one, [`ServiceError::Cancelled`] once the token trips.
+fn check(cancel: Option<&CancelToken>) -> Result<(), ServiceError> {
+    match cancel {
+        Some(token) => token.check().map_err(ServiceError::Cancelled),
+        None => Ok(()),
     }
 }
 
@@ -1111,7 +1275,9 @@ fn run_multi_cycle(
     session: &AnalysisSession,
     req: &MultiCycleRequest,
     progress: Option<ProgressFn>,
+    cancel: Option<&CancelToken>,
 ) -> Result<Part, ServiceError> {
+    check(cancel)?;
     // The frame-expansion tables are compiled once per session per SP
     // revision (`multi_cycle_cached`), so repeated multi-cycle requests
     // against a warm session skip the per-flip-flop sweep entirely.
@@ -1119,17 +1285,17 @@ fn run_multi_cycle(
     let monte_carlo = match req.monte_carlo {
         None => None,
         Some(mc) => Some(match mc.target_error {
-            Some(eps) => match progress {
-                Some(sink) => {
-                    let mut next = SerService::MC_PROGRESS_FIRST_AT;
-                    multi_cycle_monte_carlo_sequential_observed(
-                        Arc::clone(session.circuit_arc()),
-                        req.site,
-                        req.cycles,
-                        eps,
-                        mc.runs,
-                        mc.seed,
-                        &mut |runs, successes| {
+            Some(eps) => {
+                let mut next = SerService::MC_PROGRESS_FIRST_AT;
+                multi_cycle_monte_carlo_sequential_cancellable(
+                    Arc::clone(session.circuit_arc()),
+                    req.site,
+                    req.cycles,
+                    eps,
+                    mc.runs,
+                    mc.seed,
+                    &mut |runs, successes| {
+                        if let Some(sink) = &progress {
                             if runs >= next {
                                 while next <= runs {
                                     next = next.saturating_mul(2);
@@ -1139,20 +1305,15 @@ fn run_multi_cycle(
                                     sensitized: successes,
                                 });
                             }
-                        },
-                    )
-                    .map_err(ServiceError::Simulation)?
-                }
-                None => multi_cycle_monte_carlo_sequential(
-                    Arc::clone(session.circuit_arc()),
-                    req.site,
-                    req.cycles,
-                    eps,
-                    mc.runs,
-                    mc.seed,
+                        }
+                    },
+                    cancel,
                 )
-                .map_err(ServiceError::Simulation)?,
-            },
+                .map_err(|e| match e {
+                    MultiCycleMcAbort::Simulation(e) => ServiceError::Simulation(e),
+                    MultiCycleMcAbort::Cancelled(cause) => ServiceError::Cancelled(cause),
+                })?
+            }
             None => {
                 let cumulative = multi_cycle_monte_carlo(
                     Arc::clone(session.circuit_arc()),

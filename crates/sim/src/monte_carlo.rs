@@ -8,7 +8,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use ser_netlist::{Circuit, NetlistError, NodeId, ObservePoint};
+use ser_netlist::{CancelCause, CancelToken, Circuit, NetlistError, NodeId, ObservePoint};
 
 use crate::engine::BitSim;
 use crate::fault::SiteFaultSim;
@@ -260,8 +260,31 @@ impl SequentialMonteCarlo {
         &self,
         sim: &BitSim,
         site: NodeId,
-        mut observe: impl FnMut(u64, u64),
+        observe: impl FnMut(u64, u64),
     ) -> SiteEstimate {
+        match self.estimate_site_cancellable(sim, site, None, observe) {
+            Ok(est) => est,
+            Err(_) => unreachable!("an estimate without a token cannot be cancelled"),
+        }
+    }
+
+    /// [`estimate_site_observed`](Self::estimate_site_observed) with a
+    /// cooperative [`CancelToken`], polled at every 64-vector block
+    /// boundary — the same granularity the observer ticks at. A trip
+    /// aborts the loop and discards the partial counts; with a live
+    /// token the estimate is **bit-identical** to the plain call.
+    ///
+    /// # Errors
+    ///
+    /// The [`CancelCause`] when `cancel` trips before the stopping
+    /// rule (or the cap) finishes the run.
+    pub fn estimate_site_cancellable(
+        &self,
+        sim: &BitSim,
+        site: NodeId,
+        cancel: Option<&CancelToken>,
+        mut observe: impl FnMut(u64, u64),
+    ) -> Result<SiteEstimate, CancelCause> {
         let fault = SiteFaultSim::new(sim, site);
         let needed = self.successes_required();
         let num_sources = sim.sources().len();
@@ -279,6 +302,9 @@ impl SequentialMonteCarlo {
 
         let mut ran = 0u64;
         while ran < self.max_vectors && sensitized < needed {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
             let count = (self.max_vectors - ran).min(64) as u32;
             let valid = if count == 64 {
                 !0u64
@@ -312,7 +338,7 @@ impl SequentialMonteCarlo {
         } else {
             (sensitized as f64 / v, 1.0)
         };
-        SiteEstimate {
+        Ok(SiteEstimate {
             site,
             vectors: ran,
             p_sensitized,
@@ -324,7 +350,7 @@ impl SequentialMonteCarlo {
                     p_odd: odd as f64 / v * point_scale,
                 })
                 .collect(),
-        }
+        })
     }
 
     /// Estimates every site in `sites`; returns estimates in order.

@@ -21,7 +21,8 @@
 //! streaming replies, structured errors — plus the v1 flat-job shim,
 //! on stdin/stdout by default or as a TCP daemon with `--tcp ADDR`
 //! (optional `--auth-token`, per-client `--quota`, server-wide
-//! `--max-inflight`). `batch` runs a v1 JSONL job file as one
+//! `--max-inflight`, idle-connection reaping with `--idle-timeout`).
+//! `batch` runs a v1 JSONL job file as one
 //! interleaved batch, prints one response line per job, and exits
 //! non-zero if any job failed.
 //!
@@ -35,6 +36,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use ser_suite::epp::{
     AnalysisSession, CircuitSerAnalysis, Edit, HardeningCost, HardeningPlan, WhatIfSession,
@@ -185,11 +187,15 @@ fn cmd_advise(
             .find(|ch| circuit.node(ch.node).kind().is_logic())
             .copied()
         else {
-            println!("round {round}: no affordable logic gate left (budget {remaining:.2}); stopping");
+            println!(
+                "round {round}: no affordable logic gate left (budget {remaining:.2}); stopping"
+            );
             break;
         };
         let name = circuit.node(choice.node).name().to_owned();
-        let outcome = wf.apply(Edit::Tmr(choice.node)).map_err(|e| e.to_string())?;
+        let outcome = wf
+            .apply(Edit::Tmr(choice.node))
+            .map_err(|e| e.to_string())?;
         applied += 1;
         remaining -= choice.cost;
         // The measured change re-evaluates everything the plan's
@@ -385,11 +391,11 @@ fn cmd_serve(
     config: SerServiceConfig,
     engine_config: EngineConfig,
     tcp: Option<String>,
+    idle_timeout: Option<Duration>,
 ) -> Result<(), String> {
-    let engine = Arc::new(ProtocolEngine::new(
-        Arc::new(SerService::new(config)),
-        engine_config,
-    ));
+    let service = Arc::new(SerService::new(config));
+    let reap_counter = service.idle_reap_counter();
+    let engine = Arc::new(ProtocolEngine::new(service, engine_config));
     match tcp {
         None => {
             let mut transport = StdioTransport::new();
@@ -398,9 +404,29 @@ fn cmd_serve(
         Some(addr) => {
             let mut transport =
                 TcpTransport::bind(&addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+            if let Some(timeout) = idle_timeout {
+                // Reaps show up as `idle_reaped` in the stats op.
+                transport = transport.with_idle_timeout(timeout, reap_counter);
+            }
             eprintln!("ser-service listening on {}", transport.local_addr());
             serve(&mut transport, &engine).map_err(|e| e.to_string())
         }
+    }
+}
+
+/// The `--idle-timeout SECS` serve flag (TCP only; 0 is rejected —
+/// omit the flag to disable reaping).
+fn idle_timeout(args: &[String]) -> Result<Option<Duration>, String> {
+    match flag_value(args, "--idle-timeout") {
+        None => Ok(None),
+        Some(secs) => secs
+            .parse()
+            .ok()
+            .filter(|&n: &u64| n > 0)
+            .map(|n| Some(Duration::from_secs(n)))
+            .ok_or_else(|| {
+                "bad --idle-timeout value (need a positive number of seconds)".to_owned()
+            }),
     }
 }
 
@@ -447,7 +473,7 @@ fn cmd_gen(name: &str, seed: u64, out: Option<&str>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli advise  <netlist> [--rounds N] [--budget B] [--cost unit|area] [--threads N]\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N]\n  ser-cli serve   [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>\n  ser-cli cache   <stats|clear> --cache-dir DIR"
+    "usage:\n  ser-cli info    <netlist>\n  ser-cli analyze <netlist> [--top N] [--threads N]\n  ser-cli epp     <netlist> <node>\n  ser-cli advise  <netlist> [--rounds N] [--budget B] [--cost unit|area] [--threads N]\n  ser-cli batch   <jobs.jsonl> [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N]\n  ser-cli serve   [--threads N] [--sessions N] [--cache-dir DIR] [--cache-max-bytes N] [--tcp ADDR] [--auth-token TOKEN] [--quota N] [--max-inflight N] [--idle-timeout SECS]\n  ser-cli gen     <profile> [--seed S] [-o out.bench]\n  ser-cli convert <in.bench|in.v> <out.bench|out.v>\n  ser-cli cache   <stats|clear> --cache-dir DIR"
         .to_owned()
 }
 
@@ -535,6 +561,7 @@ fn run() -> Result<(), String> {
             service_config(&args)?,
             engine_config(&args)?,
             flag_value(&args, "--tcp"),
+            idle_timeout(&args)?,
         ),
         Some("convert") => {
             let input = args.get(1).ok_or_else(usage)?;

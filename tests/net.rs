@@ -394,3 +394,67 @@ fn graceful_shutdown_joins_the_server() {
         assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0, "not served");
     }
 }
+
+/// Idle-connection reaping: a silent client is closed once the idle
+/// timeout passes, the reap is counted in service stats, and clients
+/// that keep talking are untouched.
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let toy = write_netlist("idle", TOY);
+    let path = toy.to_str().unwrap();
+
+    // Hand-rolled server so the transport gets an idle timeout.
+    let service = Arc::new(SerService::new(SerServiceConfig {
+        max_sessions: 4,
+        threads: 2,
+        ..SerServiceConfig::default()
+    }));
+    let engine = Arc::new(ProtocolEngine::new(
+        Arc::clone(&service),
+        EngineConfig::default(),
+    ));
+    let mut transport = TcpTransport::bind("127.0.0.1:0")
+        .expect("bind loopback")
+        .with_idle_timeout(Duration::from_millis(250), service.idle_reap_counter());
+    let addr = transport.local_addr();
+    let handle = transport.shutdown_handle();
+    let thread = std::thread::spawn(move || serve(&mut transport, &engine));
+
+    let connect = || {
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            stream,
+        }
+    };
+
+    // A served request, then silence: the server closes the stream
+    // (the blocking read below is the synchronization — no sleeps).
+    let mut idle = connect();
+    idle.send(&format!(
+        r#"{{"v": 2, "op": "site", "netlist": "{path}", "node": "y"}}"#
+    ));
+    let (_, result) = idle.recv_reply();
+    assert_eq!(
+        result.get("frame").and_then(JsonValue::as_str),
+        Some("result")
+    );
+    assert!(idle.at_eof(), "idle connection reaped via EOF");
+    assert_eq!(service.stats().idle_reaped, 1);
+
+    // The server is still serving, and the count travels the wire.
+    let mut live = connect();
+    live.send(r#"{"v": 2, "op": "stats"}"#);
+    let (_, stats) = live.recv_reply();
+    assert_eq!(
+        stats.get("idle_reaped").and_then(JsonValue::as_count),
+        Some(1)
+    );
+
+    handle.shutdown();
+    thread.join().expect("serve thread").expect("serve returns");
+    let _ = std::fs::remove_file(&toy);
+}

@@ -189,7 +189,8 @@ fn whatif_s27_all_edit_kinds_stacked() {
     } else {
         GateKind::And
     };
-    wf.apply(Edit::SwapKind(swap_target, kind)).expect("swap applies");
+    wf.apply(Edit::SwapKind(swap_target, kind))
+        .expect("swap applies");
     wf.apply(Edit::SetInputs(InputProbs::uniform(0.25)))
         .expect("inputs apply");
 

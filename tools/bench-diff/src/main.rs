@@ -319,7 +319,12 @@ fn validate(doc: &Json) -> Result<(), String> {
         let Some(tcp) = doc.get("tcp") else {
             return Err("service_throughput is missing its \"tcp\" section".into());
         };
-        for field in ["round_trips_per_sec", "p50_us", "sweep_round_trip_ms"] {
+        for field in [
+            "round_trips_per_sec",
+            "p50_us",
+            "sweep_round_trip_ms",
+            "cancel_latency_ms",
+        ] {
             match tcp.get(field) {
                 Some(Json::Number(_)) => {}
                 _ => {
@@ -561,7 +566,7 @@ mod tests {
         .unwrap();
         assert!(validate(&doc).unwrap_err().contains("kernel"));
         let doc = parse(
-            r#"{"bench": "service_throughput", "results": [{"circuit": "c", "cold_cached_sweep_ms": 1.0}], "tcp": {"round_trips_per_sec": 1.0, "p50_us": 1.0, "sweep_round_trip_ms": 1.0}}"#,
+            r#"{"bench": "service_throughput", "results": [{"circuit": "c", "cold_cached_sweep_ms": 1.0}], "tcp": {"round_trips_per_sec": 1.0, "p50_us": 1.0, "sweep_round_trip_ms": 1.0, "cancel_latency_ms": 1.0}}"#,
         )
         .unwrap();
         assert!(validate(&doc).unwrap_err().contains("kernel"));
@@ -587,15 +592,22 @@ mod tests {
         ))
         .unwrap();
         assert!(validate(&doc).unwrap_err().contains("p50_us"));
+        // Cancel latency is part of the contract: its silent loss would
+        // drop the cancellation-responsiveness trajectory.
+        let doc = parse(&format!(
+            r#"{{"bench": "service_throughput", {base}, "tcp": {{"round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1}}}}"#
+        ))
+        .unwrap();
+        assert!(validate(&doc).unwrap_err().contains("cancel_latency_ms"));
         // Complete: accepted.
         let doc = parse(&format!(
-            r#"{{"bench": "service_throughput", {base}, "tcp": {{"circuit": "c", "round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1}}}}"#
+            r#"{{"bench": "service_throughput", {base}, "tcp": {{"circuit": "c", "round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1, "cancel_latency_ms": 0.4}}}}"#
         ))
         .unwrap();
         validate(&doc).unwrap();
         // The cached-cold metric is mandatory per service result too.
         let doc = parse(
-            r#"{"bench": "service_throughput", "kernel": "avx2", "results": [{"circuit": "c", "nodes": 1}], "tcp": {"round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1}}"#,
+            r#"{"bench": "service_throughput", "kernel": "avx2", "results": [{"circuit": "c", "nodes": 1}], "tcp": {"round_trips_per_sec": 9000.0, "p50_us": 110.0, "sweep_round_trip_ms": 2.1, "cancel_latency_ms": 0.4}}"#,
         )
         .unwrap();
         assert!(validate(&doc).unwrap_err().contains("cold_cached_sweep_ms"));
