@@ -5,6 +5,7 @@
 //! `benches/` measure the kernels. This library holds the pieces both
 //! need: workload selection, accuracy metrics and table formatting.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

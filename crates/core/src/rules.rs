@@ -599,6 +599,8 @@ mod lane_vec_tests {
     #[cfg(target_arch = "x86_64")]
     fn avx2_run(op: RuleOp, inputs: &[Lane4]) -> Option<[f64; 4]> {
         use crate::simd::AvxVec;
+        // SAFETY: callers must hold `KernelBackend::Avx2.is_available()`
+        // — the one call site below checks it before dispatching.
         #[target_feature(enable = "avx2")]
         unsafe fn run(op: RuleOp, inputs: &[Lane4]) -> [f64; 4] {
             propagate_fused_v(op, inputs.iter().map(AvxVec::load))

@@ -420,6 +420,8 @@ mod tests {
         }
         // The feature boundary for the test body, mirroring the
         // kernel's entry-point structure.
+        // SAFETY: callers must hold `KernelBackend::Avx2.is_available()`
+        // — the one call site below checks it first.
         #[target_feature(enable = "avx2")]
         unsafe fn run(a: Lane4, b: Lane4) {
             let (sa, sb) = (ScalarVec::load(&a), ScalarVec::load(&b));

@@ -26,6 +26,7 @@
 //! assert_eq!(c.num_gates(), TABLE2[2].gates);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

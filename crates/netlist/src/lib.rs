@@ -34,6 +34,7 @@
 //! # Ok::<(), ser_netlist::ParseError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

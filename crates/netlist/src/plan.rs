@@ -817,6 +817,9 @@ impl<'a> ConePlan<'a> {
         let positions = tail.positions();
         members.extend(positions.iter().map(|&q| self.plans.node_at(q)));
         kinds.extend(positions.iter().map(|&q| self.plans.kind_at(q)));
+        // ser-lint: allow(no-hash-iter) — position→local-index lookup;
+        // only `get` is called on it, and the fanin_refs built from it
+        // follow the deterministic `positions` order, never map order.
         let local_of: std::collections::HashMap<u32, usize> = positions
             .iter()
             .enumerate()

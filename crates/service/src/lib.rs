@@ -86,6 +86,7 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -97,6 +98,7 @@ pub mod net;
 pub mod protocol;
 mod request;
 mod service;
+mod sync;
 
 pub use chaos::{ChaosLines, ChaosSchedule, ChaosTransport, ChaosWriter};
 pub use executor::Executor;
@@ -107,7 +109,7 @@ pub use protocol::{
     parse_wire_line, serve, BatchOp, CancelOp, Connection, EngineConfig, ErrorCode, FrameSink,
     LineStream, MonteCarloOp, MultiCycleMcOp, MultiCycleOp, ParsedLine, ProtocolEngine,
     SetInputsOp, SiteOp, StdioTransport, SweepOp, Transport, WhatIfEditOp, WhatIfOp,
-    WhatIfRevertOp, WireError, WireOp, WireRequest, PROTOCOL_VERSION,
+    WhatIfRevertOp, WireError, WireOp, WireRequest, PROTOCOL_VERSION, WIRE_OPS,
 };
 pub use request::{
     MonteCarloRequest, MultiCycleMcRequest, MultiCycleRequest, Request, Response, ResponseMeta,

@@ -55,11 +55,35 @@ use crate::request::{
     ServiceError, SiteRequest, SweepRequest,
 };
 use crate::service::{Progress, ProgressFn, SerService};
+use crate::sync::{lock_clean, wait_clean};
 
 /// The protocol version this engine speaks. Version 1 is the
 /// unversioned flat dialect, recognized by the *absence* of a `"v"`
 /// field and served through the compatibility shim.
 pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Every `"op"` spelling [`parse_wire_line`] accepts in a v2 envelope,
+/// v1-compat aliases included. This table is load-bearing twice over:
+/// `ser-lint`'s `wire-doc-sync` rule reads it to check that each op is
+/// documented in README's wire-protocol section, and the protocol
+/// tests parse a minimal envelope per entry to prove the table matches
+/// what `parse_v2` actually dispatches (so it cannot drift from the
+/// `match`).
+pub const WIRE_OPS: &[&str] = &[
+    "hello",
+    "stats",
+    "set_inputs",
+    "sweep",
+    "site",
+    "epp",
+    "monte_carlo",
+    "mc",
+    "multi_cycle",
+    "whatif",
+    "whatif_revert",
+    "cancel",
+    "batch",
+];
 
 // ---------------------------------------------------------------------
 // Structured errors
@@ -177,6 +201,7 @@ impl From<&ServiceError> for WireError {
             ServiceError::Simulation(_) => ErrorCode::Simulation,
             ServiceError::Cancelled(CancelCause::Cancelled) => ErrorCode::Cancelled,
             ServiceError::Cancelled(CancelCause::DeadlineExceeded) => ErrorCode::DeadlineExceeded,
+            ServiceError::Internal(_) => ErrorCode::Internal,
         };
         WireError::new(code, e.to_string())
     }
@@ -935,11 +960,8 @@ pub fn response_fields(
             let top = top.unwrap_or(5);
             if top > 0 {
                 let mut ranked: Vec<usize> = (0..sweep.len()).collect();
-                ranked.sort_by(|&a, &b| {
-                    sweep.p_sensitized()[b]
-                        .partial_cmp(&sweep.p_sensitized()[a])
-                        .expect("finite probabilities")
-                });
+                ranked
+                    .sort_by(|&a, &b| sweep.p_sensitized()[b].total_cmp(&sweep.p_sensitized()[a]));
                 out.push_str(", \"top\": [");
                 for (i, &pos) in ranked.iter().take(top).enumerate() {
                     if i > 0 {
@@ -1059,7 +1081,7 @@ impl FrameSink {
     /// while the swap runs wait on the sink's own mutex, so no frame
     /// is ever split across the old and new writer.
     pub fn wrap_writer(&self, wrap: impl FnOnce(Box<dyn Write + Send>) -> Box<dyn Write + Send>) {
-        let mut w = self.writer.lock().expect("frame sink");
+        let mut w = lock_clean(&self.writer);
         let inner = std::mem::replace(&mut *w, Box::new(io::sink()));
         *w = wrap(inner);
     }
@@ -1228,9 +1250,9 @@ struct InflightGate {
 impl InflightGate {
     fn acquire(&self) -> InflightPermit<'_> {
         if self.limit > 0 {
-            let mut active = self.active.lock().expect("inflight gate");
+            let mut active = lock_clean(&self.active);
             while *active >= self.limit {
-                active = self.freed.wait(active).expect("inflight gate");
+                active = wait_clean(&self.freed, active);
             }
             *active += 1;
         }
@@ -1245,7 +1267,7 @@ struct InflightPermit<'a> {
 impl Drop for InflightPermit<'_> {
     fn drop(&mut self) {
         if self.gate.limit > 0 {
-            *self.gate.active.lock().expect("inflight gate") -= 1;
+            *lock_clean(&self.gate.active) -= 1;
             self.gate.freed.notify_one();
         }
     }
@@ -1308,7 +1330,7 @@ impl<'a> CancelGuard<'a> {
         entries: Vec<(String, CancelToken)>,
     ) -> Self {
         {
-            let mut map = registry.lock().expect("cancel registry");
+            let mut map = lock_clean(registry);
             for (id, token) in &entries {
                 map.entry(id.clone()).or_default().push(token.clone());
             }
@@ -1319,7 +1341,7 @@ impl<'a> CancelGuard<'a> {
 
 impl Drop for CancelGuard<'_> {
     fn drop(&mut self) {
-        let mut map = self.registry.lock().expect("cancel registry");
+        let mut map = lock_clean(self.registry);
         for (id, token) in &self.entries {
             if let Some(tokens) = map.get_mut(id) {
                 tokens.retain(|t| !t.ptr_eq(token));
@@ -1359,7 +1381,7 @@ impl ProtocolEngine {
     /// leaked permit would eventually wedge the gate shut.
     #[must_use]
     pub fn inflight_active(&self) -> usize {
-        *self.inflight.active.lock().expect("inflight gate")
+        *lock_clean(&self.inflight.active)
     }
 
     /// Request ids with live cancel registrations. Like
@@ -1367,7 +1389,7 @@ impl ProtocolEngine {
     /// once no request is in flight — the registry is RAII-guarded.
     #[must_use]
     pub fn cancel_registrations(&self) -> usize {
-        self.cancels.lock().expect("cancel registry").len()
+        lock_clean(&self.cancels).len()
     }
 
     /// Serves one client connection to completion: reads lines,
@@ -1604,7 +1626,7 @@ impl ProtocolEngine {
             WireOp::WhatIf(op) => self.run_whatif(id, op, sink, cancel),
             WireOp::Cancel(op) => {
                 let found = {
-                    let map = self.cancels.lock().expect("cancel registry");
+                    let map = lock_clean(&self.cancels);
                     match map.get(&op.target) {
                         Some(tokens) => {
                             for token in tokens {
@@ -2136,7 +2158,7 @@ impl ProtocolEngine {
     /// path, which also keeps the service's session cache keyed
     /// consistently.
     fn load_circuit(&self, path: &str) -> Result<Arc<Circuit>, WireError> {
-        if let Some(c) = self.circuits.lock().expect("netlist cache").get(path) {
+        if let Some(c) = lock_clean(&self.circuits).get(path) {
             return Ok(c);
         }
         let text = std::fs::read_to_string(path).map_err(|e| {
@@ -2155,10 +2177,7 @@ impl ProtocolEngine {
             WireError::new(ErrorCode::BadRequest, format!("cannot parse `{path}`: {e}"))
         })?;
         let circuit = Arc::new(circuit);
-        self.circuits
-            .lock()
-            .expect("netlist cache")
-            .insert(path, &circuit);
+        lock_clean(&self.circuits).insert(path, &circuit);
         Ok(circuit)
     }
 }

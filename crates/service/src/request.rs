@@ -201,6 +201,11 @@ pub enum ServiceError {
     /// explicit `cancel` or an expired deadline. Partial results were
     /// dropped, never cached or spliced.
     Cancelled(ser_netlist::CancelCause),
+    /// The service itself failed: a worker thread died before
+    /// reporting its parts. The request is lost but the daemon keeps
+    /// serving — this maps to the wire's `internal` code instead of
+    /// panicking the collector thread.
+    Internal(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -223,6 +228,7 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Simulation(e) => write!(f, "simulation failed: {e}"),
             ServiceError::Cancelled(cause) => write!(f, "request aborted: {cause}"),
+            ServiceError::Internal(msg) => write!(f, "internal service failure: {msg}"),
         }
     }
 }

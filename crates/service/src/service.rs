@@ -32,6 +32,7 @@ use crate::executor::Executor;
 use crate::request::{
     MultiCycleRequest, Request, Response, ResponseMeta, ResponsePayload, ServiceError, SiteRequest,
 };
+use crate::sync::lock_clean;
 
 /// Tuning knobs of a [`SerService`].
 #[derive(Debug, Clone)]
@@ -196,10 +197,16 @@ pub(crate) fn evict_lru_at_capacity<K: std::hash::Hash + Eq + Clone, V>(
     let lru = entries
         .iter()
         .min_by_key(|(_, e)| last_used(e))
-        .map(|(k, _)| k.clone())
-        .expect("non-empty cache");
-    entries.remove(&lru);
-    true
+        .map(|(k, _)| k.clone());
+    match lru {
+        Some(lru) => {
+            entries.remove(&lru);
+            true
+        }
+        // Capacity 0 with an empty map: there is nothing to evict and
+        // nothing to make room for — inserting is the caller's call.
+        None => false,
+    }
 }
 
 struct SweepCache {
@@ -446,14 +453,14 @@ impl SerService {
             session_hits: self.hits.load(Ordering::Relaxed),
             session_misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            sessions_cached: self.cache.lock().expect("session cache").entries.len(),
+            sessions_cached: lock_clean(&self.cache).entries.len(),
             sweep_cache_hits: self.sweep_hits.load(Ordering::Relaxed),
             sweep_cache_misses: self.sweep_misses.load(Ordering::Relaxed),
-            sweep_responses_cached: self.sweep_cache.lock().expect("sweep cache").entries.len(),
+            sweep_responses_cached: lock_clean(&self.sweep_cache).entries.len(),
             plan_cache_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_misses.load(Ordering::Relaxed),
             plan_cache_evictions: self.plan_evictions.load(Ordering::Relaxed),
-            whatif_sessions_cached: self.whatif.lock().expect("whatif cache").entries.len(),
+            whatif_sessions_cached: lock_clean(&self.whatif).entries.len(),
             requests_cancelled: self.cancelled.load(Ordering::Relaxed),
             idle_reaped: self.idle_reaped.load(Ordering::Relaxed),
         }
@@ -473,7 +480,7 @@ impl SerService {
     /// inputs, a diverged clone, even a hash-colliding circuit — fails
     /// the pointer-identity check and reads as a miss.
     fn sweep_cache_get(&self, key: &SweepKey, sp: &Arc<SpVector>) -> Option<Arc<SweepResults>> {
-        let mut cache = self.sweep_cache.lock().expect("sweep cache");
+        let mut cache = lock_clean(&self.sweep_cache);
         cache.tick += 1;
         let tick = cache.tick;
         let entry = cache.entries.get_mut(key)?;
@@ -491,7 +498,7 @@ impl SerService {
         if self.config.max_sweep_responses == 0 {
             return;
         }
-        let mut cache = self.sweep_cache.lock().expect("sweep cache");
+        let mut cache = lock_clean(&self.sweep_cache);
         cache.tick += 1;
         let tick = cache.tick;
         let SweepCache { entries, .. } = &mut *cache;
@@ -538,21 +545,16 @@ impl SerService {
         let key = circuit.structural_hash();
 
         // Record the distribution so eviction + recompile restores it…
-        self.inputs_overrides
-            .lock()
-            .expect("inputs overrides")
-            .insert(key, inputs);
+        lock_clean(&self.inputs_overrides).insert(key, inputs);
 
         // …purge this netlist's cached sweep responses…
-        self.sweep_cache
-            .lock()
-            .expect("sweep cache")
+        lock_clean(&self.sweep_cache)
             .entries
             .retain(|&(hash, _), _| hash != key);
 
         // …then swap the updated session in (same eviction discipline
         // as `session`, in case the entry vanished between the locks).
-        let mut cache = self.cache.lock().expect("session cache");
+        let mut cache = lock_clean(&self.cache);
         cache.tick += 1;
         let tick = cache.tick;
         let SessionCache { entries, .. } = &mut *cache;
@@ -585,7 +587,7 @@ impl SerService {
     ) -> Result<Arc<Mutex<WhatIfSession>>, ServiceError> {
         let key = circuit.structural_hash();
         {
-            let mut cache = self.whatif.lock().expect("whatif cache");
+            let mut cache = lock_clean(&self.whatif);
             cache.tick += 1;
             let tick = cache.tick;
             if let Some(entry) = cache.entries.get_mut(&key) {
@@ -610,7 +612,7 @@ impl SerService {
         };
         let wf = Arc::new(Mutex::new(wf));
 
-        let mut cache = self.whatif.lock().expect("whatif cache");
+        let mut cache = lock_clean(&self.whatif);
         cache.tick += 1;
         let tick = cache.tick;
         if let Some(entry) = cache.entries.get_mut(&key) {
@@ -681,7 +683,7 @@ impl SerService {
         cancel: Option<&CancelToken>,
     ) -> Result<WhatIfOutcome, ServiceError> {
         let wf = self.whatif_session(circuit, cancel)?;
-        let mut wf = wf.lock().expect("whatif session");
+        let mut wf = lock_clean(&wf);
         let edit = edit(wf.circuit())?;
         wf.apply_cancellable(edit, cancel).map_err(|e| match e {
             WhatIfAbort::Compile(e) => ServiceError::Compile(e),
@@ -703,7 +705,7 @@ impl SerService {
     pub fn whatif_revert(&self, circuit: &Arc<Circuit>) -> Result<(usize, f64), ServiceError> {
         let key = circuit.structural_hash();
         let wf = {
-            let mut cache = self.whatif.lock().expect("whatif cache");
+            let mut cache = lock_clean(&self.whatif);
             cache.tick += 1;
             let tick = cache.tick;
             match cache.entries.get_mut(&key) {
@@ -718,7 +720,7 @@ impl SerService {
                 }
             }
         };
-        let mut wf = wf.lock().expect("whatif session");
+        let mut wf = lock_clean(&wf);
         match wf.revert() {
             Some(total) => Ok((wf.depth(), total)),
             None => Err(ServiceError::InvalidRequest(
@@ -766,7 +768,7 @@ impl SerService {
     ) -> Result<(Arc<AnalysisSession>, bool), ServiceError> {
         let key = circuit.structural_hash();
         {
-            let mut cache = self.cache.lock().expect("session cache");
+            let mut cache = lock_clean(&self.cache);
             cache.tick += 1;
             let tick = cache.tick;
             if let Some(entry) = cache.entries.get_mut(&key) {
@@ -789,12 +791,7 @@ impl SerService {
         // Cone plans are forced here so a "warm" session really is
         // warm — the first sweep against it pays no plan build.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let override_inputs = self
-            .inputs_overrides
-            .lock()
-            .expect("inputs overrides")
-            .get(&key)
-            .cloned();
+        let override_inputs = lock_clean(&self.inputs_overrides).get(&key).cloned();
         let session = Arc::new(match override_inputs {
             Some(inputs) => AnalysisSession::with_inputs(Arc::clone(circuit), inputs)?,
             None => AnalysisSession::new(Arc::clone(circuit))?,
@@ -842,7 +839,7 @@ impl SerService {
             }
         }
 
-        let mut cache = self.cache.lock().expect("session cache");
+        let mut cache = lock_clean(&self.cache);
         cache.tick += 1;
         let tick = cache.tick;
         if let Some(entry) = cache.entries.get_mut(&key) {
@@ -881,7 +878,11 @@ impl SerService {
     ) -> Result<Response, ServiceError> {
         self.submit_batch(vec![(Arc::clone(circuit), request)])
             .pop()
-            .expect("one response per job")
+            .unwrap_or_else(|| {
+                Err(ServiceError::Internal(
+                    "batch returned no response for its one job".into(),
+                ))
+            })
     }
 
     /// Serves one request, streaming [`Progress`] events into
@@ -930,7 +931,11 @@ impl SerService {
     ) -> Result<Response, ServiceError> {
         self.submit_batch_cancellable(vec![(Arc::clone(circuit), request, on_progress, cancel)])
             .pop()
-            .expect("one response per job")
+            .unwrap_or_else(|| {
+                Err(ServiceError::Internal(
+                    "batch returned no response for its one job".into(),
+                ))
+            })
     }
 
     /// Serves a batch of requests, possibly against different circuits.
@@ -1011,8 +1016,15 @@ impl SerService {
             .collect();
         let mut sites_done: Vec<usize> = vec![0; prepared.len()];
         for _ in 0..expected {
-            let (job_idx, part_idx, part, completed_at) =
-                rx.recv().expect("a service job panicked before reporting");
+            // A worker that panics dies without sending; its `tx` clone
+            // drops and `recv` errors once the live parts are drained.
+            // Stop collecting — the part-count check below converts the
+            // shortfall into a structured `Internal` error for the
+            // affected job instead of panicking the collector (and,
+            // through a poisoned lock, the whole daemon).
+            let Ok((job_idx, part_idx, part, completed_at)) = rx.recv() else {
+                break;
+            };
             if let Ok(prep) = &prepared[job_idx] {
                 walls[job_idx] =
                     walls[job_idx].max(completed_at.saturating_duration_since(prep.started));
@@ -1038,6 +1050,13 @@ impl SerService {
                 let payload = match prep.cached {
                     Some(payload) => payload,
                     None => {
+                        if parts.len() != prep.parts {
+                            return Err(ServiceError::Internal(format!(
+                                "a worker died mid-request: {} of {} parts reported",
+                                parts.len(),
+                                prep.parts
+                            )));
+                        }
                         parts.sort_unstable_by_key(|&(idx, _)| idx);
                         let payload = assemble(&prep.request, parts)?;
                         if let (Some((key, sp)), ResponsePayload::Sweep(results)) =
@@ -1442,5 +1461,54 @@ fn assemble(
 
 fn single(parts: Vec<(usize, Result<Part, ServiceError>)>) -> Result<Part, ServiceError> {
     debug_assert_eq!(parts.len(), 1, "single-part request");
-    parts.into_iter().next().expect("single-part request").1
+    match parts.into_iter().next() {
+        Some((_, part)) => part,
+        None => Err(ServiceError::Internal(
+            "single-part request reported no parts".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: with `capacity == 0` and an empty map there is
+    /// nothing to evict — this used to `.expect("non-empty cache")`
+    /// on the empty LRU scan and panic the daemon's collector thread.
+    #[test]
+    fn evict_at_zero_capacity_on_empty_map_does_not_panic() {
+        let mut entries: HashMap<String, u64> = HashMap::new();
+        assert!(!evict_lru_at_capacity(
+            &mut entries,
+            &"fresh".to_owned(),
+            0,
+            |&t| t
+        ));
+        assert!(entries.is_empty());
+    }
+
+    /// The normal path still evicts the least-recently-used entry
+    /// when the map is at capacity and the key is new.
+    #[test]
+    fn evict_drops_lru_at_capacity() {
+        let mut entries: HashMap<String, u64> = HashMap::new();
+        entries.insert("old".into(), 1);
+        entries.insert("new".into(), 2);
+        assert!(evict_lru_at_capacity(
+            &mut entries,
+            &"fresh".to_owned(),
+            2,
+            |&t| t
+        ));
+        assert!(!entries.contains_key("old"));
+        assert!(entries.contains_key("new"));
+        // Present keys never evict, regardless of capacity pressure.
+        assert!(!evict_lru_at_capacity(
+            &mut entries,
+            &"new".to_owned(),
+            1,
+            |&t| t
+        ));
+    }
 }

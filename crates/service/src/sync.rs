@@ -1,0 +1,69 @@
+//! Poison-tolerant locking for the daemon's shared state.
+//!
+//! The server runs one thread per connection over engine-wide shared
+//! state (session caches, the inflight gate, cancel registries, frame
+//! sinks). `std`'s mutexes poison when a holder panics, and the
+//! idiomatic `.lock().expect(...)` turns one panicked thread into a
+//! cascading outage: every *other* connection that touches the same
+//! lock then panics too, and a daemon serving millions of users is
+//! down because of one bad request.
+//!
+//! Recovery is the right call for every lock in this crate because the
+//! guarded state is self-healing by construction:
+//!
+//! - the caches (sessions, sweep responses, netlists, what-if stacks)
+//!   hold immutable `Arc`ed values behind an LRU index — a torn update
+//!   is at worst a missing or stale *entry*, re-derivable on the next
+//!   request, never a torn *value*;
+//! - the inflight gate and cancel registry are RAII-guarded counters
+//!   whose `Drop` half runs during the panicking thread's unwind, so
+//!   the count is consistent by the time anyone else can observe it;
+//! - the frame sink marks itself dead on first write error anyway — a
+//!   partial frame kills that one connection, not the writer lock.
+//!
+//! `ser-lint`'s `no-panic-path` rule forbids `unwrap`/`expect` in the
+//! request-path modules; these helpers are how those modules take
+//! locks.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard from a poisoned mutex instead of
+/// panicking. See the module docs for why recovery is sound for every
+/// lock in this crate.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_clean`].
+pub(crate) fn wait_clean<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A panic while holding the lock must not wedge later lockers —
+    /// the regression shape behind the whole module.
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = Arc::new(Mutex::new(7usize));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock should be poisoned");
+        assert_eq!(*lock_clean(&m), 7);
+        *lock_clean(&m) = 9;
+        assert_eq!(*lock_clean(&m), 9);
+    }
+}

@@ -13,6 +13,9 @@
 //! reordering are not implemented (clarity over peak capacity); the
 //! variable order is the circuit's source order.
 
+// ser-lint: allow(no-hash-iter) — this module's maps are memo/interning
+// tables: keyed get/insert only, never iterated, so arena order never
+// leaks into node numbering or floats (see the per-field notes below).
 use std::collections::HashMap;
 
 /// A BDD function handle (index into the manager's node arena).
@@ -76,7 +79,10 @@ impl std::error::Error for BddOverflow {}
 #[derive(Debug)]
 pub struct Bdd {
     nodes: Vec<BddNode>,
+    // ser-lint: allow(no-hash-iter) — interning table, get/insert only;
+    // node numbering comes from push order on `nodes`, never from here.
     unique: HashMap<BddNode, BddRef>,
+    // ser-lint: allow(no-hash-iter) — memo for `ite`, get/insert only.
     ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
     num_vars: u32,
     limit: usize,
@@ -100,7 +106,11 @@ impl Bdd {
         };
         Bdd {
             nodes: vec![sentinel, sentinel],
+            // ser-lint: allow(no-hash-iter) — constructor for the
+            // lookup-only unique table above.
             unique: HashMap::new(),
+            // ser-lint: allow(no-hash-iter) — constructor for the
+            // lookup-only ITE memo above.
             ite_cache: HashMap::new(),
             num_vars: u32::try_from(num_vars).expect("var count fits u32"),
             limit,
@@ -259,10 +269,13 @@ impl Bdd {
                 "p[{i}] = {p} outside [0,1]"
             );
         }
+        // ser-lint: allow(no-hash-iter) — per-call probability memo,
+        // get/insert only; the recursion order is BDD-structural.
         let mut memo: HashMap<BddRef, f64> = HashMap::new();
         self.prob_rec(f, probs, &mut memo)
     }
 
+    // ser-lint: allow(no-hash-iter) — the memo parameter above; lookups only.
     fn prob_rec(&self, f: BddRef, probs: &[f64], memo: &mut HashMap<BddRef, f64>) -> f64 {
         if f == BddRef::FALSE {
             return 0.0;
@@ -294,6 +307,8 @@ impl Bdd {
     /// intermediates — this manager does not garbage-collect).
     #[must_use]
     pub fn reachable_count(&self, f: BddRef) -> usize {
+        // ser-lint: allow(no-hash-iter) — visited-set for a reachability
+        // walk; only `insert` and `len` are used, never iteration.
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![f];
         while let Some(r) = stack.pop() {

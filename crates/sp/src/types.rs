@@ -1,6 +1,6 @@
 //! Common types for the signal-probability engines.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::ops::Index;
@@ -22,7 +22,13 @@ use ser_netlist::{Circuit, NetlistError, NodeId};
 #[derive(Debug, Clone, PartialEq)]
 pub struct InputProbs {
     default: f64,
-    overrides: HashMap<NodeId, f64>,
+    /// Ordered, because [`overrides`](Self::overrides) is *iterated*
+    /// (rebuilding an assignment against a re-built circuit, applying
+    /// a `set_inputs` wire op) — a hash map here would replay the
+    /// overrides in a different order every process, and the
+    /// bit-identity contract forbids exactly that class of
+    /// nondeterminism (`ser-lint`'s `no-hash-iter` rule).
+    overrides: BTreeMap<NodeId, f64>,
 }
 
 impl InputProbs {
@@ -39,7 +45,7 @@ impl InputProbs {
         );
         InputProbs {
             default: p,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 
@@ -70,9 +76,11 @@ impl InputProbs {
         self.overrides.get(&input).copied().unwrap_or(self.default)
     }
 
-    /// The explicit per-input overrides, in arbitrary order — what a
-    /// caller rebuilding the assignment against a re-built circuit
-    /// (where node ids shifted but names survived) iterates.
+    /// The explicit per-input overrides, in ascending [`NodeId`] order
+    /// — what a caller rebuilding the assignment against a re-built
+    /// circuit (where node ids shifted but names survived) iterates.
+    /// The order is deterministic by construction (`BTreeMap`), so a
+    /// replayed `set_inputs` always re-derives bit-identical state.
     pub fn overrides(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
         self.overrides.iter().map(|(&id, &p)| (id, p))
     }

@@ -173,6 +173,28 @@ fn v2_envelope_parses_each_op_with_nested_containers() {
 }
 
 #[test]
+fn wire_ops_table_matches_the_parser() {
+    // WIRE_OPS is the load-bearing anchor ser-lint's wire-doc-sync
+    // rule extracts; this test pins it to the dispatcher. Every
+    // listed op must be *known* to the parser (it may still reject a
+    // field-free envelope as bad_request — that proves dispatch
+    // happened), and an op off the list must be unknown_op.
+    for op in ser_service::WIRE_OPS {
+        let line = format!("{{\"v\": 2, \"op\": \"{op}\"}}");
+        match parse_wire_line(&line) {
+            Ok(_) => {}
+            Err(e) => assert_ne!(
+                e.code,
+                ErrorCode::UnknownOp,
+                "`{op}` is in WIRE_OPS but the parser does not know it"
+            ),
+        }
+    }
+    let err = parse_wire_line(r#"{"v": 2, "op": "not_an_op"}"#).unwrap_err();
+    assert_eq!(err.code, ErrorCode::UnknownOp);
+}
+
+#[test]
 fn v2_rejects_unknown_ops_unread_fields_and_bad_probabilities() {
     let err = parse_wire_line(r#"{"v": 2, "op": "warp", "netlist": "x"}"#).unwrap_err();
     assert_eq!(err.code, ErrorCode::UnknownOp);

@@ -14,6 +14,7 @@
 //! bench-diff diff /tmp/old.json BENCH_sweep.json
 //! ```
 
+#![forbid(unsafe_code)]
 use std::fmt;
 use std::process::ExitCode;
 

@@ -1,0 +1,81 @@
+//! `ser-lint` CLI — see the library docs for what the rules enforce.
+//!
+//! ```text
+//! ser-lint check [--root DIR]   # lint the workspace; exit 1 on violations
+//! ser-lint rules                # print the rule table
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ser_lint::{run_check, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: ser-lint check [--root DIR] | ser-lint rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `check` is routinely run from the workspace root; walking an
+    // empty tree would vacuously pass, so refuse roots that lack the
+    // directories the rules are scoped to.
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "ser-lint: `{}` does not look like the workspace root (no crates/)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let diags = run_check(&root);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("ser-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("ser-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn print_rules() {
+    println!("ser-lint rules — suppress per site with:");
+    println!("  // ser-lint: allow(<rule>) — <justification (mandatory)>");
+    println!();
+    for r in RULES {
+        println!("{}", r.id);
+        println!("  scope:     {}", r.scope);
+        println!("  rationale: {}", r.rationale);
+        println!();
+    }
+}

@@ -1,0 +1,844 @@
+//! The rule engine: repo-specific invariants, checked token-wise.
+//!
+//! Every rule here mechanizes a contract that previously lived in doc
+//! comments and reviewer vigilance:
+//!
+//! | rule | contract it enforces |
+//! |---|---|
+//! | `no-fma` | float bit-identity: no fused/reassociating intrinsics |
+//! | `no-hash-iter` | plan/sweep determinism: no `HashMap`/`HashSet` in bitwise-contract modules |
+//! | `unsafe-allowlist` | `unsafe` stays confined to the SIMD dispatch path |
+//! | `safety-comment` | every `unsafe` site justifies itself in writing |
+//! | `no-panic-path` | the daemon's request path never panics |
+//! | `dead-cancel-token` | a `CancelToken` parameter is honored, not decorative |
+//! | `wire-doc-sync` | wire error codes and ops are documented in README |
+//!
+//! Suppression is per-site and self-documenting:
+//! `// ser-lint: allow(<rule>) — <justification>` on the flagged line
+//! or the line above. A bare allow without justification is itself a
+//! violation (`bare-allow`), so every exemption in the tree explains
+//! why it is safe.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+// ---------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------
+
+/// One lint rule's identity and documentation, as printed by
+/// `ser-lint rules`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The id used in diagnostics and `allow(...)` suppressions.
+    pub id: &'static str,
+    /// Where the rule applies.
+    pub scope: &'static str,
+    /// Why the rule exists.
+    pub rationale: &'static str,
+}
+
+/// Every rule this tool knows, in the order `ser-lint rules` prints.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "no-fma",
+        scope: "crates/core, crates/sim, crates/sp",
+        rationale: "FMA single-rounds a*b+c and horizontal adds reassociate; either \
+                    changes f64 results in the last ulp and breaks the wire's float \
+                    bit-identity contract (scalar twin, proptest oracles, cache splicing).",
+    },
+    RuleInfo {
+        id: "no-hash-iter",
+        scope: "plan.rs, sweep.rs, whatif.rs, rules.rs, crates/sp/src/*",
+        rationale: "HashMap/HashSet iteration order is randomized per process; an \
+                    iteration feeding plan layout or float accumulation would make \
+                    results differ run to run. Keyed-lookup-only uses carry a per-site \
+                    allow stating they are never iterated.",
+    },
+    RuleInfo {
+        id: "unsafe-allowlist",
+        scope: "workspace (allowlist: crates/core/src/{simd,sweep,rules}.rs)",
+        rationale: "unsafe is confined to the AVX2 kernel dispatch path; every other \
+                    crate carries #![forbid(unsafe_code)] and this rule keeps the \
+                    allowlist from silently growing.",
+    },
+    RuleInfo {
+        id: "safety-comment",
+        scope: "files where unsafe is allowed",
+        rationale: "every unsafe block or fn must be immediately preceded by a \
+                    // SAFETY: comment (or carry a # Safety doc section) stating the \
+                    invariant that makes it sound.",
+    },
+    RuleInfo {
+        id: "no-panic-path",
+        scope: "crates/service/src/{protocol,service,net,jobs}.rs (non-test code)",
+        rationale: "a panic on the request path kills a connection thread and poisons \
+                    shared engine locks; a daemon serving millions of users answers \
+                    with a structured ErrorCode frame instead. unwrap/expect/panic!/ \
+                    todo!/unimplemented! are forbidden outside #[cfg(test)].",
+    },
+    RuleInfo {
+        id: "dead-cancel-token",
+        scope: "workspace",
+        rationale: "a function that accepts a CancelToken but neither polls \
+                    (.check/.is_cancelled) nor forwards it advertises cancellability \
+                    it does not deliver — the wire's cancel latency contract silently \
+                    loses a checkpoint.",
+    },
+    RuleInfo {
+        id: "wire-doc-sync",
+        scope: "crates/service/src/protocol.rs vs README.md",
+        rationale: "every ErrorCode wire string and every accepted \"op\" must appear \
+                    in README's wire-protocol docs, so clients never meet an \
+                    undocumented code or ship an op the docs do not admit.",
+    },
+    RuleInfo {
+        id: "bare-allow",
+        scope: "workspace",
+        rationale: "a ser-lint: allow(...) without a justification defeats the point \
+                    of per-site suppression; the dash and reason are mandatory.",
+    },
+];
+
+/// Intrinsics and methods that fuse or reassociate float arithmetic.
+/// `mul_add` is the scalar spelling of FMA; the `hadd`/`hsub` families
+/// reassociate across lanes. The kernel uses shuffle/blend epilogues
+/// and separate mul-then-add precisely to avoid these.
+const FMA_IDENTS: &[&str] = &[
+    "_mm256_fmadd_pd",
+    "_mm256_fmsub_pd",
+    "_mm256_fnmadd_pd",
+    "_mm256_fnmsub_pd",
+    "_mm256_fmaddsub_pd",
+    "_mm256_fmsubadd_pd",
+    "_mm256_hadd_pd",
+    "_mm256_hsub_pd",
+    "_mm256_fmadd_ps",
+    "_mm256_hadd_ps",
+    "_mm_fmadd_pd",
+    "_mm_fmadd_ps",
+    "_mm_hadd_pd",
+    "_mm_hadd_ps",
+    "mul_add",
+];
+
+/// Crate paths under the float bit-identity contract (`no-fma`).
+const FMA_SCOPE_PREFIXES: &[&str] = &["crates/core/", "crates/sim/", "crates/sp/"];
+
+/// Files feeding the bitwise plan/sweep contract (`no-hash-iter`).
+const HASH_SCOPE: &[&str] = &[
+    "crates/netlist/src/plan.rs",
+    "crates/core/src/sweep.rs",
+    "crates/core/src/whatif.rs",
+    "crates/core/src/rules.rs",
+];
+const HASH_SCOPE_PREFIXES: &[&str] = &["crates/sp/src/"];
+
+/// The only files where `unsafe` may appear: the AVX2 `LaneVec`
+/// implementation and the two dispatch shims that call into it.
+const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/core/src/simd.rs",
+    "crates/core/src/sweep.rs",
+    "crates/core/src/rules.rs",
+];
+
+/// The daemon's request-handling path (`no-panic-path`).
+const PANIC_FREE_FILES: &[&str] = &[
+    "crates/service/src/protocol.rs",
+    "crates/service/src/service.rs",
+    "crates/service/src/net.rs",
+    "crates/service/src/jobs.rs",
+];
+
+// ---------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------
+
+/// One finding: `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule's id.
+    pub rule: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------
+
+/// A parsed `// ser-lint: allow(<rule>) — <justification>` directive.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    line: u32,
+    /// Last line the allow covers: the end of its contiguous comment
+    /// run plus the first code line after it — so a justification may
+    /// wrap over several comment lines.
+    until: u32,
+    justified: bool,
+}
+
+/// Extracts allow directives from a file's comment tokens. An allow
+/// suppresses its rule on its own line(s), through the rest of its
+/// comment run, and on the first code line that follows (covering
+/// both trailing-comment and block-above styles).
+fn collect_allows(tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(at) = t.text.find("ser-lint: allow(") else {
+            continue;
+        };
+        let rest = &t.text[at + "ser-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        // Prose *about* the syntax (`allow(<rule>)` in docs) is not a
+        // directive: real rule ids are kebab-case identifiers.
+        if rule.is_empty()
+            || !rule
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            continue;
+        }
+        // The justification is mandatory: a dash after the close-paren
+        // followed by non-empty text.
+        let after = rest[close + 1..].trim_start();
+        let justified = ["—", "-", "–"]
+            .iter()
+            .any(|d| after.starts_with(d) && after.trim_start_matches(d).trim().len() >= 3);
+        // Extend coverage over the contiguous comment run this
+        // directive starts or sits in, then one more line for the code
+        // it annotates.
+        let mut until = t.end_line;
+        for next in &tokens[i + 1..] {
+            if next.is_comment() && next.line <= until + 1 {
+                until = next.end_line;
+            } else {
+                break;
+            }
+        }
+        allows.push(Allow {
+            rule,
+            line: t.line,
+            until: until + 1,
+            justified,
+        });
+    }
+    allows
+}
+
+/// Whether `rule` is suppressed at `line` by a justified allow.
+fn allowed(allows: &[Allow], rule: &str, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.justified && a.rule == rule && line >= a.line && line <= a.until)
+}
+
+// ---------------------------------------------------------------------
+// Per-file engine
+// ---------------------------------------------------------------------
+
+/// Lints one file's source. `rel_path` selects which rules apply and
+/// must be repo-relative with forward slashes (`crates/core/src/…`).
+/// The cross-file `wire-doc-sync` rule lives in [`check_wire_doc`].
+#[must_use]
+pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let allows = collect_allows(&tokens);
+    let mut out = Vec::new();
+
+    // Meta-rules first: a malformed allow is a violation wherever it
+    // appears, and an allow naming an unknown rule is a typo that
+    // would otherwise silently suppress nothing.
+    for a in &allows {
+        if !a.justified {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: a.line,
+                rule: "bare-allow",
+                message: format!(
+                    "allow({}) without a justification — write \
+                     `// ser-lint: allow({}) — <why this site is safe>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+        if !RULES.iter().any(|r| r.id == a.rule) {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: a.line,
+                rule: "bare-allow",
+                message: format!("allow({}) names an unknown rule", a.rule),
+            });
+        }
+    }
+
+    let test_spans = cfg_test_spans(&tokens);
+    let in_test = |line: u32| test_spans.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut diag = |rule: &'static str, line: u32, message: String| {
+        if !allowed(&allows, rule, line) {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    // --- no-fma ---------------------------------------------------
+    if FMA_SCOPE_PREFIXES.iter().any(|p| rel_path.starts_with(p)) {
+        for t in tokens.iter().filter(|t| t.kind == TokenKind::Ident) {
+            if FMA_IDENTS.contains(&t.text.as_str()) {
+                diag(
+                    "no-fma",
+                    t.line,
+                    format!(
+                        "`{}` fuses or reassociates float arithmetic — this crate is \
+                         under the bit-identity contract (use mul-then-add and \
+                         shuffle/blend epilogues)",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- no-hash-iter ---------------------------------------------
+    if HASH_SCOPE.contains(&rel_path) || HASH_SCOPE_PREFIXES.iter().any(|p| rel_path.starts_with(p))
+    {
+        for t in tokens.iter().filter(|t| t.kind == TokenKind::Ident) {
+            if t.text == "HashMap" || t.text == "HashSet" {
+                diag(
+                    "no-hash-iter",
+                    t.line,
+                    format!(
+                        "`{}` in a bitwise-contract module: iteration order is \
+                         nondeterministic — use an ordered structure, or allow the \
+                         site with a justification that it is never iterated",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- unsafe-allowlist + safety-comment ------------------------
+    let unsafe_ok = UNSAFE_ALLOWLIST.contains(&rel_path);
+    let lines = LineTable::new(&tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if !unsafe_ok {
+            diag(
+                "unsafe-allowlist",
+                t.line,
+                format!(
+                    "`unsafe` outside the allowlist ({}) — keep unsafe code on the \
+                     SIMD dispatch path or extend the allowlist deliberately",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            );
+            continue;
+        }
+        if !lines.has_safety_justification(t.line) {
+            // `unsafe fn` declarations may justify themselves with a
+            // `# Safety` doc section instead of a `// SAFETY:` comment.
+            let is_fn_decl = tokens
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && n.text == "fn");
+            let what = if is_fn_decl {
+                "`unsafe fn` without a preceding `// SAFETY:` comment or a \
+                 `# Safety` doc section"
+            } else {
+                "`unsafe` without an immediately preceding `// SAFETY:` comment"
+            };
+            diag("safety-comment", t.line, what.to_string());
+        }
+    }
+
+    // --- no-panic-path --------------------------------------------
+    if PANIC_FREE_FILES.contains(&rel_path) {
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident || in_test(t.line) {
+                continue;
+            }
+            let next_is = |text: &str| {
+                tokens
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Punct && n.text == text)
+            };
+            let prev_is_dot =
+                i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == ".";
+            let hit = match t.text.as_str() {
+                "unwrap" | "expect" => prev_is_dot && next_is("("),
+                "panic" | "todo" | "unimplemented" => next_is("!"),
+                _ => false,
+            };
+            if hit {
+                diag(
+                    "no-panic-path",
+                    t.line,
+                    format!(
+                        "`{}` on the daemon's request path — convert to a structured \
+                         ErrorCode reply (or recover, e.g. lock poisoning)",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+
+    // --- dead-cancel-token ----------------------------------------
+    for f in find_cancel_fns(&tokens) {
+        if f.uses == 0 {
+            diag(
+                "dead-cancel-token",
+                f.line,
+                format!(
+                    "fn `{}` takes CancelToken parameter `{}` but never polls or \
+                     forwards it — a dead token is a missing cancellation checkpoint",
+                    f.name, f.param
+                ),
+            );
+        }
+    }
+
+    // Two tokens on one line can trip the same rule twice (e.g. a
+    // declaration and a constructor); one diagnostic per line reads
+    // better and the allow granularity is the line anyway.
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+
+    out
+}
+
+// ---------------------------------------------------------------------
+// Line classification (for SAFETY-comment adjacency)
+// ---------------------------------------------------------------------
+
+/// Per-line facts derived from the token stream — *not* from raw text,
+/// so a string literal containing `// SAFETY:` can never satisfy the
+/// rule and a comment inside a raw-string fixture never triggers it.
+struct LineTable {
+    /// For each 1-based line: (has code, has attr start, safety text).
+    facts: Vec<LineFacts>,
+}
+
+#[derive(Default, Clone)]
+struct LineFacts {
+    /// A non-comment token starts on or spans this line.
+    code: bool,
+    /// The line's first token is `#` (attribute); SAFETY scanning may
+    /// step over it.
+    attr_start: bool,
+    /// A comment on this line contains `SAFETY:` or a doc comment
+    /// contains `# Safety`.
+    safety: bool,
+    /// Any token at all touches this line.
+    any: bool,
+}
+
+impl LineTable {
+    fn new(tokens: &[Token]) -> Self {
+        let max_line = tokens.last().map_or(0, |t| t.end_line) as usize;
+        let mut facts = vec![LineFacts::default(); max_line + 2];
+        let mut first_on_line: Vec<Option<&Token>> = vec![None; max_line + 2];
+        for t in tokens {
+            for line in t.line..=t.end_line {
+                let f = &mut facts[line as usize];
+                f.any = true;
+                if !t.is_comment() {
+                    f.code = true;
+                }
+                if first_on_line[line as usize].is_none() {
+                    first_on_line[line as usize] = Some(t);
+                }
+            }
+            if t.is_comment() {
+                let safety = t.text.contains("SAFETY:")
+                    || (t.is_doc_comment() && t.text.contains("# Safety"));
+                if safety {
+                    for line in t.line..=t.end_line {
+                        facts[line as usize].safety = true;
+                    }
+                }
+            }
+        }
+        for (line, f) in facts.iter_mut().enumerate() {
+            if let Some(t) = first_on_line[line] {
+                f.attr_start = t.kind == TokenKind::Punct && t.text == "#";
+            }
+        }
+        LineTable { facts }
+    }
+
+    /// Whether the `unsafe` on `line` is justified: a `SAFETY:`
+    /// comment on the same line, or on a run of comment/attribute
+    /// lines immediately above (doc comments with `# Safety` count;
+    /// blank lines and unrelated code break the run).
+    fn has_safety_justification(&self, line: u32) -> bool {
+        let line = line as usize;
+        if self.facts.get(line).is_some_and(|f| f.safety) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let f = &self.facts[l];
+            if f.safety {
+                return true;
+            }
+            let steppable = f.any && (!f.code || f.attr_start);
+            if !steppable {
+                return false;
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// #[cfg(test)] spans
+// ---------------------------------------------------------------------
+
+/// Line spans covered by `#[cfg(test)]`-gated items (the following
+/// brace-balanced block). Test modules are exempt from
+/// `no-panic-path` — tests unwrap freely.
+fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+    let mut spans = Vec::new();
+    let texts: Vec<&str> = code.iter().map(|(_, t)| t.text.as_str()).collect();
+    for w in 0..texts.len().saturating_sub(6) {
+        if texts[w..w + 7] != ["#", "[", "cfg", "(", "test", ")", "]"] {
+            continue;
+        }
+        let start_line = code[w].1.line;
+        // Find the gated item's opening brace, then its match.
+        let mut depth = 0i64;
+        let mut end_line = start_line;
+        for &(_, t) in &code[w + 7..] {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = t.end_line;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    // A braceless gated item (`#[cfg(test)] use …;`).
+                    end_line = t.end_line;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        spans.push((start_line, end_line));
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------
+// CancelToken liveness
+// ---------------------------------------------------------------------
+
+struct CancelFn {
+    name: String,
+    param: String,
+    line: u32,
+    uses: usize,
+}
+
+/// Finds every `fn` whose parameter list mentions `CancelToken` and
+/// counts uses of the binding inside the body. Forwarding the token to
+/// a callee counts as a use — the checkpoint then lives downstream.
+/// Over-approximation: a shadowing closure parameter of the same name
+/// also counts (documented; the lint is token-shaped, not a resolver).
+fn find_cancel_fns(tokens: &[Token]) -> Vec<CancelFn> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].kind == TokenKind::Ident && code[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            // `fn(...)` pointer type — not a declaration.
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = code[i].line;
+        // Skip generics to the parameter list's `(`.
+        let mut j = i + 2;
+        if code.get(j).is_some_and(|t| t.text == "<") {
+            let mut angle = 0i64;
+            while j < code.len() {
+                match code[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if code.get(j).is_none_or(|t| t.text != "(") {
+            i += 1;
+            continue;
+        }
+        // Collect parameters to the matching `)`, splitting at
+        // top-level commas. Generic arguments nest with `<`/`>`, which
+        // the token stream spells as punctuation — track them so a
+        // comma inside `HashMap<K, V>` does not split the parameter
+        // (and do not mistake the `>` of a `->` arrow for a closer).
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        let mut params: Vec<Vec<&Token>> = vec![Vec::new()];
+        let params_end;
+        loop {
+            let Some(t) = code.get(j) else {
+                return out; // truncated input
+            };
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        params_end = j;
+                        break;
+                    }
+                }
+                "<" => angle += 1,
+                ">" if angle > 0 && !(j > 0 && code[j - 1].text == "-") => angle -= 1,
+                "," if depth == 1 && angle == 0 => {
+                    params.push(Vec::new());
+                    j += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if depth >= 1 && !(depth == 1 && t.text == "(") {
+                if let Some(last) = params.last_mut() {
+                    last.push(t);
+                }
+            }
+            j += 1;
+        }
+        // The binding of each CancelToken-typed parameter: the first
+        // identifier that is not a pattern keyword.
+        let mut bindings = Vec::new();
+        for p in &params {
+            if !p.iter().any(|t| t.text == "CancelToken") {
+                continue;
+            }
+            if let Some(b) = p.iter().find(|t| {
+                t.kind == TokenKind::Ident && !matches!(t.text.as_str(), "mut" | "ref" | "self")
+            }) {
+                if b.text != "_" {
+                    bindings.push(b.text.clone());
+                }
+            }
+        }
+        if bindings.is_empty() {
+            i = params_end + 1;
+            continue;
+        }
+        // Skip the return type / where clause to the body `{` (or `;`
+        // for a trait method declaration, which has no body to check).
+        let mut k = params_end + 1;
+        let body_start;
+        loop {
+            let Some(t) = code.get(k) else {
+                return out;
+            };
+            match t.text.as_str() {
+                "{" => {
+                    body_start = k;
+                    break;
+                }
+                ";" => {
+                    body_start = usize::MAX;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        if body_start == usize::MAX {
+            i = k + 1;
+            continue;
+        }
+        // Count body uses of each binding.
+        let mut depth = 0i64;
+        let mut uses = vec![0usize; bindings.len()];
+        let mut b = body_start;
+        while b < code.len() {
+            match code[b].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if code[b].kind == TokenKind::Ident {
+                        for (bi, name) in bindings.iter().enumerate() {
+                            if &code[b].text == name {
+                                uses[bi] += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            b += 1;
+        }
+        for (bi, param) in bindings.iter().enumerate() {
+            out.push(CancelFn {
+                name: name.clone(),
+                param: param.clone(),
+                line,
+                uses: uses[bi],
+            });
+        }
+        i = body_start + 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// wire/doc sync
+// ---------------------------------------------------------------------
+
+/// Cross-file rule: every `ErrorCode` wire string and every entry of
+/// `WIRE_OPS` in `protocol.rs` must appear in the README — codes as
+/// `` `code` ``, ops as `"op": "name"` or `` `name` ``. Extraction
+/// failure is itself a diagnostic so pattern drift cannot silently
+/// disable the rule.
+#[must_use]
+pub fn check_wire_doc(protocol_src: &str, readme: &str) -> Vec<Diagnostic> {
+    let path = "crates/service/src/protocol.rs";
+    let tokens = lex(protocol_src);
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+
+    // `ErrorCode::Variant => "wire_string"` pairs (the as_str match).
+    let mut codes: Vec<(&str, u32)> = Vec::new();
+    for w in 0..code.len().saturating_sub(6) {
+        let window = &code[w..w + 7];
+        let shape = window[0].text == "ErrorCode"
+            && window[1].text == ":"
+            && window[2].text == ":"
+            && window[3].kind == TokenKind::Ident
+            && window[4].text == "="
+            && window[5].text == ">"
+            && window[6].kind == TokenKind::Str;
+        if shape {
+            codes.push((unquote(&window[6].text), window[6].line));
+        }
+    }
+    if codes.is_empty() {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: "wire-doc-sync",
+            message: "could not extract any `ErrorCode::… => \"…\"` wire strings — \
+                      the rule's anchor pattern has drifted; update ser-lint"
+                .to_string(),
+        });
+    }
+    for (c, line) in codes {
+        if !readme.contains(&format!("`{c}`")) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line,
+                rule: "wire-doc-sync",
+                message: format!(
+                    "wire error code \"{c}\" is not documented in README's \
+                     error-code table (expected `{c}` in backticks)"
+                ),
+            });
+        }
+    }
+
+    // The WIRE_OPS table: every op spelling the parser accepts.
+    let mut ops: Vec<(&str, u32)> = Vec::new();
+    if let Some(at) = code.iter().position(|t| t.text == "WIRE_OPS") {
+        for t in &code[at..] {
+            if t.kind == TokenKind::Str {
+                ops.push((unquote(&t.text), t.line));
+            }
+            if t.text == ";" {
+                break;
+            }
+        }
+    }
+    if ops.is_empty() {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: "wire-doc-sync",
+            message: "could not find the WIRE_OPS table — the rule's anchor has \
+                      drifted; update ser-lint"
+                .to_string(),
+        });
+    }
+    for (op, line) in ops {
+        let documented =
+            readme.contains(&format!("\"op\": \"{op}\"")) || readme.contains(&format!("`{op}`"));
+        if !documented {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line,
+                rule: "wire-doc-sync",
+                message: format!(
+                    "wire op \"{op}\" is not documented in README's wire-protocol \
+                     section (expected `\"op\": \"{op}\"` or `{op}` in backticks)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Strips the quotes from a lexed string literal's text.
+fn unquote(text: &str) -> &str {
+    text.trim_start_matches(['b', 'r', '#'])
+        .trim_start_matches('"')
+        .trim_end_matches('#')
+        .trim_end_matches('"')
+}

@@ -1,0 +1,411 @@
+//! Self-tests: every rule must catch its seeded violation and stay
+//! quiet on the corrected twin. All fixture sources live in string
+//! literals, which the workspace walk lexes as `Str` tokens — the
+//! fixtures are inert when `ser-lint check` lints this very file.
+
+use ser_lint::lexer::{lex, TokenKind};
+use ser_lint::{check_wire_doc, lint_file, Diagnostic, RULES};
+
+/// The rule ids present in `diags`, deduplicated, in order.
+fn rules_hit(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    ids.dedup();
+    ids
+}
+
+// -----------------------------------------------------------------
+// no-fma
+// -----------------------------------------------------------------
+
+#[test]
+fn fma_intrinsic_flagged_in_scope() {
+    let src = r#"
+fn fused(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}
+"#;
+    let diags = lint_file("crates/core/src/fake.rs", src);
+    assert_eq!(rules_hit(&diags), ["no-fma"], "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+
+    let diags = lint_file("crates/sim/src/fake.rs", src);
+    assert_eq!(rules_hit(&diags), ["no-fma"]);
+}
+
+#[test]
+fn fma_avx2_intrinsic_flagged() {
+    let src = "unsafe { _mm256_fmadd_pd(a, b, c) }";
+    let diags = lint_file("crates/sp/src/fake.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "no-fma"), "{diags:?}");
+}
+
+#[test]
+fn fma_outside_scope_is_fine() {
+    let src = "fn f(a: f64) -> f64 { a.mul_add(2.0, 1.0) }";
+    assert!(lint_file("tools/fake/src/main.rs", src).is_empty());
+    assert!(lint_file("crates/bench/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn fma_in_string_or_comment_is_inert() {
+    let src = r##"
+// mul_add would break bit-identity; see _mm256_fmadd_pd docs.
+const WHY: &str = "never call mul_add here";
+"##;
+    assert!(lint_file("crates/core/src/fake.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------
+// no-hash-iter
+// -----------------------------------------------------------------
+
+#[test]
+fn hashmap_flagged_in_bitwise_module() {
+    let src = "use std::collections::HashMap;";
+    for path in [
+        "crates/netlist/src/plan.rs",
+        "crates/core/src/sweep.rs",
+        "crates/sp/src/anything.rs",
+    ] {
+        let diags = lint_file(path, src);
+        assert_eq!(rules_hit(&diags), ["no-hash-iter"], "{path}");
+    }
+    // Out of scope: the service layer may hash freely.
+    assert!(lint_file("crates/service/src/chaos.rs", src).is_empty());
+}
+
+#[test]
+fn justified_allow_suppresses_hash_iter() {
+    let src = "\
+// ser-lint: allow(no-hash-iter) — keyed lookup only, never iterated.
+use std::collections::HashMap;
+";
+    assert!(lint_file("crates/core/src/sweep.rs", src).is_empty());
+}
+
+#[test]
+fn two_hits_on_one_line_dedup_to_one_diagnostic() {
+    let src = "fn f(a: HashMap<u32, u32>, b: HashMap<u32, u32>) {}";
+    let diags = lint_file("crates/sp/src/fake.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+}
+
+// -----------------------------------------------------------------
+// bare-allow
+// -----------------------------------------------------------------
+
+#[test]
+fn bare_allow_is_itself_a_violation() {
+    let src = "\
+// ser-lint: allow(no-hash-iter)
+use std::collections::HashMap;
+";
+    let diags = lint_file("crates/core/src/sweep.rs", src);
+    // The unjustified allow does NOT suppress, so both fire.
+    let ids = rules_hit(&diags);
+    assert!(ids.contains(&"bare-allow"), "{diags:?}");
+    assert!(ids.contains(&"no-hash-iter"), "{diags:?}");
+}
+
+#[test]
+fn allow_naming_unknown_rule_is_flagged() {
+    let src = "// ser-lint: allow(no-such-rule) — because reasons here.\n";
+    let diags = lint_file("tools/fake/src/main.rs", src);
+    assert_eq!(rules_hit(&diags), ["bare-allow"], "{diags:?}");
+}
+
+#[test]
+fn multiline_allow_comment_covers_following_code() {
+    let src = "\
+// ser-lint: allow(no-hash-iter) — a justification that wraps
+// across two comment lines before the code it annotates.
+use std::collections::HashMap;
+";
+    assert!(lint_file("crates/core/src/whatif.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------
+// unsafe-allowlist + safety-comment
+// -----------------------------------------------------------------
+
+#[test]
+fn unsafe_outside_allowlist_flagged() {
+    let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+    let diags = lint_file("crates/sim/src/fake.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "unsafe-allowlist"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unsafe_without_safety_comment_flagged_in_allowlisted_file() {
+    let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+    let diags = lint_file("crates/core/src/simd.rs", src);
+    assert_eq!(rules_hit(&diags), ["safety-comment"], "{diags:?}");
+}
+
+#[test]
+fn safety_comment_satisfies_rule() {
+    let src = "\
+fn f(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+";
+    assert!(lint_file("crates/core/src/simd.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_inside_string_does_not_satisfy() {
+    let src = "\
+const DECOY: &str = \"// SAFETY: not a real comment\";
+fn f(p: *const u8) -> u8 { unsafe { *p } }
+";
+    let diags = lint_file("crates/core/src/simd.rs", src);
+    assert_eq!(rules_hit(&diags), ["safety-comment"], "{diags:?}");
+}
+
+// -----------------------------------------------------------------
+// no-panic-path
+// -----------------------------------------------------------------
+
+#[test]
+fn unwrap_on_request_path_flagged() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+    let diags = lint_file("crates/service/src/protocol.rs", src);
+    assert!(diags.iter().any(|d| d.rule == "no-panic-path"), "{diags:?}");
+    // The same code is fine anywhere else.
+    assert!(lint_file("crates/core/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn panic_macros_flagged_but_unreachable_is_not() {
+    let src = "\
+fn f(n: u8) {
+    match n {
+        0 => panic!(\"no\"),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => unreachable!(\"fine: proves exhaustion, not an error path\"),
+    }
+}
+";
+    let diags = lint_file("crates/service/src/net.rs", src);
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, [3, 4, 5], "{diags:?}");
+}
+
+#[test]
+fn unwrap_inside_cfg_test_module_is_fine() {
+    let src = "\
+fn shipping(x: Option<u8>) -> Option<u8> { x }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        super::shipping(Some(1)).unwrap();
+    }
+}
+";
+    assert!(lint_file("crates/service/src/jobs.rs", src).is_empty());
+}
+
+#[test]
+fn expect_as_a_field_name_is_not_flagged() {
+    // Only `.expect(` method calls count — a struct field or local
+    // named `expect` is not a panic site.
+    let src = "struct T { expect: u8 }\nfn f(t: T) -> u8 { t.expect }";
+    assert!(lint_file("crates/service/src/service.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------
+// dead-cancel-token
+// -----------------------------------------------------------------
+
+#[test]
+fn unused_cancel_token_param_flagged() {
+    let src = "\
+fn sweep_all(sites: &[u32], cancel: &CancelToken) -> u32 {
+    sites.len() as u32
+}
+";
+    let diags = lint_file("crates/core/src/fake.rs", src);
+    assert_eq!(rules_hit(&diags), ["dead-cancel-token"], "{diags:?}");
+    assert!(diags[0].message.contains("sweep_all"), "{diags:?}");
+}
+
+#[test]
+fn polled_or_forwarded_token_is_fine() {
+    let polled = "\
+fn sweep_all(sites: &[u32], cancel: &CancelToken) -> Result<u32, ()> {
+    cancel.check()?;
+    Ok(sites.len() as u32)
+}
+";
+    let forwarded = "\
+fn outer(cancel: Option<CancelToken>) {
+    inner(cancel);
+}
+";
+    assert!(lint_file("crates/core/src/fake.rs", polled).is_empty());
+    assert!(lint_file("crates/core/src/fake.rs", forwarded).is_empty());
+}
+
+#[test]
+fn generic_params_do_not_confuse_the_binding_finder() {
+    // The comma inside the generic must not split the parameter list:
+    // `reg` is the binding, and it IS used.
+    let src = "\
+fn register(reg: &Mutex<HashMap<String, Vec<CancelToken>>>, id: &str) {
+    reg.lock();
+}
+";
+    let diags = lint_file("crates/core/src/fake.rs", src);
+    assert!(
+        diags.iter().all(|d| d.rule != "dead-cancel-token"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn bodyless_trait_method_is_not_flagged() {
+    let src = "trait Cancellable { fn run(&self, cancel: &CancelToken) -> u32; }";
+    assert!(lint_file("crates/core/src/fake.rs", src).is_empty());
+}
+
+// -----------------------------------------------------------------
+// wire-doc-sync
+// -----------------------------------------------------------------
+
+const FAKE_PROTOCOL: &str = r#"
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+pub const WIRE_OPS: &[&str] = &["hello", "sweep"];
+"#;
+
+#[test]
+fn documented_codes_and_ops_pass() {
+    let readme = "\
+Codes: `parse`, `internal`.
+Ops: {\"op\": \"hello\"} and {\"op\": \"sweep\"}.
+";
+    assert!(check_wire_doc(FAKE_PROTOCOL, readme).is_empty());
+}
+
+#[test]
+fn missing_code_and_op_are_flagged() {
+    let readme = "Only `parse` and {\"op\": \"hello\"} are documented.";
+    let diags = check_wire_doc(FAKE_PROTOCOL, readme);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains("\"internal\"")));
+    assert!(diags.iter().any(|d| d.message.contains("\"sweep\"")));
+}
+
+#[test]
+fn anchor_drift_is_loud_not_silent() {
+    // A protocol file the extractors cannot read must fail the lint,
+    // not silently report "all documented".
+    let diags = check_wire_doc("fn nothing_here() {}", "");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "wire-doc-sync"));
+    assert!(diags.iter().any(|d| d.message.contains("ErrorCode")));
+    assert!(diags.iter().any(|d| d.message.contains("WIRE_OPS")));
+}
+
+// -----------------------------------------------------------------
+// Lexer edge cases
+// -----------------------------------------------------------------
+
+#[test]
+fn raw_string_contents_are_inert() {
+    // `unsafe` and a forbidden intrinsic inside a raw string must not
+    // trip any rule.
+    let src = r###"
+const FIXTURE: &str = r#"unsafe { _mm256_fmadd_pd(a, b, c) }"#;
+"###;
+    assert!(lint_file("crates/core/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_lex_as_one_comment() {
+    let toks = lex("/* outer /* inner */ still comment */ fn");
+    assert_eq!(toks[0].kind, TokenKind::BlockComment);
+    assert!(toks[0].text.contains("inner"));
+    assert_eq!(toks[1].text, "fn");
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+    let kinds: Vec<_> = toks
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::Char | TokenKind::Lifetime))
+        .map(|t| (t.kind, t.text.as_str()))
+        .collect();
+    assert_eq!(
+        kinds,
+        [
+            (TokenKind::Lifetime, "'a"),
+            (TokenKind::Lifetime, "'a"),
+            (TokenKind::Char, "'x'"),
+        ]
+    );
+}
+
+#[test]
+fn raw_and_byte_strings_lex_as_strings() {
+    for src in [
+        r###"r#"has "quotes" inside"#"###,
+        r###"br##"raw # bytes"##"###,
+        "b\"bytes\"",
+        "b'x'",
+    ] {
+        let toks = lex(src);
+        assert_eq!(toks.len(), 1, "{src}");
+        assert!(
+            matches!(toks[0].kind, TokenKind::Str | TokenKind::Char),
+            "{src}: {:?}",
+            toks[0].kind
+        );
+    }
+}
+
+#[test]
+fn truncated_input_never_panics() {
+    for src in ["\"unterminated", "/* unterminated", "r#\"unterminated", "'"] {
+        let _ = lex(src);
+    }
+}
+
+#[test]
+fn line_numbers_span_multiline_tokens() {
+    let toks = lex("/* one\ntwo\nthree */ ident");
+    assert_eq!((toks[0].line, toks[0].end_line), (1, 3));
+    assert_eq!(toks[1].line, 3);
+}
+
+// -----------------------------------------------------------------
+// Rule table hygiene
+// -----------------------------------------------------------------
+
+#[test]
+fn rule_ids_are_unique_and_kebab_case() {
+    let mut seen = std::collections::BTreeSet::new();
+    for r in RULES {
+        assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+        assert!(
+            r.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+            "rule id {} is not kebab-case",
+            r.id
+        );
+        assert!(!r.rationale.is_empty() && !r.scope.is_empty());
+    }
+}

@@ -10,6 +10,7 @@
 //! Passing `--test` (as `cargo test --benches` does) runs each closure
 //! once and skips timing, so benches double as smoke tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

@@ -10,6 +10,7 @@
 //! case panics with the sampled inputs' debug representation (cases are
 //! deterministic per test name and case index, so failures reproduce).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::Range;

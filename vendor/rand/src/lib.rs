@@ -13,6 +13,7 @@
 //! *determinism given a seed* and on statistical quality, never on
 //! specific values.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
